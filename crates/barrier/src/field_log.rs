@@ -1,0 +1,410 @@
+//! The field-logging write barrier (Figure 3 of the paper).
+//!
+//! Each reference field carries a log state in side metadata.  The first
+//! time a field is overwritten in an epoch, the barrier's slow path captures
+//! the to-be-overwritten referent into the decrement buffer and the field's
+//! address into the modified-field buffer; subsequent writes to the same
+//! field in the same epoch take only the fast path.
+//!
+//! Because freshly allocated objects are zeroed, their fields start in the
+//! `Ignored` state, so mutations to new objects are never logged — this is
+//! how the barrier implements the *implicitly dead* optimisation (§2.1):
+//! young objects generate no decrements, and generate increments only if
+//! they survive to the next pause.
+//!
+//! The paper describes the slow path as synchronised (`attemptToLog` blocks
+//! until the competing thread has captured the old value).  We implement
+//! that synchronisation with a three-state entry per field — `Unlogged →
+//! Busy → Ignored` — so the thread that wins the transition to `Busy` is the
+//! only one to read the old value, and competing writers spin until the
+//! capture completes.
+
+use crate::{BarrierSink, BarrierStats};
+use lxr_heap::{Address, HeapSpace, SideMetadata};
+use lxr_object::ObjectReference;
+use lxr_rc::buffers::DEFAULT_CHUNK_SIZE;
+use std::sync::Arc;
+
+/// The per-field log state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FieldLogState {
+    /// Writes are not logged (field already logged this epoch, or the field
+    /// belongs to an object allocated this epoch).
+    Ignored = 0,
+    /// The next write to this field must be logged.
+    Unlogged = 1,
+    /// A thread is currently capturing the field's old value.
+    Busy = 2,
+}
+
+/// Side metadata holding one [`FieldLogState`] per heap word.
+#[derive(Debug)]
+pub struct FieldLogTable {
+    states: SideMetadata,
+}
+
+impl FieldLogTable {
+    /// Creates a table covering `heap_words` words, all `Ignored`.
+    pub fn new(heap_words: usize) -> Self {
+        FieldLogTable { states: SideMetadata::new(heap_words, 1, 2) }
+    }
+
+    /// Creates a table sized for `space`.
+    pub fn for_space(space: &HeapSpace) -> Self {
+        Self::new(space.geometry().num_words())
+    }
+
+    /// Reads the state of `slot`.
+    #[inline]
+    pub fn state(&self, slot: Address) -> FieldLogState {
+        match self.states.load(slot) {
+            0 => FieldLogState::Ignored,
+            1 => FieldLogState::Unlogged,
+            _ => FieldLogState::Busy,
+        }
+    }
+
+    /// Marks `slot` as requiring logging on its next write.  The collector
+    /// calls this ("resets the unlogged bit") when it processes the
+    /// modified-field buffer, and for every field of an object that survives
+    /// its first collection.
+    #[inline]
+    pub fn mark_unlogged(&self, slot: Address) {
+        self.states.store(slot, FieldLogState::Unlogged as u8);
+    }
+
+    /// Marks `slot` as not requiring logging (used when reclaimed memory is
+    /// recycled).
+    #[inline]
+    pub fn mark_ignored(&self, slot: Address) {
+        self.states.store(slot, FieldLogState::Ignored as u8);
+    }
+
+    /// Attempts to win the `Unlogged → Busy` transition.  Returns `true` if
+    /// the caller must perform the capture and then call
+    /// [`finish_log`](Self::finish_log).
+    #[inline]
+    pub fn try_begin_log(&self, slot: Address) -> bool {
+        self.states
+            .fetch_update(slot, |s| if s == FieldLogState::Unlogged as u8 { Some(FieldLogState::Busy as u8) } else { None })
+            .is_ok()
+    }
+
+    /// Completes a log operation begun with [`try_begin_log`](Self::try_begin_log).
+    #[inline]
+    pub fn finish_log(&self, slot: Address) {
+        self.states.store(slot, FieldLogState::Ignored as u8);
+    }
+
+    /// Marks every field in the heap as requiring logging.  Used by
+    /// collectors that need a full snapshot-at-the-beginning barrier over
+    /// all pre-existing objects (the concurrent-copying baselines arm the
+    /// whole table at the start of each marking cycle).
+    pub fn arm_all(&self) {
+        self.states.fill_all(FieldLogState::Unlogged as u8);
+    }
+
+    /// Metadata footprint in bytes.
+    pub fn metadata_bytes(&self) -> usize {
+        self.states.size_bytes()
+    }
+}
+
+/// The per-mutator field-logging write barrier.
+///
+/// Each mutator owns one `FieldLoggingBarrier`; the barrier shares the
+/// [`FieldLogTable`], [`BarrierSink`] and [`BarrierStats`] with the
+/// collector and with the other mutators.
+///
+/// # Example
+///
+/// ```
+/// use lxr_heap::{HeapConfig, HeapSpace, Address};
+/// use lxr_object::{ObjectModel, ObjectShape};
+/// use lxr_barrier::{BarrierSink, BarrierStats, FieldLogTable, FieldLoggingBarrier};
+/// use std::sync::Arc;
+///
+/// let space = Arc::new(HeapSpace::new(HeapConfig::with_heap_size(1 << 20)));
+/// let om = ObjectModel::new(space.clone());
+/// let table = Arc::new(FieldLogTable::for_space(&space));
+/// let sink = Arc::new(BarrierSink::new());
+/// let stats = Arc::new(BarrierStats::new());
+/// let mut barrier = FieldLoggingBarrier::new(space.clone(), table.clone(), sink.clone(), stats);
+///
+/// let obj = om.initialize(Address::from_word_index(4096), ObjectShape::new(1, 0, 0));
+/// let target = om.initialize(Address::from_word_index(4112), ObjectShape::new(0, 0, 0));
+/// let slot = obj.to_address().plus(1);
+/// // A mature field must be marked unlogged before its writes are captured.
+/// table.mark_unlogged(slot);
+/// barrier.write(slot, target);
+/// barrier.flush();
+/// assert_eq!(sink.modified_fields.len(), 1);
+/// ```
+pub struct FieldLoggingBarrier {
+    space: Arc<HeapSpace>,
+    table: Arc<FieldLogTable>,
+    sink: Arc<BarrierSink>,
+    stats: Arc<BarrierStats>,
+    dec_chunk: Vec<ObjectReference>,
+    mod_chunk: Vec<Address>,
+    /// Local counters, folded into `stats` on flush to keep the fast path
+    /// free of atomic operations.
+    local_writes: u64,
+    local_slow: u64,
+    chunk_size: usize,
+}
+
+impl std::fmt::Debug for FieldLoggingBarrier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FieldLoggingBarrier")
+            .field("pending_decs", &self.dec_chunk.len())
+            .field("pending_mods", &self.mod_chunk.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FieldLoggingBarrier {
+    /// Creates a barrier for one mutator.
+    pub fn new(
+        space: Arc<HeapSpace>,
+        table: Arc<FieldLogTable>,
+        sink: Arc<BarrierSink>,
+        stats: Arc<BarrierStats>,
+    ) -> Self {
+        FieldLoggingBarrier {
+            space,
+            table,
+            sink,
+            stats,
+            dec_chunk: Vec::with_capacity(DEFAULT_CHUNK_SIZE),
+            mod_chunk: Vec::with_capacity(DEFAULT_CHUNK_SIZE),
+            local_writes: 0,
+            local_slow: 0,
+            chunk_size: DEFAULT_CHUNK_SIZE,
+        }
+    }
+
+    /// The shared log-state table.
+    pub fn table(&self) -> &Arc<FieldLogTable> {
+        &self.table
+    }
+
+    /// Performs a barriered reference-field write: `*slot = value`.
+    #[inline]
+    pub fn write(&mut self, slot: Address, value: ObjectReference) {
+        self.local_writes += 1;
+        if self.table.state(slot) != FieldLogState::Ignored {
+            self.log_slow(slot);
+        }
+        self.space.store_release(slot, value.to_raw());
+    }
+
+    #[cold]
+    fn log_slow(&mut self, slot: Address) {
+        loop {
+            match self.table.state(slot) {
+                FieldLogState::Ignored => return,
+                FieldLogState::Busy => std::hint::spin_loop(),
+                FieldLogState::Unlogged => {
+                    if self.table.try_begin_log(slot) {
+                        let old = ObjectReference::from_raw(self.space.load_acquire(slot));
+                        if !old.is_null() {
+                            self.dec_chunk.push(old);
+                        }
+                        self.mod_chunk.push(slot);
+                        self.table.finish_log(slot);
+                        self.local_slow += 1;
+                        if self.dec_chunk.len() >= self.chunk_size || self.mod_chunk.len() >= self.chunk_size {
+                            self.flush();
+                        }
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Publishes any locally buffered entries and folds local counters into
+    /// the shared statistics.  Called at every safepoint.
+    pub fn flush(&mut self) {
+        if !self.dec_chunk.is_empty() {
+            self.sink.decrements.push_chunk(std::mem::take(&mut self.dec_chunk));
+            self.dec_chunk.reserve(self.chunk_size);
+        }
+        if !self.mod_chunk.is_empty() {
+            self.sink.modified_fields.push_chunk(std::mem::take(&mut self.mod_chunk));
+            self.mod_chunk.reserve(self.chunk_size);
+        }
+        if self.local_writes > 0 {
+            self.stats.count_writes(self.local_writes);
+            self.local_writes = 0;
+        }
+        if self.local_slow > 0 {
+            self.stats.count_slow_logs(self.local_slow);
+            self.local_slow = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lxr_heap::HeapConfig;
+    use lxr_object::{ObjectModel, ObjectShape};
+
+    struct Fixture {
+        space: Arc<HeapSpace>,
+        om: ObjectModel,
+        table: Arc<FieldLogTable>,
+        sink: Arc<BarrierSink>,
+        stats: Arc<BarrierStats>,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let space = Arc::new(HeapSpace::new(HeapConfig::with_heap_size(1 << 20)));
+            let om = ObjectModel::new(space.clone());
+            let table = Arc::new(FieldLogTable::for_space(&space));
+            let sink = Arc::new(BarrierSink::new());
+            let stats = Arc::new(BarrierStats::new());
+            Fixture { space, om, table, sink, stats }
+        }
+
+        fn barrier(&self) -> FieldLoggingBarrier {
+            FieldLoggingBarrier::new(self.space.clone(), self.table.clone(), self.sink.clone(), self.stats.clone())
+        }
+    }
+
+    fn addr(i: usize) -> Address {
+        Address::from_word_index(4096 + i)
+    }
+
+    #[test]
+    fn new_object_writes_are_not_logged() {
+        // Implicitly dead: fields of freshly allocated (zeroed) objects are
+        // in the Ignored state, so their mutations produce no log traffic.
+        let f = Fixture::new();
+        let mut b = f.barrier();
+        let obj = f.om.initialize(addr(0), ObjectShape::new(2, 0, 0));
+        let target = f.om.initialize(addr(32), ObjectShape::new(0, 0, 0));
+        b.write(obj.to_address().plus(1), target);
+        b.write(obj.to_address().plus(2), target);
+        b.flush();
+        assert!(f.sink.is_empty());
+        assert_eq!(f.stats.snapshot().ref_writes, 2);
+        assert_eq!(f.stats.snapshot().slow_path_logs, 0);
+        // The write itself still happened.
+        assert_eq!(f.om.read_ref_field(obj, 0), target);
+    }
+
+    #[test]
+    fn first_write_to_a_mature_field_captures_the_old_value_once() {
+        let f = Fixture::new();
+        let mut b = f.barrier();
+        let obj = f.om.initialize(addr(0), ObjectShape::new(1, 0, 0));
+        let old = f.om.initialize(addr(32), ObjectShape::new(0, 0, 0));
+        let new1 = f.om.initialize(addr(64), ObjectShape::new(0, 0, 0));
+        let new2 = f.om.initialize(addr(96), ObjectShape::new(0, 0, 0));
+        let slot = obj.to_address().plus(1);
+        f.om.write_slot(slot, old); // initial referent, installed before the epoch
+        f.table.mark_unlogged(slot);
+
+        b.write(slot, new1);
+        b.write(slot, new2);
+        b.flush();
+
+        let decs: Vec<_> = f.sink.decrements.drain().into_iter().flatten().collect();
+        let mods: Vec<_> = f.sink.modified_fields.drain().into_iter().flatten().collect();
+        assert_eq!(decs, vec![old], "only the epoch-initial referent is captured");
+        assert_eq!(mods, vec![slot], "the field is logged exactly once");
+        assert_eq!(f.om.read_slot(slot), new2);
+        assert_eq!(f.stats.snapshot().slow_path_logs, 1);
+        assert_eq!(f.stats.snapshot().ref_writes, 2);
+    }
+
+    #[test]
+    fn null_old_values_are_not_enqueued_for_decrement() {
+        let f = Fixture::new();
+        let mut b = f.barrier();
+        let obj = f.om.initialize(addr(0), ObjectShape::new(1, 0, 0));
+        let target = f.om.initialize(addr(32), ObjectShape::new(0, 0, 0));
+        let slot = obj.to_address().plus(1);
+        f.table.mark_unlogged(slot);
+        b.write(slot, target);
+        b.flush();
+        assert_eq!(f.sink.decrements.len(), 0);
+        assert_eq!(f.sink.modified_fields.len(), 1);
+    }
+
+    #[test]
+    fn relogging_after_the_collector_resets_the_state() {
+        let f = Fixture::new();
+        let mut b = f.barrier();
+        let obj = f.om.initialize(addr(0), ObjectShape::new(1, 0, 0));
+        let v1 = f.om.initialize(addr(32), ObjectShape::new(0, 0, 0));
+        let v2 = f.om.initialize(addr(64), ObjectShape::new(0, 0, 0));
+        let slot = obj.to_address().plus(1);
+        f.table.mark_unlogged(slot);
+        b.write(slot, v1);
+        // Epoch boundary: the collector processes the modified field and
+        // resets its state to Unlogged.
+        f.table.mark_unlogged(slot);
+        b.write(slot, v2);
+        b.flush();
+        let decs: Vec<_> = f.sink.decrements.drain().into_iter().flatten().collect();
+        assert_eq!(decs, vec![v1], "the second epoch captures the value installed in the first");
+        assert_eq!(f.stats.snapshot().slow_path_logs, 2);
+    }
+
+    #[test]
+    fn concurrent_writers_produce_exactly_one_log_entry() {
+        let f = Fixture::new();
+        let obj = f.om.initialize(addr(0), ObjectShape::new(1, 0, 0));
+        let old = f.om.initialize(addr(32), ObjectShape::new(0, 0, 0));
+        let slot = obj.to_address().plus(1);
+        f.om.write_slot(slot, old);
+        f.table.mark_unlogged(slot);
+
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let mut b = f.barrier();
+                let value = ObjectReference::from_raw(8192 + t);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        b.write(slot, value);
+                    }
+                    b.flush();
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let decs: Vec<_> = f.sink.decrements.drain().into_iter().flatten().collect();
+        let mods: Vec<_> = f.sink.modified_fields.drain().into_iter().flatten().collect();
+        assert_eq!(decs, vec![old], "the old value is captured exactly once");
+        assert_eq!(mods, vec![slot]);
+        assert_eq!(f.stats.snapshot().ref_writes, 400);
+        assert_eq!(f.stats.snapshot().slow_path_logs, 1);
+    }
+
+    #[test]
+    fn chunks_flush_automatically_when_full() {
+        let f = Fixture::new();
+        let mut b = f.barrier();
+        b.chunk_size = 4;
+        // Log more than one chunk's worth of distinct fields.
+        let obj = f.om.initialize(addr(0), ObjectShape::new(16, 0, 0));
+        let target = f.om.initialize(addr(64), ObjectShape::new(0, 0, 0));
+        for i in 0..10 {
+            let slot = obj.to_address().plus(1 + i);
+            f.table.mark_unlogged(slot);
+            b.write(slot, target);
+        }
+        // At least one chunk must have been published without an explicit flush.
+        assert!(f.sink.modified_fields.len() >= 4);
+        b.flush();
+        assert_eq!(f.sink.modified_fields.len(), 10);
+    }
+}

@@ -1,0 +1,36 @@
+//! # lxr-barrier
+//!
+//! Read and write barriers (§2.2, §3.4 of the LXR paper).
+//!
+//! LXR relies on a single, low-overhead **field-logging write barrier** that
+//! simultaneously serves three purposes:
+//!
+//! 1. coalescing reference counting — the overwritten referent of the first
+//!    write to a field in an epoch is enqueued for a decrement, and the
+//!    field's address is enqueued so its final referent can receive an
+//!    increment at the next pause;
+//! 2. SATB concurrent tracing — the same overwritten referents form the
+//!    snapshot-at-the-beginning gray set;
+//! 3. remembered-set maintenance — new references into an evacuation set are
+//!    discovered when the modified-field buffer is processed.
+//!
+//! The crate provides that barrier ([`FieldLoggingBarrier`]), the coarser
+//! object-granularity variant ([`ObjectLoggingBarrier`]) the paper also
+//! implemented, and a model of the **load value barrier (LVB)** used by the
+//! concurrent-copying baselines ([`LoadValueBarrier`]), which resolves
+//! forwarded objects on every reference load and heals the slot.
+//!
+//! All barriers record their activity in [`BarrierStats`], which the harness
+//! uses to report barrier take-rates (Table 7) and barrier overheads (§5.3).
+
+pub mod field_log;
+pub mod lvb;
+pub mod object_log;
+pub mod sink;
+pub mod stats;
+
+pub use field_log::{FieldLogState, FieldLogTable, FieldLoggingBarrier};
+pub use lvb::LoadValueBarrier;
+pub use object_log::{ObjectLogTable, ObjectLoggingBarrier};
+pub use sink::BarrierSink;
+pub use stats::BarrierStats;

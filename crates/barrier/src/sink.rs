@@ -1,0 +1,49 @@
+//! The shared destination of write-barrier output.
+
+use lxr_heap::Address;
+use lxr_object::ObjectReference;
+use lxr_rc::SharedBuffer;
+
+/// Where mutator write barriers publish their per-thread chunks:
+///
+/// * `decrements` — overwritten referents (future decrements and the SATB
+///   snapshot seed),
+/// * `modified_fields` — addresses of logged fields (future increments and
+///   remembered-set discovery).
+#[derive(Debug, Default)]
+pub struct BarrierSink {
+    /// Overwritten referents captured by the barrier.
+    pub decrements: SharedBuffer<ObjectReference>,
+    /// Addresses of fields logged by the barrier.
+    pub modified_fields: SharedBuffer<Address>,
+}
+
+impl BarrierSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns `true` if neither buffer holds entries.
+    pub fn is_empty(&self) -> bool {
+        self.decrements.is_empty() && self.modified_fields.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty_and_tracks_both_buffers() {
+        let sink = BarrierSink::new();
+        assert!(sink.is_empty());
+        sink.decrements.push_chunk(vec![ObjectReference::from_raw(8)]);
+        assert!(!sink.is_empty());
+        sink.decrements.drain();
+        sink.modified_fields.push_chunk(vec![Address::from_word_index(9)]);
+        assert!(!sink.is_empty());
+        sink.modified_fields.drain();
+        assert!(sink.is_empty());
+    }
+}

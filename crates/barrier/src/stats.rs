@@ -1,0 +1,97 @@
+//! Barrier activity counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared counters recording barrier activity across all mutator threads.
+///
+/// These back two of the paper's measurements: the barrier slow-path take
+/// rate reported as "Inc/ms" in Table 7, and the field-barrier mutator
+/// overhead of §5.3 (which the harness derives by running the same workload
+/// with the barrier enabled and disabled).
+#[derive(Debug, Default)]
+pub struct BarrierStats {
+    /// Reference-field writes that went through a write barrier.
+    pub ref_writes: AtomicU64,
+    /// Writes that took the logging slow path (first write to the field in
+    /// the current epoch).
+    pub slow_path_logs: AtomicU64,
+    /// Reference-field reads that went through a read barrier.
+    pub ref_reads: AtomicU64,
+    /// Reads whose slot was healed by the load value barrier (the referent
+    /// had been forwarded).
+    pub lvb_healed: AtomicU64,
+}
+
+/// A point-in-time copy of [`BarrierStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BarrierSnapshot {
+    /// Reference-field writes that went through a write barrier.
+    pub ref_writes: u64,
+    /// Writes that took the logging slow path.
+    pub slow_path_logs: u64,
+    /// Reference-field reads that went through a read barrier.
+    pub ref_reads: u64,
+    /// Reads healed by the load value barrier.
+    pub lvb_healed: u64,
+}
+
+impl BarrierStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` barriered reference writes.
+    #[inline]
+    pub fn count_writes(&self, n: u64) {
+        self.ref_writes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` slow-path field logs.
+    #[inline]
+    pub fn count_slow_logs(&self, n: u64) {
+        self.slow_path_logs.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` barriered reference reads.
+    #[inline]
+    pub fn count_reads(&self, n: u64) {
+        self.ref_reads.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` loads healed by the LVB.
+    #[inline]
+    pub fn count_lvb_healed(&self, n: u64) {
+        self.lvb_healed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time snapshot of all counters.
+    pub fn snapshot(&self) -> BarrierSnapshot {
+        BarrierSnapshot {
+            ref_writes: self.ref_writes.load(Ordering::Relaxed),
+            slow_path_logs: self.slow_path_logs.load(Ordering::Relaxed),
+            ref_reads: self.ref_reads.load(Ordering::Relaxed),
+            lvb_healed: self.lvb_healed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = BarrierStats::new();
+        s.count_writes(3);
+        s.count_writes(2);
+        s.count_slow_logs(1);
+        s.count_reads(7);
+        s.count_lvb_healed(4);
+        let snap = s.snapshot();
+        assert_eq!(snap.ref_writes, 5);
+        assert_eq!(snap.slow_path_logs, 1);
+        assert_eq!(snap.ref_reads, 7);
+        assert_eq!(snap.lvb_healed, 4);
+    }
+}

@@ -1,0 +1,289 @@
+//! A G1-like generational regional collector.
+//!
+//! The plan reproduces the architecture the paper attributes to G1 (§2.5):
+//! region (block) based, generational, with a write barrier and remembered
+//! sets used to collect the young generation independently, and strictly
+//! copying for young collections.  Young collections evacuate every
+//! surviving young object into the old generation during a stop-the-world
+//! pause; old-generation garbage is collected by an occasional full
+//! mark-region pause (the analogue of G1's marking cycle plus mixed
+//! collections — performed stop-the-world here, which preserves G1's
+//! characteristic longer tail pauses on high-survival workloads while
+//! keeping its good throughput).
+
+use crate::common::{CopyConfig, TraceState};
+use lxr_barrier::{BarrierSink, BarrierStats, FieldLogTable, FieldLoggingBarrier};
+use lxr_heap::{AllocError, BlockState, ImmixAllocator, LineOccupancy};
+use lxr_object::{ObjectModel, ObjectReference, ObjectShape};
+use lxr_runtime::{
+    AllocFailure, Collection, GcReason, Plan, PlanContext, PlanFactory, PlanMutator, WorkCounter,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Configuration of the generational plan.
+#[derive(Debug, Clone)]
+pub struct GenerationalConfig {
+    /// A young collection is triggered once this many bytes have been
+    /// allocated since the previous collection.
+    pub young_target_bytes: usize,
+    /// A full (old-generation) collection is triggered when more than this
+    /// fraction of the heap's blocks is in use after a young collection.
+    pub full_gc_occupancy: f64,
+}
+
+impl GenerationalConfig {
+    /// Scales the young-generation target to the heap size.
+    pub fn for_heap(heap_bytes: usize) -> Self {
+        GenerationalConfig {
+            young_target_bytes: (heap_bytes / 4).clamp(1 << 20, 64 << 20),
+            full_gc_occupancy: 0.55,
+        }
+    }
+}
+
+/// The G1-like generational regional plan.
+pub struct GenerationalPlan {
+    state: Arc<TraceState>,
+    config: GenerationalConfig,
+    log_table: Arc<FieldLogTable>,
+    sink: Arc<BarrierSink>,
+    barrier_stats: Arc<BarrierStats>,
+    words_at_last_gc: AtomicUsize,
+}
+
+impl std::fmt::Debug for GenerationalPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GenerationalPlan").field("config", &self.config).finish_non_exhaustive()
+    }
+}
+
+impl GenerationalPlan {
+    /// Creates the plan with an explicit configuration.
+    pub fn with_config(ctx: PlanContext, config: GenerationalConfig) -> Self {
+        GenerationalPlan {
+            log_table: Arc::new(FieldLogTable::for_space(&ctx.space)),
+            sink: Arc::new(BarrierSink::new()),
+            barrier_stats: Arc::new(BarrierStats::new()),
+            state: Arc::new(TraceState::new(&ctx)),
+            config,
+            words_at_last_gc: AtomicUsize::new(0),
+        }
+    }
+
+    /// A factory closure for [`lxr_runtime::Runtime::with_factory`].
+    pub fn factory() -> impl FnOnce(PlanContext) -> Arc<dyn lxr_runtime::Plan> {
+        |ctx| {
+            let config = GenerationalConfig::for_heap(ctx.options.heap.heap_bytes);
+            Arc::new(GenerationalPlan::with_config(ctx, config)) as Arc<dyn lxr_runtime::Plan>
+        }
+    }
+
+    /// Barrier statistics.
+    pub fn barrier_stats(&self) -> &Arc<BarrierStats> {
+        &self.barrier_stats
+    }
+
+    fn young_collection(&self, collection: &Collection<'_>) {
+        collection.attrs.set_kind("young");
+        // The young generation is every block handed out clean since the
+        // last collection.
+        let mut candidates = Vec::new();
+        for (block, state) in self.state.space.block_states().iter() {
+            if state == BlockState::Young {
+                self.state.space.block_states().set(block, BlockState::EvacCandidate);
+                candidates.push(block);
+            }
+        }
+        // Remembered set: fields of old objects written since the last
+        // collection (captured by the write barrier).  Each is re-armed so
+        // next epoch's writes are captured again.
+        let mut remset_slots = Vec::new();
+        for chunk in self.sink.modified_fields.drain() {
+            for slot in chunk {
+                self.log_table.mark_unlogged(slot);
+                remset_slots.push(slot);
+            }
+        }
+        self.sink.decrements.drain();
+
+        // Bounded young trace: roots plus remembered slots, copying every
+        // reachable object out of the candidate blocks; pointers that lead
+        // outside the young generation are not followed.  Promoted objects
+        // have their fields armed so future writes feed the remembered set.
+        let copied_before = collection.stats.get(WorkCounter::MatureObjectsCopied);
+        let copy = CopyConfig { copy_all: false, occupancy: self.state.line_marks.clone(), bounded: true };
+        let log_table = self.log_table.clone();
+        let arm: Arc<dyn Fn(ObjectReference, u16) + Send + Sync> = Arc::new(move |obj, nrefs| {
+            for i in 0..nrefs as usize {
+                log_table.mark_unlogged(obj.to_address().plus(1 + i));
+            }
+        });
+        self.state
+            .trace_with(collection.workers, collection, Some(copy), remset_slots, Some(arm));
+        let _ = copied_before;
+
+        // Candidate blocks whose every live object was copied out are free.
+        for block in candidates {
+            let fully_evacuated = !self
+                .state
+                .geometry
+                .lines_of(block)
+                .any(|l| self.state.line_marks.is_marked(l));
+            if fully_evacuated {
+                self.state.space.bump_block_reuse(block);
+                self.state.blocks.release_free_block(block);
+                collection.stats.add(WorkCounter::YoungBlocksFreed, 1);
+            } else {
+                self.state.space.block_states().set(block, BlockState::Mature);
+            }
+        }
+        // Promote the copy-target blocks (still in the Young state) to the
+        // old generation so the next young collection does not re-copy them.
+        for (block, state) in self.state.space.block_states().iter() {
+            if state == BlockState::Young {
+                self.state.space.block_states().set(block, BlockState::Mature);
+            }
+        }
+    }
+
+    fn full_collection(&self, collection: &Collection<'_>) {
+        collection.attrs.set_kind("full");
+        // Re-arm remembered slots and discard barrier output.
+        for chunk in self.sink.modified_fields.drain() {
+            for slot in chunk {
+                self.log_table.mark_unlogged(slot);
+            }
+        }
+        self.sink.decrements.drain();
+        self.state.clear_marks();
+        let log_table = self.log_table.clone();
+        let arm: Arc<dyn Fn(ObjectReference, u16) + Send + Sync> = Arc::new(move |obj, nrefs| {
+            for i in 0..nrefs as usize {
+                log_table.mark_unlogged(obj.to_address().plus(1 + i));
+            }
+        });
+        self.state
+            .trace_with(collection.workers, collection, None, Vec::new(), Some(arm));
+        self.state.sweep(collection.stats);
+        // G1 allocates its young generation only in fresh regions: drop any
+        // partially free old blocks the sweep queued for line reuse, so
+        // young objects never share a block with old objects (which would
+        // escape the remembered set).
+        while self.state.blocks.acquire_recycled_block().is_some() {}
+        self.state.queued_for_reuse.lock().clear();
+        for (block, state) in self.state.space.block_states().iter() {
+            if state == BlockState::Recycled {
+                self.state.space.block_states().set(block, BlockState::Mature);
+            }
+        }
+        // Everything that survives a full collection is old.
+        for (block, state) in self.state.space.block_states().iter() {
+            if matches!(state, BlockState::Young | BlockState::EvacCandidate) {
+                self.state.space.block_states().set(block, BlockState::Mature);
+            }
+        }
+    }
+}
+
+impl Plan for GenerationalPlan {
+    fn name(&self) -> &'static str {
+        "g1"
+    }
+
+    fn create_mutator(&self, _mutator_id: usize) -> Box<dyn PlanMutator> {
+        let occupancy: Arc<dyn LineOccupancy> = self.state.line_marks.clone();
+        Box::new(GenerationalMutator {
+            om: ObjectModel::new(self.state.space.clone()),
+            allocator: ImmixAllocator::new(self.state.space.clone(), self.state.blocks.clone(), occupancy),
+            state: self.state.clone(),
+            barrier: FieldLoggingBarrier::new(
+                self.state.space.clone(),
+                self.log_table.clone(),
+                self.sink.clone(),
+                self.barrier_stats.clone(),
+            ),
+        })
+    }
+
+    fn poll(&self) -> Option<GcReason> {
+        let total = self.state.blocks.total_blocks();
+        if self.state.available_blocks() * 12 < total {
+            return Some(GcReason::Threshold);
+        }
+        let allocated_bytes = (self
+            .state
+            .space
+            .allocated_words()
+            .saturating_sub(self.words_at_last_gc.load(Ordering::Relaxed)))
+            * 8;
+        if allocated_bytes > self.config.young_target_bytes {
+            return Some(GcReason::Threshold);
+        }
+        None
+    }
+
+    fn collect(&self, collection: &Collection<'_>) {
+        let total = self.state.blocks.total_blocks();
+        let used = total - self.state.blocks.free_block_count();
+        let full = collection.reason == GcReason::Exhausted
+            || (used as f64) > self.config.full_gc_occupancy * total as f64;
+        if full {
+            self.full_collection(collection);
+        } else {
+            self.young_collection(collection);
+        }
+        self.words_at_last_gc.store(self.state.space.allocated_words(), Ordering::Relaxed);
+    }
+}
+
+impl PlanFactory for GenerationalPlan {
+    fn build(ctx: PlanContext) -> Self {
+        let config = GenerationalConfig::for_heap(ctx.options.heap.heap_bytes);
+        GenerationalPlan::with_config(ctx, config)
+    }
+}
+
+struct GenerationalMutator {
+    om: ObjectModel,
+    allocator: ImmixAllocator,
+    state: Arc<TraceState>,
+    barrier: FieldLoggingBarrier,
+}
+
+impl PlanMutator for GenerationalMutator {
+    fn alloc(&mut self, shape: ObjectShape) -> Result<ObjectReference, AllocFailure> {
+        let size = shape.size_words();
+        let addr = match self.allocator.alloc(size) {
+            Ok(addr) => addr,
+            Err(AllocError::TooLarge) => self.state.los.alloc(size).ok_or(AllocFailure::OutOfMemory)?,
+            Err(AllocError::OutOfMemory) => return Err(AllocFailure::OutOfMemory),
+        };
+        Ok(self.om.initialize(addr, shape))
+    }
+
+    fn write_ref(&mut self, src: ObjectReference, index: usize, value: ObjectReference) {
+        // G1's write barrier records cross-generation pointers; the
+        // field-logging barrier captures the same information (the slot) and
+        // skips fields of objects allocated this epoch, which cannot yet be
+        // "old" sources.
+        self.barrier.write(src.to_address().plus(1 + index), value);
+    }
+
+    fn read_ref(&mut self, src: ObjectReference, index: usize) -> ObjectReference {
+        self.om.read_ref_field(src, index)
+    }
+
+    fn write_data(&mut self, src: ObjectReference, index: usize, value: u64) {
+        self.om.write_data_field(src, index, value);
+    }
+
+    fn read_data(&mut self, src: ObjectReference, index: usize) -> u64 {
+        self.om.read_data_field(src, index)
+    }
+
+    fn prepare_for_gc(&mut self) {
+        self.barrier.flush();
+        self.allocator.retire();
+    }
+}

@@ -1,0 +1,25 @@
+//! Criterion benchmark regenerating Table 6 (throughput at a 2x heap) of the LXR paper.
+//!
+//! The measured function runs the experiment at a reduced scale; run the
+//! `lxr-harness` binary for the full-scale table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lxr_harness::experiments::{self, ExperimentOptions};
+
+fn bench(c: &mut Criterion) {
+    let options = ExperimentOptions { scale: 0.02, gc_workers: 2, seed: 42 };
+    let mut group = c.benchmark_group("table6_throughput");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("table6_throughput", |b| {
+        b.iter(|| {
+            let out = experiments::table6_throughput(&options);
+            criterion::black_box(out);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

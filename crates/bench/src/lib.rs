@@ -1,0 +1,1 @@
+//! Criterion benchmarks live in the benches/ directory of this crate.

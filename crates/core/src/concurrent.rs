@@ -1,0 +1,146 @@
+//! Work performed by the concurrent collector thread (§3.2.1, §3.2.2 and
+//! Figure 2): lazy decrements first (including lazy reclamation of mature
+//! blocks), then SATB tracing.
+//!
+//! The concurrent thread yields promptly when the controller requests a
+//! pause, leaving its remaining work queued; the pause either finishes it
+//! (lazy decrements) or resumes it afterwards (SATB tracing).
+
+use crate::state::LxrState;
+use lxr_heap::Block;
+use lxr_object::ObjectReference;
+use lxr_runtime::{ConcurrentWork, WorkCounter};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Entry point called on the runtime's concurrent collector thread.
+pub(crate) fn concurrent_work(state: &Arc<LxrState>, work: &ConcurrentWork<'_>) {
+    state.concurrent_busy.store(true, Ordering::Release);
+    // Lazy decrements take priority over SATB tracing so mature reclamation
+    // stays prompt (§3.2.1).
+    if state.lazy_pending.load(Ordering::Acquire) {
+        let finished = drain_pending_decrements(state, || (work.yield_requested)());
+        if finished {
+            lazy_reclaim(state);
+            state.lazy_pending.store(false, Ordering::Release);
+        }
+    }
+    if !state.lazy_pending.load(Ordering::Acquire)
+        && state.satb_active.load(Ordering::Acquire)
+        && !state.satb_complete.load(Ordering::Acquire)
+    {
+        trace_satb(state, || (work.yield_requested)());
+    }
+    state.concurrent_busy.store(false, Ordering::Release);
+}
+
+/// Returns `true` if the plan has concurrent work outstanding.
+pub(crate) fn has_concurrent_work(state: &Arc<LxrState>) -> bool {
+    if state.lazy_pending.load(Ordering::Acquire) {
+        return true;
+    }
+    state.satb_active.load(Ordering::Acquire)
+        && !state.satb_complete.load(Ordering::Acquire)
+        && !state.gray.is_empty()
+}
+
+/// Processes queued decrements (and the recursive decrements they generate)
+/// until the queue is empty or `should_yield` asks us to stop.  Returns
+/// `true` if the queue was fully drained.
+pub(crate) fn drain_pending_decrements(state: &Arc<LxrState>, should_yield: impl Fn() -> bool) -> bool {
+    let mut local: Vec<ObjectReference> = Vec::new();
+    let mut processed_since_check = 0usize;
+    loop {
+        let obj = match local.pop() {
+            Some(o) => o,
+            None => match state.pending_decs.pop() {
+                Some(o) => o,
+                None => return true,
+            },
+        };
+        {
+            let mut push = |child: ObjectReference| local.push(child);
+            state.apply_decrement(obj, &mut push);
+        }
+        processed_since_check += 1;
+        if processed_since_check >= 64 {
+            processed_since_check = 0;
+            if should_yield() {
+                for o in local.drain(..) {
+                    state.pending_decs.push(o);
+                }
+                return false;
+            }
+        }
+    }
+}
+
+/// Lazy reclamation (§3.3.1): once the decrements are processed, sweep the
+/// blocks that received them, immediately releasing the completely free
+/// ones.  Partially free blocks are left for the next pause, which queues
+/// them for line reuse.
+fn lazy_reclaim(state: &Arc<LxrState>) {
+    let fully_free: Vec<usize> = {
+        let dirtied = state.dirtied_blocks.lock();
+        let queued = state.queued_for_reuse.lock();
+        dirtied
+            .iter()
+            .copied()
+            // Blocks still sitting in the recycled queue must not also be
+            // released to the clean list.
+            .filter(|idx| !queued.contains(idx))
+            .filter(|&idx| state.rc.block_is_free(Block::from_index(idx)))
+            .collect()
+    };
+    for idx in fully_free {
+        state.dirtied_blocks.lock().remove(&idx);
+        state.stats.add(WorkCounter::MatureBlocksFreed, 1);
+        state.release_free_block(Block::from_index(idx));
+    }
+}
+
+/// Runs the SATB transitive closure: pops gray objects, marks them, and
+/// pushes their referents.  The mature-only optimisation (§3.2.2) skips
+/// objects whose reference count is zero — young objects are handled by RC
+/// and are conservatively marked at their first retention instead.
+/// Returns `true` if the gray set was fully drained.
+pub(crate) fn trace_satb(state: &Arc<LxrState>, should_yield: impl Fn() -> bool) -> bool {
+    let mut processed_since_check = 0usize;
+    while let Some(obj) = state.gray.pop() {
+        processed_since_check += 1;
+        if obj.is_null() {
+            continue;
+        }
+        // Mature-only SATB: ignore objects with a zero reference count.
+        // (This check also keeps the trace away from memory that has been
+        // reclaimed and reused since the reference was captured.)
+        if !state.rc.is_live(obj) {
+            continue;
+        }
+        let shape = state.om.shape(obj);
+        if !state.mark_object(obj, shape.size_words()) {
+            continue; // already marked
+        }
+        state.stats.add(WorkCounter::ObjectsMarked, 1);
+        let satb_evac = state.config.mature_evacuation;
+        state.om.scan_refs(obj, |slot, child| {
+            state.stats.add(WorkCounter::SlotsTraced, 1);
+            if child.is_null() {
+                return;
+            }
+            state.gray.push(child);
+            // Bootstrap the remembered set: the trace visits every pointer
+            // into the evacuation set (§3.3.2).
+            if satb_evac && state.in_evac_set(child) {
+                state.record_remset(slot);
+            }
+        });
+        if processed_since_check >= 64 {
+            processed_since_check = 0;
+            if should_yield() {
+                return false;
+            }
+        }
+    }
+    true
+}

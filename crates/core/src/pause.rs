@@ -1,0 +1,403 @@
+//! The stop-the-world RC pause (§3.2.1, §3.3.1).
+//!
+//! Every LXR collection is a brief pause that:
+//!
+//! 1. finishes any lazy decrements left over from the previous epoch,
+//! 2. releases blocks whose reclamation was deferred one epoch (so that
+//!    forwarding pointers stayed valid for the previous epoch's lazy work),
+//! 3. drains the write-barrier buffers,
+//! 4. feeds the overwritten referents into the SATB snapshot (if a trace is
+//!    underway) and detects trace completion,
+//! 5. performs SATB reclamation and mature evacuation when a trace has
+//!    completed,
+//! 6. applies reference-count increments (roots, then modified fields),
+//!    opportunistically evacuating surviving young objects,
+//! 7. schedules decrements (lazily by default),
+//! 8. sweeps blocks containing young objects and blocks dirtied by
+//!    decrements, reclaiming free blocks and recycling free lines,
+//! 9. decides whether to start a new SATB trace, and
+//! 10. updates the survival-rate predictor and epoch bookkeeping.
+
+use crate::state::LxrState;
+use lxr_heap::{Address, Block, BlockState, ImmixAllocator, LineOccupancy};
+use lxr_object::{ClaimResult, ObjectReference};
+use lxr_runtime::{Collection, WorkCounter};
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// A unit of increment work for the parallel increment phase.
+#[derive(Debug, Clone, Copy)]
+struct IncItem {
+    /// When set, the referent is (re)read from this slot and the slot is
+    /// updated if the referent moves.
+    slot: Option<Address>,
+    /// The referent, used only when `slot` is `None` (root increments).
+    target: ObjectReference,
+    /// Whether to re-arm the field's log state (modified-field entries).
+    reset_log: bool,
+}
+
+/// Runs one RC pause.
+pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
+    c.attrs.set_kind("rc");
+
+    // 0. Wait for the concurrent thread to go quiescent (it yields as soon
+    //    as it observes the pending pause).
+    while state.concurrent_busy.load(Ordering::Acquire) {
+        std::hint::spin_loop();
+    }
+
+    // 1. Finish lazy decrements left over from the previous epoch (§3.2.1:
+    //    "If the next RC epoch starts and LXR still has decrements to
+    //    process, it finishes them first").
+    if state.lazy_pending.load(Ordering::Acquire) {
+        c.attrs.set_lazy_incomplete();
+        crate::concurrent::drain_pending_decrements(state, || false);
+        state.lazy_pending.store(false, Ordering::Release);
+    }
+
+    // 2. Release blocks deferred from the previous pause.
+    let deferred: Vec<Block> = state.deferred_free_blocks.lock().drain(..).collect();
+    for block in deferred {
+        state.release_free_block(block);
+    }
+
+    // 3. Drain the write-barrier buffers.
+    let mod_chunks = state.sink.modified_fields.drain();
+    let dec_chunks = state.sink.decrements.drain();
+
+    // 4. SATB: feed the overwritten referents (the snapshot edges) into the
+    //    trace, and detect completion.
+    let satb_running = state.satb_active.load(Ordering::Acquire) && !state.satb_complete.load(Ordering::Acquire);
+    if satb_running {
+        let mut fed = false;
+        for chunk in &dec_chunks {
+            for &obj in chunk {
+                if !obj.is_null() && state.rc.is_live(obj) && !state.is_marked(obj) {
+                    state.gray.push(obj);
+                    fed = true;
+                }
+            }
+        }
+        if !fed && state.gray.is_empty() {
+            // Every snapshot-reachable object has been visited.
+            state.satb_complete.store(true, Ordering::Release);
+        }
+    }
+
+    // 5. Collect roots.
+    let roots = c.roots.collect_roots();
+    c.stats.add(WorkCounter::RootsScanned, roots.len() as u64);
+
+    // 6. If a trace completed, reclaim what it found dead and defragment the
+    //    evacuation set (§3.3.2).
+    let mut satb_swept_blocks: Vec<Block> = Vec::new();
+    if state.satb_complete.load(Ordering::Acquire) {
+        satb_swept_blocks = crate::satb::reclaim(state, c);
+        if state.config.mature_evacuation {
+            crate::evac::evacuate_mature(state, c);
+        }
+        state.clear_marks();
+        state.satb_complete.store(false, Ordering::Release);
+        state.satb_active.store(false, Ordering::Release);
+    }
+
+    // 7. Increment phase: roots first, then modified fields, with young
+    //    evacuation (§3.3.2) and recursive increments for surviving young
+    //    objects.  The phase runs in parallel with work stealing.
+    let copy_allocators = make_copy_allocators(state, c.workers.size() + 1);
+    let mut items: Vec<IncItem> = Vec::with_capacity(roots.len() + 1024);
+    for &root in &roots {
+        items.push(IncItem { slot: None, target: root, reset_log: false });
+    }
+    for chunk in &mod_chunks {
+        for &slot in chunk {
+            items.push(IncItem { slot: Some(slot), target: ObjectReference::NULL, reset_log: true });
+        }
+    }
+    {
+        let state = state.clone();
+        let copy_allocators = copy_allocators.clone();
+        c.workers.run_phase(items, move |item, handle| {
+            let copy_alloc = &copy_allocators[handle.worker_id.min(copy_allocators.len() - 1)];
+            process_increment_item(&state, item, copy_alloc, &|slot, child| {
+                handle.push(IncItem { slot: Some(slot), target: child, reset_log: false });
+            });
+        });
+    }
+    // Redirect roots that point at evacuated young objects.
+    c.roots.visit_roots(|r| *r = state.om.resolve(*r));
+
+    // 8. Schedule decrements: the roots retained at the previous pause plus
+    //    every overwritten referent captured by the barrier this epoch.
+    let mut decrements: Vec<ObjectReference> = state.prev_root_decs.lock().drain(..).collect();
+    for chunk in dec_chunks {
+        decrements.extend(chunk);
+    }
+    if state.config.concurrent_decrements {
+        for d in decrements {
+            state.pending_decs.push(d);
+        }
+        state.lazy_pending.store(true, Ordering::Release);
+    } else {
+        let mut queue = decrements;
+        while let Some(obj) = queue.pop() {
+            let mut push = |c: ObjectReference| queue.push(c);
+            state.apply_decrement(obj, &mut push);
+        }
+        // Blocks dirtied by in-pause decrements are swept below.
+    }
+
+    // 9. Sweep: blocks containing young objects (state Young/Recycled),
+    //    blocks dirtied by decrements, and blocks the SATB sweep touched.
+    let sweep_set = collect_sweep_set(state, &satb_swept_blocks);
+    sweep_blocks(state, c, sweep_set);
+    sweep_young_los(state, c);
+
+    // 10. Record the survival observation and update the predictor.
+    let allocated = state.space.allocated_words().saturating_sub(state.words_at_epoch_start.load(Ordering::Relaxed));
+    let births = state.births_words_epoch.swap(0, Ordering::Relaxed);
+    if allocated > 0 {
+        let rate = (births as f64 / allocated as f64).min(1.0);
+        state.predictors.lock().survival_rate.observe(rate);
+    }
+
+    // 11. Decide whether to start a new SATB trace.
+    if !state.satb_active.load(Ordering::Acquire) && crate::satb::should_start(state) {
+        c.attrs.set_started_satb();
+        crate::satb::start(state, c);
+        if !state.config.concurrent_satb {
+            // The -SATB ablation: run the whole trace inside the pause.
+            crate::concurrent::trace_satb(state, || false);
+            state.satb_complete.store(true, Ordering::Release);
+        }
+    }
+
+    // 12. Epoch bookkeeping.
+    *state.prev_root_decs.lock() = c.roots.collect_roots();
+    state.words_at_epoch_start.store(state.space.allocated_words(), Ordering::Relaxed);
+    state.epochs.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Creates one copy allocator per GC worker (plus the controller thread).
+fn make_copy_allocators(state: &Arc<LxrState>, n: usize) -> Arc<Vec<Mutex<ImmixAllocator>>> {
+    let occupancy: Arc<dyn LineOccupancy> = state.rc.clone();
+    Arc::new(
+        (0..n)
+            .map(|_| {
+                Mutex::new(ImmixAllocator::new(state.space.clone(), state.blocks.clone(), occupancy.clone()))
+            })
+            .collect(),
+    )
+}
+
+/// Processes one increment work item.
+fn process_increment_item(
+    state: &Arc<LxrState>,
+    item: IncItem,
+    copy_alloc: &Mutex<ImmixAllocator>,
+    push_child: &dyn Fn(Address, ObjectReference),
+) {
+    let (slot, obj) = match item.slot {
+        Some(s) => (Some(s), state.om.read_slot(s)),
+        None => (None, item.target),
+    };
+    if item.reset_log {
+        if let Some(s) = slot {
+            // Re-arm the field so the next epoch's first write is logged
+            // ("resets its unlogged bit", §3.4).
+            state.log_table.mark_unlogged(s);
+        }
+    }
+    if obj.is_null() {
+        return;
+    }
+    let new = increment_object(state, obj, copy_alloc, push_child);
+    if let Some(s) = slot {
+        if new != obj {
+            state.om.write_slot(s, new);
+        }
+        // Remembered-set maintenance: a new reference into the evacuation
+        // set created since the SATB began (§3.3.2).
+        if state.satb_active.load(Ordering::Relaxed) && state.in_evac_set(new) {
+            state.record_remset(s);
+        }
+    }
+}
+
+/// Applies one increment to `obj`, performing first-retention processing
+/// (recursive increments, young evacuation, field re-arming) exactly once
+/// per young object.  Returns the object's current location.
+pub(crate) fn increment_object(
+    state: &Arc<LxrState>,
+    obj: ObjectReference,
+    copy_alloc: &Mutex<ImmixAllocator>,
+    push_child: &dyn Fn(Address, ObjectReference),
+) -> ObjectReference {
+    state.stats.add(WorkCounter::IncrementsApplied, 1);
+    loop {
+        // Objects already evacuated this pause: increment the new copy.
+        if let Some(new) = state.om.forwarding_target(obj) {
+            state.rc.increment(new);
+            return new;
+        }
+        // Mature (or already-retained young) objects: a plain increment.
+        if state.rc.count(obj) > 0 {
+            state.rc.increment(obj);
+            return obj;
+        }
+        // Possible first retention of a young object.  The forwarding claim
+        // arbitrates: exactly one thread wins and performs first-retention
+        // processing.
+        match state.om.try_claim_forwarding(obj) {
+            ClaimResult::AlreadyForwarded(new) => {
+                state.rc.increment(new);
+                return new;
+            }
+            ClaimResult::Claimed(header) => {
+                if state.rc.count(obj) > 0 {
+                    // Someone completed first retention (without copying)
+                    // between our check and our claim.
+                    state.om.abandon_forwarding(obj, header);
+                    state.rc.increment(obj);
+                    return obj;
+                }
+                return first_retention(state, obj, header, copy_alloc, push_child);
+            }
+        }
+    }
+}
+
+/// First retention of a young object: optionally evacuate it out of an
+/// all-young block, establish its count, re-arm its fields for logging, and
+/// generate increments for its referents.
+fn first_retention(
+    state: &Arc<LxrState>,
+    obj: ObjectReference,
+    header: u64,
+    copy_alloc: &Mutex<ImmixAllocator>,
+    push_child: &dyn Fn(Address, ObjectReference),
+) -> ObjectReference {
+    let shape = state.om.shape_of_header(header);
+    let size = shape.size_words();
+    let block = state.geometry.block_of(obj.to_address());
+    let block_state = state.space.block_states().get(block);
+
+    // Young evacuation (§3.3.2): objects in blocks that contain only young
+    // objects are copied, compacting survivors and freeing whole blocks.
+    let mut target = obj;
+    if state.config.young_evacuation && block_state == BlockState::Young {
+        match copy_alloc.lock().alloc(size) {
+            Ok(to) => {
+                target = state.om.install_forwarding(obj, to, header);
+                state.stats.add(WorkCounter::YoungObjectsCopied, 1);
+                state.stats.add(WorkCounter::WordsCopied, size as u64);
+            }
+            Err(_) => {
+                // No space to copy into: retain in place (§3.3.2: "If there
+                // are no free or partially free blocks, it can stop copying
+                // young objects and increment their reference counts in
+                // place").
+                state.om.abandon_forwarding(obj, header);
+            }
+        }
+    } else {
+        state.om.abandon_forwarding(obj, header);
+    }
+
+    state.rc.increment(target);
+    state.stats.add(WorkCounter::YoungSurvivors, 1);
+    state.births_words_epoch.fetch_add(size, Ordering::Relaxed);
+    if size > state.geometry.words_per_line() {
+        state.rc.mark_straddle_lines(target, size);
+    }
+    // Survivors allocated during an SATB trace are conservatively retained
+    // by that trace (Yuasa's treatment of new objects): mark them so the
+    // reclamation sweep does not clear them.
+    if state.satb_active.load(Ordering::Relaxed) {
+        state.mark_object(target, size);
+    }
+    // The survivor's fields become "mature": future writes must be logged.
+    for i in 0..shape.nrefs as usize {
+        let slot = target.to_address().plus(1 + i);
+        state.log_table.mark_unlogged(slot);
+        let child = state.om.read_slot(slot);
+        if !child.is_null() {
+            push_child(slot, child);
+        }
+    }
+    target
+}
+
+/// Collects the set of blocks to sweep this pause.
+fn collect_sweep_set(state: &Arc<LxrState>, satb_swept: &[Block]) -> Vec<(Block, BlockState)> {
+    let mut set: HashSet<usize> = HashSet::new();
+    for (block, block_state) in state.space.block_states().iter() {
+        if matches!(block_state, BlockState::Young | BlockState::Recycled) {
+            set.insert(block.index());
+        }
+    }
+    for idx in state.dirtied_blocks.lock().drain() {
+        set.insert(idx);
+    }
+    for block in satb_swept {
+        set.insert(block.index());
+    }
+    set.into_iter()
+        .map(Block::from_index)
+        .map(|b| (b, state.space.block_states().get(b)))
+        // Evacuation candidates awaiting deferred release are skipped: their
+        // forwarding pointers must survive until the next pause.
+        .filter(|(_, s)| !matches!(s, BlockState::Free | BlockState::Los | BlockState::EvacCandidate))
+        .collect()
+}
+
+/// Sweeps the given blocks: completely free blocks are released, blocks
+/// with free lines are queued for reuse, and everything else becomes
+/// mature.
+fn sweep_blocks(state: &Arc<LxrState>, c: &Collection<'_>, sweep_set: Vec<(Block, BlockState)>) {
+    let geometry = state.geometry;
+    for (block, prior_state) in sweep_set {
+        if prior_state == BlockState::Recycled {
+            // The block was taken off the recycled queue by an allocator
+            // since the last pause; it is eligible to be queued again.
+            state.queued_for_reuse.lock().remove(&block.index());
+        }
+        if state.rc.block_is_free(block) {
+            if state.queued_for_reuse.lock().contains(&block.index()) {
+                // The block still sits in the recycled queue; releasing it to
+                // the clean list as well would hand it out twice.  Leave it
+                // queued — all of its lines are free, so reuse is fine.
+                continue;
+            }
+            match prior_state {
+                BlockState::Young => c.stats.add(WorkCounter::YoungBlocksFreed, 1),
+                _ => c.stats.add(WorkCounter::MatureBlocksFreed, 1),
+            }
+            state.release_free_block(block);
+            continue;
+        }
+        // Does the block have at least one reusable line?
+        let has_free_line = geometry.lines_of(block).any(|line| state.rc.line_is_free_impl(line));
+        if has_free_line && !matches!(prior_state, BlockState::EvacCandidate) {
+            state.queue_for_reuse(block);
+        } else if !matches!(prior_state, BlockState::EvacCandidate) {
+            state.space.block_states().set(block, BlockState::Mature);
+        }
+    }
+}
+
+/// Reclaims large objects allocated since the last pause that never received
+/// an increment (implicit death for the large object space).
+fn sweep_young_los(state: &Arc<LxrState>, c: &Collection<'_>) {
+    let young: Vec<Address> = state.young_los.lock().drain(..).collect();
+    for addr in young {
+        let obj = ObjectReference::from_address(addr);
+        if state.los.contains(addr) && !state.rc.is_live(obj) {
+            state.los.free(addr);
+            c.stats.add(WorkCounter::LargeObjectsFreed, 1);
+        }
+    }
+}

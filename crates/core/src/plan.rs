@@ -1,0 +1,110 @@
+//! The LXR plan: the glue between the runtime's [`Plan`] interface and the
+//! collector's pause, concurrent and mutator components.
+
+use crate::config::LxrConfig;
+use crate::mutator::LxrMutator;
+use crate::state::LxrState;
+use lxr_barrier::BarrierStats;
+use lxr_runtime::{Collection, ConcurrentWork, GcReason, Plan, PlanContext, PlanFactory, PlanMutator};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// The LXR collector (§3): coalescing deferred reference counting over an
+/// Immix heap, brief stop-the-world RC pauses with judicious copying, lazy
+/// concurrent decrements, and an occasional concurrent SATB trace for
+/// cyclic garbage, stuck counts and mature defragmentation.
+pub struct LxrPlan {
+    state: Arc<LxrState>,
+}
+
+impl std::fmt::Debug for LxrPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LxrPlan").field("state", &self.state).finish()
+    }
+}
+
+impl LxrPlan {
+    /// Creates an LXR plan with an explicit configuration.
+    pub fn with_config(ctx: PlanContext, config: LxrConfig) -> Self {
+        LxrPlan { state: Arc::new(LxrState::new(&ctx, config)) }
+    }
+
+    /// A plan factory closure with an explicit configuration, for use with
+    /// [`lxr_runtime::Runtime::with_factory`].
+    pub fn factory(config: LxrConfig) -> impl FnOnce(PlanContext) -> Arc<dyn Plan> {
+        move |ctx| Arc::new(LxrPlan::with_config(ctx, config)) as Arc<dyn Plan>
+    }
+
+    /// The collector's shared state (exposed for tests and the experiment
+    /// harness).
+    pub fn state(&self) -> &Arc<LxrState> {
+        &self.state
+    }
+
+    /// Barrier activity counters (slow-path take rate, write counts).
+    pub fn barrier_stats(&self) -> &Arc<BarrierStats> {
+        &self.state.barrier_stats
+    }
+
+    /// Completed RC epochs.
+    pub fn epochs(&self) -> u64 {
+        self.state.epochs.load(Ordering::Relaxed)
+    }
+}
+
+impl Plan for LxrPlan {
+    fn name(&self) -> &'static str {
+        "lxr"
+    }
+
+    fn create_mutator(&self, _mutator_id: usize) -> Box<dyn PlanMutator> {
+        Box::new(LxrMutator::new(self.state.clone()))
+    }
+
+    fn poll(&self) -> Option<GcReason> {
+        let state = &self.state;
+        let total = state.blocks.total_blocks();
+        // Heap-full backstop: too few blocks available for allocation.
+        let available = state.available_blocks();
+        if (available as f64) <= (state.config.heap_full_fraction * total as f64).max(2.0) {
+            return Some(GcReason::Threshold);
+        }
+        // Survival trigger: predicted surviving volume of the allocation
+        // since the last epoch exceeds the survival threshold (§3.2.1).
+        let allocated_words = state
+            .space
+            .allocated_words()
+            .saturating_sub(state.words_at_epoch_start.load(Ordering::Relaxed));
+        let predicted_survival_bytes =
+            allocated_words as f64 * 8.0 * state.predictors.lock().survival_rate.value();
+        if predicted_survival_bytes > state.config.survival_threshold_bytes as f64 {
+            return Some(GcReason::Threshold);
+        }
+        // Optional increment threshold: bound the modified-field backlog.
+        if let Some(limit) = state.config.increment_threshold {
+            if state.sink.modified_fields.len() > limit {
+                return Some(GcReason::Threshold);
+            }
+        }
+        None
+    }
+
+    fn collect(&self, collection: &Collection<'_>) {
+        crate::pause::rc_pause(&self.state, collection);
+    }
+
+    fn has_concurrent_work(&self) -> bool {
+        crate::concurrent::has_concurrent_work(&self.state)
+    }
+
+    fn concurrent_work(&self, work: &ConcurrentWork<'_>) {
+        crate::concurrent::concurrent_work(&self.state, work);
+    }
+}
+
+impl PlanFactory for LxrPlan {
+    fn build(ctx: PlanContext) -> Self {
+        let config = LxrConfig::for_heap(ctx.options.heap.heap_bytes);
+        LxrPlan::with_config(ctx, config)
+    }
+}

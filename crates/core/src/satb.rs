@@ -1,0 +1,104 @@
+//! SATB trace lifecycle: triggers, start, and reclamation (§3.2.2, §3.3.2).
+//!
+//! LXR's backup trace uses Yuasa's snapshot-at-the-beginning algorithm,
+//! seeded with the root set of an RC pause.  The trace runs concurrently
+//! with mutators, spans as many RC epochs as it needs (the barrier's
+//! decrement buffer keeps feeding it the overwritten snapshot edges at each
+//! pause), and when it completes, the next pause reclaims every mature
+//! object the trace did not mark — dead cycles and objects with stuck
+//! counts — and evacuates the fragmented blocks selected when the trace
+//! began.
+
+use crate::state::LxrState;
+use lxr_heap::{Block, BlockState, GRANULE_WORDS};
+use lxr_object::ObjectReference;
+use lxr_runtime::{Collection, WorkCounter};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Decides whether to start a new SATB trace at the end of an RC pause.
+///
+/// Two triggers (§3.2.2): the *clean block* trigger (the RC pause left too
+/// few clean blocks) and the *predicted wastage* trigger (the gap between
+/// the blocks in use and the predicted live blocks exceeds a threshold
+/// fraction of the heap).
+pub(crate) fn should_start(state: &Arc<LxrState>) -> bool {
+    let total = state.blocks.total_blocks();
+    let clean = state.blocks.free_block_count();
+    if (clean as f64) < state.config.clean_block_trigger_fraction * total as f64 {
+        return true;
+    }
+    let used = state.blocks.used_block_count() + state.blocks.recycled_block_count();
+    let predicted_live = state.predictors.lock().live_blocks.value();
+    let wastage = used as f64 - predicted_live;
+    wastage > state.config.mature_wastage_threshold * total as f64
+}
+
+/// Starts an SATB trace: clears marks, selects the evacuation set, resets
+/// the per-line reuse counters and the remembered set, and seeds the gray
+/// set with the current roots.
+pub(crate) fn start(state: &Arc<LxrState>, c: &Collection<'_>) {
+    state.clear_marks();
+    while state.remset.pop().is_some() {}
+    state.space.line_reuse().clear();
+    if state.config.mature_evacuation {
+        crate::evac::select_candidates(state);
+    }
+    for root in c.roots.collect_roots() {
+        if !root.is_null() {
+            state.gray.push(root);
+        }
+    }
+    state.satb_active.store(true, Ordering::Release);
+}
+
+/// Reclaims everything the completed trace proved dead: any mature granule
+/// with a non-zero count but no mark has its count cleared, and unmarked
+/// large objects are freed.  Returns the blocks whose counts changed so the
+/// pause's sweep can free or recycle them.
+pub(crate) fn reclaim(state: &Arc<LxrState>, c: &Collection<'_>) -> Vec<Block> {
+    let geometry = state.geometry;
+    let mut touched = Vec::new();
+    for (block, block_state) in state.space.block_states().iter() {
+        if !matches!(block_state, BlockState::Mature | BlockState::Recycled | BlockState::EvacCandidate) {
+            continue;
+        }
+        let start = geometry.block_start(block);
+        let words = geometry.words_per_block();
+        let mut block_touched = false;
+        let mut w = 0;
+        while w < words {
+            let addr = start.plus(w);
+            let obj = ObjectReference::from_address(addr);
+            let count = state.rc.count(obj);
+            if count > 0 {
+                if count == state.rc.stuck_value() {
+                    c.stats.add(WorkCounter::StuckObjects, 1);
+                }
+                if state.marks.load(addr) == 0 {
+                    state.rc.clear(obj);
+                    c.stats.add(WorkCounter::SatbDeaths, 1);
+                    block_touched = true;
+                }
+            }
+            w += GRANULE_WORDS;
+        }
+        if block_touched {
+            touched.push(block);
+        }
+    }
+    // Large objects: unmarked but counted means a dead cycle or stuck count.
+    for (addr, _meta) in state.los.snapshot() {
+        let obj = ObjectReference::from_address(addr);
+        if state.rc.is_live(obj) && !state.is_marked(obj) {
+            state.rc.clear(obj);
+            state.los.free(addr);
+            c.stats.add(WorkCounter::SatbDeaths, 1);
+            c.stats.add(WorkCounter::LargeObjectsFreed, 1);
+        }
+    }
+    // Record the live-block observation for the wastage predictor.
+    let live_blocks = state.blocks.used_block_count() + state.blocks.recycled_block_count();
+    state.predictors.lock().live_blocks.observe(live_blocks as f64);
+    touched
+}

@@ -1,0 +1,463 @@
+//! Shared mutable state of the LXR collector.
+//!
+//! Both halves of the collector — the stop-the-world RC pause and the
+//! concurrent thread (lazy decrements, SATB tracing) — operate over one
+//! [`LxrState`], as do the per-mutator allocators and barriers.
+
+use crate::config::LxrConfig;
+use crate::predictors::Predictors;
+use crossbeam::queue::SegQueue;
+use lxr_barrier::{BarrierSink, BarrierStats, FieldLogTable};
+use lxr_heap::{
+    Address, Block, BlockAllocator, BlockState, HeapGeometry, HeapSpace, LargeObjectSpace, SideMetadata,
+    GRANULE_WORDS,
+};
+use lxr_object::{ObjectModel, ObjectReference};
+use lxr_rc::RcTable;
+use lxr_runtime::{GcStats, PlanContext, WorkCounter};
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A remembered-set entry: the address of a slot holding a reference into an
+/// evacuation set, tagged with the reuse counter of the line containing the
+/// slot so that stale entries (whose source line has since been reclaimed
+/// and reused) can be discarded at evacuation time (§3.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemsetEntry {
+    /// The address of the slot holding the incoming reference.
+    pub slot: Address,
+    /// The reuse counter of the slot's line when the entry was created.
+    pub line_reuse: u8,
+}
+
+/// All shared collector state.
+pub struct LxrState {
+    /// The heap arena.
+    pub space: Arc<HeapSpace>,
+    /// Global block lists.
+    pub blocks: Arc<BlockAllocator>,
+    /// Large object space.
+    pub los: Arc<LargeObjectSpace>,
+    /// Runtime statistics.
+    pub stats: Arc<GcStats>,
+    /// Collector configuration.
+    pub config: LxrConfig,
+    /// The object model.
+    pub om: ObjectModel,
+    /// The reference-count table.
+    pub rc: Arc<RcTable>,
+    /// Field-logging states for the write barrier.
+    pub log_table: Arc<FieldLogTable>,
+    /// Where mutator barriers publish decrements and modified fields.
+    pub sink: Arc<BarrierSink>,
+    /// Barrier activity counters.
+    pub barrier_stats: Arc<BarrierStats>,
+    /// SATB mark bits (one per 16-byte granule).
+    pub marks: SideMetadata,
+    /// Heap geometry (cached).
+    pub geometry: HeapGeometry,
+
+    // ---- epoch state ----
+    /// Words allocated when the current mutator epoch began.
+    pub words_at_epoch_start: AtomicUsize,
+    /// Survivor volume (words) observed so far in the current pause.
+    pub births_words_epoch: AtomicUsize,
+    /// Root referents incremented at the previous pause, to be decremented
+    /// at the next pause (root deferral, §2.1).
+    pub prev_root_decs: Mutex<Vec<ObjectReference>>,
+    /// Large objects allocated since the last pause (checked for implicit
+    /// death at the next pause).
+    pub young_los: Mutex<Vec<Address>>,
+    /// Completed RC epochs.
+    pub epochs: AtomicU64,
+
+    // ---- lazy decrement state ----
+    /// Decrements awaiting (lazy) processing.
+    pub pending_decs: SegQueue<ObjectReference>,
+    /// `true` while decrements from the last epoch remain unprocessed.
+    pub lazy_pending: AtomicBool,
+    /// Blocks that received decrements since the last pause (sweep
+    /// candidates).
+    pub dirtied_blocks: Mutex<HashSet<usize>>,
+    /// Set while the concurrent thread is actively mutating collector state;
+    /// the pause spins until it clears.
+    pub concurrent_busy: AtomicBool,
+
+    // ---- SATB state ----
+    /// A trace is underway (snapshot taken, not yet reclaimed).
+    pub satb_active: AtomicBool,
+    /// The trace has visited every snapshot-reachable object; reclamation
+    /// happens at the next pause.
+    pub satb_complete: AtomicBool,
+    /// The SATB mark stack (gray objects).
+    pub gray: SegQueue<ObjectReference>,
+
+    // ---- mature evacuation state ----
+    /// Blocks currently selected for evacuation (by index).
+    pub evac_candidates: Mutex<HashSet<usize>>,
+    /// Remembered-set entries for the evacuation set.
+    pub remset: SegQueue<RemsetEntry>,
+    /// Blocks emptied by evacuation or SATB reclamation, released at the
+    /// *next* pause so that forwarding pointers and headers stay valid while
+    /// this epoch's lazy decrements drain.
+    pub deferred_free_blocks: Mutex<Vec<Block>>,
+    /// Blocks currently sitting in the recycled queue (by index), so the
+    /// pause never queues a block twice.
+    pub queued_for_reuse: Mutex<HashSet<usize>>,
+
+    // ---- predictors ----
+    /// Survival-rate and live-block predictors.
+    pub predictors: Mutex<Predictors>,
+}
+
+impl std::fmt::Debug for LxrState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LxrState")
+            .field("epochs", &self.epochs.load(Ordering::Relaxed))
+            .field("satb_active", &self.satb_active.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl LxrState {
+    /// Builds the collector state from a plan context and configuration.
+    pub fn new(ctx: &PlanContext, config: LxrConfig) -> Self {
+        let space = ctx.space.clone();
+        let geometry = space.geometry();
+        let rc = Arc::new(RcTable::new(&ctx.options.heap));
+        let log_table = Arc::new(FieldLogTable::for_space(&space));
+        let marks = SideMetadata::new(geometry.num_words(), GRANULE_WORDS, 1);
+        LxrState {
+            om: ObjectModel::new(space.clone()),
+            blocks: ctx.blocks.clone(),
+            los: ctx.los.clone(),
+            stats: ctx.stats.clone(),
+            config,
+            rc,
+            log_table,
+            sink: Arc::new(BarrierSink::new()),
+            barrier_stats: Arc::new(BarrierStats::new()),
+            marks,
+            geometry,
+            space,
+            words_at_epoch_start: AtomicUsize::new(0),
+            births_words_epoch: AtomicUsize::new(0),
+            prev_root_decs: Mutex::new(Vec::new()),
+            young_los: Mutex::new(Vec::new()),
+            epochs: AtomicU64::new(0),
+            pending_decs: SegQueue::new(),
+            lazy_pending: AtomicBool::new(false),
+            dirtied_blocks: Mutex::new(HashSet::new()),
+            concurrent_busy: AtomicBool::new(false),
+            satb_active: AtomicBool::new(false),
+            satb_complete: AtomicBool::new(false),
+            gray: SegQueue::new(),
+            evac_candidates: Mutex::new(HashSet::new()),
+            remset: SegQueue::new(),
+            deferred_free_blocks: Mutex::new(Vec::new()),
+            queued_for_reuse: Mutex::new(HashSet::new()),
+            predictors: Mutex::new(Predictors::new()),
+        }
+    }
+
+    // ---- mark bits ---------------------------------------------------------
+
+    /// Returns `true` if `obj` carries an SATB mark.
+    #[inline]
+    pub fn is_marked(&self, obj: ObjectReference) -> bool {
+        self.marks.load(obj.to_address()) != 0
+    }
+
+    /// Attempts to mark `obj`; returns `true` if this call set the mark.
+    /// For objects larger than a line, the straddle granules are marked too
+    /// so that the SATB sweep does not clear their line-occupancy markers.
+    pub fn mark_object(&self, obj: ObjectReference, size_words: usize) -> bool {
+        let won = self.marks.try_set_from_zero(obj.to_address(), 1);
+        if won && size_words > self.geometry.words_per_line() {
+            let start = obj.to_address();
+            let end = start.plus(size_words);
+            let wpl = self.geometry.words_per_line();
+            let mut line_start = start.align_up(wpl);
+            while line_start.plus(wpl) < end {
+                self.marks.store(line_start, 1);
+                line_start = line_start.plus(wpl);
+            }
+        }
+        won
+    }
+
+    /// Clears every SATB mark bit.
+    pub fn clear_marks(&self) {
+        self.marks.clear_all();
+    }
+
+    // ---- evacuation-set queries -------------------------------------------
+
+    /// Returns `true` if `obj` lies in a block currently selected for
+    /// evacuation.
+    #[inline]
+    pub fn in_evac_set(&self, obj: ObjectReference) -> bool {
+        if obj.is_null() {
+            return false;
+        }
+        let block = self.geometry.block_of(obj.to_address());
+        self.space.block_states().get(block) == BlockState::EvacCandidate
+    }
+
+    /// Records a remembered-set entry for `slot`, which holds a reference
+    /// into the evacuation set.
+    pub fn record_remset(&self, slot: Address) {
+        let line = self.geometry.line_of(slot);
+        self.remset.push(RemsetEntry { slot, line_reuse: self.space.line_reuse().get(line) });
+    }
+
+    // ---- decrements --------------------------------------------------------
+
+    /// Applies one decrement to `obj` (resolving any forwarding first),
+    /// honouring the SATB deletion invariant, and feeding recursive
+    /// decrements and reclamation bookkeeping.
+    ///
+    /// `push_dec` receives the children of objects that die.
+    pub fn apply_decrement<F: FnMut(ObjectReference)>(&self, obj: ObjectReference, push_dec: &mut F) {
+        if obj.is_null() {
+            return;
+        }
+        let obj = self.om.resolve(obj);
+        if self.rc.count(obj) == 0 {
+            // Already reclaimed (e.g. by an SATB sweep); nothing to do.
+            return;
+        }
+        let change = self.rc.decrement(obj);
+        self.stats.add(WorkCounter::DecrementsApplied, 1);
+        if !change.is_death() {
+            return;
+        }
+        // The object is now dead.  While an SATB trace is underway we must
+        // not let the trace visit it after its space is reused: mark it (so
+        // the trace skips it) and push its referents into the trace so the
+        // snapshot stays complete (§3.2.2, "SATB with interruptions").
+        let shape = self.om.shape(obj);
+        let size = shape.size_words();
+        if self.satb_active.load(Ordering::Acquire) && !self.satb_complete.load(Ordering::Acquire) {
+            if self.mark_object(obj, size) {
+                self.om.scan_refs(obj, |_, child| {
+                    if !child.is_null() {
+                        self.gray.push(child);
+                    }
+                });
+            }
+        }
+        self.stats.add(WorkCounter::RcDeaths, 1);
+        if size > self.geometry.words_per_line() {
+            self.rc.clear_straddle_lines(obj, size);
+        }
+        self.om.scan_refs(obj, |_, child| {
+            if !child.is_null() {
+                push_dec(child);
+            }
+        });
+        let block = self.geometry.block_of(obj.to_address());
+        if self.space.block_states().get(block) == BlockState::Los {
+            self.los.free(obj.to_address());
+            self.stats.add(WorkCounter::LargeObjectsFreed, 1);
+        } else {
+            self.dirtied_blocks.lock().insert(block.index());
+        }
+    }
+
+    // ---- block reclamation -------------------------------------------------
+
+    /// Releases a completely free block back to the global free list,
+    /// clearing its collector metadata and bumping its line reuse counters.
+    pub fn release_free_block(&self, block: Block) {
+        debug_assert!(self.rc.block_is_free(block), "releasing a block with live counts");
+        let start = self.geometry.block_start(block);
+        let words = self.geometry.words_per_block();
+        // Stale metadata must not leak into the block's next life.
+        self.marks.clear_range(start, words);
+        for w in 0..words {
+            // Field log states are per word; clear them in bulk.
+            self.log_table.mark_ignored(start.plus(w));
+        }
+        self.space.bump_block_reuse(block);
+        self.queued_for_reuse.lock().remove(&block.index());
+        self.blocks.release_free_block(block);
+    }
+
+    /// Queues a partially free block for line reuse, unless it is already
+    /// queued.
+    pub fn queue_for_reuse(&self, block: Block) {
+        let mut queued = self.queued_for_reuse.lock();
+        if queued.insert(block.index()) {
+            self.space.block_states().set(block, BlockState::Mature);
+            self.blocks.release_recycled_block(block);
+            self.stats.add(WorkCounter::BlocksRecycled, 1);
+        }
+    }
+
+    /// Occupancy of `block` as a fraction of its granules (an upper bound on
+    /// live bytes derived from the RC table, §3.3.2).
+    pub fn block_occupancy(&self, block: Block) -> f64 {
+        let granules_per_block = self.geometry.words_per_block() / GRANULE_WORDS;
+        self.rc.block_live_granules(block) as f64 / granules_per_block as f64
+    }
+
+    /// Number of blocks in the heap available for allocation right now.
+    pub fn available_blocks(&self) -> usize {
+        self.blocks.free_block_count() + self.blocks.recycled_block_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lxr_heap::HeapConfig;
+    use lxr_object::ObjectShape;
+    use lxr_runtime::RuntimeOptions;
+
+    fn state() -> LxrState {
+        let options = RuntimeOptions::default()
+            .with_heap_config(HeapConfig::with_heap_size(4 << 20))
+            .with_concurrent_thread(false);
+        let space = Arc::new(HeapSpace::new(options.heap.clone()));
+        let blocks = Arc::new(BlockAllocator::new(space.clone()));
+        let los = Arc::new(LargeObjectSpace::new(space.clone(), blocks.clone()));
+        let ctx = PlanContext {
+            space,
+            blocks,
+            los,
+            stats: Arc::new(GcStats::new()),
+            options,
+        };
+        LxrState::new(&ctx, LxrConfig::default())
+    }
+
+    fn obj_at(state: &LxrState, word: usize, nrefs: u16, ndata: u16) -> ObjectReference {
+        state.om.initialize(Address::from_word_index(word), ObjectShape::new(nrefs, ndata, 0))
+    }
+
+    #[test]
+    fn marking_is_idempotent_and_covers_straddles() {
+        let s = state();
+        let big = obj_at(&s, 3 * 4096, 0, 100);
+        assert!(!s.is_marked(big));
+        assert!(s.mark_object(big, 102));
+        assert!(!s.mark_object(big, 102), "second mark returns false");
+        assert!(s.is_marked(big));
+        // Straddle granules (starts of interior lines) are marked too.
+        let second_line = Address::from_word_index(3 * 4096 + 32);
+        assert_eq!(s.marks.load(second_line), 1);
+        s.clear_marks();
+        assert!(!s.is_marked(big));
+    }
+
+    #[test]
+    fn decrement_death_cascades_to_children() {
+        let s = state();
+        let parent = obj_at(&s, 2 * 4096, 2, 0);
+        let child_a = obj_at(&s, 2 * 4096 + 16, 0, 0);
+        let child_b = obj_at(&s, 2 * 4096 + 32, 0, 0);
+        s.om.write_ref_field(parent, 0, child_a);
+        s.om.write_ref_field(parent, 1, child_b);
+        s.rc.increment(parent);
+        s.rc.increment(child_a);
+        s.rc.increment(child_b);
+
+        let mut queue = vec![parent];
+        while let Some(o) = queue.pop() {
+            let mut push = |c: ObjectReference| queue.push(c);
+            s.apply_decrement(o, &mut push);
+        }
+        assert_eq!(s.rc.count(parent), 0);
+        assert_eq!(s.rc.count(child_a), 0);
+        assert_eq!(s.rc.count(child_b), 0);
+        assert_eq!(s.stats.get(WorkCounter::RcDeaths), 3);
+        assert!(s.dirtied_blocks.lock().contains(&2));
+    }
+
+    #[test]
+    fn decrement_honours_satb_invariant() {
+        let s = state();
+        let parent = obj_at(&s, 2 * 4096, 1, 0);
+        let child = obj_at(&s, 2 * 4096 + 16, 0, 0);
+        s.om.write_ref_field(parent, 0, child);
+        s.rc.increment(parent);
+        s.rc.increment(child);
+        s.satb_active.store(true, Ordering::Release);
+
+        let mut sink = Vec::new();
+        let mut push = |c: ObjectReference| sink.push(c);
+        s.apply_decrement(parent, &mut push);
+        // The dying object was marked so the trace will skip it, and its
+        // referent was pushed into the trace.
+        assert!(s.is_marked(parent));
+        let mut grays = Vec::new();
+        while let Some(g) = s.gray.pop() {
+            grays.push(g);
+        }
+        assert_eq!(grays, vec![child]);
+        assert_eq!(sink, vec![child], "recursive decrement still happens");
+    }
+
+    #[test]
+    fn decrement_of_reclaimed_object_is_a_no_op() {
+        let s = state();
+        let o = obj_at(&s, 2 * 4096, 0, 0);
+        // Count is zero (already reclaimed).
+        let mut push = |_c: ObjectReference| panic!("no recursive decrements expected");
+        s.apply_decrement(o, &mut push);
+        assert_eq!(s.stats.get(WorkCounter::DecrementsApplied), 0);
+    }
+
+    #[test]
+    fn release_free_block_clears_metadata() {
+        let s = state();
+        let block = Block::from_index(5);
+        let start = s.geometry.block_start(block);
+        // Dirty some metadata, then pretend the block became free.
+        s.marks.store(start, 1);
+        s.log_table.mark_unlogged(start.plus(3));
+        let before_free = s.blocks.free_block_count();
+        s.release_free_block(block);
+        assert_eq!(s.blocks.free_block_count(), before_free + 1);
+        assert_eq!(s.marks.load(start), 0);
+        assert_eq!(s.space.line_reuse().get(s.geometry.first_line_of(block)), 1);
+    }
+
+    #[test]
+    fn queue_for_reuse_never_queues_twice() {
+        let s = state();
+        let block = Block::from_index(7);
+        let before = s.blocks.recycled_block_count();
+        s.queue_for_reuse(block);
+        s.queue_for_reuse(block);
+        assert_eq!(s.blocks.recycled_block_count(), before + 1);
+    }
+
+    #[test]
+    fn evac_set_membership_follows_block_state() {
+        let s = state();
+        let obj = obj_at(&s, 6 * 4096 + 8, 0, 0);
+        assert!(!s.in_evac_set(obj));
+        s.space.block_states().set(Block::from_index(6), BlockState::EvacCandidate);
+        assert!(s.in_evac_set(obj));
+        assert!(!s.in_evac_set(ObjectReference::NULL));
+    }
+
+    #[test]
+    fn remset_entries_capture_line_reuse_tags() {
+        let s = state();
+        let slot = Address::from_word_index(4 * 4096 + 10);
+        s.record_remset(slot);
+        let entry = s.remset.pop().unwrap();
+        assert_eq!(entry.slot, slot);
+        assert_eq!(entry.line_reuse, 0);
+        // After the line is reclaimed (reuse counter bumped) a fresh entry
+        // carries the new tag.
+        s.space.bump_line_reuse(s.geometry.line_of(slot));
+        s.record_remset(slot);
+        assert_eq!(s.remset.pop().unwrap().line_reuse, 1);
+    }
+}

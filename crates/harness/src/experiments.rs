@@ -1,0 +1,476 @@
+//! The experiments: one function per table/figure of the paper.
+
+use crate::report::{ms, ratio, Table};
+use lxr_heap::HeapConfig;
+use lxr_workloads::{benchmark, latency_suite, run_workload, suite, BenchmarkSpec, RunOptions, WorkloadResult};
+
+/// Options shared by every experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentOptions {
+    /// Workload scale (1.0 = the full scaled-down suite; tests and benches
+    /// use smaller values).
+    pub scale: f64,
+    /// GC worker threads.
+    pub gc_workers: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        ExperimentOptions { scale: 1.0, gc_workers: 4, seed: 42 }
+    }
+}
+
+impl ExperimentOptions {
+    /// A quick configuration for tests and benches.
+    pub fn quick() -> Self {
+        ExperimentOptions { scale: 0.1, gc_workers: 2, seed: 42 }
+    }
+
+    fn run_options(&self, heap_factor: f64) -> RunOptions {
+        RunOptions {
+            heap_factor,
+            scale: self.scale,
+            seed: self.seed,
+            gc_workers: self.gc_workers,
+        }
+    }
+}
+
+fn fmt_latency(r: &WorkloadResult, pct: f64) -> String {
+    match r.latency_percentile(pct) {
+        Some(d) => ms(d),
+        None => "-".to_string(),
+    }
+}
+
+
+/// Collector set for comparison tables; quick runs compare only G1 and LXR.
+fn comparison_collectors(options: &ExperimentOptions) -> &'static [&'static str] {
+    if options.scale < 0.05 {
+        &["g1", "lxr"]
+    } else {
+        &["g1", "lxr", "shenandoah", "zgc"]
+    }
+}
+
+/// Heap factors for sweeps; quick runs use a single factor.
+fn sweep_factors(options: &ExperimentOptions) -> &'static [f64] {
+    if options.scale < 0.05 {
+        &[2.0]
+    } else {
+        &[1.3, 2.0, 6.0]
+    }
+}
+
+/// **Table 1**: lusearch at a 1.3× heap — throughput (QPS, time), query
+/// latency percentiles and GC pause percentiles for G1, Shenandoah, LXR and
+/// Shenandoah at a 10× heap.
+pub fn table1_lusearch(options: &ExperimentOptions) -> (Table, Vec<WorkloadResult>) {
+    let spec = benchmark("lusearch").expect("lusearch spec");
+    let mut table = Table::new(
+        "Table 1: lusearch, 1.3x heap (QPS, time, query latency ms, GC pauses ms)",
+        &["collector", "QPS", "time(s)", "q50%", "q99%", "q99.9%", "q99.99%", "p50", "p99", "p99.9"],
+    );
+    let mut results = Vec::new();
+    for (collector, factor) in [("g1", 1.3), ("shenandoah", 1.3), ("lxr", 1.3), ("shenandoah", 10.0)] {
+        let r = run_workload(&spec, collector, &options.run_options(factor));
+        let label = if factor > 2.0 { format!("{collector}-{factor:.0}x") } else { collector.to_string() };
+        if r.skipped {
+            table.row(vec![label, "skipped".into(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+        } else {
+            table.row(vec![
+                label,
+                format!("{:.0}", r.qps.unwrap_or(0.0)),
+                format!("{:.2}", r.wall_time.as_secs_f64()),
+                fmt_latency(&r, 50.0),
+                fmt_latency(&r, 99.0),
+                fmt_latency(&r, 99.9),
+                fmt_latency(&r, 99.99),
+                ms(r.gc.pause_percentile(50.0)),
+                ms(r.gc.pause_percentile(99.0)),
+                ms(r.gc.pause_percentile(99.9)),
+            ]);
+        }
+        results.push(r);
+    }
+    (table, results)
+}
+
+/// **Table 3**: benchmark characteristics of the synthetic suite.
+pub fn table3_characteristics() -> Table {
+    let mut table = Table::new(
+        "Table 3: benchmark characteristics (scaled)",
+        &["benchmark", "min heap MB", "alloc MB", "alloc/heap", "obj words", "%large", "%survival"],
+    );
+    for spec in suite() {
+        table.row(vec![
+            spec.name.to_string(),
+            spec.min_heap_mb.to_string(),
+            spec.total_alloc_mb.to_string(),
+            format!("{:.0}", spec.total_alloc_mb as f64 / spec.min_heap_mb as f64),
+            spec.mean_object_words.to_string(),
+            format!("{:.0}", spec.large_fraction * 100.0),
+            format!("{:.0}", spec.survival_rate * 100.0),
+        ]);
+    }
+    table
+}
+
+/// **Table 4 / Figure 5**: request latency percentiles for the four
+/// latency-critical workloads at a 1.3× heap under G1, LXR, Shenandoah, ZGC.
+pub fn table4_latency(options: &ExperimentOptions) -> (Table, Vec<WorkloadResult>) {
+    let mut table = Table::new(
+        "Table 4 / Figure 5: request latency (ms) at 1.3x heap",
+        &["benchmark", "collector", "50%", "90%", "99%", "99.9%", "99.99%"],
+    );
+    let mut results = Vec::new();
+    for spec in latency_suite() {
+        for collector in comparison_collectors(options) {
+            let r = run_workload(&spec, collector, &options.run_options(1.3));
+            if r.skipped {
+                table.row(vec![spec.name.into(), (*collector).into(), "skipped".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            } else {
+                table.row(vec![
+                    spec.name.into(),
+                    (*collector).into(),
+                    fmt_latency(&r, 50.0),
+                    fmt_latency(&r, 90.0),
+                    fmt_latency(&r, 99.0),
+                    fmt_latency(&r, 99.9),
+                    fmt_latency(&r, 99.99),
+                ]);
+            }
+            results.push(r);
+        }
+    }
+    (table, results)
+}
+
+/// **Table 5**: geometric-mean 99.99% latency (latency suite) and execution
+/// time (full suite) relative to G1 at 1.3×, 2× and 6× heaps.
+pub fn table5_heap_sensitivity(options: &ExperimentOptions) -> Table {
+    let mut table = Table::new(
+        "Table 5: heap sensitivity (relative to G1)",
+        &["heap", "collector", "99.99% latency / G1", "time / G1"],
+    );
+    for &factor in sweep_factors(options) {
+        // Measure G1 first as the denominator.
+        let g1_latency = geomean_latency("g1", factor, options);
+        let g1_time = geomean_time("g1", factor, options);
+        for collector in comparison_collectors(options) {
+            let lat = geomean_latency(collector, factor, options);
+            let time = geomean_time(collector, factor, options);
+            table.row(vec![
+                format!("{factor}x"),
+                collector.to_string(),
+                match (lat, g1_latency) {
+                    (Some(l), Some(g)) if g > 0.0 => ratio(l / g),
+                    _ => "-".to_string(),
+                },
+                match (time, g1_time) {
+                    (Some(t), Some(g)) if g > 0.0 => ratio(t / g),
+                    _ => "-".to_string(),
+                },
+            ]);
+        }
+    }
+    table
+}
+
+fn geomean_latency(collector: &str, factor: f64, options: &ExperimentOptions) -> Option<f64> {
+    let mut product = 1.0f64;
+    let mut n = 0usize;
+    for spec in latency_suite() {
+        let r = run_workload(&spec, collector, &options.run_options(factor));
+        if r.skipped {
+            continue;
+        }
+        if let Some(d) = r.latency_percentile(99.99) {
+            product *= d.as_secs_f64().max(1e-6);
+            n += 1;
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(product.powf(1.0 / n as f64))
+    }
+}
+
+fn geomean_time(collector: &str, factor: f64, options: &ExperimentOptions) -> Option<f64> {
+    let mut product = 1.0f64;
+    let mut n = 0usize;
+    for spec in throughput_subset(options) {
+        let r = run_workload(&spec, collector, &options.run_options(factor));
+        if r.skipped {
+            continue;
+        }
+        product *= r.wall_time.as_secs_f64().max(1e-6);
+        n += 1;
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(product.powf(1.0 / n as f64))
+    }
+}
+
+/// The throughput benchmarks used for aggregate numbers.  Quick runs use a
+/// representative subset so experiments stay fast.
+fn throughput_subset(options: &ExperimentOptions) -> Vec<BenchmarkSpec> {
+    let all = suite();
+    if options.scale >= 0.75 {
+        all
+    } else {
+        let names: &[&str] = if options.scale < 0.05 {
+            &["lusearch", "avrora", "fop"]
+        } else {
+            &["lusearch", "h2", "avrora", "xalan", "fop", "batik"]
+        };
+        names.iter().filter_map(|n| benchmark(n)).collect()
+    }
+}
+
+/// **Table 6**: execution time for every benchmark at a 2× heap, with LXR,
+/// Shenandoah and ZGC normalised to G1.
+pub fn table6_throughput(options: &ExperimentOptions) -> (Table, Vec<WorkloadResult>) {
+    let mut table = Table::new(
+        "Table 6: throughput at 2x heap (time, normalised to G1)",
+        &["benchmark", "G1 (ms)", "LXR", "Shenandoah", "ZGC"],
+    );
+    let mut results = Vec::new();
+    for spec in throughput_subset(options) {
+        let g1 = run_workload(&spec, "g1", &options.run_options(2.0));
+        let g1_time = g1.wall_time;
+        let mut cells = vec![spec.name.to_string(), format!("{:.0}", g1_time.as_secs_f64() * 1e3)];
+        results.push(g1);
+        for collector in ["lxr", "shenandoah", "zgc"] {
+            let r = run_workload(&spec, collector, &options.run_options(2.0));
+            cells.push(if r.skipped || g1_time.is_zero() {
+                "-".to_string()
+            } else {
+                ratio(r.wall_time.as_secs_f64() / g1_time.as_secs_f64())
+            });
+            results.push(r);
+        }
+        table.row(cells);
+    }
+    (table, results)
+}
+
+/// **Table 7**: LXR breakdown — concurrency ablations, pause statistics,
+/// barrier take rates and reclamation breakdown.
+pub fn table7_breakdown(options: &ExperimentOptions) -> Table {
+    use lxr_runtime::WorkCounter;
+    let mut table = Table::new(
+        "Table 7: LXR breakdown (2x heap)",
+        &[
+            "benchmark", "time ms", "-SATB", "-LD", "STW", "pauses/s", "p50 ms", "p95 ms", "SATB%", "!lazy%",
+            "young%", "old%", "satb%", "copied/freed%",
+        ],
+    );
+    for spec in throughput_subset(options) {
+        let lxr = run_workload(&spec, "lxr", &options.run_options(2.0));
+        let no_satb = run_workload(&spec, "lxr-nosatb", &options.run_options(2.0));
+        let no_ld = run_workload(&spec, "lxr-nold", &options.run_options(2.0));
+        let stw = run_workload(&spec, "lxr-stw", &options.run_options(2.0));
+        let base = lxr.wall_time.as_secs_f64().max(1e-9);
+        let reclaimed_young = lxr
+            .gc
+            .counter(WorkCounter::ObjectsAllocated)
+            .saturating_sub(lxr.gc.counter(WorkCounter::YoungSurvivors));
+        let old = lxr.gc.counter(WorkCounter::RcDeaths);
+        let satb = lxr.gc.counter(WorkCounter::SatbDeaths);
+        let total_reclaimed = (reclaimed_young + old + satb).max(1);
+        let copied = lxr.gc.counter(WorkCounter::YoungObjectsCopied);
+        let freed_blocks = lxr.gc.counter(WorkCounter::YoungBlocksFreed).max(1);
+        table.row(vec![
+            spec.name.to_string(),
+            format!("{:.0}", lxr.wall_time.as_secs_f64() * 1e3),
+            ratio(no_satb.wall_time.as_secs_f64() / base),
+            ratio(no_ld.wall_time.as_secs_f64() / base),
+            ratio(stw.wall_time.as_secs_f64() / base),
+            format!("{:.1}", lxr.gc.pause_count() as f64 / lxr.wall_time.as_secs_f64()),
+            ms(lxr.gc.pause_percentile(50.0)),
+            ms(lxr.gc.pause_percentile(95.0)),
+            format!("{:.0}", lxr.gc.satb_pause_fraction() * 100.0),
+            format!("{:.0}", lxr.gc.lazy_incomplete_fraction() * 100.0),
+            format!("{:.1}", reclaimed_young as f64 / total_reclaimed as f64 * 100.0),
+            format!("{:.1}", old as f64 / total_reclaimed as f64 * 100.0),
+            format!("{:.1}", satb as f64 / total_reclaimed as f64 * 100.0),
+            format!("{:.1}", copied as f64 / freed_blocks as f64),
+        ]);
+    }
+    table
+}
+
+/// **Figure 7**: lower-bound overhead (LBO) of each collector at a range of
+/// heap sizes, for wall-clock time (a) and a total-cycles proxy (b).
+///
+/// Following Cai et al., the baseline for each benchmark/metric is the
+/// cheapest observed execution with its stop-the-world cost subtracted; a
+/// collector's LBO is its cost divided by that baseline.
+pub fn fig7_lbo(options: &ExperimentOptions) -> Table {
+    let collectors = ["serial", "parallel", "semispace", "g1", "shenandoah", "zgc", "lxr"];
+    let factors: &[f64] = if options.scale < 0.05 { &[2.0, 4.0] } else { &[2.0, 3.0, 4.0, 6.0] };
+    let specs = throughput_subset(options);
+    let mut table = Table::new(
+        "Figure 7: lower-bound overhead vs heap size (geomean over benchmarks)",
+        &["heap", "collector", "LBO time", "LBO cycles"],
+    );
+    for &factor in factors {
+        // Gather per-benchmark results for every collector at this heap.
+        let mut per_bench: Vec<Vec<(usize, WorkloadResult)>> = vec![Vec::new(); specs.len()];
+        for (ci, collector) in collectors.iter().enumerate() {
+            for (bi, spec) in specs.iter().enumerate() {
+                let r = run_workload(spec, collector, &options.run_options(factor));
+                per_bench[bi].push((ci, r));
+            }
+        }
+        // Baseline per benchmark: minimum (time - stw time) over collectors.
+        for (ci, collector) in collectors.iter().enumerate() {
+            let mut time_product = 1.0f64;
+            let mut cycles_product = 1.0f64;
+            let mut n = 0usize;
+            for (bi, spec) in specs.iter().enumerate() {
+                let baseline_time = per_bench[bi]
+                    .iter()
+                    .filter(|(_, r)| !r.skipped)
+                    .map(|(_, r)| (r.wall_time.saturating_sub(r.gc.stw_gc_time)).as_secs_f64())
+                    .fold(f64::INFINITY, f64::min);
+                let baseline_cycles = per_bench[bi]
+                    .iter()
+                    .filter(|(_, r)| !r.skipped)
+                    .map(|(_, r)| {
+                        (r.cycles_proxy(spec.mutator_threads)
+                            .saturating_sub(r.gc.stw_gc_time)
+                            .saturating_sub(r.gc.concurrent_gc_time))
+                        .as_secs_f64()
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                let Some((_, r)) = per_bench[bi].iter().find(|(c, _)| *c == ci) else { continue };
+                if r.skipped || baseline_time <= 0.0 || !baseline_time.is_finite() {
+                    continue;
+                }
+                time_product *= r.wall_time.as_secs_f64() / baseline_time;
+                cycles_product *= r.cycles_proxy(spec.mutator_threads).as_secs_f64() / baseline_cycles;
+                n += 1;
+            }
+            if n > 0 {
+                table.row(vec![
+                    format!("{factor}x"),
+                    collector.to_string(),
+                    ratio(time_product.powf(1.0 / n as f64)),
+                    ratio(cycles_product.powf(1.0 / n as f64)),
+                ]);
+            } else {
+                table.row(vec![format!("{factor}x"), collector.to_string(), "-".into(), "-".into()]);
+            }
+        }
+    }
+    table
+}
+
+/// **§5.3**: mutator overhead of the field-logging write barrier, measured
+/// as the slowdown of full-heap Immix with the barrier installed relative to
+/// Immix without it.
+pub fn barrier_overhead(options: &ExperimentOptions) -> Table {
+    let mut table = Table::new(
+        "Field barrier mutator overhead (Immix +/- barrier, 2x heap)",
+        &["benchmark", "immix ms", "immix+barrier ms", "overhead"],
+    );
+    for spec in throughput_subset(options) {
+        let plain = run_workload(&spec, "immix", &options.run_options(2.0));
+        let barrier = run_workload(&spec, "immix+barrier", &options.run_options(2.0));
+        table.row(vec![
+            spec.name.to_string(),
+            format!("{:.0}", plain.wall_time.as_secs_f64() * 1e3),
+            format!("{:.0}", barrier.wall_time.as_secs_f64() * 1e3),
+            ratio(barrier.wall_time.as_secs_f64() / plain.wall_time.as_secs_f64().max(1e-9)),
+        ]);
+    }
+    table
+}
+
+/// **§5.4**: sensitivity of LXR to block size, reference-count width and
+/// clean-block buffer size.
+pub fn sensitivity(options: &ExperimentOptions) -> Table {
+    use lxr_baselines::plan_registry;
+    use lxr_runtime::{Runtime, RuntimeOptions};
+
+    let spec = benchmark("lusearch").expect("lusearch spec");
+    let mut table = Table::new(
+        "Sensitivity: LXR configuration sweeps (lusearch, 2x heap)",
+        &["parameter", "value", "time ms"],
+    );
+    let mut run_with = |label: &str, value: String, configure: &dyn Fn(HeapConfig) -> HeapConfig| {
+        let heap_bytes = spec.heap_bytes(2.0);
+        let heap = configure(HeapConfig::with_heap_size(heap_bytes));
+        let runtime_options = RuntimeOptions::default()
+            .with_heap_config(heap)
+            .with_gc_workers(options.gc_workers)
+            .with_poll_interval(64);
+        let runtime = Runtime::with_factory(runtime_options, plan_registry("lxr"));
+        let start = std::time::Instant::now();
+        // Reuse the throughput engine via a short, single-threaded burst.
+        let mut mutator = runtime.bind_mutator();
+        let keeper_root = {
+            let keeper = mutator.alloc(64, 0, 0);
+            mutator.push_root(keeper)
+        };
+        let target = ((spec.total_alloc_mb as f64 * options.scale) * 1024.0 * 1024.0) as usize / 8;
+        let mut allocated = 0usize;
+        let mut i = 0u64;
+        while allocated < target {
+            let obj = mutator.alloc(1, 10, 0);
+            mutator.write_data(obj, 0, i);
+            allocated += 12;
+            if i % 100 == 0 {
+                let keeper = mutator.root(keeper_root);
+                mutator.write_ref(keeper, (i / 100) as usize % 64, obj);
+            }
+            i += 1;
+        }
+        let elapsed = start.elapsed();
+        drop(mutator);
+        runtime.shutdown();
+        table.row(vec![label.to_string(), value, format!("{:.0}", elapsed.as_secs_f64() * 1e3)]);
+    };
+
+    for block_kb in [16usize, 32, 64] {
+        run_with("block size", format!("{block_kb} KB"), &|h: HeapConfig| h.with_block_bytes(block_kb * 1024));
+    }
+    for rc_bits in [2u8, 4, 8] {
+        run_with("rc bits", format!("{rc_bits}"), &|h: HeapConfig| h.with_rc_bits(rc_bits));
+    }
+    for entries in [32usize, 64, 128] {
+        run_with("block buffer", format!("{entries}"), &|h: HeapConfig| h.with_block_buffer_entries(entries));
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_lists_all_benchmarks() {
+        assert_eq!(table3_characteristics().len(), 17);
+    }
+
+    #[test]
+    fn table1_runs_quickly_at_small_scale() {
+        let (table, results) = table1_lusearch(&ExperimentOptions { scale: 0.02, gc_workers: 2, seed: 1 });
+        assert_eq!(table.len(), 4);
+        assert!(results.iter().filter(|r| !r.skipped).count() >= 3);
+    }
+
+    #[test]
+    fn barrier_overhead_produces_a_ratio_per_benchmark() {
+        let opts = ExperimentOptions { scale: 0.05, gc_workers: 2, seed: 1 };
+        let table = barrier_overhead(&opts);
+        assert!(table.len() >= 5);
+    }
+}

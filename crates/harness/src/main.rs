@@ -1,0 +1,71 @@
+//! Command-line entry point for the experiment harness.
+//!
+//! ```text
+//! lxr-harness [--quick] [--scale S] <experiment>...
+//!
+//! experiments: table1 table3 table4 table5 table6 table7 fig7
+//!              barrier-overhead sensitivity all
+//! ```
+
+use lxr_harness::experiments::{self, ExperimentOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut options = ExperimentOptions::default();
+    let mut requested: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => options = ExperimentOptions::quick(),
+            "--scale" => {
+                let value = iter.next().expect("--scale requires a value");
+                options.scale = value.parse().expect("invalid scale");
+            }
+            "--gc-workers" => {
+                let value = iter.next().expect("--gc-workers requires a value");
+                options.gc_workers = value.parse().expect("invalid worker count");
+            }
+            other => requested.push(other.to_string()),
+        }
+    }
+    if requested.is_empty() {
+        requested.push("all".to_string());
+    }
+    let all = requested.iter().any(|r| r == "all");
+
+    println!("lxr-rs experiment harness (scale {:.2}, {} GC workers)", options.scale, options.gc_workers);
+    println!("substrate: simulated word-addressed Immix heap, {} mutator threads per workload\n", 4);
+
+    let want = |name: &str| all || requested.iter().any(|r| r == name);
+
+    if want("table3") {
+        println!("{}", experiments::table3_characteristics());
+    }
+    if want("table1") {
+        let (table, _) = experiments::table1_lusearch(&options);
+        println!("{table}");
+    }
+    if want("table4") {
+        let (table, _) = experiments::table4_latency(&options);
+        println!("{table}");
+    }
+    if want("table5") {
+        println!("{}", experiments::table5_heap_sensitivity(&options));
+    }
+    if want("table6") {
+        let (table, _) = experiments::table6_throughput(&options);
+        println!("{table}");
+    }
+    if want("table7") {
+        println!("{}", experiments::table7_breakdown(&options));
+    }
+    if want("fig7") {
+        println!("{}", experiments::fig7_lbo(&options));
+    }
+    if want("barrier-overhead") {
+        println!("{}", experiments::barrier_overhead(&options));
+    }
+    if want("sensitivity") {
+        println!("{}", experiments::sensitivity(&options));
+    }
+}

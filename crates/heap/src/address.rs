@@ -1,0 +1,168 @@
+//! Word-indexed heap addresses.
+//!
+//! The heap arena is an array of 8-byte words; an [`Address`] is an index
+//! into that array wrapped in a newtype so it cannot be confused with other
+//! integers (sizes, counts, block indices).  Address `0` is the null address
+//! and is never handed out by any allocator: block 0 of every heap is
+//! permanently reserved.
+
+use std::fmt;
+
+/// A word-granularity address within the managed heap arena.
+///
+/// Addresses are ordinary indices (not byte addresses); multiply by
+/// [`crate::BYTES_IN_WORD`] to obtain the byte offset.  `Address(0)` is the
+/// distinguished null address.
+///
+/// # Example
+///
+/// ```
+/// use lxr_heap::Address;
+/// let a = Address::from_word_index(128);
+/// assert_eq!(a.plus(4).word_index(), 132);
+/// assert!(!a.is_null());
+/// assert!(Address::NULL.is_null());
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Address(usize);
+
+impl Address {
+    /// The null address.  Never refers to an allocated object.
+    pub const NULL: Address = Address(0);
+
+    /// Creates an address from a raw word index.
+    #[inline]
+    pub const fn from_word_index(index: usize) -> Self {
+        Address(index)
+    }
+
+    /// The raw word index of this address.
+    #[inline]
+    pub const fn word_index(self) -> usize {
+        self.0
+    }
+
+    /// The byte offset of this address from the base of the arena.
+    #[inline]
+    pub const fn byte_offset(self) -> usize {
+        self.0 * crate::BYTES_IN_WORD
+    }
+
+    /// Returns `true` if this is the null address.
+    #[inline]
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the address `words` words above this one.
+    #[inline]
+    pub const fn plus(self, words: usize) -> Self {
+        Address(self.0 + words)
+    }
+
+    /// Returns the address `words` words below this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the subtraction underflows.
+    #[inline]
+    pub fn minus(self, words: usize) -> Self {
+        debug_assert!(self.0 >= words, "address underflow");
+        Address(self.0 - words)
+    }
+
+    /// The distance in words from `other` up to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `other > self`.
+    #[inline]
+    pub fn diff(self, other: Address) -> usize {
+        debug_assert!(self.0 >= other.0, "negative address difference");
+        self.0 - other.0
+    }
+
+    /// Rounds this address up to a multiple of `align` words.
+    #[inline]
+    pub const fn align_up(self, align: usize) -> Self {
+        Address((self.0 + align - 1) / align * align)
+    }
+
+    /// Rounds this address down to a multiple of `align` words.
+    #[inline]
+    pub const fn align_down(self, align: usize) -> Self {
+        Address(self.0 / align * align)
+    }
+
+    /// Returns `true` if this address is aligned to `align` words.
+    #[inline]
+    pub const fn is_aligned(self, align: usize) -> bool {
+        self.0 % align == 0
+    }
+}
+
+impl fmt::Debug for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "Address(NULL)")
+        } else {
+            write!(f, "Address({:#x})", self.byte_offset())
+        }
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_null() {
+        assert!(Address::NULL.is_null());
+        assert_eq!(Address::default(), Address::NULL);
+        assert!(!Address::from_word_index(1).is_null());
+    }
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let a = Address::from_word_index(100);
+        assert_eq!(a.plus(28).minus(28), a);
+        assert_eq!(a.plus(32).diff(a), 32);
+    }
+
+    #[test]
+    fn byte_offset_scales_by_word_size() {
+        assert_eq!(Address::from_word_index(5).byte_offset(), 40);
+    }
+
+    #[test]
+    fn alignment() {
+        let a = Address::from_word_index(33);
+        assert_eq!(a.align_up(32).word_index(), 64);
+        assert_eq!(a.align_down(32).word_index(), 32);
+        assert!(Address::from_word_index(64).is_aligned(32));
+        assert!(!a.is_aligned(2));
+        // Already aligned addresses are unchanged.
+        let b = Address::from_word_index(64);
+        assert_eq!(b.align_up(32), b);
+        assert_eq!(b.align_down(32), b);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(Address::from_word_index(4) < Address::from_word_index(5));
+        assert!(Address::NULL < Address::from_word_index(1));
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn minus_underflow_panics_in_debug() {
+        let _ = Address::from_word_index(1).minus(2);
+    }
+}

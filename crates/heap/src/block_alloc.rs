@@ -1,0 +1,333 @@
+//! The global block allocator.
+//!
+//! Mutator scalability in LXR comes from lock-free issue of clean and
+//! recycled blocks to thread-local allocators (§3.5).  The paper's design is
+//! a small, bounded, lock-free buffer of clean blocks (32 entries by
+//! default, explored up to 128 in the sensitivity analysis) refilled from a
+//! central free-block manager, plus an unbounded lock-free queue of recycled
+//! (partially free) blocks produced by sweeping.
+//!
+//! The central manager also serves contiguous multi-block requests for the
+//! [`crate::LargeObjectSpace`].
+
+use crate::{Block, BlockState, HeapSpace};
+use crossbeam::queue::{ArrayQueue, SegQueue};
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Global clean/recycled block lists shared by all thread-local allocators.
+///
+/// # Example
+///
+/// ```
+/// use lxr_heap::{BlockAllocator, HeapConfig, HeapSpace};
+/// use std::sync::Arc;
+/// let space = Arc::new(HeapSpace::new(HeapConfig::with_heap_size(1 << 20)));
+/// let blocks = BlockAllocator::new(space);
+/// let b = blocks.acquire_clean_block().unwrap();
+/// assert!(b.index() >= 1); // block 0 is reserved
+/// blocks.release_free_block(b);
+/// ```
+#[derive(Debug)]
+pub struct BlockAllocator {
+    space: Arc<HeapSpace>,
+    /// Bounded lock-free buffer of clean blocks (the paper's "lock-free
+    /// global block allocation buffer").
+    clean_buffer: ArrayQueue<Block>,
+    /// Unbounded lock-free queue of recycled (partially free) blocks.
+    recycled: SegQueue<Block>,
+    /// Central manager of free blocks, used to refill the clean buffer and
+    /// to serve contiguous requests.
+    central: Mutex<BTreeSet<usize>>,
+    /// Number of free (clean) blocks across the buffer and central manager.
+    free_blocks: AtomicUsize,
+    /// Number of blocks in the recycled queue.
+    recycled_blocks: AtomicUsize,
+    total_usable: usize,
+}
+
+impl BlockAllocator {
+    /// Creates the allocator with every usable block (1..num_blocks) free.
+    pub fn new(space: Arc<HeapSpace>) -> Self {
+        let geometry = space.geometry();
+        let config = space.config().clone();
+        let total_usable = geometry.num_blocks() - 1;
+        let central: BTreeSet<usize> = (1..geometry.num_blocks()).collect();
+        BlockAllocator {
+            space,
+            clean_buffer: ArrayQueue::new(config.block_buffer_entries),
+            recycled: SegQueue::new(),
+            central: Mutex::new(central),
+            free_blocks: AtomicUsize::new(total_usable),
+            recycled_blocks: AtomicUsize::new(0),
+            total_usable,
+        }
+    }
+
+    /// Total number of usable blocks managed by this allocator.
+    pub fn total_blocks(&self) -> usize {
+        self.total_usable
+    }
+
+    /// Number of clean (fully free) blocks currently available.
+    pub fn free_block_count(&self) -> usize {
+        self.free_blocks.load(Ordering::Relaxed)
+    }
+
+    /// Number of recycled (partially free) blocks currently queued.
+    pub fn recycled_block_count(&self) -> usize {
+        self.recycled_blocks.load(Ordering::Relaxed)
+    }
+
+    /// Number of blocks that are neither clean nor queued for recycling
+    /// (i.e. fully owned by live data or by allocators).
+    pub fn used_block_count(&self) -> usize {
+        self.total_usable
+            .saturating_sub(self.free_block_count())
+            .saturating_sub(self.recycled_block_count())
+    }
+
+    /// Acquires one clean block, refilling the lock-free buffer from the
+    /// central manager when it runs dry.  Returns `None` when the heap has
+    /// no clean blocks left.
+    ///
+    /// The returned block's state is set to [`BlockState::Young`]: a clean
+    /// block handed to an allocator will contain only young objects until
+    /// the next collection (§3.3.2, "all young evacuation").
+    pub fn acquire_clean_block(&self) -> Option<Block> {
+        let block = match self.clean_buffer.pop() {
+            Some(b) => b,
+            None => {
+                let mut central = self.central.lock();
+                // Refill the buffer while holding the lock once, then take
+                // one block for ourselves.
+                let take = self.clean_buffer.capacity();
+                for _ in 0..take {
+                    match central.iter().next().copied() {
+                        Some(idx) => {
+                            central.remove(&idx);
+                            if self.clean_buffer.push(Block::from_index(idx)).is_err() {
+                                central.insert(idx);
+                                break;
+                            }
+                        }
+                        None => break,
+                    }
+                }
+                drop(central);
+                self.clean_buffer.pop()?
+            }
+        };
+        self.free_blocks.fetch_sub(1, Ordering::Relaxed);
+        self.space.block_states().set(block, BlockState::Young);
+        Some(block)
+    }
+
+    /// Acquires one recycled (partially free) block, if any is queued.
+    ///
+    /// The returned block's state is set to [`BlockState::Recycled`].
+    pub fn acquire_recycled_block(&self) -> Option<Block> {
+        let block = self.recycled.pop()?;
+        self.recycled_blocks.fetch_sub(1, Ordering::Relaxed);
+        self.space.block_states().set(block, BlockState::Recycled);
+        Some(block)
+    }
+
+    /// Returns a completely free block to the allocator (from sweeping or
+    /// evacuation).  Sets its state to [`BlockState::Free`].
+    pub fn release_free_block(&self, block: Block) {
+        debug_assert!(block.index() != 0, "block 0 is reserved");
+        self.space.block_states().set(block, BlockState::Free);
+        self.free_blocks.fetch_add(1, Ordering::Relaxed);
+        if self.clean_buffer.push(block).is_err() {
+            self.central.lock().insert(block.index());
+        }
+    }
+
+    /// Queues a partially free block for reuse by allocators.
+    pub fn release_recycled_block(&self, block: Block) {
+        debug_assert!(block.index() != 0, "block 0 is reserved");
+        self.recycled_blocks.fetch_add(1, Ordering::Relaxed);
+        self.recycled.push(block);
+    }
+
+    /// Acquires `count` contiguous blocks (for a large object), returning
+    /// the first block of the run.  Contiguous runs are only served from the
+    /// central manager, so a heap whose free blocks are all sitting in the
+    /// clean buffer may need to spill them back first; this is handled
+    /// internally.
+    pub fn acquire_contiguous(&self, count: usize) -> Option<Block> {
+        assert!(count > 0);
+        let mut central = self.central.lock();
+        // Pull buffered blocks back into the central set so they are visible
+        // to the contiguity search.
+        while let Some(b) = self.clean_buffer.pop() {
+            central.insert(b.index());
+        }
+        let mut run_start = None;
+        let mut run_len = 0usize;
+        let mut prev: Option<usize> = None;
+        for &idx in central.iter() {
+            match prev {
+                Some(p) if idx == p + 1 => run_len += 1,
+                _ => {
+                    run_start = Some(idx);
+                    run_len = 1;
+                }
+            }
+            prev = Some(idx);
+            if run_len == count {
+                let start = run_start.unwrap();
+                for i in start..start + count {
+                    central.remove(&i);
+                }
+                drop(central);
+                self.free_blocks.fetch_sub(count, Ordering::Relaxed);
+                for i in start..start + count {
+                    self.space.block_states().set(Block::from_index(i), BlockState::Los);
+                }
+                return Some(Block::from_index(start));
+            }
+        }
+        None
+    }
+
+    /// Releases a contiguous run previously obtained from
+    /// [`acquire_contiguous`](Self::acquire_contiguous).
+    pub fn release_contiguous(&self, start: Block, count: usize) {
+        let mut central = self.central.lock();
+        for i in start.index()..start.index() + count {
+            self.space.block_states().set(Block::from_index(i), BlockState::Free);
+            central.insert(i);
+        }
+        drop(central);
+        self.free_blocks.fetch_add(count, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HeapConfig;
+
+    fn allocator(heap_bytes: usize) -> BlockAllocator {
+        let space = Arc::new(HeapSpace::new(HeapConfig::with_heap_size(heap_bytes)));
+        BlockAllocator::new(space)
+    }
+
+    #[test]
+    fn all_usable_blocks_start_free() {
+        let a = allocator(1 << 20);
+        assert_eq!(a.total_blocks(), 32);
+        assert_eq!(a.free_block_count(), 32);
+        assert_eq!(a.recycled_block_count(), 0);
+        assert_eq!(a.used_block_count(), 0);
+    }
+
+    #[test]
+    fn acquire_release_round_trip() {
+        let a = allocator(1 << 20);
+        let b = a.acquire_clean_block().unwrap();
+        assert_eq!(a.space.block_states().get(b), BlockState::Young);
+        assert_eq!(a.free_block_count(), 31);
+        a.release_free_block(b);
+        assert_eq!(a.free_block_count(), 32);
+        assert_eq!(a.space.block_states().get(b), BlockState::Free);
+    }
+
+    #[test]
+    fn heap_exhaustion_returns_none() {
+        let a = allocator(256 * 1024); // 8 usable blocks
+        let mut got = Vec::new();
+        while let Some(b) = a.acquire_clean_block() {
+            got.push(b);
+        }
+        assert_eq!(got.len(), 8);
+        assert_eq!(a.free_block_count(), 0);
+        assert!(a.acquire_clean_block().is_none());
+        // Blocks are all distinct and never block 0.
+        let mut idx: Vec<_> = got.iter().map(|b| b.index()).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        assert_eq!(idx.len(), 8);
+        assert!(!idx.contains(&0));
+    }
+
+    #[test]
+    fn recycled_blocks_cycle_through_queue() {
+        let a = allocator(1 << 20);
+        let b = a.acquire_clean_block().unwrap();
+        assert!(a.acquire_recycled_block().is_none());
+        a.release_recycled_block(b);
+        assert_eq!(a.recycled_block_count(), 1);
+        let r = a.acquire_recycled_block().unwrap();
+        assert_eq!(r, b);
+        assert_eq!(a.space.block_states().get(r), BlockState::Recycled);
+    }
+
+    #[test]
+    fn contiguous_acquisition_marks_los_blocks() {
+        let a = allocator(1 << 20);
+        let start = a.acquire_contiguous(4).unwrap();
+        for i in 0..4 {
+            assert_eq!(
+                a.space.block_states().get(Block::from_index(start.index() + i)),
+                BlockState::Los
+            );
+        }
+        assert_eq!(a.free_block_count(), 28);
+        a.release_contiguous(start, 4);
+        assert_eq!(a.free_block_count(), 32);
+    }
+
+    #[test]
+    fn contiguous_respects_fragmentation() {
+        let a = allocator(256 * 1024); // 8 usable blocks
+        // Take all blocks, then free every other one: no run of 2 exists.
+        let blocks: Vec<Block> = std::iter::from_fn(|| a.acquire_clean_block()).collect();
+        for (i, b) in blocks.iter().enumerate() {
+            if i % 2 == 0 {
+                a.release_free_block(*b);
+            }
+        }
+        assert!(a.acquire_contiguous(2).is_none());
+        assert!(a.acquire_contiguous(1).is_some());
+    }
+
+    #[test]
+    fn concurrent_acquisition_yields_distinct_blocks() {
+        let a = Arc::new(allocator(4 << 20)); // 128 usable blocks
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || {
+                    let mut mine = Vec::new();
+                    for _ in 0..16 {
+                        if let Some(b) = a.acquire_clean_block() {
+                            mine.push(b.index());
+                        }
+                    }
+                    mine
+                })
+            })
+            .collect();
+        let mut all: Vec<usize> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "no block was handed out twice");
+        assert_eq!(n, 128);
+    }
+
+    #[test]
+    fn used_block_count_tracks_outstanding_blocks() {
+        let a = allocator(1 << 20);
+        let b1 = a.acquire_clean_block().unwrap();
+        let _b2 = a.acquire_clean_block().unwrap();
+        assert_eq!(a.used_block_count(), 2);
+        a.release_recycled_block(b1);
+        assert_eq!(a.used_block_count(), 1);
+    }
+}

@@ -1,0 +1,188 @@
+//! Heap configuration.
+//!
+//! The paper's sensitivity analysis (§5.4) varies the block size (16/32/64
+//! KB), the number of reference-count bits (2/4/8) and the size of the
+//! lock-free clean-block buffer (32/64/128 entries), so all of these are
+//! runtime-configurable rather than compile-time constants.
+
+use crate::{BYTES_IN_WORD, GRANULE_WORDS};
+
+/// Configuration of the managed heap: total size and structural parameters.
+///
+/// The default configuration matches the paper's default LXR configuration
+/// (§4): 32 KB blocks, 256 B lines, a 2-bit reference count, a 32-entry
+/// lock-free clean-block buffer and a 16 KB large-object threshold (half a
+/// block).
+///
+/// # Example
+///
+/// ```
+/// use lxr_heap::HeapConfig;
+/// let config = HeapConfig::with_heap_size(64 << 20);
+/// assert_eq!(config.block_bytes, 32 * 1024);
+/// assert_eq!(config.words_per_block(), 4096);
+/// assert_eq!(config.lines_per_block(), 128);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HeapConfig {
+    /// Total heap size in bytes (rounded up to a whole number of blocks).
+    pub heap_bytes: usize,
+    /// Block size in bytes (default 32 KB).
+    pub block_bytes: usize,
+    /// Line size in bytes (default 256 B).
+    pub line_bytes: usize,
+    /// Number of bits in each reference count (2, 4 or 8; default 2).
+    pub rc_bits: u8,
+    /// Capacity of the global lock-free clean-block buffer, in blocks
+    /// (default 32 entries, roughly 1 MB of clean blocks; the paper's
+    /// default "4 MB buffer" corresponds to 128 entries at 32 KB blocks and
+    /// is explored in the sensitivity analysis).
+    pub block_buffer_entries: usize,
+    /// Objects at least this many bytes are delegated to the large object
+    /// space (default: half a block).
+    pub large_object_bytes: usize,
+}
+
+impl HeapConfig {
+    /// Default structural parameters with the given total heap size in bytes.
+    pub fn with_heap_size(heap_bytes: usize) -> Self {
+        HeapConfig {
+            heap_bytes,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the block size in bytes, keeping the large-object threshold at
+    /// half a block.
+    pub fn with_block_bytes(mut self, block_bytes: usize) -> Self {
+        assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(block_bytes >= 2 * self.line_bytes, "blocks must hold at least two lines");
+        self.block_bytes = block_bytes;
+        self.large_object_bytes = block_bytes / 2;
+        self
+    }
+
+    /// Sets the number of reference-count bits (2, 4 or 8).
+    pub fn with_rc_bits(mut self, rc_bits: u8) -> Self {
+        assert!(matches!(rc_bits, 2 | 4 | 8), "rc bits must be 2, 4 or 8");
+        self.rc_bits = rc_bits;
+        self
+    }
+
+    /// Sets the capacity of the lock-free clean-block buffer.
+    pub fn with_block_buffer_entries(mut self, entries: usize) -> Self {
+        assert!(entries > 0, "block buffer must have at least one entry");
+        self.block_buffer_entries = entries;
+        self
+    }
+
+    /// Heap size in words.
+    pub fn heap_words(&self) -> usize {
+        self.num_blocks() * self.words_per_block()
+    }
+
+    /// Number of words per block.
+    pub fn words_per_block(&self) -> usize {
+        self.block_bytes / BYTES_IN_WORD
+    }
+
+    /// Number of words per line.
+    pub fn words_per_line(&self) -> usize {
+        self.line_bytes / BYTES_IN_WORD
+    }
+
+    /// Number of lines per block.
+    pub fn lines_per_block(&self) -> usize {
+        self.block_bytes / self.line_bytes
+    }
+
+    /// Number of whole blocks in the heap (the heap size is rounded up).
+    pub fn num_blocks(&self) -> usize {
+        // Block 0 is reserved so that the null address never aliases an
+        // object; add it on top of the requested size.
+        self.heap_bytes.div_ceil(self.block_bytes) + 1
+    }
+
+    /// Number of side-metadata granules in the heap (one per 16 bytes).
+    pub fn num_granules(&self) -> usize {
+        self.heap_words() / GRANULE_WORDS
+    }
+
+    /// The large-object threshold in words.
+    pub fn large_object_words(&self) -> usize {
+        self.large_object_bytes / BYTES_IN_WORD
+    }
+}
+
+impl Default for HeapConfig {
+    fn default() -> Self {
+        HeapConfig {
+            heap_bytes: 32 << 20,
+            block_bytes: 32 * 1024,
+            line_bytes: 256,
+            rc_bits: 2,
+            block_buffer_entries: 32,
+            large_object_bytes: 16 * 1024,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_configuration() {
+        let c = HeapConfig::default();
+        assert_eq!(c.block_bytes, 32 * 1024);
+        assert_eq!(c.line_bytes, 256);
+        assert_eq!(c.rc_bits, 2);
+        assert_eq!(c.block_buffer_entries, 32);
+        assert_eq!(c.large_object_bytes, 16 * 1024);
+        assert_eq!(c.words_per_block(), 4096);
+        assert_eq!(c.words_per_line(), 32);
+        assert_eq!(c.lines_per_block(), 128);
+    }
+
+    #[test]
+    fn heap_rounds_up_to_blocks_and_reserves_block_zero() {
+        let c = HeapConfig::with_heap_size(100 * 1024); // not a multiple of 32 KB
+        assert_eq!(c.num_blocks(), 4 + 1);
+        assert_eq!(c.heap_words(), 5 * 4096);
+    }
+
+    #[test]
+    fn block_size_sensitivity_configurations() {
+        for kb in [16usize, 32, 64] {
+            let c = HeapConfig::default().with_block_bytes(kb * 1024);
+            assert_eq!(c.block_bytes, kb * 1024);
+            assert_eq!(c.large_object_bytes, kb * 512);
+            assert_eq!(c.lines_per_block(), kb * 4);
+        }
+    }
+
+    #[test]
+    fn rc_bits_sensitivity_configurations() {
+        for bits in [2u8, 4, 8] {
+            assert_eq!(HeapConfig::default().with_rc_bits(bits).rc_bits, bits);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_power_of_two_blocks() {
+        let _ = HeapConfig::default().with_block_bytes(40 * 1024);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_invalid_rc_bits() {
+        let _ = HeapConfig::default().with_rc_bits(3);
+    }
+
+    #[test]
+    fn granule_count_covers_heap() {
+        let c = HeapConfig::with_heap_size(1 << 20);
+        assert_eq!(c.num_granules() * GRANULE_WORDS, c.heap_words());
+    }
+}

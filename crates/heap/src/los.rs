@@ -1,0 +1,206 @@
+//! The large object space.
+//!
+//! Objects of at least half a block (16 KB by default) are delegated to a
+//! large object allocator (§3.1).  Large objects occupy whole, contiguous
+//! runs of blocks obtained from the central block manager; their blocks are
+//! marked [`crate::BlockState::Los`] and are returned to the free pool when
+//! the object dies.
+
+use crate::{Address, Block, BlockAllocator, HeapSpace};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Metadata for one large object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LargeObject {
+    /// First block of the run backing the object.
+    pub first_block: Block,
+    /// Number of contiguous blocks in the run.
+    pub num_blocks: usize,
+    /// The requested size in words (not rounded to blocks).
+    pub size_words: usize,
+}
+
+/// Allocator and registry for large objects.
+///
+/// # Example
+///
+/// ```
+/// use lxr_heap::{BlockAllocator, HeapConfig, HeapSpace, LargeObjectSpace};
+/// use std::sync::Arc;
+/// let space = Arc::new(HeapSpace::new(HeapConfig::with_heap_size(1 << 20)));
+/// let blocks = Arc::new(BlockAllocator::new(space.clone()));
+/// let los = LargeObjectSpace::new(space, blocks);
+/// let obj = los.alloc(5000).unwrap(); // 5000 words = 40 KB: two blocks
+/// assert_eq!(los.size_of(obj), Some(5000));
+/// los.free(obj);
+/// assert_eq!(los.size_of(obj), None);
+/// ```
+#[derive(Debug)]
+pub struct LargeObjectSpace {
+    space: Arc<HeapSpace>,
+    blocks: Arc<BlockAllocator>,
+    objects: Mutex<HashMap<usize, LargeObject>>,
+    live_words: AtomicUsize,
+}
+
+impl LargeObjectSpace {
+    /// Creates an empty large object space over the given heap.
+    pub fn new(space: Arc<HeapSpace>, blocks: Arc<BlockAllocator>) -> Self {
+        LargeObjectSpace {
+            space,
+            blocks,
+            objects: Mutex::new(HashMap::new()),
+            live_words: AtomicUsize::new(0),
+        }
+    }
+
+    /// Allocates a large object of `size_words` words, returning the address
+    /// of its first word, or `None` if no contiguous run of blocks is
+    /// available.
+    pub fn alloc(&self, size_words: usize) -> Option<Address> {
+        let words_per_block = self.space.geometry().words_per_block();
+        let num_blocks = size_words.div_ceil(words_per_block);
+        let first_block = self.blocks.acquire_contiguous(num_blocks)?;
+        let start = self.space.geometry().block_start(first_block);
+        self.space.zero_range(start, num_blocks * words_per_block);
+        let object = LargeObject { first_block, num_blocks, size_words };
+        self.objects.lock().insert(start.word_index(), object);
+        self.live_words.fetch_add(size_words, Ordering::Relaxed);
+        self.space.note_allocation(size_words);
+        Some(start)
+    }
+
+    /// Frees the large object starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not the start of a live large object.
+    pub fn free(&self, addr: Address) {
+        let object = self
+            .objects
+            .lock()
+            .remove(&addr.word_index())
+            .expect("freeing an address that is not a live large object");
+        self.blocks.release_contiguous(object.first_block, object.num_blocks);
+        self.live_words.fetch_sub(object.size_words, Ordering::Relaxed);
+    }
+
+    /// Returns the size in words of the large object starting at `addr`, or
+    /// `None` if no such object exists.
+    pub fn size_of(&self, addr: Address) -> Option<usize> {
+        self.objects.lock().get(&addr.word_index()).map(|o| o.size_words)
+    }
+
+    /// Returns `true` if `addr` is the start of a live large object.
+    pub fn contains(&self, addr: Address) -> bool {
+        self.objects.lock().contains_key(&addr.word_index())
+    }
+
+    /// Number of live large objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.lock().len()
+    }
+
+    /// Total words held live by large objects.
+    pub fn live_words(&self) -> usize {
+        self.live_words.load(Ordering::Relaxed)
+    }
+
+    /// Number of blocks consumed by live large objects.
+    pub fn blocks_in_use(&self) -> usize {
+        self.objects.lock().values().map(|o| o.num_blocks).sum()
+    }
+
+    /// A snapshot of every live large object (address of the first word and
+    /// its metadata).  Collectors iterate this during sweeps.
+    pub fn snapshot(&self) -> Vec<(Address, LargeObject)> {
+        self.objects
+            .lock()
+            .iter()
+            .map(|(&idx, &obj)| (Address::from_word_index(idx), obj))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BlockState, HeapConfig};
+
+    fn los(heap_bytes: usize) -> (Arc<HeapSpace>, Arc<BlockAllocator>, LargeObjectSpace) {
+        let space = Arc::new(HeapSpace::new(HeapConfig::with_heap_size(heap_bytes)));
+        let blocks = Arc::new(BlockAllocator::new(space.clone()));
+        let los = LargeObjectSpace::new(space.clone(), blocks.clone());
+        (space, blocks, los)
+    }
+
+    #[test]
+    fn allocation_spans_enough_blocks() {
+        let (space, _, los) = los(1 << 20);
+        let addr = los.alloc(5000).unwrap(); // 2 blocks
+        let obj = los.snapshot()[0].1;
+        assert_eq!(obj.num_blocks, 2);
+        assert_eq!(los.blocks_in_use(), 2);
+        for i in 0..2 {
+            let b = Block::from_index(obj.first_block.index() + i);
+            assert_eq!(space.block_states().get(b), BlockState::Los);
+        }
+        assert_eq!(space.geometry().block_start(obj.first_block), addr);
+    }
+
+    #[test]
+    fn free_returns_blocks_to_the_pool() {
+        let (_, blocks, los) = los(1 << 20);
+        let before = blocks.free_block_count();
+        let addr = los.alloc(10_000).unwrap(); // 3 blocks
+        assert_eq!(blocks.free_block_count(), before - 3);
+        los.free(addr);
+        assert_eq!(blocks.free_block_count(), before);
+        assert_eq!(los.object_count(), 0);
+        assert_eq!(los.live_words(), 0);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let (_, _, los) = los(256 * 1024); // 8 usable blocks
+        assert!(los.alloc(8 * 4096).is_some());
+        assert!(los.alloc(4096).is_none());
+    }
+
+    #[test]
+    fn lookup_and_contains() {
+        let (_, _, los) = los(1 << 20);
+        let a = los.alloc(4096).unwrap();
+        let b = los.alloc(9000).unwrap();
+        assert!(los.contains(a));
+        assert!(los.contains(b));
+        assert_eq!(los.size_of(a), Some(4096));
+        assert_eq!(los.size_of(b), Some(9000));
+        assert!(!los.contains(a.plus(1)), "only the object start address is registered");
+        assert_eq!(los.object_count(), 2);
+        assert_eq!(los.live_words(), 13_096);
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_free_panics() {
+        let (_, _, los) = los(1 << 20);
+        let a = los.alloc(4096).unwrap();
+        los.free(a);
+        los.free(a);
+    }
+
+    #[test]
+    fn memory_is_zeroed_on_allocation() {
+        let (space, _, los) = los(1 << 20);
+        let a = los.alloc(4096).unwrap();
+        space.store(a, 99);
+        los.free(a);
+        // Re-allocate; the same run may be returned and must be zeroed.
+        let b = los.alloc(4096).unwrap();
+        assert_eq!(space.load(b), 0);
+    }
+}

@@ -1,0 +1,346 @@
+//! Densely packed per-granule side metadata.
+//!
+//! OpenJDK lacks header bits for a reference count, so LXR stores reference
+//! counts — and all of its other per-object metadata (unlogged bits, SATB
+//! mark bits) — in side tables reachable from an object address by simple
+//! address arithmetic (§3.2.1).  [`SideMetadata`] is the generic table those
+//! collectors instantiate: `bits_per_entry` bits of metadata for every
+//! `granule_words` words of heap, packed into bytes and accessed atomically.
+
+use crate::Address;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// A packed side-metadata table: `bits_per_entry` bits per `granule_words`
+/// heap words.
+///
+/// Entries of 1, 2, 4 and 8 bits are supported (they must divide 8 so that
+/// an entry never straddles a byte).  All accesses are atomic at byte
+/// granularity, so concurrent updates to neighbouring entries are safe.
+///
+/// # Example
+///
+/// A 2-bit reference count per 16 bytes of heap (the paper's default):
+///
+/// ```
+/// use lxr_heap::{Address, SideMetadata};
+/// // 1024 heap words, granule = 2 words, 2 bits per granule.
+/// let rc = SideMetadata::new(1024, 2, 2);
+/// let obj = Address::from_word_index(64);
+/// assert_eq!(rc.load(obj), 0);
+/// assert_eq!(rc.fetch_update(obj, |v| Some(v + 1)), Ok(0));
+/// assert_eq!(rc.load(obj), 1);
+/// ```
+#[derive(Debug)]
+pub struct SideMetadata {
+    table: Box<[AtomicU8]>,
+    granule_words: usize,
+    bits_per_entry: u8,
+    entries_per_byte: usize,
+    mask: u8,
+}
+
+impl SideMetadata {
+    /// Creates a zeroed table covering `heap_words` words of heap with
+    /// `bits_per_entry` bits for every `granule_words` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_entry` is not 1, 2, 4 or 8, or if
+    /// `granule_words` is zero.
+    pub fn new(heap_words: usize, granule_words: usize, bits_per_entry: u8) -> Self {
+        assert!(matches!(bits_per_entry, 1 | 2 | 4 | 8), "entries must be 1, 2, 4 or 8 bits");
+        assert!(granule_words > 0, "granule must be non-empty");
+        let entries = heap_words.div_ceil(granule_words);
+        let entries_per_byte = 8 / bits_per_entry as usize;
+        let bytes = entries.div_ceil(entries_per_byte);
+        let table = (0..bytes).map(|_| AtomicU8::new(0)).collect();
+        SideMetadata {
+            table,
+            granule_words,
+            bits_per_entry,
+            entries_per_byte,
+            mask: if bits_per_entry == 8 { 0xff } else { (1u8 << bits_per_entry) - 1 },
+        }
+    }
+
+    /// The number of bits per entry.
+    pub fn bits_per_entry(&self) -> u8 {
+        self.bits_per_entry
+    }
+
+    /// The number of heap words covered by one entry.
+    pub fn granule_words(&self) -> usize {
+        self.granule_words
+    }
+
+    /// The maximum representable entry value.
+    pub fn max_value(&self) -> u8 {
+        self.mask
+    }
+
+    /// Total metadata size in bytes (used to report metadata overhead).
+    pub fn size_bytes(&self) -> usize {
+        self.table.len()
+    }
+
+    #[inline]
+    fn locate(&self, addr: Address) -> (usize, u32) {
+        let entry = addr.word_index() / self.granule_words;
+        let byte = entry / self.entries_per_byte;
+        let shift = (entry % self.entries_per_byte) as u32 * self.bits_per_entry as u32;
+        (byte, shift)
+    }
+
+    /// Loads the entry covering `addr`.
+    #[inline]
+    pub fn load(&self, addr: Address) -> u8 {
+        let (byte, shift) = self.locate(addr);
+        (self.table[byte].load(Ordering::Acquire) >> shift) & self.mask
+    }
+
+    /// Stores `value` into the entry covering `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `value` does not fit in the entry.
+    #[inline]
+    pub fn store(&self, addr: Address, value: u8) {
+        debug_assert!(value <= self.mask, "value {value} does not fit in {} bits", self.bits_per_entry);
+        let (byte, shift) = self.locate(addr);
+        let mut current = self.table[byte].load(Ordering::Relaxed);
+        loop {
+            let new = (current & !(self.mask << shift)) | (value << shift);
+            match self.table[byte].compare_exchange_weak(current, new, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Atomically updates the entry covering `addr` with `f`.
+    ///
+    /// `f` receives the current entry value and returns the new value, or
+    /// `None` to abort.  Returns `Ok(previous)` if the update was applied and
+    /// `Err(current)` if `f` aborted.
+    #[inline]
+    pub fn fetch_update<F>(&self, addr: Address, mut f: F) -> Result<u8, u8>
+    where
+        F: FnMut(u8) -> Option<u8>,
+    {
+        let (byte, shift) = self.locate(addr);
+        let mut current = self.table[byte].load(Ordering::Acquire);
+        loop {
+            let old = (current >> shift) & self.mask;
+            let new = match f(old) {
+                Some(v) => {
+                    debug_assert!(v <= self.mask);
+                    v
+                }
+                None => return Err(old),
+            };
+            let new_byte = (current & !(self.mask << shift)) | (new << shift);
+            match self.table[byte].compare_exchange_weak(current, new_byte, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return Ok(old),
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Atomically sets the entry covering `addr` from 0 to `value`.
+    /// Returns `true` if this call performed the transition.
+    #[inline]
+    pub fn try_set_from_zero(&self, addr: Address, value: u8) -> bool {
+        self.fetch_update(addr, |v| if v == 0 { Some(value) } else { None }).is_ok()
+    }
+
+    /// Returns `true` if every entry covering the word range
+    /// `[start, start + words)` is zero.
+    pub fn range_is_zero(&self, start: Address, words: usize) -> bool {
+        let mut w = 0;
+        while w < words {
+            if self.load(start.plus(w)) != 0 {
+                return false;
+            }
+            w += self.granule_words;
+        }
+        true
+    }
+
+    /// Zeroes every entry covering the word range `[start, start + words)`.
+    ///
+    /// The range is assumed to be granule-aligned (it always is for line and
+    /// block ranges).
+    pub fn clear_range(&self, start: Address, words: usize) {
+        let mut w = 0;
+        while w < words {
+            self.store(start.plus(w), 0);
+            w += self.granule_words;
+        }
+    }
+
+    /// Zeroes the whole table.
+    pub fn clear_all(&self) {
+        for byte in self.table.iter() {
+            byte.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Sets every entry in the table to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `value` does not fit in an entry.
+    pub fn fill_all(&self, value: u8) {
+        debug_assert!(value <= self.mask);
+        let mut byte_value = 0u8;
+        for i in 0..self.entries_per_byte {
+            byte_value |= value << (i as u32 * self.bits_per_entry as u32);
+        }
+        for byte in self.table.iter() {
+            byte.store(byte_value, Ordering::Relaxed);
+        }
+    }
+
+    /// Sums all entries covering the word range (used to estimate live bytes
+    /// per block from the RC table, §3.3.2).
+    pub fn sum_range(&self, start: Address, words: usize) -> usize {
+        let mut sum = 0usize;
+        let mut w = 0;
+        while w < words {
+            sum += self.load(start.plus(w)) as usize;
+            w += self.granule_words;
+        }
+        sum
+    }
+
+    /// Counts the non-zero entries covering the word range.
+    pub fn count_nonzero_range(&self, start: Address, words: usize) -> usize {
+        let mut n = 0usize;
+        let mut w = 0;
+        while w < words {
+            if self.load(start.plus(w)) != 0 {
+                n += 1;
+            }
+            w += self.granule_words;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_bit_entries_pack_four_per_byte() {
+        let m = SideMetadata::new(1024, 2, 2);
+        // 1024 words / 2 words per granule = 512 entries = 128 bytes.
+        assert_eq!(m.size_bytes(), 128);
+        assert_eq!(m.max_value(), 3);
+    }
+
+    #[test]
+    fn line_metadata_density_matches_paper() {
+        // §3.2.1: with 2-bit counts, each 256 B line consumes 4 bytes of metadata.
+        let words_per_line = 32;
+        let m = SideMetadata::new(words_per_line, 2, 2);
+        assert_eq!(m.size_bytes(), 4);
+    }
+
+    #[test]
+    fn store_load_round_trip_neighbouring_entries() {
+        let m = SideMetadata::new(64, 2, 2);
+        let a = Address::from_word_index(0);
+        let b = Address::from_word_index(2);
+        let c = Address::from_word_index(4);
+        m.store(a, 3);
+        m.store(b, 1);
+        m.store(c, 2);
+        assert_eq!(m.load(a), 3);
+        assert_eq!(m.load(b), 1);
+        assert_eq!(m.load(c), 2);
+        // Overwrite does not disturb neighbours.
+        m.store(b, 0);
+        assert_eq!(m.load(a), 3);
+        assert_eq!(m.load(b), 0);
+        assert_eq!(m.load(c), 2);
+    }
+
+    #[test]
+    fn fetch_update_saturating_increment() {
+        let m = SideMetadata::new(64, 2, 2);
+        let a = Address::from_word_index(10);
+        for expected_old in 0..3 {
+            assert_eq!(m.fetch_update(a, |v| if v < 3 { Some(v + 1) } else { None }), Ok(expected_old));
+        }
+        // Stuck at 3.
+        assert_eq!(m.fetch_update(a, |v| if v < 3 { Some(v + 1) } else { None }), Err(3));
+        assert_eq!(m.load(a), 3);
+    }
+
+    #[test]
+    fn try_set_from_zero_is_exclusive() {
+        let m = SideMetadata::new(64, 1, 1);
+        let a = Address::from_word_index(33);
+        assert!(m.try_set_from_zero(a, 1));
+        assert!(!m.try_set_from_zero(a, 1));
+    }
+
+    #[test]
+    fn range_helpers() {
+        let m = SideMetadata::new(256, 2, 2);
+        let start = Address::from_word_index(32);
+        assert!(m.range_is_zero(start, 32));
+        m.store(start.plus(6), 2);
+        m.store(start.plus(30), 1);
+        assert!(!m.range_is_zero(start, 32));
+        assert_eq!(m.sum_range(start, 32), 3);
+        assert_eq!(m.count_nonzero_range(start, 32), 2);
+        m.clear_range(start, 32);
+        assert!(m.range_is_zero(start, 32));
+    }
+
+    #[test]
+    fn eight_bit_entries() {
+        let m = SideMetadata::new(64, 2, 8);
+        let a = Address::from_word_index(8);
+        m.store(a, 200);
+        assert_eq!(m.load(a), 200);
+        assert_eq!(m.max_value(), 255);
+    }
+
+    #[test]
+    fn one_bit_entries_independent() {
+        let m = SideMetadata::new(64, 1, 1);
+        for i in 0..16 {
+            if i % 3 == 0 {
+                m.store(Address::from_word_index(i), 1);
+            }
+        }
+        for i in 0..16 {
+            assert_eq!(m.load(Address::from_word_index(i)), u8::from(i % 3 == 0), "bit {i}");
+        }
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_bits() {
+        use std::sync::Arc;
+        let m = Arc::new(SideMetadata::new(1024, 1, 1));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in (t..1024).step_by(4) {
+                        m.store(Address::from_word_index(i), 1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        for i in 0..1024 {
+            assert_eq!(m.load(Address::from_word_index(i)), 1);
+        }
+    }
+}

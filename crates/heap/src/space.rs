@@ -1,0 +1,265 @@
+//! The managed heap arena.
+//!
+//! [`HeapSpace`] owns the memory every collector in the workspace manages: a
+//! contiguous array of 8-byte cells accessed atomically, plus the shared
+//! structural metadata ([`BlockStateTable`], a line reuse-counter table) that
+//! the heap layer itself maintains.  All higher-level metadata (reference
+//! counts, mark bits, unlogged bits) is owned by the collectors.
+
+use crate::{Address, Block, BlockStateTable, HeapConfig, HeapGeometry, Line, LineTable};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// The shared, word-addressed heap arena.
+///
+/// Cells are [`AtomicU64`]s so that mutator threads, stop-the-world GC
+/// workers and concurrent GC threads may access the heap without data races;
+/// plain loads/stores use relaxed ordering (the algorithms impose ordering
+/// through their own synchronisation), while reference-field updates and
+/// forwarding-pointer installation use the atomic read-modify-write
+/// operations.
+///
+/// # Example
+///
+/// ```
+/// use lxr_heap::{HeapConfig, HeapSpace, Address};
+/// let space = HeapSpace::new(HeapConfig::with_heap_size(1 << 20));
+/// let a = Address::from_word_index(4096); // first word of block 1
+/// space.store(a, 42);
+/// assert_eq!(space.load(a), 42);
+/// ```
+#[derive(Debug)]
+pub struct HeapSpace {
+    words: Box<[AtomicU64]>,
+    config: HeapConfig,
+    geometry: HeapGeometry,
+    block_states: BlockStateTable,
+    line_reuse: LineTable,
+    /// Words allocated since the space was created (monotonic).
+    allocated_words: AtomicUsize,
+}
+
+impl HeapSpace {
+    /// Allocates a zeroed arena for `config`.
+    pub fn new(config: HeapConfig) -> Self {
+        let geometry = HeapGeometry::new(&config);
+        let words = (0..geometry.num_words()).map(|_| AtomicU64::new(0)).collect();
+        let block_states = BlockStateTable::new(geometry.num_blocks());
+        let line_reuse = LineTable::new(geometry.num_lines());
+        HeapSpace {
+            words,
+            config,
+            geometry,
+            block_states,
+            line_reuse,
+            allocated_words: AtomicUsize::new(0),
+        }
+    }
+
+    /// The configuration this space was created with.
+    pub fn config(&self) -> &HeapConfig {
+        &self.config
+    }
+
+    /// The geometry (block/line arithmetic) of this space.
+    pub fn geometry(&self) -> HeapGeometry {
+        self.geometry
+    }
+
+    /// The per-block state table.
+    pub fn block_states(&self) -> &BlockStateTable {
+        &self.block_states
+    }
+
+    /// The per-line reuse-counter table (§3.3.2).
+    pub fn line_reuse(&self) -> &LineTable {
+        &self.line_reuse
+    }
+
+    /// Number of usable blocks (excludes the reserved block 0).
+    pub fn usable_blocks(&self) -> usize {
+        self.geometry.num_blocks() - 1
+    }
+
+    /// Total usable heap capacity in words.
+    pub fn capacity_words(&self) -> usize {
+        self.usable_blocks() * self.geometry.words_per_block()
+    }
+
+    /// Cumulative words handed out by allocators (monotonic; used for
+    /// allocation-volume statistics and triggers).
+    pub fn allocated_words(&self) -> usize {
+        self.allocated_words.load(Ordering::Relaxed)
+    }
+
+    /// Records that `words` words have been handed out.
+    pub fn note_allocation(&self, words: usize) {
+        self.allocated_words.fetch_add(words, Ordering::Relaxed);
+    }
+
+    /// Loads the cell at `addr`.
+    #[inline]
+    pub fn load(&self, addr: Address) -> u64 {
+        self.words[addr.word_index()].load(Ordering::Relaxed)
+    }
+
+    /// Loads the cell at `addr` with acquire ordering.
+    #[inline]
+    pub fn load_acquire(&self, addr: Address) -> u64 {
+        self.words[addr.word_index()].load(Ordering::Acquire)
+    }
+
+    /// Stores `value` into the cell at `addr`.
+    #[inline]
+    pub fn store(&self, addr: Address, value: u64) {
+        self.words[addr.word_index()].store(value, Ordering::Relaxed);
+    }
+
+    /// Stores `value` into the cell at `addr` with release ordering.
+    #[inline]
+    pub fn store_release(&self, addr: Address, value: u64) {
+        self.words[addr.word_index()].store(value, Ordering::Release);
+    }
+
+    /// Atomically compare-and-exchanges the cell at `addr`.
+    #[inline]
+    pub fn compare_exchange(&self, addr: Address, current: u64, new: u64) -> Result<u64, u64> {
+        self.words[addr.word_index()].compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire)
+    }
+
+    /// Atomically swaps the cell at `addr`, returning the previous value.
+    #[inline]
+    pub fn swap(&self, addr: Address, value: u64) -> u64 {
+        self.words[addr.word_index()].swap(value, Ordering::AcqRel)
+    }
+
+    /// Zeroes the word range `[start, start + words)`.
+    ///
+    /// LXR zeroes free blocks in bulk and free lines immediately before
+    /// allocating into them (§3.1).
+    pub fn zero_range(&self, start: Address, words: usize) {
+        for i in 0..words {
+            self.words[start.word_index() + i].store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Zeroes an entire block.
+    pub fn zero_block(&self, block: Block) {
+        self.zero_range(self.geometry.block_start(block), self.geometry.words_per_block());
+    }
+
+    /// Returns `true` if `addr` lies within the usable heap.
+    #[inline]
+    pub fn contains(&self, addr: Address) -> bool {
+        self.geometry.contains(addr)
+    }
+
+    /// Bumps the reuse counter of every line in `block` (called when a block
+    /// or its lines are reclaimed, so stale remembered-set entries tagged
+    /// with the old counter can be discarded).
+    pub fn bump_block_reuse(&self, block: Block) {
+        for line in self.geometry.lines_of(block) {
+            self.line_reuse.increment(line);
+        }
+    }
+
+    /// Bumps the reuse counter of a single line.
+    pub fn bump_line_reuse(&self, line: Line) {
+        self.line_reuse.increment(line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn space() -> HeapSpace {
+        HeapSpace::new(HeapConfig::with_heap_size(1 << 20))
+    }
+
+    #[test]
+    fn capacity_excludes_reserved_block() {
+        let s = space();
+        assert_eq!(s.usable_blocks(), 32);
+        assert_eq!(s.capacity_words(), 32 * 4096);
+    }
+
+    #[test]
+    fn load_store_round_trip() {
+        let s = space();
+        let a = Address::from_word_index(5000);
+        s.store(a, 0xdead_beef);
+        assert_eq!(s.load(a), 0xdead_beef);
+        assert_eq!(s.load(a.plus(1)), 0);
+    }
+
+    #[test]
+    fn compare_exchange_and_swap() {
+        let s = space();
+        let a = Address::from_word_index(4096);
+        assert_eq!(s.compare_exchange(a, 0, 7), Ok(0));
+        assert_eq!(s.compare_exchange(a, 0, 9), Err(7));
+        assert_eq!(s.swap(a, 11), 7);
+        assert_eq!(s.load(a), 11);
+    }
+
+    #[test]
+    fn zeroing_ranges_and_blocks() {
+        let s = space();
+        let g = s.geometry();
+        let b = Block::from_index(2);
+        let start = g.block_start(b);
+        for i in 0..g.words_per_block() {
+            s.store(start.plus(i), 1);
+        }
+        s.zero_block(b);
+        assert!((0..g.words_per_block()).all(|i| s.load(start.plus(i)) == 0));
+    }
+
+    #[test]
+    fn allocation_accounting_is_cumulative() {
+        let s = space();
+        s.note_allocation(10);
+        s.note_allocation(22);
+        assert_eq!(s.allocated_words(), 32);
+    }
+
+    #[test]
+    fn reuse_counters_bump_per_line_and_per_block() {
+        let s = space();
+        let g = s.geometry();
+        let b = Block::from_index(1);
+        let first = g.first_line_of(b);
+        s.bump_line_reuse(first);
+        assert_eq!(s.line_reuse().get(first), 1);
+        s.bump_block_reuse(b);
+        assert_eq!(s.line_reuse().get(first), 2);
+        for line in g.lines_of(b).skip(1) {
+            assert_eq!(s.line_reuse().get(line), 1);
+        }
+    }
+
+    #[test]
+    fn concurrent_stores_to_distinct_cells() {
+        let s = Arc::new(space());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        let a = Address::from_word_index(4096 + t * 1000 + i);
+                        s.store(a, (t * 1000 + i) as u64);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for t in 0..4usize {
+            for i in 0..1000usize {
+                assert_eq!(s.load(Address::from_word_index(4096 + t * 1000 + i)), (t * 1000 + i) as u64);
+            }
+        }
+    }
+}

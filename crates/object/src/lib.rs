@@ -1,0 +1,29 @@
+//! # lxr-object
+//!
+//! The object model shared by every collector in the `lxr-rs` workspace.
+//!
+//! Objects live in the word-addressed heap provided by [`lxr_heap`] and have
+//! the layout:
+//!
+//! ```text
+//! +----------------+------------------+----------------+
+//! | header (1 word)| ref fields (n)   | data fields (m)|
+//! +----------------+------------------+----------------+
+//! ```
+//!
+//! The header encodes the field counts, a 24-bit application type tag, and a
+//! forwarding state used when collectors relocate objects.  The total object
+//! size is rounded up to the 16-byte allocation granule, so the side
+//! metadata address arithmetic of §3.2.1 of the LXR paper applies.
+//!
+//! The crate exposes:
+//!
+//! * [`ObjectReference`] — a non-null reference to an object's header word,
+//! * [`ObjectModel`] — header encoding/decoding, field access, reference
+//!   scanning and the forwarding protocol used by copying collectors.
+
+pub mod model;
+pub mod reference;
+
+pub use model::{ClaimResult, ObjectModel, ObjectShape};
+pub use reference::ObjectReference;

@@ -1,0 +1,472 @@
+//! Header encoding, field access, reference scanning and forwarding.
+
+use crate::ObjectReference;
+use lxr_heap::{Address, HeapSpace, MIN_OBJECT_WORDS};
+use std::sync::Arc;
+
+/// The shape of an object: how many reference and data fields it has and an
+/// application-defined type tag.
+///
+/// Field counts are limited to 16 bits each and the type tag to 22 bits so
+/// the whole shape packs into the header word alongside the forwarding tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ObjectShape {
+    /// Number of reference fields (object slots 1..=nrefs).
+    pub nrefs: u16,
+    /// Number of data (non-reference) fields following the reference fields.
+    pub ndata: u16,
+    /// Application/workload defined type tag.
+    pub type_tag: u32,
+}
+
+impl ObjectShape {
+    /// Creates a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `type_tag` does not fit in 22 bits.
+    pub fn new(nrefs: u16, ndata: u16, type_tag: u32) -> Self {
+        assert!(type_tag < (1 << 22), "type tag must fit in 22 bits");
+        ObjectShape { nrefs, ndata, type_tag }
+    }
+
+    /// The exact object size in words (header + fields), before rounding to
+    /// the allocation granule.
+    pub fn raw_size_words(&self) -> usize {
+        1 + self.nrefs as usize + self.ndata as usize
+    }
+
+    /// The allocated object size in words, rounded up to the 16-byte granule.
+    pub fn size_words(&self) -> usize {
+        self.raw_size_words().max(MIN_OBJECT_WORDS).next_multiple_of(MIN_OBJECT_WORDS)
+    }
+}
+
+// Header word layout (64 bits):
+//   bits [0:2]   forwarding tag: 00 = normal, 01 = busy, 10 = forwarded
+//   bits [2:18]  nrefs (16 bits)
+//   bits [18:34] ndata (16 bits)
+//   bits [34:56] type tag (22 bits)
+//   bits [56:64] reserved flags
+// When forwarded, bits [2:64] hold the word index of the new copy.
+const TAG_MASK: u64 = 0b11;
+const TAG_NORMAL: u64 = 0b00;
+const TAG_BUSY: u64 = 0b01;
+const TAG_FORWARDED: u64 = 0b10;
+
+/// Result of attempting to claim the right to forward (copy) an object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClaimResult {
+    /// The caller won the race and must copy the object and then call
+    /// [`ObjectModel::install_forwarding`].  The payload is the original
+    /// header word, which the caller must write into the new copy.
+    Claimed(u64),
+    /// Another thread already forwarded the object to the returned location.
+    AlreadyForwarded(ObjectReference),
+}
+
+/// Encodes and decodes object headers, reads and writes fields, scans
+/// reference slots, and implements the forwarding protocol used by every
+/// copying collector in the workspace.
+///
+/// # Example
+///
+/// ```
+/// use lxr_heap::{HeapConfig, HeapSpace, Address};
+/// use lxr_object::{ObjectModel, ObjectShape, ObjectReference};
+/// use std::sync::Arc;
+///
+/// let space = Arc::new(HeapSpace::new(HeapConfig::with_heap_size(1 << 20)));
+/// let om = ObjectModel::new(space);
+/// let addr = Address::from_word_index(4096);
+/// let obj = om.initialize(addr, ObjectShape::new(2, 1, 7));
+/// assert_eq!(om.shape(obj).nrefs, 2);
+/// om.write_data_field(obj, 0, 99);
+/// assert_eq!(om.read_data_field(obj, 0), 99);
+/// assert_eq!(om.read_ref_field(obj, 0), ObjectReference::NULL);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ObjectModel {
+    space: Arc<HeapSpace>,
+}
+
+impl ObjectModel {
+    /// Creates an object model over the given heap.
+    pub fn new(space: Arc<HeapSpace>) -> Self {
+        ObjectModel { space }
+    }
+
+    /// The underlying heap.
+    pub fn space(&self) -> &Arc<HeapSpace> {
+        &self.space
+    }
+
+    fn encode_header(shape: ObjectShape) -> u64 {
+        TAG_NORMAL
+            | (shape.nrefs as u64) << 2
+            | (shape.ndata as u64) << 18
+            | (shape.type_tag as u64) << 34
+    }
+
+    fn decode_header(header: u64) -> ObjectShape {
+        ObjectShape {
+            nrefs: ((header >> 2) & 0xffff) as u16,
+            ndata: ((header >> 18) & 0xffff) as u16,
+            type_tag: ((header >> 34) & 0x3f_ffff) as u32,
+        }
+    }
+
+    /// Writes an object header at `addr` (freshly allocated, zeroed memory)
+    /// and returns the reference to the new object.  Reference fields start
+    /// out null and data fields zero.
+    pub fn initialize(&self, addr: Address, shape: ObjectShape) -> ObjectReference {
+        debug_assert!(!addr.is_null());
+        self.space.store_release(addr, Self::encode_header(shape));
+        ObjectReference::from_address(addr)
+    }
+
+    /// Reads the shape of `obj`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the object is currently forwarded (use
+    /// [`resolve`](Self::resolve) first).
+    #[inline]
+    pub fn shape(&self, obj: ObjectReference) -> ObjectShape {
+        let header = self.space.load_acquire(obj.to_address());
+        debug_assert_eq!(header & TAG_MASK, TAG_NORMAL, "reading the shape of a forwarded object");
+        Self::decode_header(header)
+    }
+
+    /// Decodes a shape from a previously captured header word (used by the
+    /// winner of a forwarding claim, whose object header is now `BUSY`).
+    pub fn shape_of_header(&self, header: u64) -> ObjectShape {
+        Self::decode_header(header)
+    }
+
+    /// The allocated size of `obj` in words.
+    #[inline]
+    pub fn size_words(&self, obj: ObjectReference) -> usize {
+        self.shape(obj).size_words()
+    }
+
+    /// The address of reference field `index` of `obj`.
+    #[inline]
+    pub fn ref_slot(&self, obj: ObjectReference, index: usize) -> Address {
+        debug_assert!(index < self.shape(obj).nrefs as usize);
+        obj.to_address().plus(1 + index)
+    }
+
+    /// The address of data field `index` of `obj`.
+    #[inline]
+    pub fn data_slot(&self, obj: ObjectReference, index: usize) -> Address {
+        let shape = self.shape(obj);
+        debug_assert!(index < shape.ndata as usize);
+        obj.to_address().plus(1 + shape.nrefs as usize + index)
+    }
+
+    /// Reads reference field `index` of `obj` (no barrier).
+    #[inline]
+    pub fn read_ref_field(&self, obj: ObjectReference, index: usize) -> ObjectReference {
+        ObjectReference::from_raw(self.space.load_acquire(self.ref_slot(obj, index)))
+    }
+
+    /// Writes reference field `index` of `obj` (no barrier).
+    #[inline]
+    pub fn write_ref_field(&self, obj: ObjectReference, index: usize, value: ObjectReference) {
+        self.space.store_release(self.ref_slot(obj, index), value.to_raw());
+    }
+
+    /// Reads the reference stored in `slot`.
+    #[inline]
+    pub fn read_slot(&self, slot: Address) -> ObjectReference {
+        ObjectReference::from_raw(self.space.load_acquire(slot))
+    }
+
+    /// Stores `value` into `slot`.
+    #[inline]
+    pub fn write_slot(&self, slot: Address, value: ObjectReference) {
+        self.space.store_release(slot, value.to_raw());
+    }
+
+    /// Reads data field `index` of `obj`.
+    #[inline]
+    pub fn read_data_field(&self, obj: ObjectReference, index: usize) -> u64 {
+        self.space.load(self.data_slot(obj, index))
+    }
+
+    /// Writes data field `index` of `obj`.
+    #[inline]
+    pub fn write_data_field(&self, obj: ObjectReference, index: usize, value: u64) {
+        self.space.store(self.data_slot(obj, index), value);
+    }
+
+    /// Calls `visit(slot, referent)` for every reference field of `obj`,
+    /// including null referents.
+    pub fn scan_refs<F: FnMut(Address, ObjectReference)>(&self, obj: ObjectReference, mut visit: F) {
+        let nrefs = self.shape(obj).nrefs as usize;
+        for i in 0..nrefs {
+            let slot = obj.to_address().plus(1 + i);
+            visit(slot, ObjectReference::from_raw(self.space.load_acquire(slot)));
+        }
+    }
+
+    /// Collects the non-null referents of `obj`.
+    pub fn children(&self, obj: ObjectReference) -> Vec<ObjectReference> {
+        let mut out = Vec::new();
+        self.scan_refs(obj, |_, child| {
+            if !child.is_null() {
+                out.push(child);
+            }
+        });
+        out
+    }
+
+    // ----- Forwarding protocol -------------------------------------------
+
+    /// Returns the forwarding target of `obj` if it has been forwarded.
+    /// Spins while another thread is mid-copy.
+    pub fn forwarding_target(&self, obj: ObjectReference) -> Option<ObjectReference> {
+        loop {
+            let header = self.space.load_acquire(obj.to_address());
+            match header & TAG_MASK {
+                TAG_NORMAL => return None,
+                TAG_FORWARDED => return Some(ObjectReference::from_raw(header >> 2)),
+                TAG_BUSY => std::hint::spin_loop(),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    /// Follows forwarding (if any), returning the current location of the
+    /// object.
+    #[inline]
+    pub fn resolve(&self, obj: ObjectReference) -> ObjectReference {
+        if obj.is_null() {
+            return obj;
+        }
+        self.forwarding_target(obj).unwrap_or(obj)
+    }
+
+    /// Returns `true` if `obj` has been forwarded (does not spin).
+    pub fn is_forwarded(&self, obj: ObjectReference) -> bool {
+        self.space.load_acquire(obj.to_address()) & TAG_MASK == TAG_FORWARDED
+    }
+
+    /// Attempts to claim the right to forward `obj`.
+    ///
+    /// The winner receives [`ClaimResult::Claimed`] with the original header
+    /// word, must copy the object body, and must then call
+    /// [`install_forwarding`](Self::install_forwarding).  Losers spin until
+    /// the winner finishes and receive
+    /// [`ClaimResult::AlreadyForwarded`].
+    pub fn try_claim_forwarding(&self, obj: ObjectReference) -> ClaimResult {
+        loop {
+            let header = self.space.load_acquire(obj.to_address());
+            match header & TAG_MASK {
+                TAG_NORMAL => {
+                    if self
+                        .space
+                        .compare_exchange(obj.to_address(), header, TAG_BUSY)
+                        .is_ok()
+                    {
+                        return ClaimResult::Claimed(header);
+                    }
+                }
+                TAG_FORWARDED => {
+                    return ClaimResult::AlreadyForwarded(ObjectReference::from_raw(header >> 2));
+                }
+                TAG_BUSY => std::hint::spin_loop(),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    /// Copies the body of a claimed object to `to`, writes its original
+    /// header at the new location, and publishes the forwarding pointer in
+    /// the old header.  Returns the reference to the new copy.
+    ///
+    /// `original_header` must be the value returned by the successful
+    /// [`try_claim_forwarding`](Self::try_claim_forwarding) call.
+    pub fn install_forwarding(
+        &self,
+        obj: ObjectReference,
+        to: Address,
+        original_header: u64,
+    ) -> ObjectReference {
+        let shape = Self::decode_header(original_header);
+        let size = shape.size_words();
+        // Copy fields (words 1..size); the header is written explicitly.
+        for i in 1..size {
+            let w = self.space.load(obj.to_address().plus(i));
+            self.space.store(to.plus(i), w);
+        }
+        self.space.store_release(to, original_header);
+        let new_obj = ObjectReference::from_address(to);
+        self.space
+            .store_release(obj.to_address(), (new_obj.to_raw() << 2) | TAG_FORWARDED);
+        new_obj
+    }
+
+    /// Abandons a forwarding claim, restoring the original header (used when
+    /// a copy reservation cannot be satisfied and the object must stay in
+    /// place).
+    pub fn abandon_forwarding(&self, obj: ObjectReference, original_header: u64) {
+        self.space.store_release(obj.to_address(), original_header);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lxr_heap::HeapConfig;
+
+    fn setup() -> (Arc<HeapSpace>, ObjectModel) {
+        let space = Arc::new(HeapSpace::new(HeapConfig::with_heap_size(1 << 20)));
+        let om = ObjectModel::new(space.clone());
+        (space, om)
+    }
+
+    fn addr(i: usize) -> Address {
+        Address::from_word_index(4096 + i)
+    }
+
+    #[test]
+    fn shape_round_trips_through_header() {
+        let (_, om) = setup();
+        let shapes = [
+            ObjectShape::new(0, 0, 0),
+            ObjectShape::new(2, 3, 7),
+            ObjectShape::new(u16::MAX, 0, 1),
+            ObjectShape::new(0, u16::MAX, (1 << 22) - 1),
+        ];
+        for (i, s) in shapes.iter().enumerate() {
+            let obj = om.initialize(addr(i * 256), *s);
+            assert_eq!(om.shape(obj), *s);
+        }
+    }
+
+    #[test]
+    fn sizes_round_up_to_granule() {
+        assert_eq!(ObjectShape::new(0, 0, 0).size_words(), 2);
+        assert_eq!(ObjectShape::new(1, 0, 0).size_words(), 2);
+        assert_eq!(ObjectShape::new(1, 1, 0).size_words(), 4);
+        assert_eq!(ObjectShape::new(2, 1, 0).size_words(), 4);
+        assert_eq!(ObjectShape::new(3, 2, 0).raw_size_words(), 6);
+    }
+
+    #[test]
+    fn field_access() {
+        let (_, om) = setup();
+        let obj = om.initialize(addr(0), ObjectShape::new(2, 2, 5));
+        let target = om.initialize(addr(16), ObjectShape::new(0, 1, 5));
+        om.write_ref_field(obj, 1, target);
+        om.write_data_field(obj, 0, 42);
+        assert_eq!(om.read_ref_field(obj, 0), ObjectReference::NULL);
+        assert_eq!(om.read_ref_field(obj, 1), target);
+        assert_eq!(om.read_data_field(obj, 0), 42);
+        assert_eq!(om.read_data_field(obj, 1), 0);
+        // Slot-level accessors agree with field-level accessors.
+        assert_eq!(om.read_slot(om.ref_slot(obj, 1)), target);
+    }
+
+    #[test]
+    fn scan_refs_visits_every_slot_in_order() {
+        let (_, om) = setup();
+        let obj = om.initialize(addr(0), ObjectShape::new(3, 1, 0));
+        let a = om.initialize(addr(32), ObjectShape::new(0, 0, 0));
+        let b = om.initialize(addr(64), ObjectShape::new(0, 0, 0));
+        om.write_ref_field(obj, 0, a);
+        om.write_ref_field(obj, 2, b);
+        let mut seen = Vec::new();
+        om.scan_refs(obj, |slot, val| seen.push((slot.word_index() - obj.to_address().word_index(), val)));
+        assert_eq!(seen.len(), 3);
+        assert_eq!(seen[0], (1, a));
+        assert_eq!(seen[1], (2, ObjectReference::NULL));
+        assert_eq!(seen[2], (3, b));
+        assert_eq!(om.children(obj), vec![a, b]);
+    }
+
+    #[test]
+    fn forwarding_protocol_copies_payload() {
+        let (space, om) = setup();
+        let obj = om.initialize(addr(0), ObjectShape::new(2, 2, 9));
+        let child = om.initialize(addr(64), ObjectShape::new(0, 0, 1));
+        om.write_ref_field(obj, 0, child);
+        om.write_data_field(obj, 1, 1234);
+
+        assert!(om.forwarding_target(obj).is_none());
+        let claim = om.try_claim_forwarding(obj);
+        let header = match claim {
+            ClaimResult::Claimed(h) => h,
+            other => panic!("expected to win the claim, got {other:?}"),
+        };
+        // A second claim attempt must not also win; it spins until the
+        // winner publishes, so run it after installation.
+        let to = addr(512);
+        let new_obj = om.install_forwarding(obj, to, header);
+        assert_eq!(new_obj.to_address(), to);
+        assert_eq!(om.shape(new_obj), ObjectShape::new(2, 2, 9));
+        assert_eq!(om.read_ref_field(new_obj, 0), child);
+        assert_eq!(om.read_data_field(new_obj, 1), 1234);
+        assert_eq!(om.forwarding_target(obj), Some(new_obj));
+        assert_eq!(om.resolve(obj), new_obj);
+        assert_eq!(om.resolve(new_obj), new_obj);
+        assert!(om.is_forwarded(obj));
+        match om.try_claim_forwarding(obj) {
+            ClaimResult::AlreadyForwarded(t) => assert_eq!(t, new_obj),
+            other => panic!("expected AlreadyForwarded, got {other:?}"),
+        }
+        // The old header now encodes the forwarding pointer.
+        assert_eq!(space.load(obj.to_address()) & 0b11, 0b10);
+    }
+
+    #[test]
+    fn abandoning_a_claim_restores_the_header() {
+        let (_, om) = setup();
+        let obj = om.initialize(addr(0), ObjectShape::new(1, 0, 3));
+        let header = match om.try_claim_forwarding(obj) {
+            ClaimResult::Claimed(h) => h,
+            _ => unreachable!(),
+        };
+        om.abandon_forwarding(obj, header);
+        assert!(om.forwarding_target(obj).is_none());
+        assert_eq!(om.shape(obj), ObjectShape::new(1, 0, 3));
+    }
+
+    #[test]
+    fn resolve_of_null_is_null() {
+        let (_, om) = setup();
+        assert_eq!(om.resolve(ObjectReference::NULL), ObjectReference::NULL);
+    }
+
+    #[test]
+    fn concurrent_forwarding_has_exactly_one_winner() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let (_, om) = setup();
+        let om = Arc::new(om);
+        for round in 0..20 {
+            let obj = om.initialize(addr(round * 64), ObjectShape::new(1, 1, 2));
+            let winners = Arc::new(AtomicUsize::new(0));
+            let threads: Vec<_> = (0..4)
+                .map(|t| {
+                    let om = Arc::clone(&om);
+                    let winners = Arc::clone(&winners);
+                    std::thread::spawn(move || match om.try_claim_forwarding(obj) {
+                        ClaimResult::Claimed(h) => {
+                            winners.fetch_add(1, Ordering::SeqCst);
+                            let to = addr(2048 + round * 64 + t * 8);
+                            om.install_forwarding(obj, to, h);
+                        }
+                        ClaimResult::AlreadyForwarded(_) => {}
+                    })
+                })
+                .collect();
+            for t in threads {
+                t.join().unwrap();
+            }
+            assert_eq!(winners.load(Ordering::SeqCst), 1, "exactly one thread forwards the object");
+            assert!(om.is_forwarded(obj));
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Object references.
+
+use lxr_heap::Address;
+use std::fmt;
+
+/// A reference to a heap object: the address of its header word.
+///
+/// `ObjectReference::NULL` plays the role of the Java `null` reference and
+/// is stored as the integer 0 in reference fields.
+///
+/// # Example
+///
+/// ```
+/// use lxr_object::ObjectReference;
+/// use lxr_heap::Address;
+/// let r = ObjectReference::from_address(Address::from_word_index(4096));
+/// assert!(!r.is_null());
+/// assert_eq!(r.to_address().word_index(), 4096);
+/// assert!(ObjectReference::NULL.is_null());
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ObjectReference(Address);
+
+impl ObjectReference {
+    /// The null reference.
+    pub const NULL: ObjectReference = ObjectReference(Address::NULL);
+
+    /// Creates a reference from the address of an object's header word.
+    #[inline]
+    pub const fn from_address(addr: Address) -> Self {
+        ObjectReference(addr)
+    }
+
+    /// Creates a reference from a raw word stored in a reference field.
+    #[inline]
+    pub const fn from_raw(raw: u64) -> Self {
+        ObjectReference(Address::from_word_index(raw as usize))
+    }
+
+    /// The raw word representation stored in reference fields.
+    #[inline]
+    pub const fn to_raw(self) -> u64 {
+        self.0.word_index() as u64
+    }
+
+    /// The address of the object's header word.
+    #[inline]
+    pub const fn to_address(self) -> Address {
+        self.0
+    }
+
+    /// Returns `true` if this is the null reference.
+    #[inline]
+    pub const fn is_null(self) -> bool {
+        self.0.is_null()
+    }
+}
+
+impl fmt::Debug for ObjectReference {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "ObjectReference(NULL)")
+        } else {
+            write!(f, "ObjectReference({:#x})", self.0.byte_offset())
+        }
+    }
+}
+
+impl fmt::Display for ObjectReference {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<ObjectReference> for Address {
+    fn from(r: ObjectReference) -> Address {
+        r.to_address()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_round_trip() {
+        assert!(ObjectReference::NULL.is_null());
+        assert_eq!(ObjectReference::from_raw(0), ObjectReference::NULL);
+        assert_eq!(ObjectReference::NULL.to_raw(), 0);
+        assert_eq!(ObjectReference::default(), ObjectReference::NULL);
+    }
+
+    #[test]
+    fn raw_round_trip() {
+        let r = ObjectReference::from_raw(12345);
+        assert_eq!(r.to_raw(), 12345);
+        assert_eq!(r.to_address().word_index(), 12345);
+        assert!(!r.is_null());
+    }
+
+    #[test]
+    fn address_conversions() {
+        let a = Address::from_word_index(77);
+        let r = ObjectReference::from_address(a);
+        assert_eq!(Address::from(r), a);
+    }
+}

@@ -1,0 +1,134 @@
+//! Chunked, lock-free producer/consumer buffers.
+//!
+//! The coalescing write barrier produces two streams per mutator: the
+//! *decrement buffer* (the overwritten referents, which will receive
+//! decrements and which seed the SATB snapshot) and the *modified-field
+//! buffer* (addresses whose final referents will receive increments at the
+//! next pause) — §3.2.1 and §3.4.  Mutators accumulate entries in small
+//! thread-local chunks and publish full chunks to a [`SharedBuffer`]; the
+//! collector drains whole chunks, which keeps both sides cheap and
+//! contention low.
+
+use crossbeam::queue::SegQueue;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The default number of entries in a published chunk.
+pub const DEFAULT_CHUNK_SIZE: usize = 1024;
+
+/// A lock-free, multi-producer multi-consumer buffer of chunks.
+///
+/// # Example
+///
+/// ```
+/// use lxr_rc::SharedBuffer;
+/// let buf: SharedBuffer<u64> = SharedBuffer::new();
+/// buf.push_chunk(vec![1, 2, 3]);
+/// buf.push_chunk(vec![4]);
+/// assert_eq!(buf.len(), 4);
+/// let mut all: Vec<u64> = buf.drain().into_iter().flatten().collect();
+/// all.sort();
+/// assert_eq!(all, vec![1, 2, 3, 4]);
+/// assert!(buf.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct SharedBuffer<T> {
+    chunks: SegQueue<Vec<T>>,
+    entries: AtomicUsize,
+}
+
+impl<T> SharedBuffer<T> {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        SharedBuffer { chunks: SegQueue::new(), entries: AtomicUsize::new(0) }
+    }
+
+    /// Publishes a chunk of entries.  Empty chunks are ignored.
+    pub fn push_chunk(&self, chunk: Vec<T>) {
+        if chunk.is_empty() {
+            return;
+        }
+        self.entries.fetch_add(chunk.len(), Ordering::Relaxed);
+        self.chunks.push(chunk);
+    }
+
+    /// Pops one chunk, if any.
+    pub fn pop_chunk(&self) -> Option<Vec<T>> {
+        let chunk = self.chunks.pop()?;
+        self.entries.fetch_sub(chunk.len(), Ordering::Relaxed);
+        Some(chunk)
+    }
+
+    /// Drains every currently queued chunk.
+    pub fn drain(&self) -> Vec<Vec<T>> {
+        let mut out = Vec::new();
+        while let Some(chunk) = self.pop_chunk() {
+            out.push(chunk);
+        }
+        out
+    }
+
+    /// Approximate number of queued entries.
+    pub fn len(&self) -> usize {
+        self.entries.load(Ordering::Relaxed)
+    }
+
+    /// Returns `true` if no entries are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Default for SharedBuffer<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn empty_chunks_are_ignored() {
+        let b: SharedBuffer<u32> = SharedBuffer::new();
+        b.push_chunk(Vec::new());
+        assert!(b.is_empty());
+        assert!(b.pop_chunk().is_none());
+    }
+
+    #[test]
+    fn len_tracks_pushes_and_pops() {
+        let b: SharedBuffer<u32> = SharedBuffer::new();
+        b.push_chunk(vec![1, 2, 3]);
+        b.push_chunk(vec![4, 5]);
+        assert_eq!(b.len(), 5);
+        let c = b.pop_chunk().unwrap();
+        assert_eq!(b.len(), 5 - c.len());
+        b.drain();
+        assert_eq!(b.len(), 0);
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing() {
+        let b: Arc<SharedBuffer<usize>> = Arc::new(SharedBuffer::new());
+        let producers: Vec<_> = (0..4)
+            .map(|t| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        b.push_chunk(vec![t * 1000 + i]);
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<usize> = b.drain().into_iter().flatten().collect();
+        assert_eq!(all.len(), 400);
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 400);
+    }
+}

@@ -1,0 +1,25 @@
+//! # lxr-rc
+//!
+//! Reference-counting machinery for LXR (§3.2.1 of the paper).
+//!
+//! LXR stores reference counts in a side table rather than in object
+//! headers: an *N*-bit count for every 16 bytes of heap, reachable from an
+//! object address by simple address arithmetic.  The default is a 2-bit
+//! count — a count of 3 means "stuck"; stuck objects are reclaimed by the
+//! backup SATB trace rather than by reference counting.
+//!
+//! The crate provides:
+//!
+//! * [`RcTable`] — the packed count table with saturating increments and
+//!   decrements, straddle-line marking for objects larger than a line, and
+//!   the line/block occupancy queries used by the allocator and by the
+//!   evacuation-set selection heuristic,
+//! * [`SharedBuffer`] — the chunked, lock-free buffers used to communicate
+//!   decrements and modified fields from mutator write barriers to the
+//!   collector.
+
+pub mod buffers;
+pub mod table;
+
+pub use buffers::SharedBuffer;
+pub use table::{CountChange, RcTable};

@@ -1,0 +1,254 @@
+//! The mutator-facing API.
+//!
+//! A [`Mutator`] is the handle an application (or synthetic workload) thread
+//! uses to interact with the managed heap: allocate objects, read and write
+//! fields (through the plan's barriers), and manage *roots* — the shadow
+//! stack slots that stand in for the thread's local variables, which the
+//! collector scans at every pause.
+
+use crate::plan::{AllocFailure, PlanMutator};
+use crate::runtime::RuntimeShared;
+use crate::stats::{GcReason, WorkCounter};
+use lxr_object::{ObjectReference, ObjectShape};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// State shared between a mutator thread and the collector.
+#[derive(Debug)]
+pub struct MutatorShared {
+    /// Stable identifier of this mutator.
+    pub id: usize,
+    /// The shadow stack: this thread's roots.  Shared with the collector's
+    /// root set, which may update the slots in place during a pause.
+    pub roots: Arc<Mutex<Vec<ObjectReference>>>,
+    /// Whether this mutator still exists (cleared on drop).
+    pub live: AtomicBool,
+}
+
+/// An index into a mutator's shadow stack, returned by
+/// [`Mutator::push_root`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RootSlot(pub usize);
+
+/// The per-thread handle to the managed heap.
+///
+/// Dropping the mutator deregisters it from the runtime and clears its
+/// roots.
+pub struct Mutator {
+    runtime: Arc<RuntimeShared>,
+    shared: Arc<MutatorShared>,
+    plan_mutator: Box<dyn PlanMutator>,
+    allocs_since_poll: usize,
+    total_allocations: u64,
+}
+
+impl std::fmt::Debug for Mutator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutator")
+            .field("id", &self.shared.id)
+            .field("roots", &self.shared.roots.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Mutator {
+    pub(crate) fn new(
+        runtime: Arc<RuntimeShared>,
+        shared: Arc<MutatorShared>,
+        plan_mutator: Box<dyn PlanMutator>,
+    ) -> Self {
+        Mutator {
+            runtime,
+            shared,
+            plan_mutator,
+            allocs_since_poll: 0,
+            total_allocations: 0,
+        }
+    }
+
+    /// This mutator's stable identifier.
+    pub fn id(&self) -> usize {
+        self.shared.id
+    }
+
+    /// Total objects allocated through this handle.
+    pub fn total_allocations(&self) -> u64 {
+        self.total_allocations
+    }
+
+    // ----- Allocation ------------------------------------------------------
+
+    /// Allocates an object with `nrefs` reference fields, `ndata` data
+    /// fields, and the given type tag.  Reference fields start null.
+    ///
+    /// Triggers collections (and retries) as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocation cannot be satisfied even after repeated
+    /// collections (a genuine out-of-memory condition), or if the runtime is
+    /// shutting down.
+    pub fn alloc(&mut self, nrefs: u16, ndata: u16, type_tag: u32) -> ObjectReference {
+        self.alloc_shape(ObjectShape::new(nrefs, ndata, type_tag))
+    }
+
+    /// Allocates an object of the given [`ObjectShape`].
+    pub fn alloc_shape(&mut self, shape: ObjectShape) -> ObjectReference {
+        self.allocs_since_poll += 1;
+        if self.allocs_since_poll >= self.runtime.options.poll_interval_allocs {
+            self.allocs_since_poll = 0;
+            self.poll_and_park();
+        }
+        let mut attempts = 0;
+        loop {
+            match self.plan_mutator.alloc(shape) {
+                Ok(obj) => {
+                    self.total_allocations += 1;
+                    self.runtime.stats.add(WorkCounter::ObjectsAllocated, 1);
+                    self.runtime.stats.add(WorkCounter::WordsAllocated, shape.size_words() as u64);
+                    return obj;
+                }
+                Err(AllocFailure::OutOfMemory) => {
+                    attempts += 1;
+                    assert!(
+                        attempts <= 5,
+                        "out of memory: allocation of {:?} failed after {} collections (plan {})",
+                        shape,
+                        attempts - 1,
+                        self.runtime.plan.name()
+                    );
+                    self.trigger_gc_and_wait(GcReason::Exhausted);
+                }
+            }
+        }
+    }
+
+    // ----- Field access ----------------------------------------------------
+
+    /// Writes reference field `index` of `obj` (through the plan's write
+    /// barrier).
+    #[inline]
+    pub fn write_ref(&mut self, obj: ObjectReference, index: usize, value: ObjectReference) {
+        self.plan_mutator.write_ref(obj, index, value);
+    }
+
+    /// Reads reference field `index` of `obj` (through the plan's read
+    /// barrier, if it has one).
+    #[inline]
+    pub fn read_ref(&mut self, obj: ObjectReference, index: usize) -> ObjectReference {
+        self.plan_mutator.read_ref(obj, index)
+    }
+
+    /// Writes data field `index` of `obj`.
+    #[inline]
+    pub fn write_data(&mut self, obj: ObjectReference, index: usize, value: u64) {
+        self.plan_mutator.write_data(obj, index, value);
+    }
+
+    /// Reads data field `index` of `obj`.
+    #[inline]
+    pub fn read_data(&mut self, obj: ObjectReference, index: usize) -> u64 {
+        self.plan_mutator.read_data(obj, index)
+    }
+
+    // ----- Roots -----------------------------------------------------------
+
+    /// Pushes `obj` onto this thread's shadow stack, making it a root.
+    pub fn push_root(&mut self, obj: ObjectReference) -> RootSlot {
+        let mut roots = self.shared.roots.lock();
+        roots.push(obj);
+        RootSlot(roots.len() - 1)
+    }
+
+    /// Pops the most recently pushed root.
+    pub fn pop_root(&mut self) -> Option<ObjectReference> {
+        let popped = self.shared.roots.lock().pop();
+        popped.map(|r| self.plan_mutator.resolve(r))
+    }
+
+    /// Truncates the shadow stack to `len` roots.
+    pub fn truncate_roots(&mut self, len: usize) {
+        self.shared.roots.lock().truncate(len);
+    }
+
+    /// Overwrites root `slot`.
+    pub fn set_root(&mut self, slot: RootSlot, obj: ObjectReference) {
+        self.shared.roots.lock()[slot.0] = obj;
+    }
+
+    /// Reads root `slot` (resolving any forwarding installed by a concurrent
+    /// evacuation).
+    pub fn root(&mut self, slot: RootSlot) -> ObjectReference {
+        let obj = self.shared.roots.lock()[slot.0];
+        let resolved = self.plan_mutator.resolve(obj);
+        if resolved != obj {
+            self.shared.roots.lock()[slot.0] = resolved;
+        }
+        resolved
+    }
+
+    /// Number of roots on the shadow stack.
+    pub fn root_count(&self) -> usize {
+        self.shared.roots.lock().len()
+    }
+
+    // ----- Safepoints and blocking ----------------------------------------
+
+    /// A GC safepoint: if a collection has been requested, flush barrier
+    /// state and park until it completes.  Call this regularly from
+    /// long-running loops that do not allocate.
+    pub fn safepoint(&mut self) {
+        if self.runtime.rendezvous.gc_pending() {
+            self.park_for_gc();
+        }
+    }
+
+    /// Polls the plan's pacing triggers and parks if a collection results.
+    fn poll_and_park(&mut self) {
+        if self.runtime.rendezvous.gc_pending() {
+            self.park_for_gc();
+            return;
+        }
+        if let Some(reason) = self.runtime.plan.poll() {
+            self.trigger_gc_and_wait(reason);
+        }
+    }
+
+    /// Explicitly requests a collection and waits for it to complete.
+    pub fn request_gc(&mut self) {
+        self.trigger_gc_and_wait(GcReason::Requested);
+    }
+
+    fn trigger_gc_and_wait(&mut self, reason: GcReason) {
+        self.runtime.rendezvous.request_gc(reason);
+        self.park_for_gc();
+    }
+
+    fn park_for_gc(&mut self) {
+        self.plan_mutator.prepare_for_gc();
+        self.runtime.rendezvous.safepoint_park();
+    }
+
+    /// Runs `f` with this mutator marked *blocked* (inactive): collections
+    /// may proceed without waiting for this thread.  Use around operations
+    /// that may wait indefinitely (queues, sockets, sleeps).
+    pub fn blocked<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        self.plan_mutator.prepare_for_gc();
+        self.runtime.rendezvous.enter_blocked();
+        let result = f();
+        self.runtime.rendezvous.exit_blocked();
+        result
+    }
+}
+
+impl Drop for Mutator {
+    fn drop(&mut self) {
+        self.plan_mutator.prepare_for_gc();
+        self.shared.live.store(false, Ordering::Release);
+        // Keep the roots: objects referenced by a completed thread's stack
+        // are dead, so clear them so they can be reclaimed.
+        self.shared.roots.lock().clear();
+        self.runtime.rendezvous.deregister_mutator();
+    }
+}

@@ -1,0 +1,129 @@
+//! A trivial plan that never collects.
+//!
+//! `NoGcPlan` bump-allocates Immix blocks and performs no garbage
+//! collection at all (the analogue of MMTk's `NoGC` plan).  It exists for
+//! three reasons: it exercises the runtime scaffolding in isolation, it is
+//! the zero-overhead mutator baseline used when measuring barrier costs, and
+//! it makes the runtime crate's documentation examples self-contained.
+
+use crate::plan::{AllocFailure, Collection, Plan, PlanContext, PlanFactory, PlanMutator};
+use crate::stats::GcReason;
+use lxr_heap::{AllocError, ImmixAllocator, LargeObjectSpace, Line, LineOccupancy};
+use lxr_object::{ObjectModel, ObjectReference, ObjectShape};
+use std::sync::Arc;
+
+/// Occupancy oracle for a plan that never frees: every line that has not
+/// been handed out is free, and the allocator never revisits a block, so
+/// reporting "free" unconditionally is sound.
+struct NoReuse;
+
+impl LineOccupancy for NoReuse {
+    fn line_is_free(&self, _line: Line) -> bool {
+        true
+    }
+}
+
+/// A plan that only allocates.  Running out of memory is fatal.
+#[derive(Debug)]
+pub struct NoGcPlan {
+    ctx: PlanContext,
+}
+
+impl Plan for NoGcPlan {
+    fn name(&self) -> &'static str {
+        "nogc"
+    }
+
+    fn create_mutator(&self, _mutator_id: usize) -> Box<dyn PlanMutator> {
+        Box::new(NoGcMutator {
+            om: ObjectModel::new(self.ctx.space.clone()),
+            allocator: ImmixAllocator::new(self.ctx.space.clone(), self.ctx.blocks.clone(), Arc::new(NoReuse)),
+            los: self.ctx.los.clone(),
+        })
+    }
+
+    fn poll(&self) -> Option<GcReason> {
+        None
+    }
+
+    fn collect(&self, _collection: &Collection<'_>) {
+        // Nothing to collect: the plan never reclaims memory.  A requested
+        // collection is a no-op rather than an error so that harness code
+        // that forces a final collection works with every plan.
+    }
+}
+
+impl PlanFactory for NoGcPlan {
+    fn build(ctx: PlanContext) -> Self {
+        NoGcPlan { ctx }
+    }
+}
+
+struct NoGcMutator {
+    om: ObjectModel,
+    allocator: ImmixAllocator,
+    los: Arc<LargeObjectSpace>,
+}
+
+impl PlanMutator for NoGcMutator {
+    fn alloc(&mut self, shape: ObjectShape) -> Result<ObjectReference, AllocFailure> {
+        let addr = match self.allocator.alloc(shape.size_words()) {
+            Ok(addr) => addr,
+            Err(AllocError::TooLarge) => self.los.alloc(shape.size_words()).ok_or(AllocFailure::OutOfMemory)?,
+            Err(AllocError::OutOfMemory) => return Err(AllocFailure::OutOfMemory),
+        };
+        Ok(self.om.initialize(addr, shape))
+    }
+
+    fn write_ref(&mut self, src: ObjectReference, index: usize, value: ObjectReference) {
+        self.om.write_ref_field(src, index, value);
+    }
+
+    fn read_ref(&mut self, src: ObjectReference, index: usize) -> ObjectReference {
+        self.om.read_ref_field(src, index)
+    }
+
+    fn write_data(&mut self, src: ObjectReference, index: usize, value: u64) {
+        self.om.write_data_field(src, index, value);
+    }
+
+    fn read_data(&mut self, src: ObjectReference, index: usize) -> u64 {
+        self.om.read_data_field(src, index)
+    }
+
+    fn prepare_for_gc(&mut self) {
+        self.allocator.retire();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Runtime, RuntimeOptions};
+
+    #[test]
+    fn allocates_and_accesses_objects() {
+        let rt = Runtime::new::<NoGcPlan>(RuntimeOptions::default().with_heap_size(8 << 20));
+        let mut m = rt.bind_mutator();
+        let parent = m.alloc(2, 1, 1);
+        let child = m.alloc(0, 1, 2);
+        m.write_ref(parent, 0, child);
+        m.write_data(child, 0, 777);
+        assert_eq!(m.read_ref(parent, 0), child);
+        assert_eq!(m.read_ref(parent, 1), ObjectReference::NULL);
+        assert_eq!(m.read_data(child, 0), 777);
+        rt.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of memory")]
+    fn exhausting_the_heap_is_fatal() {
+        let rt = Runtime::new::<NoGcPlan>(
+            RuntimeOptions::default().with_heap_size(1 << 20).with_concurrent_thread(false),
+        );
+        let mut m = rt.bind_mutator();
+        for _ in 0..100_000 {
+            let _ = m.alloc(0, 14, 0);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Runtime configuration.
+
+use lxr_heap::HeapConfig;
+
+/// Options controlling the runtime: heap size/geometry, the number of
+/// parallel GC workers, and whether a concurrent collector thread is run.
+///
+/// # Example
+///
+/// ```
+/// use lxr_runtime::RuntimeOptions;
+/// let opts = RuntimeOptions::default()
+///     .with_heap_size(64 << 20)
+///     .with_gc_workers(4);
+/// assert_eq!(opts.heap.heap_bytes, 64 << 20);
+/// assert_eq!(opts.gc_workers, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RuntimeOptions {
+    /// Heap size and structural parameters.
+    pub heap: HeapConfig,
+    /// Number of parallel stop-the-world GC worker threads.
+    pub gc_workers: usize,
+    /// Whether the runtime starts a concurrent collector thread (lazy
+    /// decrements, SATB tracing, concurrent marking for the baselines).
+    pub concurrent_thread: bool,
+    /// How many allocations between trigger polls on each mutator.
+    pub poll_interval_allocs: usize,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        RuntimeOptions {
+            heap: HeapConfig::default(),
+            gc_workers: default_gc_workers(),
+            concurrent_thread: true,
+            poll_interval_allocs: 64,
+        }
+    }
+}
+
+fn default_gc_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(4)
+}
+
+impl RuntimeOptions {
+    /// Sets the total heap size in bytes.
+    pub fn with_heap_size(mut self, bytes: usize) -> Self {
+        self.heap.heap_bytes = bytes;
+        self
+    }
+
+    /// Replaces the whole heap configuration.
+    pub fn with_heap_config(mut self, heap: HeapConfig) -> Self {
+        self.heap = heap;
+        self
+    }
+
+    /// Sets the number of parallel GC workers.
+    pub fn with_gc_workers(mut self, workers: usize) -> Self {
+        self.gc_workers = workers.max(1);
+        self
+    }
+
+    /// Enables or disables the concurrent collector thread.
+    pub fn with_concurrent_thread(mut self, enabled: bool) -> Self {
+        self.concurrent_thread = enabled;
+        self
+    }
+
+    /// Sets the mutator poll interval (allocations between trigger checks).
+    pub fn with_poll_interval(mut self, allocs: usize) -> Self {
+        self.poll_interval_allocs = allocs.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = RuntimeOptions::default();
+        assert!(o.gc_workers >= 1);
+        assert!(o.concurrent_thread);
+        assert_eq!(o.heap.block_bytes, 32 * 1024);
+        assert!(o.poll_interval_allocs >= 1);
+    }
+
+    #[test]
+    fn builders_clamp_to_valid_values() {
+        let o = RuntimeOptions::default().with_gc_workers(0).with_poll_interval(0);
+        assert_eq!(o.gc_workers, 1);
+        assert_eq!(o.poll_interval_allocs, 1);
+    }
+}

@@ -1,0 +1,318 @@
+//! Stop-the-world rendezvous between mutators and the GC controller.
+//!
+//! LXR (and the stop-the-world phases of every baseline) relies on regular,
+//! brief safepoint pauses: a mutator requests a collection (or the plan's
+//! pacing trigger fires), every active mutator parks at its next safepoint,
+//! the controller runs the collection, and the mutators resume.
+//!
+//! Mutators that block for long periods (e.g. waiting on a request queue)
+//! declare themselves *inactive* for the duration so they do not hold up the
+//! pause — the analogue of a JVM thread running native code.
+
+use crate::stats::GcReason;
+use parking_lot::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct State {
+    /// A collection has been requested but not yet started.
+    gc_requested: bool,
+    /// The controller is between stopping the world and resuming it.
+    gc_in_progress: bool,
+    /// Reason attached to the pending/current request.
+    reason: GcReason,
+    /// Number of mutators currently parked at the safepoint.
+    parked: usize,
+    /// Number of registered, active (not blocked, not exited) mutators.
+    active: usize,
+    /// Monotonic count of completed collections.
+    completed_collections: u64,
+    /// The runtime is shutting down; no further collections will run.
+    shutdown: bool,
+}
+
+/// The shared rendezvous object.
+#[derive(Debug)]
+pub struct Rendezvous {
+    state: Mutex<State>,
+    /// Mutators wait here for the collection to finish.
+    mutators: Condvar,
+    /// The controller waits here for requests and for mutators to park.
+    controller: Condvar,
+}
+
+impl Default for Rendezvous {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Rendezvous {
+    /// Creates a rendezvous with no registered mutators.
+    pub fn new() -> Self {
+        Rendezvous {
+            state: Mutex::new(State {
+                gc_requested: false,
+                gc_in_progress: false,
+                reason: GcReason::Requested,
+                parked: 0,
+                active: 0,
+                completed_collections: 0,
+                shutdown: false,
+            }),
+            mutators: Condvar::new(),
+            controller: Condvar::new(),
+        }
+    }
+
+    /// Registers a new active mutator.
+    pub fn register_mutator(&self) {
+        let mut s = self.state.lock();
+        s.active += 1;
+    }
+
+    /// Deregisters a mutator (thread exit).  Wakes the controller in case it
+    /// was waiting for this mutator to park.
+    pub fn deregister_mutator(&self) {
+        let mut s = self.state.lock();
+        debug_assert!(s.active > 0);
+        s.active -= 1;
+        self.controller.notify_all();
+    }
+
+    /// Marks the calling mutator inactive for the duration of a blocking
+    /// operation.
+    pub fn enter_blocked(&self) {
+        self.deregister_mutator();
+    }
+
+    /// Re-activates a mutator leaving a blocking operation.  If a collection
+    /// is underway the call waits for it to finish first.
+    pub fn exit_blocked(&self) {
+        let mut s = self.state.lock();
+        while s.gc_requested || s.gc_in_progress {
+            self.mutators.wait(&mut s);
+        }
+        s.active += 1;
+    }
+
+    /// Requests a collection (idempotent while one is pending or running).
+    /// Returns `true` if this call lodged a new request.
+    pub fn request_gc(&self, reason: GcReason) -> bool {
+        let mut s = self.state.lock();
+        if s.shutdown || s.gc_requested || s.gc_in_progress {
+            return false;
+        }
+        s.gc_requested = true;
+        s.reason = reason;
+        self.controller.notify_all();
+        true
+    }
+
+    /// Returns `true` if a collection is currently requested or running
+    /// (mutators should park at their next safepoint).
+    pub fn gc_pending(&self) -> bool {
+        let s = self.state.lock();
+        s.gc_requested || s.gc_in_progress
+    }
+
+    /// Number of collections completed so far.
+    pub fn completed_collections(&self) -> u64 {
+        self.state.lock().completed_collections
+    }
+
+    /// Parks the calling mutator until any pending or in-progress collection
+    /// has finished.  Returns immediately if none is pending.
+    pub fn safepoint_park(&self) {
+        let mut s = self.state.lock();
+        while (s.gc_requested || s.gc_in_progress) && !s.shutdown {
+            s.parked += 1;
+            self.controller.notify_all();
+            self.mutators.wait(&mut s);
+            s.parked -= 1;
+        }
+    }
+
+    /// Controller: waits until a collection has been requested (or shutdown).
+    /// Returns the reason, or `None` on shutdown.
+    pub fn wait_for_request(&self) -> Option<GcReason> {
+        let mut s = self.state.lock();
+        loop {
+            if s.shutdown {
+                return None;
+            }
+            if s.gc_requested {
+                return Some(s.reason);
+            }
+            self.controller.wait(&mut s);
+        }
+    }
+
+    /// Controller: stops the world.  Marks the collection as in progress and
+    /// waits until every active mutator is parked.  Returns the time it took
+    /// to reach the safepoint.
+    pub fn stop_the_world(&self) -> Duration {
+        let start = Instant::now();
+        let mut s = self.state.lock();
+        s.gc_in_progress = true;
+        while s.parked < s.active && !s.shutdown {
+            self.controller.wait(&mut s);
+        }
+        start.elapsed()
+    }
+
+    /// Controller: resumes the world after a collection.
+    pub fn resume_the_world(&self) {
+        let mut s = self.state.lock();
+        s.gc_in_progress = false;
+        s.gc_requested = false;
+        s.completed_collections += 1;
+        self.mutators.notify_all();
+    }
+
+    /// Initiates shutdown: wakes everyone; no further collections run.
+    pub fn shutdown(&self) {
+        let mut s = self.state.lock();
+        s.shutdown = true;
+        s.gc_requested = false;
+        s.gc_in_progress = false;
+        self.mutators.notify_all();
+        self.controller.notify_all();
+    }
+
+    /// Returns `true` once shutdown has been initiated.
+    pub fn is_shutdown(&self) -> bool {
+        self.state.lock().shutdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn request_is_idempotent_until_completed() {
+        let r = Rendezvous::new();
+        assert!(r.request_gc(GcReason::Exhausted));
+        assert!(!r.request_gc(GcReason::Threshold), "second request coalesces");
+        assert!(r.gc_pending());
+    }
+
+    #[test]
+    fn safepoint_is_a_no_op_without_a_request() {
+        let r = Rendezvous::new();
+        r.register_mutator();
+        r.safepoint_park(); // must not block
+        assert_eq!(r.completed_collections(), 0);
+    }
+
+    #[test]
+    fn full_stop_the_world_cycle_with_multiple_mutators() {
+        let r = Arc::new(Rendezvous::new());
+        let in_gc = Arc::new(AtomicBool::new(false));
+        let observed_during_gc = Arc::new(AtomicUsize::new(0));
+        let iterations = 200;
+
+        let mutators: Vec<_> = (0..4)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                let in_gc = Arc::clone(&in_gc);
+                let observed = Arc::clone(&observed_during_gc);
+                r.register_mutator();
+                std::thread::spawn(move || {
+                    for _ in 0..iterations {
+                        // "Mutator work": if the controller claims to be in a
+                        // stop-the-world section while we are running, that
+                        // is a violation.
+                        if in_gc.load(Ordering::SeqCst) {
+                            observed.fetch_add(1, Ordering::SeqCst);
+                        }
+                        r.safepoint_park();
+                        std::hint::spin_loop();
+                    }
+                    r.deregister_mutator();
+                })
+            })
+            .collect();
+
+        let controller = {
+            let r = Arc::clone(&r);
+            let in_gc = Arc::clone(&in_gc);
+            std::thread::spawn(move || {
+                let mut collections = 0;
+                while let Some(_reason) = r.wait_for_request() {
+                    r.stop_the_world();
+                    in_gc.store(true, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_micros(200));
+                    in_gc.store(false, Ordering::SeqCst);
+                    r.resume_the_world();
+                    collections += 1;
+                    if collections >= 10 {
+                        break;
+                    }
+                }
+            })
+        };
+
+        // Drive ten GC requests from this thread.
+        for _ in 0..10 {
+            while !r.request_gc(GcReason::Threshold) {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+            // Wait for it to complete.
+            let target = r.completed_collections() + 1;
+            while r.completed_collections() < target && !r.is_shutdown() {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+
+        controller.join().unwrap();
+        r.shutdown();
+        for m in mutators {
+            m.join().unwrap();
+        }
+        assert_eq!(
+            observed_during_gc.load(Ordering::SeqCst),
+            0,
+            "no mutator ever ran while the world was stopped"
+        );
+        assert_eq!(r.completed_collections(), 10);
+    }
+
+    #[test]
+    fn blocked_mutators_do_not_delay_the_pause() {
+        let r = Arc::new(Rendezvous::new());
+        r.register_mutator();
+        // The single mutator enters a blocked region and stays there.
+        r.enter_blocked();
+        r.request_gc(GcReason::Requested);
+        // The controller must be able to stop the world with no one parked.
+        let r2 = Arc::clone(&r);
+        let controller = std::thread::spawn(move || {
+            r2.wait_for_request().unwrap();
+            r2.stop_the_world();
+            r2.resume_the_world();
+        });
+        controller.join().unwrap();
+        assert_eq!(r.completed_collections(), 1);
+        r.exit_blocked();
+        r.deregister_mutator();
+    }
+
+    #[test]
+    fn shutdown_unblocks_everyone() {
+        let r = Arc::new(Rendezvous::new());
+        r.register_mutator();
+        r.request_gc(GcReason::Requested);
+        let r2 = Arc::clone(&r);
+        let parked = std::thread::spawn(move || {
+            r2.safepoint_park(); // would block forever without a controller
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        r.shutdown();
+        parked.join().unwrap();
+        assert!(r.wait_for_request().is_none());
+    }
+}

@@ -1,0 +1,378 @@
+//! The runtime: ties the heap, a plan, mutators, the GC controller and the
+//! concurrent collector thread together.
+
+use crate::mutator::{Mutator, MutatorShared};
+use crate::plan::{Collection, ConcurrentWork, Plan, PlanContext, PlanFactory, RootSet};
+use crate::rendezvous::Rendezvous;
+use crate::stats::{GcReason, GcStats, PauseRecord};
+use crate::workers::WorkerPool;
+use crate::RuntimeOptions;
+use lxr_heap::{BlockAllocator, HeapSpace, LargeObjectSpace};
+use lxr_object::ObjectReference;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Attributes of the current pause, filled in by the plan during
+/// [`Plan::collect`] and folded into the [`PauseRecord`] by the controller.
+#[derive(Debug)]
+pub struct PauseAttrs {
+    kind: Mutex<&'static str>,
+    started_satb: AtomicBool,
+    lazy_incomplete: AtomicBool,
+}
+
+impl Default for PauseAttrs {
+    fn default() -> Self {
+        PauseAttrs {
+            kind: Mutex::new("gc"),
+            started_satb: AtomicBool::new(false),
+            lazy_incomplete: AtomicBool::new(false),
+        }
+    }
+}
+
+impl PauseAttrs {
+    /// Sets the pause's plan-specific label.
+    pub fn set_kind(&self, kind: &'static str) {
+        *self.kind.lock() = kind;
+    }
+
+    /// Marks this pause as having started an SATB trace.
+    pub fn set_started_satb(&self) {
+        self.started_satb.store(true, Ordering::Relaxed);
+    }
+
+    /// Marks this pause as having begun before lazy concurrent work from the
+    /// previous epoch had finished.
+    pub fn set_lazy_incomplete(&self) {
+        self.lazy_incomplete.store(true, Ordering::Relaxed);
+    }
+}
+
+/// State shared by the runtime handle, the mutators and the GC threads.
+pub struct RuntimeShared {
+    /// The collector.
+    pub plan: Arc<dyn Plan>,
+    /// The heap arena.
+    pub space: Arc<HeapSpace>,
+    /// The global block lists.
+    pub blocks: Arc<BlockAllocator>,
+    /// The large object space.
+    pub los: Arc<LargeObjectSpace>,
+    /// Shared statistics.
+    pub stats: Arc<GcStats>,
+    /// The stop-the-world rendezvous.
+    pub rendezvous: Arc<Rendezvous>,
+    /// Runtime options.
+    pub options: RuntimeOptions,
+    /// The parallel GC worker pool.
+    pub workers: Arc<WorkerPool>,
+    /// Attributes of the pause currently being executed.
+    pub pause_attrs: Arc<PauseAttrs>,
+
+    mutators: Mutex<Vec<Arc<MutatorShared>>>,
+    global_roots: Arc<Mutex<Vec<ObjectReference>>>,
+    next_mutator_id: AtomicUsize,
+    run_start: Instant,
+    concurrent_wake: Mutex<bool>,
+    concurrent_cv: Condvar,
+}
+
+impl std::fmt::Debug for RuntimeShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuntimeShared")
+            .field("plan", &self.plan.name())
+            .field("options", &self.options)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RuntimeShared {
+    fn wake_concurrent(&self) {
+        let mut pending = self.concurrent_wake.lock();
+        *pending = true;
+        self.concurrent_cv.notify_all();
+    }
+
+    fn wait_for_concurrent_wake(&self) -> bool {
+        let mut pending = self.concurrent_wake.lock();
+        while !*pending {
+            if self.rendezvous.is_shutdown() {
+                return false;
+            }
+            self.concurrent_cv.wait(&mut pending);
+        }
+        *pending = false;
+        !self.rendezvous.is_shutdown()
+    }
+}
+
+struct RuntimeOwner {
+    shared: Arc<RuntimeShared>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Drop for RuntimeOwner {
+    fn drop(&mut self) {
+        self.shared.rendezvous.shutdown();
+        self.shared.wake_concurrent();
+        for t in self.threads.lock().drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// A handle to a running managed-heap runtime.
+///
+/// The handle is cheap to clone and may be shared across threads; the
+/// runtime's GC threads shut down when the last clone is dropped (or when
+/// [`shutdown`](Runtime::shutdown) is called explicitly).
+#[derive(Clone)]
+pub struct Runtime {
+    shared: Arc<RuntimeShared>,
+    owner: Arc<RuntimeOwner>,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime").field("plan", &self.shared.plan.name()).finish_non_exhaustive()
+    }
+}
+
+impl Runtime {
+    /// Creates a runtime using plan `P`.
+    pub fn new<P: PlanFactory>(options: RuntimeOptions) -> Runtime {
+        Self::with_factory(options, |ctx| Arc::new(P::build(ctx)) as Arc<dyn Plan>)
+    }
+
+    /// Creates a runtime with an explicit plan factory (used by the harness
+    /// to select collectors by name at run time).
+    pub fn with_factory(
+        options: RuntimeOptions,
+        factory: impl FnOnce(PlanContext) -> Arc<dyn Plan>,
+    ) -> Runtime {
+        let space = Arc::new(HeapSpace::new(options.heap.clone()));
+        let blocks = Arc::new(BlockAllocator::new(space.clone()));
+        let los = Arc::new(LargeObjectSpace::new(space.clone(), blocks.clone()));
+        let stats = Arc::new(GcStats::new());
+        let ctx = PlanContext {
+            space: space.clone(),
+            blocks: blocks.clone(),
+            los: los.clone(),
+            stats: stats.clone(),
+            options: options.clone(),
+        };
+        let plan = factory(ctx);
+        if let Some(min) = plan.minimum_heap_bytes() {
+            assert!(
+                options.heap.heap_bytes >= min,
+                "plan `{}` requires a heap of at least {} MB (requested {} MB)",
+                plan.name(),
+                min >> 20,
+                options.heap.heap_bytes >> 20
+            );
+        }
+        let workers = Arc::new(WorkerPool::new(options.gc_workers));
+        let shared = Arc::new(RuntimeShared {
+            plan,
+            space,
+            blocks,
+            los,
+            stats,
+            rendezvous: Arc::new(Rendezvous::new()),
+            options,
+            workers,
+            pause_attrs: Arc::new(PauseAttrs::default()),
+            mutators: Mutex::new(Vec::new()),
+            global_roots: Arc::new(Mutex::new(Vec::new())),
+            next_mutator_id: AtomicUsize::new(0),
+            run_start: Instant::now(),
+            concurrent_wake: Mutex::new(false),
+            concurrent_cv: Condvar::new(),
+        });
+
+        let mut threads = Vec::new();
+        {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("gc-controller".to_string())
+                    .spawn(move || controller_loop(shared))
+                    .expect("failed to spawn GC controller"),
+            );
+        }
+        if shared.options.concurrent_thread {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("gc-concurrent".to_string())
+                    .spawn(move || concurrent_loop(shared))
+                    .expect("failed to spawn concurrent GC thread"),
+            );
+        }
+        let owner = Arc::new(RuntimeOwner { shared: shared.clone(), threads: Mutex::new(threads) });
+        Runtime { shared, owner }
+    }
+
+    /// The shared runtime state (heap, plan, statistics).
+    pub fn shared(&self) -> &Arc<RuntimeShared> {
+        &self.shared
+    }
+
+    /// The collector plan.
+    pub fn plan(&self) -> &Arc<dyn Plan> {
+        &self.shared.plan
+    }
+
+    /// Shared statistics.
+    pub fn stats(&self) -> &Arc<GcStats> {
+        &self.shared.stats
+    }
+
+    /// The heap arena.
+    pub fn space(&self) -> &Arc<HeapSpace> {
+        &self.shared.space
+    }
+
+    /// The global block allocator (for heap-occupancy queries).
+    pub fn blocks(&self) -> &Arc<BlockAllocator> {
+        &self.shared.blocks
+    }
+
+    /// Registers a new mutator thread and returns its handle.
+    pub fn bind_mutator(&self) -> Mutator {
+        let id = self.shared.next_mutator_id.fetch_add(1, Ordering::Relaxed);
+        let shared_mutator = Arc::new(MutatorShared {
+            id,
+            roots: Arc::new(Mutex::new(Vec::new())),
+            live: AtomicBool::new(true),
+        });
+        self.shared.mutators.lock().push(shared_mutator.clone());
+        self.shared.rendezvous.register_mutator();
+        let plan_mutator = self.shared.plan.create_mutator(id);
+        Mutator::new(self.shared.clone(), shared_mutator, plan_mutator)
+    }
+
+    /// Adds a global (process-wide) root and returns its index.
+    pub fn push_global_root(&self, obj: ObjectReference) -> usize {
+        let mut roots = self.shared.global_roots.lock();
+        roots.push(obj);
+        roots.len() - 1
+    }
+
+    /// Overwrites global root `index`.
+    pub fn set_global_root(&self, index: usize, obj: ObjectReference) {
+        self.shared.global_roots.lock()[index] = obj;
+    }
+
+    /// Reads global root `index`.
+    pub fn global_root(&self, index: usize) -> ObjectReference {
+        self.shared.global_roots.lock()[index]
+    }
+
+    /// Requests a collection from outside any mutator and waits for it to
+    /// complete.  Useful for forcing a final collection in tests and in the
+    /// harness.
+    pub fn request_gc_and_wait(&self) {
+        let target = self.shared.rendezvous.completed_collections() + 1;
+        self.shared.rendezvous.request_gc(GcReason::Requested);
+        while self.shared.rendezvous.completed_collections() < target {
+            if self.shared.rendezvous.is_shutdown() {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Milliseconds since the runtime was created.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.shared.run_start.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Shuts the runtime down: stops the GC threads and waits for them.
+    /// Called automatically when the last handle is dropped.
+    pub fn shutdown(&self) {
+        self.shared.rendezvous.shutdown();
+        self.shared.wake_concurrent();
+        for t in self.owner.threads.lock().drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn controller_loop(shared: Arc<RuntimeShared>) {
+    while let Some(reason) = shared.rendezvous.wait_for_request() {
+        let time_to_stop = shared.rendezvous.stop_the_world();
+        if shared.rendezvous.is_shutdown() {
+            shared.rendezvous.resume_the_world();
+            break;
+        }
+        let start_ms = shared.run_start.elapsed().as_secs_f64() * 1e3;
+        let pause_start = Instant::now();
+
+        let root_set = RootSet {
+            mutator_roots: {
+                let mutators = shared.mutators.lock();
+                mutators.iter().map(|m| m.roots.clone()).collect()
+            },
+            global_roots: shared.global_roots.clone(),
+        };
+        // Reset pause attributes for this pause.
+        shared.pause_attrs.set_kind("gc");
+        shared.pause_attrs.started_satb.store(false, Ordering::Relaxed);
+        shared.pause_attrs.lazy_incomplete.store(false, Ordering::Relaxed);
+
+        let collection = Collection {
+            reason,
+            workers: &shared.workers,
+            roots: &root_set,
+            stats: &shared.stats,
+            attrs: &shared.pause_attrs,
+        };
+        shared.plan.collect(&collection);
+
+        let duration = pause_start.elapsed();
+        shared.stats.add_stw_time(duration);
+        shared.stats.record_pause(PauseRecord {
+            start_ms,
+            time_to_stop,
+            duration,
+            reason,
+            kind: *shared.pause_attrs.kind.lock(),
+            started_satb: shared.pause_attrs.started_satb.load(Ordering::Relaxed),
+            lazy_incomplete: shared.pause_attrs.lazy_incomplete.load(Ordering::Relaxed),
+        });
+        shared.rendezvous.resume_the_world();
+        if shared.plan.has_concurrent_work() && shared.options.concurrent_thread {
+            shared.wake_concurrent();
+        }
+    }
+}
+
+fn concurrent_loop(shared: Arc<RuntimeShared>) {
+    loop {
+        if !shared.wait_for_concurrent_wake() {
+            return;
+        }
+        // Drain all pending concurrent work, yielding to pauses as needed.
+        while shared.plan.has_concurrent_work() && !shared.rendezvous.is_shutdown() {
+            let start = Instant::now();
+            let rendezvous = shared.rendezvous.clone();
+            let yield_requested = move || rendezvous.gc_pending();
+            let work = ConcurrentWork {
+                workers: &shared.workers,
+                stats: &shared.stats,
+                yield_requested: &yield_requested,
+            };
+            shared.plan.concurrent_work(&work);
+            shared.stats.add_concurrent_time(start.elapsed());
+            if shared.rendezvous.gc_pending() {
+                // A pause is imminent; stop so the controller is not delayed.
+                // We will be woken again after the pause if work remains.
+                break;
+            }
+        }
+    }
+}

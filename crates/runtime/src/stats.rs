@@ -1,0 +1,332 @@
+//! Collector and mutator statistics.
+//!
+//! Every experiment in the paper's evaluation is a statistic over one of
+//! three things: wall-clock/pause time, collector work, or barrier activity.
+//! [`GcStats`] gathers the first two (barrier activity lives in
+//! [`lxr_barrier::BarrierStats`]): a log of every pause with its duration
+//! and attributes (Table 7's pause statistics), cumulative busy time of the
+//! stop-the-world and concurrent collector threads (the "cycles" proxy of
+//! the LBO analysis, Figure 7b), and a set of work counters (increments,
+//! decrements, objects copied, blocks freed, …) used for the reclamation
+//! breakdowns.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Why a collection was triggered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GcReason {
+    /// An allocator could not obtain memory.
+    Exhausted,
+    /// A plan-specific pacing trigger fired (survival threshold, increment
+    /// threshold, heap-full margin, …).
+    Threshold,
+    /// The application (or harness) requested a collection explicitly.
+    Requested,
+}
+
+impl std::fmt::Display for GcReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GcReason::Exhausted => write!(f, "exhausted"),
+            GcReason::Threshold => write!(f, "threshold"),
+            GcReason::Requested => write!(f, "requested"),
+        }
+    }
+}
+
+/// One stop-the-world pause.
+#[derive(Debug, Clone)]
+pub struct PauseRecord {
+    /// Milliseconds from the start of the run to the start of the pause.
+    pub start_ms: f64,
+    /// Time taken to bring all mutators to the safepoint.
+    pub time_to_stop: Duration,
+    /// Stop-the-world duration (all mutators parked).
+    pub duration: Duration,
+    /// Why the collection was triggered.
+    pub reason: GcReason,
+    /// A short plan-specific label (e.g. "rc", "rc+satb-start", "full").
+    pub kind: &'static str,
+    /// Whether this pause initiated a concurrent (SATB) trace.
+    pub started_satb: bool,
+    /// Whether lazy concurrent work from the previous epoch was still
+    /// unfinished when this pause began (Table 7's "!Lazy%").
+    pub lazy_incomplete: bool,
+}
+
+/// Work counters, one per [`WorkCounter`] variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum WorkCounter {
+    /// Objects allocated by mutators.
+    ObjectsAllocated,
+    /// Words allocated by mutators.
+    WordsAllocated,
+    /// Root slots scanned at pauses.
+    RootsScanned,
+    /// Reference-count increments applied.
+    IncrementsApplied,
+    /// Reference-count decrements applied.
+    DecrementsApplied,
+    /// Objects that received their first increment this epoch (young
+    /// survivors / "births").
+    YoungSurvivors,
+    /// Objects whose count dropped to zero during decrement processing
+    /// (mature RC reclamation).
+    RcDeaths,
+    /// Objects reclaimed by the backup SATB trace (granules cleared in the
+    /// mature sweep).
+    SatbDeaths,
+    /// Objects whose reference count was stuck when the SATB sweep examined
+    /// them.
+    StuckObjects,
+    /// Objects marked by the SATB trace.
+    ObjectsMarked,
+    /// Reference slots traced (by any tracing activity).
+    SlotsTraced,
+    /// Young objects copied during pauses.
+    YoungObjectsCopied,
+    /// Mature objects copied during pauses (evacuation sets).
+    MatureObjectsCopied,
+    /// Words copied by any evacuation.
+    WordsCopied,
+    /// Completely free blocks reclaimed from young sweeping.
+    YoungBlocksFreed,
+    /// Completely free blocks reclaimed from mature sweeping.
+    MatureBlocksFreed,
+    /// Blocks returned to the recycled (partially free) list.
+    BlocksRecycled,
+    /// Large objects reclaimed.
+    LargeObjectsFreed,
+    /// Collections that ran a full-heap (degenerate) stop-the-world cycle —
+    /// used by the concurrent-copying baselines when allocation outruns
+    /// collection.
+    DegeneratedCollections,
+}
+
+const NUM_COUNTERS: usize = WorkCounter::DegeneratedCollections as usize + 1;
+
+/// A point-in-time copy of all statistics.
+#[derive(Debug, Clone)]
+pub struct StatsSnapshot {
+    /// Every pause recorded so far.
+    pub pauses: Vec<PauseRecord>,
+    /// Total stop-the-world collector busy time.
+    pub stw_gc_time: Duration,
+    /// Total concurrent collector busy time.
+    pub concurrent_gc_time: Duration,
+    /// The work counters.
+    pub counters: Vec<(WorkCounter, u64)>,
+}
+
+impl StatsSnapshot {
+    /// The value of one counter.
+    pub fn counter(&self, which: WorkCounter) -> u64 {
+        self.counters.iter().find(|(c, _)| *c == which).map(|(_, v)| *v).unwrap_or(0)
+    }
+
+    /// Total number of pauses.
+    pub fn pause_count(&self) -> usize {
+        self.pauses.len()
+    }
+
+    /// The given percentile (0.0–100.0) of pause durations, or zero if no
+    /// pause was recorded.
+    pub fn pause_percentile(&self, pct: f64) -> Duration {
+        if self.pauses.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut durations: Vec<Duration> = self.pauses.iter().map(|p| p.duration).collect();
+        durations.sort_unstable();
+        let rank = ((pct / 100.0) * (durations.len() as f64 - 1.0)).round() as usize;
+        durations[rank.min(durations.len() - 1)]
+    }
+
+    /// Fraction of pauses that started an SATB trace (Table 7 "SATB%").
+    pub fn satb_pause_fraction(&self) -> f64 {
+        if self.pauses.is_empty() {
+            return 0.0;
+        }
+        self.pauses.iter().filter(|p| p.started_satb).count() as f64 / self.pauses.len() as f64
+    }
+
+    /// Fraction of pauses that began before lazy concurrent work finished
+    /// (Table 7 "!Lazy%").
+    pub fn lazy_incomplete_fraction(&self) -> f64 {
+        if self.pauses.is_empty() {
+            return 0.0;
+        }
+        self.pauses.iter().filter(|p| p.lazy_incomplete).count() as f64 / self.pauses.len() as f64
+    }
+}
+
+/// Shared, thread-safe statistics store.
+#[derive(Debug)]
+pub struct GcStats {
+    pauses: Mutex<Vec<PauseRecord>>,
+    counters: [AtomicU64; NUM_COUNTERS],
+    stw_gc_nanos: AtomicU64,
+    concurrent_gc_nanos: AtomicU64,
+}
+
+impl Default for GcStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GcStats {
+    /// Creates an empty statistics store.
+    pub fn new() -> Self {
+        GcStats {
+            pauses: Mutex::new(Vec::new()),
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            stw_gc_nanos: AtomicU64::new(0),
+            concurrent_gc_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends a pause record.
+    pub fn record_pause(&self, record: PauseRecord) {
+        self.pauses.lock().push(record);
+    }
+
+    /// Adds `n` to a work counter.
+    #[inline]
+    pub fn add(&self, which: WorkCounter, n: u64) {
+        self.counters[which as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Reads a work counter.
+    pub fn get(&self, which: WorkCounter) -> u64 {
+        self.counters[which as usize].load(Ordering::Relaxed)
+    }
+
+    /// Accumulates stop-the-world collector busy time.
+    pub fn add_stw_time(&self, d: Duration) {
+        self.stw_gc_nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Accumulates concurrent collector busy time.
+    pub fn add_concurrent_time(&self, d: Duration) {
+        self.concurrent_gc_nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Number of pauses recorded so far.
+    pub fn pause_count(&self) -> usize {
+        self.pauses.lock().len()
+    }
+
+    /// Takes a snapshot of everything recorded so far.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let counters = ALL_COUNTERS
+            .iter()
+            .map(|c| (*c, self.counters[*c as usize].load(Ordering::Relaxed)))
+            .collect();
+        StatsSnapshot {
+            pauses: self.pauses.lock().clone(),
+            stw_gc_time: Duration::from_nanos(self.stw_gc_nanos.load(Ordering::Relaxed)),
+            concurrent_gc_time: Duration::from_nanos(self.concurrent_gc_nanos.load(Ordering::Relaxed)),
+            counters,
+        }
+    }
+}
+
+/// Every counter, in declaration order (used by snapshots and reports).
+pub const ALL_COUNTERS: &[WorkCounter] = &[
+    WorkCounter::ObjectsAllocated,
+    WorkCounter::WordsAllocated,
+    WorkCounter::RootsScanned,
+    WorkCounter::IncrementsApplied,
+    WorkCounter::DecrementsApplied,
+    WorkCounter::YoungSurvivors,
+    WorkCounter::RcDeaths,
+    WorkCounter::SatbDeaths,
+    WorkCounter::StuckObjects,
+    WorkCounter::ObjectsMarked,
+    WorkCounter::SlotsTraced,
+    WorkCounter::YoungObjectsCopied,
+    WorkCounter::MatureObjectsCopied,
+    WorkCounter::WordsCopied,
+    WorkCounter::YoungBlocksFreed,
+    WorkCounter::MatureBlocksFreed,
+    WorkCounter::BlocksRecycled,
+    WorkCounter::LargeObjectsFreed,
+    WorkCounter::DegeneratedCollections,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pause(ms: u64, satb: bool, lazy: bool) -> PauseRecord {
+        PauseRecord {
+            start_ms: 0.0,
+            time_to_stop: Duration::from_micros(50),
+            duration: Duration::from_millis(ms),
+            reason: GcReason::Threshold,
+            kind: "rc",
+            started_satb: satb,
+            lazy_incomplete: lazy,
+        }
+    }
+
+    #[test]
+    fn counters_accumulate_independently() {
+        let s = GcStats::new();
+        s.add(WorkCounter::IncrementsApplied, 10);
+        s.add(WorkCounter::IncrementsApplied, 5);
+        s.add(WorkCounter::DecrementsApplied, 3);
+        assert_eq!(s.get(WorkCounter::IncrementsApplied), 15);
+        assert_eq!(s.get(WorkCounter::DecrementsApplied), 3);
+        assert_eq!(s.get(WorkCounter::ObjectsMarked), 0);
+        let snap = s.snapshot();
+        assert_eq!(snap.counter(WorkCounter::IncrementsApplied), 15);
+    }
+
+    #[test]
+    fn pause_percentiles() {
+        let s = GcStats::new();
+        for ms in [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 100] {
+            s.record_pause(pause(ms, false, false));
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.pause_count(), 10);
+        assert_eq!(snap.pause_percentile(50.0), Duration::from_millis(6));
+        assert_eq!(snap.pause_percentile(100.0), Duration::from_millis(100));
+        assert_eq!(snap.pause_percentile(0.0), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn pause_fraction_statistics() {
+        let s = GcStats::new();
+        s.record_pause(pause(1, true, false));
+        s.record_pause(pause(1, false, true));
+        s.record_pause(pause(1, false, false));
+        s.record_pause(pause(1, false, false));
+        let snap = s.snapshot();
+        assert!((snap.satb_pause_fraction() - 0.25).abs() < 1e-9);
+        assert!((snap.lazy_incomplete_fraction() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_snapshot_is_well_behaved() {
+        let snap = GcStats::new().snapshot();
+        assert_eq!(snap.pause_percentile(99.0), Duration::ZERO);
+        assert_eq!(snap.satb_pause_fraction(), 0.0);
+        assert_eq!(snap.pause_count(), 0);
+    }
+
+    #[test]
+    fn gc_time_accumulates() {
+        let s = GcStats::new();
+        s.add_stw_time(Duration::from_millis(3));
+        s.add_stw_time(Duration::from_millis(4));
+        s.add_concurrent_time(Duration::from_millis(10));
+        let snap = s.snapshot();
+        assert_eq!(snap.stw_gc_time, Duration::from_millis(7));
+        assert_eq!(snap.concurrent_gc_time, Duration::from_millis(10));
+    }
+}

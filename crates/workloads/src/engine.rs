@@ -1,0 +1,320 @@
+//! The workload engine: drives mutator threads against a collector
+//! according to a [`BenchmarkSpec`], measuring throughput and (for the
+//! latency-critical workloads) metered request latency.
+
+use crate::spec::BenchmarkSpec;
+use lxr_baselines::{minimum_heap_for, plan_registry};
+use lxr_object::ObjectShape;
+use lxr_runtime::{Runtime, RuntimeOptions, StatsSnapshot};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The outcome of one workload execution.
+#[derive(Debug, Clone)]
+pub struct WorkloadResult {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Collector name.
+    pub collector: String,
+    /// Heap factor relative to the benchmark's minimum heap.
+    pub heap_factor: f64,
+    /// Wall-clock execution time.
+    pub wall_time: Duration,
+    /// Total bytes allocated by the mutators.
+    pub allocated_bytes: usize,
+    /// Requests per second (latency-critical workloads only).
+    pub qps: Option<f64>,
+    /// Sorted metered request latencies (latency-critical workloads only).
+    pub latencies: Vec<Duration>,
+    /// Collector statistics captured at the end of the run.
+    pub gc: StatsSnapshot,
+    /// Whether the run failed because the collector could not operate in
+    /// the requested heap (e.g. ZGC below its minimum heap).
+    pub skipped: bool,
+}
+
+impl WorkloadResult {
+    /// The latency at `pct` percent (0–100), if latencies were measured.
+    pub fn latency_percentile(&self, pct: f64) -> Option<Duration> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let rank = ((pct / 100.0) * (self.latencies.len() as f64 - 1.0)).round() as usize;
+        Some(self.latencies[rank.min(self.latencies.len() - 1)])
+    }
+
+    /// A cycles-like cost: mutator wall time across threads plus collector
+    /// busy time (stop-the-world and concurrent), used by the LBO analysis
+    /// of Figure 7(b).
+    pub fn cycles_proxy(&self, mutator_threads: usize) -> Duration {
+        self.wall_time * mutator_threads as u32 + self.gc.stw_gc_time + self.gc.concurrent_gc_time
+    }
+}
+
+/// Options controlling a workload execution.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Heap size as a multiple of the benchmark's minimum heap.
+    pub heap_factor: f64,
+    /// Scale applied to the benchmark's allocation volume and request count
+    /// (use < 1.0 for quick runs, e.g. in benches and tests).
+    pub scale: f64,
+    /// Random seed.
+    pub seed: u64,
+    /// Number of parallel GC worker threads.
+    pub gc_workers: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions { heap_factor: 2.0, scale: 1.0, seed: 12345, gc_workers: 4 }
+    }
+}
+
+impl RunOptions {
+    /// Sets the heap factor.
+    pub fn with_heap_factor(mut self, f: f64) -> Self {
+        self.heap_factor = f;
+        self
+    }
+
+    /// Sets the workload scale.
+    pub fn with_scale(mut self, s: f64) -> Self {
+        self.scale = s;
+        self
+    }
+}
+
+/// Runs `spec` against the collector named `collector`.
+///
+/// Returns a skipped result (rather than panicking) when the collector
+/// cannot run in the requested heap, mirroring the paper's "ZGC cannot run
+/// some workloads" annotations.
+pub fn run_workload(spec: &BenchmarkSpec, collector: &str, options: &RunOptions) -> WorkloadResult {
+    let heap_bytes = spec.heap_bytes(options.heap_factor);
+    if let Some(min) = minimum_heap_for(collector) {
+        if heap_bytes < min {
+            return WorkloadResult {
+                benchmark: spec.name,
+                collector: collector.to_string(),
+                heap_factor: options.heap_factor,
+                wall_time: Duration::ZERO,
+                allocated_bytes: 0,
+                qps: None,
+                latencies: Vec::new(),
+                gc: lxr_runtime::GcStats::new().snapshot(),
+                skipped: true,
+            };
+        }
+    }
+    let runtime_options = RuntimeOptions::default()
+        .with_heap_size(heap_bytes)
+        .with_gc_workers(options.gc_workers)
+        .with_poll_interval(64);
+    let runtime = Runtime::with_factory(runtime_options, plan_registry(collector));
+
+    let start = Instant::now();
+    let (allocated_bytes, latencies) = if spec.is_latency_critical() {
+        run_latency(&runtime, spec, options)
+    } else {
+        run_throughput(&runtime, spec, options)
+    };
+    let wall_time = start.elapsed();
+    let gc = runtime.stats().snapshot();
+    runtime.shutdown();
+
+    let qps = spec.latency.map(|l| {
+        let requests = (l.num_requests as f64 * options.scale).max(1.0);
+        requests / wall_time.as_secs_f64()
+    });
+    WorkloadResult {
+        benchmark: spec.name,
+        collector: collector.to_string(),
+        heap_factor: options.heap_factor,
+        wall_time,
+        allocated_bytes,
+        qps,
+        latencies,
+        gc,
+        skipped: false,
+    }
+}
+
+/// One mutator thread's slice of a throughput workload.
+fn throughput_thread(
+    runtime: Runtime,
+    spec: BenchmarkSpec,
+    options: RunOptions,
+    thread_index: usize,
+    target_bytes: usize,
+) -> usize {
+    let mut mutator = runtime.bind_mutator();
+    let mut rng = StdRng::seed_from_u64(options.seed ^ (thread_index as u64) << 32);
+    let mut allocated = 0usize;
+
+    // The survivor store: a root-held table whose entries hold the objects
+    // that "survive the nursery".  Its capacity is sized so the live heap
+    // stays near the benchmark's minimum-heap share for this thread.
+    let live_budget_words = (spec.min_heap_mb << 20) / 8 / 2 / spec.mutator_threads;
+    let store_slots = (live_budget_words / spec.mean_object_words.max(2)).clamp(64, 60_000) as u16;
+    let store_root = {
+        let store = mutator.alloc(store_slots, 0, 0);
+        mutator.push_root(store)
+    };
+
+    // avrora's tracing-hostile structure: a long singly-linked list that
+    // stays live for the whole run.
+    let list_root = if spec.linked_list_stress {
+        let head = mutator.alloc(1, 1, 99);
+        let head_root = mutator.push_root(head);
+        let cursor_root = mutator.push_root(head);
+        for i in 0..30_000u64 {
+            let node = mutator.alloc(1, 1, 99);
+            mutator.write_data(node, 0, i);
+            let cursor = mutator.root(cursor_root);
+            mutator.write_ref(cursor, 0, node);
+            mutator.set_root(cursor_root, node);
+        }
+        mutator.pop_root();
+        Some(head_root)
+    } else {
+        None
+    };
+
+    let large_object_words = 3 * 1024; // 24 KB > the 16 KB threshold
+    while allocated < target_bytes {
+        // Choose the object shape.
+        let is_large = rng.gen_bool(spec.large_fraction / 8.0);
+        let (nrefs, ndata): (u16, u16) = if is_large {
+            (1, large_object_words as u16)
+        } else {
+            let size = spec.mean_object_words.max(3);
+            let data = rng.gen_range(1..=(2 * size - 2).max(2)) as u16;
+            (2, data)
+        };
+        let obj = mutator.alloc(nrefs, ndata, 1);
+        mutator.write_data(obj, 0, allocated as u64);
+        allocated += ObjectShape::new(nrefs, ndata, 1).size_words() * 8;
+
+        // Nursery survival: a fraction of objects are installed in the
+        // survivor store (evicting, and thereby killing, a mature object).
+        if rng.gen_bool(spec.survival_rate.clamp(0.0, 1.0)) {
+            let slot = rng.gen_range(0..store_slots as usize);
+            let store = mutator.root(store_root);
+            // Pointer churn: wire the new survivor to an existing one,
+            // creating mature-to-mature references and occasional cycles.
+            if rng.gen_bool(spec.pointer_churn) {
+                let other = mutator.read_ref(store, rng.gen_range(0..store_slots as usize));
+                mutator.write_ref(obj, 0, other);
+            }
+            mutator.write_ref(store, slot, obj);
+        }
+
+        // Periodically traverse the live list (avrora) to keep its payload
+        // hot and verify integrity.
+        if let Some(list_root) = list_root {
+            if allocated % (1 << 20) < 64 {
+                let mut cursor = mutator.root(list_root);
+                let mut hops = 0u64;
+                while !cursor.is_null() && hops < 30_000 {
+                    cursor = mutator.read_ref(cursor, 0);
+                    hops += 1;
+                }
+                assert!(hops >= 30_000, "live linked list was truncated");
+            }
+        }
+    }
+    allocated
+}
+
+fn run_throughput(runtime: &Runtime, spec: &BenchmarkSpec, options: &RunOptions) -> (usize, Vec<Duration>) {
+    let total_bytes = ((spec.total_alloc_mb as f64) * options.scale * 1024.0 * 1024.0) as usize;
+    let per_thread = total_bytes / spec.mutator_threads;
+    let threads: Vec<_> = (0..spec.mutator_threads)
+        .map(|t| {
+            let runtime = runtime.clone();
+            let spec = spec.clone();
+            let options = options.clone();
+            std::thread::spawn(move || throughput_thread(runtime, spec, options, t, per_thread))
+        })
+        .collect();
+    let allocated = threads.into_iter().map(|t| t.join().expect("mutator thread panicked")).sum();
+    (allocated, Vec::new())
+}
+
+fn run_latency(runtime: &Runtime, spec: &BenchmarkSpec, options: &RunOptions) -> (usize, Vec<Duration>) {
+    let latency = spec.latency.expect("latency workload without a latency spec");
+    let num_requests = ((latency.num_requests as f64) * options.scale).max(1.0) as usize;
+    let next_request = Arc::new(AtomicUsize::new(0));
+    let start = Instant::now();
+    let interval = Duration::from_secs_f64(1.0 / latency.requests_per_second);
+
+    let threads: Vec<_> = (0..spec.mutator_threads)
+        .map(|t| {
+            let runtime = runtime.clone();
+            let spec = spec.clone();
+            let next_request = next_request.clone();
+            let seed = options.seed ^ (t as u64) << 32;
+            std::thread::spawn(move || {
+                let mut mutator = runtime.bind_mutator();
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut latencies = Vec::new();
+                let mut allocated = 0usize;
+                // Per-worker survivor store standing in for caches/indices.
+                let store_slots: u16 = 2048;
+                let store_root = {
+                    let store = mutator.alloc(store_slots, 0, 0);
+                    mutator.push_root(store)
+                };
+                loop {
+                    let index = next_request.fetch_add(1, Ordering::Relaxed);
+                    if index >= num_requests {
+                        break;
+                    }
+                    // Metered arrival: request `index` arrives at a fixed
+                    // offset from the start of the run; if the system is
+                    // behind (e.g. a GC pause), queuing delay accrues.
+                    let arrival = start + interval.mul_f64(index as f64);
+                    let now = Instant::now();
+                    if now < arrival {
+                        let wait = arrival - now;
+                        mutator.blocked(|| std::thread::sleep(wait));
+                    }
+                    // Service the request: allocate a response graph, touch
+                    // the survivor store, and burn some compute.
+                    let mut acc = index as u64;
+                    for a in 0..latency.allocations_per_request {
+                        let data = (spec.mean_object_words.max(3) - 1) as u16;
+                        let obj = mutator.alloc(1, data, 2);
+                        mutator.write_data(obj, 0, acc);
+                        allocated += ObjectShape::new(1, data, 2).size_words() * 8;
+                        if a == 0 && rng.gen_bool(spec.survival_rate.clamp(0.0, 1.0)) {
+                            let store = mutator.root(store_root);
+                            let slot = rng.gen_range(0..store_slots as usize);
+                            mutator.write_ref(store, slot, obj);
+                        }
+                    }
+                    for _ in 0..latency.compute_per_request {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    }
+                    std::hint::black_box(acc);
+                    latencies.push(Instant::now() - arrival);
+                }
+                (allocated, latencies)
+            })
+        })
+        .collect();
+
+    let mut all_latencies = Vec::new();
+    let mut allocated = 0usize;
+    for t in threads {
+        let (bytes, lat) = t.join().expect("request worker panicked");
+        allocated += bytes;
+        all_latencies.extend(lat);
+    }
+    all_latencies.sort_unstable();
+    (allocated, all_latencies)
+}

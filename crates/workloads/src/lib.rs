@@ -1,0 +1,68 @@
+//! # lxr-workloads
+//!
+//! Synthetic workloads reproducing the *characteristics* of the paper's
+//! 17 DaCapo Chopin benchmarks (Table 3) — allocation volume and rate, mean
+//! object size, large-object fraction, nursery survival rate, pointer churn
+//! and structural stress (avrora's long live list) — plus the four
+//! latency-critical, request-driven workloads (cassandra, h2, lusearch,
+//! tomcat) evaluated with DaCapo's metered-latency methodology (§4): each
+//! request has a scheduled arrival time, and its reported latency includes
+//! any queuing delay caused by collector interruptions.
+//!
+//! ```no_run
+//! use lxr_workloads::{benchmark, run_workload, RunOptions};
+//! let spec = benchmark("lusearch").unwrap();
+//! let result = run_workload(&spec, "lxr", &RunOptions::default().with_heap_factor(1.3));
+//! println!("99.9% latency: {:?}", result.latency_percentile(99.9));
+//! ```
+
+pub mod engine;
+pub mod spec;
+
+pub use engine::{run_workload, RunOptions, WorkloadResult};
+pub use spec::{benchmark, latency_suite, suite, BenchmarkSpec, LatencySpec};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_throughput_run_completes_and_collects() {
+        let spec = benchmark("fop").unwrap();
+        let result = run_workload(&spec, "lxr", &RunOptions::default().with_scale(0.25));
+        assert!(!result.skipped);
+        assert!(result.allocated_bytes > 1 << 20);
+        assert!(result.gc.pause_count() > 0, "a 6 MB-alloc run in a 10 MB heap must collect");
+    }
+
+    #[test]
+    fn quick_latency_run_reports_percentiles() {
+        let spec = benchmark("lusearch").unwrap();
+        let result = run_workload(
+            &spec,
+            "lxr",
+            &RunOptions::default().with_heap_factor(1.3).with_scale(0.05),
+        );
+        assert!(!result.skipped);
+        assert!(result.qps.unwrap() > 0.0);
+        assert!(!result.latencies.is_empty());
+        assert!(result.latency_percentile(50.0).unwrap() <= result.latency_percentile(99.9).unwrap());
+    }
+
+    #[test]
+    fn zgc_is_skipped_below_its_minimum_heap() {
+        let spec = benchmark("lusearch").unwrap();
+        let result = run_workload(&spec, "zgc", &RunOptions::default().with_heap_factor(1.3).with_scale(0.05));
+        assert!(result.skipped, "ZGC cannot run lusearch in a 1.3x heap");
+    }
+
+    #[test]
+    fn avrora_linked_list_survives_under_every_collector_family() {
+        let spec = benchmark("avrora").unwrap();
+        for collector in ["lxr", "g1", "shenandoah"] {
+            let result = run_workload(&spec, collector, &RunOptions::default().with_scale(0.2));
+            assert!(!result.skipped, "{collector} should run avrora");
+            assert!(result.allocated_bytes > 0);
+        }
+    }
+}

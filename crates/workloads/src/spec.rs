@@ -1,0 +1,200 @@
+//! Benchmark specifications.
+//!
+//! The paper evaluates 17 benchmarks from the DaCapo Chopin suite; Table 3
+//! characterises each by its minimum heap, allocation volume, allocation
+//! rate, mean object size, large-object fraction and nursery survival rate.
+//! Since the JVM and DaCapo are not available here, each benchmark is
+//! represented by a synthetic workload with the same *characteristics*,
+//! scaled down (≈1/16 of the original heap sizes) so a full collector
+//! comparison runs on a laptop in seconds.  The four latency-critical
+//! workloads additionally carry a request-service specification used by the
+//! metered-latency methodology of §4.
+
+/// The request-service side of a latency-critical workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySpec {
+    /// Offered load in requests per second.
+    pub requests_per_second: f64,
+    /// Total number of requests issued per run.
+    pub num_requests: usize,
+    /// Objects allocated while servicing one request.
+    pub allocations_per_request: usize,
+    /// Iterations of request "computation" (hash mixing) per request,
+    /// standing in for the intrinsic (non-allocation) cost of the request.
+    pub compute_per_request: usize,
+}
+
+/// A synthetic benchmark modelled on one row of Table 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkSpec {
+    /// Benchmark name (matching the paper's Table 3).
+    pub name: &'static str,
+    /// Minimum heap in megabytes (scaled from the paper's G1 minimum).
+    pub min_heap_mb: usize,
+    /// Total allocation volume in megabytes (scaled, preserving the paper's
+    /// allocation-to-heap ratio within practical bounds).
+    pub total_alloc_mb: usize,
+    /// Mean object size in 8-byte words (from Table 3's mean object size in
+    /// bytes).
+    pub mean_object_words: usize,
+    /// Fraction of allocated bytes in objects larger than 16 KB.
+    pub large_fraction: f64,
+    /// Fraction of allocated bytes that survive a nursery (Table 3's last
+    /// column).
+    pub survival_rate: f64,
+    /// Fraction of survivor-store updates that also rewire pointers between
+    /// mature objects (drives write-barrier traffic and mature death).
+    pub pointer_churn: f64,
+    /// Whether the workload keeps a long live singly-linked list and
+    /// traverses it (avrora's tracing-hostile structure, §5.2).
+    pub linked_list_stress: bool,
+    /// Number of mutator threads.
+    pub mutator_threads: usize,
+    /// Request/latency behaviour for the latency-critical workloads.
+    pub latency: Option<LatencySpec>,
+}
+
+impl BenchmarkSpec {
+    /// The heap size in bytes for a heap `factor` times the minimum.
+    pub fn heap_bytes(&self, factor: f64) -> usize {
+        ((self.min_heap_mb as f64) * factor * 1024.0 * 1024.0) as usize
+    }
+
+    /// Returns `true` if this is one of the four latency-critical workloads.
+    pub fn is_latency_critical(&self) -> bool {
+        self.latency.is_some()
+    }
+}
+
+/// The full 17-benchmark suite (Table 3), scaled for simulation.
+pub fn suite() -> Vec<BenchmarkSpec> {
+    fn plain(
+        name: &'static str,
+        min_heap_mb: usize,
+        total_alloc_mb: usize,
+        mean_object_words: usize,
+        large_fraction: f64,
+        survival_rate: f64,
+    ) -> BenchmarkSpec {
+        BenchmarkSpec {
+            name,
+            min_heap_mb,
+            total_alloc_mb,
+            mean_object_words,
+            large_fraction,
+            survival_rate,
+            pointer_churn: 0.2,
+            linked_list_stress: false,
+            mutator_threads: 4,
+            latency: None,
+        }
+    }
+
+    let mut suite = vec![
+        // The four latency-critical workloads.
+        BenchmarkSpec {
+            latency: Some(LatencySpec {
+                requests_per_second: 12_000.0,
+                num_requests: 6_000,
+                allocations_per_request: 40,
+                compute_per_request: 400,
+            }),
+            ..plain("cassandra", 16, 96, 6, 0.00, 0.04)
+        },
+        BenchmarkSpec {
+            latency: Some(LatencySpec {
+                requests_per_second: 6_000.0,
+                num_requests: 4_000,
+                allocations_per_request: 120,
+                compute_per_request: 800,
+            }),
+            ..plain("h2", 72, 256, 8, 0.00, 0.17)
+        },
+        BenchmarkSpec {
+            latency: Some(LatencySpec {
+                requests_per_second: 30_000.0,
+                num_requests: 12_000,
+                allocations_per_request: 60,
+                compute_per_request: 120,
+            }),
+            ..plain("lusearch", 4, 384, 12, 0.01, 0.01)
+        },
+        BenchmarkSpec {
+            latency: Some(LatencySpec {
+                requests_per_second: 10_000.0,
+                num_requests: 5_000,
+                allocations_per_request: 50,
+                compute_per_request: 500,
+            }),
+            ..plain("tomcat", 6, 128, 12, 0.21, 0.01)
+        },
+        // The remaining 13 throughput benchmarks.
+        BenchmarkSpec { linked_list_stress: true, ..plain("avrora", 4, 16, 6, 0.00, 0.05) },
+        plain("batik", 64, 32, 9, 0.10, 0.51),
+        plain("biojava", 12, 192, 5, 0.03, 0.02),
+        plain("eclipse", 32, 128, 12, 0.29, 0.17),
+        plain("fop", 5, 24, 7, 0.03, 0.10),
+        plain("graphchi", 16, 192, 17, 0.03, 0.04),
+        plain("h2o", 128, 224, 21, 0.23, 0.14),
+        plain("jython", 20, 96, 8, 0.04, 0.00),
+        plain("luindex", 4, 64, 36, 0.75, 0.03),
+        plain("pmd", 40, 128, 6, 0.02, 0.14),
+        BenchmarkSpec { pointer_churn: 0.35, ..plain("sunflow", 6, 256, 6, 0.00, 0.03) },
+        BenchmarkSpec { pointer_churn: 0.4, ..plain("xalan", 4, 96, 15, 0.41, 0.17) },
+        plain("zxing", 10, 48, 23, 0.50, 0.23),
+    ];
+    suite.sort_by_key(|s| if s.is_latency_critical() { 0 } else { 1 });
+    suite
+}
+
+/// Looks up a benchmark by name.
+pub fn benchmark(name: &str) -> Option<BenchmarkSpec> {
+    suite().into_iter().find(|b| b.name == name)
+}
+
+/// The four latency-critical benchmarks.
+pub fn latency_suite() -> Vec<BenchmarkSpec> {
+    suite().into_iter().filter(|b| b.is_latency_critical()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_seventeen_benchmarks() {
+        assert_eq!(suite().len(), 17);
+    }
+
+    #[test]
+    fn four_latency_critical_workloads() {
+        let latency: Vec<_> = latency_suite().iter().map(|b| b.name).collect();
+        assert_eq!(latency, vec!["cassandra", "h2", "lusearch", "tomcat"]);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(benchmark("lusearch").unwrap().min_heap_mb, 4);
+        assert!(benchmark("avrora").unwrap().linked_list_stress);
+        assert!(benchmark("nope").is_none());
+    }
+
+    #[test]
+    fn characteristics_follow_table3_shape() {
+        let b = benchmark("batik").unwrap();
+        assert!(b.survival_rate > 0.5, "batik has the highest survival rate");
+        let l = benchmark("lusearch").unwrap();
+        assert!(l.survival_rate <= 0.01, "lusearch is highly generational");
+        assert!(l.total_alloc_mb / l.min_heap_mb >= 50, "lusearch has an extreme alloc/heap ratio");
+        let lu = benchmark("luindex").unwrap();
+        assert!(lu.large_fraction >= 0.7, "luindex is dominated by large objects");
+    }
+
+    #[test]
+    fn heap_scaling() {
+        let b = benchmark("lusearch").unwrap();
+        assert_eq!(b.heap_bytes(1.0), 4 << 20);
+        assert_eq!(b.heap_bytes(2.0), 8 << 20);
+        assert_eq!(b.heap_bytes(1.3), (4.0 * 1.3 * 1024.0 * 1024.0) as usize);
+    }
+}

@@ -1,0 +1,42 @@
+//! Run the same throughput workload under every collector in the workspace
+//! and compare execution time, pause behaviour and collector work — a
+//! miniature of the paper's Table 6.
+//!
+//! ```text
+//! cargo run --release --example collector_comparison
+//! ```
+
+use lxr::baselines::ALL_COLLECTORS;
+use lxr::runtime::WorkCounter;
+use lxr::workloads::{benchmark, run_workload, RunOptions};
+
+fn main() {
+    let spec = benchmark("xalan").expect("xalan is part of the suite");
+    println!(
+        "xalan-like workload, 2x heap ({} MB), {} mutator threads",
+        spec.heap_bytes(2.0) >> 20,
+        spec.mutator_threads
+    );
+    println!(
+        "{:<15} {:>9} {:>8} {:>9} {:>9} {:>10}",
+        "collector", "time ms", "pauses", "p50 ms", "p95 ms", "copied objs"
+    );
+    for collector in ALL_COLLECTORS {
+        let result = run_workload(&spec, collector, &RunOptions::default().with_scale(0.5));
+        if result.skipped {
+            println!("{:<15} {:>9}", collector, "skipped (heap below collector minimum)");
+            continue;
+        }
+        let copied = result.gc.counter(WorkCounter::YoungObjectsCopied)
+            + result.gc.counter(WorkCounter::MatureObjectsCopied);
+        println!(
+            "{:<15} {:>9.0} {:>8} {:>9.2} {:>9.2} {:>10}",
+            collector,
+            result.wall_time.as_secs_f64() * 1e3,
+            result.gc.pause_count(),
+            result.gc.pause_percentile(50.0).as_secs_f64() * 1e3,
+            result.gc.pause_percentile(95.0).as_secs_f64() * 1e3,
+            copied,
+        );
+    }
+}

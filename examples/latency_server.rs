@@ -1,0 +1,37 @@
+//! A latency-critical request server (a lusearch-like workload) run under
+//! two collectors, reporting metered request-latency percentiles — the
+//! experiment at the heart of the paper's Table 1.
+//!
+//! ```text
+//! cargo run --release --example latency_server
+//! ```
+
+use lxr::workloads::{benchmark, run_workload, RunOptions};
+
+fn main() {
+    let spec = benchmark("lusearch").expect("lusearch is part of the suite");
+    println!("lusearch-like request workload, 1.3x heap ({} MB)", spec.heap_bytes(1.3) >> 20);
+    println!("{:<12} {:>10} {:>8} {:>8} {:>8} {:>8}", "collector", "QPS", "p50", "p99", "p99.9", "p99.99");
+    for collector in ["lxr", "g1", "shenandoah"] {
+        let result = run_workload(
+            &spec,
+            collector,
+            &RunOptions::default().with_heap_factor(1.3).with_scale(0.5),
+        );
+        let pct = |p: f64| {
+            result
+                .latency_percentile(p)
+                .map(|d| format!("{:.1}ms", d.as_secs_f64() * 1e3))
+                .unwrap_or_else(|| "-".into())
+        };
+        println!(
+            "{:<12} {:>10.0} {:>8} {:>8} {:>8} {:>8}",
+            collector,
+            result.qps.unwrap_or(0.0),
+            pct(50.0),
+            pct(99.0),
+            pct(99.9),
+            pct(99.99),
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! # lxr
+//!
+//! An umbrella crate for the `lxr-rs` workspace: a from-scratch Rust
+//! reproduction of **LXR** (*Low-Latency, High-Throughput Garbage
+//! Collection*, PLDI 2022).
+//!
+//! LXR combines brief stop-the-world pauses, coalescing deferred reference
+//! counting over an Immix hierarchical heap, occasional concurrent SATB
+//! tracing for cyclic garbage, and judicious stop-the-world copying.
+//!
+//! This crate re-exports the workspace crates under short module names so
+//! examples and integration tests can use a single dependency:
+//!
+//! * [`heap`] — Immix heap substrate (blocks, lines, side metadata, allocators)
+//! * [`object`] — object model (headers, reference scanning)
+//! * [`rc`] — reference-count table and coalescing buffers
+//! * [`barrier`] — write/read barrier implementations
+//! * [`runtime`] — plan trait, mutators, STW controller, GC worker pool
+//! * [`core`] — the LXR collector itself
+//! * [`baselines`] — comparison collectors (SemiSpace, Serial, Parallel, Immix, G1-, Shenandoah-, ZGC-like)
+//! * [`workloads`] — synthetic DaCapo-style workloads and latency-critical request servers
+//! * [`harness`] — experiment harness reproducing the paper's tables and figures
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lxr::runtime::{RuntimeOptions, Runtime};
+//! use lxr::core::LxrPlan;
+//!
+//! let options = RuntimeOptions::default().with_heap_size(32 << 20);
+//! let runtime = Runtime::new::<LxrPlan>(options);
+//! let mut mutator = runtime.bind_mutator();
+//! let obj = mutator.alloc(2, 2, 0); // 2 reference fields, 2 data fields
+//! mutator.push_root(obj);
+//! assert!(!obj.is_null());
+//! runtime.shutdown();
+//! ```
+
+pub use lxr_barrier as barrier;
+pub use lxr_baselines as baselines;
+pub use lxr_core as core;
+pub use lxr_harness as harness;
+pub use lxr_heap as heap;
+pub use lxr_object as object;
+pub use lxr_rc as rc;
+pub use lxr_runtime as runtime;
+pub use lxr_workloads as workloads;

@@ -1,0 +1,121 @@
+//! Workspace-level integration tests: exercise the public API end-to-end
+//! through the `lxr` umbrella crate, across collectors and across crates,
+//! including property-based tests of whole-heap invariants.
+
+use lxr::baselines::{plan_registry, ALL_COLLECTORS};
+use lxr::core::LxrPlan;
+use lxr::object::ObjectReference;
+use lxr::runtime::{Runtime, RuntimeOptions, WorkCounter};
+use lxr::workloads::{benchmark, run_workload, suite, RunOptions};
+use proptest::prelude::*;
+
+#[test]
+fn quickstart_api_round_trip() {
+    let runtime = Runtime::new::<LxrPlan>(RuntimeOptions::default().with_heap_size(16 << 20));
+    let mut mutator = runtime.bind_mutator();
+    let holder_root = {
+        let holder = mutator.alloc(1, 1, 0);
+        mutator.push_root(holder)
+    };
+    let value = mutator.alloc(0, 1, 0);
+    mutator.write_data(value, 0, 4242);
+    let holder = mutator.root(holder_root);
+    mutator.write_ref(holder, 0, value);
+    mutator.request_gc();
+    let holder = mutator.root(holder_root);
+    let value = mutator.read_ref(holder, 0);
+    assert_eq!(mutator.read_data(value, 0), 4242);
+    drop(mutator);
+    runtime.shutdown();
+}
+
+#[test]
+fn every_collector_runs_a_small_workload_through_the_umbrella_crate() {
+    let spec = benchmark("fop").expect("fop spec");
+    for collector in ALL_COLLECTORS {
+        let result = run_workload(&spec, collector, &RunOptions::default().with_scale(0.1));
+        assert!(
+            result.skipped || result.allocated_bytes > 0,
+            "{collector} did not allocate anything"
+        );
+    }
+}
+
+#[test]
+fn workload_suite_and_registry_are_consistent() {
+    assert_eq!(suite().len(), 17);
+    for name in ALL_COLLECTORS {
+        let _ = plan_registry(name);
+    }
+}
+
+#[test]
+fn lxr_reclaims_more_than_it_retains_on_a_generational_workload() {
+    let spec = benchmark("lusearch").expect("lusearch spec");
+    let result = run_workload(&spec, "lxr", &RunOptions::default().with_scale(0.2));
+    let allocated = result.gc.counter(WorkCounter::ObjectsAllocated);
+    let survivors = result.gc.counter(WorkCounter::YoungSurvivors);
+    assert!(allocated > 0);
+    assert!(
+        survivors * 5 < allocated,
+        "lusearch is highly generational: most objects must die young (allocated {allocated}, survived {survivors})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Whatever sequence of root-held list operations we perform, with
+    /// however much interleaved garbage, the reachable list contents always
+    /// match a Rust-side model — under LXR and under the G1-like baseline.
+    #[test]
+    fn list_operations_match_model(ops in proptest::collection::vec((0u8..3, 0u64..1000), 20..120)) {
+        for collector in ["lxr", "g1"] {
+            let options = RuntimeOptions::default().with_heap_size(8 << 20).with_gc_workers(2);
+            let runtime = Runtime::with_factory(options, plan_registry(collector));
+            let mut mutator = runtime.bind_mutator();
+            let head_root = mutator.push_root(ObjectReference::NULL);
+            let mut model: Vec<u64> = Vec::new();
+            for (op, value) in &ops {
+                match op {
+                    // Push a node at the head.
+                    0 => {
+                        let node = mutator.alloc(1, 1, 0);
+                        mutator.write_data(node, 0, *value);
+                        let head = mutator.root(head_root);
+                        mutator.write_ref(node, 0, head);
+                        mutator.set_root(head_root, node);
+                        model.insert(0, *value);
+                    }
+                    // Pop the head.
+                    1 => {
+                        let head = mutator.root(head_root);
+                        if !head.is_null() {
+                            let next = mutator.read_ref(head, 0);
+                            mutator.set_root(head_root, next);
+                            model.remove(0);
+                        }
+                    }
+                    // Churn: allocate garbage to provoke collections.
+                    _ => {
+                        for i in 0..200u64 {
+                            let junk = mutator.alloc(1, 6, 1);
+                            mutator.write_data(junk, 0, i);
+                        }
+                    }
+                }
+            }
+            mutator.request_gc();
+            // Compare the list against the model.
+            let mut cursor = mutator.root(head_root);
+            let mut walked = Vec::new();
+            while !cursor.is_null() {
+                walked.push(mutator.read_data(cursor, 0));
+                cursor = mutator.read_ref(cursor, 0);
+            }
+            prop_assert_eq!(&walked, &model, "collector {} diverged from the model", collector);
+            drop(mutator);
+            runtime.shutdown();
+        }
+    }
+}
