@@ -87,7 +87,13 @@ impl FieldLogTable {
     #[inline]
     pub fn try_begin_log(&self, slot: Address) -> bool {
         self.states
-            .fetch_update(slot, |s| if s == FieldLogState::Unlogged as u8 { Some(FieldLogState::Busy as u8) } else { None })
+            .fetch_update(slot, |s| {
+                if s == FieldLogState::Unlogged as u8 {
+                    Some(FieldLogState::Busy as u8)
+                } else {
+                    None
+                }
+            })
             .is_ok()
     }
 
@@ -103,6 +109,14 @@ impl FieldLogTable {
     /// whole table at the start of each marking cycle).
     pub fn arm_all(&self) {
         self.states.fill_all(FieldLogState::Unlogged as u8);
+    }
+
+    /// Resets every field in the word range `[start, start + words)` to
+    /// `Ignored` with wide stores (32 fields per word written).  Called when
+    /// reclaimed memory is recycled — previously a CAS loop per heap word,
+    /// 4096 of them per released block.
+    pub fn clear_range(&self, start: Address, words: usize) {
+        self.states.clear_range(start, words);
     }
 
     /// Metadata footprint in bytes.
@@ -215,7 +229,8 @@ impl FieldLoggingBarrier {
                         self.mod_chunk.push(slot);
                         self.table.finish_log(slot);
                         self.local_slow += 1;
-                        if self.dec_chunk.len() >= self.chunk_size || self.mod_chunk.len() >= self.chunk_size {
+                        if self.dec_chunk.len() >= self.chunk_size || self.mod_chunk.len() >= self.chunk_size
+                        {
                             self.flush();
                         }
                         return;
@@ -272,7 +287,12 @@ mod tests {
         }
 
         fn barrier(&self) -> FieldLoggingBarrier {
-            FieldLoggingBarrier::new(self.space.clone(), self.table.clone(), self.sink.clone(), self.stats.clone())
+            FieldLoggingBarrier::new(
+                self.space.clone(),
+                self.table.clone(),
+                self.sink.clone(),
+                self.stats.clone(),
+            )
         }
     }
 

@@ -169,7 +169,8 @@ mod tests {
         let table = Arc::new(ObjectLogTable::new(space.geometry().num_words()));
         let sink = Arc::new(BarrierSink::new());
         let stats = Arc::new(BarrierStats::new());
-        let mut barrier = ObjectLoggingBarrier::new(space.clone(), table.clone(), sink.clone(), stats.clone());
+        let mut barrier =
+            ObjectLoggingBarrier::new(space.clone(), table.clone(), sink.clone(), stats.clone());
 
         let obj = om.initialize(lxr_heap::Address::from_word_index(4096), ObjectShape::new(3, 0, 0));
         let a = om.initialize(lxr_heap::Address::from_word_index(4160), ObjectShape::new(0, 0, 0));

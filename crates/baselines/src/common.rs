@@ -3,7 +3,7 @@
 
 use lxr_heap::{
     Address, BlockAllocator, BlockState, HeapGeometry, HeapSpace, ImmixAllocator, LargeObjectSpace, Line,
-    LineOccupancy, LineTable, SideMetadata, GRANULE_WORDS,
+    LineOccupancy, SideMetadata, GRANULE_WORDS,
 };
 use lxr_object::{ClaimResult, ObjectModel, ObjectReference};
 use lxr_runtime::{Collection, PlanContext, WorkCounter, WorkerPool};
@@ -13,36 +13,73 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Line marks as an occupancy oracle for [`ImmixAllocator`].
+///
+/// Backed by a 1-bit-per-line [`SideMetadata`] table so that the sweep's
+/// per-block summaries and the allocator's free-line hole search run
+/// word-at-a-time (64 lines per loaded word) instead of probing a byte
+/// atomic per line.
 #[derive(Debug)]
 pub struct LineMarks {
-    table: LineTable,
+    /// One bit per line, keyed by the line's start address.
+    table: SideMetadata,
+    log_words_per_line: u32,
 }
 
 impl LineMarks {
     /// Creates a table with every line unmarked (free).
-    pub fn new(num_lines: usize) -> Self {
-        LineMarks { table: LineTable::new(num_lines) }
+    pub fn new(geometry: &HeapGeometry) -> Self {
+        LineMarks {
+            table: SideMetadata::new(geometry.num_words(), geometry.words_per_line(), 1),
+            log_words_per_line: geometry.words_per_line().trailing_zeros(),
+        }
+    }
+
+    /// The start address of `line` (the table's key space).
+    #[inline]
+    fn addr(&self, line: Line) -> Address {
+        Address::from_word_index(line.index() << self.log_words_per_line)
     }
 
     /// Marks `line` live.
     pub fn mark(&self, line: Line) {
-        self.table.set(line, 1);
+        self.table.store(self.addr(line), 1);
     }
 
     /// Returns `true` if `line` is marked live.
     pub fn is_marked(&self, line: Line) -> bool {
-        self.table.get(line) != 0
+        self.table.load(self.addr(line)) != 0
+    }
+
+    /// Number of marked lines among the `lines` starting at `first_line`,
+    /// counted 64 lines per loaded word.
+    pub fn count_marked(&self, first_line: Line, lines: usize) -> usize {
+        self.table.count_nonzero_range(self.addr(first_line), lines << self.log_words_per_line)
     }
 
     /// Clears every line mark.
     pub fn clear(&self) {
-        self.table.clear();
+        self.table.clear_all();
     }
 }
 
 impl LineOccupancy for LineMarks {
     fn line_is_free(&self, line: Line) -> bool {
         !self.is_marked(line)
+    }
+
+    /// Free-line runs answered by a word-at-a-time zero-run scan of the mark
+    /// bitmap (one bit per line, so entry runs are line runs).
+    fn next_free_line_run(
+        &self,
+        first_line: Line,
+        from: usize,
+        lines_per_block: usize,
+    ) -> Option<(usize, usize)> {
+        let start = self.addr(Line::from_index(first_line.index() + from));
+        let words = (lines_per_block - from) << self.log_words_per_line;
+        let (run, len) = self.table.find_zero_run(start, words, 1)?;
+        let offset = (run.word_index() >> self.log_words_per_line) - first_line.index();
+        Some((offset, offset + len))
     }
 }
 
@@ -108,7 +145,7 @@ impl TraceState {
             los: ctx.los.clone(),
             geometry,
             marks: SideMetadata::new(geometry.num_words(), GRANULE_WORDS, 1),
-            line_marks: Arc::new(LineMarks::new(geometry.num_lines())),
+            line_marks: Arc::new(LineMarks::new(&geometry)),
             queued_for_reuse: Mutex::new(HashSet::new()),
             live_words: AtomicUsize::new(0),
             space,
@@ -152,7 +189,12 @@ impl TraceState {
     /// Runs a parallel transitive closure from the collection's roots,
     /// marking objects and lines and (optionally) copying live objects.
     /// Root slots are updated in place when their referents move.
-    pub fn trace(self: &Arc<Self>, workers: &WorkerPool, collection: &Collection<'_>, copy: Option<CopyConfig>) {
+    pub fn trace(
+        self: &Arc<Self>,
+        workers: &WorkerPool,
+        collection: &Collection<'_>,
+        copy: Option<CopyConfig>,
+    ) {
         self.trace_with(workers, collection, copy, Vec::new(), None)
     }
 
@@ -218,9 +260,13 @@ impl TraceState {
                 // Acquired from the recycled queue since the last sweep.
                 self.queued_for_reuse.lock().remove(&block.index());
             }
-            let any_marked = self.geometry.lines_of(block).any(|l| self.line_marks.is_marked(l));
-            if any_marked {
-                let has_free_line = self.geometry.lines_of(block).any(|l| !self.line_marks.is_marked(l));
+            // One SWAR pass over the mark bitmap answers both "any line
+            // marked" and "any line free" for the block.
+            let marked = self
+                .line_marks
+                .count_marked(self.geometry.first_line_of(block), self.geometry.lines_per_block());
+            if marked > 0 {
+                let has_free_line = marked < self.geometry.lines_per_block();
                 self.space.block_states().set(block, BlockState::Mature);
                 if has_free_line {
                     let mut queued = self.queued_for_reuse.lock();

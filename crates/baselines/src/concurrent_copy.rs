@@ -25,13 +25,14 @@
 //!   the JDK 11 ZGC limitation the paper reports.
 
 use crate::common::TraceState;
+use crossbeam::queue::SegQueue;
 use lxr_barrier::{BarrierSink, BarrierStats, FieldLogTable, FieldLoggingBarrier};
 use lxr_heap::{AllocError, BlockState, ImmixAllocator, LineOccupancy, SideMetadata, GRANULE_WORDS};
 use lxr_object::{ClaimResult, ObjectModel, ObjectReference, ObjectShape};
 use lxr_runtime::{
-    AllocFailure, Collection, ConcurrentWork, GcReason, Plan, PlanContext, PlanFactory, PlanMutator, WorkCounter,
+    AllocFailure, Collection, ConcurrentWork, GcReason, Plan, PlanContext, PlanFactory, PlanMutator,
+    WorkCounter,
 };
-use crossbeam::queue::SegQueue;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -349,7 +350,10 @@ impl Plan for ConcurrentCopyPlan {
                         if s != BlockState::Mature {
                             continue;
                         }
-                        let live = geometry.lines_of(block).filter(|l| state.trace.line_marks.is_marked(*l)).count();
+                        let live = state
+                            .trace
+                            .line_marks
+                            .count_marked(geometry.first_line_of(block), geometry.lines_per_block());
                         if live > 0 && live * 2 < geometry.lines_per_block() {
                             candidates.push((block.index(), live));
                         }
@@ -363,10 +367,9 @@ impl Plan for ConcurrentCopyPlan {
                             .block_states()
                             .set(lxr_heap::Block::from_index(*idx), BlockState::EvacCandidate);
                     }
-                    state.live_blocks_estimate.store(
-                        total - state.trace.blocks.free_block_count(),
-                        Ordering::Relaxed,
-                    );
+                    state
+                        .live_blocks_estimate
+                        .store(total - state.trace.blocks.free_block_count(), Ordering::Relaxed);
                     // Seed the update/evacuation pass with the roots.
                     state.update_visited.clear_all();
                     for root in collection.roots.collect_roots() {
@@ -437,7 +440,7 @@ impl Plan for ConcurrentCopyPlan {
                         });
                     }
                     steps += 1;
-                    if steps % 64 == 0 && (work.yield_requested)() {
+                    if steps.is_multiple_of(64) && (work.yield_requested)() {
                         state.concurrent_busy.store(false, Ordering::Release);
                         return;
                     }
@@ -446,11 +449,7 @@ impl Plan for ConcurrentCopyPlan {
             }
             PHASE_EVACUATING => {
                 let mut steps = 0usize;
-                loop {
-                    let obj = match state.update_queue.pop() {
-                        Some(o) => o,
-                        None => break,
-                    };
+                while let Some(obj) = state.update_queue.pop() {
                     let before = state.om.resolve(obj);
                     if state.in_cset(before) {
                         let new = state.evacuate(before);
@@ -460,7 +459,7 @@ impl Plan for ConcurrentCopyPlan {
                         state.update_object(before);
                     }
                     steps += 1;
-                    if steps % 64 == 0 && (work.yield_requested)() {
+                    if steps.is_multiple_of(64) && (work.yield_requested)() {
                         state.concurrent_busy.store(false, Ordering::Release);
                         return;
                     }
@@ -491,9 +490,7 @@ impl PlanMutator for ConcurrentCopyMutator {
         let size = shape.size_words();
         let addr = match self.allocator.alloc(size) {
             Ok(addr) => addr,
-            Err(AllocError::TooLarge) => {
-                self.state.trace.los.alloc(size).ok_or(AllocFailure::OutOfMemory)?
-            }
+            Err(AllocError::TooLarge) => self.state.trace.los.alloc(size).ok_or(AllocFailure::OutOfMemory)?,
             Err(AllocError::OutOfMemory) => return Err(AllocFailure::OutOfMemory),
         };
         let obj = self.om.initialize(addr, shape);

@@ -119,17 +119,15 @@ impl GenerationalPlan {
                 log_table.mark_unlogged(obj.to_address().plus(1 + i));
             }
         });
-        self.state
-            .trace_with(collection.workers, collection, Some(copy), remset_slots, Some(arm));
+        self.state.trace_with(collection.workers, collection, Some(copy), remset_slots, Some(arm));
         let _ = copied_before;
 
         // Candidate blocks whose every live object was copied out are free.
         for block in candidates {
-            let fully_evacuated = !self
-                .state
-                .geometry
-                .lines_of(block)
-                .any(|l| self.state.line_marks.is_marked(l));
+            let fully_evacuated = self.state.line_marks.count_marked(
+                self.state.geometry.first_line_of(block),
+                self.state.geometry.lines_per_block(),
+            ) == 0;
             if fully_evacuated {
                 self.state.space.bump_block_reuse(block);
                 self.state.blocks.release_free_block(block);
@@ -163,8 +161,7 @@ impl GenerationalPlan {
                 log_table.mark_unlogged(obj.to_address().plus(1 + i));
             }
         });
-        self.state
-            .trace_with(collection.workers, collection, None, Vec::new(), Some(arm));
+        self.state.trace_with(collection.workers, collection, None, Vec::new(), Some(arm));
         self.state.sweep(collection.stats);
         // G1 allocates its young generation only in fresh regions: drop any
         // partially free old blocks the sweep queued for line reuse, so

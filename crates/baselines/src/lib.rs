@@ -33,17 +33,8 @@ use lxr_runtime::{Plan, PlanContext};
 use std::sync::Arc;
 
 /// All collector names known to the workspace (LXR plus every baseline).
-pub const ALL_COLLECTORS: &[&str] = &[
-    "lxr",
-    "g1",
-    "shenandoah",
-    "zgc",
-    "serial",
-    "parallel",
-    "immix",
-    "immix+barrier",
-    "semispace",
-];
+pub const ALL_COLLECTORS: &[&str] =
+    &["lxr", "g1", "shenandoah", "zgc", "serial", "parallel", "immix", "immix+barrier", "semispace"];
 
 /// Builds a plan by name.  `"lxr"` (and its ablations `"lxr-stw"`,
 /// `"lxr-nosatb"`, `"lxr-nold"`) is constructed through
@@ -63,13 +54,11 @@ pub fn plan_registry(name: &str) -> Box<dyn FnOnce(PlanContext) -> Arc<dyn Plan>
             Arc::new(lxr_core::LxrPlan::with_config(ctx, config)) as Arc<dyn Plan>
         }),
         "lxr-nosatb" => Box::new(|ctx: PlanContext| {
-            let config =
-                lxr_core::LxrConfig::for_heap(ctx.options.heap.heap_bytes).without_concurrent_satb();
+            let config = lxr_core::LxrConfig::for_heap(ctx.options.heap.heap_bytes).without_concurrent_satb();
             Arc::new(lxr_core::LxrPlan::with_config(ctx, config)) as Arc<dyn Plan>
         }),
         "lxr-nold" => Box::new(|ctx: PlanContext| {
-            let config =
-                lxr_core::LxrConfig::for_heap(ctx.options.heap.heap_bytes).without_lazy_decrements();
+            let config = lxr_core::LxrConfig::for_heap(ctx.options.heap.heap_bytes).without_lazy_decrements();
             Arc::new(lxr_core::LxrPlan::with_config(ctx, config)) as Arc<dyn Plan>
         }),
         "g1" => Box::new(GenerationalPlan::factory()),

@@ -11,10 +11,8 @@ use rand::{Rng, SeedableRng};
 
 fn runtime_for(name: &str, heap_mb: usize) -> Runtime {
     let heap_bytes = (heap_mb << 20).max(minimum_heap_for(name).unwrap_or(0));
-    let options = RuntimeOptions::default()
-        .with_heap_size(heap_bytes)
-        .with_gc_workers(2)
-        .with_poll_interval(32);
+    let options =
+        RuntimeOptions::default().with_heap_size(heap_bytes).with_gc_workers(2).with_poll_interval(32);
     Runtime::with_factory(options, plan_registry(name))
 }
 

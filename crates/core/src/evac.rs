@@ -53,7 +53,9 @@ pub(crate) fn evacuate_mature(state: &Arc<LxrState>, c: &Collection<'_>) {
     let occupancy: Arc<dyn LineOccupancy> = state.rc.clone();
     let copy_allocators: Arc<Vec<Mutex<ImmixAllocator>>> = Arc::new(
         (0..c.workers.size() + 1)
-            .map(|_| Mutex::new(ImmixAllocator::new(state.space.clone(), state.blocks.clone(), occupancy.clone())))
+            .map(|_| {
+                Mutex::new(ImmixAllocator::new(state.space.clone(), state.blocks.clone(), occupancy.clone()))
+            })
             .collect(),
     );
 

@@ -70,7 +70,8 @@ pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
 
     // 4. SATB: feed the overwritten referents (the snapshot edges) into the
     //    trace, and detect completion.
-    let satb_running = state.satb_active.load(Ordering::Acquire) && !state.satb_complete.load(Ordering::Acquire);
+    let satb_running =
+        state.satb_active.load(Ordering::Acquire) && !state.satb_complete.load(Ordering::Acquire);
     if satb_running {
         let mut fed = false;
         for chunk in &dec_chunks {
@@ -157,7 +158,8 @@ pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
     sweep_young_los(state, c);
 
     // 10. Record the survival observation and update the predictor.
-    let allocated = state.space.allocated_words().saturating_sub(state.words_at_epoch_start.load(Ordering::Relaxed));
+    let allocated =
+        state.space.allocated_words().saturating_sub(state.words_at_epoch_start.load(Ordering::Relaxed));
     let births = state.births_words_epoch.swap(0, Ordering::Relaxed);
     if allocated > 0 {
         let rate = (births as f64 / allocated as f64).min(1.0);
@@ -237,35 +239,33 @@ pub(crate) fn increment_object(
     push_child: &dyn Fn(Address, ObjectReference),
 ) -> ObjectReference {
     state.stats.add(WorkCounter::IncrementsApplied, 1);
-    loop {
-        // Objects already evacuated this pause: increment the new copy.
-        if let Some(new) = state.om.forwarding_target(obj) {
+    // Objects already evacuated this pause: increment the new copy.
+    if let Some(new) = state.om.forwarding_target(obj) {
+        state.rc.increment(new);
+        return new;
+    }
+    // Mature (or already-retained young) objects: a plain increment.
+    if state.rc.count(obj) > 0 {
+        state.rc.increment(obj);
+        return obj;
+    }
+    // Possible first retention of a young object.  The forwarding claim
+    // arbitrates: exactly one thread wins and performs first-retention
+    // processing.
+    match state.om.try_claim_forwarding(obj) {
+        ClaimResult::AlreadyForwarded(new) => {
             state.rc.increment(new);
-            return new;
+            new
         }
-        // Mature (or already-retained young) objects: a plain increment.
-        if state.rc.count(obj) > 0 {
-            state.rc.increment(obj);
-            return obj;
-        }
-        // Possible first retention of a young object.  The forwarding claim
-        // arbitrates: exactly one thread wins and performs first-retention
-        // processing.
-        match state.om.try_claim_forwarding(obj) {
-            ClaimResult::AlreadyForwarded(new) => {
-                state.rc.increment(new);
-                return new;
+        ClaimResult::Claimed(header) => {
+            if state.rc.count(obj) > 0 {
+                // Someone completed first retention (without copying)
+                // between our check and our claim.
+                state.om.abandon_forwarding(obj, header);
+                state.rc.increment(obj);
+                return obj;
             }
-            ClaimResult::Claimed(header) => {
-                if state.rc.count(obj) > 0 {
-                    // Someone completed first retention (without copying)
-                    // between our check and our claim.
-                    state.om.abandon_forwarding(obj, header);
-                    state.rc.increment(obj);
-                    return obj;
-                }
-                return first_retention(state, obj, header, copy_alloc, push_child);
-            }
+            first_retention(state, obj, header, copy_alloc, push_child)
         }
     }
 }
@@ -357,15 +357,21 @@ fn collect_sweep_set(state: &Arc<LxrState>, satb_swept: &[Block]) -> Vec<(Block,
 /// Sweeps the given blocks: completely free blocks are released, blocks
 /// with free lines are queued for reuse, and everything else becomes
 /// mature.
+///
+/// Each block is summarised by one `RcTable::block_summary` — a single
+/// allocation-free, word-at-a-time pass over the packed count table
+/// yielding both the live-granule count and the free-line population,
+/// where the sweep previously probed every line of every block through
+/// per-granule byte atomics.
 fn sweep_blocks(state: &Arc<LxrState>, c: &Collection<'_>, sweep_set: Vec<(Block, BlockState)>) {
-    let geometry = state.geometry;
     for (block, prior_state) in sweep_set {
         if prior_state == BlockState::Recycled {
             // The block was taken off the recycled queue by an allocator
             // since the last pause; it is eligible to be queued again.
             state.queued_for_reuse.lock().remove(&block.index());
         }
-        if state.rc.block_is_free(block) {
+        let (live_granules, free_lines) = state.rc.block_summary(block);
+        if live_granules == 0 {
             if state.queued_for_reuse.lock().contains(&block.index()) {
                 // The block still sits in the recycled queue; releasing it to
                 // the clean list as well would hand it out twice.  Leave it
@@ -379,11 +385,12 @@ fn sweep_blocks(state: &Arc<LxrState>, c: &Collection<'_>, sweep_set: Vec<(Block
             state.release_free_block(block);
             continue;
         }
-        // Does the block have at least one reusable line?
-        let has_free_line = geometry.lines_of(block).any(|line| state.rc.line_is_free_impl(line));
-        if has_free_line && !matches!(prior_state, BlockState::EvacCandidate) {
+        if matches!(prior_state, BlockState::EvacCandidate) {
+            continue;
+        }
+        if free_lines > 0 {
             state.queue_for_reuse(block);
-        } else if !matches!(prior_state, BlockState::EvacCandidate) {
+        } else {
             state.space.block_states().set(block, BlockState::Mature);
         }
     }

@@ -71,10 +71,8 @@ impl Plan for LxrPlan {
         }
         // Survival trigger: predicted surviving volume of the allocation
         // since the last epoch exceeds the survival threshold (§3.2.1).
-        let allocated_words = state
-            .space
-            .allocated_words()
-            .saturating_sub(state.words_at_epoch_start.load(Ordering::Relaxed));
+        let allocated_words =
+            state.space.allocated_words().saturating_sub(state.words_at_epoch_start.load(Ordering::Relaxed));
         let predicted_survival_bytes =
             allocated_words as f64 * 8.0 * state.predictors.lock().survival_rate.value();
         if predicted_survival_bytes > state.config.survival_threshold_bytes as f64 {

@@ -62,10 +62,7 @@ impl Predictors {
     /// Initial state: conservatively assume everything survives and that the
     /// heap currently holds no reclaimable wastage.
     pub fn new() -> Self {
-        Predictors {
-            survival_rate: DecayPredictor::new(1.0),
-            live_blocks: DecayPredictor::new(0.0),
-        }
+        Predictors { survival_rate: DecayPredictor::new(1.0), live_blocks: DecayPredictor::new(0.0) }
     }
 }
 

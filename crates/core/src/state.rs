@@ -240,14 +240,15 @@ impl LxrState {
         // snapshot stays complete (§3.2.2, "SATB with interruptions").
         let shape = self.om.shape(obj);
         let size = shape.size_words();
-        if self.satb_active.load(Ordering::Acquire) && !self.satb_complete.load(Ordering::Acquire) {
-            if self.mark_object(obj, size) {
-                self.om.scan_refs(obj, |_, child| {
-                    if !child.is_null() {
-                        self.gray.push(child);
-                    }
-                });
-            }
+        if self.satb_active.load(Ordering::Acquire)
+            && !self.satb_complete.load(Ordering::Acquire)
+            && self.mark_object(obj, size)
+        {
+            self.om.scan_refs(obj, |_, child| {
+                if !child.is_null() {
+                    self.gray.push(child);
+                }
+            });
         }
         self.stats.add(WorkCounter::RcDeaths, 1);
         if size > self.geometry.words_per_line() {
@@ -275,12 +276,11 @@ impl LxrState {
         debug_assert!(self.rc.block_is_free(block), "releasing a block with live counts");
         let start = self.geometry.block_start(block);
         let words = self.geometry.words_per_block();
-        // Stale metadata must not leak into the block's next life.
+        // Stale metadata must not leak into the block's next life.  Both
+        // tables are cleared with word-wide stores (SWAR bulk ops), not a
+        // byte atomic per granule.
         self.marks.clear_range(start, words);
-        for w in 0..words {
-            // Field log states are per word; clear them in bulk.
-            self.log_table.mark_ignored(start.plus(w));
-        }
+        self.log_table.clear_range(start, words);
         self.space.bump_block_reuse(block);
         self.queued_for_reuse.lock().remove(&block.index());
         self.blocks.release_free_block(block);
@@ -301,7 +301,7 @@ impl LxrState {
     /// live bytes derived from the RC table, §3.3.2).
     pub fn block_occupancy(&self, block: Block) -> f64 {
         let granules_per_block = self.geometry.words_per_block() / GRANULE_WORDS;
-        self.rc.block_live_granules(block) as f64 / granules_per_block as f64
+        self.rc.block_census(block).occupancy(granules_per_block)
     }
 
     /// Number of blocks in the heap available for allocation right now.
@@ -324,13 +324,7 @@ mod tests {
         let space = Arc::new(HeapSpace::new(options.heap.clone()));
         let blocks = Arc::new(BlockAllocator::new(space.clone()));
         let los = Arc::new(LargeObjectSpace::new(space.clone(), blocks.clone()));
-        let ctx = PlanContext {
-            space,
-            blocks,
-            los,
-            stats: Arc::new(GcStats::new()),
-            options,
-        };
+        let ctx = PlanContext { space, blocks, los, stats: Arc::new(GcStats::new()), options };
         LxrState::new(&ctx, LxrConfig::default())
     }
 

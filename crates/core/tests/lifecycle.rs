@@ -10,10 +10,8 @@ use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 fn runtime_with(heap_mb: usize, config: LxrConfig) -> Runtime {
-    let options = RuntimeOptions::default()
-        .with_heap_size(heap_mb << 20)
-        .with_gc_workers(2)
-        .with_poll_interval(32);
+    let options =
+        RuntimeOptions::default().with_heap_size(heap_mb << 20).with_gc_workers(2).with_poll_interval(32);
     Runtime::with_factory(options, move |ctx: PlanContext| {
         Arc::new(LxrPlan::with_config(ctx, config)) as Arc<dyn Plan>
     })
@@ -92,10 +90,7 @@ fn dead_objects_are_reclaimed() {
     }
     let stats = rt.stats().snapshot();
     assert!(stats.pause_count() > 0, "collections were triggered");
-    assert!(
-        stats.counter(WorkCounter::YoungBlocksFreed) > 0,
-        "implicitly dead young blocks were reclaimed"
-    );
+    assert!(stats.counter(WorkCounter::YoungBlocksFreed) > 0, "implicitly dead young blocks were reclaimed");
     // Survivors are intact.
     let keeper = m.root(keeper_root);
     for slot in 0..8usize {
@@ -160,10 +155,7 @@ fn cyclic_garbage_requires_and_gets_the_satb_trace() {
     // Force the clean-block SATB trigger to fire at every opportunity so the
     // test exercises the trace deterministically (the trigger heuristics
     // themselves are exercised by the workload-level tests).
-    let config = LxrConfig {
-        clean_block_trigger_fraction: 1.0,
-        ..LxrConfig::for_heap(12 << 20)
-    };
+    let config = LxrConfig { clean_block_trigger_fraction: 1.0, ..LxrConfig::for_heap(12 << 20) };
     let rt = runtime_with(12, config);
     let mut m = rt.bind_mutator();
     // Build rings of objects (cycles) that survive a collection, then drop
@@ -209,10 +201,7 @@ fn cyclic_garbage_requires_and_gets_the_satb_trace() {
     }
     let stats = rt.stats().snapshot();
     assert!(stats.satb_pause_fraction() > 0.0, "at least one pause started an SATB trace");
-    assert!(
-        stats.counter(WorkCounter::SatbDeaths) > 0,
-        "cyclic garbage was reclaimed by the backup trace"
-    );
+    assert!(stats.counter(WorkCounter::SatbDeaths) > 0, "cyclic garbage was reclaimed by the backup trace");
     drop(m);
     rt.shutdown();
 }

@@ -2,7 +2,9 @@
 
 use crate::report::{ms, ratio, Table};
 use lxr_heap::HeapConfig;
-use lxr_workloads::{benchmark, latency_suite, run_workload, suite, BenchmarkSpec, RunOptions, WorkloadResult};
+use lxr_workloads::{
+    benchmark, latency_suite, run_workload, suite, BenchmarkSpec, RunOptions, WorkloadResult,
+};
 
 /// Options shared by every experiment.
 #[derive(Debug, Clone)]
@@ -29,12 +31,7 @@ impl ExperimentOptions {
     }
 
     fn run_options(&self, heap_factor: f64) -> RunOptions {
-        RunOptions {
-            heap_factor,
-            scale: self.scale,
-            seed: self.seed,
-            gc_workers: self.gc_workers,
-        }
+        RunOptions { heap_factor, scale: self.scale, seed: self.seed, gc_workers: self.gc_workers }
     }
 }
 
@@ -44,7 +41,6 @@ fn fmt_latency(r: &WorkloadResult, pct: f64) -> String {
         None => "-".to_string(),
     }
 }
-
 
 /// Collector set for comparison tables; quick runs compare only G1 and LXR.
 fn comparison_collectors(options: &ExperimentOptions) -> &'static [&'static str] {
@@ -78,7 +74,18 @@ pub fn table1_lusearch(options: &ExperimentOptions) -> (Table, Vec<WorkloadResul
         let r = run_workload(&spec, collector, &options.run_options(factor));
         let label = if factor > 2.0 { format!("{collector}-{factor:.0}x") } else { collector.to_string() };
         if r.skipped {
-            table.row(vec![label, "skipped".into(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            table.row(vec![
+                label,
+                "skipped".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
         } else {
             table.row(vec![
                 label,
@@ -130,7 +137,15 @@ pub fn table4_latency(options: &ExperimentOptions) -> (Table, Vec<WorkloadResult
         for collector in comparison_collectors(options) {
             let r = run_workload(&spec, collector, &options.run_options(1.3));
             if r.skipped {
-                table.row(vec![spec.name.into(), (*collector).into(), "skipped".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+                table.row(vec![
+                    spec.name.into(),
+                    (*collector).into(),
+                    "skipped".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
             } else {
                 table.row(vec![
                     spec.name.into(),
@@ -267,8 +282,20 @@ pub fn table7_breakdown(options: &ExperimentOptions) -> Table {
     let mut table = Table::new(
         "Table 7: LXR breakdown (2x heap)",
         &[
-            "benchmark", "time ms", "-SATB", "-LD", "STW", "pauses/s", "p50 ms", "p95 ms", "SATB%", "!lazy%",
-            "young%", "old%", "satb%", "copied/freed%",
+            "benchmark",
+            "time ms",
+            "-SATB",
+            "-LD",
+            "STW",
+            "pauses/s",
+            "p50 ms",
+            "p95 ms",
+            "SATB%",
+            "!lazy%",
+            "young%",
+            "old%",
+            "satb%",
+            "copied/freed%",
         ],
     );
     for spec in throughput_subset(options) {
@@ -427,7 +454,7 @@ pub fn sensitivity(options: &ExperimentOptions) -> Table {
             let obj = mutator.alloc(1, 10, 0);
             mutator.write_data(obj, 0, i);
             allocated += 12;
-            if i % 100 == 0 {
+            if i.is_multiple_of(100) {
                 let keeper = mutator.root(keeper_root);
                 mutator.write_ref(keeper, (i / 100) as usize % 64, obj);
             }
@@ -440,7 +467,9 @@ pub fn sensitivity(options: &ExperimentOptions) -> Table {
     };
 
     for block_kb in [16usize, 32, 64] {
-        run_with("block size", format!("{block_kb} KB"), &|h: HeapConfig| h.with_block_bytes(block_kb * 1024));
+        run_with("block size", format!("{block_kb} KB"), &|h: HeapConfig| {
+            h.with_block_bytes(block_kb * 1024)
+        });
     }
     for rc_bits in [2u8, 4, 8] {
         run_with("rc bits", format!("{rc_bits}"), &|h: HeapConfig| h.with_rc_bits(rc_bits));

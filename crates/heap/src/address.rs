@@ -85,7 +85,7 @@ impl Address {
     /// Rounds this address up to a multiple of `align` words.
     #[inline]
     pub const fn align_up(self, align: usize) -> Self {
-        Address((self.0 + align - 1) / align * align)
+        Address(self.0.div_ceil(align) * align)
     }
 
     /// Rounds this address down to a multiple of `align` words.
@@ -97,7 +97,7 @@ impl Address {
     /// Returns `true` if this address is aligned to `align` words.
     #[inline]
     pub const fn is_aligned(self, align: usize) -> bool {
-        self.0 % align == 0
+        self.0.is_multiple_of(align)
     }
 }
 

@@ -21,6 +21,37 @@ use std::sync::Arc;
 pub trait LineOccupancy: Send + Sync {
     /// Returns `true` if every object slot on `line` is dead/free.
     fn line_is_free(&self, line: Line) -> bool;
+
+    /// Finds the next run of free lines in a block: the first free line at
+    /// offset `>= from` (0-based within the block, whose first line is
+    /// `first_line`), extended right across free lines.  Returns the run as
+    /// `(start_offset, end_offset)` offsets, exclusive of `end`.
+    ///
+    /// The default implementation probes [`line_is_free`](Self::line_is_free)
+    /// line by line.  Metadata-backed collectors override it with a
+    /// word-at-a-time zero-run scan (LXR answers from its packed RC table at
+    /// 32 granules per load), which is what makes the allocator's hole
+    /// search on recycled blocks cheap.
+    fn next_free_line_run(
+        &self,
+        first_line: Line,
+        from: usize,
+        lines_per_block: usize,
+    ) -> Option<(usize, usize)> {
+        let base = first_line.index();
+        let mut i = from;
+        while i < lines_per_block {
+            if self.line_is_free(Line::from_index(base + i)) {
+                let mut end = i + 1;
+                while end < lines_per_block && self.line_is_free(Line::from_index(base + end)) {
+                    end += 1;
+                }
+                return Some((i, end));
+            }
+            i += 1;
+        }
+        None
+    }
 }
 
 /// Errors returned by [`ImmixAllocator::alloc`].
@@ -118,7 +149,11 @@ impl std::fmt::Debug for ImmixAllocator {
 impl ImmixAllocator {
     /// Creates an allocator bound to the given heap, global block lists and
     /// line-occupancy oracle.
-    pub fn new(space: Arc<HeapSpace>, blocks: Arc<BlockAllocator>, occupancy: Arc<dyn LineOccupancy>) -> Self {
+    pub fn new(
+        space: Arc<HeapSpace>,
+        blocks: Arc<BlockAllocator>,
+        occupancy: Arc<dyn LineOccupancy>,
+    ) -> Self {
         let geometry = space.geometry();
         ImmixAllocator {
             space,
@@ -257,29 +292,30 @@ impl ImmixAllocator {
     /// occupancy oracle reports it free *and* the preceding line is also
     /// free (the conservative straddling rule of §3.1); the first line of a
     /// block has no predecessor and only needs to be free itself.
+    ///
+    /// The oracle hands back *maximal* free runs (found word-at-a-time for
+    /// metadata-backed oracles), so the conservative rule reduces to
+    /// trimming the first line of any run that does not start the block:
+    /// that line's predecessor is the occupied line that terminated the
+    /// previous run.  The search resumes one past each run's end, which
+    /// keeps the predecessor invariant for subsequent calls.
     fn next_free_run(&mut self, block: Block) -> Option<(Address, Address)> {
         let lines_per_block = self.geometry.lines_per_block();
-        let first_line = self.geometry.first_line_of(block).index();
-        let mut i = self.recycled_line_offset;
-        while i < lines_per_block {
-            let line = Line::from_index(first_line + i);
-            let available = self.occupancy.line_is_free(line)
-                && (i == 0 || self.occupancy.line_is_free(Line::from_index(first_line + i - 1)));
-            if available {
-                // Extend the run as far as possible.
-                let run_start = i;
-                let mut run_end = i + 1;
-                while run_end < lines_per_block
-                    && self.occupancy.line_is_free(Line::from_index(first_line + run_end))
-                {
-                    run_end += 1;
-                }
-                self.recycled_line_offset = run_end + 1;
-                let start = self.geometry.line_start(Line::from_index(first_line + run_start));
-                let end = self.geometry.line_end(Line::from_index(first_line + run_end - 1));
-                return Some((start, end));
+        let first_line = self.geometry.first_line_of(block);
+        let mut from = self.recycled_line_offset;
+        while from < lines_per_block {
+            let Some((start, end)) = self.occupancy.next_free_line_run(first_line, from, lines_per_block)
+            else {
+                break;
+            };
+            self.recycled_line_offset = end + 1;
+            let usable = if start == 0 { 0 } else { start + 1 };
+            if usable < end {
+                let s = self.geometry.line_start(Line::from_index(first_line.index() + usable));
+                let e = self.geometry.line_end(Line::from_index(first_line.index() + end - 1));
+                return Some((s, e));
             }
-            i += 1;
+            from = end + 1;
         }
         self.recycled_line_offset = lines_per_block;
         None

@@ -84,9 +84,7 @@ impl BlockAllocator {
     /// Number of blocks that are neither clean nor queued for recycling
     /// (i.e. fully owned by live data or by allocators).
     pub fn used_block_count(&self) -> usize {
-        self.total_usable
-            .saturating_sub(self.free_block_count())
-            .saturating_sub(self.recycled_block_count())
+        self.total_usable.saturating_sub(self.free_block_count()).saturating_sub(self.recycled_block_count())
     }
 
     /// Acquires one clean block, refilling the lock-free buffer from the
@@ -272,10 +270,7 @@ mod tests {
         let a = allocator(1 << 20);
         let start = a.acquire_contiguous(4).unwrap();
         for i in 0..4 {
-            assert_eq!(
-                a.space.block_states().get(Block::from_index(start.index() + i)),
-                BlockState::Los
-            );
+            assert_eq!(a.space.block_states().get(Block::from_index(start.index() + i)), BlockState::Los);
         }
         assert_eq!(a.free_block_count(), 28);
         a.release_contiguous(start, 4);
@@ -285,7 +280,7 @@ mod tests {
     #[test]
     fn contiguous_respects_fragmentation() {
         let a = allocator(256 * 1024); // 8 usable blocks
-        // Take all blocks, then free every other one: no run of 2 exists.
+                                       // Take all blocks, then free every other one: no run of 2 exists.
         let blocks: Vec<Block> = std::iter::from_fn(|| a.acquire_clean_block()).collect();
         for (i, b) in blocks.iter().enumerate() {
             if i % 2 == 0 {

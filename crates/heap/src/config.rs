@@ -46,10 +46,7 @@ pub struct HeapConfig {
 impl HeapConfig {
     /// Default structural parameters with the given total heap size in bytes.
     pub fn with_heap_size(heap_bytes: usize) -> Self {
-        HeapConfig {
-            heap_bytes,
-            ..Default::default()
-        }
+        HeapConfig { heap_bytes, ..Default::default() }
     }
 
     /// Sets the block size in bytes, keeping the large-object threshold at

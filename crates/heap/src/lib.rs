@@ -14,7 +14,9 @@
 //!   the block/line arithmetic over them,
 //! * [`HeapSpace`] — the shared arena with atomic cell access,
 //! * [`SideMetadata`] — densely packed per-granule metadata tables (used for
-//!   reference counts, unlogged bits, mark bits, …),
+//!   reference counts, unlogged bits, mark bits, …) with word-at-a-time
+//!   (SWAR) bulk scans: zero tests, censuses, sums, wide clears, and
+//!   zero-run searches at 32 two-bit entries per loaded word,
 //! * [`Block`] / [`Line`] / [`BlockStateTable`] / [`LineTable`] — heap
 //!   structure bookkeeping,
 //! * [`BlockAllocator`] — the global lock-free clean/recycled block lists
@@ -62,7 +64,7 @@ pub use config::HeapConfig;
 pub use geometry::HeapGeometry;
 pub use line::{Line, LineTable};
 pub use los::LargeObjectSpace;
-pub use side_metadata::SideMetadata;
+pub use side_metadata::{RangeCensus, SideMetadata};
 pub use space::HeapSpace;
 
 /// Number of bytes in a heap word (the cell size of the arena).

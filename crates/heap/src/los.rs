@@ -117,11 +117,7 @@ impl LargeObjectSpace {
     /// A snapshot of every live large object (address of the first word and
     /// its metadata).  Collectors iterate this during sweeps.
     pub fn snapshot(&self) -> Vec<(Address, LargeObject)> {
-        self.objects
-            .lock()
-            .iter()
-            .map(|(&idx, &obj)| (Address::from_word_index(idx), obj))
-            .collect()
+        self.objects.lock().iter().map(|(&idx, &obj)| (Address::from_word_index(idx), obj)).collect()
     }
 }
 

@@ -1,20 +1,128 @@
-//! Densely packed per-granule side metadata.
+//! Densely packed per-granule side metadata with word-at-a-time (SWAR) scans.
 //!
 //! OpenJDK lacks header bits for a reference count, so LXR stores reference
 //! counts — and all of its other per-object metadata (unlogged bits, SATB
 //! mark bits) — in side tables reachable from an object address by simple
 //! address arithmetic (§3.2.1).  [`SideMetadata`] is the generic table those
 //! collectors instantiate: `bits_per_entry` bits of metadata for every
-//! `granule_words` words of heap, packed into bytes and accessed atomically.
+//! `granule_words` words of heap.
+//!
+//! # Layout
+//!
+//! The table is backed by machine words (`AtomicUsize`), not bytes: with the
+//! paper's default geometry (2-bit counts, 16-byte granules) one 64-bit word
+//! holds the counts of **32 granules** — half a kilobyte of heap.  Both the
+//! granule size and the entry width are powers of two, so locating an entry
+//! is two shifts and a mask; there is no integer division anywhere on the
+//! access path.
+//!
+//! # Access paths
+//!
+//! *Single-entry* operations (`load` / `store` / `fetch_update`) — the write
+//! barrier's log-state check, RC increments and decrements — touch exactly
+//! one byte of the table through a byte-atomic view, so contention between
+//! neighbouring entries is no wider than it would be with byte-sized
+//! backing, and an 8-bit entry (which owns its whole byte lane) is written
+//! with a plain atomic store rather than a CAS loop.
+//!
+//! *Bulk* operations — the evacuation-candidate census
+//! ([`count_nonzero_range`](SideMetadata::count_nonzero_range)), the block
+//! sweep ([`range_is_zero`](SideMetadata::range_is_zero),
+//! [`group_census`](SideMetadata::group_census)), the allocator's
+//! free-line hole search ([`find_zero_run`](SideMetadata::find_zero_run))
+//! and the epoch resets ([`clear_range`](SideMetadata::clear_range),
+//! [`fill_all`](SideMetadata::fill_all)) — process one full word per
+//! iteration using SWAR bit tricks: OR-accumulation for zero tests, an
+//! OR-fold to each lane's low bit plus a popcount for the census, and the
+//! classic masked lane-add / multiply reduction for sums.  Ranges with
+//! unaligned edges are handled by masking the head and tail words, so there
+//! is no scalar fixup loop.
+//!
+//! The per-granule scalar implementations are retained as `scalar_*`
+//! methods (hidden from docs) as the reference model for the property tests
+//! and the `metadata_scan` benchmark.
+//!
+//! # Concurrency
+//!
+//! Every access, byte- or word-sized, is atomic, so there are no data races
+//! with concurrent single-entry updates.  Bulk reads load each word with
+//! acquire ordering but make no snapshot guarantee across words — exactly
+//! the contract the collector needs, since censuses and sweeps run either
+//! inside a pause or over blocks no mutator is writing.  Mixing access
+//! sizes over the same memory is the standard side-metadata technique (MMTk
+//! does the same); the words are the unit of allocation, so the byte view
+//! is always in bounds and aligned.
 
 use crate::Address;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+
+/// Bits in one backing word.
+const WORD_BITS: usize = usize::BITS as usize;
+/// log2 of [`WORD_BITS`].
+const LOG_WORD_BITS: u32 = usize::BITS.trailing_zeros();
+/// Bytes in one backing word.
+const WORD_BYTES: usize = WORD_BITS / 8;
+
+/// Repeats `pattern` (of `block` bits) across a whole word.
+const fn repeat(pattern: usize, block: u32) -> usize {
+    let mut m = 0usize;
+    let mut s = 0;
+    while s < usize::BITS {
+        m |= pattern << s;
+        s += block;
+    }
+    m
+}
+
+/// `0b..0011_0011`: the low half of every 4-bit group.
+const M2: usize = repeat(0x3, 4);
+/// `0x0f0f..`: the low half of every byte.
+const M4: usize = repeat(0xf, 8);
+/// `0x00ff00ff..`: the low half of every 16-bit group.
+const M8: usize = repeat(0xff, 16);
+/// `0x0101..`: the low bit of every byte (byte-sum multiplier).
+const LSB8: usize = repeat(0x01, 8);
+/// `0x00010001..`: the low bit of every 16-bit group.
+const LSB16: usize = repeat(0x0001, 16);
+
+/// A mask of the low `n` bits (`n <= WORD_BITS`).
+#[inline]
+const fn low_mask(n: usize) -> usize {
+    if n >= WORD_BITS {
+        !0
+    } else {
+        (1usize << n) - 1
+    }
+}
+
+/// The result of a [`SideMetadata::group_census`]: one pass over a range
+/// yielding both the per-entry occupancy count and per-group (e.g. per-line)
+/// emptiness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeCensus {
+    /// Number of non-zero entries in the range.
+    pub nonzero_entries: usize,
+    /// Number of groups whose entries are all zero.
+    pub zero_groups: usize,
+    /// Bitmap of all-zero groups, LSB-first: bit `g` of word `g / 64` is
+    /// set iff group `g` (in range order) is entirely zero.
+    pub zero_group_bits: Vec<u64>,
+}
+
+impl RangeCensus {
+    /// Returns `true` if group `g` was observed entirely zero.
+    #[inline]
+    pub fn group_is_zero(&self, g: usize) -> bool {
+        (self.zero_group_bits[g / 64] >> (g % 64)) & 1 != 0
+    }
+}
 
 /// A packed side-metadata table: `bits_per_entry` bits per `granule_words`
-/// heap words.
+/// heap words, stored in machine words and scanned word-at-a-time.
 ///
 /// Entries of 1, 2, 4 and 8 bits are supported (they must divide 8 so that
-/// an entry never straddles a byte).  All accesses are atomic at byte
+/// an entry never straddles a byte); the granule must be a power of two so
+/// entry location is shift-based.  Single-entry accesses are atomic at byte
 /// granularity, so concurrent updates to neighbouring entries are safe.
 ///
 /// # Example
@@ -29,14 +137,28 @@ use std::sync::atomic::{AtomicU8, Ordering};
 /// assert_eq!(rc.load(obj), 0);
 /// assert_eq!(rc.fetch_update(obj, |v| Some(v + 1)), Ok(0));
 /// assert_eq!(rc.load(obj), 1);
+/// // Word-at-a-time bulk scans:
+/// assert_eq!(rc.count_nonzero_range(Address::from_word_index(0), 1024), 1);
+/// let (run, len) = rc.find_zero_run(Address::from_word_index(0), 1024, 8).unwrap();
+/// assert_eq!(run.word_index(), 0);
+/// assert_eq!(len, 32); // entries 0..32 are zero; entry 32 holds the count
 /// ```
 #[derive(Debug)]
 pub struct SideMetadata {
-    table: Box<[AtomicU8]>,
-    granule_words: usize,
+    words: Box<[AtomicUsize]>,
+    /// log2 of the granule size in heap words.
+    log_granule_words: u32,
+    /// log2 of the entry width in bits (0..=3).
+    log_bits: u32,
     bits_per_entry: u8,
-    entries_per_byte: usize,
+    /// Value mask for one entry.
     mask: u8,
+    /// The low bit of every entry lane, for SWAR occupancy folds.
+    lane_lsb: usize,
+    /// Number of entries the table tracks.
+    num_entries: usize,
+    /// Metadata footprint in (logical) bytes: `ceil(entries / per byte)`.
+    logical_bytes: usize,
 }
 
 impl SideMetadata {
@@ -46,20 +168,28 @@ impl SideMetadata {
     /// # Panics
     ///
     /// Panics if `bits_per_entry` is not 1, 2, 4 or 8, or if
-    /// `granule_words` is zero.
+    /// `granule_words` is not a power of two.
     pub fn new(heap_words: usize, granule_words: usize, bits_per_entry: u8) -> Self {
         assert!(matches!(bits_per_entry, 1 | 2 | 4 | 8), "entries must be 1, 2, 4 or 8 bits");
-        assert!(granule_words > 0, "granule must be non-empty");
-        let entries = heap_words.div_ceil(granule_words);
-        let entries_per_byte = 8 / bits_per_entry as usize;
-        let bytes = entries.div_ceil(entries_per_byte);
-        let table = (0..bytes).map(|_| AtomicU8::new(0)).collect();
+        assert!(
+            granule_words.is_power_of_two(),
+            "granule must be a power of two for shift-based entry location"
+        );
+        let log_bits = bits_per_entry.trailing_zeros();
+        let num_entries = heap_words.div_ceil(granule_words);
+        let entries_per_byte = 8 >> log_bits;
+        let logical_bytes = num_entries.div_ceil(entries_per_byte);
+        let num_words = logical_bytes.div_ceil(WORD_BYTES);
+        let words = (0..num_words).map(|_| AtomicUsize::new(0)).collect();
         SideMetadata {
-            table,
-            granule_words,
+            words,
+            log_granule_words: granule_words.trailing_zeros(),
+            log_bits,
             bits_per_entry,
-            entries_per_byte,
             mask: if bits_per_entry == 8 { 0xff } else { (1u8 << bits_per_entry) - 1 },
+            lane_lsb: repeat(1, bits_per_entry as u32),
+            num_entries,
+            logical_bytes,
         }
     }
 
@@ -70,7 +200,7 @@ impl SideMetadata {
 
     /// The number of heap words covered by one entry.
     pub fn granule_words(&self) -> usize {
-        self.granule_words
+        1 << self.log_granule_words
     }
 
     /// The maximum representable entry value.
@@ -80,25 +210,61 @@ impl SideMetadata {
 
     /// Total metadata size in bytes (used to report metadata overhead).
     pub fn size_bytes(&self) -> usize {
-        self.table.len()
+        self.logical_bytes
     }
 
+    // ---- entry location (shifts only — no division on the access path) ----
+
+    /// log2 of the number of entries per backing word.
+    #[inline]
+    fn log_entries_per_word(&self) -> u32 {
+        LOG_WORD_BITS - self.log_bits
+    }
+
+    /// The entry index covering `addr`.
+    #[inline]
+    fn entry_of(&self, addr: Address) -> usize {
+        addr.word_index() >> self.log_granule_words
+    }
+
+    /// Locates the entry covering `addr` as (byte index, shift within byte).
     #[inline]
     fn locate(&self, addr: Address) -> (usize, u32) {
-        let entry = addr.word_index() / self.granule_words;
-        let byte = entry / self.entries_per_byte;
-        let shift = (entry % self.entries_per_byte) as u32 * self.bits_per_entry as u32;
+        let entry = self.entry_of(addr);
+        let byte = entry >> (3 - self.log_bits);
+        let shift = ((entry as u32) & ((8 >> self.log_bits) - 1)) << self.log_bits;
         (byte, shift)
     }
+
+    /// Byte-atomic view of the backing words.
+    ///
+    /// The flip on big-endian targets keeps the byte view consistent with
+    /// the word view, where entry `k` of a word occupies bits
+    /// `[k * bits, (k + 1) * bits)`.
+    #[inline]
+    fn byte(&self, index: usize) -> &AtomicU8 {
+        debug_assert!(index < self.words.len() * WORD_BYTES);
+        #[cfg(target_endian = "big")]
+        let index = (index & !(WORD_BYTES - 1)) | (WORD_BYTES - 1 - (index & (WORD_BYTES - 1)));
+        // SAFETY: `index` is within the words allocation (checked above);
+        // `AtomicU8` is byte-aligned; the memory is only ever accessed
+        // atomically.
+        unsafe { AtomicU8::from_ptr((self.words.as_ptr() as *mut u8).add(index)) }
+    }
+
+    // ---- single-entry operations (byte-atomic) ----------------------------
 
     /// Loads the entry covering `addr`.
     #[inline]
     pub fn load(&self, addr: Address) -> u8 {
         let (byte, shift) = self.locate(addr);
-        (self.table[byte].load(Ordering::Acquire) >> shift) & self.mask
+        (self.byte(byte).load(Ordering::Acquire) >> shift) & self.mask
     }
 
     /// Stores `value` into the entry covering `addr`.
+    ///
+    /// An 8-bit entry owns its whole byte lane, so it is written with a
+    /// plain atomic store; narrower entries merge via CAS.
     ///
     /// # Panics
     ///
@@ -107,10 +273,15 @@ impl SideMetadata {
     pub fn store(&self, addr: Address, value: u8) {
         debug_assert!(value <= self.mask, "value {value} does not fit in {} bits", self.bits_per_entry);
         let (byte, shift) = self.locate(addr);
-        let mut current = self.table[byte].load(Ordering::Relaxed);
+        if self.bits_per_entry == 8 {
+            self.byte(byte).store(value, Ordering::Release);
+            return;
+        }
+        let cell = self.byte(byte);
+        let mut current = cell.load(Ordering::Relaxed);
         loop {
             let new = (current & !(self.mask << shift)) | (value << shift);
-            match self.table[byte].compare_exchange_weak(current, new, Ordering::AcqRel, Ordering::Relaxed) {
+            match cell.compare_exchange_weak(current, new, Ordering::AcqRel, Ordering::Relaxed) {
                 Ok(_) => return,
                 Err(actual) => current = actual,
             }
@@ -128,7 +299,8 @@ impl SideMetadata {
         F: FnMut(u8) -> Option<u8>,
     {
         let (byte, shift) = self.locate(addr);
-        let mut current = self.table[byte].load(Ordering::Acquire);
+        let cell = self.byte(byte);
+        let mut current = cell.load(Ordering::Acquire);
         loop {
             let old = (current >> shift) & self.mask;
             let new = match f(old) {
@@ -139,7 +311,7 @@ impl SideMetadata {
                 None => return Err(old),
             };
             let new_byte = (current & !(self.mask << shift)) | (new << shift);
-            match self.table[byte].compare_exchange_weak(current, new_byte, Ordering::AcqRel, Ordering::Acquire) {
+            match cell.compare_exchange_weak(current, new_byte, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => return Ok(old),
                 Err(actual) => current = actual,
             }
@@ -153,35 +325,153 @@ impl SideMetadata {
         self.fetch_update(addr, |v| if v == 0 { Some(value) } else { None }).is_ok()
     }
 
+    // ---- SWAR per-word kernels --------------------------------------------
+
+    /// ORs every bit of each entry lane into the lane's low bit and masks to
+    /// those low bits: the result has bit `k * bits` set iff entry `k` of
+    /// the word is non-zero.
+    #[inline]
+    fn nonzero_lane_lsbs(&self, w: usize) -> usize {
+        let folded = match self.bits_per_entry {
+            1 => w,
+            2 => w | (w >> 1),
+            4 => {
+                let w = w | (w >> 2);
+                w | (w >> 1)
+            }
+            _ => {
+                let w = w | (w >> 4);
+                let w = w | (w >> 2);
+                w | (w >> 1)
+            }
+        };
+        folded & self.lane_lsb
+    }
+
+    /// Number of non-zero entries in a (masked) word.
+    #[inline]
+    fn count_nonzero_word(&self, w: usize) -> usize {
+        self.nonzero_lane_lsbs(w).count_ones() as usize
+    }
+
+    /// Sum of all entry values in a (masked) word.
+    #[inline]
+    fn sum_word(&self, w: usize) -> usize {
+        match self.bits_per_entry {
+            1 => w.count_ones() as usize,
+            2 => {
+                // 2-bit lanes -> 4-bit partials (max 6) -> byte partials
+                // (max 12) -> byte-sum by multiply (max 12 * 8 = 96 < 256).
+                let t = (w & M2) + ((w >> 2) & M2);
+                let t = (t & M4) + ((t >> 4) & M4);
+                t.wrapping_mul(LSB8) >> (WORD_BITS - 8)
+            }
+            4 => {
+                // 4-bit lanes -> byte partials (max 30) -> byte-sum by
+                // multiply (max 30 * 8 = 240 < 256).
+                let t = (w & M4) + ((w >> 4) & M4);
+                t.wrapping_mul(LSB8) >> (WORD_BITS - 8)
+            }
+            _ => {
+                // Bytes -> 16-bit partials (max 510) -> 16-bit-sum by
+                // multiply (max 510 * 4 = 2040 < 65536).
+                let t = (w & M8) + ((w >> 8) & M8);
+                t.wrapping_mul(LSB16) >> (WORD_BITS - 16)
+            }
+        }
+    }
+
+    /// The entry range `[first, first + count)` covering the word range
+    /// `[start, start + words)` — the same entries a per-granule scalar walk
+    /// stepping by one granule would visit.
+    #[inline]
+    fn entry_range(&self, start: Address, words: usize) -> (usize, usize) {
+        let first = self.entry_of(start);
+        let granule = 1usize << self.log_granule_words;
+        let count = (words + granule - 1) >> self.log_granule_words;
+        debug_assert!(first + count <= self.num_entries, "range beyond table");
+        (first, first + count)
+    }
+
+    /// Loads the backing word containing entry `e` and returns
+    /// `(masked word, lanes consumed)` where the mask selects the entries
+    /// `[e, min(e1, next word boundary))`.
+    #[inline]
+    fn load_chunk(&self, e: usize, e1: usize) -> (usize, usize) {
+        let epw_mask = (1usize << self.log_entries_per_word()) - 1;
+        let lane0 = e & epw_mask;
+        let lanes = ((epw_mask + 1) - lane0).min(e1 - e);
+        let word = self.words[e >> self.log_entries_per_word()].load(Ordering::Acquire);
+        let mask = low_mask(lanes << self.log_bits) << (lane0 << self.log_bits);
+        (word & mask, lanes)
+    }
+
+    // ---- bulk operations (word-at-a-time) ---------------------------------
+
     /// Returns `true` if every entry covering the word range
     /// `[start, start + words)` is zero.
     pub fn range_is_zero(&self, start: Address, words: usize) -> bool {
-        let mut w = 0;
-        while w < words {
-            if self.load(start.plus(w)) != 0 {
+        let (mut e, e1) = self.entry_range(start, words);
+        while e < e1 {
+            let (chunk, lanes) = self.load_chunk(e, e1);
+            if chunk != 0 {
                 return false;
             }
-            w += self.granule_words;
+            e += lanes;
         }
         true
     }
 
+    /// Counts the non-zero entries covering the word range.
+    pub fn count_nonzero_range(&self, start: Address, words: usize) -> usize {
+        let (mut e, e1) = self.entry_range(start, words);
+        let mut n = 0;
+        while e < e1 {
+            let (chunk, lanes) = self.load_chunk(e, e1);
+            n += self.count_nonzero_word(chunk);
+            e += lanes;
+        }
+        n
+    }
+
+    /// Sums all entries covering the word range (used to estimate live bytes
+    /// per block from the RC table, §3.3.2).
+    pub fn sum_range(&self, start: Address, words: usize) -> usize {
+        let (mut e, e1) = self.entry_range(start, words);
+        let mut sum = 0;
+        while e < e1 {
+            let (chunk, lanes) = self.load_chunk(e, e1);
+            sum += self.sum_word(chunk);
+            e += lanes;
+        }
+        sum
+    }
+
     /// Zeroes every entry covering the word range `[start, start + words)`.
     ///
-    /// The range is assumed to be granule-aligned (it always is for line and
-    /// block ranges).
+    /// Fully covered backing words take one plain store; words shared with
+    /// out-of-range entries are merged atomically.
     pub fn clear_range(&self, start: Address, words: usize) {
-        let mut w = 0;
-        while w < words {
-            self.store(start.plus(w), 0);
-            w += self.granule_words;
+        let (mut e, e1) = self.entry_range(start, words);
+        let epw_mask = (1usize << self.log_entries_per_word()) - 1;
+        while e < e1 {
+            let lane0 = e & epw_mask;
+            let lanes = ((epw_mask + 1) - lane0).min(e1 - e);
+            let word = &self.words[e >> self.log_entries_per_word()];
+            if lanes == epw_mask + 1 {
+                word.store(0, Ordering::Release);
+            } else {
+                let mask = low_mask(lanes << self.log_bits) << (lane0 << self.log_bits);
+                word.fetch_and(!mask, Ordering::AcqRel);
+            }
+            e += lanes;
         }
     }
 
     /// Zeroes the whole table.
     pub fn clear_all(&self) {
-        for byte in self.table.iter() {
-            byte.store(0, Ordering::Relaxed);
+        for word in self.words.iter() {
+            word.store(0, Ordering::Relaxed);
         }
     }
 
@@ -192,38 +482,265 @@ impl SideMetadata {
     /// Panics in debug builds if `value` does not fit in an entry.
     pub fn fill_all(&self, value: u8) {
         debug_assert!(value <= self.mask);
-        let mut byte_value = 0u8;
-        for i in 0..self.entries_per_byte {
-            byte_value |= value << (i as u32 * self.bits_per_entry as u32);
+        let mut pattern = value as usize;
+        let mut width = self.bits_per_entry as u32;
+        while width < usize::BITS {
+            pattern |= pattern << width;
+            width *= 2;
         }
-        for byte in self.table.iter() {
-            byte.store(byte_value, Ordering::Relaxed);
+        for word in self.words.iter() {
+            word.store(pattern, Ordering::Relaxed);
         }
     }
 
-    /// Sums all entries covering the word range (used to estimate live bytes
-    /// per block from the RC table, §3.3.2).
-    pub fn sum_range(&self, start: Address, words: usize) -> usize {
-        let mut sum = 0usize;
+    /// Finds the first maximal run of consecutive zero entries, at least
+    /// `min_entries` long, among the entries covering
+    /// `[start, start + words)`.
+    ///
+    /// Returns the address of the run's first granule and the run length in
+    /// entries (the run is extended greedily to the first non-zero entry or
+    /// the end of the range).  Zero words are skipped 32-to-64 entries at a
+    /// time, which is what makes the allocator's recyclable-line hole search
+    /// and the pause-time free-line scan cheap.
+    ///
+    /// ```
+    /// use lxr_heap::{Address, SideMetadata};
+    /// let m = SideMetadata::new(1024, 2, 2);
+    /// m.store(Address::from_word_index(8), 1);
+    /// let (run, len) = m.find_zero_run(Address::from_word_index(0), 1024, 4).unwrap();
+    /// assert_eq!((run.word_index(), len), (0, 4)); // entries 0..4 precede the live granule
+    /// ```
+    pub fn find_zero_run(
+        &self,
+        start: Address,
+        words: usize,
+        min_entries: usize,
+    ) -> Option<(Address, usize)> {
+        assert!(min_entries > 0, "a zero-length run is meaningless");
+        let (e0, e1) = self.entry_range(start, words);
+        let mut e = e0;
+        while e < e1 {
+            let run_start = self.next_zero_entry(e, e1);
+            if run_start >= e1 {
+                return None;
+            }
+            let run_end = self.next_nonzero_entry(run_start, e1);
+            if run_end - run_start >= min_entries {
+                let addr = Address::from_word_index(run_start << self.log_granule_words);
+                return Some((addr, run_end - run_start));
+            }
+            e = run_end;
+        }
+        None
+    }
+
+    /// First entry `>= e` (bounded by `e1`) whose value is non-zero.
+    #[inline]
+    fn next_nonzero_entry(&self, mut e: usize, e1: usize) -> usize {
+        while e < e1 {
+            let (chunk, lanes) = self.load_chunk(e, e1);
+            let nz = self.nonzero_lane_lsbs(chunk);
+            if nz != 0 {
+                // Bits sit at multiples of the entry width; the shift
+                // converts the bit position back to a lane index.
+                let lane = (nz.trailing_zeros() >> self.log_bits) as usize;
+                return (e & !((1 << self.log_entries_per_word()) - 1)) + lane;
+            }
+            e += lanes;
+        }
+        e1
+    }
+
+    /// First entry `>= e` (bounded by `e1`) whose value is zero.
+    #[inline]
+    fn next_zero_entry(&self, mut e: usize, e1: usize) -> usize {
+        let epw_mask = (1usize << self.log_entries_per_word()) - 1;
+        while e < e1 {
+            let lane0 = e & epw_mask;
+            let lanes = ((epw_mask + 1) - lane0).min(e1 - e);
+            let word = self.words[e >> self.log_entries_per_word()].load(Ordering::Acquire);
+            // Lanes that are zero, restricted to [lane0, lane0 + lanes).
+            let in_range = low_mask(lanes << self.log_bits) << (lane0 << self.log_bits);
+            let z = !self.nonzero_lane_lsbs(word) & self.lane_lsb & in_range;
+            if z != 0 {
+                let lane = (z.trailing_zeros() >> self.log_bits) as usize;
+                return (e & !epw_mask) + lane;
+            }
+            e += lanes;
+        }
+        e1
+    }
+
+    /// One-pass census of the entries covering `[start, start + words)`,
+    /// partitioned into groups of `group_words` heap words (e.g. lines):
+    /// counts the non-zero entries and identifies the all-zero groups.
+    ///
+    /// This is how [`RcTable::block_census`](../../lxr_rc/struct.RcTable.html)
+    /// derives a block's live-granule count *and* free-line bitmap from a
+    /// single scan instead of one `range_is_zero` per line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_words` is not a power-of-two multiple of the granule
+    /// covering at least one entry, or if the range is not group-aligned.
+    pub fn group_census(&self, start: Address, words: usize, group_words: usize) -> RangeCensus {
+        let granule = 1usize << self.log_granule_words;
+        let groups = words.div_ceil(granule) >> (group_words.trailing_zeros() - self.log_granule_words);
+        let mut zero_group_bits = vec![0u64; groups.div_ceil(64)];
+        let (nonzero_entries, zero_groups) =
+            self.group_scan(start, words, group_words, |g| zero_group_bits[g / 64] |= 1 << (g % 64));
+        RangeCensus { nonzero_entries, zero_groups, zero_group_bits }
+    }
+
+    /// Like [`group_census`](Self::group_census) but returns only
+    /// `(nonzero_entries, zero_groups)`, with no bitmap allocation — the
+    /// form the pause-time block sweep uses, where only "is the block free"
+    /// and "does it have a free line" are needed per block.
+    pub fn group_counts(&self, start: Address, words: usize, group_words: usize) -> (usize, usize) {
+        self.group_scan(start, words, group_words, |_| {})
+    }
+
+    /// The single-pass kernel behind [`group_census`](Self::group_census) /
+    /// [`group_counts`](Self::group_counts): calls `on_zero_group` with the
+    /// (range-relative) index of every all-zero group.
+    fn group_scan(
+        &self,
+        start: Address,
+        words: usize,
+        group_words: usize,
+        mut on_zero_group: impl FnMut(usize),
+    ) -> (usize, usize) {
+        assert!(group_words.is_power_of_two(), "group must be a power of two");
+        assert!(group_words >= self.granule_words(), "group smaller than a granule");
+        let log_epg = group_words.trailing_zeros() - self.log_granule_words;
+        let (e0, e1) = self.entry_range(start, words);
+        assert!(e0 & ((1 << log_epg) - 1) == 0, "range start not group-aligned");
+        assert!((e1 - e0) & ((1 << log_epg) - 1) == 0, "range not a whole number of groups");
+
+        let mut nonzero_entries = 0;
+        let mut zero_groups = 0;
+        let epw = 1usize << self.log_entries_per_word();
+        let mut group_acc: usize = 0;
+        let mut e = e0;
+        while e < e1 {
+            let (chunk, lanes) = self.load_chunk(e, e1);
+            nonzero_entries += self.count_nonzero_word(chunk);
+            if (1 << log_epg) >= epw {
+                // A group spans one or more whole words (the group-aligned
+                // range start makes every chunk word-aligned here):
+                // OR-accumulate and emit at group boundaries.
+                group_acc |= chunk;
+                let next = e + lanes;
+                if next & ((1 << log_epg) - 1) == 0 {
+                    if group_acc == 0 {
+                        zero_groups += 1;
+                        on_zero_group((e - e0) >> log_epg);
+                    }
+                    group_acc = 0;
+                }
+            } else {
+                // Several groups per word: fold each group's lanes to its
+                // low bit and walk only the groups the chunk covers (the
+                // chunk is group-aligned and a whole number of groups, but
+                // not necessarily a whole word).
+                let group_bits = (1usize << log_epg) << self.log_bits;
+                let first_group_in_word = (e & (epw - 1)) >> log_epg;
+                let groups_in_chunk = lanes >> log_epg;
+                let nz = self.nonzero_lane_lsbs(chunk);
+                for k in 0..groups_in_chunk {
+                    let group_mask = low_mask(group_bits) << ((first_group_in_word + k) * group_bits);
+                    if nz & group_mask == 0 {
+                        zero_groups += 1;
+                        on_zero_group(((e - e0) >> log_epg) + k);
+                    }
+                }
+            }
+            e += lanes;
+        }
+        (nonzero_entries, zero_groups)
+    }
+
+    // ---- scalar reference implementations ---------------------------------
+    //
+    // One byte-atomic load per granule, exactly as the pre-SWAR engine
+    // worked.  Kept as the semantic model for the property tests and as the
+    // baseline for the `metadata_scan` benchmark; not for production use.
+
+    /// Scalar model of [`range_is_zero`](Self::range_is_zero).
+    #[doc(hidden)]
+    pub fn scalar_range_is_zero(&self, start: Address, words: usize) -> bool {
         let mut w = 0;
         while w < words {
-            sum += self.load(start.plus(w)) as usize;
-            w += self.granule_words;
+            if self.load(start.plus(w)) != 0 {
+                return false;
+            }
+            w += self.granule_words();
         }
-        sum
+        true
     }
 
-    /// Counts the non-zero entries covering the word range.
-    pub fn count_nonzero_range(&self, start: Address, words: usize) -> usize {
-        let mut n = 0usize;
+    /// Scalar model of [`count_nonzero_range`](Self::count_nonzero_range).
+    #[doc(hidden)]
+    pub fn scalar_count_nonzero_range(&self, start: Address, words: usize) -> usize {
+        let mut n = 0;
         let mut w = 0;
         while w < words {
             if self.load(start.plus(w)) != 0 {
                 n += 1;
             }
-            w += self.granule_words;
+            w += self.granule_words();
         }
         n
+    }
+
+    /// Scalar model of [`sum_range`](Self::sum_range).
+    #[doc(hidden)]
+    pub fn scalar_sum_range(&self, start: Address, words: usize) -> usize {
+        let mut sum = 0;
+        let mut w = 0;
+        while w < words {
+            sum += self.load(start.plus(w)) as usize;
+            w += self.granule_words();
+        }
+        sum
+    }
+
+    /// Scalar model of [`clear_range`](Self::clear_range).
+    #[doc(hidden)]
+    pub fn scalar_clear_range(&self, start: Address, words: usize) {
+        let mut w = 0;
+        while w < words {
+            self.store(start.plus(w), 0);
+            w += self.granule_words();
+        }
+    }
+
+    /// Scalar model of [`find_zero_run`](Self::find_zero_run).
+    #[doc(hidden)]
+    pub fn scalar_find_zero_run(
+        &self,
+        start: Address,
+        words: usize,
+        min_entries: usize,
+    ) -> Option<(Address, usize)> {
+        assert!(min_entries > 0);
+        let (e0, e1) = self.entry_range(start, words);
+        let load = |e: usize| self.load(Address::from_word_index(e << self.log_granule_words));
+        let mut e = e0;
+        while e < e1 {
+            if load(e) != 0 {
+                e += 1;
+                continue;
+            }
+            let run_start = e;
+            while e < e1 && load(e) == 0 {
+                e += 1;
+            }
+            if e - run_start >= min_entries {
+                return Some((Address::from_word_index(run_start << self.log_granule_words), e - run_start));
+            }
+        }
+        None
     }
 }
 
@@ -341,6 +858,302 @@ mod tests {
         }
         for i in 0..1024 {
             assert_eq!(m.load(Address::from_word_index(i)), 1);
+        }
+    }
+
+    #[test]
+    fn bulk_ops_cross_word_boundaries() {
+        // 2048 entries of 2 bits = 32 backing words; exercise ranges that
+        // start and end mid-word.
+        let m = SideMetadata::new(4096, 2, 2);
+        for e in [30usize, 31, 32, 33, 100, 511] {
+            m.store(Address::from_word_index(e * 2), 3);
+        }
+        let start = Address::from_word_index(29 * 2);
+        let words = (512 - 29) * 2;
+        assert_eq!(m.count_nonzero_range(start, words), 6);
+        assert_eq!(m.sum_range(start, words), 18);
+        assert!(!m.range_is_zero(start, words));
+        m.clear_range(Address::from_word_index(31 * 2), (100 - 31) * 2);
+        assert_eq!(m.count_nonzero_range(start, words), 3, "entries 31..100 cleared, 100 kept");
+        assert_eq!(m.load(Address::from_word_index(100 * 2)), 3, "clear stops before entry 100");
+        assert_eq!(m.load(Address::from_word_index(30 * 2)), 3, "clear starts after entry 30");
+    }
+
+    #[test]
+    fn find_zero_run_basics() {
+        let m = SideMetadata::new(1024, 2, 2);
+        let base = Address::from_word_index(0);
+        // Empty table: the whole range is one run.
+        let (addr, len) = m.find_zero_run(base, 1024, 1).unwrap();
+        assert_eq!((addr.word_index(), len), (0, 512));
+        // Poke holes: entries 10 and 200.
+        m.store(Address::from_word_index(20), 1);
+        m.store(Address::from_word_index(400), 2);
+        let (addr, len) = m.find_zero_run(base, 1024, 1).unwrap();
+        assert_eq!((addr.word_index(), len), (0, 10));
+        // Demanding a longer run skips the first gap.
+        let (addr, len) = m.find_zero_run(base, 1024, 50).unwrap();
+        assert_eq!((addr.word_index(), len), (22, 189));
+        // A run demand longer than any gap fails.
+        assert!(m.find_zero_run(base, 1024, 400).is_none());
+        // Sub-range searches respect their bounds.
+        let (addr, len) = m.find_zero_run(Address::from_word_index(22), 100, 1).unwrap();
+        assert_eq!((addr.word_index(), len), (22, 50));
+    }
+
+    #[test]
+    fn find_zero_run_with_full_table() {
+        let m = SideMetadata::new(256, 2, 2);
+        m.fill_all(1);
+        assert!(m.find_zero_run(Address::from_word_index(0), 256, 1).is_none());
+        m.store(Address::from_word_index(64), 0);
+        let (addr, len) = m.find_zero_run(Address::from_word_index(0), 256, 1).unwrap();
+        assert_eq!((addr.word_index(), len), (64, 1));
+    }
+
+    #[test]
+    fn group_census_counts_lines() {
+        // 16 entries per 32-word group (a paper line) with 2-bit entries.
+        let m = SideMetadata::new(4096, 2, 2);
+        let base = Address::from_word_index(0);
+        // Groups: 4096 / 32 = 128.  Mark one granule in groups 0, 5, 127.
+        m.store(Address::from_word_index(0), 1);
+        m.store(Address::from_word_index(5 * 32 + 4), 2);
+        m.store(Address::from_word_index(127 * 32 + 30), 3);
+        let census = m.group_census(base, 4096, 32);
+        assert_eq!(census.nonzero_entries, 3);
+        assert_eq!(census.zero_groups, 125);
+        assert!(!census.group_is_zero(0));
+        assert!(census.group_is_zero(1));
+        assert!(!census.group_is_zero(5));
+        assert!(!census.group_is_zero(127));
+    }
+
+    #[test]
+    fn group_census_with_groups_spanning_words() {
+        // 8-bit entries, granule 2: a 32-word group is 16 entries = 2 backing
+        // words.
+        let m = SideMetadata::new(1024, 2, 8);
+        m.store(Address::from_word_index(32 + 18), 200);
+        let census = m.group_census(Address::from_word_index(0), 1024, 32);
+        assert_eq!(census.nonzero_entries, 1);
+        assert_eq!(census.zero_groups, 31);
+        assert!(census.group_is_zero(0));
+        assert!(!census.group_is_zero(1));
+    }
+
+    #[test]
+    fn group_census_on_word_unaligned_ranges() {
+        // Group-aligned but not word-aligned ranges (2-bit entries, 32 per
+        // word): regression for the several-groups-per-word walk counting
+        // phantom out-of-chunk groups and overflowing the bitmap.
+        let m = SideMetadata::new(4096, 1, 2);
+        let census = m.group_census(Address::from_word_index(33), 64, 1);
+        assert_eq!(census.nonzero_entries, 0);
+        assert_eq!(census.zero_groups, 64);
+        m.store(Address::from_word_index(40), 1);
+        let census = m.group_census(Address::from_word_index(33), 64, 1);
+        assert_eq!(census.nonzero_entries, 1);
+        assert_eq!(census.zero_groups, 63);
+        assert!(!census.group_is_zero(40 - 33));
+
+        // A range ending mid-word: 36 entries = 9 groups of 4.
+        let census = m.group_census(Address::from_word_index(0), 36, 4);
+        assert_eq!(census.zero_groups, 9);
+        m.store(Address::from_word_index(14), 2);
+        let census = m.group_census(Address::from_word_index(0), 36, 4);
+        assert_eq!((census.nonzero_entries, census.zero_groups), (1, 8));
+        assert!(!census.group_is_zero(3), "entry 14 lives in group 3");
+    }
+
+    #[test]
+    fn group_counts_matches_census_without_bitmap() {
+        let m = SideMetadata::new(4096, 2, 2);
+        m.store(Address::from_word_index(64), 3);
+        m.store(Address::from_word_index(900), 1);
+        let census = m.group_census(Address::from_word_index(0), 4096, 32);
+        let (nonzero, zero_groups) = m.group_counts(Address::from_word_index(0), 4096, 32);
+        assert_eq!((nonzero, zero_groups), (census.nonzero_entries, census.zero_groups));
+    }
+
+    #[test]
+    fn swar_agrees_with_scalar_on_dense_pattern() {
+        for bits in [1u8, 2, 4, 8] {
+            let m = SideMetadata::new(2048, 2, bits);
+            let mut x = 12345u64;
+            for e in 0..1024usize {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let v = (x >> 33) as u8 & m.max_value();
+                if v != 0 && x.is_multiple_of(3) {
+                    m.store(Address::from_word_index(e * 2), v);
+                }
+            }
+            for (start_e, len_e) in [(0usize, 1024usize), (1, 1023), (31, 33), (63, 65), (100, 17)] {
+                let start = Address::from_word_index(start_e * 2);
+                let words = len_e * 2;
+                assert_eq!(
+                    m.range_is_zero(start, words),
+                    m.scalar_range_is_zero(start, words),
+                    "bits {bits}"
+                );
+                assert_eq!(
+                    m.count_nonzero_range(start, words),
+                    m.scalar_count_nonzero_range(start, words),
+                    "bits {bits}"
+                );
+                assert_eq!(m.sum_range(start, words), m.scalar_sum_range(start, words), "bits {bits}");
+                assert_eq!(
+                    m.find_zero_run(start, words, 3),
+                    m.scalar_find_zero_run(start, words, 3),
+                    "bits {bits}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A naive per-entry model: plain `Vec<u8>` mirroring the table.
+    struct Model {
+        values: Vec<u8>,
+        granule: usize,
+    }
+
+    impl Model {
+        fn entries(&self, start: usize, words: usize) -> std::ops::Range<usize> {
+            let first = start / self.granule;
+            first..first + words.div_ceil(self.granule)
+        }
+    }
+
+    /// Builds a table + model pair from a width selector and fill spec.
+    fn build(bits_sel: u8, granule_sel: u8, fills: &[(usize, u8)]) -> (SideMetadata, Model) {
+        let bits = [1u8, 2, 4, 8][(bits_sel % 4) as usize];
+        let granule = [1usize, 2, 4][(granule_sel % 3) as usize];
+        let heap_words = 2048 * granule;
+        let m = SideMetadata::new(heap_words, granule, bits);
+        let mut model = Model { values: vec![0u8; 2048], granule };
+        for &(e, v) in fills {
+            let e = e % 2048;
+            let v = v & m.max_value();
+            m.store(Address::from_word_index(e * granule), v);
+            model.values[e] = v;
+        }
+        (m, model)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The SWAR bulk queries agree with the naive model over random
+        /// entry widths, granules, offsets, and word-straddling ranges.
+        #[test]
+        fn bulk_queries_match_model(
+            bits_sel in 0u8..4,
+            granule_sel in 0u8..3,
+            fills in proptest::collection::vec((0usize..2048, 1u8..=255), 1..200),
+            start_e in 0usize..2000,
+            len_e in 1usize..2048,
+        ) {
+            let (m, model) = build(bits_sel, granule_sel, &fills);
+            let len_e = len_e.min(2048 - start_e);
+            let start = Address::from_word_index(start_e * model.granule);
+            let words = len_e * model.granule;
+            let entries = model.entries(start.word_index(), words);
+
+            let expect_nonzero = model.values[entries.clone()].iter().filter(|&&v| v != 0).count();
+            let expect_sum: usize = model.values[entries.clone()].iter().map(|&v| v as usize).sum();
+            prop_assert_eq!(m.count_nonzero_range(start, words), expect_nonzero);
+            prop_assert_eq!(m.sum_range(start, words), expect_sum);
+            prop_assert_eq!(m.range_is_zero(start, words), expect_nonzero == 0);
+        }
+
+        /// `find_zero_run` agrees with the scalar reference implementation.
+        #[test]
+        fn find_zero_run_matches_scalar(
+            bits_sel in 0u8..4,
+            granule_sel in 0u8..3,
+            fills in proptest::collection::vec((0usize..2048, 1u8..=255), 1..64),
+            start_e in 0usize..2000,
+            len_e in 1usize..2048,
+            min_run in 1usize..80,
+        ) {
+            let (m, model) = build(bits_sel, granule_sel, &fills);
+            let len_e = len_e.min(2048 - start_e);
+            let start = Address::from_word_index(start_e * model.granule);
+            let words = len_e * model.granule;
+            prop_assert_eq!(
+                m.find_zero_run(start, words, min_run),
+                m.scalar_find_zero_run(start, words, min_run)
+            );
+        }
+
+        /// `clear_range` zeroes exactly the covered entries.
+        #[test]
+        fn clear_range_is_exact(
+            bits_sel in 0u8..4,
+            granule_sel in 0u8..3,
+            fills in proptest::collection::vec((0usize..2048, 1u8..=255), 1..200),
+            start_e in 0usize..2000,
+            len_e in 1usize..2048,
+        ) {
+            let (m, mut model) = build(bits_sel, granule_sel, &fills);
+            let len_e = len_e.min(2048 - start_e);
+            let start = Address::from_word_index(start_e * model.granule);
+            let words = len_e * model.granule;
+            m.clear_range(start, words);
+            for e in model.entries(start.word_index(), words) {
+                model.values[e] = 0;
+            }
+            for (e, &v) in model.values.iter().enumerate() {
+                prop_assert_eq!(m.load(Address::from_word_index(e * model.granule)), v, "entry {}", e);
+            }
+        }
+
+        /// `group_census` agrees with per-group naive counting over random
+        /// group-aligned sub-ranges (including word-straddling ones).
+        #[test]
+        fn group_census_matches_model(
+            bits_sel in 0u8..4,
+            granule_sel in 0u8..3,
+            fills in proptest::collection::vec((0usize..2048, 1u8..=255), 1..200),
+            log_epg in 0u32..7,
+            start_sel in 0usize..2048,
+            len_sel in 1usize..2048,
+        ) {
+            let (m, model) = build(bits_sel, granule_sel, &fills);
+            let epg = 1usize << log_epg;
+            let group_words = epg * model.granule;
+            // Snap the random window to group boundaries.
+            let start_g = (start_sel / epg).min(2048 / epg - 1);
+            let len_g = (len_sel / epg).clamp(1, 2048 / epg - start_g);
+            let start_e = start_g * epg;
+            let census = m.group_census(
+                Address::from_word_index(start_e * model.granule),
+                len_g * epg * model.granule,
+                group_words,
+            );
+            let window = &model.values[start_e..start_e + len_g * epg];
+            let expect_nonzero = window.iter().filter(|&&v| v != 0).count();
+            prop_assert_eq!(census.nonzero_entries, expect_nonzero);
+            let mut expect_zero_groups = 0;
+            for (g, group) in window.chunks(epg).enumerate() {
+                let is_zero = group.iter().all(|&v| v == 0);
+                prop_assert_eq!(census.group_is_zero(g), is_zero, "group {}", g);
+                expect_zero_groups += usize::from(is_zero);
+            }
+            prop_assert_eq!(census.zero_groups, expect_zero_groups);
+            let counts = m.group_counts(
+                Address::from_word_index(start_e * model.granule),
+                len_g * epg * model.granule,
+                group_words,
+            );
+            prop_assert_eq!(counts, (census.nonzero_entries, census.zero_groups));
         }
     }
 }

@@ -45,14 +45,7 @@ impl HeapSpace {
         let words = (0..geometry.num_words()).map(|_| AtomicU64::new(0)).collect();
         let block_states = BlockStateTable::new(geometry.num_blocks());
         let line_reuse = LineTable::new(geometry.num_lines());
-        HeapSpace {
-            words,
-            config,
-            geometry,
-            block_states,
-            line_reuse,
-            allocated_words: AtomicUsize::new(0),
-        }
+        HeapSpace { words, config, geometry, block_states, line_reuse, allocated_words: AtomicUsize::new(0) }
     }
 
     /// The configuration this space was created with.

@@ -102,10 +102,7 @@ impl ObjectModel {
     }
 
     fn encode_header(shape: ObjectShape) -> u64 {
-        TAG_NORMAL
-            | (shape.nrefs as u64) << 2
-            | (shape.ndata as u64) << 18
-            | (shape.type_tag as u64) << 34
+        TAG_NORMAL | (shape.nrefs as u64) << 2 | (shape.ndata as u64) << 18 | (shape.type_tag as u64) << 34
     }
 
     fn decode_header(header: u64) -> ObjectShape {
@@ -265,11 +262,7 @@ impl ObjectModel {
             let header = self.space.load_acquire(obj.to_address());
             match header & TAG_MASK {
                 TAG_NORMAL => {
-                    if self
-                        .space
-                        .compare_exchange(obj.to_address(), header, TAG_BUSY)
-                        .is_ok()
-                    {
+                    if self.space.compare_exchange(obj.to_address(), header, TAG_BUSY).is_ok() {
                         return ClaimResult::Claimed(header);
                     }
                 }
@@ -303,8 +296,7 @@ impl ObjectModel {
         }
         self.space.store_release(to, original_header);
         let new_obj = ObjectReference::from_address(to);
-        self.space
-            .store_release(obj.to_address(), (new_obj.to_raw() << 2) | TAG_FORWARDED);
+        self.space.store_release(obj.to_address(), (new_obj.to_raw() << 2) | TAG_FORWARDED);
         new_obj
     }
 

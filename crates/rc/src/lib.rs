@@ -22,4 +22,4 @@ pub mod buffers;
 pub mod table;
 
 pub use buffers::SharedBuffer;
-pub use table::{CountChange, RcTable};
+pub use table::{BlockCensus, CountChange, RcTable};

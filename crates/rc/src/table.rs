@@ -1,7 +1,48 @@
 //! The reference-count side table.
 
-use lxr_heap::{Address, Block, HeapGeometry, Line, LineOccupancy, SideMetadata, GRANULE_WORDS};
+use lxr_heap::{Address, Block, HeapGeometry, Line, LineOccupancy, RangeCensus, SideMetadata, GRANULE_WORDS};
 use lxr_object::ObjectReference;
+
+/// A one-pass summary of a block's reference counts (§3.3.2): the number of
+/// live (non-zero-count) granules and a free-line bitmap, produced by a
+/// single word-at-a-time scan of the RC table instead of per-line probing.
+#[derive(Debug, Clone)]
+pub struct BlockCensus {
+    /// Granules in the block with a non-zero count: an upper bound on live
+    /// objects and (×16 bytes) on live bytes.
+    pub live_granules: usize,
+    /// Lines in the block whose counts are all zero.
+    pub free_lines: usize,
+    /// Lines in the block.
+    pub lines_per_block: usize,
+    census: RangeCensus,
+}
+
+impl BlockCensus {
+    /// `true` when every count in the block is zero (whole block reclaimable).
+    #[inline]
+    pub fn is_free(&self) -> bool {
+        self.live_granules == 0
+    }
+
+    /// `true` when at least one line is wholly free (block recyclable).
+    #[inline]
+    pub fn has_free_line(&self) -> bool {
+        self.free_lines > 0
+    }
+
+    /// `true` if the line at `offset` within the block is wholly free.
+    #[inline]
+    pub fn line_is_free(&self, offset: usize) -> bool {
+        self.census.group_is_zero(offset)
+    }
+
+    /// Live granules as a fraction of the block's granules.
+    #[inline]
+    pub fn occupancy(&self, granules_per_block: usize) -> f64 {
+        self.live_granules as f64 / granules_per_block as f64
+    }
+}
 
 /// The outcome of applying an increment or decrement to an object's count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -183,6 +224,36 @@ impl RcTable {
         self.counts.count_nonzero_range(start, self.geometry.words_per_block())
     }
 
+    /// Takes a [`BlockCensus`] of `block`: live-granule count plus free-line
+    /// bitmap from one word-at-a-time scan of the count table, instead of a
+    /// byte atomic per granule (one 32 KB block is 2048 granules — the
+    /// census reads 64 words).  Evacuation-candidate selection consumes the
+    /// occupancy; the free-line bitmap is for consumers that need per-line
+    /// placement (e.g. a future parallel sweep — see ROADMAP).  The pause's
+    /// block sweep uses the allocation-free
+    /// [`block_summary`](Self::block_summary) instead.
+    pub fn block_census(&self, block: Block) -> BlockCensus {
+        let start = self.geometry.block_start(block);
+        let census =
+            self.counts.group_census(start, self.geometry.words_per_block(), self.geometry.words_per_line());
+        BlockCensus {
+            live_granules: census.nonzero_entries,
+            free_lines: census.zero_groups,
+            lines_per_block: self.geometry.lines_per_block(),
+            census,
+        }
+    }
+
+    /// Allocation-free variant of [`block_census`](Self::block_census):
+    /// returns just `(live_granules, free_lines)`.  The pause's block sweep
+    /// uses this — it only needs "is the block free" and "does it have a
+    /// free line" per block, so it should not pay a bitmap allocation for
+    /// every block of every sweep.
+    pub fn block_summary(&self, block: Block) -> (usize, usize) {
+        let start = self.geometry.block_start(block);
+        self.counts.group_counts(start, self.geometry.words_per_block(), self.geometry.words_per_line())
+    }
+
     /// Returns `true` if every count in `block` is zero (the whole block is
     /// reclaimable).
     pub fn block_is_free(&self, block: Block) -> bool {
@@ -206,6 +277,37 @@ impl RcTable {
 impl LineOccupancy for RcTable {
     fn line_is_free(&self, line: Line) -> bool {
         self.line_is_free_impl(line)
+    }
+
+    /// Word-at-a-time free-line-run search: one `find_zero_run` over the
+    /// packed count table replaces per-line probing (16 byte-atomic loads
+    /// per line with the default geometry) in the allocator's hole search.
+    fn next_free_line_run(
+        &self,
+        first_line: Line,
+        from: usize,
+        lines_per_block: usize,
+    ) -> Option<(usize, usize)> {
+        let words_per_line = self.geometry.words_per_line();
+        let entries_per_line = words_per_line / GRANULE_WORDS;
+        let base = self.geometry.line_start(first_line);
+        let block_end = base.plus(lines_per_block * words_per_line);
+        let mut cursor = base.plus(from * words_per_line);
+        while cursor < block_end {
+            // A maximal zero-granule run shorter than a line cannot contain
+            // a wholly free line.
+            let (run, len) = self.counts.find_zero_run(cursor, block_end.diff(cursor), entries_per_line)?;
+            let g0 = run.diff(base) / GRANULE_WORDS;
+            let g1 = g0 + len;
+            // Wholly free lines are those fully inside the zero run.
+            let start_line = g0.div_ceil(entries_per_line);
+            let end_line = g1 / entries_per_line;
+            if start_line < end_line {
+                return Some((start_line, end_line));
+            }
+            cursor = run.plus(len * GRANULE_WORDS);
+        }
+        None
     }
 }
 
@@ -330,7 +432,10 @@ mod tests {
         assert!(!rc.line_is_free(Line::from_index(first_line)), "head line holds the object's count");
         assert!(!rc.line_is_free(Line::from_index(first_line + 1)));
         assert!(!rc.line_is_free(Line::from_index(first_line + 2)));
-        assert!(rc.line_is_free(Line::from_index(first_line + 3)), "last straddled line is left to the conservative rule");
+        assert!(
+            rc.line_is_free(Line::from_index(first_line + 3)),
+            "last straddled line is left to the conservative rule"
+        );
         rc.clear_straddle_lines(o, 100);
         rc.decrement(o);
         assert!(rc.block_is_free(block));
@@ -353,7 +458,110 @@ mod tests {
         assert!(rc.block_is_free(block));
     }
 
+    #[test]
+    fn block_census_summarises_in_one_pass() {
+        let rc = table();
+        let g = rc.geometry();
+        let block = Block::from_index(6);
+        let census = rc.block_census(block);
+        assert!(census.is_free());
+        assert_eq!(census.free_lines, g.lines_per_block());
+        assert_eq!(census.lines_per_block, g.lines_per_block());
+
+        // Occupy granules on lines 0, 3 and 3 again (same line).
+        let first_line = g.first_line_of(block);
+        rc.increment(obj(g.line_start(first_line).word_index() + 2));
+        rc.increment(obj(g.line_start(Line::from_index(first_line.index() + 3)).word_index()));
+        rc.increment(obj(g.line_start(Line::from_index(first_line.index() + 3)).word_index() + 8));
+
+        let census = rc.block_census(block);
+        assert!(!census.is_free());
+        assert!(census.has_free_line());
+        assert_eq!(census.live_granules, 3);
+        assert_eq!(census.live_granules, rc.block_live_granules(block));
+        assert_eq!(census.free_lines, g.lines_per_block() - 2);
+        assert!(!census.line_is_free(0));
+        assert!(census.line_is_free(1));
+        assert!(!census.line_is_free(3));
+        // The bitmap agrees with per-line probing everywhere.
+        for i in 0..g.lines_per_block() {
+            assert_eq!(
+                census.line_is_free(i),
+                rc.line_is_free_impl(Line::from_index(first_line.index() + i)),
+                "line {i}"
+            );
+        }
+        assert!((census.occupancy(2048) - 3.0 / 2048.0).abs() < 1e-12);
+        // The allocation-free summary agrees with the full census.
+        assert_eq!(rc.block_summary(block), (census.live_granules, census.free_lines));
+    }
+
+    /// Replicates the `LineOccupancy` default (per-line probing) so the SWAR
+    /// override can be checked against it.
+    fn probe_free_line_run(
+        rc: &RcTable,
+        first_line: Line,
+        from: usize,
+        lines: usize,
+    ) -> Option<(usize, usize)> {
+        let mut i = from;
+        while i < lines {
+            if rc.line_is_free(Line::from_index(first_line.index() + i)) {
+                let mut end = i + 1;
+                while end < lines && rc.line_is_free(Line::from_index(first_line.index() + end)) {
+                    end += 1;
+                }
+                return Some((i, end));
+            }
+            i += 1;
+        }
+        None
+    }
+
+    #[test]
+    fn swar_free_line_runs_match_probing() {
+        let rc = table();
+        let g = rc.geometry();
+        let block = Block::from_index(7);
+        let first_line = g.first_line_of(block);
+        let lines = g.lines_per_block();
+        // Occupy a mix: a leading prefix, an isolated line, adjacent lines,
+        // and a granule in the middle of a line (partial line occupancy).
+        for l in [0usize, 1, 5, 40, 41, 42, 100] {
+            rc.increment(obj(g.line_start(Line::from_index(first_line.index() + l)).word_index() + 6));
+        }
+        for from in 0..lines {
+            assert_eq!(
+                rc.next_free_line_run(first_line, from, lines),
+                probe_free_line_run(&rc, first_line, from, lines),
+                "from {from}"
+            );
+        }
+    }
+
     proptest! {
+        /// The SWAR free-line-run search agrees with per-line probing for
+        /// arbitrary occupancy patterns and search offsets.
+        #[test]
+        fn free_line_runs_match_probing_on_random_patterns(
+            occupied in proptest::collection::vec((0usize..128, 0usize..16), 0..48),
+            from in 0usize..128,
+        ) {
+            let rc = table();
+            let g = rc.geometry();
+            let block = Block::from_index(3);
+            let first_line = g.first_line_of(block);
+            for (line, granule) in occupied {
+                let base = g.line_start(Line::from_index(first_line.index() + line));
+                rc.increment(obj(base.word_index() + granule * 2));
+            }
+            let lines = g.lines_per_block();
+            prop_assert_eq!(
+                rc.next_free_line_run(first_line, from, lines),
+                probe_free_line_run(&rc, first_line, from, lines)
+            );
+        }
+
         /// The table agrees with a naive model under arbitrary sequences of
         /// increments and decrements on a handful of objects.
         #[test]

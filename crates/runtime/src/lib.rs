@@ -47,7 +47,9 @@ pub mod workers;
 pub use mutator::{Mutator, MutatorShared, RootSlot};
 pub use nogc::NoGcPlan;
 pub use options::RuntimeOptions;
-pub use plan::{AllocFailure, Collection, ConcurrentWork, Plan, PlanContext, PlanFactory, PlanMutator, RootSet};
+pub use plan::{
+    AllocFailure, Collection, ConcurrentWork, Plan, PlanContext, PlanFactory, PlanMutator, RootSet,
+};
 pub use rendezvous::Rendezvous;
 pub use runtime::{PauseAttrs, Runtime, RuntimeShared};
 pub use stats::{GcReason, GcStats, PauseRecord, StatsSnapshot, WorkCounter};

@@ -58,13 +58,7 @@ impl Mutator {
         shared: Arc<MutatorShared>,
         plan_mutator: Box<dyn PlanMutator>,
     ) -> Self {
-        Mutator {
-            runtime,
-            shared,
-            plan_mutator,
-            allocs_since_poll: 0,
-            total_allocations: 0,
-        }
+        Mutator { runtime, shared, plan_mutator, allocs_since_poll: 0, total_allocations: 0 }
     }
 
     /// This mutator's stable identifier.

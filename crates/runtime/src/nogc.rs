@@ -37,7 +37,11 @@ impl Plan for NoGcPlan {
     fn create_mutator(&self, _mutator_id: usize) -> Box<dyn PlanMutator> {
         Box::new(NoGcMutator {
             om: ObjectModel::new(self.ctx.space.clone()),
-            allocator: ImmixAllocator::new(self.ctx.space.clone(), self.ctx.blocks.clone(), Arc::new(NoReuse)),
+            allocator: ImmixAllocator::new(
+                self.ctx.space.clone(),
+                self.ctx.blocks.clone(),
+                Arc::new(NoReuse),
+            ),
             los: self.ctx.los.clone(),
         })
     }
@@ -69,7 +73,9 @@ impl PlanMutator for NoGcMutator {
     fn alloc(&mut self, shape: ObjectShape) -> Result<ObjectReference, AllocFailure> {
         let addr = match self.allocator.alloc(shape.size_words()) {
             Ok(addr) => addr,
-            Err(AllocError::TooLarge) => self.los.alloc(shape.size_words()).ok_or(AllocFailure::OutOfMemory)?,
+            Err(AllocError::TooLarge) => {
+                self.los.alloc(shape.size_words()).ok_or(AllocFailure::OutOfMemory)?
+            }
             Err(AllocError::OutOfMemory) => return Err(AllocFailure::OutOfMemory),
         };
         Ok(self.om.initialize(addr, shape))

@@ -221,10 +221,8 @@ impl GcStats {
 
     /// Takes a snapshot of everything recorded so far.
     pub fn snapshot(&self) -> StatsSnapshot {
-        let counters = ALL_COUNTERS
-            .iter()
-            .map(|c| (*c, self.counters[*c as usize].load(Ordering::Relaxed)))
-            .collect();
+        let counters =
+            ALL_COUNTERS.iter().map(|c| (*c, self.counters[*c as usize].load(Ordering::Relaxed))).collect();
         StatsSnapshot {
             pauses: self.pauses.lock().clone(),
             stw_gc_time: Duration::from_nanos(self.stw_gc_nanos.load(Ordering::Relaxed)),

@@ -138,11 +138,7 @@ fn drain<T, F>(worker_id: usize, injector: &Arc<Injector<T>>, pending: &Arc<Atom
 where
     F: Fn(T, &PhaseHandle<T>),
 {
-    let handle = PhaseHandle {
-        injector: Arc::clone(injector),
-        pending: Arc::clone(pending),
-        worker_id,
-    };
+    let handle = PhaseHandle { injector: Arc::clone(injector), pending: Arc::clone(pending), worker_id };
     let mut idle_spins = 0u32;
     loop {
         match injector.steal() {

@@ -38,11 +38,8 @@ mod tests {
     #[test]
     fn quick_latency_run_reports_percentiles() {
         let spec = benchmark("lusearch").unwrap();
-        let result = run_workload(
-            &spec,
-            "lxr",
-            &RunOptions::default().with_heap_factor(1.3).with_scale(0.05),
-        );
+        let result =
+            run_workload(&spec, "lxr", &RunOptions::default().with_heap_factor(1.3).with_scale(0.05));
         assert!(!result.skipped);
         assert!(result.qps.unwrap() > 0.0);
         assert!(!result.latencies.is_empty());
@@ -52,7 +49,8 @@ mod tests {
     #[test]
     fn zgc_is_skipped_below_its_minimum_heap() {
         let spec = benchmark("lusearch").unwrap();
-        let result = run_workload(&spec, "zgc", &RunOptions::default().with_heap_factor(1.3).with_scale(0.05));
+        let result =
+            run_workload(&spec, "zgc", &RunOptions::default().with_heap_factor(1.3).with_scale(0.05));
         assert!(result.skipped, "ZGC cannot run lusearch in a 1.3x heap");
     }
 

@@ -13,11 +13,8 @@ fn main() {
     println!("lusearch-like request workload, 1.3x heap ({} MB)", spec.heap_bytes(1.3) >> 20);
     println!("{:<12} {:>10} {:>8} {:>8} {:>8} {:>8}", "collector", "QPS", "p50", "p99", "p99.9", "p99.99");
     for collector in ["lxr", "g1", "shenandoah"] {
-        let result = run_workload(
-            &spec,
-            collector,
-            &RunOptions::default().with_heap_factor(1.3).with_scale(0.5),
-        );
+        let result =
+            run_workload(&spec, collector, &RunOptions::default().with_heap_factor(1.3).with_scale(0.5));
         let pct = |p: f64| {
             result
                 .latency_percentile(p)

@@ -13,10 +13,7 @@ use lxr::workloads::{benchmark, run_workload, RunOptions};
 fn main() {
     let spec = benchmark("avrora").expect("avrora is part of the suite");
     println!("avrora-like workload (live singly-linked list + churn), 2x heap");
-    println!(
-        "{:<12} {:>9} {:>8} {:>10} {:>14}",
-        "collector", "time ms", "pauses", "p95 ms", "GC busy ms"
-    );
+    println!("{:<12} {:>9} {:>8} {:>10} {:>14}", "collector", "time ms", "pauses", "p95 ms", "GC busy ms");
     for collector in ["lxr", "g1", "shenandoah", "parallel"] {
         let result = run_workload(&spec, collector, &RunOptions::default());
         let gc_busy = result.gc.stw_gc_time + result.gc.concurrent_gc_time;

@@ -10,9 +10,8 @@ use lxr::runtime::{Runtime, RuntimeOptions, WorkCounter};
 
 fn main() {
     // A 32 MB heap managed by LXR with 4 parallel GC workers.
-    let runtime = Runtime::new::<LxrPlan>(
-        RuntimeOptions::default().with_heap_size(32 << 20).with_gc_workers(4),
-    );
+    let runtime =
+        Runtime::new::<LxrPlan>(RuntimeOptions::default().with_heap_size(32 << 20).with_gc_workers(4));
     let mut mutator = runtime.bind_mutator();
 
     // Build a binary tree that survives collections.  Long-lived references

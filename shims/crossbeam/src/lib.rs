@@ -1,0 +1,280 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the *subset* of crossbeam's API that lxr-rs uses: the
+//! [`queue::SegQueue`] / [`queue::ArrayQueue`] concurrent queues, the
+//! [`deque::Injector`] work-stealing queue, and unbounded
+//! [`channel`]s.  The shims favour simplicity over lock-freedom (mutexed
+//! `VecDeque`s); the API contracts — and in particular the blocking /
+//! non-blocking semantics the collector relies on — are preserved.
+
+pub mod queue {
+    //! Concurrent queues.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::Mutex;
+
+    fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// An unbounded MPMC queue.
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// Creates an empty queue.
+        pub const fn new() -> Self {
+            SegQueue { inner: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Pushes an element to the back of the queue.
+        pub fn push(&self, value: T) {
+            lock(&self.inner).push_back(value);
+        }
+
+        /// Pops an element from the front of the queue.
+        pub fn pop(&self) -> Option<T> {
+            lock(&self.inner).pop_front()
+        }
+
+        /// Returns `true` if the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.inner).is_empty()
+        }
+
+        /// Number of queued elements.
+        pub fn len(&self) -> usize {
+            lock(&self.inner).len()
+        }
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> fmt::Debug for SegQueue<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("SegQueue").field("len", &self.len()).finish()
+        }
+    }
+
+    /// A bounded MPMC queue; `push` fails when the queue is full.
+    pub struct ArrayQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+        capacity: usize,
+    }
+
+    impl<T> ArrayQueue<T> {
+        /// Creates a queue with the given capacity.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `capacity` is zero.
+        pub fn new(capacity: usize) -> Self {
+            assert!(capacity > 0, "capacity must be non-zero");
+            ArrayQueue { inner: Mutex::new(VecDeque::with_capacity(capacity)), capacity }
+        }
+
+        /// Attempts to push; returns the value back if the queue is full.
+        pub fn push(&self, value: T) -> Result<(), T> {
+            let mut q = lock(&self.inner);
+            if q.len() >= self.capacity {
+                Err(value)
+            } else {
+                q.push_back(value);
+                Ok(())
+            }
+        }
+
+        /// Pops an element from the front of the queue.
+        pub fn pop(&self) -> Option<T> {
+            lock(&self.inner).pop_front()
+        }
+
+        /// The queue's capacity.
+        pub fn capacity(&self) -> usize {
+            self.capacity
+        }
+
+        /// Number of queued elements.
+        pub fn len(&self) -> usize {
+            lock(&self.inner).len()
+        }
+
+        /// Returns `true` if the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.inner).is_empty()
+        }
+    }
+
+    impl<T> fmt::Debug for ArrayQueue<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("ArrayQueue").field("len", &self.len()).field("capacity", &self.capacity).finish()
+        }
+    }
+}
+
+pub mod deque {
+    //! Work-stealing deques (the injector half only).
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::Mutex;
+
+    /// The result of a steal attempt.
+    pub enum Steal<T> {
+        /// An element was stolen.
+        Success(T),
+        /// The queue was observed empty.
+        Empty,
+        /// The operation lost a race and should be retried.
+        Retry,
+    }
+
+    /// A FIFO queue that many threads push to and steal from.
+    pub struct Injector<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector { inner: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Pushes an element.
+        pub fn push(&self, value: T) {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner()).push_back(value);
+        }
+
+        /// Attempts to steal one element.  Returns [`Steal::Retry`] when the
+        /// queue is contended, matching crossbeam's non-blocking contract.
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.try_lock() {
+                Ok(mut q) => match q.pop_front() {
+                    Some(v) => Steal::Success(v),
+                    None => Steal::Empty,
+                },
+                Err(std::sync::TryLockError::Poisoned(e)) => match e.into_inner().pop_front() {
+                    Some(v) => Steal::Success(v),
+                    None => Steal::Empty,
+                },
+                Err(std::sync::TryLockError::WouldBlock) => Steal::Retry,
+            }
+        }
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> fmt::Debug for Injector<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Injector")
+        }
+    }
+}
+
+pub mod channel {
+    //! MPSC channels with a cloneable, `Sync` sender (facade over
+    //! `std::sync::mpsc`).
+
+    pub use std::sync::mpsc::{RecvError, SendError};
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T>(std::sync::mpsc::Sender<T>);
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T>(std::sync::mpsc::Receiver<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a value; fails only when every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives; fails when every sender has been
+        /// dropped and the channel is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, std::sync::mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+    use super::deque::{Injector, Steal};
+    use super::queue::{ArrayQueue, SegQueue};
+
+    #[test]
+    fn seg_queue_fifo() {
+        let q = SegQueue::new();
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn array_queue_bounds() {
+        let q = ArrayQueue::new(2);
+        assert_eq!(q.capacity(), 2);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.push(3).is_ok());
+    }
+
+    #[test]
+    fn injector_steals_in_order() {
+        let inj = Injector::new();
+        inj.push('a');
+        inj.push('b');
+        match inj.steal() {
+            Steal::Success(c) => assert_eq!(c, 'a'),
+            _ => panic!("expected success"),
+        }
+        assert!(matches!(inj.steal(), Steal::Success('b')));
+        assert!(matches!(inj.steal(), Steal::Empty));
+    }
+
+    #[test]
+    fn channel_closes_when_senders_drop() {
+        let (tx, rx) = unbounded();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert!(rx.recv().is_err());
+    }
+}

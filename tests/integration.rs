@@ -34,10 +34,7 @@ fn every_collector_runs_a_small_workload_through_the_umbrella_crate() {
     let spec = benchmark("fop").expect("fop spec");
     for collector in ALL_COLLECTORS {
         let result = run_workload(&spec, collector, &RunOptions::default().with_scale(0.1));
-        assert!(
-            result.skipped || result.allocated_bytes > 0,
-            "{collector} did not allocate anything"
-        );
+        assert!(result.skipped || result.allocated_bytes > 0, "{collector} did not allocate anything");
     }
 }
 
