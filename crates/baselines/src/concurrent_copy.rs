@@ -420,6 +420,13 @@ impl Plan for ConcurrentCopyPlan {
     fn concurrent_work(&self, work: &ConcurrentWork<'_>) {
         let state = &self.state;
         state.concurrent_busy.store(true, Ordering::Release);
+        // Re-check for a pending pause after publishing busy, closing the
+        // check-then-act race with the pause's quiescence spin (same
+        // handshake as the LXR concurrent thread).
+        if (work.yield_requested)() {
+            state.concurrent_busy.store(false, Ordering::Release);
+            return;
+        }
         match state.phase() {
             PHASE_MARKING => {
                 let mut steps = 0usize;

@@ -1,0 +1,127 @@
+//! Pause-phase parallelism benchmarks: the block sweep and an
+//! increment-shaped transitive workload, across worker counts and across
+//! schedulers (the lock-free two-level work-stealing scheduler vs the
+//! retained mutexed single-queue reference).
+//!
+//! Acceptance targets (ISSUE 2): parallel `sweep_blocks` ≥ 2× over the
+//! sequential baseline at 4 workers, and the lock-free scheduler no slower
+//! than the mutexed one at 1 worker and faster at ≥ 4 workers.  Note that
+//! scaling numbers are only meaningful on a multi-core host: on a single
+//! hardware thread every "parallel" configuration measures scheduling
+//! overhead, not speedup.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lxr_core::pause::{sweep_blocks, sweep_blocks_sequential};
+use lxr_core::{LxrConfig, LxrState};
+use lxr_heap::{Block, BlockAllocator, BlockState, HeapConfig, HeapSpace, LargeObjectSpace};
+use lxr_object::ObjectReference;
+use lxr_runtime::{GcStats, PlanContext, RuntimeOptions, WorkerPool};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn make_state(heap_bytes: usize) -> Arc<LxrState> {
+    let options = RuntimeOptions::default()
+        .with_heap_config(HeapConfig::with_heap_size(heap_bytes))
+        .with_concurrent_thread(false);
+    let space = Arc::new(HeapSpace::new(options.heap.clone()));
+    let blocks = Arc::new(BlockAllocator::new(space.clone()));
+    let los = Arc::new(LargeObjectSpace::new(space.clone(), blocks.clone()));
+    let ctx = PlanContext { space, blocks, los, stats: Arc::new(GcStats::new()), options };
+    Arc::new(LxrState::new(&ctx, LxrConfig::default()))
+}
+
+/// Populates `blocks` blocks with a stable occupancy mix — half dense (a
+/// live granule on every line: the sweep re-marks them Mature), half sparse
+/// (free lines: the sweep re-queues them, a no-op once queued) — so
+/// sweeping is repeatable without releasing anything between iterations.
+fn build_sweep_set(state: &Arc<LxrState>, blocks: usize) -> Vec<(Block, BlockState)> {
+    let g = state.geometry;
+    let mut sweep = Vec::with_capacity(blocks);
+    for bi in 2..2 + blocks {
+        let block = Block::from_index(bi);
+        let start = g.block_start(block);
+        if bi % 2 == 0 {
+            for line in 0..g.lines_per_block() {
+                state.rc.increment(ObjectReference::from_address(start.plus(line * g.words_per_line())));
+            }
+        } else {
+            for line in (0..g.lines_per_block()).step_by(4) {
+                state.rc.increment(ObjectReference::from_address(start.plus(line * g.words_per_line())));
+            }
+        }
+        state.space.block_states().set(block, BlockState::Mature);
+        sweep.push((block, BlockState::Mature));
+    }
+    sweep
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let state = make_state(32 << 20);
+    let sweep_set = build_sweep_set(&state, 512);
+    let mut group = c.benchmark_group("pause_phases/sweep_blocks_512");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_millis(800));
+    group.warm_up_time(Duration::from_millis(150));
+
+    {
+        let state = state.clone();
+        let sweep_set = sweep_set.clone();
+        group.bench_function("sequential", move |b| {
+            b.iter(|| sweep_blocks_sequential(&state, &state.stats, black_box(sweep_set.clone())));
+        });
+    }
+    for workers in [1usize, 2, 4, 8] {
+        let pool = WorkerPool::new(workers);
+        let state = state.clone();
+        let sweep_set = sweep_set.clone();
+        group.bench_function(&format!("parallel/{workers}w"), move |b| {
+            b.iter(|| sweep_blocks(&state, &pool, &state.stats, black_box(sweep_set.clone())));
+        });
+    }
+    group.finish();
+}
+
+/// An increment-phase-shaped workload: a transitive binary tree of work
+/// items, each doing a small amount of "RC work", scheduled either through
+/// the lock-free work-stealing scheduler or the mutexed reference queue.
+fn bench_scheduler(c: &mut Criterion) {
+    const TREE_LIMIT: usize = 4096; // 8191 items per phase
+    let mut group = c.benchmark_group("pause_phases/increment_tree_8k");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_millis(800));
+    group.warm_up_time(Duration::from_millis(150));
+
+    for workers in [1usize, 2, 4, 8] {
+        let pool = Arc::new(WorkerPool::new(workers));
+        for mutexed in [false, true] {
+            let pool = pool.clone();
+            let label = if mutexed { format!("mutexed/{workers}w") } else { format!("lockfree/{workers}w") };
+            group.bench_function(&label, move |b| {
+                b.iter(|| {
+                    let count = Arc::new(AtomicUsize::new(0));
+                    let count2 = count.clone();
+                    let work = move |item: usize, ctx: &lxr_runtime::PhaseHandle<usize>| {
+                        // A granule's worth of "work" per item.
+                        black_box((item..item + 16).sum::<usize>());
+                        count2.fetch_add(1, Ordering::Relaxed);
+                        if item < TREE_LIMIT {
+                            ctx.push(2 * item);
+                            ctx.push(2 * item + 1);
+                        }
+                    };
+                    if mutexed {
+                        pool.run_phase_mutexed(vec![1usize], work);
+                    } else {
+                        pool.run_phase(vec![1usize], work);
+                    }
+                    assert_eq!(count.load(Ordering::Relaxed), 2 * TREE_LIMIT - 1);
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep, bench_scheduler);
+criterion_main!(benches);

@@ -5,21 +5,39 @@
 //! The concurrent thread yields promptly when the controller requests a
 //! pause, leaving its remaining work queued; the pause either finishes it
 //! (lazy decrements) or resumes it afterwards (SATB tracing).
+//!
+//! Decrement application is fanned out over the GC worker pool: the pending
+//! queue is drained in bounded batches, each batch chunked across the
+//! workers, and every chunk processes its recursive decrements on a local
+//! stack with a periodic yield check, re-queuing unfinished work when a
+//! pause is requested.
 
 use crate::state::LxrState;
 use lxr_heap::Block;
 use lxr_object::ObjectReference;
-use lxr_runtime::{ConcurrentWork, WorkCounter};
+use lxr_runtime::{ConcurrentWork, WorkCounter, WorkerPool, YieldCheck};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Entry point called on the runtime's concurrent collector thread.
 pub(crate) fn concurrent_work(state: &Arc<LxrState>, work: &ConcurrentWork<'_>) {
     state.concurrent_busy.store(true, Ordering::Release);
+    // Close the check-then-act race with the pause's quiescence spin: the
+    // controller samples `concurrent_busy` once at pause entry, so it may
+    // have read `false` an instant before the store above.  Re-checking for
+    // a pending pause *after* publishing busy makes the handshake airtight:
+    // either our check (through the rendezvous mutex) sees the pending
+    // pause and we back out, or the mutex ordering guarantees the pause's
+    // later spin sees our busy flag and waits for us.
+    if (work.yield_requested)() {
+        state.concurrent_busy.store(false, Ordering::Release);
+        return;
+    }
     // Lazy decrements take priority over SATB tracing so mature reclamation
     // stays prompt (§3.2.1).
     if state.lazy_pending.load(Ordering::Acquire) {
-        let finished = drain_pending_decrements(state, || (work.yield_requested)());
+        let finished =
+            drain_pending_decrements(state, Some(work.workers), Some(work.yield_requested.clone()));
         if finished {
             lazy_reclaim(state);
             state.lazy_pending.store(false, Ordering::Release);
@@ -44,20 +62,118 @@ pub(crate) fn has_concurrent_work(state: &Arc<LxrState>) -> bool {
         && !state.gray.is_empty()
 }
 
+/// Pending decrements taken off the shared queue per scheduling round.
+const DEC_BATCH: usize = 4096;
+/// Below this batch size the fan-out overhead is not worth it.
+const DEC_MIN_PARALLEL: usize = 128;
+
 /// Processes queued decrements (and the recursive decrements they generate)
 /// until the queue is empty or `should_yield` asks us to stop.  Returns
 /// `true` if the queue was fully drained.
-pub(crate) fn drain_pending_decrements(state: &Arc<LxrState>, should_yield: impl Fn() -> bool) -> bool {
-    let mut local: Vec<ObjectReference> = Vec::new();
-    let mut processed_since_check = 0usize;
+///
+/// When a worker pool is supplied, each batch popped off the pending queue
+/// is chunked across the pool ([`WorkerPool::run_phase`]); recursive
+/// decrements stay on the processing worker's local stack.  `None` for
+/// `should_yield` means "never yield" (the in-pause catch-up path).
+pub(crate) fn drain_pending_decrements(
+    state: &Arc<LxrState>,
+    workers: Option<&WorkerPool>,
+    should_yield: Option<YieldCheck>,
+) -> bool {
     loop {
-        let obj = match local.pop() {
-            Some(o) => o,
-            None => match state.pending_decs.pop() {
-                Some(o) => o,
-                None => return true,
-            },
-        };
+        if should_yield.as_ref().is_some_and(|f| f()) {
+            return false;
+        }
+        let mut batch = Vec::new();
+        while batch.len() < DEC_BATCH {
+            match state.pending_decs.pop() {
+                Some(o) => batch.push(o),
+                None => break,
+            }
+        }
+        if batch.is_empty() {
+            return true;
+        }
+        match workers {
+            Some(pool) if batch.len() >= DEC_MIN_PARALLEL => {
+                let participants = pool.size() + 1;
+                let chunk_len = batch.len().div_ceil(participants * 4).max(32);
+                let chunks: Vec<Vec<ObjectReference>> = batch.chunks(chunk_len).map(<[_]>::to_vec).collect();
+                let state = state.clone();
+                let should_yield = should_yield.clone();
+                pool.run_phase(chunks, move |chunk, handle| {
+                    process_decrement_chunk_stealable(&state, chunk, should_yield.as_deref(), handle);
+                });
+                // Chunks that yielded re-queued their remainders; the check
+                // at the top of the loop notices and reports `false`.
+            }
+            _ => {
+                if !process_decrement_chunk(state, batch, should_yield.as_deref()) {
+                    return false;
+                }
+            }
+        }
+    }
+}
+
+/// Recursive-decrement backlog beyond which a chunk publishes half of its
+/// local stack back to the phase scheduler, so a skewed chunk (one root
+/// heading a huge death subtree) does not serialize the batch while the
+/// other workers idle at the phase barrier.
+const DEC_OFFLOAD_AT: usize = 512;
+
+/// [`process_decrement_chunk`] for the work-stealing fan-out: recursive
+/// decrements accumulate on a local stack, but an oversized backlog is
+/// split off and re-pushed through the [`PhaseHandle`] where idle workers
+/// can steal it, and a chunk picked up after a yield request goes straight
+/// back to the pending queue.
+fn process_decrement_chunk_stealable(
+    state: &Arc<LxrState>,
+    chunk: Vec<ObjectReference>,
+    should_yield: Option<&(dyn Fn() -> bool + Send + Sync)>,
+    handle: &lxr_runtime::PhaseHandle<Vec<ObjectReference>>,
+) {
+    let mut local = chunk;
+    if should_yield.is_some_and(|f| f()) {
+        for o in local.drain(..) {
+            state.pending_decs.push(o);
+        }
+        return;
+    }
+    let mut processed_since_check = 0usize;
+    while let Some(obj) = local.pop() {
+        {
+            let mut push = |child: ObjectReference| local.push(child);
+            state.apply_decrement(obj, &mut push);
+        }
+        if local.len() >= DEC_OFFLOAD_AT {
+            handle.push(local.split_off(local.len() / 2));
+        }
+        processed_since_check += 1;
+        if processed_since_check >= 64 {
+            processed_since_check = 0;
+            if should_yield.is_some_and(|f| f()) {
+                for o in local.drain(..) {
+                    state.pending_decs.push(o);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Applies one chunk of decrements, following recursive decrements on a
+/// local stack.  Checks `should_yield` every 64 applications; on yield the
+/// unprocessed remainder is pushed back onto the shared pending queue and
+/// `false` is returned.
+fn process_decrement_chunk(
+    state: &Arc<LxrState>,
+    chunk: Vec<ObjectReference>,
+    should_yield: Option<&(dyn Fn() -> bool + Send + Sync)>,
+) -> bool {
+    let mut local = chunk;
+    let mut processed_since_check = 0usize;
+    while let Some(obj) = local.pop() {
         {
             let mut push = |child: ObjectReference| local.push(child);
             state.apply_decrement(obj, &mut push);
@@ -65,7 +181,7 @@ pub(crate) fn drain_pending_decrements(state: &Arc<LxrState>, should_yield: impl
         processed_since_check += 1;
         if processed_since_check >= 64 {
             processed_since_check = 0;
-            if should_yield() {
+            if should_yield.is_some_and(|f| f()) {
                 for o in local.drain(..) {
                     state.pending_decs.push(o);
                 }
@@ -73,29 +189,30 @@ pub(crate) fn drain_pending_decrements(state: &Arc<LxrState>, should_yield: impl
             }
         }
     }
+    true
 }
 
 /// Lazy reclamation (§3.3.1): once the decrements are processed, sweep the
 /// blocks that received them, immediately releasing the completely free
 /// ones.  Partially free blocks are left for the next pause, which queues
-/// them for line reuse.
+/// them for line reuse.  The dirtied set is a per-block atomic bitmap, so
+/// finding the candidates is one SWAR set-bit scan.
 fn lazy_reclaim(state: &Arc<LxrState>) {
-    let fully_free: Vec<usize> = {
-        let dirtied = state.dirtied_blocks.lock();
+    let mut fully_free: Vec<Block> = Vec::new();
+    {
         let queued = state.queued_for_reuse.lock();
-        dirtied
-            .iter()
-            .copied()
+        state.for_each_dirtied_block(|block| {
             // Blocks still sitting in the recycled queue must not also be
             // released to the clean list.
-            .filter(|idx| !queued.contains(idx))
-            .filter(|&idx| state.rc.block_is_free(Block::from_index(idx)))
-            .collect()
-    };
-    for idx in fully_free {
-        state.dirtied_blocks.lock().remove(&idx);
+            if !queued.contains(&block.index()) && state.rc.block_is_free(block) {
+                fully_free.push(block);
+            }
+        });
+    }
+    for block in fully_free {
+        state.clear_block_dirtied(block);
         state.stats.add(WorkCounter::MatureBlocksFreed, 1);
-        state.release_free_block(Block::from_index(idx));
+        state.release_free_block(block);
     }
 }
 

@@ -19,8 +19,14 @@ use lxr_runtime::{Collection, WorkCounter};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
-/// Selects the evacuation set: mature blocks below the occupancy threshold,
-/// lowest occupancy first, up to the configured maximum (§3.3.2).
+/// Selects the evacuation set: the `max_evac_blocks` mature blocks with the
+/// lowest occupancy below the threshold (§3.3.2).
+///
+/// Selection is bounded: a quickselect
+/// (`select_nth_unstable_by`, expected O(n)) partitions the k least
+/// occupied blocks instead of fully sorting every candidate, capping the
+/// pause-time cost of this step on huge heaps.  Membership in the set is
+/// what matters downstream — the set is unordered — so no sort is needed.
 pub(crate) fn select_candidates(state: &Arc<LxrState>) {
     let queued = state.queued_for_reuse.lock();
     let mut candidates: Vec<(Block, f64)> = state
@@ -32,8 +38,12 @@ pub(crate) fn select_candidates(state: &Arc<LxrState>) {
         .filter(|(_, occ)| *occ > 0.0 && *occ < state.config.evac_occupancy_threshold)
         .collect();
     drop(queued);
-    candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-    candidates.truncate(state.config.max_evac_blocks);
+    let k = state.config.max_evac_blocks;
+    if candidates.len() > k {
+        candidates
+            .select_nth_unstable_by(k, |a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        candidates.truncate(k);
+    }
     let mut set = state.evac_candidates.lock();
     set.clear();
     for (block, _) in candidates {
@@ -158,7 +168,6 @@ pub(crate) fn evacuate_object(
 fn finish_evacuation(state: &Arc<LxrState>, c: &Collection<'_>) {
     let candidates: Vec<usize> = state.evac_candidates.lock().drain().collect();
     let mut deferred = state.deferred_free_blocks.lock();
-    let mut dirtied = state.dirtied_blocks.lock();
     for idx in candidates {
         let block = Block::from_index(idx);
         if state.rc.block_is_free(block) {
@@ -166,7 +175,7 @@ fn finish_evacuation(state: &Arc<LxrState>, c: &Collection<'_>) {
             deferred.push(block);
         } else {
             state.space.block_states().set(block, BlockState::Mature);
-            dirtied.insert(idx);
+            state.mark_block_dirtied(block);
         }
     }
     while state.remset.pop().is_some() {}

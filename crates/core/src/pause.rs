@@ -17,15 +17,26 @@
 //!    decrements, reclaiming free blocks and recycling free lines,
 //! 9. decides whether to start a new SATB trace, and
 //! 10. updates the survival-rate predictor and epoch bookkeeping.
+//!
+//! Every substantive phase of the pause runs on the work-stealing worker
+//! pool ("parallelism in every collection phase", §1): the increment phase
+//! and the non-lazy decrement phase push recursive work through
+//! [`PhaseHandle::push`](lxr_runtime::PhaseHandle::push), the block sweep
+//! fans read-only block censuses out over the pool and buffers free-list
+//! mutations per worker (flushed once), and the young-LOS sweep chunks its
+//! candidate list across the pool.
 
 use crate::state::LxrState;
 use lxr_heap::{Address, Block, BlockState, ImmixAllocator, LineOccupancy};
 use lxr_object::{ClaimResult, ObjectReference};
-use lxr_runtime::{Collection, WorkCounter};
+use lxr_runtime::{Collection, GcStats, WorkCounter, WorkerPool};
 use parking_lot::Mutex;
 use std::collections::HashSet;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+
+/// Below this many in-pause decrements the fan-out overhead is not worth it.
+const DEC_MIN_PARALLEL_PAUSE: usize = 128;
 
 /// A unit of increment work for the parallel increment phase.
 #[derive(Debug, Clone, Copy)]
@@ -51,10 +62,11 @@ pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
 
     // 1. Finish lazy decrements left over from the previous epoch (§3.2.1:
     //    "If the next RC epoch starts and LXR still has decrements to
-    //    process, it finishes them first").
+    //    process, it finishes them first").  The catch-up is fanned out
+    //    over the worker pool and never yields (we own the pause).
     if state.lazy_pending.load(Ordering::Acquire) {
         c.attrs.set_lazy_incomplete();
-        crate::concurrent::drain_pending_decrements(state, || false);
+        crate::concurrent::drain_pending_decrements(state, Some(c.workers), None);
         state.lazy_pending.store(false, Ordering::Release);
     }
 
@@ -142,20 +154,28 @@ pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
             state.pending_decs.push(d);
         }
         state.lazy_pending.store(true, Ordering::Release);
-    } else {
+    } else if decrements.len() < DEC_MIN_PARALLEL_PAUSE {
+        // The -LD ablation applies decrements inside the pause.  Tiny
+        // batches are not worth a phase's scheduling setup.
         let mut queue = decrements;
         while let Some(obj) = queue.pop() {
-            let mut push = |c: ObjectReference| queue.push(c);
+            let mut push = |child: ObjectReference| queue.push(child);
             state.apply_decrement(obj, &mut push);
         }
-        // Blocks dirtied by in-pause decrements are swept below.
+    } else {
+        // A work-stealing phase reusing the recursive-push pattern of the
+        // increment phase.  Blocks dirtied here are swept below.
+        let state2 = state.clone();
+        c.workers.run_phase(decrements, move |obj, handle| {
+            state2.apply_decrement(obj, &mut |child| handle.push(child));
+        });
     }
 
     // 9. Sweep: blocks containing young objects (state Young/Recycled),
     //    blocks dirtied by decrements, and blocks the SATB sweep touched.
     let sweep_set = collect_sweep_set(state, &satb_swept_blocks);
-    sweep_blocks(state, c, sweep_set);
-    sweep_young_los(state, c);
+    sweep_blocks(state, c.workers, c.stats, sweep_set);
+    sweep_young_los(state, c.workers);
 
     // 10. Record the survival observation and update the predictor.
     let allocated =
@@ -339,9 +359,12 @@ fn collect_sweep_set(state: &Arc<LxrState>, satb_swept: &[Block]) -> Vec<(Block,
             set.insert(block.index());
         }
     }
-    for idx in state.dirtied_blocks.lock().drain() {
-        set.insert(idx);
-    }
+    // Drain the decrement-dirtied bitmap (a SWAR set-bit scan; the world is
+    // stopped, so clearing it wholesale races with nothing).
+    state.for_each_dirtied_block(|block| {
+        set.insert(block.index());
+    });
+    state.dirtied.clear_all();
     for block in satb_swept {
         set.insert(block.index());
     }
@@ -354,16 +377,125 @@ fn collect_sweep_set(state: &Arc<LxrState>, satb_swept: &[Block]) -> Vec<(Block,
         .collect()
 }
 
-/// Sweeps the given blocks: completely free blocks are released, blocks
-/// with free lines are queued for reuse, and everything else becomes
-/// mature.
+/// One worker's buffered sweep outcomes.  Block censuses are read-only, so
+/// the scan itself needs no synchronisation; the mutations that touch
+/// global locks (free list, reuse queue) are buffered here and applied in
+/// one flush, avoiding lock ping-pong block-by-block.
+#[derive(Default)]
+struct SweepBuffer {
+    /// Fully free blocks with their pre-sweep state (for the stats split).
+    /// Their metadata was already cleared by the parallel prepare step.
+    release: Vec<(Block, BlockState)>,
+    /// Blocks with free lines, to queue for line reuse.
+    recycle: Vec<Block>,
+    /// Previously `Recycled` blocks whose reuse-queue membership lapsed.
+    unqueue: Vec<usize>,
+}
+
+/// Blocks per parallel sweep work item.
+const SWEEP_CHUNK_MIN: usize = 8;
+
+/// Sweeps the given blocks in parallel over the worker pool: completely
+/// free blocks are released, blocks with free lines are queued for reuse,
+/// and everything else becomes mature.
 ///
 /// Each block is summarised by one `RcTable::block_summary` — a single
-/// allocation-free, word-at-a-time pass over the packed count table
-/// yielding both the live-granule count and the free-line population,
-/// where the sweep previously probed every line of every block through
-/// per-granule byte atomics.
-fn sweep_blocks(state: &Arc<LxrState>, c: &Collection<'_>, sweep_set: Vec<(Block, BlockState)>) {
+/// allocation-free, word-at-a-time pass over the packed count table.  The
+/// sweep set is chunked across the workers
+/// ([`RcTable::summarize_blocks`](lxr_rc::RcTable::summarize_blocks));
+/// per-block metadata clearing runs inside the phase (blocks are disjoint),
+/// while free-list and reuse-queue updates are buffered per worker and
+/// flushed once at the end.
+///
+/// Public (with [`sweep_blocks_sequential`]) for the determinism tests and
+/// the `pause_phases` benchmark.
+pub fn sweep_blocks(
+    state: &Arc<LxrState>,
+    workers: &WorkerPool,
+    stats: &GcStats,
+    sweep_set: Vec<(Block, BlockState)>,
+) {
+    if sweep_set.len() < 2 * SWEEP_CHUNK_MIN {
+        // A sweep set this small fits in a couple of work items; skip the
+        // phase setup and run the (outcome-identical) sequential reference.
+        return sweep_blocks_sequential(state, stats, sweep_set);
+    }
+    let participants = workers.size() + 1;
+    // Reuse-queue membership is only read during the phase; mutations are
+    // buffered, so one snapshot up front replaces a lock per block.
+    let queued_snapshot: Arc<HashSet<usize>> = Arc::new(state.queued_for_reuse.lock().clone());
+    let chunk_len = sweep_set.len().div_ceil(participants * 4).max(SWEEP_CHUNK_MIN);
+    let chunks: Vec<Vec<(Block, BlockState)>> = sweep_set.chunks(chunk_len).map(<[_]>::to_vec).collect();
+    let buffers: Arc<Vec<Mutex<SweepBuffer>>> =
+        Arc::new((0..participants).map(|_| Mutex::new(SweepBuffer::default())).collect());
+    {
+        let state = state.clone();
+        let buffers = buffers.clone();
+        workers.run_phase(chunks, move |chunk, handle| {
+            // One buffer per participant by construction; a bad worker_id
+            // should panic here, not silently alias another buffer.
+            let mut buf = buffers[handle.worker_id].lock();
+            state.rc.summarize_blocks(chunk, |block, prior, live, free_lines| {
+                if prior == BlockState::Recycled {
+                    // The block was taken off the recycled queue by an
+                    // allocator since the last pause; it is eligible to be
+                    // queued again.
+                    buf.unqueue.push(block.index());
+                }
+                let still_queued = prior != BlockState::Recycled && queued_snapshot.contains(&block.index());
+                if live == 0 {
+                    if still_queued {
+                        // The block still sits in the recycled queue;
+                        // releasing it to the clean list as well would hand
+                        // it out twice.  Leave it queued — all of its lines
+                        // are free, so reuse is fine.
+                        return;
+                    }
+                    state.prepare_block_release(block);
+                    buf.release.push((block, prior));
+                    return;
+                }
+                if matches!(prior, BlockState::EvacCandidate) {
+                    return;
+                }
+                if free_lines > 0 {
+                    buf.recycle.push(block);
+                } else {
+                    state.space.block_states().set(block, BlockState::Mature);
+                }
+            });
+        });
+    }
+    // Flush: one pass over the per-worker buffers applies every mutation
+    // that touches a global lock.
+    {
+        let mut queued = state.queued_for_reuse.lock();
+        for slot in buffers.iter() {
+            for idx in &slot.lock().unqueue {
+                queued.remove(idx);
+            }
+        }
+    }
+    for slot in buffers.iter() {
+        let buf = std::mem::take(&mut *slot.lock());
+        for (block, prior) in buf.release {
+            match prior {
+                BlockState::Young => stats.add(WorkCounter::YoungBlocksFreed, 1),
+                _ => stats.add(WorkCounter::MatureBlocksFreed, 1),
+            }
+            state.finish_block_release(block);
+        }
+        for block in buf.recycle {
+            state.queue_for_reuse(block);
+        }
+    }
+}
+
+/// The sequential reference implementation of the block sweep, retained as
+/// the determinism oracle for [`sweep_blocks`] and as the baseline in the
+/// `pause_phases` benchmark.  Must produce the same block-state, free-list
+/// and reuse-queue outcome as the parallel sweep.
+pub fn sweep_blocks_sequential(state: &Arc<LxrState>, stats: &GcStats, sweep_set: Vec<(Block, BlockState)>) {
     for (block, prior_state) in sweep_set {
         if prior_state == BlockState::Recycled {
             // The block was taken off the recycled queue by an allocator
@@ -379,8 +511,8 @@ fn sweep_blocks(state: &Arc<LxrState>, c: &Collection<'_>, sweep_set: Vec<(Block
                 continue;
             }
             match prior_state {
-                BlockState::Young => c.stats.add(WorkCounter::YoungBlocksFreed, 1),
-                _ => c.stats.add(WorkCounter::MatureBlocksFreed, 1),
+                BlockState::Young => stats.add(WorkCounter::YoungBlocksFreed, 1),
+                _ => stats.add(WorkCounter::MatureBlocksFreed, 1),
             }
             state.release_free_block(block);
             continue;
@@ -396,15 +528,188 @@ fn sweep_blocks(state: &Arc<LxrState>, c: &Collection<'_>, sweep_set: Vec<(Block
     }
 }
 
+/// Young-LOS candidates per parallel work item.
+const LOS_CHUNK_MIN: usize = 16;
+/// Below this many candidates the fan-out overhead is not worth it.
+const LOS_MIN_PARALLEL: usize = 64;
+
 /// Reclaims large objects allocated since the last pause that never received
-/// an increment (implicit death for the large object space).
-fn sweep_young_los(state: &Arc<LxrState>, c: &Collection<'_>) {
+/// an increment (implicit death for the large object space).  Large lists
+/// are chunked across the worker pool: the liveness checks are atomic reads
+/// and only actual frees take the LOS lock.
+fn sweep_young_los(state: &Arc<LxrState>, workers: &WorkerPool) {
     let young: Vec<Address> = state.young_los.lock().drain(..).collect();
-    for addr in young {
-        let obj = ObjectReference::from_address(addr);
-        if state.los.contains(addr) && !state.rc.is_live(obj) {
-            state.los.free(addr);
-            c.stats.add(WorkCounter::LargeObjectsFreed, 1);
+    if young.is_empty() {
+        return;
+    }
+    if young.len() < LOS_MIN_PARALLEL {
+        for addr in young {
+            free_young_los_if_dead(state, addr);
         }
+        return;
+    }
+    let participants = workers.size() + 1;
+    let chunk_len = young.len().div_ceil(participants * 2).max(LOS_CHUNK_MIN);
+    let chunks: Vec<Vec<Address>> = young.chunks(chunk_len).map(<[_]>::to_vec).collect();
+    let state = state.clone();
+    workers.run_phase(chunks, move |chunk, _handle| {
+        for addr in chunk {
+            free_young_los_if_dead(&state, addr);
+        }
+    });
+}
+
+fn free_young_los_if_dead(state: &Arc<LxrState>, addr: Address) {
+    let obj = ObjectReference::from_address(addr);
+    if state.los.contains(addr) && !state.rc.is_live(obj) {
+        state.los.free(addr);
+        state.stats.add(WorkCounter::LargeObjectsFreed, 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LxrConfig;
+    use lxr_heap::{BlockAllocator, HeapConfig, HeapSpace, LargeObjectSpace};
+    use lxr_runtime::{PlanContext, RuntimeOptions};
+
+    fn state() -> Arc<LxrState> {
+        let options = RuntimeOptions::default()
+            .with_heap_config(HeapConfig::with_heap_size(4 << 20))
+            .with_concurrent_thread(false);
+        let space = Arc::new(HeapSpace::new(options.heap.clone()));
+        let blocks = Arc::new(BlockAllocator::new(space.clone()));
+        let los = Arc::new(LargeObjectSpace::new(space.clone(), blocks.clone()));
+        let ctx = PlanContext { space, blocks, los, stats: Arc::new(lxr_runtime::GcStats::new()), options };
+        Arc::new(LxrState::new(&ctx, LxrConfig::default()))
+    }
+
+    /// Deterministically populates `state` with a mix of sweep scenarios and
+    /// returns the sweep set: fully free Young blocks, fully free Recycled
+    /// blocks (queued and unqueued), live blocks with and without free
+    /// lines, and a fully dense block.
+    fn populate(state: &Arc<LxrState>) -> Vec<(Block, BlockState)> {
+        let g = state.geometry;
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut step = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x >> 33
+        };
+        let mut sweep = Vec::new();
+        for bi in 2..60usize {
+            let block = Block::from_index(bi);
+            let start = g.block_start(block);
+            let kind = step() % 5;
+            match kind {
+                0 => {
+                    // Fully free young block.
+                    state.space.block_states().set(block, BlockState::Young);
+                }
+                1 => {
+                    // Fully free block still (or no longer) in the reuse
+                    // queue.
+                    state.space.block_states().set(block, BlockState::Recycled);
+                    if step() % 2 == 0 {
+                        state.queue_for_reuse(block);
+                        // queue_for_reuse sets the state to Mature; restore
+                        // the "allocator took it" look for half of them.
+                        state.space.block_states().set(block, BlockState::Recycled);
+                    }
+                }
+                2 => {
+                    // Live young block with free lines.  The offset is
+                    // clamped so every granule (up to k * 2 + 2 words past
+                    // it) stays inside this block and cannot perturb a
+                    // neighbour's scenario.
+                    state.space.block_states().set(block, BlockState::Young);
+                    for k in 0..(1 + step() % 6) {
+                        let off = (step() as usize) % (g.words_per_block() - 16);
+                        state.rc.increment(ObjectReference::from_address(
+                            start.plus(off & !1).plus(k as usize * 2),
+                        ));
+                    }
+                }
+                3 => {
+                    // Dense block: one live granule on every line.
+                    state.space.block_states().set(block, BlockState::Young);
+                    for line in 0..g.lines_per_block() {
+                        state
+                            .rc
+                            .increment(ObjectReference::from_address(start.plus(line * g.words_per_line())));
+                    }
+                }
+                _ => {
+                    // Dirtied mature block (partially live).
+                    state.space.block_states().set(block, BlockState::Mature);
+                    let off = (step() as usize) % g.words_per_block();
+                    state.rc.increment(ObjectReference::from_address(start.plus(off & !1)));
+                    state.mark_block_dirtied(block);
+                }
+            }
+            let s = state.space.block_states().get(block);
+            sweep.push((block, s));
+        }
+        sweep
+    }
+
+    fn snapshot(state: &Arc<LxrState>) -> (Vec<u8>, usize, usize, Vec<usize>) {
+        let states: Vec<u8> = state.space.block_states().iter().map(|(_, s)| s as u8).collect();
+        let mut queued: Vec<usize> = state.queued_for_reuse.lock().iter().copied().collect();
+        queued.sort_unstable();
+        (states, state.blocks.free_block_count(), state.blocks.recycled_block_count(), queued)
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_reference() {
+        let pool = WorkerPool::new(4);
+        let seq = state();
+        let par = state();
+        let sweep_seq = populate(&seq);
+        let sweep_par = populate(&par);
+        assert_eq!(
+            sweep_seq.iter().map(|&(b, s)| (b.index(), s as u8)).collect::<Vec<_>>(),
+            sweep_par.iter().map(|&(b, s)| (b.index(), s as u8)).collect::<Vec<_>>(),
+            "identical deterministic setup"
+        );
+
+        sweep_blocks_sequential(&seq, &seq.stats, sweep_seq);
+        sweep_blocks(&par, &pool, &par.stats, sweep_par);
+
+        assert_eq!(snapshot(&seq), snapshot(&par), "block states, free lists and reuse queues agree");
+        for counter in
+            [WorkCounter::YoungBlocksFreed, WorkCounter::MatureBlocksFreed, WorkCounter::BlocksRecycled]
+        {
+            assert_eq!(seq.stats.get(counter), par.stats.get(counter), "{counter:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_is_idempotent_for_live_blocks() {
+        // Sweeping a set of live, no-free-line blocks twice leaves the same
+        // mature states (exercises the set-Mature path under parallelism).
+        let pool = WorkerPool::new(2);
+        let s = state();
+        let g = s.geometry;
+        let mut sweep = Vec::new();
+        // Enough blocks to stay above the parallel sweep's sequential
+        // fallback threshold.
+        for bi in 2..26usize {
+            let block = Block::from_index(bi);
+            for line in 0..g.lines_per_block() {
+                s.rc.increment(ObjectReference::from_address(
+                    g.block_start(block).plus(line * g.words_per_line()),
+                ));
+            }
+            s.space.block_states().set(block, BlockState::Young);
+            sweep.push((block, BlockState::Young));
+        }
+        sweep_blocks(&s, &pool, &s.stats, sweep.clone());
+        for &(block, _) in &sweep {
+            assert_eq!(s.space.block_states().get(block), BlockState::Mature);
+        }
+        let before = snapshot(&s);
+        sweep_blocks(&s, &pool, &s.stats, sweep.into_iter().map(|(b, _)| (b, BlockState::Mature)).collect());
+        assert_eq!(snapshot(&s), before);
     }
 }

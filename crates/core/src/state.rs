@@ -79,8 +79,10 @@ pub struct LxrState {
     /// `true` while decrements from the last epoch remain unprocessed.
     pub lazy_pending: AtomicBool,
     /// Blocks that received decrements since the last pause (sweep
-    /// candidates).
-    pub dirtied_blocks: Mutex<HashSet<usize>>,
+    /// candidates): one atomic bit per block, set on the decrement hot path
+    /// without a lock and drained with a SWAR set-bit scan
+    /// ([`SideMetadata::for_each_nonzero`]).
+    pub dirtied: SideMetadata,
     /// Set while the concurrent thread is actively mutating collector state;
     /// the pause spins until it clears.
     pub concurrent_busy: AtomicBool,
@@ -149,7 +151,7 @@ impl LxrState {
             epochs: AtomicU64::new(0),
             pending_decs: SegQueue::new(),
             lazy_pending: AtomicBool::new(false),
-            dirtied_blocks: Mutex::new(HashSet::new()),
+            dirtied: SideMetadata::new(geometry.num_words(), geometry.words_per_block(), 1),
             concurrent_busy: AtomicBool::new(false),
             satb_active: AtomicBool::new(false),
             satb_complete: AtomicBool::new(false),
@@ -213,6 +215,44 @@ impl LxrState {
         self.remset.push(RemsetEntry { slot, line_reuse: self.space.line_reuse().get(line) });
     }
 
+    // ---- dirtied-block tracking -------------------------------------------
+
+    /// Marks `block` as having received a decrement since the last pause.
+    ///
+    /// Hot path (hit for every decrement that dirties a block): a byte
+    /// load, and only on the first dirtying a store (CAS-merged into the
+    /// shared byte by [`SideMetadata::store`]) — no lock, unlike the
+    /// `Mutex<HashSet>` this replaces.  Racing markers are benign: both
+    /// merge the same 1 bit, and clears happen only from the quiesced
+    /// concurrent thread or inside a pause.
+    #[inline]
+    pub fn mark_block_dirtied(&self, block: Block) {
+        let addr = self.geometry.block_start(block);
+        if self.dirtied.load(addr) == 0 {
+            self.dirtied.store(addr, 1);
+        }
+    }
+
+    /// Returns `true` if `block` is marked decrement-dirtied.
+    #[inline]
+    pub fn block_is_dirtied(&self, block: Block) -> bool {
+        self.dirtied.load(self.geometry.block_start(block)) != 0
+    }
+
+    /// Clears the dirtied bit of `block`.
+    #[inline]
+    pub fn clear_block_dirtied(&self, block: Block) {
+        self.dirtied.store(self.geometry.block_start(block), 0);
+    }
+
+    /// Visits every dirtied block via a word-at-a-time set-bit scan (the
+    /// whole map is `num_blocks` bits — a handful of words).
+    pub fn for_each_dirtied_block(&self, mut f: impl FnMut(Block)) {
+        self.dirtied.for_each_nonzero(Address::from_word_index(0), self.geometry.num_words(), |entry| {
+            f(Block::from_index(entry))
+        });
+    }
+
     // ---- decrements --------------------------------------------------------
 
     /// Applies one decrement to `obj` (resolving any forwarding first),
@@ -264,7 +304,7 @@ impl LxrState {
             self.los.free(obj.to_address());
             self.stats.add(WorkCounter::LargeObjectsFreed, 1);
         } else {
-            self.dirtied_blocks.lock().insert(block.index());
+            self.mark_block_dirtied(block);
         }
     }
 
@@ -273,6 +313,18 @@ impl LxrState {
     /// Releases a completely free block back to the global free list,
     /// clearing its collector metadata and bumping its line reuse counters.
     pub fn release_free_block(&self, block: Block) {
+        self.prepare_block_release(block);
+        self.finish_block_release(block);
+    }
+
+    /// The thread-safe half of a block release: clears the block's
+    /// collector metadata and bumps its line reuse counters.  Blocks are
+    /// disjoint, so the parallel sweep runs this fan-out on the worker
+    /// pool; the lock-touching [`finish_block_release`] half is buffered
+    /// per worker and flushed once.
+    ///
+    /// [`finish_block_release`]: Self::finish_block_release
+    pub fn prepare_block_release(&self, block: Block) {
         debug_assert!(self.rc.block_is_free(block), "releasing a block with live counts");
         let start = self.geometry.block_start(block);
         let words = self.geometry.words_per_block();
@@ -282,6 +334,12 @@ impl LxrState {
         self.marks.clear_range(start, words);
         self.log_table.clear_range(start, words);
         self.space.bump_block_reuse(block);
+    }
+
+    /// The serialising half of a block release: dequeues the block from the
+    /// reuse set and pushes it onto the global free list.  Must follow
+    /// [`prepare_block_release`](Self::prepare_block_release).
+    pub fn finish_block_release(&self, block: Block) {
         self.queued_for_reuse.lock().remove(&block.index());
         self.blocks.release_free_block(block);
     }
@@ -368,7 +426,25 @@ mod tests {
         assert_eq!(s.rc.count(child_a), 0);
         assert_eq!(s.rc.count(child_b), 0);
         assert_eq!(s.stats.get(WorkCounter::RcDeaths), 3);
-        assert!(s.dirtied_blocks.lock().contains(&2));
+        assert!(s.block_is_dirtied(Block::from_index(2)));
+    }
+
+    #[test]
+    fn dirtied_bitmap_marks_and_drains() {
+        let s = state();
+        assert!(!s.block_is_dirtied(Block::from_index(3)));
+        s.mark_block_dirtied(Block::from_index(3));
+        s.mark_block_dirtied(Block::from_index(3));
+        s.mark_block_dirtied(Block::from_index(7));
+        assert!(s.block_is_dirtied(Block::from_index(3)));
+        let mut seen = Vec::new();
+        s.for_each_dirtied_block(|b| seen.push(b.index()));
+        assert_eq!(seen, vec![3, 7]);
+        s.clear_block_dirtied(Block::from_index(3));
+        assert!(!s.block_is_dirtied(Block::from_index(3)));
+        let mut seen = Vec::new();
+        s.for_each_dirtied_block(|b| seen.push(b.index()));
+        assert_eq!(seen, vec![7]);
     }
 
     #[test]

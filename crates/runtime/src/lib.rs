@@ -49,6 +49,7 @@ pub use nogc::NoGcPlan;
 pub use options::RuntimeOptions;
 pub use plan::{
     AllocFailure, Collection, ConcurrentWork, Plan, PlanContext, PlanFactory, PlanMutator, RootSet,
+    YieldCheck,
 };
 pub use rendezvous::Rendezvous;
 pub use runtime::{PauseAttrs, Runtime, RuntimeShared};

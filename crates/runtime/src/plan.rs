@@ -152,16 +152,21 @@ impl std::fmt::Debug for Collection<'_> {
     }
 }
 
+/// A shareable "should I yield to a pause?" check, cloneable into parallel
+/// phase callbacks so concurrent work fanned out over the worker pool can
+/// still yield promptly.
+pub type YieldCheck = Arc<dyn Fn() -> bool + Send + Sync>;
+
 /// Context handed to [`Plan::concurrent_work`] while mutators are running.
 pub struct ConcurrentWork<'a> {
-    /// The parallel worker pool (shared with pauses; concurrent work should
-    /// use it sparingly).
+    /// The parallel worker pool (shared with pauses; concurrent work may
+    /// fan out over it, but must drain promptly when a pause is requested).
     pub workers: &'a WorkerPool,
     /// Shared statistics.
     pub stats: &'a GcStats,
     /// Set when a new pause has been requested; long-running concurrent work
     /// should yield promptly when it observes this.
-    pub yield_requested: &'a dyn Fn() -> bool,
+    pub yield_requested: YieldCheck,
 }
 
 impl std::fmt::Debug for ConcurrentWork<'_> {

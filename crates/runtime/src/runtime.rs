@@ -360,12 +360,8 @@ fn concurrent_loop(shared: Arc<RuntimeShared>) {
         while shared.plan.has_concurrent_work() && !shared.rendezvous.is_shutdown() {
             let start = Instant::now();
             let rendezvous = shared.rendezvous.clone();
-            let yield_requested = move || rendezvous.gc_pending();
-            let work = ConcurrentWork {
-                workers: &shared.workers,
-                stats: &shared.stats,
-                yield_requested: &yield_requested,
-            };
+            let yield_requested: crate::plan::YieldCheck = Arc::new(move || rendezvous.gc_pending());
+            let work = ConcurrentWork { workers: &shared.workers, stats: &shared.stats, yield_requested };
             shared.plan.concurrent_work(&work);
             shared.stats.add_concurrent_time(start.elapsed());
             if shared.rendezvous.gc_pending() {

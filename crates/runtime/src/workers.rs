@@ -1,14 +1,45 @@
-//! The parallel GC worker pool.
+//! The parallel GC worker pool: a two-level work-stealing scheduler.
 //!
 //! LXR "employs parallelism for scalability in every collection phase"
-//! (§1, §3.5).  The pool owns a fixed set of persistent worker threads;
-//! a collection phase seeds a shared work queue, the workers (plus the
-//! calling thread) drain it with work stealing, and processing an item may
-//! push further items (e.g. recursive decrements or transitive marking).
-//! The phase returns when no work is queued and none is in flight.
+//! (§1, §3.5).  The pool owns a fixed set of persistent worker threads; a
+//! collection phase distributes its seed work items and the workers (plus
+//! the calling thread) drain them, with processing an item free to generate
+//! follow-on items (e.g. recursive decrements or transitive marking).
+//!
+//! # Scheduling
+//!
+//! Work is scheduled at two levels:
+//!
+//! * **Local deques.**  Every participant owns a lock-free Chase–Lev deque
+//!   ([`crossbeam::deque::Worker`]).  [`PhaseHandle::push`] appends to the
+//!   owner's end, and the owner pops from that same end — follow-on work
+//!   runs LIFO on the thread that generated it, which keeps the hot path
+//!   free of shared-memory contention and walks object graphs
+//!   depth-first-ish (good locality for recursive increments/decrements).
+//!   The deques are bounded but growable: they start small and double when
+//!   full, up to a spill threshold beyond which pushes overflow to the
+//!   shared injector — a pathological expansion (one item fanning out into
+//!   millions) is bounded per worker and published where everyone can help.
+//! * **The shared injector.**  Seeds are dealt round-robin into the local
+//!   deques and local overflow spills here; an idle participant first
+//!   steals FIFO from its siblings' deques (scanning from its own index so
+//!   contention spreads out), then from the lock-free segmented
+//!   [`crossbeam::deque::Injector`].
+//!
+//! Phase termination uses a pending counter: it is incremented before an
+//! item becomes visible and decremented after the item's processing (and
+//! hence all of its pushes) completes, so "all queues observed empty and
+//! the counter is zero" implies the phase is done.
+//!
+//! The previous single-queue scheduler — every push and pop through one
+//! mutexed `VecDeque` — is retained as [`WorkerPool::run_phase_mutexed`]
+//! (backed by `crossbeam::reference::Injector`) and serves as the oracle in
+//! the tests and as the contention baseline in the `pause_phases`
+//! benchmark.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use crossbeam::deque::{Injector, Steal};
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use crossbeam::reference;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -47,20 +78,68 @@ impl std::fmt::Debug for WorkerPool {
     }
 }
 
+/// The shared queue of a phase: the lock-free injector, or the retained
+/// mutexed reference queue when running the oracle scheduler.
+enum SharedQueue<T> {
+    LockFree(Injector<T>),
+    Mutexed(reference::Injector<T>),
+}
+
+impl<T> SharedQueue<T> {
+    fn push(&self, item: T) {
+        match self {
+            SharedQueue::LockFree(q) => q.push(item),
+            SharedQueue::Mutexed(q) => q.push(item),
+        }
+    }
+
+    fn steal(&self) -> Steal<T> {
+        match self {
+            SharedQueue::LockFree(q) => q.steal(),
+            SharedQueue::Mutexed(q) => q.steal(),
+        }
+    }
+}
+
+/// State shared by every participant of one phase.
+struct PhaseShared<T> {
+    queue: SharedQueue<T>,
+    /// One stealer per participant's local deque (empty in mutexed mode).
+    stealers: Vec<Stealer<T>>,
+    /// Items queued or in flight; the phase ends when this reaches zero.
+    pending: AtomicUsize,
+}
+
 /// Handle given to phase callbacks for pushing follow-on work items.
 pub struct PhaseHandle<T> {
-    injector: Arc<Injector<T>>,
-    pending: Arc<AtomicUsize>,
+    /// This participant's local deque (absent in the mutexed oracle
+    /// scheduler, where everything goes through the shared queue).
+    local: Option<Worker<T>>,
+    shared: Arc<PhaseShared<T>>,
     /// The index of the worker running this callback (the calling thread is
     /// the last index).
     pub worker_id: usize,
 }
 
+/// Local-deque length beyond which pushes spill to the shared injector.
+/// Bounds per-worker deque memory during pathological fan-out (one item
+/// expanding into millions) and publishes the excess where every idle
+/// participant can grab it FIFO.
+const SPILL_THRESHOLD: usize = 4096;
+
 impl<T> PhaseHandle<T> {
     /// Enqueues a follow-on work item for this phase.
+    ///
+    /// The item lands on this worker's local deque (LIFO), where it is
+    /// processed by this worker unless an idle sibling steals it; once the
+    /// local deque holds [`SPILL_THRESHOLD`] items, further pushes overflow
+    /// to the shared injector instead.
     pub fn push(&self, item: T) {
-        self.pending.fetch_add(1, Ordering::Relaxed);
-        self.injector.push(item);
+        self.shared.pending.fetch_add(1, Ordering::Relaxed);
+        match &self.local {
+            Some(local) if local.len() < SPILL_THRESHOLD => local.push(item),
+            _ => self.shared.queue.push(item),
+        }
     }
 }
 
@@ -93,7 +172,7 @@ impl WorkerPool {
         self.senders.len()
     }
 
-    /// Runs one parallel phase to completion.
+    /// Runs one parallel phase to completion on the work-stealing scheduler.
     ///
     /// `seeds` are the initial work items; `process` is invoked once per
     /// item and may push further items through the [`PhaseHandle`].  The
@@ -104,61 +183,134 @@ impl WorkerPool {
         T: Send + 'static,
         F: Fn(T, &PhaseHandle<T>) + Send + Sync + 'static,
     {
-        let injector = Arc::new(Injector::new());
-        let pending = Arc::new(AtomicUsize::new(seeds.len()));
-        for s in seeds {
-            injector.push(s);
-        }
+        self.run_phase_impl(seeds, process, false)
+    }
+
+    /// Runs one parallel phase on the retained single-queue scheduler
+    /// (every push and steal through one mutexed queue).
+    ///
+    /// This is the pre-work-stealing design, kept as the oracle for the
+    /// scheduler tests and the baseline for the `pause_phases` benchmark;
+    /// collection phases should use [`run_phase`](Self::run_phase).
+    #[doc(hidden)]
+    pub fn run_phase_mutexed<T, F>(&self, seeds: Vec<T>, process: F)
+    where
+        T: Send + 'static,
+        F: Fn(T, &PhaseHandle<T>) + Send + Sync + 'static,
+    {
+        self.run_phase_impl(seeds, process, true)
+    }
+
+    fn run_phase_impl<T, F>(&self, seeds: Vec<T>, process: F, mutexed: bool)
+    where
+        T: Send + 'static,
+        F: Fn(T, &PhaseHandle<T>) + Send + Sync + 'static,
+    {
+        let participants = self.senders.len() + 1;
+        let pending = AtomicUsize::new(seeds.len());
+        let (shared, locals) = if mutexed {
+            let shared = PhaseShared {
+                queue: SharedQueue::Mutexed(reference::Injector::new()),
+                stealers: Vec::new(),
+                pending,
+            };
+            for s in seeds {
+                shared.queue.push(s);
+            }
+            (Arc::new(shared), Vec::new())
+        } else {
+            let locals: Vec<Worker<T>> = (0..participants).map(|_| Worker::new()).collect();
+            let stealers = locals.iter().map(Worker::stealer).collect();
+            // Deal the seeds round-robin into the local deques so every
+            // participant starts with work and stealing is the exception.
+            for (i, s) in seeds.into_iter().enumerate() {
+                locals[i % participants].push(s);
+            }
+            let shared = PhaseShared { queue: SharedQueue::LockFree(Injector::new()), stealers, pending };
+            (Arc::new(shared), locals)
+        };
+
         let process = Arc::new(process);
         let (done_tx, done_rx) = unbounded::<()>();
-
+        // Hand the deques out in creation order so `stealers[worker_id]` is
+        // each participant's *own* deque — the steal rotation below relies
+        // on that to skip itself and reach every sibling.
+        let mut locals = locals.into_iter();
         for (i, sender) in self.senders.iter().enumerate() {
-            let injector = Arc::clone(&injector);
-            let pending = Arc::clone(&pending);
+            let handle = PhaseHandle { local: locals.next(), shared: Arc::clone(&shared), worker_id: i };
             let process = Arc::clone(&process);
             let done_tx = done_tx.clone();
             let job: Job = Box::new(move |worker_id| {
-                debug_assert_eq!(worker_id, i);
-                drain(worker_id, &injector, &pending, process.as_ref());
+                debug_assert_eq!(worker_id, handle.worker_id);
+                drain(&handle, process.as_ref());
                 let _ = done_tx.send(());
             });
             sender.send(job).expect("GC worker thread has exited");
         }
-        // The calling thread participates too.
-        drain(self.senders.len(), &injector, &pending, process.as_ref());
+        // The calling thread participates too (the last deque is its own).
+        let handle =
+            PhaseHandle { local: locals.next(), shared: Arc::clone(&shared), worker_id: participants - 1 };
+        drain(&handle, process.as_ref());
         // Wait for every worker to finish its drain.
         for _ in 0..self.senders.len() {
             done_rx.recv().expect("GC worker thread has exited");
         }
-        debug_assert_eq!(pending.load(Ordering::Relaxed), 0);
+        debug_assert_eq!(shared.pending.load(Ordering::Relaxed), 0);
     }
 }
 
-fn drain<T, F>(worker_id: usize, injector: &Arc<Injector<T>>, pending: &Arc<AtomicUsize>, process: &F)
+/// One participant's drain loop: local work first, then stealing.
+fn drain<T, F>(handle: &PhaseHandle<T>, process: &F)
 where
     F: Fn(T, &PhaseHandle<T>),
 {
-    let handle = PhaseHandle { injector: Arc::clone(injector), pending: Arc::clone(pending), worker_id };
+    let shared = &*handle.shared;
+    let siblings = shared.stealers.len();
     let mut idle_spins = 0u32;
-    loop {
-        match injector.steal() {
-            Steal::Success(item) => {
+    'scheduler: loop {
+        // 1. Drain the local deque (LIFO: freshest follow-on work first).
+        if let Some(local) = &handle.local {
+            while let Some(item) = local.pop() {
+                process(item, handle);
+                shared.pending.fetch_sub(1, Ordering::Release);
                 idle_spins = 0;
-                process(item, &handle);
-                pending.fetch_sub(1, Ordering::Relaxed);
             }
-            Steal::Retry => {}
-            Steal::Empty => {
-                if pending.load(Ordering::Acquire) == 0 {
-                    return;
+        }
+        // 2. Steal: siblings first (rotating from our own index), then the
+        //    shared injector.
+        let mut contended = false;
+        for k in 1..siblings {
+            let victim = (handle.worker_id + k) % siblings;
+            match shared.stealers[victim].steal() {
+                Steal::Success(item) => {
+                    process(item, handle);
+                    shared.pending.fetch_sub(1, Ordering::Release);
+                    idle_spins = 0;
+                    continue 'scheduler;
                 }
-                idle_spins += 1;
-                if idle_spins > 64 {
-                    std::thread::yield_now();
-                } else {
-                    std::hint::spin_loop();
-                }
+                Steal::Retry => contended = true,
+                Steal::Empty => {}
             }
+        }
+        match shared.queue.steal() {
+            Steal::Success(item) => {
+                process(item, handle);
+                shared.pending.fetch_sub(1, Ordering::Release);
+                idle_spins = 0;
+                continue 'scheduler;
+            }
+            Steal::Retry => contended = true,
+            Steal::Empty => {}
+        }
+        // 3. Nothing found: the phase is over once no items are in flight.
+        if !contended && shared.pending.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        idle_spins += 1;
+        if idle_spins > 64 {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
         }
     }
 }
@@ -231,15 +383,93 @@ mod tests {
 
     #[test]
     fn work_is_distributed_across_threads() {
+        // On a single hardware thread the caller can race through every
+        // item before a worker thread is even scheduled, so participation
+        // is forced deterministically: item 0 parks its processor until a
+        // *different* participant has processed something.
         let pool = WorkerPool::new(4);
         let ids = Arc::new(Mutex::new(HashSet::new()));
         let ids2 = ids.clone();
-        pool.run_phase((0..10_000usize).collect(), move |_item, ctx| {
-            ids2.lock().unwrap().insert(ctx.worker_id);
-            // A little work so the phase lasts long enough for stealing.
-            std::hint::black_box((0..50).sum::<usize>());
+        pool.run_phase((0..10_000usize).collect(), move |item, ctx| {
+            let mut guard = ids2.lock().unwrap();
+            guard.insert(ctx.worker_id);
+            if item == 0 {
+                while guard.len() < 2 {
+                    drop(guard);
+                    std::thread::yield_now();
+                    guard = ids2.lock().unwrap();
+                }
+            }
         });
         // At least two distinct participants (workers + caller) took part.
         assert!(ids.lock().unwrap().len() >= 2);
+    }
+
+    #[test]
+    fn local_queue_overflow_spills_into_growth_then_injector() {
+        // Every seed fans out far beyond the deque's initial capacity and
+        // past the spill threshold, so each participant's local deque must
+        // grow (multiple times) and then overflow to the shared injector,
+        // while siblings concurrently steal — with no item lost or
+        // duplicated.
+        let pool = WorkerPool::new(3);
+        let count = Arc::new(AtomicUsize::new(0));
+        let count2 = count.clone();
+        let fanout = SPILL_THRESHOLD * 3; // forces growth *and* injector spill
+        pool.run_phase(vec![0usize; 4], move |item, ctx| {
+            count2.fetch_add(1, Ordering::Relaxed);
+            if item == 0 {
+                for _ in 0..fanout {
+                    ctx.push(1);
+                }
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4 + 4 * fanout);
+    }
+
+    #[test]
+    fn mutexed_reference_scheduler_agrees_with_work_stealing() {
+        // Both schedulers must process the same transitive workload exactly
+        // once; the mutexed single-queue scheduler is the oracle.
+        let pool = WorkerPool::new(2);
+        for &mutexed in &[false, true] {
+            let seen = Arc::new(Mutex::new(Vec::new()));
+            let seen2 = seen.clone();
+            let work = move |item: usize, ctx: &PhaseHandle<usize>| {
+                seen2.lock().unwrap().push(item);
+                if item < 200 {
+                    ctx.push(item * 2 + 1000);
+                }
+            };
+            let seeds: Vec<usize> = (0..64).collect();
+            if mutexed {
+                pool.run_phase_mutexed(seeds, work);
+            } else {
+                pool.run_phase(seeds, work);
+            }
+            let mut v = seen.lock().unwrap().clone();
+            v.sort_unstable();
+            // 64 seeds, each spawning one child >= 1000 (which spawns
+            // nothing): exactly 128 items under either scheduler.
+            assert_eq!(v.len(), 128, "mutexed={mutexed}");
+            v.dedup();
+            assert_eq!(v.len(), 128, "mutexed={mutexed}: duplicates");
+        }
+    }
+
+    #[test]
+    fn deep_recursion_stress_with_stealing() {
+        // A long dependency chain plus wide fanout: each of 8 seeds builds
+        // a chain of 5000 follow-ons; total items = 8 * 5001.
+        let pool = WorkerPool::new(4);
+        let count = Arc::new(AtomicUsize::new(0));
+        let count2 = count.clone();
+        pool.run_phase((0..8usize).map(|_| 5000usize).collect(), move |depth, ctx| {
+            count2.fetch_add(1, Ordering::Relaxed);
+            if depth > 0 {
+                ctx.push(depth - 1);
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 8 * 5001);
     }
 }

@@ -1,0 +1,42 @@
+//! MPSC channels with a cloneable, `Sync` sender (facade over
+//! `std::sync::mpsc`).
+
+pub use std::sync::mpsc::{RecvError, SendError};
+
+/// The sending half of an unbounded channel.
+pub struct Sender<T>(std::sync::mpsc::Sender<T>);
+
+/// The receiving half of an unbounded channel.
+pub struct Receiver<T>(std::sync::mpsc::Receiver<T>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends a value; fails only when every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.0.send(value)
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a value arrives; fails when every sender has been
+    /// dropped and the channel is drained.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.0.recv()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, std::sync::mpsc::TryRecvError> {
+        self.0.try_recv()
+    }
+}
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    (Sender(tx), Receiver(rx))
+}

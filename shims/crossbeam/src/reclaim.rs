@@ -1,0 +1,149 @@
+//! Epoch-lite deferred reclamation for the lock-free segmented queues.
+//!
+//! A segment unlinked from a queue may still be referenced by a stalled
+//! reader, so it cannot be freed immediately.  Full epoch-based reclamation
+//! (crossbeam-epoch) needs per-thread registration; this shim uses a
+//! self-contained two-parity scheme instead:
+//!
+//! * Every queue operation **pins** itself by incrementing one of two
+//!   `active` counters, chosen by the parity of the current epoch, and
+//!   unpins on exit.  Pinning is lock-free (two `SeqCst` RMWs).
+//! * **Retiring** garbage pushes it onto the current parity's limbo list.
+//!   Retirement also tries to **advance** the epoch: if the *other*
+//!   parity's counter is zero, its limbo list is freed and the epoch is
+//!   bumped.  Retire/advance share one mutex — a cold path, entered once
+//!   per exhausted segment, never per element.
+//!
+//! # Why this is safe
+//!
+//! A reader pinned at epoch `e` is counted in `active[e % 2]`.  Advancing
+//! from epoch `e + 1` back to parity `e % 2` requires `active[e % 2] == 0`,
+//! so while the reader stays pinned the epoch can advance **at most once**.
+//! Garbage retired at epochs `e` and `e + 1` therefore outlives the reader;
+//! garbage retired at epoch `e - 1` or earlier was unlinked before the
+//! epoch became `e`, and the reader's pin (which re-read the epoch *after*
+//! incrementing) happens-after that unlink, so by write–read coherence the
+//! reader can never have observed it.  The pin loop re-checks the epoch and
+//! retries on any movement, which closes the race where an advance reads a
+//! counter just before a new pin lands.  `SeqCst` on the epoch and counters
+//! makes the "recheck read `e`, therefore my increment precedes any later
+//! quiescence check" argument sound under the C++ memory model.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Deferred-reclamation state shared by one queue.  `G` is the owned
+/// garbage type (e.g. `Box<Segment<T>>`); dropping it frees the memory.
+pub(crate) struct Reclaimer<G> {
+    epoch: AtomicUsize,
+    active: [AtomicUsize; 2],
+    limbo: Mutex<[Vec<G>; 2]>,
+}
+
+impl<G> Reclaimer<G> {
+    pub(crate) fn new() -> Self {
+        Reclaimer {
+            epoch: AtomicUsize::new(0),
+            active: [AtomicUsize::new(0), AtomicUsize::new(0)],
+            limbo: Mutex::new([Vec::new(), Vec::new()]),
+        }
+    }
+
+    /// Pins the calling operation; the returned parity must be passed to
+    /// [`unpin`](Self::unpin).  While pinned, no segment reachable from the
+    /// queue at or after the pin is freed.
+    #[inline]
+    pub(crate) fn pin(&self) -> usize {
+        loop {
+            let e = self.epoch.load(Ordering::SeqCst);
+            self.active[e & 1].fetch_add(1, Ordering::SeqCst);
+            if self.epoch.load(Ordering::SeqCst) == e {
+                return e & 1;
+            }
+            // The epoch moved between the load and the increment: the
+            // increment may have landed on a parity whose limbo was already
+            // freed.  Undo and retry; nothing was dereferenced yet.
+            self.active[e & 1].fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Unpins an operation pinned at `parity`.
+    #[inline]
+    pub(crate) fn unpin(&self, parity: usize) {
+        self.active[parity].fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Hands `garbage` to the reclaimer and opportunistically frees the
+    /// previous generation.  Cold path: called once per retired segment.
+    pub(crate) fn retire(&self, garbage: G) {
+        let mut limbo = self.limbo.lock().unwrap_or_else(|e| e.into_inner());
+        // The epoch only changes under this mutex, so the parity read here
+        // is the parity any concurrent pin observes (or retries against).
+        let e = self.epoch.load(Ordering::SeqCst);
+        limbo[e & 1].push(garbage);
+        let other = (e + 1) & 1;
+        if self.active[other].load(Ordering::SeqCst) == 0 {
+            limbo[other].clear();
+            self.epoch.store(e.wrapping_add(1), Ordering::SeqCst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn garbage_is_freed_once_quiescent() {
+        let r: Reclaimer<Box<u64>> = Reclaimer::new();
+        r.retire(Box::new(1));
+        // No one is pinned: the *previous* parity was quiescent, so the
+        // epoch advanced; a second retire lands in the fresh parity and
+        // frees the first one on the advance after that.
+        r.retire(Box::new(2));
+        r.retire(Box::new(3));
+        let limbo = r.limbo.lock().unwrap();
+        assert!(limbo[0].len() + limbo[1].len() <= 2, "old generations were freed");
+    }
+
+    #[test]
+    fn pinned_readers_hold_back_reclamation() {
+        let r: Reclaimer<Box<u64>> = Reclaimer::new();
+        let p = r.pin();
+        for i in 0..16 {
+            r.retire(Box::new(i));
+        }
+        {
+            let limbo = r.limbo.lock().unwrap();
+            assert_eq!(limbo[0].len() + limbo[1].len(), 16, "nothing freed while pinned");
+        }
+        r.unpin(p);
+        r.retire(Box::new(99));
+        r.retire(Box::new(100));
+        let limbo = r.limbo.lock().unwrap();
+        assert!(limbo[0].len() + limbo[1].len() < 18, "unpinning allows frees");
+    }
+
+    #[test]
+    fn concurrent_pin_unpin_with_retires() {
+        let r: Arc<Reclaimer<Box<u64>>> = Arc::new(Reclaimer::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for i in 0..2000u64 {
+                        let p = r.pin();
+                        if i % 7 == 0 {
+                            r.retire(Box::new(t * 10_000 + i));
+                        }
+                        r.unpin(p);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+}

@@ -29,6 +29,39 @@ fn quickstart_api_round_trip() {
     runtime.shutdown();
 }
 
+/// Distilled repro of the known seed bug (see ROADMAP): the `g1`
+/// generational baseline corrupts the heap on the avrora-like deep-list
+/// workload — nondeterministic `forwarding_target` `unreachable!` (header
+/// tag 3), `space.rs` out-of-bounds, spurious OOM, or (observed while
+/// distilling this repro) an outright hang.  LXR runs the same workload
+/// clean in well under a second.  Ignored until the baseline is fixed;
+/// reproduce with `cargo test -- --ignored g1_survives_the_deep_list_workload`
+/// (timing-dependent — may need a few runs).
+#[test]
+#[ignore = "known seed bug: g1 corrupts the heap on the deep-list workload (ROADMAP)"]
+fn g1_survives_the_deep_list_workload() {
+    use std::sync::mpsc;
+    use std::time::Duration;
+    for round in 0..3 {
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let spec = benchmark("avrora").expect("avrora spec");
+            let result = run_workload(&spec, "g1", &RunOptions::default().with_scale(0.5));
+            let _ = tx.send((result.skipped, result.allocated_bytes));
+        });
+        // LXR completes this workload in ~50 ms; a minute means g1 wedged.
+        match rx.recv_timeout(Duration::from_secs(60)) {
+            Ok((skipped, allocated)) => {
+                assert!(!skipped, "round {round}: g1 should run avrora");
+                assert!(allocated > 0, "round {round}");
+            }
+            Err(_) => {
+                panic!("round {round}: g1 hung (or crashed without unwinding) on the deep-list workload")
+            }
+        }
+    }
+}
+
 #[test]
 fn every_collector_runs_a_small_workload_through_the_umbrella_crate() {
     let spec = benchmark("fop").expect("fop spec");
