@@ -155,6 +155,14 @@ impl FieldLogTable {
 /// barrier.flush();
 /// assert_eq!(sink.modified_fields.len(), 1);
 /// ```
+/// A hook invoked with each decrement chunk the barrier publishes, before
+/// the chunk reaches the sink.  LXR installs one that feeds overwritten
+/// referents straight into the concurrent crew's shared gray queue while an
+/// SATB trace is active, so marking of the snapshot edges starts as soon as
+/// a mutator chunk fills instead of waiting for the next pause to drain the
+/// sink.
+pub type DecChunkHook = Arc<dyn Fn(&[ObjectReference]) + Send + Sync>;
+
 pub struct FieldLoggingBarrier {
     space: Arc<HeapSpace>,
     table: Arc<FieldLogTable>,
@@ -162,6 +170,8 @@ pub struct FieldLoggingBarrier {
     stats: Arc<BarrierStats>,
     dec_chunk: Vec<ObjectReference>,
     mod_chunk: Vec<Address>,
+    /// Observes published decrement chunks (see [`DecChunkHook`]).
+    dec_chunk_hook: Option<DecChunkHook>,
     /// Local counters, folded into `stats` on flush to keep the fast path
     /// free of atomic operations.
     local_writes: u64,
@@ -193,10 +203,17 @@ impl FieldLoggingBarrier {
             stats,
             dec_chunk: Vec::with_capacity(DEFAULT_CHUNK_SIZE),
             mod_chunk: Vec::with_capacity(DEFAULT_CHUNK_SIZE),
+            dec_chunk_hook: None,
             local_writes: 0,
             local_slow: 0,
             chunk_size: DEFAULT_CHUNK_SIZE,
         }
+    }
+
+    /// Installs a hook that observes every decrement chunk this barrier
+    /// publishes (see [`DecChunkHook`]).
+    pub fn set_dec_chunk_hook(&mut self, hook: DecChunkHook) {
+        self.dec_chunk_hook = Some(hook);
     }
 
     /// The shared log-state table.
@@ -244,6 +261,9 @@ impl FieldLoggingBarrier {
     /// the shared statistics.  Called at every safepoint.
     pub fn flush(&mut self) {
         if !self.dec_chunk.is_empty() {
+            if let Some(hook) = &self.dec_chunk_hook {
+                hook(&self.dec_chunk);
+            }
             self.sink.decrements.push_chunk(std::mem::take(&mut self.dec_chunk));
             self.dec_chunk.reserve(self.chunk_size);
         }

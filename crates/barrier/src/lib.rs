@@ -29,7 +29,7 @@ pub mod object_log;
 pub mod sink;
 pub mod stats;
 
-pub use field_log::{FieldLogState, FieldLogTable, FieldLoggingBarrier};
+pub use field_log::{DecChunkHook, FieldLogState, FieldLogTable, FieldLoggingBarrier};
 pub use lvb::LoadValueBarrier;
 pub use object_log::{ObjectLogTable, ObjectLoggingBarrier};
 pub use sink::BarrierSink;

@@ -345,6 +345,8 @@ impl TraceShared {
             return self.mark_in_place(obj, push_slot);
         }
         match state.om.try_claim_forwarding(obj) {
+            // A stale reference (granule reclaimed and reused): leave it be.
+            ClaimResult::Stale => obj,
             ClaimResult::AlreadyForwarded(new) => new,
             ClaimResult::Claimed(header) => {
                 let shape = state.om.shape_of_header(header);

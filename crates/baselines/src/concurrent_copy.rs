@@ -101,6 +101,8 @@ impl ConcurrentCopyState {
     /// copy-on-access barriers.
     fn evacuate(&self, obj: ObjectReference) -> ObjectReference {
         match self.om.try_claim_forwarding(obj) {
+            // A stale reference (granule reclaimed and reused): leave it be.
+            ClaimResult::Stale => obj,
             ClaimResult::AlreadyForwarded(new) => new,
             ClaimResult::Claimed(header) => {
                 let shape = self.om.shape_of_header(header);
@@ -306,8 +308,18 @@ impl Plan for ConcurrentCopyPlan {
 
     fn collect(&self, collection: &Collection<'_>) {
         let state = &self.state;
-        while state.concurrent_busy.load(Ordering::Acquire) {
-            std::hint::spin_loop();
+        // `SeqCst` pairs with the worker's publish-then-recheck below: the
+        // worker's store and this load, plus the rendezvous' SeqCst pending
+        // flag, form a Dekker handshake (Release/Acquire alone would let
+        // both sides read stale values on weakly-ordered hardware).
+        let mut spins = 0u32;
+        while state.concurrent_busy.load(Ordering::SeqCst) {
+            spins += 1;
+            if spins > 64 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
         }
         let total = state.trace.blocks.total_blocks();
         let available = state.trace.available_blocks();
@@ -419,12 +431,12 @@ impl Plan for ConcurrentCopyPlan {
 
     fn concurrent_work(&self, work: &ConcurrentWork<'_>) {
         let state = &self.state;
-        state.concurrent_busy.store(true, Ordering::Release);
+        state.concurrent_busy.store(true, Ordering::SeqCst);
         // Re-check for a pending pause after publishing busy, closing the
         // check-then-act race with the pause's quiescence spin (same
         // handshake as the LXR concurrent thread).
         if (work.yield_requested)() {
-            state.concurrent_busy.store(false, Ordering::Release);
+            state.concurrent_busy.store(false, Ordering::SeqCst);
             return;
         }
         match state.phase() {
@@ -448,7 +460,7 @@ impl Plan for ConcurrentCopyPlan {
                     }
                     steps += 1;
                     if steps.is_multiple_of(64) && (work.yield_requested)() {
-                        state.concurrent_busy.store(false, Ordering::Release);
+                        state.concurrent_busy.store(false, Ordering::SeqCst);
                         return;
                     }
                 }
@@ -467,7 +479,7 @@ impl Plan for ConcurrentCopyPlan {
                     }
                     steps += 1;
                     if steps.is_multiple_of(64) && (work.yield_requested)() {
-                        state.concurrent_busy.store(false, Ordering::Release);
+                        state.concurrent_busy.store(false, Ordering::SeqCst);
                         return;
                     }
                 }
@@ -475,7 +487,7 @@ impl Plan for ConcurrentCopyPlan {
             }
             _ => {}
         }
-        state.concurrent_busy.store(false, Ordering::Release);
+        state.concurrent_busy.store(false, Ordering::SeqCst);
     }
 }
 

@@ -61,6 +61,18 @@ pub fn plan_registry(name: &str) -> Box<dyn FnOnce(PlanContext) -> Arc<dyn Plan>
             let config = lxr_core::LxrConfig::for_heap(ctx.options.heap.heap_bytes).without_lazy_decrements();
             Arc::new(lxr_core::LxrPlan::with_config(ctx, config)) as Arc<dyn Plan>
         }),
+        // LXR with the clean-block trigger forced: an SATB trace starts at
+        // every opportunity.  Deterministic backup-trace exercise for tests
+        // and trace-bound workload studies (cyclic garbage is reclaimed as
+        // fast as the concurrent crew can mark, regardless of heap
+        // pressure heuristics).
+        "lxr-eager" => Box::new(|ctx: PlanContext| {
+            let config = lxr_core::LxrConfig {
+                clean_block_trigger_fraction: 1.0,
+                ..lxr_core::LxrConfig::for_heap(ctx.options.heap.heap_bytes)
+            };
+            Arc::new(lxr_core::LxrPlan::with_config(ctx, config)) as Arc<dyn Plan>
+        }),
         "g1" => Box::new(GenerationalPlan::factory()),
         "shenandoah" => Box::new(ConcurrentCopyPlan::factory(ConcurrentCopyVariant::Shenandoah)),
         "zgc" => Box::new(ConcurrentCopyPlan::factory(ConcurrentCopyVariant::Zgc)),

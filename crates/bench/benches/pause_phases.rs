@@ -1,20 +1,21 @@
-//! Pause-phase parallelism benchmarks: the block sweep and an
-//! increment-shaped transitive workload, across worker counts and across
-//! schedulers (the lock-free two-level work-stealing scheduler vs the
-//! retained mutexed single-queue reference).
+//! Pause-phase parallelism benchmarks: the block sweep, an
+//! increment-shaped transitive workload across schedulers (the lock-free
+//! two-level work-stealing scheduler vs the retained mutexed single-queue
+//! reference), and the concurrent SATB mark across crew sizes (the crew vs
+//! the single-threaded trace oracle).
 //!
-//! Acceptance targets (ISSUE 2): parallel `sweep_blocks` ≥ 2× over the
-//! sequential baseline at 4 workers, and the lock-free scheduler no slower
-//! than the mutexed one at 1 worker and faster at ≥ 4 workers.  Note that
+//! Acceptance targets: parallel `sweep_blocks` ≥ 2× over the sequential
+//! baseline at 4 workers (ISSUE 2); single-worker crew overhead vs the
+//! sequential trace ≤ 15 % in `concurrent_mark` (ISSUE 3).  Note that
 //! scaling numbers are only meaningful on a multi-core host: on a single
 //! hardware thread every "parallel" configuration measures scheduling
 //! overhead, not speedup.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use lxr_core::pause::{sweep_blocks, sweep_blocks_sequential};
-use lxr_core::{LxrConfig, LxrState};
+use lxr_core::{trace_satb_crew, trace_satb_sequential, LxrConfig, LxrState};
 use lxr_heap::{Block, BlockAllocator, BlockState, HeapConfig, HeapSpace, LargeObjectSpace};
-use lxr_object::ObjectReference;
+use lxr_object::{ObjectReference, ObjectShape};
 use lxr_runtime::{GcStats, PlanContext, RuntimeOptions, WorkerPool};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -123,5 +124,89 @@ fn bench_scheduler(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sweep, bench_scheduler);
+/// Builds a frozen mature object graph for the concurrent-mark benchmark:
+/// `blocks` blocks of 8-word objects (4 reference fields each), every
+/// object live (RC 1), wired to pseudo-random targets across the whole
+/// graph.  Returns the root seeds.
+fn build_mark_graph(state: &Arc<LxrState>, blocks: usize) -> Vec<ObjectReference> {
+    let g = state.geometry;
+    let shape = ObjectShape::new(4, 3, 1); // 1 header + 4 refs + 3 data = 8 words
+    let per_block = g.words_per_block() / 8;
+    let mut objects = Vec::with_capacity(blocks * per_block);
+    for bi in 2..2 + blocks {
+        let block = Block::from_index(bi);
+        state.space.block_states().set(block, BlockState::Mature);
+        for k in 0..per_block {
+            let addr = g.block_start(block).plus(k * 8);
+            let obj = state.om.initialize(addr, shape);
+            state.rc.increment(obj);
+            objects.push(obj);
+        }
+    }
+    let mut x = 0x243f6a8885a308d3u64;
+    let mut step = move || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (x >> 33) as usize
+    };
+    for (i, &obj) in objects.iter().enumerate() {
+        for f in 0..4 {
+            // A mix of forward locality and cross-graph fanout.
+            let target = if f == 0 { (i + 1) % objects.len() } else { step() % objects.len() };
+            state.om.write_ref_field(obj, f, objects[target]);
+        }
+    }
+    objects.iter().step_by(64).copied().collect()
+}
+
+/// Concurrent SATB mark: the crew at 1/2/4/8 workers vs the
+/// single-threaded trace oracle on the same frozen graph.  Each iteration
+/// re-seeds the gray queue and clears the mark bitmap (identical cost for
+/// every variant).
+fn bench_concurrent_mark(c: &mut Criterion) {
+    let state = make_state(32 << 20);
+    let roots = build_mark_graph(&state, 192); // ~98k objects
+    let mut group = c.benchmark_group("concurrent_mark/trace_98k");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(1200));
+    group.warm_up_time(Duration::from_millis(200));
+
+    let reseed = |state: &Arc<LxrState>| {
+        state.clear_marks();
+        for &r in &roots {
+            state.gray.push(r);
+        }
+    };
+
+    {
+        let state = state.clone();
+        group.bench_function("sequential", |b| {
+            b.iter(|| {
+                reseed(&state);
+                assert!(trace_satb_sequential(black_box(&state), || false));
+            });
+        });
+    }
+    for crew in [1usize, 2, 4, 8] {
+        let state = state.clone();
+        let reseed = &reseed;
+        group.bench_function(&format!("crew/{crew}w"), move |b| {
+            b.iter(|| {
+                reseed(&state);
+                if crew == 1 {
+                    assert!(trace_satb_crew(black_box(&state), || false));
+                } else {
+                    std::thread::scope(|scope| {
+                        for _ in 0..crew {
+                            let state = state.clone();
+                            scope.spawn(move || trace_satb_crew(&state, || false));
+                        }
+                    });
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep, bench_scheduler, bench_concurrent_mark);
 criterion_main!(benches);

@@ -1,16 +1,47 @@
-//! Work performed by the concurrent collector thread (§3.2.1, §3.2.2 and
+//! Work performed by the concurrent GC **crew** (§3.2.1, §3.2.2 and
 //! Figure 2): lazy decrements first (including lazy reclamation of mature
-//! blocks), then SATB tracing.
+//! blocks), then SATB tracing — "parallelism in every collection phase"
+//! (§1), applied to the phases that run *outside* pauses.
 //!
-//! The concurrent thread yields promptly when the controller requests a
-//! pause, leaving its remaining work queued; the pause either finishes it
-//! (lazy decrements) or resumes it afterwards (SATB tracing).
+//! # The crew
 //!
-//! Decrement application is fanned out over the GC worker pool: the pending
-//! queue is drained in bounded batches, each batch chunked across the
-//! workers, and every chunk processes its recursive decrements on a local
-//! stack with a periodic yield check, re-queuing unfinished work when a
-//! pause is requested.
+//! The runtime invokes [`concurrent_work`] concurrently from every member
+//! of its concurrent crew (`gc-concurrent-*` threads, sized by the
+//! `concurrent_workers` runtime option).  The crew shares work through the
+//! collector's queues in seed-and-steal form:
+//!
+//! * **Lazy decrements.**  Each worker pops bounded batches off the shared
+//!   `pending_decs` queue and follows recursive decrements on a local
+//!   stack; a skewed death subtree (one root heading millions of objects)
+//!   is split by publishing half of the oversized local stack back to the
+//!   shared queue where idle crew members pop it.  The last worker to leave
+//!   the drain with the queue empty performs lazy block reclamation and
+//!   clears `lazy_pending`.
+//! * **SATB marking.**  The shared `gray` queue holds *seeds*; each worker
+//!   drains a local mark stack (LIFO, cache-friendly) refilled from the
+//!   shared queue in small grabs, spilling half of an oversized local stack
+//!   back so siblings can steal it.  Termination is detected with a
+//!   registered-tracer counter: a worker deregisters only when both its
+//!   local stack and the shared queue are empty, and the trace is drained
+//!   when the shared queue is empty with no tracer registered.
+//!
+//! # Preemption
+//!
+//! Every worker checks the runtime's pause flag each
+//! [`YIELD_CHECK_QUANTUM`] objects.  On a pending pause it *flushes* its
+//! local buffers — remaining decrements back to `pending_decs`, remaining
+//! gray objects back to `gray` — deregisters, and returns, so no work is
+//! ever stranded in a preempted worker.  The pause waits for the whole crew
+//! to quiesce (the `concurrent_active` counter, a crew-wide generalisation
+//! of the old single-thread `concurrent_busy` flag) before touching
+//! collector state, and whatever the crew left in the shared queues is
+//! either finished by the pause (decrements) or re-seeds the crew after it
+//! (SATB tracing).
+//!
+//! The single-threaded trace survives as [`trace_satb_sequential`]: the
+//! determinism/mark-set oracle for the crew (the tests assert the crew's
+//! mark set is bit-identical at every crew size) and the `-SATB` ablation's
+//! in-pause trace.
 
 use crate::state::LxrState;
 use lxr_heap::Block;
@@ -19,37 +50,49 @@ use lxr_runtime::{ConcurrentWork, WorkCounter, WorkerPool, YieldCheck};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-/// Entry point called on the runtime's concurrent collector thread.
+/// Objects processed between yield checks: the preemption quantum.  After a
+/// pause is requested, every crew worker processes at most this many more
+/// objects before flushing its local buffers and yielding.
+pub const YIELD_CHECK_QUANTUM: usize = 64;
+
+/// Entry point, called concurrently on every runtime concurrent-crew
+/// worker.
 pub(crate) fn concurrent_work(state: &Arc<LxrState>, work: &ConcurrentWork<'_>) {
-    state.concurrent_busy.store(true, Ordering::Release);
+    state.concurrent_active.fetch_add(1, Ordering::SeqCst);
     // Close the check-then-act race with the pause's quiescence spin: the
-    // controller samples `concurrent_busy` once at pause entry, so it may
-    // have read `false` an instant before the store above.  Re-checking for
-    // a pending pause *after* publishing busy makes the handshake airtight:
-    // either our check (through the rendezvous mutex) sees the pending
-    // pause and we back out, or the mutex ordering guarantees the pause's
-    // later spin sees our busy flag and waits for us.
+    // controller samples `concurrent_active` once the pause begins, so it
+    // may have read zero an instant before the increment above.
+    // Re-checking for a pending pause *after* publishing ourselves active
+    // makes the handshake airtight: the yield check and the pause's flag
+    // are both `SeqCst`, so either we see the pending pause and back out,
+    // or the pause's later read of the counter sees us and waits.
     if (work.yield_requested)() {
-        state.concurrent_busy.store(false, Ordering::Release);
+        state.concurrent_active.fetch_sub(1, Ordering::SeqCst);
         return;
     }
-    // Lazy decrements take priority over SATB tracing so mature reclamation
-    // stays prompt (§3.2.1).
-    if state.lazy_pending.load(Ordering::Acquire) {
-        let finished =
-            drain_pending_decrements(state, Some(work.workers), Some(work.yield_requested.clone()));
-        if finished {
-            lazy_reclaim(state);
-            state.lazy_pending.store(false, Ordering::Release);
-        }
+    // Division of labour: lazy decrements keep mature reclamation prompt
+    // (§3.2.1), but they are refilled at *every* pause, so a crew that
+    // strictly prioritised them would starve the trace whenever the
+    // inter-pause window is shorter than one epoch's decrement drain (the
+    // single-thread design had exactly that inversion).  Instead the even
+    // half of the crew (always including worker 0, so a crew of one keeps
+    // the historical decrements-first order) retires decrements before
+    // tracing, while the odd half traces immediately — the two phases are
+    // safe to interleave because `apply_decrement` maintains the SATB
+    // deletion invariant itself.
+    let tracing = state.satb_active.load(Ordering::Acquire) && !state.satb_complete.load(Ordering::Acquire);
+    let decrements_first = !tracing || work.worker_id.is_multiple_of(2);
+    if decrements_first && state.lazy_pending.load(Ordering::Acquire) {
+        crew_drain_decrements(state, &work.yield_requested);
     }
-    if !state.lazy_pending.load(Ordering::Acquire)
-        && state.satb_active.load(Ordering::Acquire)
-        && !state.satb_complete.load(Ordering::Acquire)
-    {
-        trace_satb(state, || (work.yield_requested)());
+    // Decrement-first workers join the trace once the backlog is fully
+    // retired (a sibling may still be finishing its last batch, in which
+    // case `lazy_pending` is still set and we come back around via the
+    // runtime's crew loop).
+    if tracing && (!decrements_first || !state.lazy_pending.load(Ordering::Acquire)) {
+        trace_satb_crew(state, || (work.yield_requested)());
     }
-    state.concurrent_busy.store(false, Ordering::Release);
+    state.concurrent_active.fetch_sub(1, Ordering::SeqCst);
 }
 
 /// Returns `true` if the plan has concurrent work outstanding.
@@ -67,14 +110,99 @@ const DEC_BATCH: usize = 4096;
 /// Below this batch size the fan-out overhead is not worth it.
 const DEC_MIN_PARALLEL: usize = 128;
 
+/// One crew worker's share of the lazy decrement drain, wrapped in the
+/// last-worker-out protocol: the worker that leaves the drain last, with
+/// the shared queue empty, performs lazy reclamation and clears
+/// `lazy_pending`.
+///
+/// The ordering that makes the protocol sound: a yielding worker re-queues
+/// its local remainder *before* decrementing `dec_workers`, so any sibling
+/// that observes the counter at zero afterwards also observes the re-queued
+/// work in its final emptiness check and declines to reclaim.
+fn crew_drain_decrements(state: &Arc<LxrState>, should_yield: &YieldCheck) {
+    state.dec_workers.fetch_add(1, Ordering::SeqCst);
+    let mut finished = true;
+    'drain: loop {
+        if should_yield() {
+            finished = false;
+            break;
+        }
+        let mut batch = Vec::new();
+        while batch.len() < DEC_BATCH {
+            match state.pending_decs.pop() {
+                Some(o) => batch.push(o),
+                None => break,
+            }
+        }
+        if batch.is_empty() {
+            break;
+        }
+        if !crew_process_decrement_chunk(state, batch, should_yield) {
+            finished = false;
+            break 'drain;
+        }
+    }
+    let remaining = state.dec_workers.fetch_sub(1, Ordering::SeqCst) - 1;
+    if finished && remaining == 0 && state.pending_decs.is_empty() {
+        // Claim reclamation exclusively: a sibling re-entering through the
+        // runtime's crew loop can reach this point concurrently (it sees
+        // an empty queue and also leaves with `remaining == 0`), and two
+        // reclaimers would double-release the same fully-free blocks.  The
+        // compare-exchange both claims and clears `lazy_pending`.
+        //
+        // The emptiness check above can race a preempted sibling's
+        // re-queue, so a cleared flag does not guarantee an empty queue;
+        // that is why the pause's step-1 catch-up drains unconditionally.
+        // A premature clear here only costs promptness (the remainder
+        // waits for the pause), never correctness.
+        if state.lazy_pending.compare_exchange(true, false, Ordering::SeqCst, Ordering::SeqCst).is_ok() {
+            lazy_reclaim(state);
+        }
+    }
+}
+
+/// Recursive-decrement backlog beyond which a worker publishes half of its
+/// local stack back to the shared queue, so a skewed chunk (one root
+/// heading a huge death subtree) does not serialize the drain while the
+/// other workers idle.
+const DEC_OFFLOAD_AT: usize = 512;
+
+/// Splits an oversized local decrement stack off to wherever the caller's
+/// siblings can pick it up (the shared pending queue for the crew, the
+/// phase handle for the work-stealing fan-out).
+type DecOffload<'a> = &'a dyn Fn(&mut Vec<ObjectReference>);
+
+/// Applies one batch of decrements on a crew worker: recursive decrements
+/// accumulate on a local stack, an oversized backlog is split off and
+/// published to the shared pending queue where sibling crew workers pop it,
+/// and on a yield request the unprocessed remainder is re-queued.  Returns
+/// `false` if the worker yielded.
+fn crew_process_decrement_chunk(
+    state: &Arc<LxrState>,
+    chunk: Vec<ObjectReference>,
+    should_yield: &YieldCheck,
+) -> bool {
+    let offload = |local: &mut Vec<ObjectReference>| {
+        let keep = local.len() / 2;
+        for o in local.drain(keep..) {
+            state.pending_decs.push(o);
+        }
+    };
+    process_decrement_chunk(state, chunk, Some(&**should_yield), Some(&offload))
+}
+
 /// Processes queued decrements (and the recursive decrements they generate)
 /// until the queue is empty or `should_yield` asks us to stop.  Returns
 /// `true` if the queue was fully drained.
 ///
-/// When a worker pool is supplied, each batch popped off the pending queue
-/// is chunked across the pool ([`WorkerPool::run_phase`]); recursive
+/// This is the *in-pause* catch-up path (§3.2.1: "If the next RC epoch
+/// starts and LXR still has decrements to process, it finishes them
+/// first"): each batch popped off the pending queue is chunked across the
+/// stop-the-world worker pool ([`WorkerPool::run_phase`]); recursive
 /// decrements stay on the processing worker's local stack.  `None` for
-/// `should_yield` means "never yield" (the in-pause catch-up path).
+/// `should_yield` means "never yield" (the pause owns the world).  Outside
+/// pauses, decrements are drained by the concurrent crew instead
+/// ([`crew_drain_decrements`]).
 pub(crate) fn drain_pending_decrements(
     state: &Arc<LxrState>,
     workers: Option<&WorkerPool>,
@@ -108,7 +236,7 @@ pub(crate) fn drain_pending_decrements(
                 // at the top of the loop notices and reports `false`.
             }
             _ => {
-                if !process_decrement_chunk(state, batch, should_yield.as_deref()) {
+                if !process_decrement_chunk(state, batch, should_yield.as_deref(), None) {
                     return false;
                 }
             }
@@ -116,29 +244,41 @@ pub(crate) fn drain_pending_decrements(
     }
 }
 
-/// Recursive-decrement backlog beyond which a chunk publishes half of its
-/// local stack back to the phase scheduler, so a skewed chunk (one root
-/// heading a huge death subtree) does not serialize the batch while the
-/// other workers idle at the phase barrier.
-const DEC_OFFLOAD_AT: usize = 512;
-
-/// [`process_decrement_chunk`] for the work-stealing fan-out: recursive
-/// decrements accumulate on a local stack, but an oversized backlog is
-/// split off and re-pushed through the [`PhaseHandle`] where idle workers
-/// can steal it, and a chunk picked up after a yield request goes straight
-/// back to the pending queue.
+/// [`process_decrement_chunk`] for the work-stealing fan-out: the oversized
+/// backlog is re-pushed through the [`PhaseHandle`] where idle pool workers
+/// can steal it.
+///
+/// [`PhaseHandle`]: lxr_runtime::PhaseHandle
 fn process_decrement_chunk_stealable(
     state: &Arc<LxrState>,
     chunk: Vec<ObjectReference>,
     should_yield: Option<&(dyn Fn() -> bool + Send + Sync)>,
     handle: &lxr_runtime::PhaseHandle<Vec<ObjectReference>>,
 ) {
+    let offload = |local: &mut Vec<ObjectReference>| handle.push(local.split_off(local.len() / 2));
+    process_decrement_chunk(state, chunk, should_yield, Some(&offload));
+}
+
+/// The one decrement-chunk engine behind the crew drain, the work-stealing
+/// fan-out and the small-batch fallback: pops from a local stack, follows
+/// recursive decrements on it, and hands an oversized backlog
+/// (≥ [`DEC_OFFLOAD_AT`]) to `offload`, which splits half of the stack off
+/// to wherever the caller's siblings can pick it up.  Checks `should_yield`
+/// up front (a chunk picked up after a pause request goes straight back)
+/// and every [`YIELD_CHECK_QUANTUM`] applications; on yield the unprocessed
+/// remainder returns to the shared pending queue and `false` is returned.
+fn process_decrement_chunk(
+    state: &Arc<LxrState>,
+    chunk: Vec<ObjectReference>,
+    should_yield: Option<&(dyn Fn() -> bool + Send + Sync)>,
+    offload: Option<DecOffload<'_>>,
+) -> bool {
     let mut local = chunk;
     if should_yield.is_some_and(|f| f()) {
         for o in local.drain(..) {
             state.pending_decs.push(o);
         }
-        return;
+        return false;
     }
     let mut processed_since_check = 0usize;
     while let Some(obj) = local.pop() {
@@ -147,39 +287,12 @@ fn process_decrement_chunk_stealable(
             state.apply_decrement(obj, &mut push);
         }
         if local.len() >= DEC_OFFLOAD_AT {
-            handle.push(local.split_off(local.len() / 2));
-        }
-        processed_since_check += 1;
-        if processed_since_check >= 64 {
-            processed_since_check = 0;
-            if should_yield.is_some_and(|f| f()) {
-                for o in local.drain(..) {
-                    state.pending_decs.push(o);
-                }
-                return;
+            if let Some(offload) = offload {
+                offload(&mut local);
             }
         }
-    }
-}
-
-/// Applies one chunk of decrements, following recursive decrements on a
-/// local stack.  Checks `should_yield` every 64 applications; on yield the
-/// unprocessed remainder is pushed back onto the shared pending queue and
-/// `false` is returned.
-fn process_decrement_chunk(
-    state: &Arc<LxrState>,
-    chunk: Vec<ObjectReference>,
-    should_yield: Option<&(dyn Fn() -> bool + Send + Sync)>,
-) -> bool {
-    let mut local = chunk;
-    let mut processed_since_check = 0usize;
-    while let Some(obj) = local.pop() {
-        {
-            let mut push = |child: ObjectReference| local.push(child);
-            state.apply_decrement(obj, &mut push);
-        }
         processed_since_check += 1;
-        if processed_since_check >= 64 {
+        if processed_since_check >= YIELD_CHECK_QUANTUM {
             processed_since_check = 0;
             if should_yield.is_some_and(|f| f()) {
                 for o in local.drain(..) {
@@ -196,7 +309,11 @@ fn process_decrement_chunk(
 /// blocks that received them, immediately releasing the completely free
 /// ones.  Partially free blocks are left for the next pause, which queues
 /// them for line reuse.  The dirtied set is a per-block atomic bitmap, so
-/// finding the candidates is one SWAR set-bit scan.
+/// finding the candidates is one SWAR set-bit scan; releases are batched
+/// so the allocator's central lock is taken at most once.
+///
+/// Runs on exactly one crew worker: the last to leave a fully drained
+/// decrement phase.
 fn lazy_reclaim(state: &Arc<LxrState>) {
     let mut fully_free: Vec<Block> = Vec::new();
     {
@@ -209,50 +326,76 @@ fn lazy_reclaim(state: &Arc<LxrState>) {
             }
         });
     }
-    for block in fully_free {
+    for &block in &fully_free {
         state.clear_block_dirtied(block);
         state.stats.add(WorkCounter::MatureBlocksFreed, 1);
-        state.release_free_block(block);
+        state.prepare_block_release(block);
     }
+    state.finish_block_releases(&fully_free);
 }
 
-/// Runs the SATB transitive closure: pops gray objects, marks them, and
-/// pushes their referents.  The mature-only optimisation (§3.2.2) skips
-/// objects whose reference count is zero — young objects are handled by RC
-/// and are conservatively marked at their first retention instead.
-/// Returns `true` if the gray set was fully drained.
-pub(crate) fn trace_satb(state: &Arc<LxrState>, should_yield: impl Fn() -> bool) -> bool {
+/// Visits one gray object: skip if dead or already marked, otherwise mark
+/// it, account it, and feed its referents to `push` (recording remembered
+/// set entries for references into the evacuation set).  Shared by the
+/// sequential oracle and the crew trace, so the two cannot diverge on
+/// per-object semantics.
+#[inline]
+fn process_gray_object(state: &Arc<LxrState>, obj: ObjectReference, push: &mut impl FnMut(ObjectReference)) {
+    if obj.is_null() || !state.in_heap(obj) {
+        return;
+    }
+    // Mature-only SATB: ignore objects with a zero reference count.
+    // (This check also keeps the trace away from memory that has been
+    // reclaimed and reused since the reference was captured.)
+    if !state.rc.is_live(obj) {
+        return;
+    }
+    let shape = state.om.shape(obj);
+    let size = shape.size_words();
+    // A granule whose count was seeded by a stale reference carries an
+    // arbitrary "shape"; never let it drive the scan past the heap (real
+    // objects always fit inside their block).
+    if obj.to_address().word_index().saturating_add(size) > state.geometry.num_words() {
+        return;
+    }
+    if !state.mark_object(obj, size) {
+        return; // already marked
+    }
+    state.stats.add(WorkCounter::ObjectsMarked, 1);
+    let satb_evac = state.config.mature_evacuation;
+    state.om.scan_refs(obj, |slot, child| {
+        state.stats.add(WorkCounter::SlotsTraced, 1);
+        // Out-of-heap children can appear when a scan races with granule
+        // reuse (the trace runs alongside mutators and the lazy-decrement
+        // reclaimer); they are dropped, not traced.
+        if child.is_null() || !state.in_heap(child) {
+            return;
+        }
+        push(child);
+        // Bootstrap the remembered set: the trace visits every pointer
+        // into the evacuation set (§3.3.2).
+        if satb_evac && state.in_evac_set(child) {
+            state.record_remset(slot);
+        }
+    });
+}
+
+/// Runs the SATB transitive closure single-threaded over the shared gray
+/// queue: pops gray objects, marks them, and pushes their referents.  The
+/// mature-only optimisation (§3.2.2) skips objects whose reference count is
+/// zero — young objects are handled by RC and are conservatively marked at
+/// their first retention instead.  Returns `true` if the gray set was fully
+/// drained.
+///
+/// This is the determinism oracle for [`trace_satb_crew`] (same mark set,
+/// bit for bit, on a frozen heap) and the `-SATB` ablation's in-pause
+/// trace.  Public for the oracle tests and the `concurrent_mark` benchmark.
+pub fn trace_satb_sequential(state: &Arc<LxrState>, should_yield: impl Fn() -> bool) -> bool {
     let mut processed_since_check = 0usize;
     while let Some(obj) = state.gray.pop() {
         processed_since_check += 1;
-        if obj.is_null() {
-            continue;
-        }
-        // Mature-only SATB: ignore objects with a zero reference count.
-        // (This check also keeps the trace away from memory that has been
-        // reclaimed and reused since the reference was captured.)
-        if !state.rc.is_live(obj) {
-            continue;
-        }
-        let shape = state.om.shape(obj);
-        if !state.mark_object(obj, shape.size_words()) {
-            continue; // already marked
-        }
-        state.stats.add(WorkCounter::ObjectsMarked, 1);
-        let satb_evac = state.config.mature_evacuation;
-        state.om.scan_refs(obj, |slot, child| {
-            state.stats.add(WorkCounter::SlotsTraced, 1);
-            if child.is_null() {
-                return;
-            }
-            state.gray.push(child);
-            // Bootstrap the remembered set: the trace visits every pointer
-            // into the evacuation set (§3.3.2).
-            if satb_evac && state.in_evac_set(child) {
-                state.record_remset(slot);
-            }
-        });
-        if processed_since_check >= 64 {
+        process_gray_object(state, obj, &mut |child| state.gray.push(child));
+        if processed_since_check >= YIELD_CHECK_QUANTUM {
             processed_since_check = 0;
             if should_yield() {
                 return false;
@@ -260,4 +403,102 @@ pub(crate) fn trace_satb(state: &Arc<LxrState>, should_yield: impl Fn() -> bool)
         }
     }
     true
+}
+
+/// Local mark-stack length beyond which a crew worker spills half back to
+/// the shared gray queue, bounding per-worker memory and publishing work
+/// where idle siblings steal it.
+const TRACE_SPILL_AT: usize = 2048;
+/// Gray seeds grabbed from the shared queue per refill: large enough to
+/// amortise the shared-queue pops, small enough to keep work spread across
+/// the crew.
+const TRACE_GRAB: usize = 64;
+
+/// One crew worker's share of the SATB transitive closure.
+///
+/// The worker drains a local mark stack (LIFO — depth-first-ish, good
+/// locality) refilled from the shared gray queue in [`TRACE_GRAB`]-sized
+/// grabs; children go on the local stack, and an oversized stack spills
+/// half to the shared queue.  Termination: the worker registers itself in
+/// `satb_tracers` while it holds work; when both its stack and the shared
+/// queue are empty it deregisters and waits for either new shared work
+/// (re-register and continue) or `satb_tracers == 0` with the shared queue
+/// empty (the trace is drained — return `true`).
+///
+/// On a yield request the worker flushes its local stack to the shared
+/// queue, deregisters and returns `false` within one [`YIELD_CHECK_QUANTUM`]:
+/// nothing is stranded, so the pause's completion check (`gray` empty) and
+/// the post-pause re-seed both see the full leftover trace.
+///
+/// Public for the oracle tests and the `concurrent_mark` benchmark.
+pub fn trace_satb_crew(state: &Arc<LxrState>, should_yield: impl Fn() -> bool) -> bool {
+    let mut local: Vec<ObjectReference> = Vec::with_capacity(TRACE_GRAB);
+    let mut processed_since_check = 0usize;
+    let mut idle_spins = 0u32;
+    state.satb_tracers.fetch_add(1, Ordering::SeqCst);
+    loop {
+        // Drain the local mark stack.
+        while let Some(obj) = local.pop() {
+            {
+                let mut push = |child: ObjectReference| local.push(child);
+                process_gray_object(state, obj, &mut push);
+            }
+            if local.len() >= TRACE_SPILL_AT {
+                for o in local.drain(local.len() / 2..) {
+                    state.gray.push(o);
+                }
+            }
+            processed_since_check += 1;
+            if processed_since_check >= YIELD_CHECK_QUANTUM {
+                processed_since_check = 0;
+                if should_yield() {
+                    // Flush, then deregister: a sibling that sees the
+                    // tracer count drop must also see our leftover work.
+                    for o in local.drain(..) {
+                        state.gray.push(o);
+                    }
+                    state.satb_tracers.fetch_sub(1, Ordering::SeqCst);
+                    return false;
+                }
+            }
+        }
+        // Local stack empty: refill from the shared gray queue.
+        if let Some(obj) = state.gray.pop() {
+            local.push(obj);
+            while local.len() < TRACE_GRAB {
+                match state.gray.pop() {
+                    Some(o) => local.push(o),
+                    None => break,
+                }
+            }
+            continue;
+        }
+        // Nothing local, nothing shared: deregister and watch for either
+        // termination or a sibling's spill.
+        state.satb_tracers.fetch_sub(1, Ordering::SeqCst);
+        loop {
+            if should_yield() {
+                return false;
+            }
+            if !state.gray.is_empty() {
+                // A sibling spilled (or flushed on yield): help out.
+                state.satb_tracers.fetch_add(1, Ordering::SeqCst);
+                break;
+            }
+            if state.satb_tracers.load(Ordering::SeqCst) == 0 {
+                // No shared work and nobody holds local work: drained.
+                // (Mutator barrier flushes may still feed the gray queue
+                // afterwards; the runtime's crew loop re-checks
+                // `has_concurrent_work` and comes back for them.)
+                return true;
+            }
+            idle_spins += 1;
+            if idle_spins > 64 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        idle_spins = 0;
+    }
 }

@@ -96,7 +96,10 @@ pub(crate) fn evacuate_mature(state: &Arc<LxrState>, c: &Collection<'_>) {
         let copy_allocators = copy_allocators.clone();
         c.workers.run_phase(seed_slots, move |slot, handle| {
             let obj = state.om.read_slot(slot);
-            if obj.is_null() {
+            // A stale slot (its line reclaimed and reused since the entry
+            // was recorded) can hold arbitrary bits; out-of-heap values are
+            // dropped rather than dereferenced.
+            if obj.is_null() || !state.in_heap(obj) {
                 return;
             }
             if let Some(target) = state.om.forwarding_target(obj) {
@@ -129,6 +132,8 @@ pub(crate) fn evacuate_object(
     push_slot: &mut dyn FnMut(Address),
 ) -> ObjectReference {
     match state.om.try_claim_forwarding(obj) {
+        // A stale reference (granule reclaimed and reused): leave it be.
+        ClaimResult::Stale => obj,
         ClaimResult::AlreadyForwarded(new) => new,
         ClaimResult::Claimed(header) => {
             let shape = state.om.shape_of_header(header);
@@ -178,5 +183,5 @@ fn finish_evacuation(state: &Arc<LxrState>, c: &Collection<'_>) {
             state.mark_block_dirtied(block);
         }
     }
-    while state.remset.pop().is_some() {}
+    state.reset_remset();
 }

@@ -65,6 +65,7 @@ pub mod predictors;
 pub mod satb;
 pub mod state;
 
+pub use concurrent::{trace_satb_crew, trace_satb_sequential, YIELD_CHECK_QUANTUM};
 pub use config::LxrConfig;
 pub use mutator::LxrMutator;
 pub use plan::LxrPlan;

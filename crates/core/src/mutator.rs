@@ -2,10 +2,11 @@
 //! field-logging write barrier.
 
 use crate::state::LxrState;
-use lxr_barrier::FieldLoggingBarrier;
+use lxr_barrier::{DecChunkHook, FieldLoggingBarrier};
 use lxr_heap::{AllocError, ImmixAllocator, LineOccupancy};
 use lxr_object::{ObjectReference, ObjectShape};
 use lxr_runtime::{AllocFailure, PlanMutator};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Per-mutator LXR state: a thread-local Immix allocator whose free-line
@@ -27,12 +28,36 @@ impl LxrMutator {
     pub fn new(state: Arc<LxrState>) -> Self {
         let occupancy: Arc<dyn LineOccupancy> = state.rc.clone();
         let allocator = ImmixAllocator::new(state.space.clone(), state.blocks.clone(), occupancy);
-        let barrier = FieldLoggingBarrier::new(
+        let mut barrier = FieldLoggingBarrier::new(
             state.space.clone(),
             state.log_table.clone(),
             state.sink.clone(),
             state.barrier_stats.clone(),
         );
+        // While an SATB trace is active, published decrement chunks (the
+        // overwritten snapshot edges) also seed the concurrent crew's gray
+        // queue, so marking starts before the next pause drains the sink.
+        // Marking is idempotent and the pause re-checks the same chunks, so
+        // this is purely an earlier start, not a transfer of
+        // responsibility.
+        let feed_state = state.clone();
+        let feed: DecChunkHook = Arc::new(move |chunk: &[ObjectReference]| {
+            if !feed_state.satb_active.load(Ordering::Acquire)
+                || feed_state.satb_complete.load(Ordering::Acquire)
+            {
+                return;
+            }
+            for &old in chunk {
+                if !old.is_null()
+                    && feed_state.in_heap(old)
+                    && feed_state.rc.is_live(old)
+                    && !feed_state.is_marked(old)
+                {
+                    feed_state.gray.push(old);
+                }
+            }
+        });
+        barrier.set_dec_chunk_hook(feed);
         LxrMutator { state, allocator, barrier }
     }
 }

@@ -7,7 +7,9 @@
 //!    forwarding pointers stayed valid for the previous epoch's lazy work),
 //! 3. drains the write-barrier buffers,
 //! 4. feeds the overwritten referents into the SATB snapshot (if a trace is
-//!    underway) and detects trace completion,
+//!    underway), retires a bounded catch-up slice of the gray set, and
+//!    detects trace completion (whatever the slice leaves re-seeds the
+//!    concurrent crew after the pause),
 //! 5. performs SATB reclamation and mature evacuation when a trace has
 //!    completed,
 //! 6. applies reference-count increments (roots, then modified fields),
@@ -27,9 +29,9 @@
 //! candidate list across the pool.
 
 use crate::state::LxrState;
-use lxr_heap::{Address, Block, BlockState, ImmixAllocator, LineOccupancy};
+use lxr_heap::{Address, Block, BlockState, ImmixAllocator, LineOccupancy, GRANULE_WORDS};
 use lxr_object::{ClaimResult, ObjectReference};
-use lxr_runtime::{Collection, GcStats, WorkCounter, WorkerPool};
+use lxr_runtime::{Collection, GcReason, GcStats, WorkCounter, WorkerPool};
 use parking_lot::Mutex;
 use std::collections::HashSet;
 use std::sync::atomic::Ordering;
@@ -37,6 +39,14 @@ use std::sync::Arc;
 
 /// Below this many in-pause decrements the fan-out overhead is not worth it.
 const DEC_MIN_PARALLEL_PAUSE: usize = 128;
+
+/// Minimum gray objects the pause retires as its bounded SATB catch-up
+/// slice.  The actual slice is the larger of this and an eighth of the
+/// heap's granules, so a trace is guaranteed to converge within a handful
+/// of pauses even when the concurrent crew gets no CPU at all (a saturated
+/// single-core host).  On a host with spare cores the crew drains the gray
+/// set between pauses and the slice retires little or nothing.
+const SATB_PAUSE_CATCHUP_MIN: usize = 8192;
 
 /// A unit of increment work for the parallel increment phase.
 #[derive(Debug, Clone, Copy)]
@@ -54,48 +64,91 @@ struct IncItem {
 pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
     c.attrs.set_kind("rc");
 
-    // 0. Wait for the concurrent thread to go quiescent (it yields as soon
-    //    as it observes the pending pause).
-    while state.concurrent_busy.load(Ordering::Acquire) {
-        std::hint::spin_loop();
+    // 0. Wait for the whole concurrent crew to go quiescent (each worker
+    //    flushes its local buffers and yields within one yield-check
+    //    quantum of observing the pending pause).  `SeqCst` pairs with the
+    //    crew's publish-then-recheck handshake in `concurrent_work`.  The
+    //    workers we wait for need CPU to reach their next yield check, so
+    //    on an oversubscribed host the spin must hand the core over rather
+    //    than burn its whole scheduling quantum.
+    let mut spins = 0u32;
+    while state.concurrent_active.load(Ordering::SeqCst) > 0 {
+        spins += 1;
+        if spins > 64 {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
     }
 
     // 1. Finish lazy decrements left over from the previous epoch (§3.2.1:
     //    "If the next RC epoch starts and LXR still has decrements to
     //    process, it finishes them first").  The catch-up is fanned out
     //    over the worker pool and never yields (we own the pause).
+    //
+    //    The drain is unconditional, not gated on `lazy_pending`: the
+    //    crew's last-worker-out claim can race a preempted sibling's
+    //    re-queue (the flag cleared while a remainder lands back in the
+    //    queue), and step 2's release of the deferred blocks is only sound
+    //    if *everything* pending has drained.  On an empty queue this is a
+    //    single failed pop.
     if state.lazy_pending.load(Ordering::Acquire) {
         c.attrs.set_lazy_incomplete();
-        crate::concurrent::drain_pending_decrements(state, Some(c.workers), None);
-        state.lazy_pending.store(false, Ordering::Release);
     }
+    crate::concurrent::drain_pending_decrements(state, Some(c.workers), None);
+    state.lazy_pending.store(false, Ordering::Release);
 
-    // 2. Release blocks deferred from the previous pause.
+    // 2. Release blocks deferred from the previous pause (batched: one
+    //    central-lock take for the whole set).  Step 1 has just drained
+    //    every decrement the previous epoch left behind, so nothing can
+    //    still resolve a reference into these blocks.
     let deferred: Vec<Block> = state.deferred_free_blocks.lock().drain(..).collect();
-    for block in deferred {
-        state.release_free_block(block);
+    for &block in &deferred {
+        state.prepare_block_release(block);
     }
+    state.finish_block_releases(&deferred);
 
     // 3. Drain the write-barrier buffers.
     let mod_chunks = state.sink.modified_fields.drain();
     let dec_chunks = state.sink.decrements.drain();
 
     // 4. SATB: feed the overwritten referents (the snapshot edges) into the
-    //    trace, and detect completion.
+    //    trace, run a bounded catch-up slice, and detect completion.
     let satb_running =
         state.satb_active.load(Ordering::Acquire) && !state.satb_complete.load(Ordering::Acquire);
     if satb_running {
-        let mut fed = false;
         for chunk in &dec_chunks {
             for &obj in chunk {
-                if !obj.is_null() && state.rc.is_live(obj) && !state.is_marked(obj) {
+                if !obj.is_null() && state.in_heap(obj) && state.rc.is_live(obj) && !state.is_marked(obj) {
                     state.gray.push(obj);
-                    fed = true;
                 }
             }
         }
-        if !fed && state.gray.is_empty() {
-            // Every snapshot-reachable object has been visited.
+        // Bounded in-pause catch-up: retire a slice of the remaining gray
+        // work so the trace progresses even when mutator pressure preempts
+        // the crew every epoch (without this, a trace can float forever —
+        // completion requires the gray set to be observed empty at a
+        // pause).  If the slice drains the set, every snapshot-reachable
+        // object has been visited: the trace is complete, and this pause
+        // reclaims.  Whatever the budget leaves re-seeds the crew when the
+        // world resumes.
+        // An exhaustion pause is the degenerate-GC fallback: the mutator
+        // failed an allocation, so reclamation cannot wait — drain the
+        // whole trace now and reclaim in this very pause.
+        let catchup = if c.reason == GcReason::Exhausted {
+            usize::MAX
+        } else {
+            (state.geometry.num_words() / GRANULE_WORDS / 8).max(SATB_PAUSE_CATCHUP_MIN)
+        };
+        let budget = std::cell::Cell::new(catchup / crate::concurrent::YIELD_CHECK_QUANTUM);
+        let drained = crate::concurrent::trace_satb_sequential(state, || {
+            if budget.get() == 0 {
+                return true;
+            }
+            budget.set(budget.get() - 1);
+            false
+        });
+        if drained {
             state.satb_complete.store(true, Ordering::Release);
         }
     }
@@ -107,19 +160,20 @@ pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
     // 6. If a trace completed, reclaim what it found dead and defragment the
     //    evacuation set (§3.3.2).
     let mut satb_swept_blocks: Vec<Block> = Vec::new();
-    if state.satb_complete.load(Ordering::Acquire) {
-        satb_swept_blocks = crate::satb::reclaim(state, c);
-        if state.config.mature_evacuation {
-            crate::evac::evacuate_mature(state, c);
-        }
-        state.clear_marks();
-        state.satb_complete.store(false, Ordering::Release);
-        state.satb_active.store(false, Ordering::Release);
-    }
 
-    // 7. Increment phase: roots first, then modified fields, with young
+    // 6. Increment phase: roots first, then modified fields, with young
     //    evacuation (§3.3.2) and recursive increments for surviving young
     //    objects.  The phase runs in parallel with work stealing.
+    //
+    //    Increments run *before* SATB reclamation and mature evacuation:
+    //    the modified-slot items heal each logged slot in place (following
+    //    young-evacuation forwarding) and record remembered-set entries for
+    //    new references into the evacuation set, so the evacuation that
+    //    follows sees fully healed slots and a remset that includes this
+    //    final epoch's writes.  (Evacuating first would copy objects whose
+    //    bodies still hold pre-heal pointers: the mod-slot heal would then
+    //    land in the abandoned old copy while the relocated copy keeps a
+    //    stale pointer to a young object that moves this very pause.)
     let copy_allocators = make_copy_allocators(state, c.workers.size() + 1);
     let mut items: Vec<IncItem> = Vec::with_capacity(roots.len() + 1024);
     for &root in &roots {
@@ -143,9 +197,35 @@ pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
     // Redirect roots that point at evacuated young objects.
     c.roots.visit_roots(|r| *r = state.om.resolve(*r));
 
-    // 8. Schedule decrements: the roots retained at the previous pause plus
-    //    every overwritten referent captured by the barrier this epoch.
-    let mut decrements: Vec<ObjectReference> = state.prev_root_decs.lock().drain(..).collect();
+    // 7. If a trace completed, reclaim what it found dead and defragment
+    //    the evacuation set (§3.3.2).  Survivors retained above were
+    //    conservatively marked (the trace is still active), so reclamation
+    //    never touches them.
+    if state.satb_complete.load(Ordering::Acquire) {
+        satb_swept_blocks = crate::satb::reclaim(state, c);
+        if state.config.mature_evacuation {
+            crate::evac::evacuate_mature(state, c);
+        }
+        state.clear_marks();
+        state.satb_complete.store(false, Ordering::Release);
+        state.satb_active.store(false, Ordering::Release);
+    }
+
+    // 8. Decrements.  The *deferred root decrements* (roots retained at the
+    //    previous pause, §2.1) are applied inside the pause, strictly after
+    //    this pause's root increments: an object held live only by a root
+    //    has a count of exactly one between pauses, and handing its
+    //    deferred decrement to the lazy queue would drop that count to zero
+    //    mid-epoch — before the next pause's increment restores it —
+    //    cascading a transient "death" through everything the root keeps
+    //    alive (and letting concurrent reclamation free it for real).  The
+    //    inc-then-dec pause ordering is what makes root deferral sound.
+    //    Barrier-captured overwritten referents carry no such invariant and
+    //    are processed lazily by the concurrent crew (the paper's lazy
+    //    decrements), or in-pause under the -LD ablation.
+    let root_decs: Vec<ObjectReference> = state.prev_root_decs.lock().drain(..).collect();
+    apply_decrements_in_pause(state, c.workers, root_decs);
+    let mut decrements: Vec<ObjectReference> = Vec::new();
     for chunk in dec_chunks {
         decrements.extend(chunk);
     }
@@ -154,28 +234,32 @@ pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
             state.pending_decs.push(d);
         }
         state.lazy_pending.store(true, Ordering::Release);
-    } else if decrements.len() < DEC_MIN_PARALLEL_PAUSE {
-        // The -LD ablation applies decrements inside the pause.  Tiny
-        // batches are not worth a phase's scheduling setup.
-        let mut queue = decrements;
-        while let Some(obj) = queue.pop() {
-            let mut push = |child: ObjectReference| queue.push(child);
-            state.apply_decrement(obj, &mut push);
-        }
     } else {
-        // A work-stealing phase reusing the recursive-push pattern of the
-        // increment phase.  Blocks dirtied here are swept below.
-        let state2 = state.clone();
-        c.workers.run_phase(decrements, move |obj, handle| {
-            state2.apply_decrement(obj, &mut |child| handle.push(child));
-        });
+        // The -LD ablation applies the captured decrements inside the
+        // pause as well.  Blocks dirtied here are swept below.
+        apply_decrements_in_pause(state, c.workers, decrements);
     }
 
     // 9. Sweep: blocks containing young objects (state Young/Recycled),
-    //    blocks dirtied by decrements, and blocks the SATB sweep touched.
-    let sweep_set = collect_sweep_set(state, &satb_swept_blocks);
+    //    blocks dirtied by decrements, and blocks the *previous* pause's
+    //    SATB reclamation touched.  This pause's SATB-swept blocks are
+    //    deferred one epoch — like the evacuation's free-block release —
+    //    so the reclaimed granules' headers stay intact while this epoch's
+    //    lazy decrement cascades (which may still hold references to them)
+    //    drain; the next pause finishes those decrements (step 1) before
+    //    this set is swept.  The deferral is an *exclusion* too: a
+    //    freshly-reclaimed block may independently qualify for this
+    //    pause's sweep (decrement-dirtied, or Recycled state), and sweeping
+    //    it now would release or recycle it this epoch anyway.
+    let prior_satb_swept: Vec<Block> = state.satb_swept_deferred.lock().drain(..).collect();
+    let defer: HashSet<usize> = satb_swept_blocks.iter().map(|b| b.index()).collect();
+    let sweep_set: Vec<(Block, BlockState)> = collect_sweep_set(state, &prior_satb_swept)
+        .into_iter()
+        .filter(|(b, _)| !defer.contains(&b.index()))
+        .collect();
     sweep_blocks(state, c.workers, c.stats, sweep_set);
     sweep_young_los(state, c.workers);
+    *state.satb_swept_deferred.lock() = satb_swept_blocks;
 
     // 10. Record the survival observation and update the predictor.
     let allocated =
@@ -192,7 +276,7 @@ pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
         crate::satb::start(state, c);
         if !state.config.concurrent_satb {
             // The -SATB ablation: run the whole trace inside the pause.
-            crate::concurrent::trace_satb(state, || false);
+            crate::concurrent::trace_satb_sequential(state, || false);
             state.satb_complete.store(true, Ordering::Release);
         }
     }
@@ -201,6 +285,27 @@ pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
     *state.prev_root_decs.lock() = c.roots.collect_roots();
     state.words_at_epoch_start.store(state.space.allocated_words(), Ordering::Relaxed);
     state.epochs.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Applies a batch of decrements (and their recursive cascades) inside the
+/// pause: a work-stealing phase for large batches, a local stack for tiny
+/// ones (not worth a phase's scheduling setup).
+fn apply_decrements_in_pause(state: &Arc<LxrState>, workers: &WorkerPool, decrements: Vec<ObjectReference>) {
+    if decrements.is_empty() {
+        return;
+    }
+    if decrements.len() < DEC_MIN_PARALLEL_PAUSE {
+        let mut queue = decrements;
+        while let Some(obj) = queue.pop() {
+            let mut push = |child: ObjectReference| queue.push(child);
+            state.apply_decrement(obj, &mut push);
+        }
+    } else {
+        let state = state.clone();
+        workers.run_phase(decrements, move |obj, handle| {
+            state.apply_decrement(obj, &mut |child| handle.push(child));
+        });
+    }
 }
 
 /// Creates one copy allocator per GC worker (plus the controller thread).
@@ -233,7 +338,10 @@ fn process_increment_item(
             state.log_table.mark_unlogged(s);
         }
     }
-    if obj.is_null() {
+    // A logged slot whose object died and whose line was reclaimed and
+    // reused mid-epoch can re-read as arbitrary data; an out-of-heap value
+    // must degrade to "stale entry", not an out-of-bounds access.
+    if obj.is_null() || !state.in_heap(obj) {
         return;
     }
     let new = increment_object(state, obj, copy_alloc, push_child);
@@ -273,6 +381,9 @@ pub(crate) fn increment_object(
     // arbitrates: exactly one thread wins and performs first-retention
     // processing.
     match state.om.try_claim_forwarding(obj) {
+        // A stale reference (granule reclaimed and reused): treat as dead,
+        // no count to establish.
+        ClaimResult::Stale => obj,
         ClaimResult::AlreadyForwarded(new) => {
             state.rc.increment(new);
             new
@@ -304,6 +415,18 @@ fn first_retention(
     let size = shape.size_words();
     let block = state.geometry.block_of(obj.to_address());
     let block_state = state.space.block_states().get(block);
+    // A stale reference (its granule reclaimed and reused mid-epoch) can
+    // win the claim with a data word masquerading as a header.  Its bogus
+    // shape must not drive reads past the heap (real objects always fit
+    // inside their block), and a "first retention" in a Free block is
+    // always stale — establishing a count there would poison the block's
+    // next occupant.
+    let plausible = obj.to_address().word_index().saturating_add(size) <= state.geometry.num_words()
+        && block_state != BlockState::Free;
+    if !plausible {
+        state.om.abandon_forwarding(obj, header);
+        return obj;
+    }
 
     // Young evacuation (§3.3.2): objects in blocks that contain only young
     // objects are copied, compacting survivors and freeing whole blocks.
@@ -478,13 +601,16 @@ pub fn sweep_blocks(
     }
     for slot in buffers.iter() {
         let buf = std::mem::take(&mut *slot.lock());
-        for (block, prior) in buf.release {
+        for &(_, prior) in &buf.release {
             match prior {
                 BlockState::Young => stats.add(WorkCounter::YoungBlocksFreed, 1),
                 _ => stats.add(WorkCounter::MatureBlocksFreed, 1),
             }
-            state.finish_block_release(block);
         }
+        // One batched release per buffer: the reuse-queue lock and the
+        // allocator's central lock are taken once, not once per block.
+        let release: Vec<Block> = buf.release.iter().map(|&(b, _)| b).collect();
+        state.finish_block_releases(&release);
         for block in buf.recycle {
             state.queue_for_reuse(block);
         }

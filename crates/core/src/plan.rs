@@ -98,6 +98,13 @@ impl Plan for LxrPlan {
     fn concurrent_work(&self, work: &ConcurrentWork<'_>) {
         crate::concurrent::concurrent_work(&self.state, work);
     }
+
+    fn max_concurrent_workers(&self) -> usize {
+        // LXR's concurrent phases are crew-parallel: marking and lazy
+        // decrements seed-and-steal through the shared gray and pending
+        // queues, so any crew size the runtime offers is welcome.
+        usize::MAX
+    }
 }
 
 impl PlanFactory for LxrPlan {

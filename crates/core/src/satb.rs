@@ -1,13 +1,21 @@
 //! SATB trace lifecycle: triggers, start, and reclamation (§3.2.2, §3.3.2).
 //!
 //! LXR's backup trace uses Yuasa's snapshot-at-the-beginning algorithm,
-//! seeded with the root set of an RC pause.  The trace runs concurrently
-//! with mutators, spans as many RC epochs as it needs (the barrier's
-//! decrement buffer keeps feeding it the overwritten snapshot edges at each
-//! pause), and when it completes, the next pause reclaims every mature
-//! object the trace did not mark — dead cycles and objects with stuck
-//! counts — and evacuates the fragmented blocks selected when the trace
-//! began.
+//! seeded with the root set of an RC pause.  The trace is driven by the
+//! concurrent GC *crew* (see [`crate::concurrent`]): every crew worker
+//! marks through a local stack seeded from, and stealing through, the
+//! shared gray queue, so the backup trace scales with the crew instead of
+//! being bound to one collector thread.  Mid-epoch mutator barrier flushes
+//! publish overwritten referents straight into the gray queue, so marking
+//! of the snapshot edges starts before the next pause drains the barrier
+//! buffers.
+//!
+//! The trace runs concurrently with mutators, spans as many RC epochs as
+//! it needs (each pause feeds it the remaining overwritten snapshot edges
+//! and re-seeds the crew with whatever preemption left in the gray queue),
+//! and when it completes, the next pause reclaims every mature object the
+//! trace did not mark — dead cycles and objects with stuck counts — and
+//! evacuates the fragmented blocks selected when the trace began.
 
 use crate::state::LxrState;
 use lxr_heap::{Block, BlockState, GRANULE_WORDS};
@@ -39,7 +47,7 @@ pub(crate) fn should_start(state: &Arc<LxrState>) -> bool {
 /// set with the current roots.
 pub(crate) fn start(state: &Arc<LxrState>, c: &Collection<'_>) {
     state.clear_marks();
-    while state.remset.pop().is_some() {}
+    state.reset_remset();
     state.space.line_reuse().clear();
     if state.config.mature_evacuation {
         crate::evac::select_candidates(state);

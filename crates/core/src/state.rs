@@ -1,7 +1,7 @@
 //! Shared mutable state of the LXR collector.
 //!
 //! Both halves of the collector — the stop-the-world RC pause and the
-//! concurrent thread (lazy decrements, SATB tracing) — operate over one
+//! concurrent crew (lazy decrements, SATB tracing) — operate over one
 //! [`LxrState`], as do the per-mutator allocators and barriers.
 
 use crate::config::LxrConfig;
@@ -83,9 +83,16 @@ pub struct LxrState {
     /// without a lock and drained with a SWAR set-bit scan
     /// ([`SideMetadata::for_each_nonzero`]).
     pub dirtied: SideMetadata,
-    /// Set while the concurrent thread is actively mutating collector state;
-    /// the pause spins until it clears.
-    pub concurrent_busy: AtomicBool,
+    /// Number of concurrent crew workers currently inside `concurrent_work`
+    /// (the crew-wide generalisation of the old single `concurrent_busy`
+    /// flag); the pause spins until the whole crew has quiesced.  `SeqCst`
+    /// against the rendezvous' pending flag — see
+    /// [`lxr_runtime::Rendezvous::gc_pending`].
+    pub concurrent_active: AtomicUsize,
+    /// Crew workers currently draining the pending-decrement queue (holding
+    /// popped batches in local stacks).  The last worker to leave with the
+    /// queue empty performs lazy reclamation and clears `lazy_pending`.
+    pub dec_workers: AtomicUsize,
 
     // ---- SATB state ----
     /// A trace is underway (snapshot taken, not yet reclaimed).
@@ -93,18 +100,37 @@ pub struct LxrState {
     /// The trace has visited every snapshot-reachable object; reclamation
     /// happens at the next pause.
     pub satb_complete: AtomicBool,
-    /// The SATB mark stack (gray objects).
+    /// The shared gray set: the seed-and-steal half of the SATB mark stack.
+    /// Crew workers pop seeds from here into per-worker local mark stacks
+    /// and spill oversized or preempted local work back, so this queue is a
+    /// spill/steal target rather than the per-object hot path.
     pub gray: SegQueue<ObjectReference>,
+    /// Crew workers currently holding SATB trace work (a nonempty local
+    /// mark stack or an object mid-scan).  "`gray` empty and no registered
+    /// tracers" is the crew's trace-drained condition.
+    pub satb_tracers: AtomicUsize,
 
     // ---- mature evacuation state ----
     /// Blocks currently selected for evacuation (by index).
     pub evac_candidates: Mutex<HashSet<usize>>,
     /// Remembered-set entries for the evacuation set.
     pub remset: SegQueue<RemsetEntry>,
+    /// One bit per heap word: set when `remset` already holds a live entry
+    /// for the slot, so re-recording a hot slot (visited by many trace and
+    /// increment paths per epoch) cannot grow the remembered set without
+    /// bound.  Cleared wholesale when the remset is reset (trace start,
+    /// evacuation) and per-block when a block is released mid-trace.
+    pub remset_logged: SideMetadata,
     /// Blocks emptied by evacuation or SATB reclamation, released at the
     /// *next* pause so that forwarding pointers and headers stay valid while
     /// this epoch's lazy decrements drain.
     pub deferred_free_blocks: Mutex<Vec<Block>>,
+    /// Blocks whose counts were cleared by SATB reclamation this pause,
+    /// swept at the *next* pause for the same reason the free-block release
+    /// above is deferred: this epoch's lazy decrement cascades may still
+    /// resolve references to the reclaimed granules, so their headers must
+    /// not be reused until the next pause's catch-up has drained them.
+    pub satb_swept_deferred: Mutex<Vec<Block>>,
     /// Blocks currently sitting in the recycled queue (by index), so the
     /// pause never queues a block twice.
     pub queued_for_reuse: Mutex<HashSet<usize>>,
@@ -152,13 +178,17 @@ impl LxrState {
             pending_decs: SegQueue::new(),
             lazy_pending: AtomicBool::new(false),
             dirtied: SideMetadata::new(geometry.num_words(), geometry.words_per_block(), 1),
-            concurrent_busy: AtomicBool::new(false),
+            concurrent_active: AtomicUsize::new(0),
+            dec_workers: AtomicUsize::new(0),
             satb_active: AtomicBool::new(false),
             satb_complete: AtomicBool::new(false),
             gray: SegQueue::new(),
+            satb_tracers: AtomicUsize::new(0),
             evac_candidates: Mutex::new(HashSet::new()),
             remset: SegQueue::new(),
+            remset_logged: SideMetadata::new(geometry.num_words(), 1, 1),
             deferred_free_blocks: Mutex::new(Vec::new()),
+            satb_swept_deferred: Mutex::new(Vec::new()),
             queued_for_reuse: Mutex::new(HashSet::new()),
             predictors: Mutex::new(Predictors::new()),
         }
@@ -198,10 +228,11 @@ impl LxrState {
     // ---- evacuation-set queries -------------------------------------------
 
     /// Returns `true` if `obj` lies in a block currently selected for
-    /// evacuation.
+    /// evacuation.  Out-of-heap values (stale references re-read from
+    /// reused memory) are never in the evacuation set.
     #[inline]
     pub fn in_evac_set(&self, obj: ObjectReference) -> bool {
-        if obj.is_null() {
+        if obj.is_null() || !self.in_heap(obj) {
             return false;
         }
         let block = self.geometry.block_of(obj.to_address());
@@ -210,9 +241,26 @@ impl LxrState {
 
     /// Records a remembered-set entry for `slot`, which holds a reference
     /// into the evacuation set.
+    ///
+    /// Deduplicated through the per-slot logged bit (`remset_logged`): the
+    /// trace and the increment phase re-visit hot slots many times per
+    /// epoch, and before dedup every visit appended another entry.  Exactly
+    /// one caller per slot wins the `try_set_from_zero` race and pushes;
+    /// the bit is cleared when the remset itself is reset and when the
+    /// slot's block is released (so a recycled slot can be re-recorded).
     pub fn record_remset(&self, slot: Address) {
+        if !self.remset_logged.try_set_from_zero(slot, 1) {
+            return;
+        }
         let line = self.geometry.line_of(slot);
         self.remset.push(RemsetEntry { slot, line_reuse: self.space.line_reuse().get(line) });
+    }
+
+    /// Drops every remembered-set entry and re-arms the per-slot dedup bits.
+    /// Called when a trace begins and after an evacuation consumes the set.
+    pub fn reset_remset(&self) {
+        while self.remset.pop().is_some() {}
+        self.remset_logged.clear_all();
     }
 
     // ---- dirtied-block tracking -------------------------------------------
@@ -255,13 +303,24 @@ impl LxrState {
 
     // ---- decrements --------------------------------------------------------
 
+    /// Returns `true` if `obj` denotes an address inside the heap.  The
+    /// concurrent crew runs decrement cascades and the trace alongside
+    /// mutators; in the (bounded, documented) windows where a reclaimed
+    /// granule is reused before a stale reference to it drains, a re-read
+    /// field can yield an arbitrary bit pattern — such a value must degrade
+    /// to a no-op, never an out-of-bounds metadata access.
+    #[inline]
+    pub fn in_heap(&self, obj: ObjectReference) -> bool {
+        obj.to_address().word_index() < self.geometry.num_words()
+    }
+
     /// Applies one decrement to `obj` (resolving any forwarding first),
     /// honouring the SATB deletion invariant, and feeding recursive
     /// decrements and reclamation bookkeeping.
     ///
     /// `push_dec` receives the children of objects that die.
     pub fn apply_decrement<F: FnMut(ObjectReference)>(&self, obj: ObjectReference, push_dec: &mut F) {
-        if obj.is_null() {
+        if obj.is_null() || !self.in_heap(obj) {
             return;
         }
         let obj = self.om.resolve(obj);
@@ -280,6 +339,13 @@ impl LxrState {
         // snapshot stays complete (§3.2.2, "SATB with interruptions").
         let shape = self.om.shape(obj);
         let size = shape.size_words();
+        // A granule whose count was corrupted by a stale reference can
+        // carry an arbitrary "shape"; never let it drive reads past the
+        // heap (real objects always fit inside their block).
+        if obj.to_address().word_index().saturating_add(size) > self.geometry.num_words() {
+            self.stats.add(WorkCounter::RcDeaths, 1);
+            return;
+        }
         if self.satb_active.load(Ordering::Acquire)
             && !self.satb_complete.load(Ordering::Acquire)
             && self.mark_object(obj, size)
@@ -301,8 +367,13 @@ impl LxrState {
         });
         let block = self.geometry.block_of(obj.to_address());
         if self.space.block_states().get(block) == BlockState::Los {
-            self.los.free(obj.to_address());
-            self.stats.add(WorkCounter::LargeObjectsFreed, 1);
+            // A stale decrement can land inside a LOS run without being the
+            // object's start (or the object may already be freed); only a
+            // live large-object start is freed.
+            if self.los.contains(obj.to_address()) {
+                self.los.free(obj.to_address());
+                self.stats.add(WorkCounter::LargeObjectsFreed, 1);
+            }
         } else {
             self.mark_block_dirtied(block);
         }
@@ -328,11 +399,13 @@ impl LxrState {
         debug_assert!(self.rc.block_is_free(block), "releasing a block with live counts");
         let start = self.geometry.block_start(block);
         let words = self.geometry.words_per_block();
-        // Stale metadata must not leak into the block's next life.  Both
-        // tables are cleared with word-wide stores (SWAR bulk ops), not a
-        // byte atomic per granule.
+        // Stale metadata must not leak into the block's next life.  All
+        // three tables are cleared with word-wide stores (SWAR bulk ops),
+        // not a byte atomic per granule.  Clearing the remset dedup bits
+        // lets slots in the block's next life be recorded afresh.
         self.marks.clear_range(start, words);
         self.log_table.clear_range(start, words);
+        self.remset_logged.clear_range(start, words);
         self.space.bump_block_reuse(block);
     }
 
@@ -342,6 +415,23 @@ impl LxrState {
     pub fn finish_block_release(&self, block: Block) {
         self.queued_for_reuse.lock().remove(&block.index());
         self.blocks.release_free_block(block);
+    }
+
+    /// Batched [`finish_block_release`](Self::finish_block_release): the
+    /// reuse-queue lock is taken once for the whole batch and the blocks
+    /// are handed to the allocator's batch release, which takes its central
+    /// lock at most once instead of once per buffer-overflowing block.
+    pub fn finish_block_releases(&self, blocks: &[Block]) {
+        if blocks.is_empty() {
+            return;
+        }
+        {
+            let mut queued = self.queued_for_reuse.lock();
+            for block in blocks {
+                queued.remove(&block.index());
+            }
+        }
+        self.blocks.release_free_blocks(blocks);
     }
 
     /// Queues a partially free block for line reuse, unless it is already
@@ -524,10 +614,34 @@ mod tests {
         let entry = s.remset.pop().unwrap();
         assert_eq!(entry.slot, slot);
         assert_eq!(entry.line_reuse, 0);
-        // After the line is reclaimed (reuse counter bumped) a fresh entry
-        // carries the new tag.
+        // After the remset is reset and the line reclaimed (reuse counter
+        // bumped), a fresh entry carries the new tag.
+        s.reset_remset();
         s.space.bump_line_reuse(s.geometry.line_of(slot));
         s.record_remset(slot);
         assert_eq!(s.remset.pop().unwrap().line_reuse, 1);
+    }
+
+    #[test]
+    fn re_recording_a_slot_does_not_grow_the_remset() {
+        let s = state();
+        let slot = Address::from_word_index(4 * 4096 + 10);
+        let other = Address::from_word_index(4 * 4096 + 11);
+        for _ in 0..100 {
+            s.record_remset(slot);
+        }
+        s.record_remset(other);
+        assert_eq!(s.remset.len(), 2, "one entry per distinct slot, however often it is re-recorded");
+        // Releasing the slot's block re-arms its dedup bit: the slot's next
+        // life can be recorded afresh.
+        let block = s.geometry.block_of(slot);
+        s.prepare_block_release(block);
+        s.record_remset(slot);
+        assert_eq!(s.remset.len(), 3);
+        // A full reset also re-arms.
+        s.reset_remset();
+        assert!(s.remset.is_empty());
+        s.record_remset(slot);
+        assert_eq!(s.remset.len(), 1);
     }
 }

@@ -1,0 +1,281 @@
+//! Determinism and preemption tests for the concurrent GC crew.
+//!
+//! The crew's SATB trace must mark *exactly* the set the single-threaded
+//! oracle (`trace_satb_sequential`) marks — bit for bit, at every crew size
+//! — and a requested pause must be acknowledged by every crew worker at its
+//! first yield check (i.e. within one `YIELD_CHECK_QUANTUM` of work), with
+//! preempted local work flushed back to the shared gray queue so nothing is
+//! lost.
+
+use lxr_core::{trace_satb_crew, trace_satb_sequential, LxrConfig, LxrPlan, LxrState};
+use lxr_heap::{
+    Address, Block, BlockAllocator, BlockState, HeapConfig, HeapSpace, LargeObjectSpace, GRANULE_WORDS,
+};
+use lxr_object::{ObjectReference, ObjectShape};
+use lxr_runtime::{GcStats, Plan, PlanContext, Runtime, RuntimeOptions, WorkCounter};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn frozen_state(heap_bytes: usize) -> Arc<LxrState> {
+    let options = RuntimeOptions::default()
+        .with_heap_config(HeapConfig::with_heap_size(heap_bytes))
+        .with_concurrent_thread(false);
+    let space = Arc::new(HeapSpace::new(options.heap.clone()));
+    let blocks = Arc::new(BlockAllocator::new(space.clone()));
+    let los = Arc::new(LargeObjectSpace::new(space.clone(), blocks.clone()));
+    let ctx = PlanContext { space, blocks, los, stats: Arc::new(GcStats::new()), options };
+    Arc::new(LxrState::new(&ctx, LxrConfig::default()))
+}
+
+/// Builds a deterministic frozen object graph over `blocks` mature blocks:
+/// 8-word objects with 4 reference fields wired pseudo-randomly across the
+/// whole graph (cycles and shared subtrees everywhere).  Every 7th object
+/// is left dead (RC 0) — still wired as a target, so the trace must apply
+/// the mature-only skip identically on every path.  Seeds the shared gray
+/// queue with every 17th object and returns nothing further: the state is
+/// ready to trace.
+fn build_frozen_graph(state: &Arc<LxrState>, blocks: usize, seed: u64) {
+    let g = state.geometry;
+    let shape = ObjectShape::new(4, 3, 1); // 1 header + 4 refs + 3 data
+    let per_block = g.words_per_block() / 8;
+    let mut objects = Vec::with_capacity(blocks * per_block);
+    for bi in 2..2 + blocks {
+        let block = Block::from_index(bi);
+        state.space.block_states().set(block, BlockState::Mature);
+        for k in 0..per_block {
+            let obj = state.om.initialize(g.block_start(block).plus(k * 8), shape);
+            objects.push(obj);
+        }
+    }
+    let mut x = seed | 1;
+    let mut step = move || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (x >> 33) as usize
+    };
+    for (i, &obj) in objects.iter().enumerate() {
+        if i % 7 != 0 {
+            state.rc.increment(obj);
+        }
+        for f in 0..4 {
+            let target = if f == 0 { (i + 1) % objects.len() } else { step() % objects.len() };
+            state.om.write_ref_field(obj, f, objects[target]);
+        }
+    }
+    for root in objects.iter().step_by(17) {
+        state.gray.push(*root);
+    }
+}
+
+/// The full mark bitmap, one byte per granule.
+fn mark_snapshot(state: &Arc<LxrState>) -> Vec<u8> {
+    let words = state.geometry.num_words();
+    (0..words).step_by(GRANULE_WORDS).map(|w| state.marks.load(Address::from_word_index(w))).collect()
+}
+
+/// Runs the crew at the given size until the trace reports drained.
+fn run_crew(state: &Arc<LxrState>, workers: usize) {
+    if workers == 1 {
+        assert!(trace_satb_crew(state, || false));
+        return;
+    }
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let state = state.clone();
+            scope.spawn(move || assert!(trace_satb_crew(&state, || false)));
+        }
+    });
+}
+
+#[test]
+fn crew_mark_set_is_bit_identical_to_the_sequential_oracle() {
+    let oracle = frozen_state(8 << 20);
+    build_frozen_graph(&oracle, 24, 0xfeed);
+    assert!(trace_satb_sequential(&oracle, || false));
+    let expected = mark_snapshot(&oracle);
+    let expected_marked = oracle.stats.get(WorkCounter::ObjectsMarked);
+    assert!(expected_marked > 1000, "the graph is non-trivial (got {expected_marked})");
+
+    for workers in [1usize, 2, 4, 8] {
+        let s = frozen_state(8 << 20);
+        build_frozen_graph(&s, 24, 0xfeed);
+        run_crew(&s, workers);
+        assert!(s.gray.is_empty(), "{workers} workers: the gray queue was drained");
+        assert_eq!(s.satb_tracers.load(Ordering::SeqCst), 0, "{workers} workers: every tracer deregistered");
+        assert_eq!(mark_snapshot(&s), expected, "{workers} workers: mark bitmap diverged from the oracle");
+        assert_eq!(s.stats.get(WorkCounter::ObjectsMarked), expected_marked, "{workers} workers");
+    }
+}
+
+#[test]
+fn preempted_crew_loses_no_gray_objects_and_acks_within_one_quantum() {
+    const WORKERS: usize = 4;
+    let oracle = frozen_state(8 << 20);
+    build_frozen_graph(&oracle, 24, 0xabba);
+    assert!(trace_satb_sequential(&oracle, || false));
+    let expected = mark_snapshot(&oracle);
+
+    let s = frozen_state(8 << 20);
+    build_frozen_graph(&s, 24, 0xabba);
+    let pause_requested = Arc::new(AtomicBool::new(false));
+
+    let mut complete = false;
+    let mut rounds = 0usize;
+    while !complete {
+        rounds += 1;
+        assert!(rounds < 10_000, "trace did not converge under preemption");
+        pause_requested.store(false, Ordering::SeqCst);
+        // Observations of the pause request: each worker must yield at the
+        // *first* check that sees it, i.e. observe it at most once.
+        let acks = Arc::new(AtomicUsize::new(0));
+        let results: Vec<bool> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..WORKERS)
+                .map(|_| {
+                    let s = s.clone();
+                    let pause_requested = pause_requested.clone();
+                    let acks = acks.clone();
+                    scope.spawn(move || {
+                        trace_satb_crew(&s, || {
+                            let requested = pause_requested.load(Ordering::SeqCst);
+                            if requested {
+                                acks.fetch_add(1, Ordering::SeqCst);
+                            }
+                            requested
+                        })
+                    })
+                })
+                .collect();
+            // Let the crew mark for a while (longer every round, so the
+            // stress converges), then request a "pause".
+            std::thread::sleep(std::time::Duration::from_micros(50 * rounds as u64));
+            pause_requested.store(true, Ordering::SeqCst);
+            handles.into_iter().map(|h| h.join().expect("crew worker panicked")).collect()
+        });
+        // Every worker returned (joined): a requested pause is always
+        // acknowledged.  A worker observes the request at most once — it
+        // yields at that very check, after at most one quantum of work.
+        assert!(
+            acks.load(Ordering::SeqCst) <= WORKERS,
+            "a worker kept tracing past a yield check that observed the pause"
+        );
+        assert_eq!(s.satb_tracers.load(Ordering::SeqCst), 0, "every preempted worker deregistered");
+        complete = results.iter().all(|&drained| drained);
+        if !complete {
+            // Preempted workers flushed their local stacks: unless the
+            // trace is already done, the leftover work is in the shared
+            // gray queue, ready to re-seed the next round (exactly what the
+            // pause's SATB catch-up sees).
+            assert!(!s.gray.is_empty() || mark_snapshot(&s) == expected, "preemption stranded gray objects");
+        }
+    }
+    assert!(s.gray.is_empty());
+    assert_eq!(mark_snapshot(&s), expected, "preemption lost gray objects: mark set diverged");
+    assert!(rounds >= 1);
+}
+
+proptest! {
+    /// On random small graphs (random edges, random live set, random gray
+    /// seeds) the two-worker crew marks exactly the oracle's set.
+    #[test]
+    fn crew_matches_oracle_on_random_graphs(
+        edges in proptest::collection::vec((0usize..300, 0usize..4, 0usize..300), 0..600),
+        dead in proptest::collection::vec(0usize..300, 0..60),
+        seeds in proptest::collection::vec(0usize..300, 1..40),
+    ) {
+        const NODES: usize = 300;
+        let build = |state: &Arc<LxrState>| {
+            let g = state.geometry;
+            let shape = ObjectShape::new(4, 3, 1);
+            let per_block = g.words_per_block() / 8;
+            let mut objects = Vec::with_capacity(NODES);
+            for i in 0..NODES {
+                let block = Block::from_index(2 + i / per_block);
+                state.space.block_states().set(block, BlockState::Mature);
+                let addr = g.block_start(block).plus((i % per_block) * 8);
+                objects.push(state.om.initialize(addr, shape));
+            }
+            for &obj in &objects {
+                state.rc.increment(obj);
+            }
+            for &i in &dead {
+                state.rc.clear(objects[i]);
+            }
+            for &(from, field, to) in &edges {
+                state.om.write_ref_field(objects[from], field, objects[to]);
+            }
+            for &i in &seeds {
+                state.gray.push(objects[i]);
+            }
+        };
+        let oracle = frozen_state(4 << 20);
+        build(&oracle);
+        prop_assert!(trace_satb_sequential(&oracle, || false));
+
+        let s = frozen_state(4 << 20);
+        build(&s);
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let s = s.clone();
+                scope.spawn(move || trace_satb_crew(&s, || false));
+            }
+        });
+        prop_assert!(s.gray.is_empty());
+        prop_assert_eq!(mark_snapshot(&s), mark_snapshot(&oracle));
+    }
+}
+
+/// End to end: a runtime with a four-worker crew reclaims cyclic mature
+/// garbage through the concurrent trace while mutators run.
+#[test]
+fn crew_runtime_reclaims_cyclic_garbage() {
+    let config = LxrConfig { clean_block_trigger_fraction: 1.0, ..LxrConfig::for_heap(12 << 20) };
+    let options = RuntimeOptions::default()
+        .with_heap_size(12 << 20)
+        .with_gc_workers(2)
+        .with_concurrent_workers(4)
+        .with_poll_interval(32);
+    let rt = Runtime::with_factory(options, move |ctx: PlanContext| {
+        Arc::new(LxrPlan::with_config(ctx, config)) as Arc<dyn Plan>
+    });
+    let mut m = rt.bind_mutator();
+    // Rings of objects (cycles) that survive a collection, then are
+    // dropped; only the crew's backup trace can reclaim them.
+    let mut rings = Vec::new();
+    for _ in 0..100 {
+        let first_root = {
+            let first = m.alloc(1, 62, 7);
+            m.push_root(first)
+        };
+        let first = m.root(first_root);
+        let prev_root = m.push_root(first);
+        for _ in 0..20 {
+            let node = m.alloc(1, 62, 7);
+            let prev = m.root(prev_root);
+            m.write_ref(prev, 0, node);
+            m.set_root(prev_root, node);
+        }
+        let prev = m.root(prev_root);
+        let first = m.root(first_root);
+        m.write_ref(prev, 0, first);
+        m.pop_root();
+        rings.push(first_root);
+    }
+    m.request_gc();
+    m.request_gc();
+    for slot in rings {
+        m.set_root(slot, ObjectReference::NULL);
+    }
+    for i in 0..400_000u64 {
+        let o = m.alloc(1, 6, 0);
+        m.write_data(o, 0, i);
+    }
+    for _ in 0..6 {
+        m.request_gc();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    let stats = rt.stats().snapshot();
+    assert!(stats.satb_pause_fraction() > 0.0, "at least one pause started an SATB trace");
+    assert!(stats.counter(WorkCounter::SatbDeaths) > 0, "the crew's trace reclaimed cyclic garbage");
+    drop(m);
+    rt.shutdown();
+}

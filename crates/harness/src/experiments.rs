@@ -3,7 +3,8 @@
 use crate::report::{ms, ratio, Table};
 use lxr_heap::HeapConfig;
 use lxr_workloads::{
-    benchmark, latency_suite, run_workload, suite, BenchmarkSpec, RunOptions, WorkloadResult,
+    benchmark, latency_suite, run_workload, social_graph_churn, suite, BenchmarkSpec, RunOptions,
+    WorkloadResult,
 };
 
 /// Options shared by every experiment.
@@ -14,24 +15,33 @@ pub struct ExperimentOptions {
     pub scale: f64,
     /// GC worker threads.
     pub gc_workers: usize,
+    /// Concurrent GC crew size.
+    pub concurrent_workers: usize,
     /// Random seed.
     pub seed: u64,
 }
 
 impl Default for ExperimentOptions {
     fn default() -> Self {
-        ExperimentOptions { scale: 1.0, gc_workers: 4, seed: 42 }
+        ExperimentOptions { scale: 1.0, gc_workers: 4, concurrent_workers: 2, seed: 42 }
     }
 }
 
 impl ExperimentOptions {
     /// A quick configuration for tests and benches.
     pub fn quick() -> Self {
-        ExperimentOptions { scale: 0.1, gc_workers: 2, seed: 42 }
+        ExperimentOptions { scale: 0.1, gc_workers: 2, concurrent_workers: 2, seed: 42 }
     }
 
     fn run_options(&self, heap_factor: f64) -> RunOptions {
-        RunOptions { heap_factor, scale: self.scale, seed: self.seed, gc_workers: self.gc_workers }
+        RunOptions {
+            heap_factor,
+            scale: self.scale,
+            seed: self.seed,
+            gc_workers: self.gc_workers,
+            concurrent_workers: self.concurrent_workers,
+            final_gcs: 0,
+        }
     }
 }
 
@@ -480,9 +490,47 @@ pub fn sensitivity(options: &ExperimentOptions) -> Table {
     table
 }
 
+/// **Scenario diversity**: the social-graph-churn workload, where dense
+/// mature connectivity and cyclic garbage make the concurrent backup trace
+/// the reclamation bottleneck.  Compares collectors at a 2× heap and LXR's
+/// crew at 1 vs several concurrent workers (time-to-reclaim for cyclic
+/// garbage tracks concurrent-mark throughput).
+pub fn social_graph(options: &ExperimentOptions) -> Table {
+    let spec = social_graph_churn();
+    let mut table = Table::new(
+        "Social graph churn (wide fanout, cyclic mature garbage, 2x heap)",
+        &["configuration", "time ms", "pauses", "p95 ms", "SATB deaths", "GC busy ms"],
+    );
+    let mut run = |label: String, collector: &str, concurrent_workers: usize| {
+        let mut run_options = options.run_options(2.0);
+        run_options.concurrent_workers = concurrent_workers;
+        let r = run_workload(&spec, collector, &run_options);
+        let busy = r.gc.stw_gc_time + r.gc.concurrent_gc_time;
+        table.row(vec![
+            label,
+            format!("{:.0}", r.wall_time.as_secs_f64() * 1e3),
+            format!("{}", r.gc.pause_count()),
+            ms(r.gc.pause_percentile(95.0)),
+            format!("{}", r.gc.counter(lxr_runtime::WorkCounter::SatbDeaths)),
+            format!("{:.1}", busy.as_secs_f64() * 1e3),
+        ]);
+    };
+    for collector in ["g1", "shenandoah"] {
+        run(collector.to_string(), collector, 1);
+    }
+    for crew in [1usize, 2, 4] {
+        run(format!("lxr crew={crew}"), "lxr", crew);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn quick_options(scale: f64) -> ExperimentOptions {
+        ExperimentOptions { scale, gc_workers: 2, concurrent_workers: 2, seed: 1 }
+    }
 
     #[test]
     fn table3_lists_all_benchmarks() {
@@ -491,15 +539,20 @@ mod tests {
 
     #[test]
     fn table1_runs_quickly_at_small_scale() {
-        let (table, results) = table1_lusearch(&ExperimentOptions { scale: 0.02, gc_workers: 2, seed: 1 });
+        let (table, results) = table1_lusearch(&quick_options(0.02));
         assert_eq!(table.len(), 4);
         assert!(results.iter().filter(|r| !r.skipped).count() >= 3);
     }
 
     #[test]
     fn barrier_overhead_produces_a_ratio_per_benchmark() {
-        let opts = ExperimentOptions { scale: 0.05, gc_workers: 2, seed: 1 };
-        let table = barrier_overhead(&opts);
+        let table = barrier_overhead(&quick_options(0.05));
         assert!(table.len() >= 5);
+    }
+
+    #[test]
+    fn social_graph_compares_collectors_and_crew_sizes() {
+        let table = social_graph(&quick_options(0.05));
+        assert_eq!(table.len(), 5, "g1, shenandoah, and three LXR crew sizes");
     }
 }

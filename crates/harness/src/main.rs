@@ -4,7 +4,7 @@
 //! lxr-harness [--quick] [--scale S] <experiment>...
 //!
 //! experiments: table1 table3 table4 table5 table6 table7 fig7
-//!              barrier-overhead sensitivity all
+//!              barrier-overhead sensitivity socialgraph all
 //! ```
 
 use lxr_harness::experiments::{self, ExperimentOptions};
@@ -24,6 +24,10 @@ fn main() {
             "--gc-workers" => {
                 let value = iter.next().expect("--gc-workers requires a value");
                 options.gc_workers = value.parse().expect("invalid worker count");
+            }
+            "--concurrent-workers" => {
+                let value = iter.next().expect("--concurrent-workers requires a value");
+                options.concurrent_workers = value.parse().expect("invalid crew size");
             }
             other => requested.push(other.to_string()),
         }
@@ -67,5 +71,8 @@ fn main() {
     }
     if want("sensitivity") {
         println!("{}", experiments::sensitivity(&options));
+    }
+    if want("socialgraph") {
+        println!("{}", experiments::social_graph(&options));
     }
 }

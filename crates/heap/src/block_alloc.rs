@@ -12,7 +12,7 @@
 
 use crate::{Block, BlockState, HeapSpace};
 use crossbeam::queue::{ArrayQueue, SegQueue};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -41,6 +41,10 @@ pub struct BlockAllocator {
     /// Central manager of free blocks, used to refill the clean buffer and
     /// to serve contiguous requests.
     central: Mutex<BTreeSet<usize>>,
+    /// Times the central lock has been taken (contention instrumentation:
+    /// the batch APIs exist so sweeps take it once per batch, and the tests
+    /// assert that through this counter).
+    central_locks: AtomicUsize,
     /// Number of free (clean) blocks across the buffer and central manager.
     free_blocks: AtomicUsize,
     /// Number of blocks in the recycled queue.
@@ -60,10 +64,26 @@ impl BlockAllocator {
             clean_buffer: ArrayQueue::new(config.block_buffer_entries),
             recycled: SegQueue::new(),
             central: Mutex::new(central),
+            central_locks: AtomicUsize::new(0),
             free_blocks: AtomicUsize::new(total_usable),
             recycled_blocks: AtomicUsize::new(0),
             total_usable,
         }
+    }
+
+    /// Takes the central lock, counting the acquisition.  Every central
+    /// access goes through here so [`central_lock_count`] is exact.
+    ///
+    /// [`central_lock_count`]: Self::central_lock_count
+    fn lock_central(&self) -> MutexGuard<'_, BTreeSet<usize>> {
+        self.central_locks.fetch_add(1, Ordering::Relaxed);
+        self.central.lock()
+    }
+
+    /// Number of times the central free-block lock has been acquired since
+    /// construction (contention instrumentation for tests and profiling).
+    pub fn central_lock_count(&self) -> usize {
+        self.central_locks.load(Ordering::Relaxed)
     }
 
     /// Total number of usable blocks managed by this allocator.
@@ -98,14 +118,13 @@ impl BlockAllocator {
         let block = match self.clean_buffer.pop() {
             Some(b) => b,
             None => {
-                let mut central = self.central.lock();
-                // Refill the buffer while holding the lock once, then take
-                // one block for ourselves.
+                let mut central = self.lock_central();
+                // Refill a buffer's worth while holding the lock once, then
+                // take one block for ourselves.
                 let take = self.clean_buffer.capacity();
                 for _ in 0..take {
-                    match central.iter().next().copied() {
+                    match central.pop_first() {
                         Some(idx) => {
-                            central.remove(&idx);
                             if self.clean_buffer.push(Block::from_index(idx)).is_err() {
                                 central.insert(idx);
                                 break;
@@ -135,12 +154,41 @@ impl BlockAllocator {
 
     /// Returns a completely free block to the allocator (from sweeping or
     /// evacuation).  Sets its state to [`BlockState::Free`].
+    ///
+    /// Releasing many blocks at once (a sweep's flush, lazy reclamation)
+    /// should use [`release_free_blocks`](Self::release_free_blocks), which
+    /// takes the central lock once per batch instead of once per block that
+    /// overflows the clean buffer.
     pub fn release_free_block(&self, block: Block) {
         debug_assert!(block.index() != 0, "block 0 is reserved");
         self.space.block_states().set(block, BlockState::Free);
         self.free_blocks.fetch_add(1, Ordering::Relaxed);
         if self.clean_buffer.push(block).is_err() {
-            self.central.lock().insert(block.index());
+            self.lock_central().insert(block.index());
+        }
+    }
+
+    /// Batched [`release_free_block`](Self::release_free_block): the
+    /// lock-free clean buffer absorbs what it can, and the overflow is
+    /// inserted into the central manager under a single lock acquisition.
+    pub fn release_free_blocks(&self, blocks: &[Block]) {
+        if blocks.is_empty() {
+            return;
+        }
+        let mut overflow: Vec<usize> = Vec::new();
+        for &block in blocks {
+            debug_assert!(block.index() != 0, "block 0 is reserved");
+            self.space.block_states().set(block, BlockState::Free);
+            if self.clean_buffer.push(block).is_err() {
+                overflow.push(block.index());
+            }
+        }
+        self.free_blocks.fetch_add(blocks.len(), Ordering::Relaxed);
+        if !overflow.is_empty() {
+            let mut central = self.lock_central();
+            for idx in overflow {
+                central.insert(idx);
+            }
         }
     }
 
@@ -158,7 +206,7 @@ impl BlockAllocator {
     /// internally.
     pub fn acquire_contiguous(&self, count: usize) -> Option<Block> {
         assert!(count > 0);
-        let mut central = self.central.lock();
+        let mut central = self.lock_central();
         // Pull buffered blocks back into the central set so they are visible
         // to the contiguity search.
         while let Some(b) = self.clean_buffer.pop() {
@@ -195,7 +243,7 @@ impl BlockAllocator {
     /// Releases a contiguous run previously obtained from
     /// [`acquire_contiguous`](Self::acquire_contiguous).
     pub fn release_contiguous(&self, start: Block, count: usize) {
-        let mut central = self.central.lock();
+        let mut central = self.lock_central();
         for i in start.index()..start.index() + count {
             self.space.block_states().set(Block::from_index(i), BlockState::Free);
             central.insert(i);
@@ -313,6 +361,46 @@ mod tests {
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), n, "no block was handed out twice");
+        assert_eq!(n, 128);
+    }
+
+    #[test]
+    fn batched_release_takes_the_central_lock_once() {
+        // 128 usable blocks, 32-entry clean buffer: releasing them all back
+        // overflows the buffer by 96 blocks.
+        let a = allocator(4 << 20);
+        let blocks: Vec<Block> = std::iter::from_fn(|| a.acquire_clean_block()).collect();
+        assert_eq!(blocks.len(), 128);
+
+        // Per-block release: every buffer-overflowing block takes the
+        // central lock on its own.
+        let before = a.central_lock_count();
+        for &b in &blocks {
+            a.release_free_block(b);
+        }
+        let per_block_locks = a.central_lock_count() - before;
+        assert!(
+            per_block_locks >= 128 - a.clean_buffer.capacity(),
+            "per-block release contends once per overflowing block (got {per_block_locks})"
+        );
+
+        // Batched release of the same volume: one lock take for the whole
+        // overflow.
+        let blocks: Vec<Block> = std::iter::from_fn(|| a.acquire_clean_block()).collect();
+        assert_eq!(blocks.len(), 128);
+        let before = a.central_lock_count();
+        a.release_free_blocks(&blocks);
+        let batch_locks = a.central_lock_count() - before;
+        assert_eq!(batch_locks, 1, "batched release takes the central lock exactly once");
+        assert_eq!(a.free_block_count(), 128);
+
+        // The released blocks are all reusable and distinct.
+        let mut again: Vec<usize> =
+            std::iter::from_fn(|| a.acquire_clean_block()).map(|b| b.index()).collect();
+        let n = again.len();
+        again.sort_unstable();
+        again.dedup();
+        assert_eq!(again.len(), n);
         assert_eq!(n, 128);
     }
 

@@ -241,9 +241,18 @@ impl SideMetadata {
     /// The flip on big-endian targets keeps the byte view consistent with
     /// the word view, where entry `k` of a word occupies bits
     /// `[k * bits, (k + 1) * bits)`.
+    ///
+    /// The bounds check is unconditional: callers hand this method indexes
+    /// derived from arbitrary heap words, including *stale references*
+    /// (reclaimed-and-reused granules re-read as pointers) whose bit
+    /// patterns can index far outside the table.  An out-of-range index
+    /// must be a clean panic, never a wild read — or worse, a wild store
+    /// through [`store`](Self::store) into unrelated process memory.  The
+    /// check is one perfectly-predicted compare on a load that already
+    /// costs an atomic access.
     #[inline]
     fn byte(&self, index: usize) -> &AtomicU8 {
-        debug_assert!(index < self.words.len() * WORD_BYTES);
+        assert!(index < self.words.len() * WORD_BYTES, "side-metadata index out of range");
         #[cfg(target_endian = "big")]
         let index = (index & !(WORD_BYTES - 1)) | (WORD_BYTES - 1 - (index & (WORD_BYTES - 1)));
         // SAFETY: `index` is within the words allocation (checked above);

@@ -54,6 +54,13 @@ const TAG_NORMAL: u64 = 0b00;
 const TAG_BUSY: u64 = 0b01;
 const TAG_FORWARDED: u64 = 0b10;
 
+/// Iterations [`ObjectModel::forwarding_target`] waits on a busy header
+/// before concluding the word is stale garbage rather than a copy in
+/// progress.  A real copy is a bounded memcpy (≤ a block) plus one CAS —
+/// microseconds — while this bound, yielding each iteration past the first
+/// 64, allows on the order of seconds.
+const BUSY_SPIN_LIMIT: u32 = 1 << 20;
+
 /// Result of attempting to claim the right to forward (copy) an object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ClaimResult {
@@ -63,6 +70,10 @@ pub enum ClaimResult {
     Claimed(u64),
     /// Another thread already forwarded the object to the returned location.
     AlreadyForwarded(ObjectReference),
+    /// The referenced word is not an object header (a stale reference whose
+    /// granule was reclaimed and reused): there is nothing to claim, and
+    /// the caller should treat the reference as dead.
+    Stale,
 }
 
 /// Encodes and decodes object headers, reads and writes fields, scans
@@ -223,14 +234,39 @@ impl ObjectModel {
 
     /// Returns the forwarding target of `obj` if it has been forwarded.
     /// Spins while another thread is mid-copy.
+    ///
+    /// Tolerates *stale references*: a reference whose target granule was
+    /// reclaimed and reused can point at a word that is not an object
+    /// header at all (collectors with concurrent reclamation hand such
+    /// references to this method by design — e.g. a logged slot re-read
+    /// after its line was recycled).  Tag 3 is never written by the
+    /// forwarding protocol, so it identifies a non-header word and reads as
+    /// "not forwarded"; a word stuck at the busy tag that no copier ever
+    /// resolves is bounded by [`BUSY_SPIN_LIMIT`] instead of spinning
+    /// forever (a real mid-copy busy state lasts microseconds).
     pub fn forwarding_target(&self, obj: ObjectReference) -> Option<ObjectReference> {
+        let mut spins = 0u32;
         loop {
             let header = self.space.load_acquire(obj.to_address());
             match header & TAG_MASK {
                 TAG_NORMAL => return None,
                 TAG_FORWARDED => return Some(ObjectReference::from_raw(header >> 2)),
-                TAG_BUSY => std::hint::spin_loop(),
-                _ => unreachable!(),
+                TAG_BUSY => {
+                    spins += 1;
+                    if spins > BUSY_SPIN_LIMIT {
+                        // Not a real copy in progress: a stale word that
+                        // happens to carry the busy tag.
+                        return None;
+                    }
+                    if spins > 64 {
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+                // Tag 3: not an object header (stale reference racing with
+                // granule reuse).
+                _ => return None,
             }
         }
     }
@@ -257,7 +293,12 @@ impl ObjectModel {
     /// [`install_forwarding`](Self::install_forwarding).  Losers spin until
     /// the winner finishes and receive
     /// [`ClaimResult::AlreadyForwarded`].
+    /// Tolerates stale references the same way as
+    /// [`forwarding_target`](Self::forwarding_target): a tag-3 word or a
+    /// busy tag nobody resolves within [`BUSY_SPIN_LIMIT`] is reported as
+    /// [`ClaimResult::Stale`] rather than spun on or treated as a header.
     pub fn try_claim_forwarding(&self, obj: ObjectReference) -> ClaimResult {
+        let mut spins = 0u32;
         loop {
             let header = self.space.load_acquire(obj.to_address());
             match header & TAG_MASK {
@@ -269,8 +310,18 @@ impl ObjectModel {
                 TAG_FORWARDED => {
                     return ClaimResult::AlreadyForwarded(ObjectReference::from_raw(header >> 2));
                 }
-                TAG_BUSY => std::hint::spin_loop(),
-                _ => unreachable!(),
+                TAG_BUSY => {
+                    spins += 1;
+                    if spins > BUSY_SPIN_LIMIT {
+                        return ClaimResult::Stale;
+                    }
+                    if spins > 64 {
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+                _ => return ClaimResult::Stale,
             }
         }
     }
@@ -451,6 +502,7 @@ mod tests {
                             om.install_forwarding(obj, to, h);
                         }
                         ClaimResult::AlreadyForwarded(_) => {}
+                        ClaimResult::Stale => panic!("a real header is never reported stale"),
                     })
                 })
                 .collect();

@@ -106,13 +106,23 @@ impl Mutator {
                 Err(AllocFailure::OutOfMemory) => {
                     attempts += 1;
                     assert!(
-                        attempts <= 5,
+                        attempts <= 8,
                         "out of memory: allocation of {:?} failed after {} collections (plan {})",
                         shape,
                         attempts - 1,
                         self.runtime.plan.name()
                     );
                     self.trigger_gc_and_wait(GcReason::Exhausted);
+                    // If reclamation is gated on concurrent work — a
+                    // mid-flight SATB trace that must complete before the
+                    // next pause can reclaim cyclic garbage, or lazy
+                    // decrements that free blocks directly — hammering
+                    // back-to-back pauses would keep preempting the crew
+                    // and starve the very work that frees memory.  Give
+                    // the crew a bounded window to drain before retrying.
+                    if attempts >= 2 {
+                        self.wait_for_concurrent_reclamation();
+                    }
                 }
             }
         }
@@ -222,6 +232,29 @@ impl Mutator {
     fn park_for_gc(&mut self) {
         self.plan_mutator.prepare_for_gc();
         self.runtime.rendezvous.safepoint_park();
+    }
+
+    /// Waits (bounded) for the concurrent crew to drain its outstanding
+    /// work, parking for any pause requested meanwhile.  Called from the
+    /// out-of-memory retry path: when the heap is full of cyclic garbage,
+    /// memory comes back only after the crew finishes the trace and the
+    /// next pause reclaims, so retry-triggered pauses must not starve the
+    /// crew.
+    fn wait_for_concurrent_reclamation(&mut self) {
+        if !self.runtime.options.concurrent_thread {
+            return; // no crew: concurrent work would never drain
+        }
+        // Bounded: if the crew cannot drain in this many yields, fall back
+        // to the retry loop's pauses rather than hanging.
+        for _ in 0..100_000 {
+            if !self.runtime.plan.has_concurrent_work() || self.runtime.rendezvous.is_shutdown() {
+                return;
+            }
+            if self.runtime.rendezvous.gc_pending() {
+                self.park_for_gc();
+            }
+            std::thread::yield_now();
+        }
     }
 
     /// Runs `f` with this mutator marked *blocked* (inactive): collections

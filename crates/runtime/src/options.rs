@@ -3,7 +3,7 @@
 use lxr_heap::HeapConfig;
 
 /// Options controlling the runtime: heap size/geometry, the number of
-/// parallel GC workers, and whether a concurrent collector thread is run.
+/// parallel GC workers, and the concurrent collector crew.
 ///
 /// # Example
 ///
@@ -11,9 +11,11 @@ use lxr_heap::HeapConfig;
 /// use lxr_runtime::RuntimeOptions;
 /// let opts = RuntimeOptions::default()
 ///     .with_heap_size(64 << 20)
-///     .with_gc_workers(4);
+///     .with_gc_workers(4)
+///     .with_concurrent_workers(2);
 /// assert_eq!(opts.heap.heap_bytes, 64 << 20);
 /// assert_eq!(opts.gc_workers, 4);
+/// assert_eq!(opts.concurrent_workers, 2);
 /// ```
 #[derive(Debug, Clone)]
 pub struct RuntimeOptions {
@@ -21,9 +23,19 @@ pub struct RuntimeOptions {
     pub heap: HeapConfig,
     /// Number of parallel stop-the-world GC worker threads.
     pub gc_workers: usize,
-    /// Whether the runtime starts a concurrent collector thread (lazy
+    /// Whether the runtime starts concurrent collector threads (lazy
     /// decrements, SATB tracing, concurrent marking for the baselines).
     pub concurrent_thread: bool,
+    /// Size of the concurrent GC crew: how many `gc-concurrent-*` threads
+    /// drive the plan's concurrent work (SATB marking and lazy decrements
+    /// for LXR) while mutators run.  Only takes effect when
+    /// [`concurrent_thread`](Self::concurrent_thread) is set, and is capped
+    /// by the plan's [`max_concurrent_workers`] — plans whose concurrent
+    /// work is single-threaded (the concurrent-copying baselines) always
+    /// run a crew of one.
+    ///
+    /// [`max_concurrent_workers`]: crate::plan::Plan::max_concurrent_workers
+    pub concurrent_workers: usize,
     /// How many allocations between trigger polls on each mutator.
     pub poll_interval_allocs: usize,
 }
@@ -34,6 +46,7 @@ impl Default for RuntimeOptions {
             heap: HeapConfig::default(),
             gc_workers: default_gc_workers(),
             concurrent_thread: true,
+            concurrent_workers: default_concurrent_workers(),
             poll_interval_allocs: 64,
         }
     }
@@ -41,6 +54,13 @@ impl Default for RuntimeOptions {
 
 fn default_gc_workers() -> usize {
     std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(4)
+}
+
+/// Half the hardware threads, clamped to 1..=4: the crew shares the machine
+/// with the mutators, and the paper's measurements use a small number of
+/// concurrent collector threads.
+fn default_concurrent_workers() -> usize {
+    std::thread::available_parallelism().map(|n| (n.get() / 2).clamp(1, 4)).unwrap_or(2)
 }
 
 impl RuntimeOptions {
@@ -62,9 +82,15 @@ impl RuntimeOptions {
         self
     }
 
-    /// Enables or disables the concurrent collector thread.
+    /// Enables or disables the concurrent collector crew.
     pub fn with_concurrent_thread(mut self, enabled: bool) -> Self {
         self.concurrent_thread = enabled;
+        self
+    }
+
+    /// Sets the size of the concurrent GC crew (at least one).
+    pub fn with_concurrent_workers(mut self, workers: usize) -> Self {
+        self.concurrent_workers = workers.max(1);
         self
     }
 
@@ -84,14 +110,16 @@ mod tests {
         let o = RuntimeOptions::default();
         assert!(o.gc_workers >= 1);
         assert!(o.concurrent_thread);
+        assert!((1..=4).contains(&o.concurrent_workers));
         assert_eq!(o.heap.block_bytes, 32 * 1024);
         assert!(o.poll_interval_allocs >= 1);
     }
 
     #[test]
     fn builders_clamp_to_valid_values() {
-        let o = RuntimeOptions::default().with_gc_workers(0).with_poll_interval(0);
+        let o = RuntimeOptions::default().with_gc_workers(0).with_concurrent_workers(0).with_poll_interval(0);
         assert_eq!(o.gc_workers, 1);
+        assert_eq!(o.concurrent_workers, 1);
         assert_eq!(o.poll_interval_allocs, 1);
     }
 }

@@ -158,6 +158,13 @@ impl std::fmt::Debug for Collection<'_> {
 pub type YieldCheck = Arc<dyn Fn() -> bool + Send + Sync>;
 
 /// Context handed to [`Plan::concurrent_work`] while mutators are running.
+///
+/// The runtime invokes `concurrent_work` from a *crew* of concurrent
+/// collector threads; every member of the crew receives the same kind of
+/// context, distinguished by [`worker_id`](Self::worker_id) (LXR uses it
+/// to split the crew between decrement and trace duty).  Plans that run a
+/// crew of one (the default, see [`Plan::max_concurrent_workers`]) can
+/// ignore both fields.
 pub struct ConcurrentWork<'a> {
     /// The parallel worker pool (shared with pauses; concurrent work may
     /// fan out over it, but must drain promptly when a pause is requested).
@@ -167,6 +174,11 @@ pub struct ConcurrentWork<'a> {
     /// Set when a new pause has been requested; long-running concurrent work
     /// should yield promptly when it observes this.
     pub yield_requested: YieldCheck,
+    /// The index of the concurrent crew worker making this call
+    /// (`0..crew_size`).
+    pub worker_id: usize,
+    /// Total number of concurrent crew workers serving this plan.
+    pub crew_size: usize,
 }
 
 impl std::fmt::Debug for ConcurrentWork<'_> {
@@ -203,7 +215,21 @@ pub trait Plan: Send + Sync + 'static {
     }
 
     /// Performs concurrent collection work while mutators run.
+    ///
+    /// Plans that return more than one from
+    /// [`max_concurrent_workers`](Self::max_concurrent_workers) must accept
+    /// concurrent invocations of this method from every crew worker.
     fn concurrent_work(&self, _work: &ConcurrentWork<'_>) {}
+
+    /// The largest concurrent crew this plan can exploit.  The runtime
+    /// spawns `min(options.concurrent_workers, max_concurrent_workers())`
+    /// crew threads.  The default of one preserves the historical contract
+    /// that [`concurrent_work`](Self::concurrent_work) is never entered
+    /// concurrently; plans whose concurrent phase is thread-safe (LXR)
+    /// override this.
+    fn max_concurrent_workers(&self) -> usize {
+        1
+    }
 
     /// The minimum heap size (in bytes) this plan can operate in, if it has
     /// one (ZGC-like refuses very small heaps, mirroring the paper's

@@ -11,6 +11,7 @@
 
 use crate::stats::GcReason;
 use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 #[derive(Debug)]
@@ -35,6 +36,19 @@ struct State {
 #[derive(Debug)]
 pub struct Rendezvous {
     state: Mutex<State>,
+    /// Lock-free mirror of `gc_requested || gc_in_progress`, maintained
+    /// under the state mutex.  [`gc_pending`](Self::gc_pending) is the
+    /// safepoint fast path of every mutator and the yield check of every
+    /// concurrent GC crew worker (polled every few dozen objects), so it
+    /// must not contend on the mutex.
+    ///
+    /// `SeqCst` makes the crew quiescence handshake airtight without the
+    /// mutex: a crew worker publishes itself active (a `SeqCst` RMW on the
+    /// plan's active counter) and *then* reads this flag; the controller
+    /// sets this flag and *then* reads the active counter.  In the seq-cst
+    /// total order one of the two readers must observe the other's write,
+    /// so either the worker backs out or the pause waits for it.
+    pending: AtomicBool,
     /// Mutators wait here for the collection to finish.
     mutators: Condvar,
     /// The controller waits here for requests and for mutators to park.
@@ -60,14 +74,22 @@ impl Rendezvous {
                 completed_collections: 0,
                 shutdown: false,
             }),
+            pending: AtomicBool::new(false),
             mutators: Condvar::new(),
             controller: Condvar::new(),
         }
     }
 
-    /// Registers a new active mutator.
+    /// Registers a new active mutator.  If a collection is pending or in
+    /// progress, registration waits for it to finish first: a thread that
+    /// slipped in after the controller's stop-the-world check would
+    /// otherwise run (and allocate) concurrently with the collection,
+    /// racing the sweep for the very blocks it is bump-allocating into.
     pub fn register_mutator(&self) {
         let mut s = self.state.lock();
+        while s.gc_requested || s.gc_in_progress {
+            self.mutators.wait(&mut s);
+        }
         s.active += 1;
     }
 
@@ -104,16 +126,21 @@ impl Rendezvous {
             return false;
         }
         s.gc_requested = true;
+        self.pending.store(true, Ordering::SeqCst);
         s.reason = reason;
         self.controller.notify_all();
         true
     }
 
     /// Returns `true` if a collection is currently requested or running
-    /// (mutators should park at their next safepoint).
+    /// (mutators should park at their next safepoint, concurrent crew
+    /// workers should flush their local buffers and yield).
+    ///
+    /// This is a single lock-free load — cheap enough for mutator safepoint
+    /// polls and for the crew's per-64-objects yield checks.
+    #[inline]
     pub fn gc_pending(&self) -> bool {
-        let s = self.state.lock();
-        s.gc_requested || s.gc_in_progress
+        self.pending.load(Ordering::SeqCst)
     }
 
     /// Number of collections completed so far.
@@ -166,6 +193,7 @@ impl Rendezvous {
         let mut s = self.state.lock();
         s.gc_in_progress = false;
         s.gc_requested = false;
+        self.pending.store(false, Ordering::SeqCst);
         s.completed_collections += 1;
         self.mutators.notify_all();
     }
@@ -176,6 +204,7 @@ impl Rendezvous {
         s.shutdown = true;
         s.gc_requested = false;
         s.gc_in_progress = false;
+        self.pending.store(false, Ordering::SeqCst);
         self.mutators.notify_all();
         self.controller.notify_all();
     }

@@ -76,7 +76,10 @@ pub struct RuntimeShared {
     global_roots: Arc<Mutex<Vec<ObjectReference>>>,
     next_mutator_id: AtomicUsize,
     run_start: Instant,
-    concurrent_wake: Mutex<bool>,
+    /// Wake epoch for the concurrent crew: bumped on every wake so that one
+    /// `notify_all` releases *every* crew worker exactly once (a consumed
+    /// boolean would release only the first to run).
+    concurrent_wake: Mutex<u64>,
     concurrent_cv: Condvar,
 }
 
@@ -91,20 +94,22 @@ impl std::fmt::Debug for RuntimeShared {
 
 impl RuntimeShared {
     fn wake_concurrent(&self) {
-        let mut pending = self.concurrent_wake.lock();
-        *pending = true;
+        let mut epoch = self.concurrent_wake.lock();
+        *epoch += 1;
         self.concurrent_cv.notify_all();
     }
 
-    fn wait_for_concurrent_wake(&self) -> bool {
-        let mut pending = self.concurrent_wake.lock();
-        while !*pending {
+    /// Parks the calling crew worker until a wake epoch newer than
+    /// `last_seen` is published (or shutdown).  Returns `false` on shutdown.
+    fn wait_for_concurrent_wake(&self, last_seen: &mut u64) -> bool {
+        let mut epoch = self.concurrent_wake.lock();
+        while *epoch == *last_seen {
             if self.rendezvous.is_shutdown() {
                 return false;
             }
-            self.concurrent_cv.wait(&mut pending);
+            self.concurrent_cv.wait(&mut epoch);
         }
-        *pending = false;
+        *last_seen = *epoch;
         !self.rendezvous.is_shutdown()
     }
 }
@@ -189,7 +194,7 @@ impl Runtime {
             global_roots: Arc::new(Mutex::new(Vec::new())),
             next_mutator_id: AtomicUsize::new(0),
             run_start: Instant::now(),
-            concurrent_wake: Mutex::new(false),
+            concurrent_wake: Mutex::new(0),
             concurrent_cv: Condvar::new(),
         });
 
@@ -204,13 +209,19 @@ impl Runtime {
             );
         }
         if shared.options.concurrent_thread {
-            let shared = shared.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name("gc-concurrent".to_string())
-                    .spawn(move || concurrent_loop(shared))
-                    .expect("failed to spawn concurrent GC thread"),
-            );
+            // The concurrent crew: as many workers as the options request,
+            // capped by what the plan's concurrent phase can exploit.
+            let crew_size =
+                shared.options.concurrent_workers.clamp(1, shared.plan.max_concurrent_workers().max(1));
+            for worker_id in 0..crew_size {
+                let shared = shared.clone();
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("gc-concurrent-{worker_id}"))
+                        .spawn(move || concurrent_crew_loop(shared, worker_id, crew_size))
+                        .expect("failed to spawn concurrent GC crew worker"),
+                );
+            }
         }
         let owner = Arc::new(RuntimeOwner { shared: shared.clone(), threads: Mutex::new(threads) });
         Runtime { shared, owner }
@@ -351,9 +362,16 @@ fn controller_loop(shared: Arc<RuntimeShared>) {
     }
 }
 
-fn concurrent_loop(shared: Arc<RuntimeShared>) {
+/// One concurrent crew worker.  All members of the crew sleep on the shared
+/// wake epoch; each wake releases the whole crew, which then drives the
+/// plan's concurrent work collectively (for LXR: popping seeds off the
+/// shared gray/decrement queues into per-worker local buffers and stealing
+/// from each other through those shared queues) until the work is drained
+/// or a pause preempts it.
+fn concurrent_crew_loop(shared: Arc<RuntimeShared>, worker_id: usize, crew_size: usize) {
+    let mut last_wake = 0u64;
     loop {
-        if !shared.wait_for_concurrent_wake() {
+        if !shared.wait_for_concurrent_wake(&mut last_wake) {
             return;
         }
         // Drain all pending concurrent work, yielding to pauses as needed.
@@ -361,7 +379,13 @@ fn concurrent_loop(shared: Arc<RuntimeShared>) {
             let start = Instant::now();
             let rendezvous = shared.rendezvous.clone();
             let yield_requested: crate::plan::YieldCheck = Arc::new(move || rendezvous.gc_pending());
-            let work = ConcurrentWork { workers: &shared.workers, stats: &shared.stats, yield_requested };
+            let work = ConcurrentWork {
+                workers: &shared.workers,
+                stats: &shared.stats,
+                yield_requested,
+                worker_id,
+                crew_size,
+            };
             shared.plan.concurrent_work(&work);
             shared.stats.add_concurrent_time(start.elapsed());
             if shared.rendezvous.gc_pending() {
@@ -369,6 +393,10 @@ fn concurrent_loop(shared: Arc<RuntimeShared>) {
                 // We will be woken again after the pause if work remains.
                 break;
             }
+            // A sibling may hold the only remaining work in its local
+            // buffers; don't spin hot through `has_concurrent_work` while
+            // it finishes.
+            std::thread::yield_now();
         }
     }
 }

@@ -66,11 +66,25 @@ pub struct RunOptions {
     pub seed: u64,
     /// Number of parallel GC worker threads.
     pub gc_workers: usize,
+    /// Size of the concurrent GC crew (SATB marking, lazy decrements).
+    pub concurrent_workers: usize,
+    /// Forced collections after the workload finishes (and after the wall
+    /// time is captured, so timing results are unaffected).  Lets tests
+    /// deterministically complete an in-flight concurrent trace; 0 (the
+    /// default) preserves the pure workload-driven behaviour.
+    pub final_gcs: usize,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
-        RunOptions { heap_factor: 2.0, scale: 1.0, seed: 12345, gc_workers: 4 }
+        RunOptions {
+            heap_factor: 2.0,
+            scale: 1.0,
+            seed: 12345,
+            gc_workers: 4,
+            concurrent_workers: 2,
+            final_gcs: 0,
+        }
     }
 }
 
@@ -84,6 +98,18 @@ impl RunOptions {
     /// Sets the workload scale.
     pub fn with_scale(mut self, s: f64) -> Self {
         self.scale = s;
+        self
+    }
+
+    /// Sets the concurrent GC crew size.
+    pub fn with_concurrent_workers(mut self, workers: usize) -> Self {
+        self.concurrent_workers = workers.max(1);
+        self
+    }
+
+    /// Sets the number of forced end-of-run collections.
+    pub fn with_final_gcs(mut self, n: usize) -> Self {
+        self.final_gcs = n;
         self
     }
 }
@@ -113,6 +139,7 @@ pub fn run_workload(spec: &BenchmarkSpec, collector: &str, options: &RunOptions)
     let runtime_options = RuntimeOptions::default()
         .with_heap_size(heap_bytes)
         .with_gc_workers(options.gc_workers)
+        .with_concurrent_workers(options.concurrent_workers)
         .with_poll_interval(64);
     let runtime = Runtime::with_factory(runtime_options, plan_registry(collector));
 
@@ -123,6 +150,9 @@ pub fn run_workload(spec: &BenchmarkSpec, collector: &str, options: &RunOptions)
         run_throughput(&runtime, spec, options)
     };
     let wall_time = start.elapsed();
+    for _ in 0..options.final_gcs {
+        runtime.request_gc_and_wait();
+    }
     let gc = runtime.stats().snapshot();
     runtime.shutdown();
 
@@ -230,15 +260,126 @@ fn throughput_thread(
     allocated
 }
 
+/// Out-edges per social-graph hub: the wide fanout that defeats a shallow
+/// trace.
+const SG_FANOUT: usize = 32;
+/// Hubs per cluster (a "community"): edges stay inside the cluster, so a
+/// retired cluster is a self-contained, mutually cyclic neighbourhood.
+const SG_CLUSTER: usize = 16;
+
+/// One mutator thread's slice of the social-graph-churn workload: a table
+/// of wide-fanout *hub* objects grouped into clusters, densely wired
+/// within each cluster (back-edges and cycles are the norm), continuously
+/// rewired, with young churn attaching survivors into the graph.
+/// Periodically a whole cluster is retired — its table slots are
+/// overwritten with a fresh generation — dropping a mutually cyclic
+/// neighbourhood at once.  Retired neighbourhoods keep each other's counts
+/// up, so they are exactly the garbage RC cannot touch: reclaiming them is
+/// the backup trace's job, and on this workload time-to-reclaim tracks
+/// concurrent-mark throughput.
+fn social_graph_thread(
+    runtime: Runtime,
+    spec: BenchmarkSpec,
+    options: RunOptions,
+    thread_index: usize,
+    target_bytes: usize,
+) -> usize {
+    let mut mutator = runtime.bind_mutator();
+    let mut rng = StdRng::seed_from_u64(options.seed ^ (thread_index as u64) << 32 ^ 0x50C1A1);
+    let mut allocated = 0usize;
+
+    // Size the cluster population so the live graph fills about half this
+    // thread's share of the minimum heap.
+    let live_budget_words = (spec.min_heap_mb << 20) / 8 / 2 / spec.mutator_threads;
+    let hub_words = 1 + SG_FANOUT + 4;
+    let num_clusters = (live_budget_words / (SG_CLUSTER * hub_words)).clamp(4, 256);
+    let num_hubs = num_clusters * SG_CLUSTER;
+    let table_root = {
+        let table = mutator.alloc(num_hubs as u16, 0, 0);
+        mutator.push_root(table)
+    };
+
+    // (Re)builds one cluster: a fresh generation of hubs, each wired to a
+    // random half-fanout of its siblings.  Overwriting the table slots
+    // drops the previous generation — a cyclic neighbourhood dies whole.
+    let build_cluster =
+        |mutator: &mut lxr_runtime::Mutator, rng: &mut StdRng, cluster: usize, allocated: &mut usize| {
+            for j in 0..SG_CLUSTER {
+                let hub = mutator.alloc(SG_FANOUT as u16, 4, 1);
+                mutator.write_data(hub, 0, (cluster * SG_CLUSTER + j) as u64);
+                *allocated += ObjectShape::new(SG_FANOUT as u16, 4, 1).size_words() * 8;
+                let table = mutator.root(table_root);
+                mutator.write_ref(table, cluster * SG_CLUSTER + j, hub);
+            }
+            for j in 0..SG_CLUSTER {
+                let table = mutator.root(table_root);
+                let hub = mutator.read_ref(table, cluster * SG_CLUSTER + j);
+                for k in 0..SG_FANOUT / 2 {
+                    let sibling = cluster * SG_CLUSTER + rng.gen_range(0..SG_CLUSTER);
+                    let other = mutator.read_ref(table, sibling);
+                    mutator.write_ref(hub, k, other);
+                }
+            }
+        };
+    for c in 0..num_clusters {
+        build_cluster(&mut mutator, &mut rng, c, &mut allocated);
+    }
+
+    while allocated < target_bytes {
+        // Young churn: a post/message node.
+        let data = (spec.mean_object_words.max(4) - 3) as u16;
+        let node = mutator.alloc(2, data, 2);
+        mutator.write_data(node, 0, allocated as u64);
+        allocated += ObjectShape::new(2, data, 2).size_words() * 8;
+
+        let table = mutator.root(table_root);
+        if rng.gen_bool(spec.survival_rate.clamp(0.0, 1.0)) {
+            // The node survives: attach it under a random hub (evicting,
+            // and thereby killing, the previous occupant) and link it back
+            // to its hub — a young-to-mature cycle once it is retained.
+            let hub = mutator.read_ref(table, rng.gen_range(0..num_hubs));
+            mutator.write_ref(node, 0, hub);
+            mutator.write_ref(hub, SG_FANOUT / 2 + rng.gen_range(0..SG_FANOUT / 2), node);
+        }
+        if rng.gen_bool(spec.pointer_churn) {
+            // Rewire a mature hub-to-hub edge within a cluster (follower
+            // churn).
+            let c = rng.gen_range(0..num_clusters);
+            let a = mutator.read_ref(table, c * SG_CLUSTER + rng.gen_range(0..SG_CLUSTER));
+            let b = mutator.read_ref(table, c * SG_CLUSTER + rng.gen_range(0..SG_CLUSTER));
+            mutator.write_ref(a, rng.gen_range(0..SG_FANOUT / 2), b);
+        }
+        // Roughly every 128 KB of churn, retire one whole cluster: its
+        // hubs (plus their attached survivors) become unreachable but keep
+        // each other's reference counts up — cyclic mature garbage only
+        // the trace reclaims.  The cadence keeps the equilibrium volume of
+        // floating cyclic garbage around a quarter of the churn rate:
+        // enough to make the backup trace the reclamation bottleneck,
+        // without demanding more than a trace per handful of epochs.
+        if allocated % (128 << 10) < 64 {
+            let c = rng.gen_range(0..num_clusters);
+            build_cluster(&mut mutator, &mut rng, c, &mut allocated);
+        }
+    }
+    allocated
+}
+
 fn run_throughput(runtime: &Runtime, spec: &BenchmarkSpec, options: &RunOptions) -> (usize, Vec<Duration>) {
     let total_bytes = ((spec.total_alloc_mb as f64) * options.scale * 1024.0 * 1024.0) as usize;
     let per_thread = total_bytes / spec.mutator_threads;
+    let social = spec.social_graph;
     let threads: Vec<_> = (0..spec.mutator_threads)
         .map(|t| {
             let runtime = runtime.clone();
             let spec = spec.clone();
             let options = options.clone();
-            std::thread::spawn(move || throughput_thread(runtime, spec, options, t, per_thread))
+            std::thread::spawn(move || {
+                if social {
+                    social_graph_thread(runtime, spec, options, t, per_thread)
+                } else {
+                    throughput_thread(runtime, spec, options, t, per_thread)
+                }
+            })
         })
         .collect();
     let allocated = threads.into_iter().map(|t| t.join().expect("mutator thread panicked")).sum();

@@ -20,7 +20,9 @@ pub mod engine;
 pub mod spec;
 
 pub use engine::{run_workload, RunOptions, WorkloadResult};
-pub use spec::{benchmark, latency_suite, suite, BenchmarkSpec, LatencySpec};
+pub use spec::{
+    benchmark, extended_suite, latency_suite, social_graph_churn, suite, BenchmarkSpec, LatencySpec,
+};
 
 #[cfg(test)]
 mod tests {
@@ -52,6 +54,33 @@ mod tests {
         let result =
             run_workload(&spec, "zgc", &RunOptions::default().with_heap_factor(1.3).with_scale(0.05));
         assert!(result.skipped, "ZGC cannot run lusearch in a 1.3x heap");
+    }
+
+    #[test]
+    fn social_graph_churn_is_reclaimed_by_the_backup_trace() {
+        // Mostly-cyclic mature garbage: without the trace reclaiming
+        // retired hub neighbourhoods, the run would exhaust the heap.  The
+        // eager-trigger LXR variant makes the trace lifecycle deterministic
+        // (a single-core CI host gives the crew little concurrent CPU; the
+        // pause catch-up slice guarantees convergence regardless).
+        let spec = benchmark("socialgraph").unwrap();
+        let result = run_workload(
+            &spec,
+            "lxr-eager",
+            &RunOptions::default()
+                .with_heap_factor(2.5)
+                .with_scale(0.5)
+                .with_concurrent_workers(2)
+                .with_final_gcs(4),
+        );
+        assert!(!result.skipped);
+        assert!(result.allocated_bytes > 24 << 20, "the workload churned through its allocation budget");
+        assert!(result.gc.pause_count() > 0);
+        assert!(
+            result.gc.counter(lxr_runtime::WorkCounter::SatbDeaths) > 1000,
+            "cyclic hub neighbourhoods were reclaimed by the backup trace (got {})",
+            result.gc.counter(lxr_runtime::WorkCounter::SatbDeaths)
+        );
     }
 
     #[test]

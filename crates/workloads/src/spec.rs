@@ -48,6 +48,12 @@ pub struct BenchmarkSpec {
     /// Whether the workload keeps a long live singly-linked list and
     /// traverses it (avrora's tracing-hostile structure, §5.2).
     pub linked_list_stress: bool,
+    /// Whether the workload maintains a wide-fanout, highly connected
+    /// mature object graph with continuous edge churn and hub retirement
+    /// (the "social graph churn" scenario): dense mature-to-mature
+    /// connectivity and cyclic garbage make the concurrent backup trace,
+    /// not the RC pauses, the reclamation bottleneck.
+    pub social_graph: bool,
     /// Number of mutator threads.
     pub mutator_threads: usize,
     /// Request/latency behaviour for the latency-critical workloads.
@@ -85,6 +91,7 @@ pub fn suite() -> Vec<BenchmarkSpec> {
             survival_rate,
             pointer_churn: 0.2,
             linked_list_stress: false,
+            social_graph: false,
             mutator_threads: 4,
             latency: None,
         }
@@ -147,9 +154,43 @@ pub fn suite() -> Vec<BenchmarkSpec> {
     suite
 }
 
-/// Looks up a benchmark by name.
+/// The wide-fanout "social graph churn" workload: a dense, continuously
+/// rewired mature object graph (hub nodes with dozens of out-edges, random
+/// hub-to-hub links, periodic hub retirement) on top of a steady young
+/// churn.  Most garbage is *cyclic mature* garbage — retired hub
+/// neighbourhoods full of back-edges — which reference counting cannot
+/// recover, so time-to-reclaim is bounded by the concurrent backup trace:
+/// exactly the scenario the parallel concurrent-mark crew exists for.
+///
+/// Not part of the paper's 17-benchmark suite ([`suite`]); exposed through
+/// [`extended_suite`] and [`benchmark`] for scenario diversity.
+pub fn social_graph_churn() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "socialgraph",
+        min_heap_mb: 12,
+        total_alloc_mb: 96,
+        mean_object_words: 8,
+        large_fraction: 0.0,
+        survival_rate: 0.25,
+        pointer_churn: 0.5,
+        linked_list_stress: false,
+        social_graph: true,
+        mutator_threads: 4,
+        latency: None,
+    }
+}
+
+/// The paper suite plus the scenario-diversity extras (currently
+/// [`social_graph_churn`]).
+pub fn extended_suite() -> Vec<BenchmarkSpec> {
+    let mut all = suite();
+    all.push(social_graph_churn());
+    all
+}
+
+/// Looks up a benchmark by name (searches the extended suite).
 pub fn benchmark(name: &str) -> Option<BenchmarkSpec> {
-    suite().into_iter().find(|b| b.name == name)
+    extended_suite().into_iter().find(|b| b.name == name)
 }
 
 /// The four latency-critical benchmarks.
@@ -177,6 +218,16 @@ mod tests {
         assert_eq!(benchmark("lusearch").unwrap().min_heap_mb, 4);
         assert!(benchmark("avrora").unwrap().linked_list_stress);
         assert!(benchmark("nope").is_none());
+    }
+
+    #[test]
+    fn extended_suite_adds_social_graph_churn() {
+        assert_eq!(extended_suite().len(), suite().len() + 1);
+        let sg = benchmark("socialgraph").unwrap();
+        assert!(sg.social_graph);
+        assert!(!sg.is_latency_critical());
+        assert!(sg.pointer_churn >= 0.5, "dense mature rewiring is the point of the scenario");
+        assert!(!suite().iter().any(|b| b.name == "socialgraph"), "the paper suite stays at 17");
     }
 
     #[test]

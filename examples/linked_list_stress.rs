@@ -5,16 +5,27 @@
 //! collectors.
 //!
 //! ```text
-//! cargo run --release --example linked_list_stress
+//! cargo run --release --example linked_list_stress [collector ...]
 //! ```
+//!
+//! With no arguments the default collector set is compared; naming
+//! collectors restricts the run (CI smokes `lxr` alone with the concurrent
+//! crew enabled: `cargo run --release --example linked_list_stress -- lxr`).
 
 use lxr::workloads::{benchmark, run_workload, RunOptions};
 
 fn main() {
+    let requested: Vec<String> = std::env::args().skip(1).collect();
+    let default_collectors = ["lxr", "g1", "shenandoah", "parallel"];
+    let collectors: Vec<&str> = if requested.is_empty() {
+        default_collectors.to_vec()
+    } else {
+        requested.iter().map(String::as_str).collect()
+    };
     let spec = benchmark("avrora").expect("avrora is part of the suite");
     println!("avrora-like workload (live singly-linked list + churn), 2x heap");
     println!("{:<12} {:>9} {:>8} {:>10} {:>14}", "collector", "time ms", "pauses", "p95 ms", "GC busy ms");
-    for collector in ["lxr", "g1", "shenandoah", "parallel"] {
+    for collector in collectors {
         let result = run_workload(&spec, collector, &RunOptions::default());
         let gc_busy = result.gc.stw_gc_time + result.gc.concurrent_gc_time;
         println!(
