@@ -23,6 +23,7 @@ use crate::{BarrierSink, BarrierStats};
 use lxr_heap::{Address, HeapSpace, SideMetadata};
 use lxr_object::ObjectReference;
 use lxr_rc::buffers::DEFAULT_CHUNK_SIZE;
+use lxr_rc::Stamped;
 use std::sync::Arc;
 
 /// The per-field log state.
@@ -111,6 +112,15 @@ impl FieldLogTable {
         self.states.fill_all(FieldLogState::Unlogged as u8);
     }
 
+    /// Marks every field in the word range `[start, start + words)` as
+    /// requiring logging, with wide stores (32 fields per word written).
+    /// Used for objects that are *born old* (large objects in a
+    /// generational plan): their writes must feed the remembered set from
+    /// the first mutation, even though no trace has visited them yet.
+    pub fn arm_range(&self, start: Address, words: usize) {
+        self.states.fill_range(start, words, FieldLogState::Unlogged as u8);
+    }
+
     /// Resets every field in the word range `[start, start + words)` to
     /// `Ignored` with wide stores (32 fields per word written).  Called when
     /// reclaimed memory is recycled — previously a CAS loop per heap word,
@@ -161,15 +171,15 @@ impl FieldLogTable {
 /// SATB trace is active, so marking of the snapshot edges starts as soon as
 /// a mutator chunk fills instead of waiting for the next pause to drain the
 /// sink.
-pub type DecChunkHook = Arc<dyn Fn(&[ObjectReference]) + Send + Sync>;
+pub type DecChunkHook = Arc<dyn Fn(&[Stamped<ObjectReference>]) + Send + Sync>;
 
 pub struct FieldLoggingBarrier {
     space: Arc<HeapSpace>,
     table: Arc<FieldLogTable>,
     sink: Arc<BarrierSink>,
     stats: Arc<BarrierStats>,
-    dec_chunk: Vec<ObjectReference>,
-    mod_chunk: Vec<Address>,
+    dec_chunk: Vec<Stamped<ObjectReference>>,
+    mod_chunk: Vec<Stamped<Address>>,
     /// Observes published decrement chunks (see [`DecChunkHook`]).
     dec_chunk_hook: Option<DecChunkHook>,
     /// Local counters, folded into `stats` on flush to keep the fast path
@@ -231,6 +241,16 @@ impl FieldLoggingBarrier {
         self.space.store_release(slot, value.to_raw());
     }
 
+    /// The reuse epoch `addr`'s line carries right now — the stamp carried
+    /// by captures targeting it.  Out-of-heap values (a stale slot re-read
+    /// as a pointer) get a zero stamp; the application sites drop them on
+    /// their in-heap check before ever consulting the epoch.
+    #[inline]
+    fn stamp<T>(&self, addr: Address, value: T) -> Stamped<T> {
+        let epoch = if self.space.contains(addr) { self.space.reuse_epoch(addr) } else { 0 };
+        Stamped::new(value, epoch)
+    }
+
     #[cold]
     fn log_slow(&mut self, slot: Address) {
         loop {
@@ -241,9 +261,9 @@ impl FieldLoggingBarrier {
                     if self.table.try_begin_log(slot) {
                         let old = ObjectReference::from_raw(self.space.load_acquire(slot));
                         if !old.is_null() {
-                            self.dec_chunk.push(old);
+                            self.dec_chunk.push(self.stamp(old.to_address(), old));
                         }
-                        self.mod_chunk.push(slot);
+                        self.mod_chunk.push(self.stamp(slot, slot));
                         self.table.finish_log(slot);
                         self.local_slow += 1;
                         if self.dec_chunk.len() >= self.chunk_size || self.mod_chunk.len() >= self.chunk_size
@@ -354,8 +374,8 @@ mod tests {
         b.write(slot, new2);
         b.flush();
 
-        let decs: Vec<_> = f.sink.decrements.drain().into_iter().flatten().collect();
-        let mods: Vec<_> = f.sink.modified_fields.drain().into_iter().flatten().collect();
+        let decs: Vec<_> = f.sink.decrements.drain().into_iter().flatten().map(|d| d.value).collect();
+        let mods: Vec<_> = f.sink.modified_fields.drain().into_iter().flatten().map(|s| s.value).collect();
         assert_eq!(decs, vec![old], "only the epoch-initial referent is captured");
         assert_eq!(mods, vec![slot], "the field is logged exactly once");
         assert_eq!(f.om.read_slot(slot), new2);
@@ -392,7 +412,7 @@ mod tests {
         f.table.mark_unlogged(slot);
         b.write(slot, v2);
         b.flush();
-        let decs: Vec<_> = f.sink.decrements.drain().into_iter().flatten().collect();
+        let decs: Vec<_> = f.sink.decrements.drain().into_iter().flatten().map(|d| d.value).collect();
         assert_eq!(decs, vec![v1], "the second epoch captures the value installed in the first");
         assert_eq!(f.stats.snapshot().slow_path_logs, 2);
     }
@@ -421,8 +441,8 @@ mod tests {
         for t in threads {
             t.join().unwrap();
         }
-        let decs: Vec<_> = f.sink.decrements.drain().into_iter().flatten().collect();
-        let mods: Vec<_> = f.sink.modified_fields.drain().into_iter().flatten().collect();
+        let decs: Vec<_> = f.sink.decrements.drain().into_iter().flatten().map(|d| d.value).collect();
+        let mods: Vec<_> = f.sink.modified_fields.drain().into_iter().flatten().map(|s| s.value).collect();
         assert_eq!(decs, vec![old], "the old value is captured exactly once");
         assert_eq!(mods, vec![slot]);
         assert_eq!(f.stats.snapshot().ref_writes, 400);

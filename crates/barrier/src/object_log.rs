@@ -15,6 +15,7 @@ use crate::{BarrierSink, BarrierStats};
 use lxr_heap::{Address, HeapSpace, SideMetadata, GRANULE_WORDS};
 use lxr_object::{ObjectModel, ObjectReference};
 use lxr_rc::buffers::DEFAULT_CHUNK_SIZE;
+use lxr_rc::Stamped;
 use std::sync::Arc;
 
 const STATE_IGNORED: u8 = 0;
@@ -65,8 +66,8 @@ pub struct ObjectLoggingBarrier {
     table: Arc<ObjectLogTable>,
     sink: Arc<BarrierSink>,
     stats: Arc<BarrierStats>,
-    dec_chunk: Vec<ObjectReference>,
-    mod_chunk: Vec<Address>,
+    dec_chunk: Vec<Stamped<ObjectReference>>,
+    mod_chunk: Vec<Stamped<Address>>,
     local_writes: u64,
     local_slow: u64,
 }
@@ -122,11 +123,19 @@ impl ObjectLoggingBarrier {
                 STATE_BUSY => std::hint::spin_loop(),
                 _ => {
                     if self.table.try_begin(src) {
+                        let space = self.om.space().clone();
+                        let stamp = |addr: Address| {
+                            if space.contains(addr) {
+                                space.reuse_epoch(addr)
+                            } else {
+                                0
+                            }
+                        };
                         self.om.scan_refs(src, |slot, old| {
                             if !old.is_null() {
-                                self.dec_chunk.push(old);
+                                self.dec_chunk.push(Stamped::new(old, stamp(old.to_address())));
                             }
-                            self.mod_chunk.push(slot);
+                            self.mod_chunk.push(Stamped::new(slot, stamp(slot)));
                         });
                         self.table.finish(src);
                         self.local_slow += 1;
@@ -184,7 +193,7 @@ mod tests {
         barrier.write(obj, 0, c); // second write: fast path
         barrier.flush();
 
-        let decs: Vec<_> = sink.decrements.drain().into_iter().flatten().collect();
+        let decs: Vec<_> = sink.decrements.drain().into_iter().flatten().map(|d| d.value).collect();
         let mods: Vec<_> = sink.modified_fields.drain().into_iter().flatten().collect();
         assert_eq!(decs, vec![a, b], "all pre-existing referents are captured");
         assert_eq!(mods.len(), 3, "every field address is remembered");

@@ -2,7 +2,7 @@
 
 use lxr_heap::Address;
 use lxr_object::ObjectReference;
-use lxr_rc::SharedBuffer;
+use lxr_rc::{SharedBuffer, Stamped};
 
 /// Where mutator write barriers publish their per-thread chunks:
 ///
@@ -10,12 +10,17 @@ use lxr_rc::SharedBuffer;
 ///   snapshot seed),
 /// * `modified_fields` — addresses of logged fields (future increments and
 ///   remembered-set discovery).
+///
+/// Every entry is [`Stamped`] with its target line's reuse epoch at capture
+/// time; the collector validates the stamp with one metadata load before
+/// applying the entry, so captures whose line was reclaimed and reused in
+/// the meantime are dropped as provably stale.
 #[derive(Debug, Default)]
 pub struct BarrierSink {
     /// Overwritten referents captured by the barrier.
-    pub decrements: SharedBuffer<ObjectReference>,
+    pub decrements: SharedBuffer<Stamped<ObjectReference>>,
     /// Addresses of fields logged by the barrier.
-    pub modified_fields: SharedBuffer<Address>,
+    pub modified_fields: SharedBuffer<Stamped<Address>>,
 }
 
 impl BarrierSink {
@@ -38,10 +43,10 @@ mod tests {
     fn starts_empty_and_tracks_both_buffers() {
         let sink = BarrierSink::new();
         assert!(sink.is_empty());
-        sink.decrements.push_chunk(vec![ObjectReference::from_raw(8)]);
+        sink.decrements.push_chunk(vec![Stamped::new(ObjectReference::from_raw(8), 0)]);
         assert!(!sink.is_empty());
         sink.decrements.drain();
-        sink.modified_fields.push_chunk(vec![Address::from_word_index(9)]);
+        sink.modified_fields.push_chunk(vec![Stamped::new(Address::from_word_index(9), 0)]);
         assert!(!sink.is_empty());
         sink.modified_fields.drain();
         assert!(sink.is_empty());

@@ -60,6 +60,13 @@ impl LineMarks {
     pub fn clear(&self) {
         self.table.clear_all();
     }
+
+    /// Clears the marks of `lines` consecutive lines starting at
+    /// `first_line` (one wide store per 64 lines).  Called when a block is
+    /// released so stale line marks cannot leak into its next life.
+    pub fn clear_range(&self, first_line: Line, lines: usize) {
+        self.table.clear_range(self.addr(first_line), lines << self.log_words_per_line);
+    }
 }
 
 impl LineOccupancy for LineMarks {
@@ -186,6 +193,27 @@ impl TraceState {
         self.live_words.store(0, Ordering::Relaxed);
     }
 
+    /// Releases a completely free (or fully evacuated) block: clears its
+    /// granule marks and line marks so stale mark state cannot leak into
+    /// the block's next life, advances its lines' reuse epochs so captured
+    /// references into it (stamped barrier entries) are provably stale, and
+    /// returns it to the global free list.
+    ///
+    /// This was the seed's missing invalidation: blocks released by the
+    /// baselines kept their mark bits and field-log states, so a block's
+    /// next life inherited phantom marks and Unlogged fields — the source
+    /// of the g1/shenandoah deep-list corruption (bogus captures on fresh
+    /// objects feeding stale slots into later traces).  Field-log state is
+    /// plan-owned, so plans clear it via the `on_release` hook of
+    /// [`sweep_with`](Self::sweep_with) or at their own release sites.
+    pub fn release_free_block(&self, block: lxr_heap::Block) {
+        let start = self.geometry.block_start(block);
+        self.marks.clear_range(start, self.geometry.words_per_block());
+        self.line_marks.clear_range(self.geometry.first_line_of(block), self.geometry.lines_per_block());
+        self.space.bump_block_reuse(block);
+        self.blocks.release_free_block(block);
+    }
+
     /// Runs a parallel transitive closure from the collection's roots,
     /// marking objects and lines and (optionally) copying live objects.
     /// Root slots are updated in place when their referents move.
@@ -251,6 +279,17 @@ impl TraceState {
     /// reuse.  Unmarked large objects are freed.  Returns the number of
     /// blocks released.
     pub fn sweep(&self, stats: &lxr_runtime::GcStats) -> usize {
+        self.sweep_with(stats, |_| {})
+    }
+
+    /// Like [`sweep`](Self::sweep), with `on_release` invoked for every
+    /// block released to the free list — plans hang their own metadata
+    /// invalidation (field-log clears) off it.
+    pub fn sweep_with(
+        &self,
+        stats: &lxr_runtime::GcStats,
+        mut on_release: impl FnMut(lxr_heap::Block),
+    ) -> usize {
         let mut freed = 0;
         for (block, block_state) in self.space.block_states().iter() {
             if block.index() == 0 || matches!(block_state, BlockState::Free | BlockState::Los) {
@@ -281,14 +320,31 @@ impl TraceState {
                     // rather than also releasing it to the clean list.
                     continue;
                 }
-                self.space.bump_block_reuse(block);
-                self.blocks.release_free_block(block);
+                self.release_free_block(block);
+                on_release(block);
                 stats.add(WorkCounter::MatureBlocksFreed, 1);
                 freed += 1;
             }
         }
-        for (addr, _meta) in self.los.snapshot() {
+        for (addr, meta) in self.los.snapshot() {
             if !self.is_marked(ObjectReference::from_address(addr)) {
+                // Clear the run's mark and line-mark metadata and let the
+                // plan clear its field-log state (`on_release`, once per
+                // block of the run): a freed LOS run whose fields were
+                // armed at allocation must not hand its next life
+                // pre-Unlogged fields — those produce bogus captures whose
+                // reuse-epoch stamps are *current* (the capture postdates
+                // the reuse), the one leak the epoch check cannot catch.
+                let start = self.geometry.block_start(meta.first_block);
+                let words = meta.num_blocks * self.geometry.words_per_block();
+                self.marks.clear_range(start, words);
+                self.line_marks.clear_range(
+                    self.geometry.first_line_of(meta.first_block),
+                    meta.num_blocks * self.geometry.lines_per_block(),
+                );
+                for i in 0..meta.num_blocks {
+                    on_release(lxr_heap::Block::from_index(meta.first_block.index() + i));
+                }
                 self.los.free(addr);
                 stats.add(WorkCounter::LargeObjectsFreed, 1);
             }

@@ -227,7 +227,11 @@ impl ConcurrentCopyPlan {
         // copies are unreachable afterwards and their blocks are swept.
         state.trace.clear_marks();
         state.trace.trace(collection.workers, collection, None);
-        state.trace.sweep(collection.stats);
+        let log_table = state.log_table.clone();
+        let geometry = state.trace.geometry;
+        state.trace.sweep_with(collection.stats, |block| {
+            log_table.clear_range(geometry.block_start(block), geometry.words_per_block());
+        });
         for (block, s) in state.trace.space.block_states().iter() {
             if s == BlockState::EvacCandidate {
                 state.trace.space.block_states().set(block, BlockState::Mature);
@@ -332,6 +336,17 @@ impl Plan for ConcurrentCopyPlan {
             PHASE_IDLE => {
                 collection.attrs.set_kind("init-mark");
                 collection.attrs.set_started_satb();
+                // The line marks double as the allocators' free-line oracle
+                // for partially free blocks, and marking is about to clear
+                // them: a recycled block handed out mid-marking would look
+                // *entirely* free, and the allocator would install — and
+                // zero — line runs that still hold live objects (the
+                // deep-list truncation).  Pull every queued block out of
+                // circulation until final-mark restores fresh marks.
+                while let Some(block) = state.trace.blocks.acquire_recycled_block() {
+                    state.trace.space.block_states().set(block, BlockState::Mature);
+                }
+                state.trace.queued_for_reuse.lock().clear();
                 state.trace.clear_marks();
                 state.log_table.arm_all();
                 for root in collection.roots.collect_roots() {
@@ -342,10 +357,27 @@ impl Plan for ConcurrentCopyPlan {
             }
             PHASE_MARKING => {
                 // Feed the snapshot edges captured by the write barrier.
+                // Each capture's reuse-epoch stamp is validated first: the
+                // barrier buffers span cleanup pauses, so an entry can
+                // outlive the block its referent lived in (released with
+                // the collection set, reused by fresh allocation).  Feeding
+                // such an entry let the marker scan whatever now occupies
+                // the granule — a non-header word whose bogus shape drove
+                // out-of-bounds line marking and slot scans (the
+                // deep-list corruption this plan shared with g1).
                 let mut fed = false;
                 for chunk in state.sink.decrements.drain() {
-                    for obj in chunk {
-                        if !obj.is_null() && !state.trace.is_marked(obj) {
+                    for dec in chunk {
+                        let obj = dec.value;
+                        if obj.is_null() || !state.trace.space.contains(obj.to_address()) {
+                            continue;
+                        }
+                        if state.trace.space.reuse_epoch(obj.to_address()) != dec.epoch {
+                            collection.stats.add(WorkCounter::EpochStaleDrops, 1);
+                            continue;
+                        }
+                        collection.stats.add(WorkCounter::EpochChecksPassed, 1);
+                        if !state.trace.is_marked(obj) {
                             state.gray.push(obj);
                             fed = true;
                         }
@@ -379,6 +411,35 @@ impl Plan for ConcurrentCopyPlan {
                             .block_states()
                             .set(lxr_heap::Block::from_index(*idx), BlockState::EvacCandidate);
                     }
+                    // The fresh marks are a sound liveness bound for every
+                    // block (snapshot-reachable objects were traced, cycle
+                    // allocations marked at allocation), so this pause can
+                    // reclaim *immediate garbage* — blocks with no marked
+                    // line — outright, and return partially free non-cset
+                    // blocks to the recycled queue that init-mark drained
+                    // (mutators are parked, so no allocator owns a region
+                    // in any of them).
+                    let log_table = state.log_table.clone();
+                    for (block, s) in state.trace.space.block_states().iter() {
+                        if !matches!(s, BlockState::Mature | BlockState::Young) {
+                            continue;
+                        }
+                        let live = state
+                            .trace
+                            .line_marks
+                            .count_marked(geometry.first_line_of(block), geometry.lines_per_block());
+                        if live == 0 {
+                            state.trace.release_free_block(block);
+                            log_table.clear_range(geometry.block_start(block), geometry.words_per_block());
+                            collection.stats.add(WorkCounter::MatureBlocksFreed, 1);
+                        } else if live < geometry.lines_per_block()
+                            && state.trace.queued_for_reuse.lock().insert(block.index())
+                        {
+                            state.trace.space.block_states().set(block, BlockState::Mature);
+                            state.trace.blocks.release_recycled_block(block);
+                            collection.stats.add(WorkCounter::BlocksRecycled, 1);
+                        }
+                    }
                     state
                         .live_blocks_estimate
                         .store(total - state.trace.blocks.free_block_count(), Ordering::Relaxed);
@@ -400,13 +461,20 @@ impl Plan for ConcurrentCopyPlan {
                     // Heal the roots, reclaim the collection set.
                     collection.roots.visit_roots(|r| *r = state.om.resolve(*r));
                     let failed = state.evac_failed.load(Ordering::Acquire);
+                    let geometry = state.trace.geometry;
                     for (block, s) in state.trace.space.block_states().iter() {
                         if s == BlockState::EvacCandidate {
                             if failed {
                                 state.trace.space.block_states().set(block, BlockState::Mature);
                             } else {
-                                state.trace.space.bump_block_reuse(block);
-                                state.trace.blocks.release_free_block(block);
+                                // Releasing clears the block's mark/line-mark
+                                // metadata and advances its reuse epochs;
+                                // the log states of its slots are cleared
+                                // here so its next life starts Ignored.
+                                state.trace.release_free_block(block);
+                                state
+                                    .log_table
+                                    .clear_range(geometry.block_start(block), geometry.words_per_block());
                                 collection.stats.add(WorkCounter::MatureBlocksFreed, 1);
                             }
                         }

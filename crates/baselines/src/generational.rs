@@ -96,13 +96,24 @@ impl GenerationalPlan {
             }
         }
         // Remembered set: fields of old objects written since the last
-        // collection (captured by the write barrier).  Each is re-armed so
-        // next epoch's writes are captured again.
+        // collection (captured by the write barrier).  Each entry's
+        // reuse-epoch stamp is validated first: a stale slot — its line
+        // released and reallocated since the barrier logged it — now
+        // belongs to an unrelated object, and seeding the young trace with
+        // it would heal a forwarded pointer straight into that object's
+        // words (the deep-list corruption: clobbered headers re-read as
+        // forwarding tag 3, out-of-bounds shapes, spurious OOM).  Valid
+        // slots are re-armed so next epoch's writes are captured again.
         let mut remset_slots = Vec::new();
         for chunk in self.sink.modified_fields.drain() {
             for slot in chunk {
-                self.log_table.mark_unlogged(slot);
-                remset_slots.push(slot);
+                if self.state.space.reuse_epoch(slot.value) != slot.epoch {
+                    collection.stats.add(WorkCounter::EpochStaleDrops, 1);
+                    continue;
+                }
+                collection.stats.add(WorkCounter::EpochChecksPassed, 1);
+                self.log_table.mark_unlogged(slot.value);
+                remset_slots.push(slot.value);
             }
         }
         self.sink.decrements.drain();
@@ -123,14 +134,20 @@ impl GenerationalPlan {
         let _ = copied_before;
 
         // Candidate blocks whose every live object was copied out are free.
+        // Releasing also clears the block's mark and field-log metadata and
+        // advances its reuse epochs, so the next generational cycle cannot
+        // inherit phantom line marks or Unlogged fields from this one.
         for block in candidates {
             let fully_evacuated = self.state.line_marks.count_marked(
                 self.state.geometry.first_line_of(block),
                 self.state.geometry.lines_per_block(),
             ) == 0;
             if fully_evacuated {
-                self.state.space.bump_block_reuse(block);
-                self.state.blocks.release_free_block(block);
+                self.state.release_free_block(block);
+                self.log_table.clear_range(
+                    self.state.geometry.block_start(block),
+                    self.state.geometry.words_per_block(),
+                );
                 collection.stats.add(WorkCounter::YoungBlocksFreed, 1);
             } else {
                 self.state.space.block_states().set(block, BlockState::Mature);
@@ -147,33 +164,116 @@ impl GenerationalPlan {
 
     fn full_collection(&self, collection: &Collection<'_>) {
         collection.attrs.set_kind("full");
-        // Re-arm remembered slots and discard barrier output.
+        // Re-arm remembered slots (epoch-valid ones only — a stale slot's
+        // line belongs to a new object whose fields must stay Ignored) and
+        // discard the rest of the barrier output.
         for chunk in self.sink.modified_fields.drain() {
             for slot in chunk {
-                self.log_table.mark_unlogged(slot);
+                if self.state.space.reuse_epoch(slot.value) == slot.epoch {
+                    collection.stats.add(WorkCounter::EpochChecksPassed, 1);
+                    self.log_table.mark_unlogged(slot.value);
+                } else {
+                    collection.stats.add(WorkCounter::EpochStaleDrops, 1);
+                }
             }
         }
         self.sink.decrements.drain();
-        self.state.clear_marks();
+
+        // Mixed (compacting) collection on exhaustion.  A non-copying full
+        // collection can only free *entirely* dead blocks, so old-gen
+        // fragmentation — blocks with one live line each — accumulates
+        // until young allocation, which needs whole fresh blocks, starves
+        // while most of the heap sits in the recycled queue ("0 free / 192
+        // recycled" in the thrash state).  When an allocation actually
+        // failed, evacuate the sparsest half of the queued partial blocks
+        // into the denser half: the trace copies their live objects out
+        // (candidate blocks empty wholesale into free blocks), while the
+        // copy allocators fill dead lines of the retained pool.
+        let compacting = collection.reason == GcReason::Exhausted;
+        let geometry = self.state.geometry;
+        let mut candidates: Vec<lxr_heap::Block> = Vec::new();
+        if compacting {
+            let mut queued: Vec<(lxr_heap::Block, usize)> = Vec::new();
+            while let Some(block) = self.state.blocks.acquire_recycled_block() {
+                // Last-cycle line marks are a conservative liveness bound,
+                // good enough to sort sparse from dense.
+                let marked = self
+                    .state
+                    .line_marks
+                    .count_marked(geometry.first_line_of(block), geometry.lines_per_block());
+                queued.push((block, marked));
+            }
+            self.state.queued_for_reuse.lock().clear();
+            queued.sort_by_key(|&(_, marked)| marked);
+            let evacuate = queued.len() / 2;
+            for (i, &(block, _)) in queued.iter().enumerate() {
+                if i < evacuate {
+                    self.state.space.block_states().set(block, BlockState::EvacCandidate);
+                    candidates.push(block);
+                } else {
+                    // The denser half is the target pool for the copies.
+                    self.state.space.block_states().set(block, BlockState::Mature);
+                    if self.state.queued_for_reuse.lock().insert(block.index()) {
+                        self.state.blocks.release_recycled_block(block);
+                    }
+                }
+            }
+        }
+        if compacting {
+            // Granule marks must be fresh (they decide reachability and,
+            // afterwards, which candidates still hold in-place survivors),
+            // but the *line* marks are kept: they are the copy allocators'
+            // occupancy oracle for the target pool, where last-cycle marks
+            // are still a sound conservative bound (mutators never allocate
+            // into old blocks, so no live line is unmarked).
+            self.state.marks.clear_all();
+            self.state.live_words.store(0, Ordering::Relaxed);
+        } else {
+            self.state.clear_marks();
+        }
         let log_table = self.log_table.clone();
         let arm: Arc<dyn Fn(ObjectReference, u16) + Send + Sync> = Arc::new(move |obj, nrefs| {
             for i in 0..nrefs as usize {
                 log_table.mark_unlogged(obj.to_address().plus(1 + i));
             }
         });
-        self.state.trace_with(collection.workers, collection, None, Vec::new(), Some(arm));
-        self.state.sweep(collection.stats);
-        // G1 allocates its young generation only in fresh regions: drop any
-        // partially free old blocks the sweep queued for line reuse, so
-        // young objects never share a block with old objects (which would
-        // escape the remembered set).
-        while self.state.blocks.acquire_recycled_block().is_some() {}
-        self.state.queued_for_reuse.lock().clear();
-        for (block, state) in self.state.space.block_states().iter() {
-            if state == BlockState::Recycled {
+        let copy = compacting.then(|| CopyConfig {
+            copy_all: false,
+            occupancy: self.state.line_marks.clone(),
+            bounded: false,
+        });
+        self.state.trace_with(collection.workers, collection, copy, Vec::new(), Some(arm));
+
+        // Resolve the evacuation candidates before the sweep: a candidate
+        // with no granule mark holds no in-place survivor (copy failures
+        // mark in place; successful copies mark only their new location),
+        // so it is empty and becomes a whole free block — the point of the
+        // compaction.  This must not be left to the line-mark sweep, whose
+        // view of the candidates is polluted by last-cycle marks.
+        for &block in &candidates {
+            let start = geometry.block_start(block);
+            if self.state.marks.count_nonzero_range(start, geometry.words_per_block()) == 0 {
+                self.state.release_free_block(block);
+                self.log_table.clear_range(start, geometry.words_per_block());
+                collection.stats.add(WorkCounter::MatureBlocksFreed, 1);
+            } else {
                 self.state.space.block_states().set(block, BlockState::Mature);
             }
         }
+        let log_table = self.log_table.clone();
+        self.state.sweep_with(collection.stats, |block| {
+            log_table.clear_range(geometry.block_start(block), geometry.words_per_block());
+        });
+        // Partially free old blocks stay queued for reuse — but only the
+        // *promotion* copy allocators draw from that queue (mutator
+        // allocators run with `use_recycled` off, preserving G1's
+        // young-in-fresh-regions invariant: a young object allocated into
+        // an old block would escape the remembered set).  Promoted copies
+        // are armed and line-marked, so filling dead lines of mature blocks
+        // with them is safe — and without it, old-generation fragmentation
+        // (partially live blocks that a non-copying full collection can
+        // never free) accumulated until the heap thrashed in back-to-back
+        // exhausted full collections.
         // Everything that survives a full collection is old.
         for (block, state) in self.state.space.block_states().iter() {
             if matches!(state, BlockState::Young | BlockState::EvacCandidate) {
@@ -190,9 +290,15 @@ impl Plan for GenerationalPlan {
 
     fn create_mutator(&self, _mutator_id: usize) -> Box<dyn PlanMutator> {
         let occupancy: Arc<dyn LineOccupancy> = self.state.line_marks.clone();
+        let mut allocator =
+            ImmixAllocator::new(self.state.space.clone(), self.state.blocks.clone(), occupancy);
+        // Young objects must never share a block with old ones (they would
+        // escape the remembered set), so mutators allocate only in fresh
+        // blocks; the recycled queue is reserved for promotion copies.
+        allocator.set_use_recycled(false);
         Box::new(GenerationalMutator {
             om: ObjectModel::new(self.state.space.clone()),
-            allocator: ImmixAllocator::new(self.state.space.clone(), self.state.blocks.clone(), occupancy),
+            allocator,
             state: self.state.clone(),
             barrier: FieldLoggingBarrier::new(
                 self.state.space.clone(),
@@ -253,7 +359,21 @@ impl PlanMutator for GenerationalMutator {
         let size = shape.size_words();
         let addr = match self.allocator.alloc(size) {
             Ok(addr) => addr,
-            Err(AllocError::TooLarge) => self.state.los.alloc(size).ok_or(AllocFailure::OutOfMemory)?,
+            Err(AllocError::TooLarge) => {
+                let addr = self.state.los.alloc(size).ok_or(AllocFailure::OutOfMemory)?;
+                // Large objects are *born old* in this plan (never young
+                // candidates, reclaimed only by full collections), so their
+                // reference fields must feed the remembered set from the
+                // very first write.  Leaving them `Ignored` — the seed's
+                // behaviour — silently dropped every LOS→young edge created
+                // before the first full trace armed them: the young
+                // collection then evacuated and released blocks whose
+                // objects the large object still referenced, and the
+                // dangling entries fed later traces garbage headers (the
+                // deep-list corruption's entry point).
+                self.barrier.table().arm_range(addr.plus(1), shape.nrefs as usize);
+                return Ok(self.om.initialize(addr, shape));
+            }
             Err(AllocError::OutOfMemory) => return Err(AllocFailure::OutOfMemory),
         };
         Ok(self.om.initialize(addr, shape))

@@ -129,10 +129,14 @@ impl Plan for MarkRegionPlan {
         collection.attrs.set_kind("full");
         self.state.clear_marks();
         // Discard (and re-arm) any barrier output: the barrier-overhead
-        // variant measures mutator cost only.
+        // variant measures mutator cost only.  Epoch-stale slots are
+        // skipped — their line was released and reallocated, so re-arming
+        // would poison a fresh object's field.
         for chunk in self.sink.modified_fields.drain() {
             for slot in chunk {
-                self.log_table.mark_unlogged(slot);
+                if self.state.space.reuse_epoch(slot.value) == slot.epoch {
+                    self.log_table.mark_unlogged(slot.value);
+                }
             }
         }
         self.sink.decrements.drain();
@@ -157,7 +161,11 @@ impl Plan for MarkRegionPlan {
                 self.state.live_words.load(std::sync::atomic::Ordering::Relaxed) as u64,
             );
         }
-        self.state.sweep(collection.stats);
+        let log_table = self.log_table.clone();
+        let geometry = self.state.geometry;
+        self.state.sweep_with(collection.stats, |block| {
+            log_table.clear_range(geometry.block_start(block), geometry.words_per_block());
+        });
     }
 }
 

@@ -173,7 +173,7 @@ fn bench_concurrent_mark(c: &mut Criterion) {
     let reseed = |state: &Arc<LxrState>| {
         state.clear_marks();
         for &r in &roots {
-            state.gray.push(r);
+            state.push_gray(r);
         }
     };
 

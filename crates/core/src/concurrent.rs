@@ -46,6 +46,7 @@
 use crate::state::LxrState;
 use lxr_heap::Block;
 use lxr_object::ObjectReference;
+use lxr_rc::Stamped;
 use lxr_runtime::{ConcurrentWork, WorkCounter, WorkerPool, YieldCheck};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -170,7 +171,7 @@ const DEC_OFFLOAD_AT: usize = 512;
 /// Splits an oversized local decrement stack off to wherever the caller's
 /// siblings can pick it up (the shared pending queue for the crew, the
 /// phase handle for the work-stealing fan-out).
-type DecOffload<'a> = &'a dyn Fn(&mut Vec<ObjectReference>);
+type DecOffload<'a> = &'a dyn Fn(&mut Vec<Stamped<ObjectReference>>);
 
 /// Applies one batch of decrements on a crew worker: recursive decrements
 /// accumulate on a local stack, an oversized backlog is split off and
@@ -179,10 +180,10 @@ type DecOffload<'a> = &'a dyn Fn(&mut Vec<ObjectReference>);
 /// `false` if the worker yielded.
 fn crew_process_decrement_chunk(
     state: &Arc<LxrState>,
-    chunk: Vec<ObjectReference>,
+    chunk: Vec<Stamped<ObjectReference>>,
     should_yield: &YieldCheck,
 ) -> bool {
-    let offload = |local: &mut Vec<ObjectReference>| {
+    let offload = |local: &mut Vec<Stamped<ObjectReference>>| {
         let keep = local.len() / 2;
         for o in local.drain(keep..) {
             state.pending_decs.push(o);
@@ -226,7 +227,8 @@ pub(crate) fn drain_pending_decrements(
             Some(pool) if batch.len() >= DEC_MIN_PARALLEL => {
                 let participants = pool.size() + 1;
                 let chunk_len = batch.len().div_ceil(participants * 4).max(32);
-                let chunks: Vec<Vec<ObjectReference>> = batch.chunks(chunk_len).map(<[_]>::to_vec).collect();
+                let chunks: Vec<Vec<Stamped<ObjectReference>>> =
+                    batch.chunks(chunk_len).map(<[_]>::to_vec).collect();
                 let state = state.clone();
                 let should_yield = should_yield.clone();
                 pool.run_phase(chunks, move |chunk, handle| {
@@ -251,11 +253,11 @@ pub(crate) fn drain_pending_decrements(
 /// [`PhaseHandle`]: lxr_runtime::PhaseHandle
 fn process_decrement_chunk_stealable(
     state: &Arc<LxrState>,
-    chunk: Vec<ObjectReference>,
+    chunk: Vec<Stamped<ObjectReference>>,
     should_yield: Option<&(dyn Fn() -> bool + Send + Sync)>,
-    handle: &lxr_runtime::PhaseHandle<Vec<ObjectReference>>,
+    handle: &lxr_runtime::PhaseHandle<Vec<Stamped<ObjectReference>>>,
 ) {
-    let offload = |local: &mut Vec<ObjectReference>| handle.push(local.split_off(local.len() / 2));
+    let offload = |local: &mut Vec<Stamped<ObjectReference>>| handle.push(local.split_off(local.len() / 2));
     process_decrement_chunk(state, chunk, should_yield, Some(&offload));
 }
 
@@ -269,7 +271,7 @@ fn process_decrement_chunk_stealable(
 /// remainder returns to the shared pending queue and `false` is returned.
 fn process_decrement_chunk(
     state: &Arc<LxrState>,
-    chunk: Vec<ObjectReference>,
+    chunk: Vec<Stamped<ObjectReference>>,
     should_yield: Option<&(dyn Fn() -> bool + Send + Sync)>,
     offload: Option<DecOffload<'_>>,
 ) -> bool {
@@ -283,7 +285,7 @@ fn process_decrement_chunk(
     let mut processed_since_check = 0usize;
     while let Some(obj) = local.pop() {
         {
-            let mut push = |child: ObjectReference| local.push(child);
+            let mut push = |child: Stamped<ObjectReference>| local.push(child);
             state.apply_decrement(obj, &mut push);
         }
         if local.len() >= DEC_OFFLOAD_AT {
@@ -340,13 +342,22 @@ fn lazy_reclaim(state: &Arc<LxrState>) {
 /// sequential oracle and the crew trace, so the two cannot diverge on
 /// per-object semantics.
 #[inline]
-fn process_gray_object(state: &Arc<LxrState>, obj: ObjectReference, push: &mut impl FnMut(ObjectReference)) {
+fn process_gray_object(
+    state: &Arc<LxrState>,
+    gray: Stamped<ObjectReference>,
+    push: &mut impl FnMut(Stamped<ObjectReference>),
+) {
+    let obj = gray.value;
     if obj.is_null() || !state.in_heap(obj) {
         return;
     }
+    // The exact stale test: an entry whose line was reclaimed and reused
+    // since capture must not be scanned (its granule may now hold an
+    // unrelated object, or no object at all).
+    if !state.stamp_is_current(gray) {
+        return;
+    }
     // Mature-only SATB: ignore objects with a zero reference count.
-    // (This check also keeps the trace away from memory that has been
-    // reclaimed and reused since the reference was captured.)
     if !state.rc.is_live(obj) {
         return;
     }
@@ -371,7 +382,7 @@ fn process_gray_object(state: &Arc<LxrState>, obj: ObjectReference, push: &mut i
         if child.is_null() || !state.in_heap(child) {
             return;
         }
-        push(child);
+        push(state.stamp(child));
         // Bootstrap the remembered set: the trace visits every pointer
         // into the evacuation set (§3.3.2).
         if satb_evac && state.in_evac_set(child) {
@@ -395,6 +406,7 @@ pub fn trace_satb_sequential(state: &Arc<LxrState>, should_yield: impl Fn() -> b
     while let Some(obj) = state.gray.pop() {
         processed_since_check += 1;
         process_gray_object(state, obj, &mut |child| state.gray.push(child));
+
         if processed_since_check >= YIELD_CHECK_QUANTUM {
             processed_since_check = 0;
             if should_yield() {
@@ -432,7 +444,7 @@ const TRACE_GRAB: usize = 64;
 ///
 /// Public for the oracle tests and the `concurrent_mark` benchmark.
 pub fn trace_satb_crew(state: &Arc<LxrState>, should_yield: impl Fn() -> bool) -> bool {
-    let mut local: Vec<ObjectReference> = Vec::with_capacity(TRACE_GRAB);
+    let mut local: Vec<Stamped<ObjectReference>> = Vec::with_capacity(TRACE_GRAB);
     let mut processed_since_check = 0usize;
     let mut idle_spins = 0u32;
     state.satb_tracers.fetch_add(1, Ordering::SeqCst);
@@ -440,7 +452,7 @@ pub fn trace_satb_crew(state: &Arc<LxrState>, should_yield: impl Fn() -> bool) -
         // Drain the local mark stack.
         while let Some(obj) = local.pop() {
             {
-                let mut push = |child: ObjectReference| local.push(child);
+                let mut push = |child: Stamped<ObjectReference>| local.push(child);
                 process_gray_object(state, obj, &mut push);
             }
             if local.len() >= TRACE_SPILL_AT {

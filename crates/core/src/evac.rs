@@ -81,12 +81,15 @@ pub(crate) fn evacuate_mature(state: &Arc<LxrState>, c: &Collection<'_>) {
             }
         });
     }
-    // Remembered-set entries, validated against the per-line reuse counters
+    // Remembered-set entries, validated against the per-line reuse epochs
     // so entries whose source line has been reclaimed and reused since they
     // were recorded are discarded (§3.3.2).
-    while let Some(RemsetEntry { slot, line_reuse }) = state.remset.pop() {
-        if state.space.line_reuse().get(state.geometry.line_of(slot)) == line_reuse {
+    while let Some(RemsetEntry { slot, epoch }) = state.remset.pop() {
+        if state.space.reuse_epoch(slot) == epoch {
+            state.stats.add(WorkCounter::EpochChecksPassed, 1);
             seed_slots.push(slot);
+        } else {
+            state.stats.add(WorkCounter::EpochStaleDrops, 1);
         }
     }
     c.stats.add(WorkCounter::SlotsTraced, seed_slots.len() as u64);

@@ -5,6 +5,7 @@ use crate::state::LxrState;
 use lxr_barrier::{DecChunkHook, FieldLoggingBarrier};
 use lxr_heap::{AllocError, ImmixAllocator, LineOccupancy};
 use lxr_object::{ObjectReference, ObjectShape};
+use lxr_rc::Stamped;
 use lxr_runtime::{AllocFailure, PlanMutator};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -41,19 +42,23 @@ impl LxrMutator {
         // this is purely an earlier start, not a transfer of
         // responsibility.
         let feed_state = state.clone();
-        let feed: DecChunkHook = Arc::new(move |chunk: &[ObjectReference]| {
+        let feed: DecChunkHook = Arc::new(move |chunk: &[Stamped<ObjectReference>]| {
             if !feed_state.satb_active.load(Ordering::Acquire)
                 || feed_state.satb_complete.load(Ordering::Acquire)
             {
                 return;
             }
-            for &old in chunk {
+            for &dec in chunk {
+                let old = dec.value;
+                // The epoch stamp travels with the entry into the gray
+                // queue, where the trace performs the counted validation.
                 if !old.is_null()
                     && feed_state.in_heap(old)
+                    && feed_state.space.reuse_epoch(old.to_address()) == dec.epoch
                     && feed_state.rc.is_live(old)
                     && !feed_state.is_marked(old)
                 {
-                    feed_state.gray.push(old);
+                    feed_state.gray.push(dec);
                 }
             }
         });
@@ -161,8 +166,8 @@ mod tests {
         m.write_ref(a, 0, new);
         m.write_ref(a, 0, old);
         m.prepare_for_gc();
-        let decs: Vec<_> = s.sink.decrements.drain().into_iter().flatten().collect();
-        let mods: Vec<_> = s.sink.modified_fields.drain().into_iter().flatten().collect();
+        let decs: Vec<_> = s.sink.decrements.drain().into_iter().flatten().map(|d| d.value).collect();
+        let mods: Vec<_> = s.sink.modified_fields.drain().into_iter().flatten().map(|m| m.value).collect();
         assert_eq!(decs, vec![old]);
         assert_eq!(mods, vec![a.to_address().plus(1)]);
     }

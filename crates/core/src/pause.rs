@@ -31,6 +31,7 @@
 use crate::state::LxrState;
 use lxr_heap::{Address, Block, BlockState, ImmixAllocator, LineOccupancy, GRANULE_WORDS};
 use lxr_object::{ClaimResult, ObjectReference};
+use lxr_rc::Stamped;
 use lxr_runtime::{Collection, GcReason, GcStats, WorkCounter, WorkerPool};
 use parking_lot::Mutex;
 use std::collections::HashSet;
@@ -58,6 +59,12 @@ struct IncItem {
     target: ObjectReference,
     /// Whether to re-arm the field's log state (modified-field entries).
     reset_log: bool,
+    /// The slot's reuse epoch at capture time; validated (for
+    /// modified-field entries) before the slot is read or re-armed, so a
+    /// slot whose line was reclaimed and reused mid-epoch is skipped
+    /// outright.  Unused for root items and recursive child items, whose
+    /// slots are produced inside this very pause.
+    epoch: u8,
 }
 
 /// Runs one RC pause.
@@ -118,9 +125,20 @@ pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
         state.satb_active.load(Ordering::Acquire) && !state.satb_complete.load(Ordering::Acquire);
     if satb_running {
         for chunk in &dec_chunks {
-            for &obj in chunk {
-                if !obj.is_null() && state.in_heap(obj) && state.rc.is_live(obj) && !state.is_marked(obj) {
-                    state.gray.push(obj);
+            for &dec in chunk {
+                let obj = dec.value;
+                // The epoch stamp is compared raw here (not through the
+                // counting helper): step 8 hands the same entries to the
+                // decrement machinery, which performs the counted
+                // validation — feeding and applying are one capture, not
+                // two.
+                if !obj.is_null()
+                    && state.in_heap(obj)
+                    && state.space.reuse_epoch(obj.to_address()) == dec.epoch
+                    && state.rc.is_live(obj)
+                    && !state.is_marked(obj)
+                {
+                    state.gray.push(dec);
                 }
             }
         }
@@ -177,11 +195,16 @@ pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
     let copy_allocators = make_copy_allocators(state, c.workers.size() + 1);
     let mut items: Vec<IncItem> = Vec::with_capacity(roots.len() + 1024);
     for &root in &roots {
-        items.push(IncItem { slot: None, target: root, reset_log: false });
+        items.push(IncItem { slot: None, target: root, reset_log: false, epoch: 0 });
     }
     for chunk in &mod_chunks {
         for &slot in chunk {
-            items.push(IncItem { slot: Some(slot), target: ObjectReference::NULL, reset_log: true });
+            items.push(IncItem {
+                slot: Some(slot.value),
+                target: ObjectReference::NULL,
+                reset_log: true,
+                epoch: slot.epoch,
+            });
         }
     }
     {
@@ -190,7 +213,7 @@ pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
         c.workers.run_phase(items, move |item, handle| {
             let copy_alloc = &copy_allocators[handle.worker_id.min(copy_allocators.len() - 1)];
             process_increment_item(&state, item, copy_alloc, &|slot, child| {
-                handle.push(IncItem { slot: Some(slot), target: child, reset_log: false });
+                handle.push(IncItem { slot: Some(slot), target: child, reset_log: false, epoch: 0 });
             });
         });
     }
@@ -223,9 +246,9 @@ pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
     //    Barrier-captured overwritten referents carry no such invariant and
     //    are processed lazily by the concurrent crew (the paper's lazy
     //    decrements), or in-pause under the -LD ablation.
-    let root_decs: Vec<ObjectReference> = state.prev_root_decs.lock().drain(..).collect();
+    let root_decs: Vec<Stamped<ObjectReference>> = state.prev_root_decs.lock().drain(..).collect();
     apply_decrements_in_pause(state, c.workers, root_decs);
-    let mut decrements: Vec<ObjectReference> = Vec::new();
+    let mut decrements: Vec<Stamped<ObjectReference>> = Vec::new();
     for chunk in dec_chunks {
         decrements.extend(chunk);
     }
@@ -281,8 +304,13 @@ pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
         }
     }
 
-    // 12. Epoch bookkeeping.
-    *state.prev_root_decs.lock() = c.roots.collect_roots();
+    // 12. Epoch bookkeeping.  The deferred root decrements are stamped
+    //     like every other capture: a root-held object stays live (count
+    //     >= 1 from this pause's root increment) until the stamp is
+    //     validated at the next pause, so its line cannot be reclaimed in
+    //     between and the stamp always matches — but stamping keeps the
+    //     protocol uniform and catches any future invariant break exactly.
+    *state.prev_root_decs.lock() = c.roots.collect_roots().into_iter().map(|r| state.stamp(r)).collect();
     state.words_at_epoch_start.store(state.space.allocated_words(), Ordering::Relaxed);
     state.epochs.fetch_add(1, Ordering::Relaxed);
 }
@@ -290,14 +318,18 @@ pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
 /// Applies a batch of decrements (and their recursive cascades) inside the
 /// pause: a work-stealing phase for large batches, a local stack for tiny
 /// ones (not worth a phase's scheduling setup).
-fn apply_decrements_in_pause(state: &Arc<LxrState>, workers: &WorkerPool, decrements: Vec<ObjectReference>) {
+fn apply_decrements_in_pause(
+    state: &Arc<LxrState>,
+    workers: &WorkerPool,
+    decrements: Vec<Stamped<ObjectReference>>,
+) {
     if decrements.is_empty() {
         return;
     }
     if decrements.len() < DEC_MIN_PARALLEL_PAUSE {
         let mut queue = decrements;
         while let Some(obj) = queue.pop() {
-            let mut push = |child: ObjectReference| queue.push(child);
+            let mut push = |child: Stamped<ObjectReference>| queue.push(child);
             state.apply_decrement(obj, &mut push);
         }
     } else {
@@ -328,19 +360,31 @@ fn process_increment_item(
     push_child: &dyn Fn(Address, ObjectReference),
 ) {
     let (slot, obj) = match item.slot {
-        Some(s) => (Some(s), state.om.read_slot(s)),
+        Some(s) => {
+            if item.reset_log {
+                // Modified-field entry: validate the capture's reuse epoch
+                // before touching the slot.  A mismatch proves the slot's
+                // line was reclaimed and reused since the barrier logged it
+                // — re-reading it would increment whatever now lives there,
+                // and re-arming its log state would poison the new
+                // occupant's field (fields of fresh objects must stay
+                // Ignored).
+                if state.space.reuse_epoch(s) != item.epoch {
+                    state.stats.add(WorkCounter::EpochStaleDrops, 1);
+                    return;
+                }
+                state.stats.add(WorkCounter::EpochChecksPassed, 1);
+                // Re-arm the field so the next epoch's first write is
+                // logged ("resets its unlogged bit", §3.4).
+                state.log_table.mark_unlogged(s);
+            }
+            (Some(s), state.om.read_slot(s))
+        }
         None => (None, item.target),
     };
-    if item.reset_log {
-        if let Some(s) = slot {
-            // Re-arm the field so the next epoch's first write is logged
-            // ("resets its unlogged bit", §3.4).
-            state.log_table.mark_unlogged(s);
-        }
-    }
-    // A logged slot whose object died and whose line was reclaimed and
-    // reused mid-epoch can re-read as arbitrary data; an out-of-heap value
-    // must degrade to "stale entry", not an out-of-bounds access.
+    // A slot produced inside this pause can still re-read as arbitrary
+    // data if a racing worker rewrites it; an out-of-heap value must
+    // degrade to "stale entry", not an out-of-bounds access.
     if obj.is_null() || !state.in_heap(obj) {
         return;
     }
@@ -687,8 +731,7 @@ fn sweep_young_los(state: &Arc<LxrState>, workers: &WorkerPool) {
 
 fn free_young_los_if_dead(state: &Arc<LxrState>, addr: Address) {
     let obj = ObjectReference::from_address(addr);
-    if state.los.contains(addr) && !state.rc.is_live(obj) {
-        state.los.free(addr);
+    if state.los.contains(addr) && !state.rc.is_live(obj) && state.free_los(addr) {
         state.stats.add(WorkCounter::LargeObjectsFreed, 1);
     }
 }

@@ -48,13 +48,17 @@ pub(crate) fn should_start(state: &Arc<LxrState>) -> bool {
 pub(crate) fn start(state: &Arc<LxrState>, c: &Collection<'_>) {
     state.clear_marks();
     state.reset_remset();
-    state.space.line_reuse().clear();
+    // Note: the reuse-epoch table is deliberately *not* reset here — epochs
+    // are monotonic (wrapping) so stamps taken before this trace stay
+    // comparable; resetting them would revalidate stale captures.  The
+    // remset entries themselves were just dropped, so no per-line reset is
+    // needed for them either.
     if state.config.mature_evacuation {
         crate::evac::select_candidates(state);
     }
     for root in c.roots.collect_roots() {
         if !root.is_null() {
-            state.gray.push(root);
+            state.push_gray(root);
         }
     }
     state.satb_active.store(true, Ordering::Release);
@@ -100,7 +104,7 @@ pub(crate) fn reclaim(state: &Arc<LxrState>, c: &Collection<'_>) -> Vec<Block> {
         let obj = ObjectReference::from_address(addr);
         if state.rc.is_live(obj) && !state.is_marked(obj) {
             state.rc.clear(obj);
-            state.los.free(addr);
+            state.free_los(addr);
             c.stats.add(WorkCounter::SatbDeaths, 1);
             c.stats.add(WorkCounter::LargeObjectsFreed, 1);
         }

@@ -13,7 +13,7 @@ use lxr_heap::{
     GRANULE_WORDS,
 };
 use lxr_object::{ObjectModel, ObjectReference};
-use lxr_rc::RcTable;
+use lxr_rc::{RcTable, Stamped};
 use lxr_runtime::{GcStats, PlanContext, WorkCounter};
 use parking_lot::Mutex;
 use std::collections::HashSet;
@@ -21,15 +21,16 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A remembered-set entry: the address of a slot holding a reference into an
-/// evacuation set, tagged with the reuse counter of the line containing the
+/// evacuation set, stamped with the reuse epoch of the line containing the
 /// slot so that stale entries (whose source line has since been reclaimed
-/// and reused) can be discarded at evacuation time (§3.3.2).
+/// and reused) can be discarded at evacuation time (§3.3.2; see
+/// [`lxr_heap::epoch`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RemsetEntry {
     /// The address of the slot holding the incoming reference.
     pub slot: Address,
-    /// The reuse counter of the slot's line when the entry was created.
-    pub line_reuse: u8,
+    /// The reuse epoch of the slot's line when the entry was created.
+    pub epoch: u8,
 }
 
 /// All shared collector state.
@@ -66,7 +67,7 @@ pub struct LxrState {
     pub births_words_epoch: AtomicUsize,
     /// Root referents incremented at the previous pause, to be decremented
     /// at the next pause (root deferral, §2.1).
-    pub prev_root_decs: Mutex<Vec<ObjectReference>>,
+    pub prev_root_decs: Mutex<Vec<Stamped<ObjectReference>>>,
     /// Large objects allocated since the last pause (checked for implicit
     /// death at the next pause).
     pub young_los: Mutex<Vec<Address>>,
@@ -74,8 +75,9 @@ pub struct LxrState {
     pub epochs: AtomicU64,
 
     // ---- lazy decrement state ----
-    /// Decrements awaiting (lazy) processing.
-    pub pending_decs: SegQueue<ObjectReference>,
+    /// Decrements awaiting (lazy) processing, each stamped with its
+    /// target's reuse epoch at capture time.
+    pub pending_decs: SegQueue<Stamped<ObjectReference>>,
     /// `true` while decrements from the last epoch remain unprocessed.
     pub lazy_pending: AtomicBool,
     /// Blocks that received decrements since the last pause (sweep
@@ -103,8 +105,11 @@ pub struct LxrState {
     /// The shared gray set: the seed-and-steal half of the SATB mark stack.
     /// Crew workers pop seeds from here into per-worker local mark stacks
     /// and spill oversized or preempted local work back, so this queue is a
-    /// spill/steal target rather than the per-object hot path.
-    pub gray: SegQueue<ObjectReference>,
+    /// spill/steal target rather than the per-object hot path.  Entries
+    /// carry their capture-time reuse-epoch stamp; the trace validates the
+    /// stamp before scanning, so an entry whose granule was reclaimed and
+    /// reused mid-trace is an exact no-op.
+    pub gray: SegQueue<Stamped<ObjectReference>>,
     /// Crew workers currently holding SATB trace work (a nonempty local
     /// mark stack or an object mid-scan).  "`gray` empty and no registered
     /// tracers" is the crew's trace-drained condition.
@@ -252,8 +257,7 @@ impl LxrState {
         if !self.remset_logged.try_set_from_zero(slot, 1) {
             return;
         }
-        let line = self.geometry.line_of(slot);
-        self.remset.push(RemsetEntry { slot, line_reuse: self.space.line_reuse().get(line) });
+        self.remset.push(RemsetEntry { slot, epoch: self.space.reuse_epoch(slot) });
     }
 
     /// Drops every remembered-set entry and re-arms the per-slot dedup bits.
@@ -314,13 +318,59 @@ impl LxrState {
         obj.to_address().word_index() < self.geometry.num_words()
     }
 
-    /// Applies one decrement to `obj` (resolving any forwarding first),
-    /// honouring the SATB deletion invariant, and feeding recursive
+    /// Stamps `obj` with its line's current reuse epoch (the capture half
+    /// of the stamp/validate protocol, [`lxr_heap::epoch`]).  Out-of-heap
+    /// values get a zero stamp; every validation site drops them on its
+    /// in-heap check before consulting the epoch.
+    #[inline]
+    pub fn stamp(&self, obj: ObjectReference) -> Stamped<ObjectReference> {
+        let epoch =
+            if !obj.is_null() && self.in_heap(obj) { self.space.reuse_epoch(obj.to_address()) } else { 0 };
+        Stamped::new(obj, epoch)
+    }
+
+    /// Returns `true` if `dec`'s stamp still matches its target line's
+    /// reuse epoch — i.e. the capture provably refers to the same life of
+    /// the granule.  Counts the outcome in the epoch-validation statistics.
+    #[inline]
+    pub fn stamp_is_current(&self, dec: Stamped<ObjectReference>) -> bool {
+        if self.space.reuse_epoch(dec.value.to_address()) == dec.epoch {
+            self.stats.add(WorkCounter::EpochChecksPassed, 1);
+            true
+        } else {
+            self.stats.add(WorkCounter::EpochStaleDrops, 1);
+            false
+        }
+    }
+
+    /// Stamps `obj` and pushes it onto the shared gray queue.
+    #[inline]
+    pub fn push_gray(&self, obj: ObjectReference) {
+        self.gray.push(self.stamp(obj));
+    }
+
+    /// Applies one decrement to a stamped capture (resolving any forwarding
+    /// first), honouring the SATB deletion invariant, and feeding recursive
     /// decrements and reclamation bookkeeping.
     ///
-    /// `push_dec` receives the children of objects that die.
-    pub fn apply_decrement<F: FnMut(ObjectReference)>(&self, obj: ObjectReference, push_dec: &mut F) {
+    /// The capture's reuse-epoch stamp is validated first: a mismatch
+    /// proves the target granule was reclaimed and reused after the capture
+    /// and the decrement is dropped — the exact stale test that replaces
+    /// the old plausibility gates.  (The gates below survive as cheap
+    /// defence in depth for values of unknown provenance.)
+    ///
+    /// `push_dec` receives the (freshly stamped) children of objects that
+    /// die.
+    pub fn apply_decrement<F: FnMut(Stamped<ObjectReference>)>(
+        &self,
+        dec: Stamped<ObjectReference>,
+        push_dec: &mut F,
+    ) {
+        let obj = dec.value;
         if obj.is_null() || !self.in_heap(obj) {
+            return;
+        }
+        if !self.stamp_is_current(dec) {
             return;
         }
         let obj = self.om.resolve(obj);
@@ -352,7 +402,7 @@ impl LxrState {
         {
             self.om.scan_refs(obj, |_, child| {
                 if !child.is_null() {
-                    self.gray.push(child);
+                    self.push_gray(child);
                 }
             });
         }
@@ -362,16 +412,16 @@ impl LxrState {
         }
         self.om.scan_refs(obj, |_, child| {
             if !child.is_null() {
-                push_dec(child);
+                push_dec(self.stamp(child));
             }
         });
         let block = self.geometry.block_of(obj.to_address());
         if self.space.block_states().get(block) == BlockState::Los {
             // A stale decrement can land inside a LOS run without being the
             // object's start (or the object may already be freed); only a
-            // live large-object start is freed.
-            if self.los.contains(obj.to_address()) {
-                self.los.free(obj.to_address());
+            // live large-object start is freed, and racing crew workers are
+            // arbitrated inside `free_los`.
+            if self.free_los(obj.to_address()) {
                 self.stats.add(WorkCounter::LargeObjectsFreed, 1);
             }
         } else {
@@ -432,6 +482,27 @@ impl LxrState {
             }
         }
         self.blocks.release_free_blocks(blocks);
+    }
+
+    /// Frees the large object at `addr` if one is live there, clearing the
+    /// collector metadata (mark bits, field-log states, remset dedup bits)
+    /// of its whole block run first — the LOS analogue of
+    /// [`prepare_block_release`](Self::prepare_block_release).  Without the
+    /// clears, a freed LOS run (whose fields were armed at first retention)
+    /// re-enters the free pool with `Unlogged` field states, and its next
+    /// life's young objects produce bogus barrier captures whose stamps are
+    /// *current* — the one stale-state leak the reuse epochs cannot catch,
+    /// because the capture postdates the reuse.  Returns `true` if this
+    /// call freed the object (racing callers are arbitrated by the LOS
+    /// registry).
+    pub fn free_los(&self, addr: Address) -> bool {
+        let Some(meta) = self.los.object_at(addr) else { return false };
+        let start = self.geometry.block_start(meta.first_block);
+        let words = meta.num_blocks * self.geometry.words_per_block();
+        self.marks.clear_range(start, words);
+        self.log_table.clear_range(start, words);
+        self.remset_logged.clear_range(start, words);
+        self.los.try_free(addr).is_some()
     }
 
     /// Queues a partially free block for line reuse, unless it is already
@@ -507,9 +578,9 @@ mod tests {
         s.rc.increment(child_a);
         s.rc.increment(child_b);
 
-        let mut queue = vec![parent];
+        let mut queue = vec![s.stamp(parent)];
         while let Some(o) = queue.pop() {
-            let mut push = |c: ObjectReference| queue.push(c);
+            let mut push = |c: Stamped<ObjectReference>| queue.push(c);
             s.apply_decrement(o, &mut push);
         }
         assert_eq!(s.rc.count(parent), 0);
@@ -548,14 +619,14 @@ mod tests {
         s.satb_active.store(true, Ordering::Release);
 
         let mut sink = Vec::new();
-        let mut push = |c: ObjectReference| sink.push(c);
-        s.apply_decrement(parent, &mut push);
+        let mut push = |c: Stamped<ObjectReference>| sink.push(c.value);
+        s.apply_decrement(s.stamp(parent), &mut push);
         // The dying object was marked so the trace will skip it, and its
         // referent was pushed into the trace.
         assert!(s.is_marked(parent));
         let mut grays = Vec::new();
         while let Some(g) = s.gray.pop() {
-            grays.push(g);
+            grays.push(g.value);
         }
         assert_eq!(grays, vec![child]);
         assert_eq!(sink, vec![child], "recursive decrement still happens");
@@ -566,8 +637,8 @@ mod tests {
         let s = state();
         let o = obj_at(&s, 2 * 4096, 0, 0);
         // Count is zero (already reclaimed).
-        let mut push = |_c: ObjectReference| panic!("no recursive decrements expected");
-        s.apply_decrement(o, &mut push);
+        let mut push = |_c: Stamped<ObjectReference>| panic!("no recursive decrements expected");
+        s.apply_decrement(s.stamp(o), &mut push);
         assert_eq!(s.stats.get(WorkCounter::DecrementsApplied), 0);
     }
 
@@ -583,7 +654,7 @@ mod tests {
         s.release_free_block(block);
         assert_eq!(s.blocks.free_block_count(), before_free + 1);
         assert_eq!(s.marks.load(start), 0);
-        assert_eq!(s.space.line_reuse().get(s.geometry.first_line_of(block)), 1);
+        assert_eq!(s.space.reuse_epoch(start), 1);
     }
 
     #[test]
@@ -607,19 +678,19 @@ mod tests {
     }
 
     #[test]
-    fn remset_entries_capture_line_reuse_tags() {
+    fn remset_entries_capture_reuse_epochs() {
         let s = state();
         let slot = Address::from_word_index(4 * 4096 + 10);
         s.record_remset(slot);
         let entry = s.remset.pop().unwrap();
         assert_eq!(entry.slot, slot);
-        assert_eq!(entry.line_reuse, 0);
-        // After the remset is reset and the line reclaimed (reuse counter
-        // bumped), a fresh entry carries the new tag.
+        assert_eq!(entry.epoch, 0);
+        // After the remset is reset and the line reclaimed (reuse epoch
+        // advanced), a fresh entry carries the new stamp.
         s.reset_remset();
         s.space.bump_line_reuse(s.geometry.line_of(slot));
         s.record_remset(slot);
-        assert_eq!(s.remset.pop().unwrap().line_reuse, 1);
+        assert_eq!(s.remset.pop().unwrap().epoch, 1);
     }
 
     #[test]

@@ -63,7 +63,7 @@ fn build_frozen_graph(state: &Arc<LxrState>, blocks: usize, seed: u64) {
         }
     }
     for root in objects.iter().step_by(17) {
-        state.gray.push(*root);
+        state.push_gray(*root);
     }
 }
 
@@ -204,7 +204,7 @@ proptest! {
                 state.om.write_ref_field(objects[from], field, objects[to]);
             }
             for &i in &seeds {
-                state.gray.push(objects[i]);
+                state.push_gray(objects[i]);
             }
         };
         let oracle = frozen_state(4 << 20);

@@ -1,0 +1,219 @@
+//! Property tests of the reuse-epoch stamp/validate protocol (see
+//! `lxr_heap::epoch`): whatever capture → release → reuse → apply
+//! interleaving occurs, an epoch-stamped capture applied after its target
+//! granule was reclaimed and reused is always an exact no-op.
+//!
+//! The PR 3 plausibility-gated path serves as the oracle *of what used to
+//! go wrong*: those gates (extent checks, header sniffing) pass a stale
+//! decrement whenever the reused granule holds a live, well-formed object —
+//! exactly the case the tests below construct — so the reused occupant
+//! would have had its count corrupted.  The epoch check must catch every
+//! such case exactly.
+
+use lxr_core::{trace_satb_sequential, LxrConfig, LxrState};
+use lxr_heap::{Address, Block, BlockAllocator, BlockState, HeapConfig, HeapSpace, LargeObjectSpace};
+use lxr_object::{ObjectReference, ObjectShape};
+use lxr_rc::Stamped;
+use lxr_runtime::{GcStats, PlanContext, RuntimeOptions, WorkCounter};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn state() -> Arc<LxrState> {
+    let options = RuntimeOptions::default()
+        .with_heap_config(HeapConfig::with_heap_size(4 << 20))
+        .with_concurrent_thread(false);
+    let space = Arc::new(HeapSpace::new(options.heap.clone()));
+    let blocks = Arc::new(BlockAllocator::new(space.clone()));
+    let los = Arc::new(LargeObjectSpace::new(space.clone(), blocks.clone()));
+    let ctx = PlanContext { space, blocks, los, stats: Arc::new(GcStats::new()), options };
+    Arc::new(LxrState::new(&ctx, LxrConfig::default()))
+}
+
+/// Applies `dec` with a local cascade stack, returning how many recursive
+/// decrements it generated.
+fn run_decrement(s: &Arc<LxrState>, dec: Stamped<ObjectReference>) -> usize {
+    let mut cascades = 0;
+    let mut queue = vec![dec];
+    let mut first = true;
+    while let Some(d) = queue.pop() {
+        if !first {
+            cascades += 1;
+        }
+        first = false;
+        let mut push = |c: Stamped<ObjectReference>| queue.push(c);
+        s.apply_decrement(d, &mut push);
+    }
+    cascades
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// capture → release → reuse → apply for a *decrement*: the stale
+    /// decrement never touches the granule's new occupant, however the
+    /// victim and the new occupant are shaped and wherever they sit in the
+    /// block.  Without the epoch check the reused occupant is a live,
+    /// in-extent, well-formed object, so every PR 3 plausibility gate
+    /// passes and its count would have been decremented (cascading a bogus
+    /// death for count 1).
+    #[test]
+    fn stale_decrement_is_an_exact_noop(
+        victim_granule in 0usize..64,
+        reuse_granule in 0usize..64,
+        victim_refs in 0u16..3,
+        // Below the 2-bit stuck value (3): stuck counts ignore decrements
+        // by design, which would hide what the control assertion checks.
+        occupant_count in 1u8..=2,
+        extra_releases in 1usize..3,
+    ) {
+        let s = state();
+        let block = Block::from_index(2);
+        let start = s.geometry.block_start(block);
+        s.space.block_states().set(block, BlockState::Mature);
+
+        // A victim object with some children, all live.
+        let victim_addr = start.plus(victim_granule * 2);
+        let victim = s.om.initialize(victim_addr, ObjectShape::new(victim_refs, 1, 7));
+        let child = s.om.initialize(start.plus(130), ObjectShape::new(0, 0, 0));
+        s.rc.increment(child);
+        for f in 0..victim_refs as usize {
+            s.om.write_ref_field(victim, f, child);
+        }
+        s.rc.increment(victim);
+
+        // Capture: a decrement for the victim, stamped now.
+        let dec = s.stamp(victim);
+
+        // Death + release: the victim dies, its block is reclaimed (counts
+        // cleared), released — bumping the reuse epochs — and reused.
+        s.rc.clear(victim);
+        s.rc.clear(child);
+        for _ in 0..extra_releases {
+            // A block can be released and reused several times before the
+            // capture drains; any number of bumps must invalidate it.
+            s.release_free_block(block);
+        }
+        s.space.zero_block(block);
+
+        // Reuse: a fresh live object now occupies (possibly exactly) the
+        // victim's granule.
+        let occupant_addr = start.plus(reuse_granule * 2);
+        let occupant = s.om.initialize(occupant_addr, ObjectShape::new(1, 0, 3));
+        let occupant_child = s.om.initialize(start.plus(140), ObjectShape::new(0, 0, 0));
+        s.om.write_ref_field(occupant, 0, occupant_child);
+        s.rc.set_count(occupant, occupant_count);
+        s.rc.increment(occupant_child);
+
+        // Apply the stale capture.
+        let deaths_before = s.stats.get(WorkCounter::RcDeaths);
+        let cascades = run_decrement(&s, dec);
+
+        prop_assert_eq!(cascades, 0, "a stale decrement must not cascade");
+        prop_assert_eq!(s.rc.count(occupant), occupant_count, "the new occupant's count is untouched");
+        prop_assert_eq!(s.rc.count(occupant_child), 1);
+        prop_assert_eq!(s.stats.get(WorkCounter::RcDeaths), deaths_before, "no bogus death");
+        prop_assert!(s.stats.get(WorkCounter::EpochStaleDrops) >= 1, "the drop was epoch-detected");
+
+        // Control: a *fresh* capture of the occupant still applies — the
+        // epoch check rejects only the stale interleaving.
+        let fresh = s.stamp(occupant);
+        run_decrement(&s, fresh);
+        prop_assert_eq!(s.rc.count(occupant), occupant_count - 1, "fresh captures still decrement");
+    }
+
+    /// capture → release → reuse → apply for an *SATB gray entry*: a stale
+    /// gray entry whose granule was reclaimed and reused never marks (or
+    /// scans) the granule's new occupant.
+    #[test]
+    fn stale_gray_entry_neither_marks_nor_scans(
+        victim_granule in 0usize..64,
+        occupant_refs in 0u16..3,
+    ) {
+        let s = state();
+        let block = Block::from_index(3);
+        let start = s.geometry.block_start(block);
+        s.space.block_states().set(block, BlockState::Mature);
+
+        let victim = s.om.initialize(start.plus(victim_granule * 2), ObjectShape::new(0, 1, 7));
+        s.rc.increment(victim);
+        s.satb_active.store(true, std::sync::atomic::Ordering::Release);
+
+        // Capture the gray entry, then reclaim and reuse the block.
+        let gray = s.stamp(victim);
+        s.rc.clear(victim);
+        s.release_free_block(block);
+        s.space.zero_block(block);
+
+        // The new occupant is live and wired to a (live) child that the
+        // stale scan would erroneously gray.
+        let occupant = s.om.initialize(start.plus(victim_granule * 2), ObjectShape::new(occupant_refs, 0, 4));
+        let child = s.om.initialize(start.plus(200), ObjectShape::new(0, 0, 0));
+        s.rc.increment(child);
+        for f in 0..occupant_refs as usize {
+            s.om.write_ref_field(occupant, f, child);
+        }
+        s.rc.set_count(occupant, 1);
+
+        s.gray.push(gray);
+        prop_assert!(trace_satb_sequential(&s, || false));
+        prop_assert!(!s.is_marked(occupant), "the new occupant must not inherit the stale mark");
+        prop_assert!(!s.is_marked(child), "the stale entry must not scan the occupant's fields");
+        prop_assert!(s.gray.is_empty());
+        prop_assert!(s.stats.get(WorkCounter::EpochStaleDrops) >= 1);
+    }
+
+    /// The allocator-side frontier: recycling *free lines of a live block*
+    /// (no whole-block release anywhere) also invalidates captures into
+    /// those lines, while captures targeting the block's surviving live
+    /// lines remain valid.
+    #[test]
+    fn line_recycling_invalidates_exactly_the_reused_lines(
+        dead_line in 2usize..7,
+        live_line in 8usize..12,
+    ) {
+        let s = state();
+        // A recycled block: one live object on `live_line`, a dead victim
+        // on `dead_line`.
+        let block = s.blocks.acquire_clean_block().unwrap();
+        let start = s.geometry.block_start(block);
+        let wpl = s.geometry.words_per_line();
+        let survivor = s.om.initialize(start.plus(live_line * wpl), ObjectShape::new(0, 1, 2));
+        s.rc.increment(survivor);
+        let victim = s.om.initialize(start.plus(dead_line * wpl), ObjectShape::new(0, 1, 2));
+        s.rc.increment(victim);
+
+        let stale = s.stamp(victim);
+        let valid = s.stamp(survivor);
+        s.rc.clear(victim);
+        s.blocks.release_recycled_block(block);
+
+        // A mutator allocator picks the block up and bump-allocates through
+        // its free lines, reusing the victim's granule.
+        let occupancy: std::sync::Arc<dyn lxr_heap::LineOccupancy> = s.rc.clone();
+        let mut alloc = lxr_heap::ImmixAllocator::new(s.space.clone(), s.blocks.clone(), occupancy);
+        let mut reused = Address::NULL;
+        for _ in 0..(s.geometry.lines_per_block() * s.geometry.words_per_line() / 4) {
+            match alloc.alloc(4) {
+                Ok(a) => {
+                    if a == victim.to_address() {
+                        reused = a;
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        prop_assert_eq!(reused, victim.to_address(), "the victim's granule was reused");
+        let occupant = s.om.initialize(reused, ObjectShape::new(0, 1, 9));
+        s.rc.set_count(occupant, 2);
+
+        let cascades = run_decrement(&s, stale);
+        prop_assert_eq!(cascades, 0);
+        prop_assert_eq!(s.rc.count(occupant), 2, "the line-recycled occupant is untouched");
+
+        // The survivor's line was never reused: its capture is still valid
+        // and applies.
+        run_decrement(&s, valid);
+        prop_assert_eq!(s.rc.count(survivor), 0, "captures into surviving lines stay valid");
+    }
+}

@@ -499,7 +499,16 @@ pub fn social_graph(options: &ExperimentOptions) -> Table {
     let spec = social_graph_churn();
     let mut table = Table::new(
         "Social graph churn (wide fanout, cyclic mature garbage, 2x heap)",
-        &["configuration", "time ms", "pauses", "p95 ms", "SATB deaths", "GC busy ms"],
+        &[
+            "configuration",
+            "time ms",
+            "pauses",
+            "p95 ms",
+            "SATB deaths",
+            "epoch ok",
+            "epoch stale",
+            "GC busy ms",
+        ],
     );
     let mut run = |label: String, collector: &str, concurrent_workers: usize| {
         let mut run_options = options.run_options(2.0);
@@ -512,6 +521,8 @@ pub fn social_graph(options: &ExperimentOptions) -> Table {
             format!("{}", r.gc.pause_count()),
             ms(r.gc.pause_percentile(95.0)),
             format!("{}", r.gc.counter(lxr_runtime::WorkCounter::SatbDeaths)),
+            format!("{}", r.gc.counter(lxr_runtime::WorkCounter::EpochChecksPassed)),
+            format!("{}", r.gc.counter(lxr_runtime::WorkCounter::EpochStaleDrops)),
             format!("{:.1}", busy.as_secs_f64() * 1e3),
         ]);
     };

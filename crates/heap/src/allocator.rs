@@ -130,6 +130,11 @@ pub struct ImmixAllocator {
 
     /// When `true`, memory is zeroed immediately before allocation into it.
     zero_on_alloc: bool,
+    /// When `false`, the allocator never draws from the recycled-block
+    /// queue (generational plans restrict *mutator* allocation to fresh
+    /// blocks so young objects never share a block with old ones, while
+    /// their GC-side promotion allocators may reuse partial mature blocks).
+    use_recycled: bool,
 
     stats: AllocatorStats,
 }
@@ -169,6 +174,7 @@ impl ImmixAllocator {
             overflow_limit: Address::NULL,
             overflow_block: None,
             zero_on_alloc: true,
+            use_recycled: true,
             stats: AllocatorStats::default(),
         }
     }
@@ -177,6 +183,12 @@ impl ImmixAllocator {
     /// initialisation instead, §3.1).
     pub fn set_zero_on_alloc(&mut self, zero: bool) {
         self.zero_on_alloc = zero;
+    }
+
+    /// Enables or disables drawing from the recycled (partially free)
+    /// block queue.
+    pub fn set_use_recycled(&mut self, use_recycled: bool) {
+        self.use_recycled = use_recycled;
     }
 
     /// The allocator's statistics since the last [`reset_stats`](Self::reset_stats).
@@ -266,11 +278,13 @@ impl ImmixAllocator {
             }
             // 2. Prefer another recycled block (partially free blocks first,
             //    §3.1) before taking a clean block.
-            if let Some(block) = self.blocks.acquire_recycled_block() {
-                self.stats.recycled_blocks_acquired += 1;
-                self.recycled_block = Some(block);
-                self.recycled_line_offset = 0;
-                continue;
+            if self.use_recycled {
+                if let Some(block) = self.blocks.acquire_recycled_block() {
+                    self.stats.recycled_blocks_acquired += 1;
+                    self.recycled_block = Some(block);
+                    self.recycled_line_offset = 0;
+                    continue;
+                }
             }
             // 3. Fall back to a clean block.
             if let Some(block) = self.blocks.acquire_clean_block() {
@@ -322,6 +336,11 @@ impl ImmixAllocator {
     }
 
     fn install_region(&mut self, start: Address, end: Address) {
+        // A recycled free-line run re-enters service here: advance the
+        // lines' reuse epochs so captured references into their previous
+        // lives (stale decrements, logged slots, gray entries) are provably
+        // stale before new objects can appear at the same granules.
+        self.space.bump_reuse_range(start, end.diff(start));
         if self.zero_on_alloc {
             self.space.zero_range(start, end.diff(start));
         }
@@ -502,6 +521,31 @@ mod tests {
         let small2 = a.alloc(8).unwrap();
         assert_eq!(geometry.block_of(small2), recycled);
         assert_eq!(small2.word_index(), small.word_index() + 8);
+    }
+
+    #[test]
+    fn recycled_line_installation_advances_reuse_epochs() {
+        let (space, blocks) = setup(1 << 20);
+        let geometry = space.geometry();
+        // Lines 0..2 free, line 2 occupied, rest free: the first install
+        // takes lines 0..2 only.
+        let occ = Arc::new(SetOccupancy(Mutex::new(HashSet::new())));
+        let recycled = blocks.acquire_clean_block().unwrap();
+        let first_line = geometry.first_line_of(recycled).index();
+        occ.0.lock().unwrap().insert(first_line + 2);
+        blocks.release_recycled_block(recycled);
+
+        let mut a = ImmixAllocator::new(space.clone(), blocks, occ);
+        let addr = a.alloc(4).unwrap();
+        assert_eq!(geometry.block_of(addr), recycled);
+        let line0 = geometry.line_start(Line::from_index(first_line));
+        assert_eq!(space.reuse_epoch(line0), 1, "installed line epoch advanced");
+        assert_eq!(space.reuse_epoch(line0.plus(geometry.words_per_line())), 1);
+        assert_eq!(
+            space.reuse_epoch(line0.plus(2 * geometry.words_per_line())),
+            0,
+            "the occupied line's epoch is untouched — captures into it stay valid"
+        );
     }
 
     #[test]

@@ -49,6 +49,15 @@ pub struct BlockAllocator {
     free_blocks: AtomicUsize,
     /// Number of blocks in the recycled queue.
     recycled_blocks: AtomicUsize,
+    /// Monotonic count of *whole-block* release events (free or
+    /// contiguous): the reclamation-progress signal the allocation retry
+    /// loop watches — an advance between two failed attempts proves
+    /// collection is still producing memory, a stall proves a genuine
+    /// out-of-memory state.  Recycled-queue traffic deliberately does not
+    /// count: failing allocators drain the queue and every pause re-queues
+    /// the same partially free blocks, which would read as eternal
+    /// "progress" on a heap whose live set simply does not fit.
+    release_generation: AtomicUsize,
     total_usable: usize,
 }
 
@@ -67,6 +76,7 @@ impl BlockAllocator {
             central_locks: AtomicUsize::new(0),
             free_blocks: AtomicUsize::new(total_usable),
             recycled_blocks: AtomicUsize::new(0),
+            release_generation: AtomicUsize::new(0),
             total_usable,
         }
     }
@@ -105,6 +115,12 @@ impl BlockAllocator {
     /// (i.e. fully owned by live data or by allocators).
     pub fn used_block_count(&self) -> usize {
         self.total_usable.saturating_sub(self.free_block_count()).saturating_sub(self.recycled_block_count())
+    }
+
+    /// Monotonic count of block-release events.  An advance between two
+    /// observations means reclamation handed memory back in the interval.
+    pub fn release_generation(&self) -> usize {
+        self.release_generation.load(Ordering::Acquire)
     }
 
     /// Acquires one clean block, refilling the lock-free buffer from the
@@ -163,6 +179,7 @@ impl BlockAllocator {
         debug_assert!(block.index() != 0, "block 0 is reserved");
         self.space.block_states().set(block, BlockState::Free);
         self.free_blocks.fetch_add(1, Ordering::Relaxed);
+        self.release_generation.fetch_add(1, Ordering::AcqRel);
         if self.clean_buffer.push(block).is_err() {
             self.lock_central().insert(block.index());
         }
@@ -184,6 +201,7 @@ impl BlockAllocator {
             }
         }
         self.free_blocks.fetch_add(blocks.len(), Ordering::Relaxed);
+        self.release_generation.fetch_add(blocks.len(), Ordering::AcqRel);
         if !overflow.is_empty() {
             let mut central = self.lock_central();
             for idx in overflow {
@@ -249,7 +267,13 @@ impl BlockAllocator {
             central.insert(i);
         }
         drop(central);
+        // A released LOS run crosses the reuse frontier like any other
+        // block: advance its lines' epochs so captured references into the
+        // dead large object are provably stale.
+        let geometry = self.space.geometry();
+        self.space.bump_reuse_range(geometry.block_start(start), count * geometry.words_per_block());
         self.free_blocks.fetch_add(count, Ordering::Relaxed);
+        self.release_generation.fetch_add(count, Ordering::AcqRel);
     }
 }
 

@@ -1,0 +1,171 @@
+//! Reuse epochs: exact validation of captured references.
+//!
+//! LXR's deferred work — lazy decrements, logged field slots, SATB gray
+//! entries, remembered-set slots — is *captured* at one point in time and
+//! *applied* at another, up to a full RC epoch later.  In between, the
+//! granule a capture refers to can die, be reclaimed, and be reused by a
+//! fresh allocation; applying the deferred work against the granule's new
+//! occupant corrupts the heap (a bogus decrement kills a live object, a
+//! stale slot heal clobbers an unrelated word, a stale gray entry scans a
+//! non-header).  The paper's implementation guards against this with
+//! versioned unlog bits; this workspace previously approximated it with
+//! plausibility gates (extent checks, header-tag sniffing, bounded
+//! busy-spins) that turned most stale applications into *probably* benign
+//! no-ops.  [`ReuseEpochTable`] replaces the approximation with an exact
+//! test.
+//!
+//! # The stamp/validate protocol
+//!
+//! The table holds one 8-bit **reuse epoch** per line (256 B) of heap,
+//! starting at zero and wrapping.  The epoch of a line advances — via
+//! [`bump_range`](ReuseEpochTable::bump_range), a carry-fenced SWAR byte
+//! add that bumps eight lines per CAS — whenever the memory it covers
+//! crosses the reuse frontier:
+//!
+//! * every line of a block, when the block is released to the free list
+//!   (`HeapSpace::bump_block_reuse`, called from LXR's
+//!   `prepare_block_release`, the tracing baselines' sweep/evacuation
+//!   release paths, and the LOS run release);
+//! * the lines of a recycled free-line run, when a thread-local allocator
+//!   installs the run for bump allocation (`ImmixAllocator` region
+//!   install) — the only way line-grained memory re-enters service without
+//!   a whole-block release.
+//!
+//! Every captured reference is **stamped** with its target line's epoch at
+//! capture time (`Stamped<T>` rides next to the value through the buffers),
+//! and every application site **validates** with a single metadata load:
+//! `epoch_now(target) == stamp`.  A mismatch proves the line was reclaimed
+//! and reused after the capture, so the entry is dropped as stale — an
+//! exact no-op rather than a "probably benign" one.
+//!
+//! # Why validate-then-apply is race-free
+//!
+//! A validation is only trustworthy if the epoch cannot advance between the
+//! check and the apply.  Two facts make the window sound:
+//!
+//! * Inside a pause the world is stopped: nothing releases or installs
+//!   lines concurrently, so a pause-time validation is atomic with its
+//!   apply.
+//! * Outside pauses, the only transition that could make a stale *apply*
+//!   destructive is a granule going dead → live (a fresh object appearing
+//!   where the capture pointed).  Counts are only established inside
+//!   pauses (first retention, evacuation count transfer), and the pause
+//!   waits for the concurrent crew to quiesce before running — a crew
+//!   worker is never suspended between its validation and its apply across
+//!   a pause.  Mid-epoch, a freshly allocated object has count zero, so
+//!   even a decrement that validated just before the line was re-installed
+//!   lands on a zero count and is absorbed by the existing dead-object
+//!   no-op.
+//!
+//! # Wraparound bound
+//!
+//! The stamp is 8 bits, so 256 bumps of the same line between capture and
+//! validation would alias.  Both ends are bounded:
+//!
+//! * *Capture lifetime*: every capture stream is drained at most one epoch
+//!   after it is produced — the pause's step-1 catch-up drains the lazy
+//!   decrement queue unconditionally, the barrier buffers are drained at
+//!   every pause, and preempted SATB work is re-queued, not stored.
+//! * *Bump rate*: a line is released at most once per epoch (a block must
+//!   be swept free, which only pauses and the lazy reclaimer do, and both
+//!   operate on a block at most once per epoch) and installed at most once
+//!   per epoch thereafter.  With the one-epoch deferred release of
+//!   evacuated and SATB-swept blocks on top, a line's epoch advances a
+//!   handful of times per RC epoch at most — far below the 256 needed to
+//!   alias within a capture's one-epoch lifetime.
+
+use crate::{Address, HeapGeometry, SideMetadata};
+
+/// One 8-bit reuse epoch per heap line.  See the [module docs](self) for
+/// the stamp/validate protocol and its wraparound bound.
+///
+/// # Example
+///
+/// ```
+/// use lxr_heap::{Address, HeapConfig, HeapGeometry, ReuseEpochTable};
+/// let geometry = HeapGeometry::new(&HeapConfig::with_heap_size(1 << 20));
+/// let epochs = ReuseEpochTable::new(&geometry);
+/// let addr = Address::from_word_index(4096);
+/// let stamp = epochs.get(addr);
+/// // ... the block is released and its memory reused ...
+/// epochs.bump_range(addr, geometry.words_per_line());
+/// assert_ne!(epochs.get(addr), stamp, "the capture is now provably stale");
+/// ```
+#[derive(Debug)]
+pub struct ReuseEpochTable {
+    epochs: SideMetadata,
+}
+
+impl ReuseEpochTable {
+    /// Creates a zeroed table with one epoch per line of the given heap.
+    pub fn new(geometry: &HeapGeometry) -> Self {
+        ReuseEpochTable { epochs: SideMetadata::new(geometry.num_words(), geometry.words_per_line(), 8) }
+    }
+
+    /// The current reuse epoch of the line containing `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` lies outside the heap the table was sized for;
+    /// callers stamping values of unknown provenance must bounds-check
+    /// first (stale out-of-heap values are dropped by the same in-heap
+    /// check every application site already performs).
+    #[inline]
+    pub fn get(&self, addr: Address) -> u8 {
+        self.epochs.load(addr)
+    }
+
+    /// Advances the epoch of every line covering `[start, start + words)`
+    /// (wrapping), eight lines per CAS.
+    pub fn bump_range(&self, start: Address, words: usize) {
+        self.epochs.bump_range(start, words);
+    }
+
+    /// Metadata footprint in bytes (one byte per line: ~0.4 % of the heap).
+    pub fn metadata_bytes(&self) -> usize {
+        self.epochs.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HeapConfig;
+
+    #[test]
+    fn epochs_start_zero_and_bump_per_line() {
+        let geometry = HeapGeometry::new(&HeapConfig::with_heap_size(1 << 20));
+        let t = ReuseEpochTable::new(&geometry);
+        let wpl = geometry.words_per_line();
+        let line0 = Address::from_word_index(0);
+        let line1 = Address::from_word_index(wpl);
+        assert_eq!(t.get(line0), 0);
+        t.bump_range(line0, wpl);
+        assert_eq!(t.get(line0), 1);
+        assert_eq!(t.get(line0.plus(wpl - 1)), 1, "the whole line shares one epoch");
+        assert_eq!(t.get(line1), 0, "the next line is untouched");
+    }
+
+    #[test]
+    fn block_sized_bumps_cover_every_line() {
+        let geometry = HeapGeometry::new(&HeapConfig::with_heap_size(1 << 20));
+        let t = ReuseEpochTable::new(&geometry);
+        let start = geometry.block_start(crate::Block::from_index(2));
+        t.bump_range(start, geometry.words_per_block());
+        for line in 0..geometry.lines_per_block() {
+            assert_eq!(t.get(start.plus(line * geometry.words_per_line())), 1, "line {line}");
+        }
+        assert_eq!(t.get(start.plus(geometry.words_per_block())), 0, "next block untouched");
+    }
+
+    #[test]
+    fn wrapping_is_silent() {
+        let geometry = HeapGeometry::new(&HeapConfig::with_heap_size(1 << 20));
+        let t = ReuseEpochTable::new(&geometry);
+        let addr = Address::from_word_index(4096);
+        for _ in 0..256 {
+            t.bump_range(addr, 1);
+        }
+        assert_eq!(t.get(addr), 0);
+    }
+}

@@ -50,6 +50,7 @@ pub mod allocator;
 pub mod block;
 pub mod block_alloc;
 pub mod config;
+pub mod epoch;
 pub mod geometry;
 pub mod line;
 pub mod los;
@@ -61,6 +62,7 @@ pub use allocator::{AllocError, ImmixAllocator, LineOccupancy};
 pub use block::{Block, BlockState, BlockStateTable};
 pub use block_alloc::BlockAllocator;
 pub use config::HeapConfig;
+pub use epoch::ReuseEpochTable;
 pub use geometry::HeapGeometry;
 pub use line::{Line, LineTable};
 pub use los::LargeObjectSpace;

@@ -79,13 +79,23 @@ impl LargeObjectSpace {
     ///
     /// Panics if `addr` is not the start of a live large object.
     pub fn free(&self, addr: Address) {
-        let object = self
-            .objects
-            .lock()
-            .remove(&addr.word_index())
-            .expect("freeing an address that is not a live large object");
+        assert!(self.try_free(addr).is_some(), "freeing an address that is not a live large object");
+    }
+
+    /// Frees the large object starting at `addr` if one is live there,
+    /// returning its metadata.  Exactly one of any set of racing callers
+    /// succeeds (the registry removal arbitrates), which is what the
+    /// concurrent lazy-decrement path needs.
+    pub fn try_free(&self, addr: Address) -> Option<LargeObject> {
+        let object = self.objects.lock().remove(&addr.word_index())?;
         self.blocks.release_contiguous(object.first_block, object.num_blocks);
         self.live_words.fetch_sub(object.size_words, Ordering::Relaxed);
+        Some(object)
+    }
+
+    /// The metadata of the live large object starting at `addr`, if any.
+    pub fn object_at(&self, addr: Address) -> Option<LargeObject> {
+        self.objects.lock().get(&addr.word_index()).copied()
     }
 
     /// Returns the size in words of the large object starting at `addr`, or

@@ -82,6 +82,8 @@ const M4: usize = repeat(0xf, 8);
 const M8: usize = repeat(0xff, 16);
 /// `0x0101..`: the low bit of every byte (byte-sum multiplier).
 const LSB8: usize = repeat(0x01, 8);
+/// `0x8080..`: the high bit of every byte (carry fence for byte adds).
+const MSB8: usize = repeat(0x80, 8);
 /// `0x00010001..`: the low bit of every 16-bit group.
 const LSB16: usize = repeat(0x0001, 16);
 
@@ -477,6 +479,84 @@ impl SideMetadata {
         }
     }
 
+    /// Wrapping-increments every entry covering the word range
+    /// `[start, start + words)`.  Eight entries are bumped per backing word
+    /// with a carry-fenced SWAR byte add (clear every byte's top bit, add 1
+    /// to each selected lane — no carry can cross a byte once its top bit is
+    /// zero — then XOR the top bits back in), merged atomically so
+    /// concurrent bumps of *other* entries in the same word are never lost.
+    ///
+    /// This is the reuse-epoch bump: releasing a block advances the epoch of
+    /// all of its lines in `words_per_block / words_per_line / 8` CAS
+    /// rounds instead of one byte RMW per line.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the table has 8-bit entries (the only width the epoch
+    /// tables use; narrower widths would need masked carry fences).
+    pub fn bump_range(&self, start: Address, words: usize) {
+        assert_eq!(self.bits_per_entry, 8, "bump_range is defined for 8-bit entries only");
+        let (mut e, e1) = self.entry_range(start, words);
+        let epw_mask = (1usize << self.log_entries_per_word()) - 1;
+        while e < e1 {
+            let lane0 = e & epw_mask;
+            let lanes = ((epw_mask + 1) - lane0).min(e1 - e);
+            let word = &self.words[e >> self.log_entries_per_word()];
+            let sel = low_mask(lanes << self.log_bits) << (lane0 << self.log_bits);
+            let mut current = word.load(Ordering::Relaxed);
+            loop {
+                // Selected bytes: wrapping +1.  Unselected bytes: +0, so the
+                // carry-fence round trip reproduces them exactly.
+                let bumped = ((current & !MSB8).wrapping_add(LSB8 & sel)) ^ (current & MSB8);
+                match word.compare_exchange_weak(current, bumped, Ordering::AcqRel, Ordering::Relaxed) {
+                    Ok(_) => break,
+                    Err(actual) => current = actual,
+                }
+            }
+            e += lanes;
+        }
+    }
+
+    /// Sets every entry covering the word range `[start, start + words)` to
+    /// `value` — the filling counterpart of
+    /// [`clear_range`](Self::clear_range).  Fully covered backing words
+    /// take one plain store (32 two-bit entries per store); words shared
+    /// with out-of-range entries are merged atomically.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `value` does not fit in an entry.
+    pub fn fill_range(&self, start: Address, words: usize, value: u8) {
+        debug_assert!(value <= self.mask);
+        let mut pattern = value as usize;
+        let mut width = self.bits_per_entry as u32;
+        while width < usize::BITS {
+            pattern |= pattern << width;
+            width *= 2;
+        }
+        let (mut e, e1) = self.entry_range(start, words);
+        let epw_mask = (1usize << self.log_entries_per_word()) - 1;
+        while e < e1 {
+            let lane0 = e & epw_mask;
+            let lanes = ((epw_mask + 1) - lane0).min(e1 - e);
+            let word = &self.words[e >> self.log_entries_per_word()];
+            if lanes == epw_mask + 1 {
+                word.store(pattern, Ordering::Release);
+            } else {
+                let mask = low_mask(lanes << self.log_bits) << (lane0 << self.log_bits);
+                let mut current = word.load(Ordering::Relaxed);
+                loop {
+                    let new = (current & !mask) | (pattern & mask);
+                    match word.compare_exchange_weak(current, new, Ordering::AcqRel, Ordering::Relaxed) {
+                        Ok(_) => break,
+                        Err(actual) => current = actual,
+                    }
+                }
+            }
+            e += lanes;
+        }
+    }
+
     /// Zeroes the whole table.
     pub fn clear_all(&self) {
         for word in self.words.iter() {
@@ -759,6 +839,16 @@ impl SideMetadata {
         }
     }
 
+    /// Scalar model of [`bump_range`](Self::bump_range).
+    #[doc(hidden)]
+    pub fn scalar_bump_range(&self, start: Address, words: usize) {
+        let mut w = 0;
+        while w < words {
+            let _ = self.fetch_update(start.plus(w), |v| Some(v.wrapping_add(1) & self.mask));
+            w += self.granule_words();
+        }
+    }
+
     /// Scalar model of [`for_each_nonzero`](Self::for_each_nonzero).
     #[doc(hidden)]
     pub fn scalar_for_each_nonzero(&self, start: Address, words: usize, mut f: impl FnMut(usize)) {
@@ -933,6 +1023,61 @@ mod tests {
         assert_eq!(m.count_nonzero_range(start, words), 3, "entries 31..100 cleared, 100 kept");
         assert_eq!(m.load(Address::from_word_index(100 * 2)), 3, "clear stops before entry 100");
         assert_eq!(m.load(Address::from_word_index(30 * 2)), 3, "clear starts after entry 30");
+    }
+
+    #[test]
+    fn fill_range_is_exact() {
+        let m = SideMetadata::new(4096, 2, 2);
+        m.store(Address::from_word_index(29 * 2), 3);
+        m.store(Address::from_word_index(60 * 2), 3);
+        // Fill entries 30..100 (straddling word boundaries) with 1.
+        m.fill_range(Address::from_word_index(30 * 2), (100 - 30) * 2, 1);
+        assert_eq!(m.load(Address::from_word_index(29 * 2)), 3, "entry before the range untouched");
+        for e in 30..100 {
+            assert_eq!(m.load(Address::from_word_index(e * 2)), 1, "entry {e}");
+        }
+        assert_eq!(m.load(Address::from_word_index(100 * 2)), 0, "entry after the range untouched");
+    }
+
+    #[test]
+    fn bump_range_wraps_and_spares_neighbours() {
+        // 8-bit entries, granule 2: 8 entries per backing word.
+        let m = SideMetadata::new(256, 2, 8);
+        m.store(Address::from_word_index(0), 255);
+        m.store(Address::from_word_index(2), 7);
+        m.store(Address::from_word_index(20), 9);
+        // Bump entries 0..=8 (crossing a word boundary, leaving entry 10 out).
+        m.bump_range(Address::from_word_index(0), 18);
+        assert_eq!(m.load(Address::from_word_index(0)), 0, "255 wraps to 0");
+        assert_eq!(m.load(Address::from_word_index(2)), 8);
+        assert_eq!(m.load(Address::from_word_index(4)), 1);
+        assert_eq!(m.load(Address::from_word_index(16)), 1, "entry 8 in the second word bumped");
+        assert_eq!(m.load(Address::from_word_index(18)), 0, "entry 9 untouched");
+        assert_eq!(m.load(Address::from_word_index(20)), 9, "entry 10 untouched");
+    }
+
+    #[test]
+    fn concurrent_bumps_of_distinct_entries_in_one_word_are_not_lost() {
+        use std::sync::Arc;
+        let m = Arc::new(SideMetadata::new(64, 2, 8));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.bump_range(Address::from_word_index(t * 4), 4);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        for t in 0..4 {
+            // 1000 bumps of a 2-entry range, wrapping at 256.
+            assert_eq!(m.load(Address::from_word_index(t * 4)) as usize, 1000 % 256, "lane {t}");
+            assert_eq!(m.load(Address::from_word_index(t * 4 + 2)) as usize, 1000 % 256);
+        }
     }
 
     #[test]
@@ -1200,6 +1345,32 @@ mod proptests {
             m.clear_range(start, words);
             for e in model.entries(start.word_index(), words) {
                 model.values[e] = 0;
+            }
+            for (e, &v) in model.values.iter().enumerate() {
+                prop_assert_eq!(m.load(Address::from_word_index(e * model.granule)), v, "entry {}", e);
+            }
+        }
+
+        /// The SWAR byte-lane bump agrees with a per-entry wrapping add over
+        /// random fills and word-straddling ranges (8-bit entries only).
+        #[test]
+        fn bump_range_matches_scalar(
+            granule_sel in 0u8..3,
+            fills in proptest::collection::vec((0usize..2048, 1u8..=255), 1..200),
+            start_e in 0usize..2000,
+            len_e in 1usize..2048,
+            rounds in 1usize..4,
+        ) {
+            // Force 8-bit entries (bits_sel 3 selects width 8 in `build`).
+            let (m, mut model) = build(3, granule_sel, &fills);
+            let len_e = len_e.min(2048 - start_e);
+            let start = Address::from_word_index(start_e * model.granule);
+            let words = len_e * model.granule;
+            for _ in 0..rounds {
+                m.bump_range(start, words);
+                for e in model.entries(start.word_index(), words) {
+                    model.values[e] = model.values[e].wrapping_add(1);
+                }
             }
             for (e, &v) in model.values.iter().enumerate() {
                 prop_assert_eq!(m.load(Address::from_word_index(e * model.granule)), v, "entry {}", e);

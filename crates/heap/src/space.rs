@@ -2,11 +2,12 @@
 //!
 //! [`HeapSpace`] owns the memory every collector in the workspace manages: a
 //! contiguous array of 8-byte cells accessed atomically, plus the shared
-//! structural metadata ([`BlockStateTable`], a line reuse-counter table) that
-//! the heap layer itself maintains.  All higher-level metadata (reference
-//! counts, mark bits, unlogged bits) is owned by the collectors.
+//! structural metadata ([`BlockStateTable`], the per-line
+//! [`ReuseEpochTable`]) that the heap layer itself maintains.  All
+//! higher-level metadata (reference counts, mark bits, unlogged bits) is
+//! owned by the collectors.
 
-use crate::{Address, Block, BlockStateTable, HeapConfig, HeapGeometry, Line, LineTable};
+use crate::{Address, Block, BlockStateTable, HeapConfig, HeapGeometry, Line, ReuseEpochTable};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// The shared, word-addressed heap arena.
@@ -33,7 +34,9 @@ pub struct HeapSpace {
     config: HeapConfig,
     geometry: HeapGeometry,
     block_states: BlockStateTable,
-    line_reuse: LineTable,
+    /// Per-line reuse epochs, stamped into captured references and
+    /// validated at their application sites (see [`crate::epoch`]).
+    reuse_epochs: ReuseEpochTable,
     /// Words allocated since the space was created (monotonic).
     allocated_words: AtomicUsize,
 }
@@ -44,8 +47,15 @@ impl HeapSpace {
         let geometry = HeapGeometry::new(&config);
         let words = (0..geometry.num_words()).map(|_| AtomicU64::new(0)).collect();
         let block_states = BlockStateTable::new(geometry.num_blocks());
-        let line_reuse = LineTable::new(geometry.num_lines());
-        HeapSpace { words, config, geometry, block_states, line_reuse, allocated_words: AtomicUsize::new(0) }
+        let reuse_epochs = ReuseEpochTable::new(&geometry);
+        HeapSpace {
+            words,
+            config,
+            geometry,
+            block_states,
+            reuse_epochs,
+            allocated_words: AtomicUsize::new(0),
+        }
     }
 
     /// The configuration this space was created with.
@@ -63,9 +73,17 @@ impl HeapSpace {
         &self.block_states
     }
 
-    /// The per-line reuse-counter table (§3.3.2).
-    pub fn line_reuse(&self) -> &LineTable {
-        &self.line_reuse
+    /// The per-line reuse-epoch table (§3.3.2; see [`crate::epoch`] for the
+    /// stamp/validate protocol).
+    pub fn reuse_epochs(&self) -> &ReuseEpochTable {
+        &self.reuse_epochs
+    }
+
+    /// The reuse epoch of the line containing `addr` — the value captured
+    /// references are stamped with and validated against.
+    #[inline]
+    pub fn reuse_epoch(&self, addr: Address) -> u8 {
+        self.reuse_epochs.get(addr)
     }
 
     /// Number of usable blocks (excludes the reserved block 0).
@@ -146,18 +164,24 @@ impl HeapSpace {
         self.geometry.contains(addr)
     }
 
-    /// Bumps the reuse counter of every line in `block` (called when a block
-    /// or its lines are reclaimed, so stale remembered-set entries tagged
-    /// with the old counter can be discarded).
+    /// Advances the reuse epoch of every line in `block` (called when the
+    /// block is released, so captured references stamped with the old epoch
+    /// — decrements, logged slots, gray entries, remembered-set slots — are
+    /// provably stale and discarded at their application sites).
     pub fn bump_block_reuse(&self, block: Block) {
-        for line in self.geometry.lines_of(block) {
-            self.line_reuse.increment(line);
-        }
+        self.reuse_epochs.bump_range(self.geometry.block_start(block), self.geometry.words_per_block());
     }
 
-    /// Bumps the reuse counter of a single line.
+    /// Advances the reuse epoch of a single line.
     pub fn bump_line_reuse(&self, line: Line) {
-        self.line_reuse.increment(line);
+        self.reuse_epochs.bump_range(self.geometry.line_start(line), self.geometry.words_per_line());
+    }
+
+    /// Advances the reuse epoch of every line covering
+    /// `[start, start + words)` (used by allocators when a recycled
+    /// free-line run re-enters service).
+    pub fn bump_reuse_range(&self, start: Address, words: usize) {
+        self.reuse_epochs.bump_range(start, words);
     }
 }
 
@@ -218,18 +242,24 @@ mod tests {
     }
 
     #[test]
-    fn reuse_counters_bump_per_line_and_per_block() {
+    fn reuse_epochs_bump_per_line_and_per_block() {
         let s = space();
         let g = s.geometry();
         let b = Block::from_index(1);
         let first = g.first_line_of(b);
         s.bump_line_reuse(first);
-        assert_eq!(s.line_reuse().get(first), 1);
+        assert_eq!(s.reuse_epoch(g.line_start(first)), 1);
         s.bump_block_reuse(b);
-        assert_eq!(s.line_reuse().get(first), 2);
+        assert_eq!(s.reuse_epoch(g.line_start(first)), 2);
         for line in g.lines_of(b).skip(1) {
-            assert_eq!(s.line_reuse().get(line), 1);
+            assert_eq!(s.reuse_epoch(g.line_start(line)), 1);
         }
+        // A range bump covers exactly the lines it names.
+        let run = g.line_start(g.first_line_of(Block::from_index(2)));
+        s.bump_reuse_range(run, 2 * g.words_per_line());
+        assert_eq!(s.reuse_epoch(run), 1);
+        assert_eq!(s.reuse_epoch(run.plus(g.words_per_line())), 1);
+        assert_eq!(s.reuse_epoch(run.plus(2 * g.words_per_line())), 0);
     }
 
     #[test]

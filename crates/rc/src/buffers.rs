@@ -15,6 +15,29 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// The default number of entries in a published chunk.
 pub const DEFAULT_CHUNK_SIZE: usize = 1024;
 
+/// A captured value carrying the reuse epoch of its target line at capture
+/// time (see `lxr_heap::epoch` for the stamp/validate protocol).
+///
+/// Every deferred-work stream — decrement buffers, modified-field buffers,
+/// the lazy decrement queue, SATB gray entries — stores `Stamped` values;
+/// the application sites compare the stamp against the line's current epoch
+/// and drop the entry as provably stale on a mismatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stamped<T> {
+    /// The captured value (an object reference or a slot address).
+    pub value: T,
+    /// The target line's reuse epoch at capture time.
+    pub epoch: u8,
+}
+
+impl<T> Stamped<T> {
+    /// Stamps `value` with `epoch`.
+    #[inline]
+    pub fn new(value: T, epoch: u8) -> Self {
+        Stamped { value, epoch }
+    }
+}
+
 /// A lock-free, multi-producer multi-consumer buffer of chunks.
 ///
 /// # Example

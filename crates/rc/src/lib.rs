@@ -21,5 +21,5 @@
 pub mod buffers;
 pub mod table;
 
-pub use buffers::SharedBuffer;
+pub use buffers::{SharedBuffer, Stamped};
 pub use table::{BlockCensus, CountChange, RcTable};

@@ -88,13 +88,27 @@ impl Mutator {
     }
 
     /// Allocates an object of the given [`ObjectShape`].
+    ///
+    /// The retry loop is paced by *reclamation progress*, not a fixed
+    /// attempt count: after each failed attempt it triggers a collection,
+    /// and as long as the block allocator's release generation keeps
+    /// advancing (some collection — a pause, lazy reclamation, a completed
+    /// backup trace — freed at least one block since the previous attempt)
+    /// it keeps retrying.  Heavy cyclic churn in a tight heap can
+    /// legitimately need many pauses before the trace that frees memory
+    /// completes; a fixed cap declared OOM spuriously in exactly that
+    /// case.  Only when reclamation stalls outright — zero blocks released
+    /// for `oom_retry_stall_ms` despite repeated collections — does the
+    /// loop give up with a clean out-of-memory report.
     pub fn alloc_shape(&mut self, shape: ObjectShape) -> ObjectReference {
         self.allocs_since_poll += 1;
         if self.allocs_since_poll >= self.runtime.options.poll_interval_allocs {
             self.allocs_since_poll = 0;
             self.poll_and_park();
         }
-        let mut attempts = 0;
+        let mut attempts: u64 = 0;
+        let mut last_generation: Option<usize> = None;
+        let mut stalled_since: Option<std::time::Instant> = None;
         loop {
             match self.plan_mutator.alloc(shape) {
                 Ok(obj) => {
@@ -105,13 +119,28 @@ impl Mutator {
                 }
                 Err(AllocFailure::OutOfMemory) => {
                     attempts += 1;
-                    assert!(
-                        attempts <= 8,
-                        "out of memory: allocation of {:?} failed after {} collections (plan {})",
-                        shape,
-                        attempts - 1,
-                        self.runtime.plan.name()
-                    );
+                    let generation = self.runtime.blocks.release_generation();
+                    if last_generation != Some(generation) {
+                        stalled_since = None; // progress since the last attempt
+                    } else if attempts > 2 {
+                        let since = *stalled_since.get_or_insert_with(std::time::Instant::now);
+                        let stall = std::time::Duration::from_millis(self.runtime.options.oom_retry_stall_ms);
+                        assert!(
+                            since.elapsed() < stall,
+                            "out of memory: allocation of {:?} failed after {} collections with no \
+                             reclamation progress for {:?} (plan {}, {} free / {} recycled / {} used of \
+                             {} blocks)",
+                            shape,
+                            attempts - 1,
+                            since.elapsed(),
+                            self.runtime.plan.name(),
+                            self.runtime.blocks.free_block_count(),
+                            self.runtime.blocks.recycled_block_count(),
+                            self.runtime.blocks.used_block_count(),
+                            self.runtime.blocks.total_blocks(),
+                        );
+                    }
+                    last_generation = Some(generation);
                     self.trigger_gc_and_wait(GcReason::Exhausted);
                     // If reclamation is gated on concurrent work — a
                     // mid-flight SATB trace that must complete before the
@@ -244,9 +273,14 @@ impl Mutator {
         if !self.runtime.options.concurrent_thread {
             return; // no crew: concurrent work would never drain
         }
-        // Bounded: if the crew cannot drain in this many yields, fall back
-        // to the retry loop's pauses rather than hanging.
-        for _ in 0..100_000 {
+        // Time-bounded: if the crew cannot drain within one stall window,
+        // fall back to the retry loop's pauses rather than hanging (a
+        // saturated heap can keep a backup trace "in progress" — restarted
+        // every pause — indefinitely, and the retry loop's stall deadline
+        // must get a chance to fire).
+        let deadline = std::time::Instant::now()
+            + std::time::Duration::from_millis(self.runtime.options.oom_retry_stall_ms);
+        while std::time::Instant::now() < deadline {
             if !self.runtime.plan.has_concurrent_work() || self.runtime.rendezvous.is_shutdown() {
                 return;
             }

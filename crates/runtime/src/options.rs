@@ -38,6 +38,15 @@ pub struct RuntimeOptions {
     pub concurrent_workers: usize,
     /// How many allocations between trigger polls on each mutator.
     pub poll_interval_allocs: usize,
+    /// How long a failing allocation keeps retrying once reclamation stops
+    /// making progress.  The retry loop watches the block allocator's
+    /// release generation: as long as collections keep freeing blocks it
+    /// retries indefinitely (memory is coming back, however slowly), and
+    /// only after this long with *zero* blocks released does it report a
+    /// clean out-of-memory panic.  Replaces the old fixed 8-attempt cap,
+    /// which declared OOM spuriously whenever heavy cyclic churn needed
+    /// more than eight pauses to finish a backup trace.
+    pub oom_retry_stall_ms: u64,
 }
 
 impl Default for RuntimeOptions {
@@ -48,6 +57,7 @@ impl Default for RuntimeOptions {
             concurrent_thread: true,
             concurrent_workers: default_concurrent_workers(),
             poll_interval_allocs: 64,
+            oom_retry_stall_ms: 1000,
         }
     }
 }
@@ -97,6 +107,13 @@ impl RuntimeOptions {
     /// Sets the mutator poll interval (allocations between trigger checks).
     pub fn with_poll_interval(mut self, allocs: usize) -> Self {
         self.poll_interval_allocs = allocs.max(1);
+        self
+    }
+
+    /// Sets how long a failing allocation tolerates zero reclamation
+    /// progress before reporting out of memory.
+    pub fn with_oom_retry_stall_ms(mut self, ms: u64) -> Self {
+        self.oom_retry_stall_ms = ms;
         self
     }
 }

@@ -104,9 +104,17 @@ pub enum WorkCounter {
     /// used by the concurrent-copying baselines when allocation outruns
     /// collection.
     DegeneratedCollections,
+    /// Captured references whose reuse-epoch stamp matched at application
+    /// time (the common case: the capture was applied).
+    EpochChecksPassed,
+    /// Captured references dropped because their reuse-epoch stamp no
+    /// longer matched — the target line was reclaimed and reused after the
+    /// capture, so applying the entry would have corrupted its new
+    /// occupant.
+    EpochStaleDrops,
 }
 
-const NUM_COUNTERS: usize = WorkCounter::DegeneratedCollections as usize + 1;
+const NUM_COUNTERS: usize = WorkCounter::EpochStaleDrops as usize + 1;
 
 /// A point-in-time copy of all statistics.
 #[derive(Debug, Clone)]
@@ -253,6 +261,8 @@ pub const ALL_COUNTERS: &[WorkCounter] = &[
     WorkCounter::BlocksRecycled,
     WorkCounter::LargeObjectsFreed,
     WorkCounter::DegeneratedCollections,
+    WorkCounter::EpochChecksPassed,
+    WorkCounter::EpochStaleDrops,
 ];
 
 #[cfg(test)]
