@@ -5,7 +5,7 @@
 //!
 //! # The crew
 //!
-//! The runtime invokes [`concurrent_work`] concurrently from every member
+//! The runtime invokes `concurrent_work` concurrently from every member
 //! of its concurrent crew (`gc-concurrent-*` threads, sized by the
 //! `concurrent_workers` runtime option).  The crew shares work through the
 //! collector's queues in seed-and-steal form:
@@ -37,6 +37,19 @@
 //! collector state, and whatever the crew left in the shared queues is
 //! either finished by the pause (decrements) or re-seeds the crew after it
 //! (SATB tracing).
+//!
+//! # Quiescence handshake
+//!
+//! Crew-wide quiescence is a publish-then-recheck (Dekker) pattern, and
+//! both sides are `SeqCst` deliberately: a worker increments
+//! `concurrent_active` and *then* re-checks the pause flag, while the
+//! pause controller raises the lock-free `Rendezvous::gc_pending` and
+//! *then* spins on the counter.  Either the worker sees the pending pause
+//! and backs out, or the controller's read of the counter sees the worker
+//! and waits — weaker orderings on either side reopen the
+//! check-then-act window that once let a worker run mid-pause.
+//!
+//! # Oracles
 //!
 //! The single-threaded trace survives as [`trace_satb_sequential`]: the
 //! determinism/mark-set oracle for the crew (the tests assert the crew's
@@ -429,7 +442,7 @@ const TRACE_GRAB: usize = 64;
 /// One crew worker's share of the SATB transitive closure.
 ///
 /// The worker drains a local mark stack (LIFO — depth-first-ish, good
-/// locality) refilled from the shared gray queue in [`TRACE_GRAB`]-sized
+/// locality) refilled from the shared gray queue in `TRACE_GRAB`-sized
 /// grabs; children go on the local stack, and an oversized stack spills
 /// half to the shared queue.  Termination: the worker registers itself in
 /// `satb_tracers` while it holds work; when both its stack and the shared

@@ -20,6 +20,8 @@
 //! 9. decides whether to start a new SATB trace, and
 //! 10. updates the survival-rate predictor and epoch bookkeeping.
 //!
+//! # Parallelism
+//!
 //! Every substantive phase of the pause runs on the work-stealing worker
 //! pool ("parallelism in every collection phase", §1): the increment phase
 //! and the non-lazy decrement phase push recursive work through
@@ -27,6 +29,39 @@
 //! fans read-only block censuses out over the pool and buffers free-list
 //! mutations per worker (flushed once), and the young-LOS sweep chunks its
 //! candidate list across the pool.
+//!
+//! # Phase-order invariants
+//!
+//! The step numbering above is load-bearing; reordering any of these pairs
+//! reintroduces a corruption class that was found and fixed by differential
+//! stress (see ROADMAP, PR 3/PR 4):
+//!
+//! * **Step 1 is unconditional.**  The crew's last-worker-out emptiness
+//!   check can race a preempted sibling's re-queue, so a cleared
+//!   `lazy_pending` flag must not gate the decrement drain — step 2
+//!   releases the previous pause's deferred blocks, which is only sound
+//!   once *everything* that could still resolve a reference into them has
+//!   drained.
+//! * **Increments run before SATB reclamation and mature evacuation**
+//!   (step 6 work embedded ahead of step 5's consumers): evacuating first
+//!   left relocated objects holding stale pointers to young objects that
+//!   moved in the same pause, and the final epoch's modified slots must
+//!   reach the remembered set before the evacuation consumes it.
+//! * **Deferred root decrements apply inside the pause, strictly after
+//!   that pause's root increments** (step 7 after step 6): applying them
+//!   lazily let a root-held object's count transiently reach zero
+//!   mid-epoch and cascade a bogus death.
+//!
+//! # Concurrency
+//!
+//! The pause begins by waiting the concurrent crew out (`concurrent_active`
+//! paired with the lock-free `Rendezvous::gc_pending` Dekker handshake) and
+//! runs with every mutator parked at the rendezvous.  That phase-level
+//! quiescence is what lets the controller drain the barrier sinks through
+//! the unpinned `drain_exclusive` fast path (it is provably the only
+//! consumer), and every epoch-stamp validation performed inside the pause
+//! is atomic with its apply because nothing concurrently releases or
+//! installs lines (see `lxr_heap::epoch`).
 
 use crate::state::LxrState;
 use lxr_heap::{Address, Block, BlockState, ImmixAllocator, LineOccupancy, GRANULE_WORDS};
@@ -116,8 +151,16 @@ pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
     state.finish_block_releases(&deferred);
 
     // 3. Drain the write-barrier buffers.
-    let mod_chunks = state.sink.modified_fields.drain();
-    let dec_chunks = state.sink.decrements.drain();
+    //
+    // SAFETY (exclusive-consumer drain): mutators are stopped at the
+    // rendezvous and step 0 waited the concurrent crew out, so this pause
+    // controller is the only thread that can pop the barrier sinks — the
+    // sinks' only consumer is the pause, and there is no other pause.
+    // Skipping the queue pin/unpin removes two `SeqCst` RMWs per chunk
+    // from the pause's critical path (the ROADMAP's scheduler-contention
+    // frontier; this is its cheap half).
+    let mod_chunks = unsafe { state.sink.modified_fields.drain_exclusive() };
+    let dec_chunks = unsafe { state.sink.decrements.drain_exclusive() };
 
     // 4. SATB: feed the overwritten referents (the snapshot edges) into the
     //    trace, run a bounded catch-up slice, and detect completion.

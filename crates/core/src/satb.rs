@@ -10,12 +10,37 @@
 //! of the snapshot edges starts before the next pause drains the barrier
 //! buffers.
 //!
+//! # Lifecycle
+//!
 //! The trace runs concurrently with mutators, spans as many RC epochs as
 //! it needs (each pause feeds it the remaining overwritten snapshot edges
 //! and re-seeds the crew with whatever preemption left in the gray queue),
 //! and when it completes, the next pause reclaims every mature object the
 //! trace did not mark — dead cycles and objects with stuck counts — and
-//! evacuates the fragmented blocks selected when the trace began.
+//! evacuates the fragmented blocks selected when the trace began.  Pauses
+//! also retire a bounded catch-up slice of the gray set (1/8 of the heap's
+//! granules; unbounded on exhaustion pauses, the degenerate-GC fallback),
+//! which is what guarantees convergence even when a saturated host starves
+//! the crew.
+//!
+//! # Why the snapshot stays sound
+//!
+//! Yuasa's invariant needs every reference live at trace start to be
+//! marked-through before it can be overwritten.  Three mechanisms uphold
+//! it here:
+//!
+//! * the deletion barrier captures overwritten referents into the
+//!   decrement buffers, and both the mid-epoch barrier flush and the pause
+//!   feed those referents into the gray queue *before* the decrements that
+//!   could free them are applied;
+//! * every gray entry is epoch-stamped at capture
+//!   (`lxr_rc::Stamped`): a granule reclaimed and reused between capture
+//!   and scan fails its one-load validation and is dropped as provably
+//!   stale instead of being scanned as a phantom object;
+//! * SATB-swept blocks take the same one-epoch deferred release as
+//!   evacuated blocks, so a lazily-draining crew never resolves a
+//!   reference into a block whose memory was already rehanded to the
+//!   allocator.
 
 use crate::state::LxrState;
 use lxr_heap::{Block, BlockState, GRANULE_WORDS};

@@ -1,5 +1,7 @@
 //! The thread-local Immix bump-pointer allocator.
 //!
+//! # Allocation policy
+//!
 //! Follows §3.1 of the paper: allocation uses a fast bump pointer into the
 //! current block; partially free (recycled) blocks are preferred over clean
 //! blocks to maximise the availability of clean blocks for large
@@ -9,6 +11,28 @@
 //! unavailable; medium objects that do not fit the current free-line run are
 //! redirected to a dedicated *overflow* block; and memory is zeroed
 //! immediately before it is allocated into.
+//!
+//! # Concurrency
+//!
+//! The allocator itself is thread-local (`&mut self` everywhere); the
+//! shared state it touches is the global [`BlockAllocator`] free lists and
+//! the collector's occupancy metadata.  The free-line search
+//! ([`LineOccupancy::next_free_line_run`], backed by the side-metadata
+//! zero-run kernels) may race concurrent *decrements* from the GC crew;
+//! that race is benign by monotonicity: outside pauses counts only fall,
+//! so a stale read can under-report a free line for one epoch (a missed
+//! reuse opportunity) but can never hand out memory that is still live —
+//! counts are only established *inside* pauses, which the allocator never
+//! runs through.  This is the same argument the vector scan kernels cite
+//! (see `side_metadata`'s module docs).
+//!
+//! # Reuse epochs
+//!
+//! Installing a recycled free-line run is one of the two ways line-grained
+//! memory re-enters service, so [`install_region`](ImmixAllocator) bumps
+//! the lines' reuse epochs (`HeapSpace::bump_line_reuse`) before handing
+//! the run to the bump pointer — any reference captured into the lines'
+//! previous life fails its stamp validation from that point on.
 
 use crate::{Address, Block, BlockAllocator, HeapGeometry, HeapSpace, Line, MIN_OBJECT_WORDS};
 use std::sync::Arc;

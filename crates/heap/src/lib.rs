@@ -45,6 +45,11 @@
 //! assert!(!addr.is_null());
 //! ```
 
+// First enforcement beachhead for workspace-wide documentation coverage:
+// every public item of the heap substrate must carry rustdoc (CI runs
+// `cargo doc` with warnings denied).
+#![warn(missing_docs)]
+
 pub mod address;
 pub mod allocator;
 pub mod block;
@@ -66,7 +71,10 @@ pub use epoch::ReuseEpochTable;
 pub use geometry::HeapGeometry;
 pub use line::{Line, LineTable};
 pub use los::LargeObjectSpace;
-pub use side_metadata::{RangeCensus, SideMetadata};
+pub use side_metadata::{
+    active_backend, available_simd_backends, detect_simd_backend, select_backend, RangeCensus, SideMetadata,
+    SimdBackend,
+};
 pub use space::HeapSpace;
 
 /// Number of bytes in a heap word (the cell size of the arena).

@@ -1,0 +1,438 @@
+//! 128-bit NEON bulk kernels for AArch64.
+//!
+//! NEON ("Advanced SIMD") is a baseline feature of AArch64, so unlike the
+//! AVX2 backend this module needs no runtime probe: it is compile-time
+//! gated on `target_arch = "aarch64"`, the dispatcher selects it
+//! unconditionally there (unless `LXR_METADATA_SIMD` forces SWAR), and the
+//! intrinsics are plain safe functions — only the raw loads and stores are
+//! `unsafe`, with the same memory contracts as the AVX2 backend (see the
+//! [module docs](super), "Concurrency and per-kernel safety contracts").
+//!
+//! Kernel shapes mirror `x86.rs` at half the register width:
+//!
+//! * zero tests use `vmaxvq_u8` (horizontal max) instead of `vptest`,
+//! * the per-byte zero mask uses the `vshrn` narrowing trick — compare to
+//!   zero, narrow each 16-bit lane's middle nibble, and read the result as
+//!   a `u64` holding one nibble (`0xf` = zero byte) per original byte —
+//!   AArch64's idiomatic substitute for `pmovmskb`,
+//! * lane censuses and sums use the same 16-entry nibble LUTs via
+//!   `vqtbl1q_u8`, reduced with `vaddlvq_u8`,
+//! * the epoch bump computes with `vaddq_u8` and commits per-word CAS,
+//!   exactly like the AVX2 kernel.
+
+use super::luts::{HZ2, HZ4, IDENT4, NZ2, NZ4, POPCNT4, SUM2};
+use super::{SideMetadata, WORD_BYTES};
+use core::arch::aarch64::*;
+
+/// Bytes per NEON register.
+const VEC_BYTES: usize = 16;
+
+/// Loads a 16-byte LUT into a register.
+#[inline]
+fn lut(table: &[u8; 16]) -> uint8x16_t {
+    // SAFETY: `table` is a 16-byte array; the load is in bounds.
+    unsafe { vld1q_u8(table.as_ptr()) }
+}
+
+/// Narrows a byte-wise 0x00/0xff comparison result to a `u64` with one
+/// nibble per byte (`0xf` where the comparison held).
+#[inline]
+fn nibble_mask(cmp: uint8x16_t) -> u64 {
+    let narrowed = vshrn_n_u16::<4>(vreinterpretq_u16_u8(cmp));
+    vget_lane_u64::<0>(vreinterpret_u64_u8(narrowed))
+}
+
+/// `u64` nibble mask (one nibble per byte, `0xf` = zero byte) of `v`.
+#[inline]
+fn zero_byte_nibbles(v: uint8x16_t) -> u64 {
+    nibble_mask(vceqzq_u8(v))
+}
+
+/// `true` iff every byte of `v` is zero.
+#[inline]
+fn is_zero_vec(v: uint8x16_t) -> bool {
+    vmaxvq_u8(v) == 0
+}
+
+/// Per-byte count of non-zero entry lanes in `v` (bytes of 0..=8), via the
+/// nibble LUT for `log_bits`.
+#[inline]
+fn lane_counts(v: uint8x16_t, log_bits: u32, table: uint8x16_t, low: uint8x16_t) -> uint8x16_t {
+    let lo = vqtbl1q_u8(table, vandq_u8(v, low));
+    let hi = vqtbl1q_u8(table, vshrq_n_u8::<4>(v));
+    if log_bits == 3 {
+        // A byte is one lane: non-zero iff either nibble is non-zero.
+        vorrq_u8(lo, hi)
+    } else {
+        vaddq_u8(lo, hi)
+    }
+}
+
+impl SideMetadata {
+    /// NEON kernel of `range_is_zero`.
+    pub(super) fn neon_range_is_zero(&self, e0: usize, e1: usize) -> bool {
+        let Some((b0, blen, m0, m1)) = self.vec_interior(e0, e1, VEC_BYTES) else {
+            return self.swar_range_is_zero(e0, e1);
+        };
+        if !self.swar_range_is_zero(e0, m0) {
+            return false;
+        }
+        let p = self.data_ptr();
+        let mut off = 0;
+        while off < blen {
+            // SAFETY: read-only scan over atomically-written interior bytes
+            // (module docs, "Read-only scans"); bounds by `vec_interior`.
+            let v = unsafe { vld1q_u8(p.add(b0 + off)) };
+            if !is_zero_vec(v) {
+                return false;
+            }
+            off += VEC_BYTES;
+        }
+        self.swar_range_is_zero(m1, e1)
+    }
+
+    /// NEON kernel of `count_nonzero_range`.
+    pub(super) fn neon_count_nonzero(&self, e0: usize, e1: usize) -> usize {
+        let Some((b0, blen, m0, m1)) = self.vec_interior(e0, e1, VEC_BYTES) else {
+            return self.swar_count_nonzero(e0, e1);
+        };
+        let table = lut(match self.log_bits {
+            0 => &POPCNT4,
+            1 => &NZ2,
+            _ => &NZ4,
+        });
+        let low = vdupq_n_u8(0x0f);
+        let mut n = 0usize;
+        let p = self.data_ptr();
+        let mut off = 0;
+        while off < blen {
+            // SAFETY: read-only scan (module docs); bounds by `vec_interior`.
+            let v = unsafe { vld1q_u8(p.add(b0 + off)) };
+            // ≤ 8 lanes per byte × 16 bytes = 128 fits the u16 reduction.
+            n += vaddlvq_u8(lane_counts(v, self.log_bits, table, low)) as usize;
+            off += VEC_BYTES;
+        }
+        self.swar_count_nonzero(e0, m0) + n + self.swar_count_nonzero(m1, e1)
+    }
+
+    /// NEON kernel of `sum_range`.
+    pub(super) fn neon_sum(&self, e0: usize, e1: usize) -> usize {
+        let Some((b0, blen, m0, m1)) = self.vec_interior(e0, e1, VEC_BYTES) else {
+            return self.swar_sum(e0, e1);
+        };
+        let table = lut(match self.log_bits {
+            0 => &POPCNT4,
+            1 => &SUM2,
+            _ => &IDENT4,
+        });
+        let low = vdupq_n_u8(0x0f);
+        let mut sum = 0usize;
+        let p = self.data_ptr();
+        let mut off = 0;
+        while off < blen {
+            // SAFETY: read-only scan (module docs); bounds by `vec_interior`.
+            let v = unsafe { vld1q_u8(p.add(b0 + off)) };
+            let bytes = if self.log_bits == 3 {
+                v
+            } else {
+                let lo = vqtbl1q_u8(table, vandq_u8(v, low));
+                let hi = vqtbl1q_u8(table, vshrq_n_u8::<4>(v));
+                vaddq_u8(lo, hi)
+            };
+            // ≤ 255 per byte × 16 bytes = 4080 fits the u16 reduction.
+            sum += vaddlvq_u8(bytes) as usize;
+            off += VEC_BYTES;
+        }
+        self.swar_sum(e0, m0) + sum + self.swar_sum(m1, e1)
+    }
+
+    /// NEON kernel of `fill_range` / `clear_range`.
+    pub(super) fn neon_fill(&self, e0: usize, e1: usize, pattern: usize) {
+        let Some((b0, blen, m0, m1)) = self.vec_interior(e0, e1, VEC_BYTES) else {
+            return self.swar_fill(e0, e1, pattern);
+        };
+        self.swar_fill(e0, m0, pattern);
+        // Entry patterns replicate within a byte, so every byte of the word
+        // pattern is identical.
+        let pv = vdupq_n_u8((pattern & 0xff) as u8);
+        let p = self.data_ptr();
+        let mut off = 0;
+        while off < blen {
+            // SAFETY: bulk-write exclusivity contract (module docs, "Bulk
+            // writes"); bounds by `vec_interior`.
+            unsafe { vst1q_u8(p.add(b0 + off), pv) };
+            off += VEC_BYTES;
+        }
+        self.swar_fill(m1, e1, pattern);
+    }
+
+    /// NEON kernel of `bump_range` (8-bit entries; asserted by the
+    /// dispatcher).
+    pub(super) fn neon_bump(&self, e0: usize, e1: usize) {
+        let Some((b0, blen, m0, m1)) = self.vec_interior(e0, e1, VEC_BYTES) else {
+            return self.swar_bump(e0, e1);
+        };
+        self.swar_bump(e0, m0);
+        let ones = vdupq_n_u8(1);
+        let w0 = b0 / WORD_BYTES;
+        let p = self.data_ptr();
+        let mut off = 0;
+        while off < blen {
+            // SAFETY: the vector load may observe torn or stale words;
+            // benign because each word is committed by CAS against the
+            // loaded lane — a torn lane only fails its CAS (module docs,
+            // "The epoch bump").  Bounds by `vec_interior`.
+            let v = unsafe { vld1q_u8(p.add(b0 + off)) };
+            let bumped = vaddq_u8(v, ones);
+            let cur =
+                [vgetq_lane_u64::<0>(vreinterpretq_u64_u8(v)), vgetq_lane_u64::<1>(vreinterpretq_u64_u8(v))];
+            let new = [
+                vgetq_lane_u64::<0>(vreinterpretq_u64_u8(bumped)),
+                vgetq_lane_u64::<1>(vreinterpretq_u64_u8(bumped)),
+            ];
+            for k in 0..2 {
+                let wi = w0 + off / WORD_BYTES + k;
+                use std::sync::atomic::Ordering;
+                if self.words[wi]
+                    .compare_exchange(cur[k] as usize, new[k] as usize, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_err()
+                {
+                    // Contention (or a torn lane): redo through the SWAR
+                    // carry-fenced CAS loop.  Interior words are fully
+                    // covered, so every byte lane is selected.
+                    self.swar_bump_word(wi, !0);
+                }
+            }
+            off += VEC_BYTES;
+        }
+        self.swar_bump(m1, e1);
+    }
+
+    /// NEON kernel of `find_zero_run`: hosts the whole zero/non-zero
+    /// alternation so the per-hop searches below inline into it (see
+    /// `find_zero_run_with` for why per-hop dispatch is ruinous).
+    pub(super) fn neon_find_zero_run(
+        &self,
+        e0: usize,
+        e1: usize,
+        min_entries: usize,
+    ) -> Option<(usize, usize)> {
+        let mut e = e0;
+        while e < e1 {
+            let run_start = self.neon_next_zero(e, e1);
+            if run_start >= e1 {
+                return None;
+            }
+            let run_end = self.neon_next_nonzero(run_start, e1);
+            if run_end - run_start >= min_entries {
+                return Some((run_start, run_end - run_start));
+            }
+            e = run_end;
+        }
+        None
+    }
+
+    /// First non-zero entry in `[e, e1)`, or `e1`.
+    ///
+    /// Starts with a budgeted SWAR scan (see the AVX2 twin): short hops on
+    /// mixed-occupancy tables resolve at SWAR speed, long stretches
+    /// escalate to whole-vector skips.
+    #[inline]
+    fn neon_next_nonzero(&self, e: usize, e1: usize) -> usize {
+        let resume = match self.swar_next_nonzero_bounded(e, e1, 4) {
+            Ok(r) => return r,
+            Err(resume) => resume,
+        };
+        let Some((b0, blen, m0, m1)) = self.vec_interior(resume, e1, VEC_BYTES) else {
+            return self.swar_next_nonzero(resume, e1);
+        };
+        let r = self.swar_next_nonzero(resume, m0);
+        if r < m0 {
+            return r;
+        }
+        let epb = 8usize >> self.log_bits;
+        let p = self.data_ptr();
+        let mut off = 0;
+        while off < blen {
+            // SAFETY: read-only scan (module docs); bounds by `vec_interior`.
+            let v = unsafe { vld1q_u8(p.add(b0 + off)) };
+            if !is_zero_vec(v) {
+                // Nibble-per-byte mask: 0xf where the byte is non-zero.
+                let nz = !zero_byte_nibbles(v);
+                let byte = (nz.trailing_zeros() / 4) as usize;
+                let bytes: [u8; 16] = unsafe { core::mem::transmute(v) };
+                let val = bytes[byte];
+                let lane = (val.trailing_zeros() >> self.log_bits) as usize;
+                return (b0 + off + byte) * epb + lane;
+            }
+            off += VEC_BYTES;
+        }
+        self.swar_next_nonzero(m1, e1)
+    }
+
+    /// First zero entry in `[e, e1)`, or `e1` (same budgeted-scan
+    /// structure as [`neon_next_nonzero`](Self::neon_next_nonzero)).
+    #[inline]
+    fn neon_next_zero(&self, e: usize, e1: usize) -> usize {
+        let resume = match self.swar_next_zero_bounded(e, e1, 4) {
+            Ok(r) => return r,
+            Err(resume) => resume,
+        };
+        let Some((b0, blen, m0, m1)) = self.vec_interior(resume, e1, VEC_BYTES) else {
+            return self.swar_next_zero(resume, e1);
+        };
+        let r = self.swar_next_zero(resume, m0);
+        if r < m0 {
+            return r;
+        }
+        let epb = 8usize >> self.log_bits;
+        let low = vdupq_n_u8(0x0f);
+        // Loop-invariant LUT register, hoisted like the AVX2 twin rather
+        // than trusting the optimizer (this backend never compiles on CI).
+        let table = match self.log_bits {
+            1 => Some(lut(&HZ2)),
+            2 => Some(lut(&HZ4)),
+            _ => None,
+        };
+        let p = self.data_ptr();
+        let mut off = 0;
+        while off < blen {
+            // SAFETY: read-only scan (module docs); bounds by `vec_interior`.
+            let v = unsafe { vld1q_u8(p.add(b0 + off)) };
+            // Nibble-per-byte mask of bytes containing a zero lane.
+            let hz: u64 = match self.log_bits {
+                // 1-bit lanes: any byte other than 0xff has a zero bit.
+                0 => nibble_mask(vmvnq_u8(vceqq_u8(v, vdupq_n_u8(0xff)))),
+                // 8-bit lanes: only an all-zero byte is a zero lane.
+                3 => zero_byte_nibbles(v),
+                // 2-/4-bit lanes: nibble LUT flags a zero sub-lane.
+                _ => {
+                    // The match arm guards `table` being populated.
+                    let t = table.unwrap();
+                    let lo = vqtbl1q_u8(t, vandq_u8(v, low));
+                    let hi = vqtbl1q_u8(t, vshrq_n_u8::<4>(v));
+                    nibble_mask(vmvnq_u8(vceqzq_u8(vorrq_u8(lo, hi))))
+                }
+            };
+            if hz != 0 {
+                let byte = (hz.trailing_zeros() / 4) as usize;
+                let bytes: [u8; 16] = unsafe { core::mem::transmute(v) };
+                let val = bytes[byte] as usize;
+                let z = !self.nonzero_lane_lsbs(val) & self.lane_lsb & 0xff;
+                let lane = (z.trailing_zeros() >> self.log_bits) as usize;
+                return (b0 + off + byte) * epb + lane;
+            }
+            off += VEC_BYTES;
+        }
+        self.swar_next_zero(m1, e1)
+    }
+
+    /// NEON kernel of `for_each_nonzero`: indices reported relative to
+    /// `e0`, in ascending order.
+    pub(super) fn neon_for_each_nonzero(&self, e0: usize, e1: usize, f: &mut impl FnMut(usize)) {
+        let Some((b0, blen, m0, m1)) = self.vec_interior(e0, e1, VEC_BYTES) else {
+            return self.swar_for_each_nonzero(e0, e1, e0, f);
+        };
+        self.swar_for_each_nonzero(e0, m0, e0, f);
+        let epb = 8usize >> self.log_bits;
+        let p = self.data_ptr();
+        // Batch contiguous occupied vectors into one SWAR delegation per
+        // span (see the AVX2 twin for the dense-table rationale).
+        let mut span = None;
+        let mut off = 0;
+        while off < blen {
+            // SAFETY: read-only scan (module docs); bounds by `vec_interior`.
+            let v = unsafe { vld1q_u8(p.add(b0 + off)) };
+            if is_zero_vec(v) {
+                if let Some(s) = span.take() {
+                    self.swar_for_each_nonzero((b0 + s) * epb, (b0 + off) * epb, e0, f);
+                }
+            } else if span.is_none() {
+                span = Some(off);
+            }
+            off += VEC_BYTES;
+        }
+        if let Some(s) = span {
+            self.swar_for_each_nonzero((b0 + s) * epb, m1, e0, f);
+        }
+        self.swar_for_each_nonzero(m1, e1, e0, f);
+    }
+
+    /// NEON kernel of the group census; mirrors `avx2_group_scan` with a
+    /// nibble-per-byte zero mask instead of a bit-per-byte one.
+    pub(super) fn neon_group_scan(
+        &self,
+        e0: usize,
+        e1: usize,
+        log_epg: u32,
+        f: &mut impl FnMut(usize),
+    ) -> (usize, usize) {
+        let Some((b0, vec_bytes, group_bytes, m1, interior_groups)) =
+            self.group_interior(e0, e1, log_epg, VEC_BYTES)
+        else {
+            return self.swar_group_scan(e0, e1, log_epg, 0, f);
+        };
+
+        let table = lut(match self.log_bits {
+            0 => &POPCNT4,
+            1 => &NZ2,
+            _ => &NZ4,
+        });
+        let low = vdupq_n_u8(0x0f);
+        let mut nonzero = 0usize;
+        let mut zero_groups = 0usize;
+        let p = self.data_ptr();
+
+        if group_bytes <= VEC_BYTES {
+            let groups_per_vec = VEC_BYTES / group_bytes;
+            let mut off = 0;
+            while off < vec_bytes {
+                // SAFETY: read-only scan (module docs); bounds by the
+                // `vec_bytes` rounding above (within the asserted range).
+                let v = unsafe { vld1q_u8(p.add(b0 + off)) };
+                nonzero += vaddlvq_u8(lane_counts(v, self.log_bits, table, low)) as usize;
+                // Fold the nibble-per-byte zero mask: the nibble at
+                // `k * group_bytes` stays 0xf iff every byte of group k is
+                // zero (nibbles are all-ones or all-zeros, so the bitwise
+                // AND is a nibble-wise AND).
+                let mut gm = zero_byte_nibbles(v);
+                let mut s = 1;
+                while s < group_bytes {
+                    gm &= gm >> (4 * s);
+                    s <<= 1;
+                }
+                for k in 0..groups_per_vec {
+                    if (gm >> (k * group_bytes * 4)) & 1 == 1 {
+                        zero_groups += 1;
+                        f(off / group_bytes + k);
+                    }
+                }
+                off += VEC_BYTES;
+            }
+        } else {
+            // A group spans several vectors: OR-accumulate per group.
+            let mut goff = 0;
+            let mut gi = 0;
+            while goff < vec_bytes {
+                let mut orv = vdupq_n_u8(0);
+                let mut off = 0;
+                while off < group_bytes {
+                    // SAFETY: read-only scan (module docs); bounds as above.
+                    let v = unsafe { vld1q_u8(p.add(b0 + goff + off)) };
+                    nonzero += vaddlvq_u8(lane_counts(v, self.log_bits, table, low)) as usize;
+                    orv = vorrq_u8(orv, v);
+                    off += VEC_BYTES;
+                }
+                if is_zero_vec(orv) {
+                    zero_groups += 1;
+                    f(gi);
+                }
+                gi += 1;
+                goff += group_bytes;
+            }
+        }
+
+        let (tail_nonzero, tail_zero_groups) = self.swar_group_scan(m1, e1, log_epg, interior_groups, f);
+        (nonzero + tail_nonzero, zero_groups + tail_zero_groups)
+    }
+}

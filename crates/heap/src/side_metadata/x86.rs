@@ -1,0 +1,480 @@
+//! 256-bit AVX2 bulk kernels for x86-64.
+//!
+//! Compiled unconditionally on x86-64 (every function carries
+//! `#[target_feature(enable = "avx2")]` so the compiler may emit VEX
+//! encodings), but *called* only when the process-wide dispatcher selected
+//! [`SimdBackend::Avx2`](super::SimdBackend::Avx2) after
+//! `is_x86_feature_detected!("avx2")` succeeded — that runtime probe is the
+//! safety argument for every `unsafe fn` here.
+//!
+//! Kernel shapes, per the ROADMAP note that motivated this backend:
+//!
+//! * zero tests ride `vptest` (and `vpcmpeqb` + `vpmovmskb` when a position
+//!   is needed),
+//! * lane censuses use the classic `vpshufb` nibble-LUT + `vpsadbw`
+//!   byte-sum reduction (one 16-entry table maps a nibble to the count of
+//!   its non-zero sub-lanes),
+//! * sums use `vpsadbw` against zero, after splitting nibbles for narrow
+//!   lanes,
+//! * the epoch bump computes with `vpaddb` but commits through the same
+//!   per-word CAS as the SWAR kernel.
+//!
+//! Every kernel covers only the *interior* of its range
+//! ([`SideMetadata::vec_interior`]); sub-word edges go back to the SWAR
+//! kernels, which keeps edge semantics identical across backends.  The
+//! memory-model contract for the plain vector loads and stores (why they do
+//! not race, and why a torn `bump` load is benign) is centralised in the
+//! [module docs](super) — each `unsafe` block cites the clause it relies
+//! on.
+
+use super::luts::{HZ2, HZ4, IDENT4, NZ2, NZ4, POPCNT4, SUM2};
+use super::{SideMetadata, WORD_BYTES};
+use core::arch::x86_64::*;
+
+/// Bytes per AVX2 register.
+const VEC_BYTES: usize = 32;
+
+/// Broadcasts a 16-byte LUT into both 128-bit halves (the `vpshufb` input
+/// shape).
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn lut(table: &[u8; 16]) -> __m256i {
+    _mm256_broadcastsi128_si256(_mm_loadu_si128(table.as_ptr() as *const __m128i))
+}
+
+/// Horizontal sum of the four u64 lanes of a `vpsadbw` accumulator.
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn hsum_u64(acc: __m256i) -> usize {
+    let lanes: [u64; 4] = core::mem::transmute(acc);
+    (lanes[0] + lanes[1] + lanes[2] + lanes[3]) as usize
+}
+
+/// Per-byte count of non-zero entry lanes in `v` (bytes of 0..=8), via the
+/// nibble LUT for `log_bits`.
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn lane_counts(v: __m256i, log_bits: u32, table: __m256i, low: __m256i) -> __m256i {
+    let lo = _mm256_shuffle_epi8(table, _mm256_and_si256(v, low));
+    let hi = _mm256_shuffle_epi8(table, _mm256_and_si256(_mm256_srli_epi16::<4>(v), low));
+    if log_bits == 3 {
+        // A byte is one lane: non-zero iff either nibble is non-zero.
+        _mm256_or_si256(lo, hi)
+    } else {
+        _mm256_add_epi8(lo, hi)
+    }
+}
+
+/// Bitmask (one bit per byte) of the zero bytes of `v`.
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn zero_byte_mask(v: __m256i) -> u32 {
+    _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, _mm256_setzero_si256())) as u32
+}
+
+impl SideMetadata {
+    // Every kernel below is `unsafe fn`: the caller (the dispatcher in
+    // `mod.rs`) guarantees AVX2 is present, which is what makes the
+    // `target_feature` functions sound to call.
+
+    /// AVX2 kernel of `range_is_zero`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn avx2_range_is_zero(&self, e0: usize, e1: usize) -> bool {
+        let Some((b0, blen, m0, m1)) = self.vec_interior(e0, e1, VEC_BYTES) else {
+            return self.swar_range_is_zero(e0, e1);
+        };
+        if !self.swar_range_is_zero(e0, m0) {
+            return false;
+        }
+        let p = self.data_ptr().add(b0);
+        let mut off = 0;
+        while off < blen {
+            // SAFETY: read-only scan over atomically-written interior bytes
+            // (module docs, "Read-only scans"); `b0 + off + 32 <= table
+            // bytes` by `vec_interior`.
+            let v = _mm256_loadu_si256(p.add(off) as *const __m256i);
+            if _mm256_testz_si256(v, v) == 0 {
+                return false;
+            }
+            off += VEC_BYTES;
+        }
+        self.swar_range_is_zero(m1, e1)
+    }
+
+    /// AVX2 kernel of `count_nonzero_range`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn avx2_count_nonzero(&self, e0: usize, e1: usize) -> usize {
+        let Some((b0, blen, m0, m1)) = self.vec_interior(e0, e1, VEC_BYTES) else {
+            return self.swar_count_nonzero(e0, e1);
+        };
+        let table = lut(match self.log_bits {
+            0 => &POPCNT4,
+            1 => &NZ2,
+            _ => &NZ4,
+        });
+        let low = _mm256_set1_epi8(0x0f);
+        let zero = _mm256_setzero_si256();
+        let mut acc = zero;
+        let p = self.data_ptr().add(b0);
+        let mut off = 0;
+        while off < blen {
+            // SAFETY: read-only scan (module docs); bounds by `vec_interior`.
+            let v = _mm256_loadu_si256(p.add(off) as *const __m256i);
+            acc = _mm256_add_epi64(acc, _mm256_sad_epu8(lane_counts(v, self.log_bits, table, low), zero));
+            off += VEC_BYTES;
+        }
+        self.swar_count_nonzero(e0, m0) + hsum_u64(acc) + self.swar_count_nonzero(m1, e1)
+    }
+
+    /// AVX2 kernel of `sum_range`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn avx2_sum(&self, e0: usize, e1: usize) -> usize {
+        let Some((b0, blen, m0, m1)) = self.vec_interior(e0, e1, VEC_BYTES) else {
+            return self.swar_sum(e0, e1);
+        };
+        let zero = _mm256_setzero_si256();
+        let low = _mm256_set1_epi8(0x0f);
+        let table = lut(match self.log_bits {
+            0 => &POPCNT4,
+            1 => &SUM2,
+            _ => &IDENT4,
+        });
+        let mut acc = zero;
+        let p = self.data_ptr().add(b0);
+        let mut off = 0;
+        while off < blen {
+            // SAFETY: read-only scan (module docs); bounds by `vec_interior`.
+            let v = _mm256_loadu_si256(p.add(off) as *const __m256i);
+            let bytes = if self.log_bits == 3 {
+                // Whole-byte lanes: `vpsadbw` sums them directly.
+                v
+            } else {
+                // Narrow lanes: map each nibble to its lane sum (≤ 15 + 15
+                // per byte — no overflow) and let `vpsadbw` reduce.
+                let lo = _mm256_shuffle_epi8(table, _mm256_and_si256(v, low));
+                let hi = _mm256_shuffle_epi8(table, _mm256_and_si256(_mm256_srli_epi16::<4>(v), low));
+                _mm256_add_epi8(lo, hi)
+            };
+            acc = _mm256_add_epi64(acc, _mm256_sad_epu8(bytes, zero));
+            off += VEC_BYTES;
+        }
+        self.swar_sum(e0, m0) + hsum_u64(acc) + self.swar_sum(m1, e1)
+    }
+
+    /// AVX2 kernel of `fill_range` / `clear_range`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn avx2_fill(&self, e0: usize, e1: usize, pattern: usize) {
+        let Some((b0, blen, m0, m1)) = self.vec_interior(e0, e1, VEC_BYTES) else {
+            return self.swar_fill(e0, e1, pattern);
+        };
+        self.swar_fill(e0, m0, pattern);
+        let pv = _mm256_set1_epi64x(pattern as i64);
+        let p = self.data_ptr().add(b0);
+        let mut off = 0;
+        while off < blen {
+            // SAFETY: bulk-write exclusivity contract (module docs, "Bulk
+            // writes"): interior words are fully covered by the range, and
+            // the SWAR kernel already overwrites such words with plain
+            // stores; widening to a vector store changes nothing.  Bounds
+            // by `vec_interior`.
+            _mm256_storeu_si256(p.add(off) as *mut __m256i, pv);
+            off += VEC_BYTES;
+        }
+        self.swar_fill(m1, e1, pattern);
+    }
+
+    /// AVX2 kernel of `bump_range` (8-bit entries; asserted by the
+    /// dispatcher).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn avx2_bump(&self, e0: usize, e1: usize) {
+        let Some((b0, blen, m0, m1)) = self.vec_interior(e0, e1, VEC_BYTES) else {
+            return self.swar_bump(e0, e1);
+        };
+        self.swar_bump(e0, m0);
+        let ones = _mm256_set1_epi8(1);
+        let w0 = b0 / WORD_BYTES;
+        let p = self.data_ptr().add(b0);
+        let mut off = 0;
+        while off < blen {
+            // SAFETY: the vector load may observe torn or stale words; that
+            // is benign because nothing is committed from it directly —
+            // each word below is committed by CAS against the loaded lane,
+            // and a torn lane can only make its CAS fail (module docs,
+            // "The epoch bump").  Bounds by `vec_interior`.
+            let v = _mm256_loadu_si256(p.add(off) as *const __m256i);
+            let bumped = _mm256_add_epi8(v, ones);
+            let cur: [u64; 4] = core::mem::transmute(v);
+            let new: [u64; 4] = core::mem::transmute(bumped);
+            for k in 0..4 {
+                let wi = w0 + off / WORD_BYTES + k;
+                use std::sync::atomic::Ordering;
+                if self.words[wi]
+                    .compare_exchange(cur[k] as usize, new[k] as usize, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_err()
+                {
+                    // Contention (or a torn lane): redo this word through
+                    // the SWAR carry-fenced CAS loop.  Interior words are
+                    // fully covered, so every byte lane is selected.
+                    self.swar_bump_word(wi, !0);
+                }
+            }
+            off += VEC_BYTES;
+        }
+        self.swar_bump(m1, e1);
+    }
+
+    /// AVX2 kernel of `find_zero_run`: one opaque call hosts the whole
+    /// zero/non-zero alternation so the per-hop searches below inline into
+    /// it (see `find_zero_run_with` for why per-hop dispatch is ruinous).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn avx2_find_zero_run(
+        &self,
+        e0: usize,
+        e1: usize,
+        min_entries: usize,
+    ) -> Option<(usize, usize)> {
+        let mut e = e0;
+        while e < e1 {
+            let run_start = self.avx2_next_zero(e, e1);
+            if run_start >= e1 {
+                return None;
+            }
+            let run_end = self.avx2_next_nonzero(run_start, e1);
+            if run_end - run_start >= min_entries {
+                return Some((run_start, run_end - run_start));
+            }
+            e = run_end;
+        }
+        None
+    }
+
+    /// First non-zero entry in `[e, e1)`, or `e1`.
+    ///
+    /// Starts with a budgeted SWAR scan: on mixed-occupancy tables
+    /// zero/non-zero runs alternate every few entries, and paying the
+    /// vector setup per hop costs more than it saves; the budget (two
+    /// instructions per word) resolves short hops at SWAR speed, and only
+    /// a stretch that exhausts it — the long-run case — escalates to
+    /// whole-vector skips.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn avx2_next_nonzero(&self, e: usize, e1: usize) -> usize {
+        let resume = match self.swar_next_nonzero_bounded(e, e1, 4) {
+            Ok(r) => return r,
+            Err(resume) => resume,
+        };
+        let Some((b0, blen, m0, m1)) = self.vec_interior(resume, e1, VEC_BYTES) else {
+            return self.swar_next_nonzero(resume, e1);
+        };
+        let r = self.swar_next_nonzero(resume, m0);
+        if r < m0 {
+            return r;
+        }
+        let epb = 8usize >> self.log_bits;
+        let p = self.data_ptr().add(b0);
+        let mut off = 0;
+        while off < blen {
+            // SAFETY: read-only scan (module docs); bounds by `vec_interior`.
+            let v = _mm256_loadu_si256(p.add(off) as *const __m256i);
+            if _mm256_testz_si256(v, v) == 0 {
+                let nz = !zero_byte_mask(v);
+                let byte = nz.trailing_zeros() as usize;
+                // Refine within the byte *as loaded* (re-reading could race
+                // a concurrent update and disagree with the vector).
+                let bytes: [u8; 32] = core::mem::transmute(v);
+                let val = bytes[byte];
+                // The first set bit of the byte belongs to its first
+                // non-zero lane.
+                let lane = (val.trailing_zeros() >> self.log_bits) as usize;
+                return (b0 + off + byte) * epb + lane;
+            }
+            off += VEC_BYTES;
+        }
+        self.swar_next_nonzero(m1, e1)
+    }
+
+    /// First zero entry in `[e, e1)`, or `e1` (same budgeted-scan
+    /// structure as [`avx2_next_nonzero`](Self::avx2_next_nonzero)).
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn avx2_next_zero(&self, e: usize, e1: usize) -> usize {
+        let resume = match self.swar_next_zero_bounded(e, e1, 4) {
+            Ok(r) => return r,
+            Err(resume) => resume,
+        };
+        let Some((b0, blen, m0, m1)) = self.vec_interior(resume, e1, VEC_BYTES) else {
+            return self.swar_next_zero(resume, e1);
+        };
+        let r = self.swar_next_zero(resume, m0);
+        if r < m0 {
+            return r;
+        }
+        let epb = 8usize >> self.log_bits;
+        let low = _mm256_set1_epi8(0x0f);
+        let table = match self.log_bits {
+            1 => Some(lut(&HZ2)),
+            2 => Some(lut(&HZ4)),
+            _ => None,
+        };
+        let p = self.data_ptr().add(b0);
+        let mut off = 0;
+        while off < blen {
+            // SAFETY: read-only scan (module docs); bounds by `vec_interior`.
+            let v = _mm256_loadu_si256(p.add(off) as *const __m256i);
+            // One bit per byte that contains at least one zero lane.
+            let hz: u32 = match self.log_bits {
+                // 1-bit lanes: any byte other than 0xff has a zero bit.
+                0 => !(_mm256_movemask_epi8(_mm256_cmpeq_epi8(v, _mm256_set1_epi8(-1))) as u32),
+                // 8-bit lanes: only an all-zero byte is a zero lane.
+                3 => zero_byte_mask(v),
+                // 2-/4-bit lanes: nibble LUT flags a zero sub-lane.
+                _ => {
+                    let t = table.unwrap_unchecked();
+                    let lo = _mm256_shuffle_epi8(t, _mm256_and_si256(v, low));
+                    let hi = _mm256_shuffle_epi8(t, _mm256_and_si256(_mm256_srli_epi16::<4>(v), low));
+                    let flags = _mm256_or_si256(lo, hi);
+                    !(_mm256_movemask_epi8(_mm256_cmpeq_epi8(flags, _mm256_setzero_si256())) as u32)
+                }
+            };
+            if hz != 0 {
+                let byte = hz.trailing_zeros() as usize;
+                let bytes: [u8; 32] = core::mem::transmute(v);
+                let val = bytes[byte] as usize;
+                // First zero lane of the byte, via the SWAR occupancy fold.
+                let z = !self.nonzero_lane_lsbs(val) & self.lane_lsb & 0xff;
+                let lane = (z.trailing_zeros() >> self.log_bits) as usize;
+                return (b0 + off + byte) * epb + lane;
+            }
+            off += VEC_BYTES;
+        }
+        self.swar_next_zero(m1, e1)
+    }
+
+    /// AVX2 kernel of `for_each_nonzero`: indices reported relative to
+    /// `e0`, in ascending order.
+    ///
+    /// The vector's only job here is skipping all-zero regions a whole
+    /// register at a time (the dirty-map drain is extremely sparse); a
+    /// vector that *does* contain set lanes is handed to the SWAR word
+    /// walk, whose per-lane cost a byte-extraction loop could not beat on
+    /// denser tables.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn avx2_for_each_nonzero(&self, e0: usize, e1: usize, f: &mut impl FnMut(usize)) {
+        let Some((b0, blen, m0, m1)) = self.vec_interior(e0, e1, VEC_BYTES) else {
+            return self.swar_for_each_nonzero(e0, e1, e0, f);
+        };
+        self.swar_for_each_nonzero(e0, m0, e0, f);
+        let epb = 8usize >> self.log_bits;
+        let p = self.data_ptr().add(b0);
+        // Batch contiguous occupied vectors into one SWAR delegation per
+        // span: a dense map then pays a single delegation for the whole
+        // interior (the vector pre-pass is one load + `vptest` per 32
+        // bytes), while a sparse map skips its zero vectors outright.
+        let mut span = None;
+        let mut off = 0;
+        while off < blen {
+            // SAFETY: read-only scan (module docs); bounds by `vec_interior`.
+            let v = _mm256_loadu_si256(p.add(off) as *const __m256i);
+            if _mm256_testz_si256(v, v) == 1 {
+                if let Some(s) = span.take() {
+                    self.swar_for_each_nonzero((b0 + s) * epb, (b0 + off) * epb, e0, f);
+                }
+            } else if span.is_none() {
+                span = Some(off);
+            }
+            off += VEC_BYTES;
+        }
+        if let Some(s) = span {
+            self.swar_for_each_nonzero((b0 + s) * epb, m1, e0, f);
+        }
+        self.swar_for_each_nonzero(m1, e1, e0, f);
+    }
+
+    /// AVX2 kernel of the group census: one pass computing the non-zero
+    /// entry count and the all-zero groups (`1 << log_epg` entries each).
+    ///
+    /// Group starts are byte-aligned whenever a group is at least one byte
+    /// wide (the dispatcher asserts group alignment of the range), so the
+    /// per-byte zero mask folds directly into per-group emptiness; sub-byte
+    /// groups fall back to SWAR entirely.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn avx2_group_scan(
+        &self,
+        e0: usize,
+        e1: usize,
+        log_epg: u32,
+        f: &mut impl FnMut(usize),
+    ) -> (usize, usize) {
+        let Some((b0, vec_bytes, group_bytes, m1, interior_groups)) =
+            self.group_interior(e0, e1, log_epg, VEC_BYTES)
+        else {
+            return self.swar_group_scan(e0, e1, log_epg, 0, f);
+        };
+
+        let table = lut(match self.log_bits {
+            0 => &POPCNT4,
+            1 => &NZ2,
+            _ => &NZ4,
+        });
+        let low = _mm256_set1_epi8(0x0f);
+        let zero = _mm256_setzero_si256();
+        let mut acc = zero;
+        let mut zero_groups = 0usize;
+        let p = self.data_ptr().add(b0);
+
+        if group_bytes <= VEC_BYTES {
+            let groups_per_vec = VEC_BYTES / group_bytes;
+            let mut off = 0;
+            while off < vec_bytes {
+                // SAFETY: read-only scan (module docs); bounds by the
+                // `vec_bytes` rounding above (within the asserted range).
+                let v = _mm256_loadu_si256(p.add(off) as *const __m256i);
+                acc = _mm256_add_epi64(acc, _mm256_sad_epu8(lane_counts(v, self.log_bits, table, low), zero));
+                // Fold the zero-byte mask: bit k*group_bytes survives iff
+                // all `group_bytes` bits of group k are set.
+                let mut gm = zero_byte_mask(v);
+                let mut s = 1;
+                while s < group_bytes {
+                    gm &= gm >> s;
+                    s <<= 1;
+                }
+                for k in 0..groups_per_vec {
+                    if (gm >> (k * group_bytes)) & 1 == 1 {
+                        zero_groups += 1;
+                        f(off / group_bytes + k);
+                    }
+                }
+                off += VEC_BYTES;
+            }
+        } else {
+            // A group spans several vectors: OR-accumulate per group.
+            let mut goff = 0;
+            let mut gi = 0;
+            while goff < vec_bytes {
+                let mut orv = zero;
+                let mut off = 0;
+                while off < group_bytes {
+                    // SAFETY: read-only scan (module docs); bounds as above.
+                    let v = _mm256_loadu_si256(p.add(goff + off) as *const __m256i);
+                    acc = _mm256_add_epi64(
+                        acc,
+                        _mm256_sad_epu8(lane_counts(v, self.log_bits, table, low), zero),
+                    );
+                    orv = _mm256_or_si256(orv, v);
+                    off += VEC_BYTES;
+                }
+                if _mm256_testz_si256(orv, orv) == 1 {
+                    zero_groups += 1;
+                    f(gi);
+                }
+                gi += 1;
+                goff += group_bytes;
+            }
+        }
+
+        let mut nonzero = hsum_u64(acc);
+        let (tail_nonzero, tail_zero_groups) = self.swar_group_scan(m1, e1, log_epg, interior_groups, f);
+        nonzero += tail_nonzero;
+        (nonzero, zero_groups + tail_zero_groups)
+    }
+}

@@ -242,7 +242,7 @@ impl ObjectModel {
     /// after its line was recycled).  Tag 3 is never written by the
     /// forwarding protocol, so it identifies a non-header word and reads as
     /// "not forwarded"; a word stuck at the busy tag that no copier ever
-    /// resolves is bounded by [`BUSY_SPIN_LIMIT`] instead of spinning
+    /// resolves is bounded by `BUSY_SPIN_LIMIT` instead of spinning
     /// forever (a real mid-copy busy state lasts microseconds).
     pub fn forwarding_target(&self, obj: ObjectReference) -> Option<ObjectReference> {
         let mut spins = 0u32;
@@ -295,7 +295,7 @@ impl ObjectModel {
     /// [`ClaimResult::AlreadyForwarded`].
     /// Tolerates stale references the same way as
     /// [`forwarding_target`](Self::forwarding_target): a tag-3 word or a
-    /// busy tag nobody resolves within [`BUSY_SPIN_LIMIT`] is reported as
+    /// busy tag nobody resolves within `BUSY_SPIN_LIMIT` is reported as
     /// [`ClaimResult::Stale`] rather than spun on or treated as a header.
     pub fn try_claim_forwarding(&self, obj: ObjectReference) -> ClaimResult {
         let mut spins = 0u32;

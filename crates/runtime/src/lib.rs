@@ -7,17 +7,17 @@
 //! The runtime provides exactly the services the paper's implementation gets
 //! from MMTk and OpenJDK:
 //!
-//! * a [`Plan`](plan::Plan) interface that a collector implements
+//! * a [`Plan`] interface that a collector implements
 //!   (allocation policy, barriers, stop-the-world collection, concurrent
 //!   work, pacing triggers),
-//! * [`Mutator`](mutator::Mutator) handles through which application threads
+//! * [`Mutator`] handles through which application threads
 //!   allocate, access fields through the plan's barriers, and maintain the
 //!   shadow-stack roots the collector scans at pauses,
-//! * a stop-the-world [`Rendezvous`](rendezvous::Rendezvous) (safepoints,
+//! * a stop-the-world [`Rendezvous`] (safepoints,
 //!   parking, resuming),
-//! * a persistent parallel [`WorkerPool`](workers::WorkerPool) used by every
+//! * a persistent parallel [`WorkerPool`] used by every
 //!   collection phase, plus one concurrent collector thread,
-//! * [`GcStats`](stats::GcStats): pause records, collector busy time (the
+//! * [`GcStats`]: pause records, collector busy time (the
 //!   "cycles" proxy of the LBO analysis) and work counters.
 //!
 //! The simplest complete example uses the built-in no-collection plan:

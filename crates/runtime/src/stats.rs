@@ -3,7 +3,7 @@
 //! Every experiment in the paper's evaluation is a statistic over one of
 //! three things: wall-clock/pause time, collector work, or barrier activity.
 //! [`GcStats`] gathers the first two (barrier activity lives in
-//! [`lxr_barrier::BarrierStats`]): a log of every pause with its duration
+//! `lxr_barrier::BarrierStats`): a log of every pause with its duration
 //! and attributes (Table 7's pause statistics), cumulative busy time of the
 //! stop-the-world and concurrent collector threads (the "cycles" proxy of
 //! the LBO analysis, Figure 7b), and a set of work counters (increments,

@@ -132,7 +132,7 @@ impl<T> PhaseHandle<T> {
     ///
     /// The item lands on this worker's local deque (LIFO), where it is
     /// processed by this worker unless an idle sibling steals it; once the
-    /// local deque holds [`SPILL_THRESHOLD`] items, further pushes overflow
+    /// local deque holds `SPILL_THRESHOLD` items, further pushes overflow
     /// to the shared injector instead.
     pub fn push(&self, item: T) {
         self.shared.pending.fetch_add(1, Ordering::Relaxed);

@@ -12,7 +12,7 @@
 //! largest buffer, since capacities grow geometrically).
 //!
 //! The [`Injector`] is the shared FIFO a scheduler seeds phases through and
-//! overflow-pushes into; it is the segmented queue of [`crate::seg`] with
+//! overflow-pushes into; it is the segmented queue of `crate::seg` with
 //! crossbeam's non-blocking [`Steal`] contract.
 //!
 //! The original mutexed implementations are retained in

@@ -8,13 +8,13 @@
 //! * [`deque::Worker`] / [`deque::Stealer`] — a Chase–Lev work-stealing
 //!   deque (bounded, growable) with the PPoPP'13 weak-memory orderings,
 //! * [`deque::Injector`] and [`queue::SegQueue`] — segmented lock-free
-//!   MPMC FIFOs sharing one core ([`seg`]) whose unlinked segments are
-//!   freed through an epoch-lite deferred reclaimer ([`reclaim`]),
+//!   MPMC FIFOs sharing one core (`seg`) whose unlinked segments are
+//!   freed through an epoch-lite deferred reclaimer (`reclaim`),
 //! * [`queue::ArrayQueue`] — a small bounded buffer, still mutexed,
 //! * unbounded [`channel`]s over `std::sync::mpsc`.
 //!
 //! The original mutexed implementations are retained verbatim in
-//! [`reference`] and serve as the property-test oracles (see the tests at
+//! [`mod@reference`] and serve as the property-test oracles (see the tests at
 //! the bottom of this file) and as the baseline scheduler in the
 //! `pause_phases` benchmark.
 

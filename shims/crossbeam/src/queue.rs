@@ -55,6 +55,42 @@ impl<T> SegQueue<T> {
         }
     }
 
+    /// [`pop`](Self::pop) for a caller that is the queue's *only consumer*,
+    /// skipping the epoch-reclaimer pin/unpin (two `SeqCst` RMWs on shared
+    /// counters per operation).
+    ///
+    /// This is a **shim-only extension** (real `crossbeam` has no
+    /// equivalent; a swap back to the real crate is a mechanical rename to
+    /// [`pop`](Self::pop)).  It exists for drain loops that already hold
+    /// phase-level quiescence — e.g. a stop-the-world pause draining
+    /// barrier buffers after the concurrent crew has been waited out —
+    /// where the pin traffic is pure overhead.
+    ///
+    /// # Safety
+    ///
+    /// No other thread may pop from this queue (via this method or
+    /// [`pop`](Self::pop)) for the duration of the caller's drain.
+    /// Concurrent pushes are safe.  See `SegList::try_pop_unpinned` for the
+    /// full argument.
+    pub unsafe fn pop_exclusive(&self) -> Option<T> {
+        let mut spins = 0u32;
+        loop {
+            // SAFETY: forwarded contract — the caller is the only consumer.
+            match unsafe { self.list.try_pop_unpinned() } {
+                PopResult::Item(v) => return Some(v),
+                PopResult::Empty => return None,
+                PopResult::Retry => {
+                    spins += 1;
+                    if spins > 64 {
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+        }
+    }
+
     /// Returns `true` if the queue is empty.
     pub fn is_empty(&self) -> bool {
         self.list.is_empty()

@@ -135,6 +135,31 @@ impl<T> SegList<T> {
         result
     }
 
+    /// [`try_pop`](Self::try_pop) without the reclaimer pin/unpin (two
+    /// `SeqCst` RMWs on shared counters — the scheduler-contention cost the
+    /// pin protocol imposes on every operation).
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee **no concurrent consumer**: no other
+    /// thread may execute `try_pop`/`try_pop_unpinned` on this queue for
+    /// the whole duration of the caller's drain.  Concurrent *producers*
+    /// are fine.
+    ///
+    /// Why that suffices: the pin exists solely to keep a segment alive
+    /// while a stalled operation still holds a reference to it, and
+    /// segments are only ever *freed* on the consumer side — `try_pop`
+    /// unlinks an exhausted segment and hands it to the reclaimer, whose
+    /// `retire` may free earlier garbage.  With a single consumer, the only
+    /// thread that can trigger a free is the caller itself, and the only
+    /// segment references it holds at that point are to segments still
+    /// linked from `head` (it re-reads `head` after every unlink), which
+    /// are never retired.  Producers never free anything, and remain
+    /// protected from the caller's retires by their own pins.
+    pub(crate) unsafe fn try_pop_unpinned(&self) -> PopResult<T> {
+        self.try_pop_inner()
+    }
+
     fn try_pop_inner(&self) -> PopResult<T> {
         loop {
             let head = self.head.load(Ordering::Acquire);
