@@ -16,7 +16,8 @@ use lxr_barrier::{BarrierSink, BarrierStats, FieldLogTable, FieldLoggingBarrier}
 use lxr_heap::{AllocError, BlockState, ImmixAllocator, LineOccupancy};
 use lxr_object::{ObjectModel, ObjectReference, ObjectShape};
 use lxr_runtime::{
-    AllocFailure, Collection, GcReason, Plan, PlanContext, PlanFactory, PlanMutator, WorkCounter,
+    AllocFailure, Collection, GcReason, Plan, PlanContext, PlanFactory, PlanMutator, RootSet, VerifyReport,
+    WorkCounter,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -337,6 +338,14 @@ impl Plan for GenerationalPlan {
             self.young_collection(collection);
         }
         self.words_at_last_gc.store(self.state.space.allocated_words(), Ordering::Relaxed);
+    }
+
+    fn verify(&self, roots: &RootSet) -> VerifyReport {
+        lxr_runtime::verify::verify_generic(&self.state.om, roots, self.name())
+    }
+
+    fn describe_object(&self, obj: ObjectReference) -> Option<String> {
+        Some(lxr_runtime::verify::describe_location(&self.state.om, obj))
     }
 }
 

@@ -8,7 +8,8 @@ use lxr_barrier::{BarrierSink, BarrierStats, FieldLogTable, FieldLoggingBarrier}
 use lxr_heap::{AllocError, ImmixAllocator, LineOccupancy};
 use lxr_object::{ObjectModel, ObjectReference, ObjectShape};
 use lxr_runtime::{
-    AllocFailure, Collection, GcReason, Plan, PlanContext, PlanFactory, PlanMutator, WorkCounter, WorkerPool,
+    AllocFailure, Collection, GcReason, Plan, PlanContext, PlanFactory, PlanMutator, RootSet, VerifyReport,
+    WorkCounter, WorkerPool,
 };
 use std::sync::Arc;
 
@@ -166,6 +167,14 @@ impl Plan for MarkRegionPlan {
         self.state.sweep_with(collection.stats, |block| {
             log_table.clear_range(geometry.block_start(block), geometry.words_per_block());
         });
+    }
+
+    fn verify(&self, roots: &RootSet) -> VerifyReport {
+        lxr_runtime::verify::verify_generic(&self.state.om, roots, self.name())
+    }
+
+    fn describe_object(&self, obj: ObjectReference) -> Option<String> {
+        Some(lxr_runtime::verify::describe_location(&self.state.om, obj))
     }
 }
 

@@ -7,7 +7,13 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use lxr_harness::experiments::{self, ExperimentOptions};
 
 fn bench(c: &mut Criterion) {
-    let options = ExperimentOptions { scale: 0.02, gc_workers: 2, concurrent_workers: 2, seed: 42 };
+    let options = ExperimentOptions {
+        scale: 0.02,
+        gc_workers: 2,
+        concurrent_workers: 2,
+        seed: 42,
+        ..ExperimentOptions::default()
+    };
     let mut group = c.benchmark_group("table5_heap_sensitivity");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(2));

@@ -60,7 +60,7 @@ use crate::state::LxrState;
 use lxr_heap::Block;
 use lxr_object::ObjectReference;
 use lxr_rc::Stamped;
-use lxr_runtime::{ConcurrentWork, WorkCounter, WorkerPool, YieldCheck};
+use lxr_runtime::{ConcurrentWork, Watchdog, WorkCounter, WorkerPool, YieldCheck};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -80,6 +80,7 @@ pub(crate) fn concurrent_work(state: &Arc<LxrState>, work: &ConcurrentWork<'_>) 
     // makes the handshake airtight: the yield check and the pause's flag
     // are both `SeqCst`, so either we see the pending pause and back out,
     // or the pause's later read of the counter sees us and waits.
+    lxr_failpoints::failpoint!("crew.yield-ack");
     if (work.yield_requested)() {
         state.concurrent_active.fetch_sub(1, Ordering::SeqCst);
         return;
@@ -104,7 +105,7 @@ pub(crate) fn concurrent_work(state: &Arc<LxrState>, work: &ConcurrentWork<'_>) 
     // case `lazy_pending` is still set and we come back around via the
     // runtime's crew loop).
     if tracing && (!decrements_first || !state.lazy_pending.load(Ordering::Acquire)) {
-        trace_satb_crew(state, || (work.yield_requested)());
+        trace_satb_crew_watched(state, || (work.yield_requested)(), &work.watchdog);
     }
     state.concurrent_active.fetch_sub(1, Ordering::SeqCst);
 }
@@ -141,6 +142,7 @@ fn crew_drain_decrements(state: &Arc<LxrState>, should_yield: &YieldCheck) {
             finished = false;
             break;
         }
+        lxr_failpoints::failpoint!("crew.steal");
         let mut batch = Vec::new();
         while batch.len() < DEC_BATCH {
             match state.pending_decs.pop() {
@@ -457,6 +459,22 @@ const TRACE_GRAB: usize = 64;
 ///
 /// Public for the oracle tests and the `concurrent_mark` benchmark.
 pub fn trace_satb_crew(state: &Arc<LxrState>, should_yield: impl Fn() -> bool) -> bool {
+    trace_satb_crew_watched(state, should_yield, &Watchdog::disarmed())
+}
+
+/// [`trace_satb_crew`] under a termination deadline: if the worker's idle
+/// wait for trace termination (shared queue empty, but siblings still
+/// registered as tracers) outlives the watchdog, concurrent marking is
+/// *degraded* rather than aborted — the worker dumps the runtime state,
+/// requests the degenerate stop-the-world catch-up via
+/// [`LxrState::force_degenerate`], and returns, so the next pause finishes
+/// the trace unbounded.  This is the graceful half of the watchdog design:
+/// a wedged concurrent trace costs one long pause, not the process.
+pub fn trace_satb_crew_watched(
+    state: &Arc<LxrState>,
+    should_yield: impl Fn() -> bool,
+    watchdog: &Watchdog,
+) -> bool {
     let mut local: Vec<Stamped<ObjectReference>> = Vec::with_capacity(TRACE_GRAB);
     let mut processed_since_check = 0usize;
     let mut idle_spins = 0u32;
@@ -469,6 +487,7 @@ pub fn trace_satb_crew(state: &Arc<LxrState>, should_yield: impl Fn() -> bool) -
                 process_gray_object(state, obj, &mut push);
             }
             if local.len() >= TRACE_SPILL_AT {
+                lxr_failpoints::failpoint!("crew.spill");
                 for o in local.drain(local.len() / 2..) {
                     state.gray.push(o);
                 }
@@ -489,6 +508,7 @@ pub fn trace_satb_crew(state: &Arc<LxrState>, should_yield: impl Fn() -> bool) -
         }
         // Local stack empty: refill from the shared gray queue.
         if let Some(obj) = state.gray.pop() {
+            lxr_failpoints::failpoint!("crew.seed");
             local.push(obj);
             while local.len() < TRACE_GRAB {
                 match state.gray.pop() {
@@ -501,6 +521,7 @@ pub fn trace_satb_crew(state: &Arc<LxrState>, should_yield: impl Fn() -> bool) -
         // Nothing local, nothing shared: deregister and watch for either
         // termination or a sibling's spill.
         state.satb_tracers.fetch_sub(1, Ordering::SeqCst);
+        let idle_started = std::time::Instant::now();
         loop {
             if should_yield() {
                 return false;
@@ -516,6 +537,19 @@ pub fn trace_satb_crew(state: &Arc<LxrState>, should_yield: impl Fn() -> bool) -
                 // afterwards; the runtime's crew loop re-checks
                 // `has_concurrent_work` and comes back for them.)
                 return true;
+            }
+            if watchdog.expired(idle_started) {
+                // Termination is wedged (a sibling registered as a tracer
+                // is not making progress).  Degrade: dump the evidence,
+                // hand the trace to the next pause's unbounded catch-up,
+                // and get out of the way.
+                eprintln!(
+                    "==== WATCHDOG: concurrent SATB trace termination exceeded its deadline; \
+                     degrading to stop-the-world catch-up ===="
+                );
+                eprint!("{}", lxr_runtime::watchdog::dump_all());
+                state.force_degenerate.store(true, Ordering::SeqCst);
+                return false;
             }
             idle_spins += 1;
             if idle_spins > 64 {

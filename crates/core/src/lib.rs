@@ -64,8 +64,14 @@ pub mod plan;
 pub mod predictors;
 pub mod satb;
 pub mod state;
+pub mod verify;
 
-pub use concurrent::{trace_satb_crew, trace_satb_sequential, YIELD_CHECK_QUANTUM};
+/// The fault-injection engine, re-exported so chaos tests and the harness
+/// can install schedules as `lxr_core::failpoints::…` without naming the
+/// bottom crate.
+pub use lxr_failpoints as failpoints;
+
+pub use concurrent::{trace_satb_crew, trace_satb_crew_watched, trace_satb_sequential, YIELD_CHECK_QUANTUM};
 pub use config::LxrConfig;
 pub use mutator::LxrMutator;
 pub use plan::LxrPlan;

@@ -112,11 +112,17 @@ pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
     //    crew's publish-then-recheck handshake in `concurrent_work`.  The
     //    workers we wait for need CPU to reach their next yield check, so
     //    on an oversubscribed host the spin must hand the core over rather
-    //    than burn its whole scheduling quantum.
+    //    than burn its whole scheduling quantum.  A crew worker wedged by a
+    //    chaos schedule (or a lost yield-ack) would stall this spin forever;
+    //    the pause watchdog turns that hang into a state dump and abort.
+    let quiesce_started = std::time::Instant::now();
     let mut spins = 0u32;
     while state.concurrent_active.load(Ordering::SeqCst) > 0 {
         spins += 1;
         if spins > 64 {
+            if spins.is_multiple_of(1024) {
+                c.watchdog.check("pause: concurrent crew quiescence", quiesce_started);
+            }
             std::thread::yield_now();
         } else {
             std::hint::spin_loop();
@@ -134,6 +140,7 @@ pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
     //    queue), and step 2's release of the deferred blocks is only sound
     //    if *everything* pending has drained.  On an empty queue this is a
     //    single failed pop.
+    lxr_failpoints::failpoint!("pause.lazy-drain");
     if state.lazy_pending.load(Ordering::Acquire) {
         c.attrs.set_lazy_incomplete();
     }
@@ -144,6 +151,7 @@ pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
     //    central-lock take for the whole set).  Step 1 has just drained
     //    every decrement the previous epoch left behind, so nothing can
     //    still resolve a reference into these blocks.
+    lxr_failpoints::failpoint!("pause.release-deferred");
     let deferred: Vec<Block> = state.deferred_free_blocks.lock().drain(..).collect();
     for &block in &deferred {
         state.prepare_block_release(block);
@@ -159,6 +167,7 @@ pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
     // Skipping the queue pin/unpin removes two `SeqCst` RMWs per chunk
     // from the pause's critical path (the ROADMAP's scheduler-contention
     // frontier; this is its cheap half).
+    lxr_failpoints::failpoint!("pause.barrier-drain");
     let mod_chunks = unsafe { state.sink.modified_fields.drain_exclusive() };
     let dec_chunks = unsafe { state.sink.decrements.drain_exclusive() };
 
@@ -195,8 +204,19 @@ pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
         // world resumes.
         // An exhaustion pause is the degenerate-GC fallback: the mutator
         // failed an allocation, so reclamation cannot wait — drain the
-        // whole trace now and reclaim in this very pause.
-        let catchup = if c.reason == GcReason::Exhausted {
+        // whole trace now and reclaim in this very pause.  The same
+        // escalation serves as the graceful degradation path for a wedged
+        // concurrent trace: the crew's trace watchdog (and the
+        // `pause.satb-feed=degenerate` failpoint) request it through
+        // `force_degenerate`.
+        let degenerate = matches!(
+            lxr_failpoints::failpoint_act!("pause.satb-feed"),
+            Some(lxr_failpoints::Action::Degenerate)
+        ) || state.force_degenerate.swap(false, Ordering::SeqCst);
+        let catchup = if c.reason == GcReason::Exhausted || degenerate {
+            if degenerate {
+                c.stats.add(WorkCounter::DegeneratedCollections, 1);
+            }
             usize::MAX
         } else {
             (state.geometry.num_words() / GRANULE_WORDS / 8).max(SATB_PAUSE_CATCHUP_MIN)
@@ -215,6 +235,7 @@ pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
     }
 
     // 5. Collect roots.
+    lxr_failpoints::failpoint!("pause.roots");
     let roots = c.roots.collect_roots();
     c.stats.add(WorkCounter::RootsScanned, roots.len() as u64);
 
@@ -235,6 +256,7 @@ pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
     //    bodies still hold pre-heal pointers: the mod-slot heal would then
     //    land in the abandoned old copy while the relocated copy keeps a
     //    stale pointer to a young object that moves this very pause.)
+    lxr_failpoints::failpoint!("pause.increments");
     let copy_allocators = make_copy_allocators(state, c.workers.size() + 1);
     let mut items: Vec<IncItem> = Vec::with_capacity(roots.len() + 1024);
     for &root in &roots {
@@ -253,7 +275,7 @@ pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
     {
         let state = state.clone();
         let copy_allocators = copy_allocators.clone();
-        c.workers.run_phase(items, move |item, handle| {
+        c.workers.run_phase_labeled("pause: increments", items, move |item, handle| {
             let copy_alloc = &copy_allocators[handle.worker_id.min(copy_allocators.len() - 1)];
             process_increment_item(&state, item, copy_alloc, &|slot, child| {
                 handle.push(IncItem { slot: Some(slot), target: child, reset_log: false, epoch: 0 });
@@ -267,6 +289,7 @@ pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
     //    the evacuation set (§3.3.2).  Survivors retained above were
     //    conservatively marked (the trace is still active), so reclamation
     //    never touches them.
+    lxr_failpoints::failpoint!("pause.satb-reclaim");
     if state.satb_complete.load(Ordering::Acquire) {
         satb_swept_blocks = crate::satb::reclaim(state, c);
         if state.config.mature_evacuation {
@@ -289,6 +312,7 @@ pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
     //    Barrier-captured overwritten referents carry no such invariant and
     //    are processed lazily by the concurrent crew (the paper's lazy
     //    decrements), or in-pause under the -LD ablation.
+    lxr_failpoints::failpoint!("pause.decrements");
     let root_decs: Vec<Stamped<ObjectReference>> = state.prev_root_decs.lock().drain(..).collect();
     apply_decrements_in_pause(state, c.workers, root_decs);
     let mut decrements: Vec<Stamped<ObjectReference>> = Vec::new();
@@ -317,6 +341,7 @@ pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
     //    freshly-reclaimed block may independently qualify for this
     //    pause's sweep (decrement-dirtied, or Recycled state), and sweeping
     //    it now would release or recycle it this epoch anyway.
+    lxr_failpoints::failpoint!("pause.sweep");
     let prior_satb_swept: Vec<Block> = state.satb_swept_deferred.lock().drain(..).collect();
     let defer: HashSet<usize> = satb_swept_blocks.iter().map(|b| b.index()).collect();
     let sweep_set: Vec<(Block, BlockState)> = collect_sweep_set(state, &prior_satb_swept)
@@ -337,6 +362,7 @@ pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
     }
 
     // 11. Decide whether to start a new SATB trace.
+    lxr_failpoints::failpoint!("pause.trigger");
     if !state.satb_active.load(Ordering::Acquire) && crate::satb::should_start(state) {
         c.attrs.set_started_satb();
         crate::satb::start(state, c);
@@ -377,7 +403,7 @@ fn apply_decrements_in_pause(
         }
     } else {
         let state = state.clone();
-        workers.run_phase(decrements, move |obj, handle| {
+        workers.run_phase_labeled("pause: decrements", decrements, move |obj, handle| {
             state.apply_decrement(obj, &mut |child| handle.push(child));
         });
     }
@@ -641,7 +667,7 @@ pub fn sweep_blocks(
     {
         let state = state.clone();
         let buffers = buffers.clone();
-        workers.run_phase(chunks, move |chunk, handle| {
+        workers.run_phase_labeled("pause: block sweep", chunks, move |chunk, handle| {
             // One buffer per participant by construction; a bad worker_id
             // should panic here, not silently alias another buffer.
             let mut buf = buffers[handle.worker_id].lock();
@@ -765,7 +791,7 @@ fn sweep_young_los(state: &Arc<LxrState>, workers: &WorkerPool) {
     let chunk_len = young.len().div_ceil(participants * 2).max(LOS_CHUNK_MIN);
     let chunks: Vec<Vec<Address>> = young.chunks(chunk_len).map(<[_]>::to_vec).collect();
     let state = state.clone();
-    workers.run_phase(chunks, move |chunk, _handle| {
+    workers.run_phase_labeled("pause: young-los sweep", chunks, move |chunk, _handle| {
         for addr in chunk {
             free_young_los_if_dead(&state, addr);
         }

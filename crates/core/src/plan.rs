@@ -5,7 +5,10 @@ use crate::config::LxrConfig;
 use crate::mutator::LxrMutator;
 use crate::state::LxrState;
 use lxr_barrier::BarrierStats;
-use lxr_runtime::{Collection, ConcurrentWork, GcReason, Plan, PlanContext, PlanFactory, PlanMutator};
+use lxr_object::ObjectReference;
+use lxr_runtime::{
+    Collection, ConcurrentWork, GcReason, Plan, PlanContext, PlanFactory, PlanMutator, RootSet, VerifyReport,
+};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -104,6 +107,33 @@ impl Plan for LxrPlan {
         // decrements seed-and-steal through the shared gray and pending
         // queues, so any crew size the runtime offers is welcome.
         usize::MAX
+    }
+
+    fn gauges(&self) -> String {
+        let s = &self.state;
+        format!(
+            "lxr: epochs={} satb_active={} satb_complete={} gray={} pending_decs={} lazy_pending={} \
+             concurrent_active={} satb_tracers={} force_degenerate={} free_blocks={} recycled_blocks={}",
+            s.epochs.load(Ordering::Relaxed),
+            s.satb_active.load(Ordering::Relaxed),
+            s.satb_complete.load(Ordering::Relaxed),
+            s.gray.len(),
+            s.pending_decs.len(),
+            s.lazy_pending.load(Ordering::Relaxed),
+            s.concurrent_active.load(Ordering::Relaxed),
+            s.satb_tracers.load(Ordering::Relaxed),
+            s.force_degenerate.load(Ordering::Relaxed),
+            s.blocks.free_block_count(),
+            s.blocks.recycled_block_count(),
+        )
+    }
+
+    fn verify(&self, roots: &RootSet) -> VerifyReport {
+        crate::verify::verify(&self.state, roots)
+    }
+
+    fn describe_object(&self, obj: ObjectReference) -> Option<String> {
+        Some(crate::verify::describe_object(&self.state, obj))
     }
 }
 

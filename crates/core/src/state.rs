@@ -114,6 +114,12 @@ pub struct LxrState {
     /// mark stack or an object mid-scan).  "`gray` empty and no registered
     /// tracers" is the crew's trace-drained condition.
     pub satb_tracers: AtomicUsize,
+    /// Degraded-mode request: the next pause must run its SATB catch-up
+    /// unbounded (the degenerate stop-the-world fallback).  Set by the
+    /// crew's trace watchdog when concurrent marking stops making progress
+    /// and by the `pause.satb-feed=degenerate` failpoint; consumed (swapped
+    /// to `false`) by the pause's step 4.
+    pub force_degenerate: AtomicBool,
 
     // ---- mature evacuation state ----
     /// Blocks currently selected for evacuation (by index).
@@ -189,6 +195,7 @@ impl LxrState {
             satb_complete: AtomicBool::new(false),
             gray: SegQueue::new(),
             satb_tracers: AtomicUsize::new(0),
+            force_degenerate: AtomicBool::new(false),
             evac_candidates: Mutex::new(HashSet::new()),
             remset: SegQueue::new(),
             remset_logged: SideMetadata::new(geometry.num_words(), 1, 1),

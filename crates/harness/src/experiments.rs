@@ -19,18 +19,42 @@ pub struct ExperimentOptions {
     pub concurrent_workers: usize,
     /// Random seed.
     pub seed: u64,
+    /// A fault-injection schedule applied to every run (`--failpoints`;
+    /// requires the `failpoints` feature to actually fire).
+    pub failpoints: Option<String>,
+    /// Run the sanity verifier inside every n-th pause
+    /// (`--verify-every-n-gcs`).
+    pub verify_every_n_gcs: Option<u64>,
+    /// Out-of-memory stall deadline override (`--oom-stall-ms`).
+    pub oom_retry_stall_ms: Option<u64>,
+    /// Bounded wait for concurrent reclamation between OOM retries
+    /// (`--oom-wait-concurrent-ms`).
+    pub oom_wait_concurrent_ms: Option<u64>,
+    /// Pause/quiescence watchdog deadline (`--watchdog-ms`; off by default
+    /// so benchmark timing is undisturbed).
+    pub watchdog_ms: Option<u64>,
 }
 
 impl Default for ExperimentOptions {
     fn default() -> Self {
-        ExperimentOptions { scale: 1.0, gc_workers: 4, concurrent_workers: 2, seed: 42 }
+        ExperimentOptions {
+            scale: 1.0,
+            gc_workers: 4,
+            concurrent_workers: 2,
+            seed: 42,
+            failpoints: None,
+            verify_every_n_gcs: None,
+            oom_retry_stall_ms: None,
+            oom_wait_concurrent_ms: None,
+            watchdog_ms: None,
+        }
     }
 }
 
 impl ExperimentOptions {
     /// A quick configuration for tests and benches.
     pub fn quick() -> Self {
-        ExperimentOptions { scale: 0.1, gc_workers: 2, concurrent_workers: 2, seed: 42 }
+        ExperimentOptions { scale: 0.1, gc_workers: 2, ..ExperimentOptions::default() }
     }
 
     fn run_options(&self, heap_factor: f64) -> RunOptions {
@@ -41,8 +65,34 @@ impl ExperimentOptions {
             gc_workers: self.gc_workers,
             concurrent_workers: self.concurrent_workers,
             final_gcs: 0,
+            failpoints: self.failpoints.clone(),
+            verify_every_n_gcs: self.verify_every_n_gcs,
+            watchdog_ms: self.watchdog_ms,
+            oom_retry_stall_ms: self.oom_retry_stall_ms,
+            oom_wait_concurrent_ms: self.oom_wait_concurrent_ms,
         }
     }
+}
+
+/// Number of workload runs that reported an integrity failure; the CLI
+/// exits non-zero when this is non-zero, instead of panicking mid-table.
+static INTEGRITY_FAILURES: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Integrity failures recorded by the checked workload runner so far.
+pub fn integrity_failures() -> usize {
+    INTEGRITY_FAILURES.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// [`run_workload`], plus reporting: an integrity failure (e.g. a truncated
+/// live list) prints the engine's verifier diagnosis to stderr and bumps
+/// [`integrity_failures`], leaving the experiment free to finish its table.
+fn run_checked(spec: &BenchmarkSpec, collector: &str, options: &RunOptions) -> WorkloadResult {
+    let r = run_workload(spec, collector, options);
+    if let Some(report) = &r.failure {
+        eprintln!("INTEGRITY FAILURE: {} on {}\n{report}", collector, spec.name);
+        INTEGRITY_FAILURES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+    r
 }
 
 fn fmt_latency(r: &WorkloadResult, pct: f64) -> String {
@@ -81,7 +131,7 @@ pub fn table1_lusearch(options: &ExperimentOptions) -> (Table, Vec<WorkloadResul
     );
     let mut results = Vec::new();
     for (collector, factor) in [("g1", 1.3), ("shenandoah", 1.3), ("lxr", 1.3), ("shenandoah", 10.0)] {
-        let r = run_workload(&spec, collector, &options.run_options(factor));
+        let r = run_checked(&spec, collector, &options.run_options(factor));
         let label = if factor > 2.0 { format!("{collector}-{factor:.0}x") } else { collector.to_string() };
         if r.skipped {
             table.row(vec![
@@ -145,7 +195,7 @@ pub fn table4_latency(options: &ExperimentOptions) -> (Table, Vec<WorkloadResult
     let mut results = Vec::new();
     for spec in latency_suite() {
         for collector in comparison_collectors(options) {
-            let r = run_workload(&spec, collector, &options.run_options(1.3));
+            let r = run_checked(&spec, collector, &options.run_options(1.3));
             if r.skipped {
                 table.row(vec![
                     spec.name.into(),
@@ -208,7 +258,7 @@ fn geomean_latency(collector: &str, factor: f64, options: &ExperimentOptions) ->
     let mut product = 1.0f64;
     let mut n = 0usize;
     for spec in latency_suite() {
-        let r = run_workload(&spec, collector, &options.run_options(factor));
+        let r = run_checked(&spec, collector, &options.run_options(factor));
         if r.skipped {
             continue;
         }
@@ -228,7 +278,7 @@ fn geomean_time(collector: &str, factor: f64, options: &ExperimentOptions) -> Op
     let mut product = 1.0f64;
     let mut n = 0usize;
     for spec in throughput_subset(options) {
-        let r = run_workload(&spec, collector, &options.run_options(factor));
+        let r = run_checked(&spec, collector, &options.run_options(factor));
         if r.skipped {
             continue;
         }
@@ -267,12 +317,12 @@ pub fn table6_throughput(options: &ExperimentOptions) -> (Table, Vec<WorkloadRes
     );
     let mut results = Vec::new();
     for spec in throughput_subset(options) {
-        let g1 = run_workload(&spec, "g1", &options.run_options(2.0));
+        let g1 = run_checked(&spec, "g1", &options.run_options(2.0));
         let g1_time = g1.wall_time;
         let mut cells = vec![spec.name.to_string(), format!("{:.0}", g1_time.as_secs_f64() * 1e3)];
         results.push(g1);
         for collector in ["lxr", "shenandoah", "zgc"] {
-            let r = run_workload(&spec, collector, &options.run_options(2.0));
+            let r = run_checked(&spec, collector, &options.run_options(2.0));
             cells.push(if r.skipped || g1_time.is_zero() {
                 "-".to_string()
             } else {
@@ -309,10 +359,10 @@ pub fn table7_breakdown(options: &ExperimentOptions) -> Table {
         ],
     );
     for spec in throughput_subset(options) {
-        let lxr = run_workload(&spec, "lxr", &options.run_options(2.0));
-        let no_satb = run_workload(&spec, "lxr-nosatb", &options.run_options(2.0));
-        let no_ld = run_workload(&spec, "lxr-nold", &options.run_options(2.0));
-        let stw = run_workload(&spec, "lxr-stw", &options.run_options(2.0));
+        let lxr = run_checked(&spec, "lxr", &options.run_options(2.0));
+        let no_satb = run_checked(&spec, "lxr-nosatb", &options.run_options(2.0));
+        let no_ld = run_checked(&spec, "lxr-nold", &options.run_options(2.0));
+        let stw = run_checked(&spec, "lxr-stw", &options.run_options(2.0));
         let base = lxr.wall_time.as_secs_f64().max(1e-9);
         let reclaimed_young = lxr
             .gc
@@ -362,7 +412,7 @@ pub fn fig7_lbo(options: &ExperimentOptions) -> Table {
         let mut per_bench: Vec<Vec<(usize, WorkloadResult)>> = vec![Vec::new(); specs.len()];
         for (ci, collector) in collectors.iter().enumerate() {
             for (bi, spec) in specs.iter().enumerate() {
-                let r = run_workload(spec, collector, &options.run_options(factor));
+                let r = run_checked(spec, collector, &options.run_options(factor));
                 per_bench[bi].push((ci, r));
             }
         }
@@ -419,8 +469,8 @@ pub fn barrier_overhead(options: &ExperimentOptions) -> Table {
         &["benchmark", "immix ms", "immix+barrier ms", "overhead"],
     );
     for spec in throughput_subset(options) {
-        let plain = run_workload(&spec, "immix", &options.run_options(2.0));
-        let barrier = run_workload(&spec, "immix+barrier", &options.run_options(2.0));
+        let plain = run_checked(&spec, "immix", &options.run_options(2.0));
+        let barrier = run_checked(&spec, "immix+barrier", &options.run_options(2.0));
         table.row(vec![
             spec.name.to_string(),
             format!("{:.0}", plain.wall_time.as_secs_f64() * 1e3),
@@ -513,7 +563,7 @@ pub fn social_graph(options: &ExperimentOptions) -> Table {
     let mut run = |label: String, collector: &str, concurrent_workers: usize| {
         let mut run_options = options.run_options(2.0);
         run_options.concurrent_workers = concurrent_workers;
-        let r = run_workload(&spec, collector, &run_options);
+        let r = run_checked(&spec, collector, &run_options);
         let busy = r.gc.stw_gc_time + r.gc.concurrent_gc_time;
         table.row(vec![
             label,
@@ -535,12 +585,99 @@ pub fn social_graph(options: &ExperimentOptions) -> Table {
     table
 }
 
+/// The pinned fault schedules the chaos experiment sweeps.  Each is a
+/// deterministic [`lxr_failpoints`] schedule exercising a different failure
+/// class; the seeds are fixed so a failing cell reproduces exactly.
+pub const CHAOS_SCHEDULES: &[(&str, &str)] = &[
+    // Preemption storm: crews and mutators yield constantly, stressing the
+    // publish-then-recheck handshakes and pause quiescence.
+    ("yield-storm", "seed=7;crew.*=yield@p=0.2;mutator.safepoint=yield@every=64"),
+    // Slow phases: every third hit of each pause-phase boundary stalls,
+    // stretching pauses without changing their order.
+    ("slow-pause", "seed=7;pause.*=delay:200us@every=3"),
+    // Allocation failure: every 401st allocation reports a (simulated)
+    // out-of-memory, driving the retry/stall/clean-OOM machinery.
+    ("alloc-fail", "seed=7;runtime.alloc=oom@every=401"),
+    // Forced degradation: every other pause runs its SATB catch-up as the
+    // unbounded stop-the-world fallback (LXR only; inert elsewhere).
+    ("degenerate", "seed=7;pause.satb-feed=degenerate@every=2"),
+];
+
+/// **Chaos**: runs the deep-list and social-graph workloads under each
+/// pinned fault schedule for LXR, G1 and Shenandoah, classifying every cell
+/// as `survived` (completed, no degradation), `degraded` (completed via the
+/// degenerated-collection fallback), or `failed` (panic or integrity
+/// failure).  A no-op sweep unless built with `--features failpoints`.
+pub fn chaos(options: &ExperimentOptions) -> Table {
+    use lxr_runtime::WorkCounter;
+    let mut table = Table::new(
+        if lxr_failpoints::ENABLED {
+            "Chaos: pinned fault schedules (2x heap)"
+        } else {
+            "Chaos: pinned fault schedules (2x heap) — `failpoints` feature OFF, schedules are inert"
+        },
+        &["schedule", "benchmark", "collector", "outcome", "detail"],
+    );
+    let specs: Vec<BenchmarkSpec> = if options.scale < 0.05 {
+        vec![benchmark("avrora").expect("avrora spec")]
+    } else {
+        vec![benchmark("avrora").expect("avrora spec"), social_graph_churn()]
+    };
+    for (schedule_name, schedule) in CHAOS_SCHEDULES {
+        for spec in &specs {
+            for collector in ["lxr", "g1", "shenandoah"] {
+                let mut run_options = options.run_options(2.0);
+                run_options.verify_every_n_gcs = options.verify_every_n_gcs;
+                run_options.watchdog_ms = Some(options.watchdog_ms.unwrap_or(60_000));
+                // Install through a guard rather than the runtime options:
+                // schedules are process-global, and the guard guarantees the
+                // next cell starts clean even if this one panics.
+                let _guard = lxr_failpoints::ScheduleGuard::install(schedule)
+                    .unwrap_or_else(|e| panic!("invalid chaos schedule `{schedule}`: {e}"));
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_checked(spec, collector, &run_options)
+                }));
+                let (outcome, detail) = match outcome {
+                    Err(payload) => {
+                        let msg = payload
+                            .downcast_ref::<String>()
+                            .map(String::as_str)
+                            .or_else(|| payload.downcast_ref::<&str>().copied())
+                            .unwrap_or("non-string panic payload");
+                        ("failed".to_string(), msg.lines().next().unwrap_or("").to_string())
+                    }
+                    Ok(r) if r.failure.is_some() => {
+                        ("failed".to_string(), "integrity failure (see stderr)".to_string())
+                    }
+                    Ok(r) if r.skipped => ("skipped".to_string(), String::new()),
+                    Ok(r) => {
+                        let degenerated = r.gc.counter(WorkCounter::DegeneratedCollections);
+                        if degenerated > 0 {
+                            ("degraded".to_string(), format!("{degenerated} degenerated collections"))
+                        } else {
+                            ("survived".to_string(), format!("{} pauses", r.gc.pause_count()))
+                        }
+                    }
+                };
+                table.row(vec![
+                    schedule_name.to_string(),
+                    spec.name.to_string(),
+                    collector.to_string(),
+                    outcome,
+                    detail,
+                ]);
+            }
+        }
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn quick_options(scale: f64) -> ExperimentOptions {
-        ExperimentOptions { scale, gc_workers: 2, concurrent_workers: 2, seed: 1 }
+        ExperimentOptions { scale, gc_workers: 2, seed: 1, ..ExperimentOptions::default() }
     }
 
     #[test]

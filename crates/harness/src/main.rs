@@ -1,11 +1,17 @@
 //! Command-line entry point for the experiment harness.
 //!
 //! ```text
-//! lxr-harness [--quick] [--scale S] <experiment>...
+//! lxr-harness [--quick] [--scale S] [--failpoints SPEC] [--verify-every-n-gcs N]
+//!             [--watchdog-ms MS] [--oom-stall-ms MS] [--oom-wait-concurrent-ms MS]
+//!             <experiment>...
 //!
 //! experiments: table1 table3 table4 table5 table6 table7 fig7
-//!              barrier-overhead sensitivity socialgraph all
+//!              barrier-overhead sensitivity socialgraph chaos all
 //! ```
+//!
+//! `chaos` sweeps pinned fault-injection schedules across collectors (build
+//! with `--features failpoints` for the schedules to fire).  The harness
+//! exits non-zero if any workload reports an integrity failure.
 
 use lxr_harness::experiments::{self, ExperimentOptions};
 
@@ -28,6 +34,26 @@ fn main() {
             "--concurrent-workers" => {
                 let value = iter.next().expect("--concurrent-workers requires a value");
                 options.concurrent_workers = value.parse().expect("invalid crew size");
+            }
+            "--failpoints" => {
+                let value = iter.next().expect("--failpoints requires a schedule");
+                options.failpoints = Some(value);
+            }
+            "--verify-every-n-gcs" => {
+                let value = iter.next().expect("--verify-every-n-gcs requires a value");
+                options.verify_every_n_gcs = Some(value.parse().expect("invalid verification cadence"));
+            }
+            "--watchdog-ms" => {
+                let value = iter.next().expect("--watchdog-ms requires a value");
+                options.watchdog_ms = Some(value.parse().expect("invalid watchdog deadline"));
+            }
+            "--oom-stall-ms" => {
+                let value = iter.next().expect("--oom-stall-ms requires a value");
+                options.oom_retry_stall_ms = Some(value.parse().expect("invalid stall deadline"));
+            }
+            "--oom-wait-concurrent-ms" => {
+                let value = iter.next().expect("--oom-wait-concurrent-ms requires a value");
+                options.oom_wait_concurrent_ms = Some(value.parse().expect("invalid wait deadline"));
             }
             other => requested.push(other.to_string()),
         }
@@ -74,5 +100,16 @@ fn main() {
     }
     if want("socialgraph") {
         println!("{}", experiments::social_graph(&options));
+    }
+    // `chaos` is opt-in: it is not part of `all` because its fault schedules
+    // are inert (and its table all-`survived`) without `--features failpoints`.
+    if requested.iter().any(|r| r == "chaos") {
+        println!("{}", experiments::chaos(&options));
+    }
+
+    let failures = experiments::integrity_failures();
+    if failures > 0 {
+        eprintln!("{failures} workload run(s) reported integrity failures");
+        std::process::exit(1);
     }
 }

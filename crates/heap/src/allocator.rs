@@ -240,6 +240,9 @@ impl ImmixAllocator {
     /// * [`AllocError::OutOfMemory`] if no clean or recycled blocks are
     ///   available; the caller should trigger a collection and retry.
     pub fn alloc(&mut self, size_words: usize) -> Result<Address, AllocError> {
+        if let Some(lxr_failpoints::Action::FailAlloc) = lxr_failpoints::failpoint_act!("heap.alloc") {
+            return Err(AllocError::OutOfMemory);
+        }
         let size = size_words.max(MIN_OBJECT_WORDS).next_multiple_of(MIN_OBJECT_WORDS);
         if size >= self.large_object_words() {
             return Err(AllocError::TooLarge);

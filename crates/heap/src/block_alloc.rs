@@ -176,6 +176,7 @@ impl BlockAllocator {
     /// takes the central lock once per batch instead of once per block that
     /// overflows the clean buffer.
     pub fn release_free_block(&self, block: Block) {
+        lxr_failpoints::failpoint!("heap.block-release");
         debug_assert!(block.index() != 0, "block 0 is reserved");
         self.space.block_states().set(block, BlockState::Free);
         self.free_blocks.fetch_add(1, Ordering::Relaxed);
@@ -192,6 +193,7 @@ impl BlockAllocator {
         if blocks.is_empty() {
             return;
         }
+        lxr_failpoints::failpoint!("heap.block-release");
         let mut overflow: Vec<usize> = Vec::new();
         for &block in blocks {
             debug_assert!(block.index() != 0, "block 0 is reserved");
@@ -212,6 +214,7 @@ impl BlockAllocator {
 
     /// Queues a partially free block for reuse by allocators.
     pub fn release_recycled_block(&self, block: Block) {
+        lxr_failpoints::failpoint!("heap.block-recycle");
         debug_assert!(block.index() != 0, "block 0 is reserved");
         self.recycled_blocks.fetch_add(1, Ordering::Relaxed);
         self.recycled.push(block);

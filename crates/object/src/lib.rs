@@ -25,5 +25,5 @@
 pub mod model;
 pub mod reference;
 
-pub use model::{ClaimResult, ObjectModel, ObjectShape};
+pub use model::{ClaimResult, HeaderState, ObjectModel, ObjectShape};
 pub use reference::ObjectReference;

@@ -76,6 +76,20 @@ pub enum ClaimResult {
     Stale,
 }
 
+/// A non-panicking classification of an object header word, for audits that
+/// must describe bad state rather than crash on it (the sanity verifier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeaderState {
+    /// A well-formed object header with the decoded shape.
+    Normal(ObjectShape),
+    /// A copy is (or claims to be) in progress.
+    Busy,
+    /// Forwarded to the given location.
+    Forwarded(ObjectReference),
+    /// Tag 3: not an object header at all (stale word).
+    Invalid(u64),
+}
+
 /// Encodes and decodes object headers, reads and writes fields, scans
 /// reference slots, and implements the forwarding protocol used by every
 /// copying collector in the workspace.
@@ -284,6 +298,18 @@ impl ObjectModel {
     /// Returns `true` if `obj` has been forwarded (does not spin).
     pub fn is_forwarded(&self, obj: ObjectReference) -> bool {
         self.space.load_acquire(obj.to_address()) & TAG_MASK == TAG_FORWARDED
+    }
+
+    /// Classifies `obj`'s header word without panicking or spinning, for
+    /// audits that must *report* malformed state ([`HeaderState`]).
+    pub fn header_state(&self, obj: ObjectReference) -> HeaderState {
+        let header = self.space.load_acquire(obj.to_address());
+        match header & TAG_MASK {
+            TAG_NORMAL => HeaderState::Normal(Self::decode_header(header)),
+            TAG_BUSY => HeaderState::Busy,
+            TAG_FORWARDED => HeaderState::Forwarded(ObjectReference::from_raw(header >> 2)),
+            _ => HeaderState::Invalid(header),
+        }
     }
 
     /// Attempts to claim the right to forward `obj`.

@@ -89,6 +89,7 @@ impl<T> SharedBuffer<T> {
         if chunk.is_empty() {
             return;
         }
+        lxr_failpoints::failpoint!("rc.chunk-flush");
         self.entries.fetch_add(chunk.len(), Ordering::Relaxed);
         self.chunks.push(chunk);
     }

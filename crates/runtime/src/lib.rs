@@ -42,6 +42,8 @@ pub mod plan;
 pub mod rendezvous;
 pub mod runtime;
 pub mod stats;
+pub mod verify;
+pub mod watchdog;
 pub mod workers;
 
 pub use mutator::{Mutator, MutatorShared, RootSlot};
@@ -54,4 +56,6 @@ pub use plan::{
 pub use rendezvous::Rendezvous;
 pub use runtime::{PauseAttrs, Runtime, RuntimeShared};
 pub use stats::{GcReason, GcStats, PauseRecord, StatsSnapshot, WorkCounter};
+pub use verify::VerifyReport;
+pub use watchdog::{run_guarded, Watchdog};
 pub use workers::{PhaseHandle, WorkerPool};

@@ -110,7 +110,14 @@ impl Mutator {
         let mut last_generation: Option<usize> = None;
         let mut stalled_since: Option<std::time::Instant> = None;
         loop {
-            match self.plan_mutator.alloc(shape) {
+            let result = if let Some(lxr_failpoints::Action::FailAlloc) =
+                lxr_failpoints::failpoint_act!("runtime.alloc")
+            {
+                Err(AllocFailure::OutOfMemory)
+            } else {
+                self.plan_mutator.alloc(shape)
+            };
+            match result {
                 Ok(obj) => {
                     self.total_allocations += 1;
                     self.runtime.stats.add(WorkCounter::ObjectsAllocated, 1);
@@ -118,6 +125,7 @@ impl Mutator {
                     return obj;
                 }
                 Err(AllocFailure::OutOfMemory) => {
+                    lxr_failpoints::failpoint!("runtime.oom-retry");
                     attempts += 1;
                     let generation = self.runtime.blocks.release_generation();
                     if last_generation != Some(generation) {
@@ -129,7 +137,7 @@ impl Mutator {
                             since.elapsed() < stall,
                             "out of memory: allocation of {:?} failed after {} collections with no \
                              reclamation progress for {:?} (plan {}, {} free / {} recycled / {} used of \
-                             {} blocks)",
+                             {} blocks; work: {})",
                             shape,
                             attempts - 1,
                             since.elapsed(),
@@ -138,6 +146,7 @@ impl Mutator {
                             self.runtime.blocks.recycled_block_count(),
                             self.runtime.blocks.used_block_count(),
                             self.runtime.blocks.total_blocks(),
+                            self.runtime.stats.work_summary(),
                         );
                     }
                     last_generation = Some(generation);
@@ -232,6 +241,7 @@ impl Mutator {
     /// state and park until it completes.  Call this regularly from
     /// long-running loops that do not allocate.
     pub fn safepoint(&mut self) {
+        lxr_failpoints::failpoint!("mutator.safepoint");
         if self.runtime.rendezvous.gc_pending() {
             self.park_for_gc();
         }
@@ -279,7 +289,7 @@ impl Mutator {
         // every pause — indefinitely, and the retry loop's stall deadline
         // must get a chance to fire).
         let deadline = std::time::Instant::now()
-            + std::time::Duration::from_millis(self.runtime.options.oom_retry_stall_ms);
+            + std::time::Duration::from_millis(self.runtime.options.effective_oom_wait_concurrent_ms());
         while std::time::Instant::now() < deadline {
             if !self.runtime.plan.has_concurrent_work() || self.runtime.rendezvous.is_shutdown() {
                 return;

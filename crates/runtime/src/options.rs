@@ -47,6 +47,25 @@ pub struct RuntimeOptions {
     /// which declared OOM spuriously whenever heavy cyclic churn needed
     /// more than eight pauses to finish a backup trace.
     pub oom_retry_stall_ms: u64,
+    /// Deadline for the post-pause wait on concurrent reclamation during an
+    /// allocation retry, in milliseconds.  Defaults to
+    /// [`oom_retry_stall_ms`](Self::oom_retry_stall_ms) when unset.
+    pub oom_wait_concurrent_ms: Option<u64>,
+    /// Failpoint schedule spec (see `lxr_failpoints`), installed at runtime
+    /// construction unless a schedule is already active.  The
+    /// `LXR_FAILPOINTS` environment variable is the fallback when `None`.
+    /// Ignored (with a warning) unless the `failpoints` feature is on.
+    pub failpoints: Option<String>,
+    /// Run the sanity verifier (an independent re-trace cross-checking RC
+    /// counts, marks and free-line claims) inside every n-th pause.  The
+    /// `LXR_VERIFY_EVERY_N_GCS` environment variable is the fallback when
+    /// `None`.
+    pub verify_every_n_gcs: Option<u64>,
+    /// Deadline in milliseconds for every pause phase and crew quiescence
+    /// wait.  `None` (the default, for release benches) disables the
+    /// watchdogs; tests and CI set it so a wedged protocol becomes a
+    /// structured state dump instead of a suite timeout.
+    pub watchdog_ms: Option<u64>,
 }
 
 impl Default for RuntimeOptions {
@@ -58,6 +77,10 @@ impl Default for RuntimeOptions {
             concurrent_workers: default_concurrent_workers(),
             poll_interval_allocs: 64,
             oom_retry_stall_ms: 1000,
+            oom_wait_concurrent_ms: None,
+            failpoints: None,
+            verify_every_n_gcs: None,
+            watchdog_ms: None,
         }
     }
 }
@@ -115,6 +138,37 @@ impl RuntimeOptions {
     pub fn with_oom_retry_stall_ms(mut self, ms: u64) -> Self {
         self.oom_retry_stall_ms = ms;
         self
+    }
+
+    /// Sets the deadline for the post-pause wait on concurrent reclamation.
+    pub fn with_oom_wait_concurrent_ms(mut self, ms: u64) -> Self {
+        self.oom_wait_concurrent_ms = Some(ms);
+        self
+    }
+
+    /// Sets the failpoint schedule spec (requires the `failpoints` feature
+    /// for the sites to exist).
+    pub fn with_failpoints(mut self, spec: impl Into<String>) -> Self {
+        self.failpoints = Some(spec.into());
+        self
+    }
+
+    /// Runs the sanity verifier inside every n-th pause (0 disables).
+    pub fn with_verify_every_n_gcs(mut self, n: u64) -> Self {
+        self.verify_every_n_gcs = Some(n);
+        self
+    }
+
+    /// Arms the phase watchdogs with the given deadline.
+    pub fn with_watchdog_ms(mut self, ms: u64) -> Self {
+        self.watchdog_ms = Some(ms);
+        self
+    }
+
+    /// The effective deadline for the post-pause concurrent-reclamation
+    /// wait: the dedicated knob, falling back to the stall deadline.
+    pub fn effective_oom_wait_concurrent_ms(&self) -> u64 {
+        self.oom_wait_concurrent_ms.unwrap_or(self.oom_retry_stall_ms)
     }
 }
 

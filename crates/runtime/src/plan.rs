@@ -144,6 +144,10 @@ pub struct Collection<'a> {
     /// Attributes of this pause (label, SATB start, lazy completion), folded
     /// into the [`crate::stats::PauseRecord`] by the controller.
     pub attrs: &'a crate::runtime::PauseAttrs,
+    /// Deadline for each phase of this pause (disarmed unless
+    /// [`crate::RuntimeOptions::watchdog_ms`] is set).  Plans check it in
+    /// their own wait loops; the worker pool checks it while draining.
+    pub watchdog: crate::watchdog::Watchdog,
 }
 
 impl std::fmt::Debug for Collection<'_> {
@@ -179,6 +183,11 @@ pub struct ConcurrentWork<'a> {
     pub worker_id: usize,
     /// Total number of concurrent crew workers serving this plan.
     pub crew_size: usize,
+    /// Deadline for concurrent-phase waits.  Unlike pause-phase expiry
+    /// (which aborts), a concurrent trace that exceeds this deadline should
+    /// *degrade*: give up gracefully and let the next pause finish the work
+    /// stop-the-world.
+    pub watchdog: crate::watchdog::Watchdog,
 }
 
 impl std::fmt::Debug for ConcurrentWork<'_> {
@@ -235,6 +244,26 @@ pub trait Plan: Send + Sync + 'static {
     /// one (ZGC-like refuses very small heaps, mirroring the paper's
     /// observation that ZGC "requires a substantial minimum heap").
     fn minimum_heap_bytes(&self) -> Option<usize> {
+        None
+    }
+
+    /// One line of plan-specific gauge state (pending counters, queue
+    /// depths, phase flags) for watchdog state dumps.  Empty by default.
+    fn gauges(&self) -> String {
+        String::new()
+    }
+
+    /// Audits the plan's metadata against an independent re-trace of the
+    /// object graph from `roots` (see [`crate::verify`]).  Called while the
+    /// world is stopped.  The default reports the audit as unsupported.
+    fn verify(&self, _roots: &RootSet) -> crate::verify::VerifyReport {
+        crate::verify::VerifyReport::unsupported(self.name())
+    }
+
+    /// Describes the full metadata state of one object (block/line state,
+    /// marks, RC count, field-log and remset membership, reuse epoch) for
+    /// corruption reports.  `None` when the plan has nothing to add.
+    fn describe_object(&self, _obj: ObjectReference) -> Option<String> {
         None
     }
 }

@@ -179,13 +179,38 @@ impl Rendezvous {
     /// waits until every active mutator is parked.  Returns the time it took
     /// to reach the safepoint.
     pub fn stop_the_world(&self) -> Duration {
+        self.stop_the_world_watched(&crate::watchdog::Watchdog::disarmed())
+    }
+
+    /// [`stop_the_world`](Self::stop_the_world) under a deadline: a mutator
+    /// that never reaches its safepoint (or a safepoint wedged by a chaos
+    /// schedule) trips the watchdog, which dumps the rendezvous state and
+    /// aborts instead of hanging the pause forever.
+    pub fn stop_the_world_watched(&self, watchdog: &crate::watchdog::Watchdog) -> Duration {
         let start = Instant::now();
         let mut s = self.state.lock();
         s.gc_in_progress = true;
         while s.parked < s.active && !s.shutdown {
-            self.controller.wait(&mut s);
+            if watchdog.armed() {
+                watchdog.check("stop-the-world safepoint rendezvous", start);
+                self.controller.wait_for(&mut s, Duration::from_millis(20));
+            } else {
+                self.controller.wait(&mut s);
+            }
         }
         start.elapsed()
+    }
+
+    /// One line of rendezvous state for watchdog dumps (`try_lock` so a
+    /// dump from inside a wedged pause cannot deadlock on the state mutex).
+    pub fn debug_state(&self) -> String {
+        match self.state.try_lock() {
+            Some(s) => format!(
+                "rendezvous: requested={} in_progress={} parked={}/{} completed={} shutdown={}",
+                s.gc_requested, s.gc_in_progress, s.parked, s.active, s.completed_collections, s.shutdown
+            ),
+            None => "rendezvous: (state locked)".to_string(),
+        }
     }
 
     /// Controller: resumes the world after a collection.

@@ -93,6 +93,37 @@ impl std::fmt::Debug for RuntimeShared {
 }
 
 impl RuntimeShared {
+    /// A structured snapshot of this runtime for watchdog dumps: plan,
+    /// rendezvous state, worker-pool phase, work counters, plan gauges.
+    /// Uses only `try_lock`-style accessors so it is safe to call from a
+    /// thread that may itself hold runtime locks.
+    pub fn state_snapshot(&self) -> String {
+        let mut out = format!("runtime[{}]: up {:?}\n", self.plan.name(), self.run_start.elapsed());
+        out.push_str(&format!("  {}\n", self.rendezvous.debug_state()));
+        out.push_str(&format!("  {}\n", self.workers.phase_snapshot()));
+        out.push_str(&format!("  stats: {}\n", self.stats.work_summary()));
+        let gauges = self.plan.gauges();
+        if !gauges.is_empty() {
+            out.push_str(&format!("  plan: {gauges}\n"));
+        }
+        out
+    }
+
+    /// Runs the plan's sanity verifier against the current roots.  The
+    /// caller must ensure the heap is quiescent (no concurrently running
+    /// mutators); the runtime calls this from inside pauses, and stress
+    /// tests call it from their single mutator thread after a failure.
+    pub fn verify_now(&self) -> crate::verify::VerifyReport {
+        let root_set = RootSet {
+            mutator_roots: {
+                let mutators = self.mutators.lock();
+                mutators.iter().map(|m| m.roots.clone()).collect()
+            },
+            global_roots: self.global_roots.clone(),
+        };
+        self.plan.verify(&root_set)
+    }
+
     fn wake_concurrent(&self) {
         let mut epoch = self.concurrent_wake.lock();
         *epoch += 1;
@@ -158,6 +189,36 @@ impl Runtime {
         options: RuntimeOptions,
         factory: impl FnOnce(PlanContext) -> Arc<dyn Plan>,
     ) -> Runtime {
+        let mut options = options;
+        // Environment fallbacks, so stress binaries and CI can drive the
+        // chaos/verification machinery without plumbing options everywhere.
+        if options.failpoints.is_none() {
+            if let Ok(spec) = std::env::var("LXR_FAILPOINTS") {
+                if !spec.is_empty() {
+                    options.failpoints = Some(spec);
+                }
+            }
+        }
+        if options.verify_every_n_gcs.is_none() {
+            if let Ok(n) = std::env::var("LXR_VERIFY_EVERY_N_GCS") {
+                if let Ok(n) = n.parse::<u64>() {
+                    options.verify_every_n_gcs = Some(n);
+                }
+            }
+        }
+        if let Some(spec) = &options.failpoints {
+            if !lxr_failpoints::ENABLED {
+                eprintln!(
+                    "warning: failpoint schedule `{spec}` requested but the `failpoints` feature is \
+                     compiled out; running without fault injection"
+                );
+            } else if !lxr_failpoints::active() {
+                // An already-active schedule (e.g. a test's ScheduleGuard)
+                // takes precedence over per-runtime options.
+                lxr_failpoints::install_spec(spec)
+                    .unwrap_or_else(|e| panic!("invalid failpoint schedule `{spec}`: {e}"));
+            }
+        }
         let space = Arc::new(HeapSpace::new(options.heap.clone()));
         let blocks = Arc::new(BlockAllocator::new(space.clone()));
         let los = Arc::new(LargeObjectSpace::new(space.clone(), blocks.clone()));
@@ -197,6 +258,8 @@ impl Runtime {
             concurrent_wake: Mutex::new(0),
             concurrent_cv: Condvar::new(),
         });
+        crate::watchdog::register_runtime(Arc::downgrade(&shared));
+        shared.workers.arm_watchdog(crate::watchdog::Watchdog::new(shared.options.watchdog_ms));
 
         let mut threads = Vec::new();
         {
@@ -287,14 +350,23 @@ impl Runtime {
     /// complete.  Useful for forcing a final collection in tests and in the
     /// harness.
     pub fn request_gc_and_wait(&self) {
+        let watchdog = crate::watchdog::Watchdog::new(self.shared.options.watchdog_ms);
+        let started = Instant::now();
         let target = self.shared.rendezvous.completed_collections() + 1;
         self.shared.rendezvous.request_gc(GcReason::Requested);
         while self.shared.rendezvous.completed_collections() < target {
             if self.shared.rendezvous.is_shutdown() {
                 return;
             }
+            watchdog.check("request_gc_and_wait", started);
             std::thread::yield_now();
         }
+    }
+
+    /// Runs the plan's sanity verifier now (see
+    /// [`RuntimeShared::verify_now`]).
+    pub fn verify_now(&self) -> crate::verify::VerifyReport {
+        self.shared.verify_now()
     }
 
     /// Milliseconds since the runtime was created.
@@ -314,8 +386,10 @@ impl Runtime {
 }
 
 fn controller_loop(shared: Arc<RuntimeShared>) {
+    let watchdog = crate::watchdog::Watchdog::new(shared.options.watchdog_ms);
+    let mut gcs_since_verify = 0u64;
     while let Some(reason) = shared.rendezvous.wait_for_request() {
-        let time_to_stop = shared.rendezvous.stop_the_world();
+        let time_to_stop = shared.rendezvous.stop_the_world_watched(&watchdog);
         if shared.rendezvous.is_shutdown() {
             shared.rendezvous.resume_the_world();
             break;
@@ -341,8 +415,26 @@ fn controller_loop(shared: Arc<RuntimeShared>) {
             roots: &root_set,
             stats: &shared.stats,
             attrs: &shared.pause_attrs,
+            watchdog: watchdog.clone(),
         };
         shared.plan.collect(&collection);
+
+        // On-demand sanity verification: audit the plan's metadata against
+        // an independent re-trace while the world is still stopped.
+        gcs_since_verify += 1;
+        if let Some(n) = shared.options.verify_every_n_gcs {
+            if n > 0 && gcs_since_verify >= n {
+                gcs_since_verify = 0;
+                let report = shared.plan.verify(&root_set);
+                if !report.ok() {
+                    eprintln!("==== SANITY VERIFIER: heap audit failed after collection ====");
+                    eprint!("{report}");
+                    eprint!("{}", crate::watchdog::dump_all());
+                    eprintln!("==== aborting ====");
+                    std::process::abort();
+                }
+            }
+        }
 
         let duration = pause_start.elapsed();
         shared.stats.add_stw_time(duration);
@@ -385,6 +477,7 @@ fn concurrent_crew_loop(shared: Arc<RuntimeShared>, worker_id: usize, crew_size:
                 yield_requested,
                 worker_id,
                 crew_size,
+                watchdog: crate::watchdog::Watchdog::new(shared.options.watchdog_ms),
             };
             shared.plan.concurrent_work(&work);
             shared.stats.add_concurrent_time(start.elapsed());

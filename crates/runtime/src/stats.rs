@@ -227,6 +227,19 @@ impl GcStats {
         self.pauses.lock().len()
     }
 
+    /// One-line dump of every non-zero work counter plus the pause count,
+    /// for clean-OOM reports and watchdog state snapshots.
+    pub fn work_summary(&self) -> String {
+        let mut parts = vec![format!("pauses={}", self.pause_count())];
+        for &c in ALL_COUNTERS {
+            let v = self.counters[c as usize].load(Ordering::Relaxed);
+            if v != 0 {
+                parts.push(format!("{c:?}={v}"));
+            }
+        }
+        parts.join(" ")
+    }
+
     /// Takes a snapshot of everything recorded so far.
     pub fn snapshot(&self) -> StatsSnapshot {
         let counters =

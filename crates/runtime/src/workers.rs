@@ -37,11 +37,13 @@
 //! the tests and as the contention baseline in the `pause_phases`
 //! benchmark.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::watchdog::Watchdog;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use crossbeam::reference;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 type Job = Box<dyn FnOnce(usize) + Send + 'static>;
 
@@ -70,6 +72,19 @@ type Job = Box<dyn FnOnce(usize) + Send + 'static>;
 pub struct WorkerPool {
     senders: Vec<Sender<Job>>,
     threads: Vec<std::thread::JoinHandle<()>>,
+    /// Deadline applied to every phase (disarmed by default; armed from
+    /// [`crate::RuntimeOptions::watchdog_ms`] at runtime construction).
+    watchdog: std::sync::Mutex<Watchdog>,
+    /// Observation point for watchdog state dumps: the currently running
+    /// phase, if any.
+    probe: std::sync::Mutex<Option<PhaseProbe>>,
+}
+
+/// What a state dump can see of a running phase.
+struct PhaseProbe {
+    label: &'static str,
+    pending: Arc<AtomicUsize>,
+    started: Instant,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -107,7 +122,14 @@ struct PhaseShared<T> {
     /// One stealer per participant's local deque (empty in mutexed mode).
     stealers: Vec<Stealer<T>>,
     /// Items queued or in flight; the phase ends when this reaches zero.
-    pending: AtomicUsize,
+    /// Shared with the pool's [`PhaseProbe`] so state dumps can read it.
+    pending: Arc<AtomicUsize>,
+    /// Deadline for this phase (disarmed unless the pool was armed).
+    watchdog: Watchdog,
+    /// When the phase started, for the watchdog and the probe.
+    started: Instant,
+    /// The phase label, for the probe and expiry diagnostics.
+    label: &'static str,
 }
 
 /// Handle given to phase callbacks for pushing follow-on work items.
@@ -138,7 +160,10 @@ impl<T> PhaseHandle<T> {
         self.shared.pending.fetch_add(1, Ordering::Relaxed);
         match &self.local {
             Some(local) if local.len() < SPILL_THRESHOLD => local.push(item),
-            _ => self.shared.queue.push(item),
+            _ => {
+                lxr_failpoints::failpoint!("workers.spill");
+                self.shared.queue.push(item);
+            }
         }
     }
 }
@@ -163,7 +188,40 @@ impl WorkerPool {
                     .expect("failed to spawn GC worker"),
             );
         }
-        WorkerPool { senders, threads }
+        WorkerPool {
+            senders,
+            threads,
+            watchdog: std::sync::Mutex::new(Watchdog::disarmed()),
+            probe: std::sync::Mutex::new(None),
+        }
+    }
+
+    /// Arms (or disarms) the per-phase deadline.  Called once at runtime
+    /// construction from [`crate::RuntimeOptions::watchdog_ms`].
+    pub fn arm_watchdog(&self, watchdog: Watchdog) {
+        *self.watchdog.lock().unwrap_or_else(|e| e.into_inner()) = watchdog;
+    }
+
+    fn current_watchdog(&self) -> Watchdog {
+        self.watchdog.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// One line describing the pool for watchdog state dumps: thread count
+    /// plus the running phase's label, age and pending-item count.
+    pub fn phase_snapshot(&self) -> String {
+        let running = match self.probe.try_lock() {
+            Ok(guard) => match &*guard {
+                Some(p) => format!(
+                    "phase `{}` running for {:?}, pending={}",
+                    p.label,
+                    p.started.elapsed(),
+                    p.pending.load(Ordering::Relaxed)
+                ),
+                None => "no phase running".to_string(),
+            },
+            Err(_) => "(probe contended)".to_string(),
+        };
+        format!("workers: {} threads; {}", self.senders.len(), running)
     }
 
     /// Number of worker threads (excluding the calling thread, which also
@@ -183,7 +241,18 @@ impl WorkerPool {
         T: Send + 'static,
         F: Fn(T, &PhaseHandle<T>) + Send + Sync + 'static,
     {
-        self.run_phase_impl(seeds, process, false)
+        self.run_phase_impl("phase", seeds, process, false)
+    }
+
+    /// [`run_phase`](Self::run_phase) with a label that appears in watchdog
+    /// state dumps and deadline diagnostics.  Collection phases use this so
+    /// a hang names the phase that wedged.
+    pub fn run_phase_labeled<T, F>(&self, label: &'static str, seeds: Vec<T>, process: F)
+    where
+        T: Send + 'static,
+        F: Fn(T, &PhaseHandle<T>) + Send + Sync + 'static,
+    {
+        self.run_phase_impl(label, seeds, process, false)
     }
 
     /// Runs one parallel phase on the retained single-queue scheduler
@@ -198,21 +267,26 @@ impl WorkerPool {
         T: Send + 'static,
         F: Fn(T, &PhaseHandle<T>) + Send + Sync + 'static,
     {
-        self.run_phase_impl(seeds, process, true)
+        self.run_phase_impl("phase(mutexed)", seeds, process, true)
     }
 
-    fn run_phase_impl<T, F>(&self, seeds: Vec<T>, process: F, mutexed: bool)
+    fn run_phase_impl<T, F>(&self, label: &'static str, seeds: Vec<T>, process: F, mutexed: bool)
     where
         T: Send + 'static,
         F: Fn(T, &PhaseHandle<T>) + Send + Sync + 'static,
     {
         let participants = self.senders.len() + 1;
-        let pending = AtomicUsize::new(seeds.len());
+        let pending = Arc::new(AtomicUsize::new(seeds.len()));
+        let watchdog = self.current_watchdog();
+        let started = Instant::now();
         let (shared, locals) = if mutexed {
             let shared = PhaseShared {
                 queue: SharedQueue::Mutexed(reference::Injector::new()),
                 stealers: Vec::new(),
                 pending,
+                watchdog,
+                started,
+                label,
             };
             for s in seeds {
                 shared.queue.push(s);
@@ -226,9 +300,18 @@ impl WorkerPool {
             for (i, s) in seeds.into_iter().enumerate() {
                 locals[i % participants].push(s);
             }
-            let shared = PhaseShared { queue: SharedQueue::LockFree(Injector::new()), stealers, pending };
+            let shared = PhaseShared {
+                queue: SharedQueue::LockFree(Injector::new()),
+                stealers,
+                pending,
+                watchdog,
+                started,
+                label,
+            };
             (Arc::new(shared), locals)
         };
+        *self.probe.lock().unwrap_or_else(|e| e.into_inner()) =
+            Some(PhaseProbe { label, pending: Arc::clone(&shared.pending), started });
 
         let process = Arc::new(process);
         let (done_tx, done_rx) = unbounded::<()>();
@@ -251,10 +334,23 @@ impl WorkerPool {
         let handle =
             PhaseHandle { local: locals.next(), shared: Arc::clone(&shared), worker_id: participants - 1 };
         drain(&handle, process.as_ref());
-        // Wait for every worker to finish its drain.
+        // Wait for every worker to finish its drain (under the phase
+        // deadline when armed: a worker wedged inside `process` would
+        // otherwise hang this loop with an empty queue).
         for _ in 0..self.senders.len() {
-            done_rx.recv().expect("GC worker thread has exited");
+            if shared.watchdog.armed() {
+                loop {
+                    match done_rx.recv_timeout(Duration::from_millis(20)) {
+                        Ok(()) => break,
+                        Err(RecvTimeoutError::Timeout) => shared.watchdog.check(shared.label, shared.started),
+                        Err(RecvTimeoutError::Disconnected) => panic!("GC worker thread has exited"),
+                    }
+                }
+            } else {
+                done_rx.recv().expect("GC worker thread has exited");
+            }
         }
+        *self.probe.lock().unwrap_or_else(|e| e.into_inner()) = None;
         debug_assert_eq!(shared.pending.load(Ordering::Relaxed), 0);
     }
 }
@@ -278,6 +374,7 @@ where
         }
         // 2. Steal: siblings first (rotating from our own index), then the
         //    shared injector.
+        lxr_failpoints::failpoint!("workers.steal");
         let mut contended = false;
         for k in 1..siblings {
             let victim = (handle.worker_id + k) % siblings;
@@ -308,6 +405,12 @@ where
         }
         idle_spins += 1;
         if idle_spins > 64 {
+            // Idle long enough to be off the hot path: check the phase
+            // deadline occasionally (a wedged sibling holds `pending` above
+            // zero forever, and this spin is where everyone else ends up).
+            if idle_spins.is_multiple_of(1024) {
+                shared.watchdog.check(shared.label, shared.started);
+            }
             std::thread::yield_now();
         } else {
             std::hint::spin_loop();

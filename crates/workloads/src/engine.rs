@@ -34,6 +34,11 @@ pub struct WorkloadResult {
     /// Whether the run failed because the collector could not operate in
     /// the requested heap (e.g. ZGC below its minimum heap).
     pub skipped: bool,
+    /// An integrity failure detected by the workload (e.g. a truncated
+    /// live list), with the verifier's diagnosis.  The engine reports it
+    /// here instead of panicking so the harness can print the report and
+    /// exit non-zero.
+    pub failure: Option<String>,
 }
 
 impl WorkloadResult {
@@ -73,6 +78,19 @@ pub struct RunOptions {
     /// deterministically complete an in-flight concurrent trace; 0 (the
     /// default) preserves the pure workload-driven behaviour.
     pub final_gcs: usize,
+    /// A fault-injection schedule for the run (see `lxr_failpoints`); a
+    /// no-op unless the `failpoints` feature is compiled in.
+    pub failpoints: Option<String>,
+    /// Run the plan's sanity verifier inside every n-th collection pause.
+    pub verify_every_n_gcs: Option<u64>,
+    /// Deadline in milliseconds for pause phases and quiescence waits
+    /// (`None` leaves watchdogs disarmed, the benchmarking default).
+    pub watchdog_ms: Option<u64>,
+    /// Overrides the runtime's out-of-memory stall deadline (ms).
+    pub oom_retry_stall_ms: Option<u64>,
+    /// Overrides the runtime's bounded wait for concurrent reclamation
+    /// between out-of-memory retries (ms).
+    pub oom_wait_concurrent_ms: Option<u64>,
 }
 
 impl Default for RunOptions {
@@ -84,6 +102,11 @@ impl Default for RunOptions {
             gc_workers: 4,
             concurrent_workers: 2,
             final_gcs: 0,
+            failpoints: None,
+            verify_every_n_gcs: None,
+            watchdog_ms: None,
+            oom_retry_stall_ms: None,
+            oom_wait_concurrent_ms: None,
         }
     }
 }
@@ -112,6 +135,37 @@ impl RunOptions {
         self.final_gcs = n;
         self
     }
+
+    /// Sets the fault-injection schedule.
+    pub fn with_failpoints(mut self, spec: impl Into<String>) -> Self {
+        self.failpoints = Some(spec.into());
+        self
+    }
+
+    /// Runs the sanity verifier inside every n-th collection pause.
+    pub fn with_verify_every_n_gcs(mut self, n: u64) -> Self {
+        self.verify_every_n_gcs = Some(n);
+        self
+    }
+
+    /// Arms the pause/quiescence watchdogs with the given deadline.
+    pub fn with_watchdog_ms(mut self, ms: u64) -> Self {
+        self.watchdog_ms = Some(ms);
+        self
+    }
+
+    /// Sets the out-of-memory stall deadline.
+    pub fn with_oom_retry_stall_ms(mut self, ms: u64) -> Self {
+        self.oom_retry_stall_ms = Some(ms);
+        self
+    }
+
+    /// Sets the bounded wait for concurrent reclamation between
+    /// out-of-memory retries.
+    pub fn with_oom_wait_concurrent_ms(mut self, ms: u64) -> Self {
+        self.oom_wait_concurrent_ms = Some(ms);
+        self
+    }
 }
 
 /// Runs `spec` against the collector named `collector`.
@@ -133,18 +187,34 @@ pub fn run_workload(spec: &BenchmarkSpec, collector: &str, options: &RunOptions)
                 latencies: Vec::new(),
                 gc: lxr_runtime::GcStats::new().snapshot(),
                 skipped: true,
+                failure: None,
             };
         }
     }
-    let runtime_options = RuntimeOptions::default()
+    let mut runtime_options = RuntimeOptions::default()
         .with_heap_size(heap_bytes)
         .with_gc_workers(options.gc_workers)
         .with_concurrent_workers(options.concurrent_workers)
         .with_poll_interval(64);
+    if let Some(fp) = &options.failpoints {
+        runtime_options = runtime_options.with_failpoints(fp.clone());
+    }
+    if let Some(n) = options.verify_every_n_gcs {
+        runtime_options = runtime_options.with_verify_every_n_gcs(n);
+    }
+    if let Some(ms) = options.watchdog_ms {
+        runtime_options = runtime_options.with_watchdog_ms(ms);
+    }
+    if let Some(ms) = options.oom_retry_stall_ms {
+        runtime_options = runtime_options.with_oom_retry_stall_ms(ms);
+    }
+    if let Some(ms) = options.oom_wait_concurrent_ms {
+        runtime_options = runtime_options.with_oom_wait_concurrent_ms(ms);
+    }
     let runtime = Runtime::with_factory(runtime_options, plan_registry(collector));
 
     let start = Instant::now();
-    let (allocated_bytes, latencies) = if spec.is_latency_critical() {
+    let (allocated_bytes, latencies, failure) = if spec.is_latency_critical() {
         run_latency(&runtime, spec, options)
     } else {
         run_throughput(&runtime, spec, options)
@@ -170,6 +240,7 @@ pub fn run_workload(spec: &BenchmarkSpec, collector: &str, options: &RunOptions)
         latencies,
         gc,
         skipped: false,
+        failure,
     }
 }
 
@@ -180,7 +251,7 @@ fn throughput_thread(
     options: RunOptions,
     thread_index: usize,
     target_bytes: usize,
-) -> usize {
+) -> Result<usize, String> {
     let mut mutator = runtime.bind_mutator();
     let mut rng = StdRng::seed_from_u64(options.seed ^ (thread_index as u64) << 32);
     let mut allocated = 0usize;
@@ -248,16 +319,43 @@ fn throughput_thread(
         if let Some(list_root) = list_root {
             if allocated % (1 << 20) < 64 {
                 let mut cursor = mutator.root(list_root);
+                let mut prev = cursor;
                 let mut hops = 0u64;
                 while !cursor.is_null() && hops < 30_000 {
+                    prev = cursor;
                     cursor = mutator.read_ref(cursor, 0);
                     hops += 1;
                 }
-                assert!(hops >= 30_000, "live linked list was truncated");
+                if hops < 30_000 {
+                    return Err(integrity_failure(&runtime, thread_index, hops, prev));
+                }
             }
         }
     }
-    allocated
+    Ok(allocated)
+}
+
+/// Builds the diagnosis for a truncated live list: the last node reached
+/// (every metadata layer the plan can describe) plus a full verifier
+/// report.  The other mutator threads are still running, so the audit is
+/// best-effort — but a genuine corruption has already been observed, and
+/// its block/line state is exactly what the report is for.
+fn integrity_failure(
+    runtime: &Runtime,
+    thread_index: usize,
+    hops: u64,
+    last: lxr_object::ObjectReference,
+) -> String {
+    let mut msg =
+        format!("integrity: thread {thread_index} found the live linked list truncated after {hops} hops\n");
+    if let Some(desc) = runtime.plan().describe_object(last) {
+        msg.push_str(&format!("  last node reached: {desc}\n"));
+    }
+    msg.push_str("  verifier (best-effort; mutators still running):\n");
+    for line in runtime.verify_now().to_string().lines() {
+        msg.push_str(&format!("    {line}\n"));
+    }
+    msg
 }
 
 /// Out-edges per social-graph hub: the wide fanout that defeats a shallow
@@ -364,7 +462,11 @@ fn social_graph_thread(
     allocated
 }
 
-fn run_throughput(runtime: &Runtime, spec: &BenchmarkSpec, options: &RunOptions) -> (usize, Vec<Duration>) {
+fn run_throughput(
+    runtime: &Runtime,
+    spec: &BenchmarkSpec,
+    options: &RunOptions,
+) -> (usize, Vec<Duration>, Option<String>) {
     let total_bytes = ((spec.total_alloc_mb as f64) * options.scale * 1024.0 * 1024.0) as usize;
     let per_thread = total_bytes / spec.mutator_threads;
     let social = spec.social_graph;
@@ -375,18 +477,31 @@ fn run_throughput(runtime: &Runtime, spec: &BenchmarkSpec, options: &RunOptions)
             let options = options.clone();
             std::thread::spawn(move || {
                 if social {
-                    social_graph_thread(runtime, spec, options, t, per_thread)
+                    Ok(social_graph_thread(runtime, spec, options, t, per_thread))
                 } else {
                     throughput_thread(runtime, spec, options, t, per_thread)
                 }
             })
         })
         .collect();
-    let allocated = threads.into_iter().map(|t| t.join().expect("mutator thread panicked")).sum();
-    (allocated, Vec::new())
+    let mut allocated = 0usize;
+    let mut failure: Option<String> = None;
+    for t in threads {
+        match t.join().expect("mutator thread panicked") {
+            Ok(bytes) => allocated += bytes,
+            Err(report) => {
+                failure.get_or_insert(report);
+            }
+        }
+    }
+    (allocated, Vec::new(), failure)
 }
 
-fn run_latency(runtime: &Runtime, spec: &BenchmarkSpec, options: &RunOptions) -> (usize, Vec<Duration>) {
+fn run_latency(
+    runtime: &Runtime,
+    spec: &BenchmarkSpec,
+    options: &RunOptions,
+) -> (usize, Vec<Duration>, Option<String>) {
     let latency = spec.latency.expect("latency workload without a latency spec");
     let num_requests = ((latency.num_requests as f64) * options.scale).max(1.0) as usize;
     let next_request = Arc::new(AtomicUsize::new(0));
@@ -457,5 +572,5 @@ fn run_latency(runtime: &Runtime, spec: &BenchmarkSpec, options: &RunOptions) ->
         all_latencies.extend(lat);
     }
     all_latencies.sort_unstable();
-    (allocated, all_latencies)
+    (allocated, all_latencies, None)
 }

@@ -25,8 +25,13 @@ fn main() {
     let spec = benchmark("avrora").expect("avrora is part of the suite");
     println!("avrora-like workload (live singly-linked list + churn), 2x heap");
     println!("{:<12} {:>9} {:>8} {:>10} {:>14}", "collector", "time ms", "pauses", "p95 ms", "GC busy ms");
+    let mut failed = false;
     for collector in collectors {
         let result = run_workload(&spec, collector, &RunOptions::default());
+        if let Some(report) = &result.failure {
+            eprintln!("INTEGRITY FAILURE under {collector}:\n{report}");
+            failed = true;
+        }
         let gc_busy = result.gc.stw_gc_time + result.gc.concurrent_gc_time;
         println!(
             "{:<12} {:>9.0} {:>8} {:>10.2} {:>14.1}",
@@ -37,5 +42,8 @@ fn main() {
             gc_busy.as_secs_f64() * 1e3,
         );
     }
-    println!("\nThe list is traversed throughout the run; a truncated list would abort the workload.");
+    println!("\nThe list is traversed throughout the run; a truncated list fails the example.");
+    if failed {
+        std::process::exit(1);
+    }
 }

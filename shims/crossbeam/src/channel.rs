@@ -1,7 +1,7 @@
 //! MPSC channels with a cloneable, `Sync` sender (facade over
 //! `std::sync::mpsc`).
 
-pub use std::sync::mpsc::{RecvError, SendError};
+pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError};
 
 /// The sending half of an unbounded channel.
 pub struct Sender<T>(std::sync::mpsc::Sender<T>);
@@ -32,6 +32,11 @@ impl<T> Receiver<T> {
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Result<T, std::sync::mpsc::TryRecvError> {
         self.0.try_recv()
+    }
+
+    /// Blocks until a value arrives or `timeout` elapses.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+        self.0.recv_timeout(timeout)
     }
 }
 

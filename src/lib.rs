@@ -20,6 +20,7 @@
 //! * [`baselines`] — comparison collectors (SemiSpace, Serial, Parallel, Immix, G1-, Shenandoah-, ZGC-like)
 //! * [`workloads`] — synthetic DaCapo-style workloads and latency-critical request servers
 //! * [`harness`] — experiment harness reproducing the paper's tables and figures
+//! * [`failpoints`] — deterministic fault-injection engine (active with `--features failpoints`)
 //!
 //! ## Quickstart
 //!
@@ -39,6 +40,7 @@
 pub use lxr_barrier as barrier;
 pub use lxr_baselines as baselines;
 pub use lxr_core as core;
+pub use lxr_failpoints as failpoints;
 pub use lxr_harness as harness;
 pub use lxr_heap as heap;
 pub use lxr_object as object;

@@ -5,7 +5,7 @@
 use lxr::baselines::{plan_registry, ALL_COLLECTORS};
 use lxr::core::LxrPlan;
 use lxr::object::ObjectReference;
-use lxr::runtime::{Runtime, RuntimeOptions, WorkCounter};
+use lxr::runtime::{run_guarded, Runtime, RuntimeOptions, WorkCounter};
 use lxr::workloads::{benchmark, run_workload, suite, RunOptions};
 use proptest::prelude::*;
 
@@ -32,28 +32,22 @@ fn quickstart_api_round_trip() {
 /// Runs the avrora-like deep-list workload under `collector` a few times
 /// inside a watchdog: a wedged run (the historic failure mode, alongside
 /// header-tag-3 `unreachable!`s, `space.rs` out-of-bounds and spurious OOM)
-/// trips the timeout instead of hanging the suite.
+/// trips the guard — which dumps every live runtime's state — instead of
+/// hanging the suite.
 fn deep_list_survives(collector: &'static str) {
-    use std::sync::mpsc;
     use std::time::Duration;
     for round in 0..3 {
-        let (tx, rx) = mpsc::channel();
-        std::thread::spawn(move || {
-            let spec = benchmark("avrora").expect("avrora spec");
-            let result = run_workload(&spec, collector, &RunOptions::default().with_scale(0.5));
-            let _ = tx.send((result.skipped, result.allocated_bytes));
-        });
         // LXR completes this workload in ~50 ms; a minute means the
         // collector wedged.
-        match rx.recv_timeout(Duration::from_secs(60)) {
-            Ok((skipped, allocated)) => {
-                assert!(!skipped, "round {round}: {collector} should run avrora");
-                assert!(allocated > 0, "round {round}");
-            }
-            Err(_) => panic!(
-                "round {round}: {collector} hung (or crashed without unwinding) on the deep-list workload"
-            ),
+        let result = run_guarded("deep-list", Duration::from_secs(60), move || {
+            let spec = benchmark("avrora").expect("avrora spec");
+            run_workload(&spec, collector, &RunOptions::default().with_scale(0.5))
+        });
+        assert!(!result.skipped, "round {round}: {collector} should run avrora");
+        if let Some(report) = &result.failure {
+            panic!("round {round}: {collector} corrupted the deep list:\n{report}");
         }
+        assert!(result.allocated_bytes > 0, "round {round}");
     }
 }
 
@@ -88,25 +82,14 @@ fn shenandoah_survives_the_deep_list_workload() {
 #[test]
 #[cfg_attr(debug_assertions, ignore = "release-mode stress (too slow under debug assertions)")]
 fn socialgraph_survives_a_tight_heap() {
-    use std::sync::mpsc;
     use std::time::Duration;
     for collector in ["lxr", "g1", "shenandoah"] {
-        let (tx, rx) = mpsc::channel();
-        std::thread::spawn(move || {
+        let result = run_guarded("socialgraph-tight", Duration::from_secs(180), move || {
             let spec = benchmark("socialgraph").expect("socialgraph spec");
             let options = RunOptions::default().with_heap_factor(1.5).with_scale(0.2).with_final_gcs(2);
-            let result = run_workload(&spec, collector, &options);
-            let _ = tx.send(result.allocated_bytes);
+            run_workload(&spec, collector, &options)
         });
-        match rx.recv_timeout(Duration::from_secs(180)) {
-            Ok(allocated) => assert!(allocated > 0, "{collector}"),
-            Err(mpsc::RecvTimeoutError::Disconnected) => {
-                panic!("socialgraph at 1.5x heap crashed under {collector} (spurious OOM or corruption)")
-            }
-            Err(mpsc::RecvTimeoutError::Timeout) => {
-                panic!("socialgraph at 1.5x heap wedged under {collector}")
-            }
-        }
+        assert!(result.allocated_bytes > 0, "{collector}");
     }
 }
 
