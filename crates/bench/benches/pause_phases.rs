@@ -84,8 +84,10 @@ fn bench_sweep(c: &mut Criterion) {
 }
 
 /// An increment-phase-shaped workload: a transitive binary tree of work
-/// items, each doing a small amount of "RC work", scheduled either through
-/// the lock-free work-stealing scheduler or the mutexed reference queue.
+/// items, each doing a small amount of "RC work", scheduled through the
+/// lock-free work-stealing scheduler, the mutexed single-queue reference,
+/// or a single-bucket graph (the flat degenerate case of the bucket DAG —
+/// its overhead vs `lockfree` at 1 worker is the ISSUE 7 acceptance bar).
 fn bench_scheduler(c: &mut Criterion) {
     const TREE_LIMIT: usize = 4096; // 8191 items per phase
     let mut group = c.benchmark_group("pause_phases/increment_tree_8k");
@@ -95,26 +97,38 @@ fn bench_scheduler(c: &mut Criterion) {
 
     for workers in [1usize, 2, 4, 8] {
         let pool = Arc::new(WorkerPool::new(workers));
-        for mutexed in [false, true] {
+        for scheduler in ["lockfree", "mutexed", "buckets"] {
             let pool = pool.clone();
-            let label = if mutexed { format!("mutexed/{workers}w") } else { format!("lockfree/{workers}w") };
-            group.bench_function(&label, move |b| {
+            group.bench_function(&format!("{scheduler}/{workers}w"), move |b| {
                 b.iter(|| {
                     let count = Arc::new(AtomicUsize::new(0));
                     let count2 = count.clone();
-                    let work = move |item: usize, ctx: &lxr_runtime::PhaseHandle<usize>| {
-                        // A granule's worth of "work" per item.
-                        black_box((item..item + 16).sum::<usize>());
-                        count2.fetch_add(1, Ordering::Relaxed);
-                        if item < TREE_LIMIT {
-                            ctx.push(2 * item);
-                            ctx.push(2 * item + 1);
-                        }
-                    };
-                    if mutexed {
-                        pool.run_phase_mutexed(vec![1usize], work);
+                    if scheduler == "buckets" {
+                        let mut graph = lxr_runtime::BucketGraph::new();
+                        let bucket = graph.bucket("increments", &[], vec![1usize]);
+                        pool.run_bucket_graph("bench: increment tree", graph, move |_b, item, handle| {
+                            black_box((item..item + 16).sum::<usize>());
+                            count2.fetch_add(1, Ordering::Relaxed);
+                            if item < TREE_LIMIT {
+                                handle.push(bucket, 2 * item);
+                                handle.push(bucket, 2 * item + 1);
+                            }
+                        });
                     } else {
-                        pool.run_phase(vec![1usize], work);
+                        let work = move |item: usize, ctx: &lxr_runtime::PhaseHandle<usize>| {
+                            // A granule's worth of "work" per item.
+                            black_box((item..item + 16).sum::<usize>());
+                            count2.fetch_add(1, Ordering::Relaxed);
+                            if item < TREE_LIMIT {
+                                ctx.push(2 * item);
+                                ctx.push(2 * item + 1);
+                            }
+                        };
+                        if scheduler == "mutexed" {
+                            pool.run_phase_mutexed(vec![1usize], work);
+                        } else {
+                            pool.run_phase(vec![1usize], work);
+                        }
                     }
                     assert_eq!(count.load(Ordering::Relaxed), 2 * TREE_LIMIT - 1);
                 });

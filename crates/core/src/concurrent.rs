@@ -49,6 +49,19 @@
 //! and waits — weaker orderings on either side reopen the
 //! check-then-act window that once let a worker run mid-pause.
 //!
+//! # Why the crew is not on the bucket scheduler
+//!
+//! The pause's phases run on [`WorkerPool::run_bucket_graph`], but the
+//! crew deliberately keeps its own seed-and-steal loops: a bucket-graph
+//! participant runs its graph to completion, while a crew worker must
+//! flush and yield within one [`YIELD_CHECK_QUANTUM`] of a pause request —
+//! wrapping the crew's work in buckets would put the preemption check at
+//! the mercy of the graph's termination protocol.  The crew *is* wired
+//! into the scheduler's observability instead: its shared-queue grabs,
+//! spills and offloads are counted into the same `Sched*` work counters
+//! the pool's phases feed (batched — one counter add per grab/spill, not
+//! per object).
+//!
 //! # Oracles
 //!
 //! The single-threaded trace survives as [`trace_satb_sequential`]: the
@@ -153,6 +166,7 @@ fn crew_drain_decrements(state: &Arc<LxrState>, should_yield: &YieldCheck) {
         if batch.is_empty() {
             break;
         }
+        state.stats.add(WorkCounter::SchedSteals, batch.len() as u64);
         if !crew_process_decrement_chunk(state, batch, should_yield) {
             finished = false;
             break 'drain;
@@ -200,6 +214,7 @@ fn crew_process_decrement_chunk(
 ) -> bool {
     let offload = |local: &mut Vec<Stamped<ObjectReference>>| {
         let keep = local.len() / 2;
+        state.stats.add(WorkCounter::SchedPushes, (local.len() - keep) as u64);
         for o in local.drain(keep..) {
             state.pending_decs.push(o);
         }
@@ -284,7 +299,7 @@ fn process_decrement_chunk_stealable(
 /// up front (a chunk picked up after a pause request goes straight back)
 /// and every [`YIELD_CHECK_QUANTUM`] applications; on yield the unprocessed
 /// remainder returns to the shared pending queue and `false` is returned.
-fn process_decrement_chunk(
+pub(crate) fn process_decrement_chunk(
     state: &Arc<LxrState>,
     chunk: Vec<Stamped<ObjectReference>>,
     should_yield: Option<&(dyn Fn() -> bool + Send + Sync)>,
@@ -488,6 +503,7 @@ pub fn trace_satb_crew_watched(
             }
             if local.len() >= TRACE_SPILL_AT {
                 lxr_failpoints::failpoint!("crew.spill");
+                state.stats.add(WorkCounter::SchedPushes, (local.len() - local.len() / 2) as u64);
                 for o in local.drain(local.len() / 2..) {
                     state.gray.push(o);
                 }
@@ -516,6 +532,7 @@ pub fn trace_satb_crew_watched(
                     None => break,
                 }
             }
+            state.stats.add(WorkCounter::SchedSteals, local.len() as u64);
             continue;
         }
         // Nothing local, nothing shared: deregister and watch for either

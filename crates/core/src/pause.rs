@@ -23,12 +23,35 @@
 //! # Parallelism
 //!
 //! Every substantive phase of the pause runs on the work-stealing worker
-//! pool ("parallelism in every collection phase", §1): the increment phase
-//! and the non-lazy decrement phase push recursive work through
-//! [`PhaseHandle::push`](lxr_runtime::PhaseHandle::push), the block sweep
-//! fans read-only block censuses out over the pool and buffers free-list
-//! mutations per worker (flushed once), and the young-LOS sweep chunks its
-//! candidate list across the pool.
+//! pool ("parallelism in every collection phase", §1), and the phases with
+//! real dependency structure run as **bucket DAGs**
+//! ([`WorkerPool::run_bucket_graph`]) so independent phases overlap instead
+//! of running back-to-back:
+//!
+//! * **The early graph** (steps 1–4): `lazy-decs` (the leftover decrement
+//!   drain, chunked and stealable) and `barrier-drain` (the exclusive sink
+//!   drain plus the SATB snapshot feed) are independent roots;
+//!   `release-deferred` opens once `lazy-decs` drains (nothing may still
+//!   resolve into the deferred blocks); `satb-catchup` opens after the feed
+//!   and runs the bounded trace slice *concurrently with* the decrement
+//!   drain; `satb-finalize` opens only after **both** `lazy-decs` and
+//!   `satb-catchup` — completion must not be declared while decrements can
+//!   still push dying objects' children to the gray set (the deletion
+//!   invariant lives in `apply_decrement`).  The overlaps mirror the
+//!   concurrent crew's steady state (decrements ∥ tracing ∥ lazy block
+//!   release): gray entries are re-validated at every pop, and released
+//!   lines get bumped reuse epochs.
+//! * **The sweep graph** (step 8): read-only block `census` chunks feed
+//!   per-chunk `release` items (free-list and reuse-queue mutations),
+//!   which the pool applies as they arrive instead of in one
+//!   single-threaded flush; chunks hold disjoint blocks, so release items
+//!   commute.  The young-LOS sweep chunks its candidate list across the
+//!   pool as a flat phase.
+//!
+//! The increment phase and the non-lazy decrement phase remain flat
+//! [`run_phase`](lxr_runtime::WorkerPool::run_phase) fan-outs (the
+//! degenerate single-bucket case) and push recursive work through
+//! [`PhaseHandle::push`](lxr_runtime::PhaseHandle::push).
 //!
 //! # Phase-order invariants
 //!
@@ -102,6 +125,126 @@ struct IncItem {
     epoch: u8,
 }
 
+/// Barrier-sink drains stashed by the early graph's `barrier-drain` bucket
+/// for the sequential remainder of the pause (increments, step 8's
+/// decrement scheduling).
+type ModChunks = Vec<Vec<Stamped<Address>>>;
+type DecChunks = Vec<Vec<Stamped<ObjectReference>>>;
+
+/// One work item of the pause's early bucket graph (steps 1–4).
+enum EarlyItem {
+    /// A chunk of the leftover lazy-decrement drain (`lazy-decs`).
+    DecChunk(Vec<Stamped<ObjectReference>>),
+    /// Release the blocks deferred one epoch (`release-deferred`).
+    ReleaseDeferred,
+    /// Drain the write-barrier sinks and feed the SATB snapshot
+    /// (`barrier-drain`).
+    BarrierDrain,
+    /// The bounded in-pause SATB catch-up slice (`satb-catchup`).
+    SatbCatchup,
+    /// Trace-completion detection, plus the unbounded degenerate mop-up
+    /// (`satb-finalize`).
+    SatbFinalize,
+}
+
+/// Processes one item of the early bucket graph.  See the step 1–4 comment
+/// in [`rc_pause`] for the dependency edges and the overlap-safety
+/// argument.
+#[allow(clippy::too_many_arguments)]
+fn process_early_item(
+    state: &Arc<LxrState>,
+    item: EarlyItem,
+    handle: &lxr_runtime::BucketHandle<EarlyItem>,
+    stash: &Arc<Mutex<Option<(ModChunks, DecChunks)>>>,
+    satb_running: bool,
+    unbounded_finish: bool,
+    catchup: usize,
+    decs_bucket: usize,
+) {
+    match item {
+        EarlyItem::DecChunk(chunk) => {
+            // Recursive decrements stay on the processing worker's local
+            // stack; an oversized backlog splits off through the bucket
+            // handle (back into `lazy-decs`, which cannot have drained
+            // while this item is in flight) where idle siblings steal it.
+            let offload = |local: &mut Vec<Stamped<ObjectReference>>| {
+                handle.push(decs_bucket, EarlyItem::DecChunk(local.split_off(local.len() / 2)));
+            };
+            crate::concurrent::process_decrement_chunk(state, chunk, None, Some(&offload));
+        }
+        EarlyItem::ReleaseDeferred => {
+            // Batched: one central-lock take for the whole set.  The
+            // `lazy-decs` dependency guarantees every decrement the
+            // previous epoch left behind has drained, so nothing can still
+            // resolve a reference into these blocks.
+            let deferred: Vec<Block> = state.deferred_free_blocks.lock().drain(..).collect();
+            for &block in &deferred {
+                state.prepare_block_release(block);
+            }
+            state.finish_block_releases(&deferred);
+        }
+        EarlyItem::BarrierDrain => {
+            // SAFETY (exclusive-consumer drain): mutators are stopped at
+            // the rendezvous and the pause waited the concurrent crew out,
+            // so the worker running this item — the graph schedules it
+            // exactly once — is the only thread that can pop the barrier
+            // sinks.  Skipping the queue pin/unpin removes two `SeqCst`
+            // RMWs per chunk from the pause's critical path.
+            let mod_chunks = unsafe { state.sink.modified_fields.drain_exclusive() };
+            let dec_chunks = unsafe { state.sink.decrements.drain_exclusive() };
+            if satb_running {
+                for chunk in &dec_chunks {
+                    for &dec in chunk {
+                        let obj = dec.value;
+                        // The epoch stamp is compared raw here (not through
+                        // the counting helper): step 8 hands the same
+                        // entries to the decrement machinery, which
+                        // performs the counted validation — feeding and
+                        // applying are one capture, not two.
+                        if !obj.is_null()
+                            && state.in_heap(obj)
+                            && state.space.reuse_epoch(obj.to_address()) == dec.epoch
+                            && state.rc.is_live(obj)
+                            && !state.is_marked(obj)
+                        {
+                            state.gray.push(dec);
+                        }
+                    }
+                }
+            }
+            *stash.lock() = Some((mod_chunks, dec_chunks));
+        }
+        EarlyItem::SatbCatchup => {
+            // Retire a bounded slice of the gray set; whatever the budget
+            // leaves re-seeds the crew when the world resumes.  Completion
+            // is *not* declared here — `satb-finalize` owns that, after
+            // the decrement drain too has finished.
+            let budget = std::cell::Cell::new(catchup / crate::concurrent::YIELD_CHECK_QUANTUM);
+            crate::concurrent::trace_satb_sequential(state, || {
+                if budget.get() == 0 {
+                    return true;
+                }
+                budget.set(budget.get() - 1);
+                false
+            });
+        }
+        EarlyItem::SatbFinalize => {
+            // Both `lazy-decs` and `satb-catchup` have drained: no
+            // decrement can push another dying object's children onto the
+            // gray set, so an empty gray set now means every
+            // snapshot-reachable object has been visited.
+            if unbounded_finish && !state.gray.is_empty() {
+                // Degenerate/exhaustion pause: reclamation cannot wait —
+                // finish the whole trace here, unbounded.
+                crate::concurrent::trace_satb_sequential(state, || false);
+            }
+            if state.gray.is_empty() {
+                state.satb_complete.store(true, Ordering::Release);
+            }
+        }
+    }
+}
+
 /// Runs one RC pause.
 pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
     c.attrs.set_kind("rc");
@@ -129,110 +272,94 @@ pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
         }
     }
 
-    // 1. Finish lazy decrements left over from the previous epoch (§3.2.1:
-    //    "If the next RC epoch starts and LXR still has decrements to
-    //    process, it finishes them first").  The catch-up is fanned out
-    //    over the worker pool and never yields (we own the pause).
+    // 1–4. The early bucket graph.  Steps 1 (lazy decrement drain),
+    //    2 (deferred block release), 3 (barrier-sink drain) and 4 (SATB
+    //    feed, bounded catch-up and completion detection) have real
+    //    dependency structure, so they run as a work-bucket DAG instead of
+    //    back-to-back phases:
     //
-    //    The drain is unconditional, not gated on `lazy_pending`: the
-    //    crew's last-worker-out claim can race a preempted sibling's
-    //    re-queue (the flag cleared while a remainder lands back in the
-    //    queue), and step 2's release of the deferred blocks is only sound
-    //    if *everything* pending has drained.  On an empty queue this is a
-    //    single failed pop.
+    //        lazy-decs ──────────┬────────────► release-deferred
+    //            │               │
+    //            └───────────────┴──► satb-finalize
+    //                                      ▲
+    //        barrier-drain ──► satb-catchup┘
+    //
+    //    * `lazy-decs` is unconditional, not gated on `lazy_pending`: the
+    //      crew's last-worker-out claim can race a preempted sibling's
+    //      re-queue, and releasing the deferred blocks is only sound if
+    //      *everything* pending has drained (§3.2.1: "If the next RC epoch
+    //      starts and LXR still has decrements to process, it finishes
+    //      them first").  On an empty queue the bucket is empty and
+    //      cascades immediately.
+    //    * `release-deferred` waits for `lazy-decs` — nothing may still
+    //      resolve a reference into the deferred blocks.
+    //    * `satb-catchup` waits for `barrier-drain`'s snapshot feed, then
+    //      retires a bounded slice of the gray set *concurrently with* the
+    //      decrement drain — the same interleaving the concurrent crew
+    //      runs between pauses (`apply_decrement` maintains the deletion
+    //      invariant itself, and gray pops re-validate stamps).
+    //    * `satb-finalize` waits for **both**: completion (`gray` observed
+    //      empty) must not be declared while decrements can still push a
+    //      dying object's children onto the gray set.  An exhaustion pause
+    //      (the degenerate-GC fallback — the mutator failed an allocation,
+    //      so reclamation cannot wait) finishes the whole trace here,
+    //      unbounded; the crew's trace watchdog (and the
+    //      `pause.satb-feed=degenerate` failpoint) request the same
+    //      escalation through `force_degenerate`.
     lxr_failpoints::failpoint!("pause.lazy-drain");
+    lxr_failpoints::failpoint!("pause.release-deferred");
+    lxr_failpoints::failpoint!("pause.barrier-drain");
     if state.lazy_pending.load(Ordering::Acquire) {
         c.attrs.set_lazy_incomplete();
     }
-    crate::concurrent::drain_pending_decrements(state, Some(c.workers), None);
-    state.lazy_pending.store(false, Ordering::Release);
-
-    // 2. Release blocks deferred from the previous pause (batched: one
-    //    central-lock take for the whole set).  Step 1 has just drained
-    //    every decrement the previous epoch left behind, so nothing can
-    //    still resolve a reference into these blocks.
-    lxr_failpoints::failpoint!("pause.release-deferred");
-    let deferred: Vec<Block> = state.deferred_free_blocks.lock().drain(..).collect();
-    for &block in &deferred {
-        state.prepare_block_release(block);
-    }
-    state.finish_block_releases(&deferred);
-
-    // 3. Drain the write-barrier buffers.
-    //
-    // SAFETY (exclusive-consumer drain): mutators are stopped at the
-    // rendezvous and step 0 waited the concurrent crew out, so this pause
-    // controller is the only thread that can pop the barrier sinks — the
-    // sinks' only consumer is the pause, and there is no other pause.
-    // Skipping the queue pin/unpin removes two `SeqCst` RMWs per chunk
-    // from the pause's critical path (the ROADMAP's scheduler-contention
-    // frontier; this is its cheap half).
-    lxr_failpoints::failpoint!("pause.barrier-drain");
-    let mod_chunks = unsafe { state.sink.modified_fields.drain_exclusive() };
-    let dec_chunks = unsafe { state.sink.decrements.drain_exclusive() };
-
-    // 4. SATB: feed the overwritten referents (the snapshot edges) into the
-    //    trace, run a bounded catch-up slice, and detect completion.
     let satb_running =
         state.satb_active.load(Ordering::Acquire) && !state.satb_complete.load(Ordering::Acquire);
-    if satb_running {
-        for chunk in &dec_chunks {
-            for &dec in chunk {
-                let obj = dec.value;
-                // The epoch stamp is compared raw here (not through the
-                // counting helper): step 8 hands the same entries to the
-                // decrement machinery, which performs the counted
-                // validation — feeding and applying are one capture, not
-                // two.
-                if !obj.is_null()
-                    && state.in_heap(obj)
-                    && state.space.reuse_epoch(obj.to_address()) == dec.epoch
-                    && state.rc.is_live(obj)
-                    && !state.is_marked(obj)
-                {
-                    state.gray.push(dec);
-                }
-            }
-        }
-        // Bounded in-pause catch-up: retire a slice of the remaining gray
-        // work so the trace progresses even when mutator pressure preempts
-        // the crew every epoch (without this, a trace can float forever —
-        // completion requires the gray set to be observed empty at a
-        // pause).  If the slice drains the set, every snapshot-reachable
-        // object has been visited: the trace is complete, and this pause
-        // reclaims.  Whatever the budget leaves re-seeds the crew when the
-        // world resumes.
-        // An exhaustion pause is the degenerate-GC fallback: the mutator
-        // failed an allocation, so reclamation cannot wait — drain the
-        // whole trace now and reclaim in this very pause.  The same
-        // escalation serves as the graceful degradation path for a wedged
-        // concurrent trace: the crew's trace watchdog (and the
-        // `pause.satb-feed=degenerate` failpoint) request it through
-        // `force_degenerate`.
-        let degenerate = matches!(
+    let degenerate = satb_running
+        && (matches!(
             lxr_failpoints::failpoint_act!("pause.satb-feed"),
             Some(lxr_failpoints::Action::Degenerate)
-        ) || state.force_degenerate.swap(false, Ordering::SeqCst);
-        let catchup = if c.reason == GcReason::Exhausted || degenerate {
-            if degenerate {
-                c.stats.add(WorkCounter::DegeneratedCollections, 1);
-            }
-            usize::MAX
-        } else {
-            (state.geometry.num_words() / GRANULE_WORDS / 8).max(SATB_PAUSE_CATCHUP_MIN)
-        };
-        let budget = std::cell::Cell::new(catchup / crate::concurrent::YIELD_CHECK_QUANTUM);
-        let drained = crate::concurrent::trace_satb_sequential(state, || {
-            if budget.get() == 0 {
-                return true;
-            }
-            budget.set(budget.get() - 1);
-            false
-        });
-        if drained {
-            state.satb_complete.store(true, Ordering::Release);
-        }
+        ) || state.force_degenerate.swap(false, Ordering::SeqCst));
+    if degenerate {
+        c.stats.add(WorkCounter::DegeneratedCollections, 1);
     }
+    let unbounded_finish = c.reason == GcReason::Exhausted || degenerate;
+    // Bounded in-pause catch-up slice: large enough that the trace
+    // converges within a handful of pauses even when the crew gets no CPU
+    // (without this, a trace can float forever — completion requires the
+    // gray set observed empty at a pause).
+    let catchup = (state.geometry.num_words() / GRANULE_WORDS / 8).max(SATB_PAUSE_CATCHUP_MIN);
+    let barrier_chunks: Arc<Mutex<Option<(ModChunks, DecChunks)>>> = Arc::new(Mutex::new(None));
+    {
+        let mut pending: Vec<Stamped<ObjectReference>> = Vec::new();
+        while let Some(d) = state.pending_decs.pop() {
+            pending.push(d);
+        }
+        let participants = c.workers.size() + 1;
+        let chunk_len = pending.len().div_ceil(participants * 4).max(32);
+        let dec_seeds: Vec<EarlyItem> =
+            pending.chunks(chunk_len).map(|ch| EarlyItem::DecChunk(ch.to_vec())).collect();
+        let mut graph = lxr_runtime::BucketGraph::new();
+        let b_decs = graph.bucket("lazy-decs", &[], dec_seeds);
+        let _b_release = graph.bucket("release-deferred", &[b_decs], vec![EarlyItem::ReleaseDeferred]);
+        let b_barrier = graph.bucket("barrier-drain", &[], vec![EarlyItem::BarrierDrain]);
+        if satb_running {
+            let b_catchup = graph.bucket("satb-catchup", &[b_barrier], vec![EarlyItem::SatbCatchup]);
+            graph.bucket("satb-finalize", &[b_decs, b_catchup], vec![EarlyItem::SatbFinalize]);
+        }
+        let state = state.clone();
+        let stash = Arc::clone(&barrier_chunks);
+        c.workers.run_bucket_graph("pause: early graph", graph, move |_bucket, item, handle| {
+            process_early_item(&state, item, handle, &stash, satb_running, unbounded_finish, catchup, b_decs);
+        });
+    }
+    // Preserve the unconditional-drain invariant verbatim: the graph's
+    // offloads all flow through the bucket handle, so this is a single
+    // failed pop unless a future change re-routes a remainder through the
+    // shared queue — in which case it is caught here, not by corruption.
+    crate::concurrent::drain_pending_decrements(state, Some(c.workers), None);
+    state.lazy_pending.store(false, Ordering::Release);
+    let (mod_chunks, dec_chunks) =
+        barrier_chunks.lock().take().expect("barrier-drain bucket ran exactly once");
 
     // 5. Collect roots.
     lxr_failpoints::failpoint!("pause.roots");
@@ -613,19 +740,29 @@ fn collect_sweep_set(state: &Arc<LxrState>, satb_swept: &[Block]) -> Vec<(Block,
         .collect()
 }
 
-/// One worker's buffered sweep outcomes.  Block censuses are read-only, so
-/// the scan itself needs no synchronisation; the mutations that touch
-/// global locks (free list, reuse queue) are buffered here and applied in
-/// one flush, avoiding lock ping-pong block-by-block.
+/// One census chunk's buffered sweep outcomes.  Block censuses are
+/// read-only, so the scan itself needs no synchronisation; the mutations
+/// that touch global locks (free list, reuse queue) are batched here and
+/// applied by a `sweep: release` bucket item, avoiding lock ping-pong
+/// block-by-block.  Chunks hold disjoint blocks, so outcome items commute
+/// and can be applied by any worker in any order.
 #[derive(Default)]
-struct SweepBuffer {
+struct SweepOutcome {
     /// Fully free blocks with their pre-sweep state (for the stats split).
-    /// Their metadata was already cleared by the parallel prepare step.
+    /// Their metadata was already cleared by the census step.
     release: Vec<(Block, BlockState)>,
     /// Blocks with free lines, to queue for line reuse.
     recycle: Vec<Block>,
     /// Previously `Recycled` blocks whose reuse-queue membership lapsed.
     unqueue: Vec<usize>,
+}
+
+/// One work item of the sweep bucket graph.
+enum SweepItem {
+    /// A chunk of blocks to census (`sweep: census`).
+    Census(Vec<(Block, BlockState)>),
+    /// One census chunk's buffered mutations (`sweep: release`).
+    Flush(Box<SweepOutcome>),
 }
 
 /// Blocks per parallel sweep work item.
@@ -637,11 +774,13 @@ const SWEEP_CHUNK_MIN: usize = 8;
 ///
 /// Each block is summarised by one `RcTable::block_summary` — a single
 /// allocation-free, word-at-a-time pass over the packed count table.  The
-/// sweep set is chunked across the workers
-/// ([`RcTable::summarize_blocks`](lxr_rc::RcTable::summarize_blocks));
-/// per-block metadata clearing runs inside the phase (blocks are disjoint),
-/// while free-list and reuse-queue updates are buffered per worker and
-/// flushed once at the end.
+/// sweep runs as a two-bucket graph: `sweep: census` chunks the set across
+/// the workers ([`RcTable::summarize_blocks`](lxr_rc::RcTable::summarize_blocks)),
+/// clearing per-block metadata inside the phase (blocks are disjoint) and
+/// pushing each chunk's buffered free-list and reuse-queue mutations as a
+/// `SweepItem::Flush` item into `sweep: release`, which the pool applies
+/// batched (one lock take per chunk) once the census drains — the old
+/// single-threaded flush loop, parallelised.
 ///
 /// Public (with [`sweep_blocks_sequential`]) for the determinism tests and
 /// the `pause_phases` benchmark.
@@ -657,26 +796,28 @@ pub fn sweep_blocks(
         return sweep_blocks_sequential(state, stats, sweep_set);
     }
     let participants = workers.size() + 1;
-    // Reuse-queue membership is only read during the phase; mutations are
+    // Reuse-queue membership is only read during the census; mutations are
     // buffered, so one snapshot up front replaces a lock per block.
     let queued_snapshot: Arc<HashSet<usize>> = Arc::new(state.queued_for_reuse.lock().clone());
     let chunk_len = sweep_set.len().div_ceil(participants * 4).max(SWEEP_CHUNK_MIN);
-    let chunks: Vec<Vec<(Block, BlockState)>> = sweep_set.chunks(chunk_len).map(<[_]>::to_vec).collect();
-    let buffers: Arc<Vec<Mutex<SweepBuffer>>> =
-        Arc::new((0..participants).map(|_| Mutex::new(SweepBuffer::default())).collect());
-    {
-        let state = state.clone();
-        let buffers = buffers.clone();
-        workers.run_phase_labeled("pause: block sweep", chunks, move |chunk, handle| {
-            // One buffer per participant by construction; a bad worker_id
-            // should panic here, not silently alias another buffer.
-            let mut buf = buffers[handle.worker_id].lock();
+    let chunks: Vec<SweepItem> =
+        sweep_set.chunks(chunk_len).map(|ch| SweepItem::Census(ch.to_vec())).collect();
+    let mut graph = lxr_runtime::BucketGraph::new();
+    let census = graph.bucket("sweep: census", &[], chunks);
+    let release_bucket = graph.bucket("sweep: release", &[census], Vec::new());
+    let state = state.clone();
+    // Counter updates go through the state's stats handle (the same store
+    // `stats` points at); the borrow itself cannot cross into the phase.
+    debug_assert!(std::ptr::eq(stats, &*state.stats));
+    workers.run_bucket_graph("pause: block sweep", graph, move |_bucket, item, handle| match item {
+        SweepItem::Census(chunk) => {
+            let mut out = SweepOutcome::default();
             state.rc.summarize_blocks(chunk, |block, prior, live, free_lines| {
                 if prior == BlockState::Recycled {
                     // The block was taken off the recycled queue by an
                     // allocator since the last pause; it is eligible to be
                     // queued again.
-                    buf.unqueue.push(block.index());
+                    out.unqueue.push(block.index());
                 }
                 let still_queued = prior != BlockState::Recycled && queued_snapshot.contains(&block.index());
                 if live == 0 {
@@ -688,46 +829,45 @@ pub fn sweep_blocks(
                         return;
                     }
                     state.prepare_block_release(block);
-                    buf.release.push((block, prior));
+                    out.release.push((block, prior));
                     return;
                 }
                 if matches!(prior, BlockState::EvacCandidate) {
                     return;
                 }
                 if free_lines > 0 {
-                    buf.recycle.push(block);
+                    out.recycle.push(block);
                 } else {
                     state.space.block_states().set(block, BlockState::Mature);
                 }
             });
-        });
-    }
-    // Flush: one pass over the per-worker buffers applies every mutation
-    // that touches a global lock.
-    {
-        let mut queued = state.queued_for_reuse.lock();
-        for slot in buffers.iter() {
-            for idx in &slot.lock().unqueue {
-                queued.remove(idx);
+            handle.push(release_bucket, SweepItem::Flush(Box::new(out)));
+        }
+        SweepItem::Flush(out) => {
+            // Apply one chunk's buffered mutations, batched: each global
+            // lock is taken once per chunk, not once per block.  A block's
+            // unqueue precedes its own release/requeue (same chunk, same
+            // item); across items the block sets are disjoint, so the
+            // release-queue and reuse-queue updates commute.
+            {
+                let mut queued = state.queued_for_reuse.lock();
+                for idx in &out.unqueue {
+                    queued.remove(idx);
+                }
+            }
+            for &(_, prior) in &out.release {
+                match prior {
+                    BlockState::Young => state.stats.add(WorkCounter::YoungBlocksFreed, 1),
+                    _ => state.stats.add(WorkCounter::MatureBlocksFreed, 1),
+                }
+            }
+            let release: Vec<Block> = out.release.iter().map(|&(b, _)| b).collect();
+            state.finish_block_releases(&release);
+            for block in out.recycle {
+                state.queue_for_reuse(block);
             }
         }
-    }
-    for slot in buffers.iter() {
-        let buf = std::mem::take(&mut *slot.lock());
-        for &(_, prior) in &buf.release {
-            match prior {
-                BlockState::Young => stats.add(WorkCounter::YoungBlocksFreed, 1),
-                _ => stats.add(WorkCounter::MatureBlocksFreed, 1),
-            }
-        }
-        // One batched release per buffer: the reuse-queue lock and the
-        // allocator's central lock are taken once, not once per block.
-        let release: Vec<Block> = buf.release.iter().map(|&(b, _)| b).collect();
-        state.finish_block_releases(&release);
-        for block in buf.recycle {
-            state.queue_for_reuse(block);
-        }
-    }
+    });
 }
 
 /// The sequential reference implementation of the block sweep, retained as

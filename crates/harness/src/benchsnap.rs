@@ -1,0 +1,546 @@
+//! Machine-readable scheduler benchmark snapshots (`bench-snapshot`) and
+//! regression diffing (`bench-diff`).
+//!
+//! The Criterion benches under `crates/bench` are for interactive tuning;
+//! this module re-runs the same three workloads in-process and emits a
+//! small, hand-rolled JSON document (`BENCH_sched.json` by default) that
+//! can be committed next to the code and diffed across PRs:
+//!
+//! * `pause_phases/sweep_blocks_*` — the block sweep, sequential oracle vs
+//!   the bucket-graph census→release pipeline at 1/2/4/8 workers;
+//! * `pause_phases/increment_tree_*` — the transitive increment tree over
+//!   the lock-free scheduler, the mutexed reference queue, and a
+//!   single-bucket graph (the flat degenerate case of the bucket DAG);
+//! * `concurrent_mark/trace_*` — the SATB trace, sequential oracle vs the
+//!   crew at 1/2/4/8 threads.
+//!
+//! Each record carries the bench id, collector, scheduler variant, worker
+//! count, wall-time stats over the measured iterations, and the scheduler
+//! work counters (pushes/pops/steals/parks) accumulated while measuring,
+//! plus a host fingerprint so numbers from different machines are never
+//! compared silently.  `diff` flags any wall-time regression above
+//! [`REGRESSION_THRESHOLD`] between two snapshots.
+//!
+//! The JSON is deliberately line-oriented — one bench record per line — so
+//! the diff side needs only a few string scans, not a JSON parser.
+
+use lxr_core::pause::{sweep_blocks, sweep_blocks_sequential};
+use lxr_core::{trace_satb_crew, trace_satb_sequential, LxrConfig, LxrState};
+use lxr_heap::{Block, BlockAllocator, BlockState, HeapConfig, HeapSpace, LargeObjectSpace};
+use lxr_object::{ObjectReference, ObjectShape};
+use lxr_runtime::{BucketGraph, GcStats, PlanContext, RuntimeOptions, SchedTotals, WorkCounter, WorkerPool};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Wall-time regressions above this fraction (new > old × (1 + threshold))
+/// are flagged by [`diff`].
+pub const REGRESSION_THRESHOLD: f64 = 0.05;
+
+/// Workload sizes and repetition counts for one snapshot run.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotConfig {
+    /// Blocks in the sweep set (the Criterion bench uses 512).
+    pub sweep_blocks: usize,
+    /// Blocks in the frozen mark graph (the Criterion bench uses 192).
+    pub mark_blocks: usize,
+    /// Tree limit for the increment workload (2 × limit − 1 items).
+    pub tree_limit: usize,
+    /// Discarded warm-up iterations per bench.
+    pub warmup: usize,
+    /// Measured iterations per bench (median/min/mean are over these).
+    pub iters: usize,
+    /// Measured iterations for the (slower) concurrent-mark benches.
+    pub mark_iters: usize,
+}
+
+impl SnapshotConfig {
+    /// Full-size run mirroring the Criterion bench workloads; this is what
+    /// the committed `BENCH_sched.json` should contain.
+    pub fn full() -> Self {
+        Self { sweep_blocks: 512, mark_blocks: 192, tree_limit: 4096, warmup: 2, iters: 9, mark_iters: 5 }
+    }
+
+    /// Reduced sizes for `--quick` smoke runs.
+    pub fn quick() -> Self {
+        Self { sweep_blocks: 128, mark_blocks: 48, tree_limit: 1024, warmup: 1, iters: 5, mark_iters: 3 }
+    }
+
+    /// Tiny sizes for unit tests.
+    pub fn tiny() -> Self {
+        Self { sweep_blocks: 8, mark_blocks: 2, tree_limit: 32, warmup: 0, iters: 2, mark_iters: 1 }
+    }
+}
+
+/// One measured bench configuration.
+struct BenchRecord {
+    id: String,
+    scheduler: &'static str,
+    /// 0 means "no worker pool" (a sequential oracle on the caller thread).
+    workers: usize,
+    /// Per-iteration wall times, nanoseconds.
+    wall_ns: Vec<u64>,
+    /// Scheduler work counters accumulated across the measured iterations.
+    counters: SchedTotals,
+}
+
+impl BenchRecord {
+    fn median_ns(&self) -> u64 {
+        let mut sorted = self.wall_ns.clone();
+        sorted.sort_unstable();
+        sorted[sorted.len() / 2]
+    }
+
+    fn min_ns(&self) -> u64 {
+        *self.wall_ns.iter().min().expect("at least one iteration")
+    }
+
+    fn mean_ns(&self) -> u64 {
+        self.wall_ns.iter().sum::<u64>() / self.wall_ns.len() as u64
+    }
+
+    fn to_json_line(&self) -> String {
+        format!(
+            "    {{ \"id\": \"{}\", \"collector\": \"lxr\", \"scheduler\": \"{}\", \"workers\": {}, \
+             \"iters\": {}, \"wall_ns\": {{ \"median\": {}, \"min\": {}, \"mean\": {} }}, \
+             \"counters\": {{ \"pushes\": {}, \"pops\": {}, \"steals\": {}, \"parks\": {} }} }}",
+            json_escape(&self.id),
+            self.scheduler,
+            self.workers,
+            self.wall_ns.len(),
+            self.median_ns(),
+            self.min_ns(),
+            self.mean_ns(),
+            self.counters.pushes,
+            self.counters.pops,
+            self.counters.steals,
+            self.counters.parks,
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .map(|c| match c {
+            '"' => "\\\"".to_string(),
+            '\\' => "\\\\".to_string(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32),
+            c => c.to_string(),
+        })
+        .collect()
+}
+
+/// Times `body` over `warmup` discarded plus `iters` measured iterations.
+fn time_iters<F: FnMut()>(warmup: usize, iters: usize, mut body: F) -> Vec<u64> {
+    for _ in 0..warmup {
+        body();
+    }
+    let mut wall = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        body();
+        wall.push(start.elapsed().as_nanos() as u64);
+    }
+    wall
+}
+
+fn sched_delta(after: SchedTotals, before: SchedTotals) -> SchedTotals {
+    SchedTotals {
+        pushes: after.pushes - before.pushes,
+        pops: after.pops - before.pops,
+        steals: after.steals - before.steals,
+        parks: after.parks - before.parks,
+    }
+}
+
+fn make_state(heap_bytes: usize) -> Arc<LxrState> {
+    let options = RuntimeOptions::default()
+        .with_heap_config(HeapConfig::with_heap_size(heap_bytes))
+        .with_concurrent_thread(false);
+    let space = Arc::new(HeapSpace::new(options.heap.clone()));
+    let blocks = Arc::new(BlockAllocator::new(space.clone()));
+    let los = Arc::new(LargeObjectSpace::new(space.clone(), blocks.clone()));
+    let ctx = PlanContext { space, blocks, los, stats: Arc::new(GcStats::new()), options };
+    Arc::new(LxrState::new(&ctx, LxrConfig::default()))
+}
+
+/// Same occupancy mix as the Criterion bench: half dense blocks (re-marked
+/// Mature by the sweep), half sparse (re-queued, a no-op once queued), so
+/// sweeping the set is repeatable across iterations.
+fn build_sweep_set(state: &Arc<LxrState>, blocks: usize) -> Vec<(Block, BlockState)> {
+    let g = state.geometry;
+    let mut sweep = Vec::with_capacity(blocks);
+    for bi in 2..2 + blocks {
+        let block = Block::from_index(bi);
+        let start = g.block_start(block);
+        if bi % 2 == 0 {
+            for line in 0..g.lines_per_block() {
+                state.rc.increment(ObjectReference::from_address(start.plus(line * g.words_per_line())));
+            }
+        } else {
+            for line in (0..g.lines_per_block()).step_by(4) {
+                state.rc.increment(ObjectReference::from_address(start.plus(line * g.words_per_line())));
+            }
+        }
+        state.space.block_states().set(block, BlockState::Mature);
+        sweep.push((block, BlockState::Mature));
+    }
+    sweep
+}
+
+/// Same frozen mature graph as the Criterion bench: 8-word objects with
+/// four reference fields wired to pseudo-random targets; returns the roots.
+fn build_mark_graph(state: &Arc<LxrState>, blocks: usize) -> Vec<ObjectReference> {
+    let g = state.geometry;
+    let shape = ObjectShape::new(4, 3, 1);
+    let per_block = g.words_per_block() / 8;
+    let mut objects = Vec::with_capacity(blocks * per_block);
+    for bi in 2..2 + blocks {
+        let block = Block::from_index(bi);
+        state.space.block_states().set(block, BlockState::Mature);
+        for k in 0..per_block {
+            let addr = g.block_start(block).plus(k * 8);
+            let obj = state.om.initialize(addr, shape);
+            state.rc.increment(obj);
+            objects.push(obj);
+        }
+    }
+    let mut x = 0x243f6a8885a308d3u64;
+    let mut step = move || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (x >> 33) as usize
+    };
+    for (i, &obj) in objects.iter().enumerate() {
+        for f in 0..4 {
+            let target = if f == 0 { (i + 1) % objects.len() } else { step() % objects.len() };
+            state.om.write_ref_field(obj, f, objects[target]);
+        }
+    }
+    objects.iter().step_by(64).copied().collect()
+}
+
+fn bench_sweep(cfg: &SnapshotConfig, out: &mut Vec<BenchRecord>) {
+    let state = make_state(32 << 20);
+    let sweep_set = build_sweep_set(&state, cfg.sweep_blocks);
+    let group = format!("pause_phases/sweep_blocks_{}", cfg.sweep_blocks);
+
+    let wall = time_iters(cfg.warmup, cfg.iters, || {
+        sweep_blocks_sequential(&state, &state.stats, black_box(sweep_set.clone()));
+    });
+    out.push(BenchRecord {
+        id: format!("{group}/sequential"),
+        scheduler: "sequential",
+        workers: 0,
+        wall_ns: wall,
+        counters: SchedTotals::default(),
+    });
+
+    for workers in [1usize, 2, 4, 8] {
+        let pool = WorkerPool::new(workers);
+        for _ in 0..cfg.warmup {
+            sweep_blocks(&state, &pool, &state.stats, black_box(sweep_set.clone()));
+        }
+        // Counter baseline taken after warm-up so the totals cover exactly
+        // the measured iterations.
+        let before = pool.sched_totals();
+        let wall = time_iters(0, cfg.iters, || {
+            sweep_blocks(&state, &pool, &state.stats, black_box(sweep_set.clone()));
+        });
+        let counters = sched_delta(pool.sched_totals(), before);
+        out.push(BenchRecord {
+            id: format!("{group}/buckets/{workers}w"),
+            scheduler: "buckets",
+            workers,
+            wall_ns: wall,
+            counters,
+        });
+    }
+}
+
+fn bench_increment_tree(cfg: &SnapshotConfig, out: &mut Vec<BenchRecord>) {
+    let limit = cfg.tree_limit;
+    let items = 2 * limit - 1;
+    let group = format!("pause_phases/increment_tree_{items}");
+
+    for workers in [1usize, 2, 4, 8] {
+        let pool = Arc::new(WorkerPool::new(workers));
+        for scheduler in ["lockfree", "mutexed", "buckets"] {
+            let one_iter = || {
+                let count = Arc::new(AtomicUsize::new(0));
+                let count2 = count.clone();
+                match scheduler {
+                    "buckets" => {
+                        let mut graph = BucketGraph::new();
+                        let bucket = graph.bucket("increments", &[], vec![1usize]);
+                        pool.run_bucket_graph("bench: increment tree", graph, move |_b, item, handle| {
+                            black_box((item..item + 16).sum::<usize>());
+                            count2.fetch_add(1, Ordering::Relaxed);
+                            if item < limit {
+                                handle.push(bucket, 2 * item);
+                                handle.push(bucket, 2 * item + 1);
+                            }
+                        });
+                    }
+                    kind => {
+                        let work = move |item: usize, ctx: &lxr_runtime::PhaseHandle<usize>| {
+                            black_box((item..item + 16).sum::<usize>());
+                            count2.fetch_add(1, Ordering::Relaxed);
+                            if item < limit {
+                                ctx.push(2 * item);
+                                ctx.push(2 * item + 1);
+                            }
+                        };
+                        if kind == "mutexed" {
+                            pool.run_phase_mutexed(vec![1usize], work);
+                        } else {
+                            pool.run_phase(vec![1usize], work);
+                        }
+                    }
+                }
+                assert_eq!(count.load(Ordering::Relaxed), items);
+            };
+            for _ in 0..cfg.warmup {
+                one_iter();
+            }
+            let before = pool.sched_totals();
+            let wall = time_iters(0, cfg.iters, one_iter);
+            let counters = sched_delta(pool.sched_totals(), before);
+            out.push(BenchRecord {
+                id: format!("{group}/{scheduler}/{workers}w"),
+                scheduler,
+                workers,
+                wall_ns: wall,
+                counters,
+            });
+        }
+    }
+}
+
+fn bench_concurrent_mark(cfg: &SnapshotConfig, out: &mut Vec<BenchRecord>) {
+    let state = make_state(32 << 20);
+    let roots = build_mark_graph(&state, cfg.mark_blocks);
+    let g = state.geometry;
+    let objects = cfg.mark_blocks * (g.words_per_block() / 8);
+    let group = format!("concurrent_mark/trace_{}k", objects / 1000);
+
+    let reseed = |state: &Arc<LxrState>| {
+        state.clear_marks();
+        for &r in &roots {
+            state.push_gray(r);
+        }
+    };
+
+    let wall = time_iters(cfg.warmup, cfg.mark_iters, || {
+        reseed(&state);
+        assert!(trace_satb_sequential(black_box(&state), || false));
+    });
+    out.push(BenchRecord {
+        id: format!("{group}/sequential"),
+        scheduler: "sequential",
+        workers: 0,
+        wall_ns: wall,
+        counters: SchedTotals::default(),
+    });
+
+    for crew in [1usize, 2, 4, 8] {
+        // The crew reports its grab/spill traffic through the shared
+        // GcStats scheduler counters rather than a worker pool.
+        let stats_before = [
+            state.stats.get(WorkCounter::SchedPushes),
+            state.stats.get(WorkCounter::SchedPops),
+            state.stats.get(WorkCounter::SchedSteals),
+            state.stats.get(WorkCounter::SchedParks),
+        ];
+        let wall = time_iters(cfg.warmup, cfg.mark_iters, || {
+            reseed(&state);
+            if crew == 1 {
+                assert!(trace_satb_crew(black_box(&state), || false));
+            } else {
+                std::thread::scope(|scope| {
+                    for _ in 0..crew {
+                        let state = state.clone();
+                        scope.spawn(move || trace_satb_crew(&state, || false));
+                    }
+                });
+            }
+        });
+        let counters = SchedTotals {
+            pushes: state.stats.get(WorkCounter::SchedPushes) - stats_before[0],
+            pops: state.stats.get(WorkCounter::SchedPops) - stats_before[1],
+            steals: state.stats.get(WorkCounter::SchedSteals) - stats_before[2],
+            parks: state.stats.get(WorkCounter::SchedParks) - stats_before[3],
+        };
+        out.push(BenchRecord {
+            id: format!("{group}/crew/{crew}w"),
+            scheduler: "crew",
+            workers: crew,
+            wall_ns: wall,
+            counters,
+        });
+    }
+}
+
+fn host_fingerprint() -> String {
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0);
+    let cpu_model = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|text| {
+            text.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|m| m.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".to_string());
+    format!(
+        "{{ \"os\": \"{}\", \"arch\": \"{}\", \"cpus\": {}, \"cpu_model\": \"{}\" }}",
+        json_escape(std::env::consts::OS),
+        json_escape(std::env::consts::ARCH),
+        cpus,
+        json_escape(&cpu_model)
+    )
+}
+
+/// Runs every bench configuration and renders the snapshot document.
+pub fn snapshot(cfg: &SnapshotConfig) -> String {
+    let mut records = Vec::new();
+    bench_sweep(cfg, &mut records);
+    bench_increment_tree(cfg, &mut records);
+    bench_concurrent_mark(cfg, &mut records);
+
+    let unix_time =
+        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+
+    let mut doc = String::new();
+    doc.push_str("{\n");
+    doc.push_str("  \"schema\": \"lxr-bench-snapshot-v1\",\n");
+    doc.push_str(&format!("  \"created_by\": \"lxr-harness {}\",\n", env!("CARGO_PKG_VERSION")));
+    doc.push_str(&format!("  \"unix_time\": {unix_time},\n"));
+    doc.push_str(&format!("  \"host\": {},\n", host_fingerprint()));
+    doc.push_str("  \"benches\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        doc.push_str(&r.to_json_line());
+        doc.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    doc.push_str("  ]\n}\n");
+    doc
+}
+
+/// Extracts `"key": "value"` from a record line.
+fn extract_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(&line[start..end])
+}
+
+/// Extracts `"key": <number>` from a record line.
+fn extract_u64(line: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let digits: String = line[start..].chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Parses a snapshot document into `(bench id, median wall ns)` pairs.
+/// Only lines carrying an `"id"` field are considered, so the host header
+/// and array punctuation are skipped without a JSON parser.
+pub fn parse_snapshot(text: &str) -> Vec<(String, u64)> {
+    text.lines()
+        .filter_map(|line| {
+            let id = extract_str(line, "id")?;
+            let median = extract_u64(line, "median")?;
+            Some((id.to_string(), median))
+        })
+        .collect()
+}
+
+/// Compares two snapshot documents; returns the human-readable report and
+/// the number of benches whose median wall time regressed by more than
+/// [`REGRESSION_THRESHOLD`].
+pub fn diff(old_text: &str, new_text: &str) -> (String, usize) {
+    let old = parse_snapshot(old_text);
+    let new = parse_snapshot(new_text);
+    let mut report = String::new();
+    let mut regressions = 0usize;
+
+    report.push_str(&format!("{:<56} {:>12} {:>12} {:>8}\n", "bench", "old med ns", "new med ns", "delta"));
+    for (id, new_median) in &new {
+        match old.iter().find(|(oid, _)| oid == id) {
+            Some((_, old_median)) if *old_median > 0 => {
+                let ratio = *new_median as f64 / *old_median as f64 - 1.0;
+                let flag = if ratio > REGRESSION_THRESHOLD {
+                    regressions += 1;
+                    "  REGRESSION"
+                } else {
+                    ""
+                };
+                report.push_str(&format!(
+                    "{:<56} {:>12} {:>12} {:>+7.1}%{}\n",
+                    id,
+                    old_median,
+                    new_median,
+                    ratio * 100.0,
+                    flag
+                ));
+            }
+            Some(_) => {
+                report.push_str(&format!("{:<56} {:>12} {:>12}   (old=0)\n", id, 0, new_median));
+            }
+            None => {
+                report.push_str(&format!("{:<56} {:>12} {:>12}   (new bench)\n", id, "-", new_median));
+            }
+        }
+    }
+    for (id, _) in &old {
+        if !new.iter().any(|(nid, _)| nid == id) {
+            report.push_str(&format!("{id:<56} (removed)\n"));
+        }
+    }
+    report.push_str(&format!(
+        "\n{} bench(es) regressed beyond {:.0}%\n",
+        regressions,
+        REGRESSION_THRESHOLD * 100.0
+    ));
+    (report, regressions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_is_parseable_and_covers_every_group() {
+        let doc = snapshot(&SnapshotConfig::tiny());
+        let parsed = parse_snapshot(&doc);
+        // 5 sweep + 12 tree + 5 mark configurations.
+        assert_eq!(parsed.len(), 22, "unexpected bench count in:\n{doc}");
+        assert!(parsed.iter().any(|(id, _)| id.contains("sweep_blocks") && id.ends_with("sequential")));
+        assert!(parsed.iter().any(|(id, _)| id.contains("buckets/4w")));
+        assert!(parsed.iter().any(|(id, _)| id.contains("crew/8w")));
+        assert!(doc.contains("\"schema\": \"lxr-bench-snapshot-v1\""));
+        assert!(doc.contains("\"host\": {"));
+    }
+
+    #[test]
+    fn diff_flags_only_regressions_beyond_threshold() {
+        let old = "{ \"benches\": [\n\
+            { \"id\": \"a\", \"wall_ns\": { \"median\": 1000, \"min\": 1, \"mean\": 1 } },\n\
+            { \"id\": \"b\", \"wall_ns\": { \"median\": 1000, \"min\": 1, \"mean\": 1 } },\n\
+            { \"id\": \"gone\", \"wall_ns\": { \"median\": 5, \"min\": 1, \"mean\": 1 } }\n] }";
+        let new = "{ \"benches\": [\n\
+            { \"id\": \"a\", \"wall_ns\": { \"median\": 1049, \"min\": 1, \"mean\": 1 } },\n\
+            { \"id\": \"b\", \"wall_ns\": { \"median\": 1100, \"min\": 1, \"mean\": 1 } },\n\
+            { \"id\": \"fresh\", \"wall_ns\": { \"median\": 7, \"min\": 1, \"mean\": 1 } }\n] }";
+        let (report, regressions) = diff(old, new);
+        assert_eq!(regressions, 1, "{report}");
+        assert!(report.contains("REGRESSION"));
+        assert!(report.contains("(new bench)"));
+        assert!(report.contains("gone"));
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_and_control_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+}

@@ -23,6 +23,7 @@
 //! workloads for quick runs (tests and Criterion benches use small scales;
 //! the CLI defaults to a fuller run).
 
+pub mod benchsnap;
 pub mod experiments;
 pub mod report;
 

@@ -7,11 +7,19 @@
 //!
 //! experiments: table1 table3 table4 table5 table6 table7 fig7
 //!              barrier-overhead sensitivity socialgraph chaos all
+//!
+//! lxr-harness bench-snapshot [--quick] [OUT.json]      (default BENCH_sched.json)
+//! lxr-harness bench-diff OLD.json NEW.json
 //! ```
 //!
 //! `chaos` sweeps pinned fault-injection schedules across collectors (build
 //! with `--features failpoints` for the schedules to fire).  The harness
 //! exits non-zero if any workload reports an integrity failure.
+//!
+//! `bench-snapshot` re-runs the scheduler benchmarks in-process and writes
+//! a machine-readable JSON snapshot (wall times, work counters, host
+//! fingerprint); `bench-diff` compares two snapshots and exits non-zero if
+//! any bench's median wall time regressed by more than 5%.
 
 use lxr_harness::experiments::{self, ExperimentOptions};
 
@@ -19,10 +27,14 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut options = ExperimentOptions::default();
     let mut requested: Vec<String> = Vec::new();
+    let mut quick = false;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--quick" => options = ExperimentOptions::quick(),
+            "--quick" => {
+                options = ExperimentOptions::quick();
+                quick = true;
+            }
             "--scale" => {
                 let value = iter.next().expect("--scale requires a value");
                 options.scale = value.parse().expect("invalid scale");
@@ -61,6 +73,40 @@ fn main() {
     if requested.is_empty() {
         requested.push("all".to_string());
     }
+
+    // The bench subcommands are terminal: they never run experiments.
+    match requested.first().map(String::as_str) {
+        Some("bench-snapshot") => {
+            let out = requested.get(1).cloned().unwrap_or_else(|| "BENCH_sched.json".to_string());
+            let cfg = if quick {
+                lxr_harness::benchsnap::SnapshotConfig::quick()
+            } else {
+                lxr_harness::benchsnap::SnapshotConfig::full()
+            };
+            eprintln!("running scheduler bench snapshot ({cfg:?})...");
+            let doc = lxr_harness::benchsnap::snapshot(&cfg);
+            std::fs::write(&out, &doc).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+            println!("{doc}");
+            eprintln!("wrote {out}");
+            return;
+        }
+        Some("bench-diff") => {
+            let old_path = requested.get(1).expect("bench-diff requires OLD.json NEW.json");
+            let new_path = requested.get(2).expect("bench-diff requires OLD.json NEW.json");
+            let old_text =
+                std::fs::read_to_string(old_path).unwrap_or_else(|e| panic!("reading {old_path}: {e}"));
+            let new_text =
+                std::fs::read_to_string(new_path).unwrap_or_else(|e| panic!("reading {new_path}: {e}"));
+            let (report, regressions) = lxr_harness::benchsnap::diff(&old_text, &new_text);
+            println!("{report}");
+            if regressions > 0 {
+                std::process::exit(1);
+            }
+            return;
+        }
+        _ => {}
+    }
+
     let all = requested.iter().any(|r| r == "all");
 
     println!("lxr-rs experiment harness (scale {:.2}, {} GC workers)", options.scale, options.gc_workers);

@@ -388,6 +388,9 @@ impl Runtime {
 fn controller_loop(shared: Arc<RuntimeShared>) {
     let watchdog = crate::watchdog::Watchdog::new(shared.options.watchdog_ms);
     let mut gcs_since_verify = 0u64;
+    // Pool scheduler counters are monotonic; fold the per-collection delta
+    // into the work-counter stats after each pause.
+    let mut sched_last = shared.workers.sched_totals();
     while let Some(reason) = shared.rendezvous.wait_for_request() {
         let time_to_stop = shared.rendezvous.stop_the_world_watched(&watchdog);
         if shared.rendezvous.is_shutdown() {
@@ -418,6 +421,13 @@ fn controller_loop(shared: Arc<RuntimeShared>) {
             watchdog: watchdog.clone(),
         };
         shared.plan.collect(&collection);
+
+        let sched_now = shared.workers.sched_totals();
+        shared.stats.add(crate::stats::WorkCounter::SchedPushes, sched_now.pushes - sched_last.pushes);
+        shared.stats.add(crate::stats::WorkCounter::SchedPops, sched_now.pops - sched_last.pops);
+        shared.stats.add(crate::stats::WorkCounter::SchedSteals, sched_now.steals - sched_last.steals);
+        shared.stats.add(crate::stats::WorkCounter::SchedParks, sched_now.parks - sched_last.parks);
+        sched_last = sched_now;
 
         // On-demand sanity verification: audit the plan's metadata against
         // an independent re-trace while the world is still stopped.

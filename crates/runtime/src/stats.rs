@@ -112,9 +112,21 @@ pub enum WorkCounter {
     /// capture, so applying the entry would have corrupted its new
     /// occupant.
     EpochStaleDrops,
+    /// Follow-on work items pushed by GC scheduler participants (worker
+    /// pool phases plus the concurrent crew's spills and offloads).
+    SchedPushes,
+    /// Items popped by a scheduler participant from its own local deque.
+    SchedPops,
+    /// Items a scheduler participant obtained by stealing (a sibling's
+    /// deque, a shared injector, or a crew grab from the shared mark
+    /// stack).
+    SchedSteals,
+    /// Times a worker parked waiting for a bucket to open or work to
+    /// appear.
+    SchedParks,
 }
 
-const NUM_COUNTERS: usize = WorkCounter::EpochStaleDrops as usize + 1;
+const NUM_COUNTERS: usize = WorkCounter::SchedParks as usize + 1;
 
 /// A point-in-time copy of all statistics.
 #[derive(Debug, Clone)]
@@ -276,6 +288,10 @@ pub const ALL_COUNTERS: &[WorkCounter] = &[
     WorkCounter::DegeneratedCollections,
     WorkCounter::EpochChecksPassed,
     WorkCounter::EpochStaleDrops,
+    WorkCounter::SchedPushes,
+    WorkCounter::SchedPops,
+    WorkCounter::SchedSteals,
+    WorkCounter::SchedParks,
 ];
 
 #[cfg(test)]

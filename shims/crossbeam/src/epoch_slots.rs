@@ -1,0 +1,359 @@
+//! The process-wide epoch domain behind `reclaim::Reclaimer`:
+//! per-thread **epoch slots** that make pinning a queue operation one
+//! relaxed store plus one fence, instead of two `SeqCst` RMWs on shared
+//! counters.
+//!
+//! # Structure
+//!
+//! The domain is one global epoch counter plus a fixed array of
+//! cache-line-padded slots.  A thread that performs queue operations claims
+//! a slot on first use (a one-time CAS) and keeps it until thread exit; its
+//! pin/unpin then touch only that slot:
+//!
+//! * **Pin**: store `(epoch << 1) | 1` into the slot (relaxed), issue one
+//!   `SeqCst` fence, re-read the global epoch, and repeat until the read
+//!   matches what was stored.  The loop almost always runs once — the epoch
+//!   only moves when a queue retires a segment.
+//! * **Unpin**: store `0` into the slot (release).  No shared-counter RMW
+//!   on either edge; the slot line is owned by its thread and stays in its
+//!   cache.
+//! * **Advance** (`try_advance`, called from the retire cold path): after a
+//!   `SeqCst` fence, scan the slots; if every pinned slot holds the current
+//!   epoch `E` — and the fallback counter for the target parity is zero —
+//!   CAS the epoch to `E + 1`.
+//!
+//! Threads that cannot claim a slot (the array is full, or thread-local
+//! storage is unavailable because the thread is already running its TLS
+//! destructors) **fall back** to the previous two-parity scheme, now kept
+//! on a pair of global counters: pin increments `fallback[E & 1]` and
+//! re-checks the epoch (two `SeqCst` RMWs, exactly the old protocol).  The
+//! fallback is also forcible process-wide ([`set_fallback_forced`]), which
+//! is how the tests run the old scheme as a correctness oracle against the
+//! slot path — mixing the two is sound by construction, see below.
+//!
+//! # Why the mix is safe
+//!
+//! Garbage is tagged with the epoch at which it was retired, and freed once
+//! the global epoch `E` satisfies `E ≥ tag + 2` (see
+//! `reclaim::Reclaimer`).  The advance rule makes that sufficient
+//! for **both** kinds of reader:
+//!
+//! * A *slot* reader pinned at epoch `e` blocks the advance `e → e + 1`
+//!   (its slot does not hold the current epoch), so while it stays pinned
+//!   `E ≤ e + 1` and only garbage tagged `≤ e − 1` can be freed — garbage
+//!   unlinked before the epoch became `e`, which the reader (whose pin
+//!   observed `e` after its fence) can never have loaded a pointer to.
+//! * A *fallback* reader pinned at epoch `e` is counted in
+//!   `fallback[e & 1]`.  Every advance targeting an epoch of that parity —
+//!   the earliest being `e + 2` — requires that counter to be zero, so
+//!   while the reader stays pinned `E ≤ e + 1`, the same bound as above.
+//!
+//! The two mechanisms interact only through the advance check, which
+//! requires both conditions; neither weakens the other's bound.
+//!
+//! The fence pairing is the canonical epoch-reclamation argument: the
+//! pinner's `SeqCst` fence and the advancer's `SeqCst` fence order each
+//! pin against each slot scan, so either the scan observes the pin (and
+//! the epoch stays put) or the pinner's re-read observes the new epoch
+//! (and the pin retries at it) — the race where a scan misses a fresh pin
+//! cannot leave the pin stranded on a retiring epoch.
+
+use std::cell::Cell;
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// Capacity of the slot array.  GC worker pools, concurrent crews and test
+/// harnesses sit far below this; threads beyond it simply use the fallback
+/// protocol (correct, just slower).
+const MAX_SLOTS: usize = 64;
+
+/// One thread's epoch slot, padded to a cache line so pin/unpin stores
+/// never contend with a neighbour.
+#[repr(align(128))]
+struct Slot {
+    /// `0` when unpinned; `(epoch << 1) | 1` while pinned at `epoch`.
+    state: AtomicUsize,
+    /// Claimed by a thread's local handle; released at thread exit.
+    in_use: AtomicBool,
+    /// Pins taken through this slot (relaxed, same cache line as `state`):
+    /// the cheap observability the tests use to prove the fast path runs.
+    pins: AtomicU64,
+}
+
+#[allow(clippy::declare_interior_mutable_const)] // each array element is a distinct atomic
+const SLOT_INIT: Slot =
+    Slot { state: AtomicUsize::new(0), in_use: AtomicBool::new(false), pins: AtomicU64::new(0) };
+
+static SLOTS: [Slot; MAX_SLOTS] = [SLOT_INIT; MAX_SLOTS];
+
+/// The global epoch.  Advanced only by [`try_advance`]'s CAS.
+static EPOCH: AtomicUsize = AtomicUsize::new(0);
+
+/// The two-parity fallback counters (the old scheme's `active` pair, now
+/// global): `fallback[p]` counts threads pinned at an epoch of parity `p`
+/// through the fallback protocol.
+static FALLBACK: [AtomicUsize; 2] = [AtomicUsize::new(0), AtomicUsize::new(0)];
+
+/// Fallback pins taken process-wide (the cold-path counterpart of
+/// `Slot::pins`).
+static FALLBACK_PINS: AtomicU64 = AtomicU64::new(0);
+
+/// When set, every pin takes the fallback protocol even if a slot is
+/// available: the oracle mode for the reclaimer tests.
+static FORCE_FALLBACK: AtomicBool = AtomicBool::new(false);
+
+/// Evidence of a pin, consumed by [`unpin`].
+#[must_use]
+pub(crate) struct PinToken(Mode);
+
+enum Mode {
+    /// Pinned through the calling thread's epoch slot (the slot index lives
+    /// in the thread-local handle, which also tracks nesting).
+    Slot,
+    /// Pinned through the fallback parity counter `fallback[parity]`.
+    Parity(usize),
+}
+
+/// Per-thread pin bookkeeping: the claimed slot (if any) and the pin
+/// nesting depth.  Dropping the handle at thread exit releases the slot.
+struct Handle {
+    slot: Cell<SlotChoice>,
+    depth: Cell<usize>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum SlotChoice {
+    /// No claim attempted yet.
+    Unclaimed,
+    Claimed(usize),
+    /// The array was full when this thread first pinned; it uses the
+    /// fallback protocol for its lifetime.
+    Exhausted,
+}
+
+impl Drop for Handle {
+    fn drop(&mut self) {
+        if let SlotChoice::Claimed(i) = self.slot.get() {
+            debug_assert_eq!(self.depth.get(), 0, "thread exited while pinned");
+            SLOTS[i].state.store(0, Ordering::Release);
+            SLOTS[i].in_use.store(false, Ordering::Release);
+        }
+    }
+}
+
+thread_local! {
+    static HANDLE: Handle = const { Handle { slot: Cell::new(SlotChoice::Unclaimed), depth: Cell::new(0) } };
+}
+
+/// Claims a free slot, or reports exhaustion.
+fn claim_slot() -> SlotChoice {
+    for (i, slot) in SLOTS.iter().enumerate() {
+        if !slot.in_use.load(Ordering::Relaxed)
+            && slot.in_use.compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed).is_ok()
+        {
+            return SlotChoice::Claimed(i);
+        }
+    }
+    SlotChoice::Exhausted
+}
+
+/// Pins the calling thread: until the matching [`unpin`], no garbage
+/// retired at or after the observed epoch is freed.
+#[inline]
+pub(crate) fn pin() -> PinToken {
+    if FORCE_FALLBACK.load(Ordering::Relaxed) {
+        return pin_fallback();
+    }
+    HANDLE
+        .try_with(|h| {
+            let choice = match h.slot.get() {
+                SlotChoice::Unclaimed => {
+                    let c = claim_slot();
+                    h.slot.set(c);
+                    c
+                }
+                c => c,
+            };
+            match choice {
+                SlotChoice::Claimed(i) => {
+                    let depth = h.depth.get();
+                    h.depth.set(depth + 1);
+                    if depth == 0 {
+                        pin_slot(&SLOTS[i]);
+                    }
+                    PinToken(Mode::Slot)
+                }
+                _ => pin_fallback(),
+            }
+        })
+        // TLS destructors already ran (a queue op inside another
+        // thread-local's drop): the fallback needs no thread-local state.
+        .unwrap_or_else(|_| pin_fallback())
+}
+
+/// The slot fast path: one relaxed store + one fence per pin (the loop
+/// re-runs only if the epoch moved concurrently, which requires a segment
+/// retirement in the same instant).
+#[inline]
+fn pin_slot(slot: &Slot) {
+    let mut e = EPOCH.load(Ordering::Relaxed);
+    loop {
+        slot.state.store((e << 1) | 1, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let now = EPOCH.load(Ordering::Relaxed);
+        if now == e {
+            break;
+        }
+        e = now;
+    }
+    slot.pins.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The retained two-parity protocol (two `SeqCst` RMWs), for slotless
+/// threads and the forced oracle mode.
+fn pin_fallback() -> PinToken {
+    loop {
+        let e = EPOCH.load(Ordering::SeqCst);
+        FALLBACK[e & 1].fetch_add(1, Ordering::SeqCst);
+        if EPOCH.load(Ordering::SeqCst) == e {
+            FALLBACK_PINS.fetch_add(1, Ordering::Relaxed);
+            return PinToken(Mode::Parity(e & 1));
+        }
+        // The epoch moved between the load and the increment: the increment
+        // may have landed on a parity an advance just declared quiescent.
+        // Undo and retry; nothing was dereferenced yet.
+        FALLBACK[e & 1].fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Releases a pin.
+#[inline]
+pub(crate) fn unpin(token: PinToken) {
+    match token.0 {
+        Mode::Slot => HANDLE
+            .try_with(|h| {
+                let depth = h.depth.get() - 1;
+                h.depth.set(depth);
+                if depth == 0 {
+                    if let SlotChoice::Claimed(i) = h.slot.get() {
+                        SLOTS[i].state.store(0, Ordering::Release);
+                    }
+                }
+            })
+            .expect("slot pin outlived its thread-local handle"),
+        Mode::Parity(p) => {
+            FALLBACK[p].fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// The current global epoch, used to tag retired garbage.
+pub(crate) fn current_epoch() -> usize {
+    EPOCH.load(Ordering::SeqCst)
+}
+
+/// Attempts one epoch advance and returns the (possibly new) epoch.  Cold
+/// path: called from `Reclaimer::retire`, once per retired segment.
+pub(crate) fn try_advance() -> usize {
+    let e = EPOCH.load(Ordering::SeqCst);
+    fence(Ordering::SeqCst);
+    // A fallback reader pinned at any epoch of the target parity blocks the
+    // advance (the earliest free its pin must prevent is at `pin + 2`,
+    // which shares the target's parity).
+    if FALLBACK[e.wrapping_add(1) & 1].load(Ordering::SeqCst) != 0 {
+        return e;
+    }
+    let pinned_here = (e << 1) | 1;
+    for slot in &SLOTS {
+        let s = slot.state.load(Ordering::Relaxed);
+        if s != 0 && s != pinned_here {
+            // Pinned at an older epoch: advancing past it could free
+            // garbage it still references.
+            return e;
+        }
+    }
+    fence(Ordering::SeqCst);
+    match EPOCH.compare_exchange(e, e.wrapping_add(1), Ordering::SeqCst, Ordering::SeqCst) {
+        Ok(_) => e.wrapping_add(1),
+        Err(current) => current,
+    }
+}
+
+/// Forces every subsequent pin through the two-parity fallback (the oracle
+/// mode).  Process-wide; tests that toggle this must serialize on
+/// [`quiescence_lock`].
+#[doc(hidden)]
+pub fn set_fallback_forced(forced: bool) {
+    FORCE_FALLBACK.store(forced, Ordering::SeqCst);
+}
+
+/// Serializes tests whose assertions depend on process-global epoch state:
+/// holding a pin across an assertion, asserting that garbage *was* freed
+/// (advances stall while any other test holds a pin), or toggling the
+/// forced-fallback oracle mode.  Production code never calls this.
+#[doc(hidden)]
+pub fn quiescence_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// `(slot_pins, fallback_pins)` taken process-wide so far: the
+/// observability hook proving which protocol the hot path used.
+#[doc(hidden)]
+pub fn pin_counts() -> (u64, u64) {
+    let slot: u64 = SLOTS.iter().map(|s| s.pins.load(Ordering::Relaxed)).sum();
+    (slot, FALLBACK_PINS.load(Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_pin_is_taken_and_counted() {
+        let _serial = quiescence_lock();
+        let before = pin_counts().0;
+        let t1 = pin();
+        let t2 = pin(); // nested
+        unpin(t2);
+        unpin(t1);
+        assert!(pin_counts().0 > before, "slot path was used");
+    }
+
+    #[test]
+    fn pinned_slot_blocks_advance() {
+        let _serial = quiescence_lock();
+        let token = pin();
+        let e = current_epoch();
+        // Our own slot holds the current epoch, so an advance can succeed;
+        // but once it does, a second advance must stall on our slot (it now
+        // holds the previous epoch).
+        let after_one = try_advance();
+        if after_one != e {
+            assert_eq!(try_advance(), after_one, "second advance blocked by our stale pin");
+            assert_eq!(try_advance(), after_one, "still blocked");
+        }
+        unpin(token);
+    }
+
+    #[test]
+    fn fallback_pin_blocks_same_parity_advance() {
+        let _serial = quiescence_lock();
+        let token = pin_fallback();
+        let PinToken(Mode::Parity(p)) = &token else { panic!("fallback pin") };
+        let p = *p;
+        // Advance until the next target parity equals ours, then require a
+        // stall.  At most one advance can happen first.
+        let e = current_epoch();
+        if e.wrapping_add(1) & 1 == p {
+            assert_eq!(try_advance(), e, "advance onto our parity blocked");
+        } else {
+            let e2 = try_advance();
+            // Whether or not that advance succeeded (another test's pin may
+            // block it), an advance targeting our parity must stall.
+            if e2.wrapping_add(1) & 1 == p {
+                assert_eq!(try_advance(), e2);
+            }
+        }
+        unpin(token);
+    }
+}

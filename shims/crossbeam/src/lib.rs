@@ -9,15 +9,22 @@
 //!   deque (bounded, growable) with the PPoPP'13 weak-memory orderings,
 //! * [`deque::Injector`] and [`queue::SegQueue`] — segmented lock-free
 //!   MPMC FIFOs sharing one core (`seg`) whose unlinked segments are
-//!   freed through an epoch-lite deferred reclaimer (`reclaim`),
+//!   freed through an epoch-based deferred reclaimer (`reclaim`) whose
+//!   hot path is a per-thread epoch slot ([`epoch_slots`]): pin is one
+//!   relaxed store plus one fence, not two `SeqCst` RMWs,
 //! * [`queue::ArrayQueue`] — a small bounded buffer, still mutexed,
 //! * unbounded [`channel`]s over `std::sync::mpsc`.
 //!
 //! The original mutexed implementations are retained verbatim in
 //! [`mod@reference`] and serve as the property-test oracles (see the tests at
 //! the bottom of this file) and as the baseline scheduler in the
-//! `pause_phases` benchmark.
+//! `pause_phases` benchmark.  The previous two-parity pin protocol is
+//! likewise retained (as `epoch_slots`' fallback) and serves as the
+//! reclamation oracle: the differential tests below force it process-wide
+//! and replay the same churn.
 
+#[doc(hidden)]
+pub mod epoch_slots;
 mod reclaim;
 mod seg;
 
@@ -138,6 +145,21 @@ mod tests {
             run_script_queue(&ops);
         }
 
+        /// The same scripts with every pin forced through the two-parity
+        /// fallback: the retained old reclamation protocol is the oracle
+        /// for the epoch-slot fast path — identical outcomes, either way
+        /// the queue pins.
+        #[test]
+        fn seg_queue_matches_oracle_under_fallback_pinning(
+            ops in proptest::collection::vec((0u8..6, 0u16..1000), 1..400),
+        ) {
+            let _serial = crate::epoch_slots::quiescence_lock();
+            crate::epoch_slots::set_fallback_forced(true);
+            let result = std::panic::catch_unwind(|| run_script_queue(&ops));
+            crate::epoch_slots::set_fallback_forced(false);
+            result.unwrap();
+        }
+
         /// The lock-free `Injector` agrees with the mutexed oracle.
         #[test]
         fn injector_matches_mutexed_oracle(
@@ -232,23 +254,24 @@ mod tests {
         }
     }
 
-    /// Multi-threaded SegQueue churn that cycles through hundreds of
-    /// segments, exercising segment retirement and deferred reclamation
-    /// under concurrent pinning.
-    #[test]
-    fn seg_queue_reclamation_churn() {
+    /// Multi-threaded SegQueue churn cycling through hundreds of segments:
+    /// segment retirement and deferred reclamation under concurrent
+    /// pinning.  Values are boxed so a reclamation bug (double free,
+    /// use-after-free of a popped slot) corrupts the allocator loudly
+    /// rather than silently; exactly-once delivery is asserted by count.
+    fn churn(threads: usize, per_thread: usize) {
         use std::sync::atomic::{AtomicUsize, Ordering};
         use std::sync::Arc;
 
-        let q: Arc<SegQueue<usize>> = Arc::new(SegQueue::new());
+        let q: Arc<SegQueue<Box<usize>>> = Arc::new(SegQueue::new());
         let total = Arc::new(AtomicUsize::new(0));
-        let threads: Vec<_> = (0..4)
+        let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let q = Arc::clone(&q);
                 let total = Arc::clone(&total);
                 std::thread::spawn(move || {
-                    for i in 0..10_000 {
-                        q.push(t * 100_000 + i);
+                    for i in 0..per_thread {
+                        q.push(Box::new(t * 100_000 + i));
                         if i % 2 == 1 {
                             while q.pop().is_none() {
                                 std::thread::yield_now();
@@ -262,13 +285,105 @@ mod tests {
                 })
             })
             .collect();
-        for t in threads {
+        for t in handles {
             t.join().unwrap();
         }
         let mut rest = 0;
         while q.pop().is_some() {
             rest += 1;
         }
-        assert_eq!(total.load(Ordering::Relaxed) + rest, 40_000);
+        assert_eq!(total.load(Ordering::Relaxed) + rest, threads * per_thread, "every element exactly once");
+    }
+
+    /// Churn on the epoch-slot fast path (the default), asserting the slot
+    /// protocol actually carried the load.
+    #[test]
+    fn seg_queue_reclamation_churn() {
+        let _serial = crate::epoch_slots::quiescence_lock();
+        let before = crate::epoch_slots::pin_counts().0;
+        churn(4, 10_000);
+        assert!(crate::epoch_slots::pin_counts().0 > before, "slot pins carried the churn");
+    }
+
+    /// The identical churn with every pin forced through the retained
+    /// two-parity protocol: the differential oracle for the slot path.
+    #[test]
+    fn seg_queue_reclamation_churn_fallback_oracle() {
+        let _serial = crate::epoch_slots::quiescence_lock();
+        crate::epoch_slots::set_fallback_forced(true);
+        let before = crate::epoch_slots::pin_counts().1;
+        let result = std::panic::catch_unwind(|| churn(4, 10_000));
+        crate::epoch_slots::set_fallback_forced(false);
+        result.unwrap();
+        assert!(crate::epoch_slots::pin_counts().1 > before, "fallback pins carried the churn");
+    }
+
+    /// Churn while a toggler thread flips the forced-fallback switch, so
+    /// slot-pinned and parity-pinned operations interleave on the same
+    /// queue: the mixed mode the advance rule must support (each protocol
+    /// independently blocks the advance).
+    #[test]
+    fn seg_queue_reclamation_churn_mixed_pinning() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let _serial = crate::epoch_slots::quiescence_lock();
+        let stop = Arc::new(AtomicBool::new(false));
+        let toggler = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut forced = false;
+                while !stop.load(Ordering::Acquire) {
+                    forced = !forced;
+                    crate::epoch_slots::set_fallback_forced(forced);
+                    std::thread::yield_now();
+                }
+            })
+        };
+        let result = std::panic::catch_unwind(|| churn(4, 10_000));
+        stop.store(true, Ordering::Release);
+        toggler.join().unwrap();
+        crate::epoch_slots::set_fallback_forced(false);
+        result.unwrap();
+    }
+
+    /// More simultaneous pinners than epoch slots: the overflow threads
+    /// must degrade to the fallback protocol (and the whole cohort still
+    /// pins and unpins correctly).  Slots are recycled at thread exit, so
+    /// later tests get the fast path back.
+    #[test]
+    fn slot_exhaustion_falls_back_to_parity_protocol() {
+        use std::sync::{Arc, Barrier};
+
+        let _serial = crate::epoch_slots::quiescence_lock();
+        let q: Arc<SegQueue<usize>> = Arc::new(SegQueue::new());
+        let n = 96; // MAX_SLOTS is 64
+        let before_fallback = crate::epoch_slots::pin_counts().1;
+        let barrier = Arc::new(Barrier::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let q = Arc::clone(&q);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    // First push claims a slot (or exhausts the array);
+                    // the barrier keeps all claims alive simultaneously.
+                    q.push(i);
+                    barrier.wait();
+                    q.push(i + n);
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert!(
+            crate::epoch_slots::pin_counts().1 > before_fallback,
+            "overflow threads took the fallback protocol"
+        );
+        let mut count = 0;
+        while q.pop().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 2 * n);
     }
 }

@@ -1,91 +1,102 @@
-//! Epoch-lite deferred reclamation for the lock-free segmented queues.
+//! Deferred reclamation for the lock-free segmented queues, built on the
+//! process-wide epoch-slot domain ([`crate::epoch_slots`]).
 //!
 //! A segment unlinked from a queue may still be referenced by a stalled
-//! reader, so it cannot be freed immediately.  Full epoch-based reclamation
-//! (crossbeam-epoch) needs per-thread registration; this shim uses a
-//! self-contained two-parity scheme instead:
+//! reader, so it cannot be freed immediately.  Every queue operation
+//! **pins** itself for its duration; **retired** garbage is tagged with the
+//! epoch at which it was unlinked and freed only once the global epoch has
+//! advanced two steps past that tag, which the domain's advance rule
+//! guarantees cannot happen while any reader that could have observed the
+//! garbage is still pinned.
 //!
-//! * Every queue operation **pins** itself by incrementing one of two
-//!   `active` counters, chosen by the parity of the current epoch, and
-//!   unpins on exit.  Pinning is lock-free (two `SeqCst` RMWs).
-//! * **Retiring** garbage pushes it onto the current parity's limbo list.
-//!   Retirement also tries to **advance** the epoch: if the *other*
-//!   parity's counter is zero, its limbo list is freed and the epoch is
-//!   bumped.  Retire/advance share one mutex — a cold path, entered once
-//!   per exhausted segment, never per element.
+//! # The pin protocols
+//!
+//! Pinning has a fast path and a fallback, chosen per thread:
+//!
+//! * **Epoch slots** (the common case): a registered thread owns a
+//!   cache-line-padded slot; pin is one relaxed store plus one `SeqCst`
+//!   fence into memory only this thread writes, unpin one release store.
+//!   Nothing shared is modified, so pins by different threads never
+//!   contend.
+//! * **Two-parity fallback** (slotless threads, or the forced oracle
+//!   mode): the previous scheme — two `SeqCst` RMWs on a shared counter
+//!   pair indexed by epoch parity.  Retained verbatim as the correctness
+//!   oracle: the differential tests run the same workloads under both
+//!   protocols and the mixed mode.
 //!
 //! # Why this is safe
 //!
-//! A reader pinned at epoch `e` is counted in `active[e % 2]`.  Advancing
-//! from epoch `e + 1` back to parity `e % 2` requires `active[e % 2] == 0`,
-//! so while the reader stays pinned the epoch can advance **at most once**.
-//! Garbage retired at epochs `e` and `e + 1` therefore outlives the reader;
-//! garbage retired at epoch `e - 1` or earlier was unlinked before the
-//! epoch became `e`, and the reader's pin (which re-read the epoch *after*
-//! incrementing) happens-after that unlink, so by write–read coherence the
-//! reader can never have observed it.  The pin loop re-checks the epoch and
-//! retries on any movement, which closes the race where an advance reads a
-//! counter just before a new pin lands.  `SeqCst` on the epoch and counters
-//! makes the "recheck read `e`, therefore my increment precedes any later
-//! quiescence check" argument sound under the C++ memory model.
+//! The full argument lives in [`crate::epoch_slots`]; the shape: a reader
+//! pinned at epoch `e` holds the global epoch at `E ≤ e + 1` (its slot, or
+//! its parity counter, blocks the next advance), so only garbage tagged
+//! `≤ e − 1` can reach the `tag + 2` free threshold while it is pinned —
+//! and that garbage was unlinked before the epoch became `e`, which the
+//! reader's pin (fence, then epoch re-read) happens-after, so the reader
+//! can never have loaded a pointer to it.
+//!
+//! # Cost model
+//!
+//! Pin/unpin is per queue operation (hot); retire is per exhausted segment
+//! (cold, one per [`crate::seg::SEG_CAP`] pops) and serializes on this
+//! queue's limbo mutex, where it also attempts the global epoch advance and
+//! frees every generation old enough.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::epoch_slots::{self, PinToken};
+use std::collections::VecDeque;
 use std::sync::Mutex;
 
-/// Deferred-reclamation state shared by one queue.  `G` is the owned
-/// garbage type (e.g. `Box<Segment<T>>`); dropping it frees the memory.
+/// Deferred-reclamation state owned by one queue.  `G` is the owned garbage
+/// type (e.g. `Box<Segment<T>>`); dropping it frees the memory.  Pinning is
+/// global (the epoch-slot domain); only the limbo lists are per queue, so
+/// an idle queue holds no garbage hostage for another.
 pub(crate) struct Reclaimer<G> {
-    epoch: AtomicUsize,
-    active: [AtomicUsize; 2],
-    limbo: Mutex<[Vec<G>; 2]>,
+    /// Retired garbage in ascending epoch generations: `(tag, garbage)`
+    /// where `tag` is the global epoch at retirement.  A generation is
+    /// dropped once the global epoch reaches `tag + 2`.
+    limbo: Mutex<VecDeque<(usize, Vec<G>)>>,
 }
 
 impl<G> Reclaimer<G> {
     pub(crate) fn new() -> Self {
-        Reclaimer {
-            epoch: AtomicUsize::new(0),
-            active: [AtomicUsize::new(0), AtomicUsize::new(0)],
-            limbo: Mutex::new([Vec::new(), Vec::new()]),
-        }
+        Reclaimer { limbo: Mutex::new(VecDeque::new()) }
     }
 
-    /// Pins the calling operation; the returned parity must be passed to
+    /// Pins the calling operation; the returned token must be passed to
     /// [`unpin`](Self::unpin).  While pinned, no segment reachable from the
     /// queue at or after the pin is freed.
     #[inline]
-    pub(crate) fn pin(&self) -> usize {
-        loop {
-            let e = self.epoch.load(Ordering::SeqCst);
-            self.active[e & 1].fetch_add(1, Ordering::SeqCst);
-            if self.epoch.load(Ordering::SeqCst) == e {
-                return e & 1;
-            }
-            // The epoch moved between the load and the increment: the
-            // increment may have landed on a parity whose limbo was already
-            // freed.  Undo and retry; nothing was dereferenced yet.
-            self.active[e & 1].fetch_sub(1, Ordering::SeqCst);
-        }
+    pub(crate) fn pin(&self) -> PinToken {
+        epoch_slots::pin()
     }
 
-    /// Unpins an operation pinned at `parity`.
+    /// Releases a pin taken by [`pin`](Self::pin).
     #[inline]
-    pub(crate) fn unpin(&self, parity: usize) {
-        self.active[parity].fetch_sub(1, Ordering::SeqCst);
+    pub(crate) fn unpin(&self, token: PinToken) {
+        epoch_slots::unpin(token);
     }
 
-    /// Hands `garbage` to the reclaimer and opportunistically frees the
-    /// previous generation.  Cold path: called once per retired segment.
+    /// Hands `garbage` to the reclaimer, attempts one global epoch advance,
+    /// and frees every generation the (possibly new) epoch has left two
+    /// steps behind.  Cold path: called once per retired segment.
     pub(crate) fn retire(&self, garbage: G) {
         let mut limbo = self.limbo.lock().unwrap_or_else(|e| e.into_inner());
-        // The epoch only changes under this mutex, so the parity read here
-        // is the parity any concurrent pin observes (or retries against).
-        let e = self.epoch.load(Ordering::SeqCst);
-        limbo[e & 1].push(garbage);
-        let other = (e + 1) & 1;
-        if self.active[other].load(Ordering::SeqCst) == 0 {
-            limbo[other].clear();
-            self.epoch.store(e.wrapping_add(1), Ordering::SeqCst);
+        let tag = epoch_slots::current_epoch();
+        match limbo.back_mut() {
+            // The global epoch is monotonic, so generation tags arrive in
+            // ascending order and the newest is always at the back.
+            Some((t, bucket)) if *t == tag => bucket.push(garbage),
+            _ => limbo.push_back((tag, vec![garbage])),
         }
+        let epoch = epoch_slots::try_advance();
+        while limbo.front().is_some_and(|(t, _)| epoch.wrapping_sub(*t) >= 2) {
+            limbo.pop_front();
+        }
+    }
+
+    /// Number of retired-but-unfreed items, for the tests.
+    #[cfg(test)]
+    fn limbo_len(&self) -> usize {
+        self.limbo.lock().unwrap_or_else(|e| e.into_inner()).iter().map(|(_, b)| b.len()).sum()
     }
 }
 
@@ -94,35 +105,68 @@ mod tests {
     use super::*;
     use std::sync::Arc;
 
+    /// Retires sentinels until the reclaimer's limbo shrinks below `bound`
+    /// (each retire attempts an advance; transient pins from concurrently
+    /// running tests can stall any individual attempt).
+    fn retire_until_freed(r: &Reclaimer<Box<u64>>, bound: usize) -> bool {
+        for _ in 0..1000 {
+            r.retire(Box::new(u64::MAX));
+            if r.limbo_len() <= bound {
+                return true;
+            }
+            std::thread::yield_now();
+        }
+        false
+    }
+
     #[test]
     fn garbage_is_freed_once_quiescent() {
+        let _serial = epoch_slots::quiescence_lock();
         let r: Reclaimer<Box<u64>> = Reclaimer::new();
-        r.retire(Box::new(1));
-        // No one is pinned: the *previous* parity was quiescent, so the
-        // epoch advanced; a second retire lands in the fresh parity and
-        // frees the first one on the advance after that.
-        r.retire(Box::new(2));
-        r.retire(Box::new(3));
-        let limbo = r.limbo.lock().unwrap();
-        assert!(limbo[0].len() + limbo[1].len() <= 2, "old generations were freed");
+        for i in 0..16 {
+            r.retire(Box::new(i));
+        }
+        // No one is pinned: each retire advances the epoch, so two retires
+        // later the first generation is two epochs old and freed.
+        assert!(retire_until_freed(&r, 4), "unpinned garbage was reclaimed");
     }
 
     #[test]
     fn pinned_readers_hold_back_reclamation() {
+        let _serial = epoch_slots::quiescence_lock();
         let r: Reclaimer<Box<u64>> = Reclaimer::new();
-        let p = r.pin();
+        let pin = r.pin();
+        let pinned_at = epoch_slots::current_epoch();
         for i in 0..16 {
             r.retire(Box::new(i));
         }
-        {
-            let limbo = r.limbo.lock().unwrap();
-            assert_eq!(limbo[0].len() + limbo[1].len(), 16, "nothing freed while pinned");
+        // While we stay pinned the epoch can advance at most once, so
+        // nothing retired at or after our pin epoch is freed.
+        let kept = r.limbo_len();
+        assert_eq!(kept, 16, "nothing freed while pinned");
+        assert!(epoch_slots::current_epoch() <= pinned_at.wrapping_add(1), "epoch advanced at most once");
+        r.unpin(pin);
+        assert!(retire_until_freed(&r, 4), "unpinning allows frees");
+    }
+
+    #[test]
+    fn fallback_pinned_reader_holds_back_reclamation() {
+        // The same hold-back guarantee through the two-parity oracle
+        // protocol (and with the free driven by slot-pinned retires — the
+        // mixed mode).
+        let _serial = epoch_slots::quiescence_lock();
+        let r: Reclaimer<Box<u64>> = Reclaimer::new();
+        epoch_slots::set_fallback_forced(true);
+        let pin = r.pin();
+        epoch_slots::set_fallback_forced(false);
+        let pinned_at = epoch_slots::current_epoch();
+        for i in 0..16 {
+            r.retire(Box::new(i));
         }
-        r.unpin(p);
-        r.retire(Box::new(99));
-        r.retire(Box::new(100));
-        let limbo = r.limbo.lock().unwrap();
-        assert!(limbo[0].len() + limbo[1].len() < 18, "unpinning allows frees");
+        assert_eq!(r.limbo_len(), 16, "nothing freed while fallback-pinned");
+        assert!(epoch_slots::current_epoch() <= pinned_at.wrapping_add(1), "epoch advanced at most once");
+        r.unpin(pin);
+        assert!(retire_until_freed(&r, 4), "unpinning allows frees");
     }
 
     #[test]

@@ -7,9 +7,12 @@
 //! consumers claim a read slot with one CAS on the head segment's `read`
 //! cursor.  A full segment is extended by CAS-installing a `next` segment
 //! and helping the shared `tail` pointer forward; an exhausted segment is
-//! unlinked by CAS-advancing `head` and handed to the epoch-lite
+//! unlinked by CAS-advancing `head` and handed to the epoch-based
 //! [`Reclaimer`](crate::reclaim::Reclaimer), which frees it once no
-//! in-flight operation can still hold a reference.
+//! in-flight operation can still hold a reference.  Operations pin
+//! themselves through the per-thread epoch-slot domain
+//! ([`crate::epoch_slots`]): one relaxed store plus one fence on entry, one
+//! release store on exit, no shared-counter RMWs on the hot path.
 //!
 //! Consumers are non-blocking: [`SegList::try_pop`] reports
 //! [`PopResult::Retry`] instead of waiting when it loses a race or observes
@@ -135,9 +138,9 @@ impl<T> SegList<T> {
         result
     }
 
-    /// [`try_pop`](Self::try_pop) without the reclaimer pin/unpin (two
-    /// `SeqCst` RMWs on shared counters — the scheduler-contention cost the
-    /// pin protocol imposes on every operation).
+    /// [`try_pop`](Self::try_pop) without the reclaimer pin/unpin (an
+    /// epoch-slot store/fence pair — or two `SeqCst` RMWs on shared
+    /// counters for a slotless thread).
     ///
     /// # Safety
     ///

@@ -17,8 +17,9 @@ use std::time::Duration;
 static CHAOS_LOCK: Mutex<()> = Mutex::new(());
 
 /// The pinned schedule the 20/20 acceptance sweep runs: constant crew
-/// preemption plus frequent mutator safepoint yields.
-const YIELD_STORM: &str = "seed=7;crew.*=yield@p=0.2;mutator.safepoint=yield@every=64";
+/// preemption, yields at the bucket scheduler's spill/steal seams
+/// (`workers.*`), plus frequent mutator safepoint yields.
+const YIELD_STORM: &str = "seed=7;crew.*=yield@p=0.2;workers.*=yield@p=0.1;mutator.safepoint=yield@every=64";
 
 fn chaos_options(crew: usize, scale: f64) -> RunOptions {
     RunOptions::default()
