@@ -33,12 +33,29 @@ use lxr_runtime::{Plan, PlanContext};
 use std::sync::Arc;
 
 /// All collector names known to the workspace (LXR plus every baseline).
-pub const ALL_COLLECTORS: &[&str] =
-    &["lxr", "g1", "shenandoah", "zgc", "serial", "parallel", "immix", "immix+barrier", "semispace"];
+pub const ALL_COLLECTORS: &[&str] = &[
+    "lxr",
+    "lxr-sticky",
+    "g1",
+    "shenandoah",
+    "zgc",
+    "serial",
+    "parallel",
+    "immix",
+    "immix+barrier",
+    "semispace",
+];
 
-/// Builds a plan by name.  `"lxr"` (and its ablations `"lxr-stw"`,
-/// `"lxr-nosatb"`, `"lxr-nold"`) is constructed through
-/// [`lxr_core::LxrPlan`]; everything else comes from this crate.
+/// The collector variants every end-to-end suite must cover: the workload
+/// zoo's family smoke, the harness chaos sweeps, and the CI stress matrices
+/// all iterate this slice instead of hand-enumerating names, so a new
+/// variant added here cannot silently miss a suite.
+pub const VARIANTS: &[&str] = &["lxr", "lxr-sticky", "g1", "shenandoah"];
+
+/// Builds a plan by name.  `"lxr"` (its ablations `"lxr-stw"`,
+/// `"lxr-nosatb"`, `"lxr-nold"`, `"lxr-eager"`, and the generational
+/// `"lxr-sticky"`) is constructed through [`lxr_core::LxrPlan`]; everything
+/// else comes from this crate.
 ///
 /// # Panics
 ///
@@ -71,6 +88,21 @@ pub fn plan_registry(name: &str) -> Box<dyn FnOnce(PlanContext) -> Arc<dyn Plan>
                 clean_block_trigger_fraction: 1.0,
                 ..lxr_core::LxrConfig::for_heap(ctx.options.heap.heap_bytes)
             };
+            Arc::new(lxr_core::LxrPlan::with_config(ctx, config)) as Arc<dyn Plan>
+        }),
+        // Sticky (generational) LXR: mark bits persist across traces, and
+        // most traces scan only the nursery — objects allocated or mutated
+        // since the last trace — escalating to a full-heap trace
+        // periodically (`LXR_STICKY_FULL_EVERY_N` overrides the cadence)
+        // and whenever the yield heuristic or a degenerate pause demands
+        // one.
+        "lxr-sticky" => Box::new(|ctx: PlanContext| {
+            let mut config = lxr_core::LxrConfig::for_heap(ctx.options.heap.heap_bytes).sticky();
+            if let Some(n) =
+                std::env::var("LXR_STICKY_FULL_EVERY_N").ok().and_then(|v| v.trim().parse::<u64>().ok())
+            {
+                config.sticky_full_every_n = n.max(1);
+            }
             Arc::new(lxr_core::LxrPlan::with_config(ctx, config)) as Arc<dyn Plan>
         }),
         "g1" => Box::new(GenerationalPlan::factory()),

@@ -163,6 +163,7 @@ macro_rules! contract_tests {
 contract_tests! {
     lxr => "lxr",
     lxr_stw => "lxr-stw",
+    lxr_sticky => "lxr-sticky",
     g1 => "g1",
     shenandoah => "shenandoah",
     zgc => "zgc",
@@ -175,7 +176,7 @@ contract_tests! {
 
 #[test]
 fn registry_knows_every_collector() {
-    assert_eq!(ALL_COLLECTORS.len(), 9);
+    assert_eq!(ALL_COLLECTORS.len(), 10);
     for name in ALL_COLLECTORS {
         // Constructing the factory must not panic.
         let _ = plan_registry(name);

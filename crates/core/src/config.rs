@@ -45,6 +45,20 @@ pub struct LxrConfig {
     /// available (clean + recycled); a backstop against running the heap
     /// completely dry between pauses.
     pub heap_full_fraction: f64,
+    /// Run concurrent traces in *sticky* (generational) mode: mark bits are
+    /// carried over between traces, and a sticky trace seeds its gray set
+    /// from the roots plus the field-logged remembered set instead of
+    /// re-walking the whole heap.  Periodically escalated to a full trace
+    /// (see `sticky_full_every_n` / `sticky_min_yield`).
+    pub sticky: bool,
+    /// Force a full-heap trace after this many consecutive sticky traces
+    /// (the `LXR_STICKY_FULL_EVERY_N` override maps here).
+    pub sticky_full_every_n: u64,
+    /// Escalate to a full trace early when the observed sticky trace yield
+    /// (SATB deaths per object marked) decays below this fraction while the
+    /// mature-wastage trigger is firing — the sticky trace is no longer
+    /// finding the garbage that the heuristics say exists.
+    pub sticky_min_yield: f64,
 }
 
 impl Default for LxrConfig {
@@ -61,6 +75,9 @@ impl Default for LxrConfig {
             concurrent_satb: true,
             concurrent_decrements: true,
             heap_full_fraction: 0.08,
+            sticky: false,
+            sticky_full_every_n: 8,
+            sticky_min_yield: 0.02,
         }
     }
 }
@@ -93,6 +110,14 @@ impl LxrConfig {
     pub fn stop_the_world(self) -> Self {
         self.without_concurrent_satb().without_lazy_decrements()
     }
+
+    /// The sticky (generational) tracing variant: mark bits persist across
+    /// traces and most traces scan only objects allocated or mutated since
+    /// the last one.
+    pub fn sticky(mut self) -> Self {
+        self.sticky = true;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -106,6 +131,8 @@ mod tests {
         assert!((c.mature_wastage_threshold - 0.05).abs() < 1e-12);
         assert!(c.young_evacuation && c.mature_evacuation);
         assert!(c.concurrent_satb && c.concurrent_decrements);
+        assert!(!c.sticky, "sticky tracing is an opt-in variant, not the paper default");
+        assert_eq!(c.sticky_full_every_n, 8);
     }
 
     #[test]
@@ -118,6 +145,8 @@ mod tests {
         assert!(!c.concurrent_decrements);
         let c = LxrConfig::default().stop_the_world();
         assert!(!c.concurrent_satb && !c.concurrent_decrements);
+        let c = LxrConfig::default().sticky();
+        assert!(c.sticky && c.concurrent_satb && c.concurrent_decrements);
     }
 
     #[test]

@@ -158,6 +158,14 @@ pub(crate) fn evacuate_object(
                 state.rc.mark_straddle_lines(new, size);
             }
             state.rc.clear(obj);
+            // Sticky mode: marks persist after the trace, and the next
+            // sticky trace treats an unmarked counted object as
+            // reclaimable-if-unreached.  The original was marked (only
+            // trace-reached objects are evacuated), so the copy must carry
+            // the mark or the next sticky reclamation would kill it.
+            if state.config.sticky {
+                state.mark_object(new, size);
+            }
             state.stats.add(WorkCounter::MatureObjectsCopied, 1);
             state.stats.add(WorkCounter::WordsCopied, size as u64);
             for i in 0..shape.nrefs as usize {

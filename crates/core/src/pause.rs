@@ -323,6 +323,12 @@ pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
         c.stats.add(WorkCounter::DegeneratedCollections, 1);
     }
     let unbounded_finish = c.reason == GcReason::Exhausted || degenerate;
+    // Exhaustion/degenerate pauses are the degraded-mode fallback: whatever
+    // trace runs next must be able to reclaim *everything* reclaimable, so
+    // sticky mode escalates it to a full-heap trace.
+    if unbounded_finish && state.config.sticky {
+        state.force_full_trace.store(true, Ordering::Release);
+    }
     // Bounded in-pause catch-up slice: large enough that the trace
     // converges within a handful of pauses even when the crew gets no CPU
     // (without this, a trace can float forever — completion requires the
@@ -422,7 +428,31 @@ pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
         if state.config.mature_evacuation {
             crate::evac::evacuate_mature(state, c);
         }
-        state.clear_marks();
+        if state.config.sticky {
+            // Sticky mode: marks persist between traces — they record what
+            // previous traces already covered, and the next sticky trace
+            // skips every marked granule.  Only a full-trace start clears
+            // them.  A completed full trace certifies the mark bits cover
+            // the whole mature heap (sticky traces are sound from here on);
+            // a completed sticky trace feeds the yield predictor that
+            // drives escalation.
+            if state.current_trace_full.load(Ordering::Acquire) {
+                state.full_trace_completed.store(true, Ordering::Release);
+            } else {
+                let marked = c
+                    .stats
+                    .get(WorkCounter::ObjectsMarked)
+                    .saturating_sub(state.objects_marked_at_trace_start.load(Ordering::Relaxed));
+                let deaths = c
+                    .stats
+                    .get(WorkCounter::SatbDeaths)
+                    .saturating_sub(state.satb_deaths_at_trace_start.load(Ordering::Relaxed));
+                let observed_yield = deaths as f64 / marked.max(1) as f64;
+                state.predictors.lock().sticky_yield.observe(observed_yield);
+            }
+        } else {
+            state.clear_marks();
+        }
         state.satb_complete.store(false, Ordering::Release);
         state.satb_active.store(false, Ordering::Release);
     }
@@ -492,7 +522,8 @@ pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
     lxr_failpoints::failpoint!("pause.trigger");
     if !state.satb_active.load(Ordering::Acquire) && crate::satb::should_start(state) {
         c.attrs.set_started_satb();
-        crate::satb::start(state, c);
+        let full = crate::satb::next_trace_full(state);
+        crate::satb::start(state, c, full);
         if !state.config.concurrent_satb {
             // The -SATB ablation: run the whole trace inside the pause.
             crate::concurrent::trace_satb_sequential(state, || false);
@@ -573,6 +604,12 @@ fn process_increment_item(
                 // Re-arm the field so the next epoch's first write is
                 // logged ("resets its unlogged bit", §3.4).
                 state.log_table.mark_unlogged(s);
+                // Sticky mode: a modified mature field may now reference an
+                // object allocated after the last trace, so it joins the
+                // remembered set the next sticky trace seeds from.
+                if state.config.sticky {
+                    state.record_sticky_slot(s);
+                }
             }
             (Some(s), state.om.read_slot(s))
         }
@@ -701,6 +738,16 @@ fn first_retention(
     // reclamation sweep does not clear them.
     if state.satb_active.load(Ordering::Relaxed) {
         state.mark_object(target, size);
+    } else if state.config.sticky && state.marks.load(target.to_address()) != 0 {
+        // Sticky mode keeps marks across traces, so a granule's previous
+        // occupant may have left a stale mark behind.  First retention is
+        // the 0→1 transition every counted object passes exactly once:
+        // clearing here re-establishes the invariant that a counted
+        // object's head mark bit reflects *its own* trace history ("young
+        // since the last trace"), so the next sticky trace scans it.
+        // (Stale marks on *uncounted* granules are harmless — every mark
+        // consultation is count-guarded.)
+        state.marks.store(target.to_address(), 0);
     }
     // The survivor's fields become "mature": future writes must be logged.
     for i in 0..shape.nrefs as usize {

@@ -56,13 +56,26 @@ pub struct Predictors {
     /// Predicted number of live blocks after an SATB cycle (drives the
     /// wastage trigger).
     pub live_blocks: DecayPredictor,
+    /// Predicted yield of a *sticky* trace: SATB deaths per object marked.
+    /// Drives the sticky→full escalation heuristic — when the prediction
+    /// decays below `LxrConfig::sticky_min_yield` while the wastage trigger
+    /// is firing, the garbage the heuristics expect is evidently not in the
+    /// nursery, so the next trace runs full-heap.  The rises-fast /
+    /// falls-slow asymmetry means one lucky sticky trace restores
+    /// confidence quickly, while escalation needs sustained low yield.
+    pub sticky_yield: DecayPredictor,
 }
 
 impl Predictors {
-    /// Initial state: conservatively assume everything survives and that the
-    /// heap currently holds no reclaimable wastage.
+    /// Initial state: conservatively assume everything survives, that the
+    /// heap currently holds no reclaimable wastage, and that sticky traces
+    /// are productive (escalation to full traces needs observed evidence).
     pub fn new() -> Self {
-        Predictors { survival_rate: DecayPredictor::new(1.0), live_blocks: DecayPredictor::new(0.0) }
+        Predictors {
+            survival_rate: DecayPredictor::new(1.0),
+            live_blocks: DecayPredictor::new(0.0),
+            sticky_yield: DecayPredictor::new(1.0),
+        }
     }
 }
 
@@ -100,5 +113,6 @@ mod tests {
         let p = Predictors::new();
         assert_eq!(p.survival_rate.value(), 1.0);
         assert_eq!(p.live_blocks.value(), 0.0);
+        assert_eq!(p.sticky_yield.value(), 1.0, "sticky traces assumed productive until observed");
     }
 }

@@ -43,7 +43,7 @@
 //!   allocator.
 
 use crate::state::LxrState;
-use lxr_heap::{Block, BlockState, GRANULE_WORDS};
+use lxr_heap::{Address, Block, BlockState, GRANULE_WORDS};
 use lxr_object::ObjectReference;
 use lxr_runtime::{Collection, WorkCounter};
 use std::sync::atomic::Ordering;
@@ -61,26 +61,96 @@ pub(crate) fn should_start(state: &Arc<LxrState>) -> bool {
     if (clean as f64) < state.config.clean_block_trigger_fraction * total as f64 {
         return true;
     }
+    wastage_exceeds(state)
+}
+
+/// The predicted-wastage trigger condition in isolation: the gap between
+/// blocks in use and the predicted live blocks exceeds the threshold
+/// fraction of the heap.  Shared by [`should_start`] and the sticky
+/// escalation heuristic (wastage the sticky traces keep failing to find is
+/// evidence the garbage is mature, so the next trace should run full-heap).
+pub(crate) fn wastage_exceeds(state: &Arc<LxrState>) -> bool {
+    let total = state.blocks.total_blocks();
     let used = state.blocks.used_block_count() + state.blocks.recycled_block_count();
     let predicted_live = state.predictors.lock().live_blocks.value();
     let wastage = used as f64 - predicted_live;
     wastage > state.config.mature_wastage_threshold * total as f64
 }
 
-/// Starts an SATB trace: clears marks, selects the evacuation set, resets
-/// the per-line reuse counters and the remembered set, and seeds the gray
-/// set with the current roots.
-pub(crate) fn start(state: &Arc<LxrState>, c: &Collection<'_>) {
-    state.clear_marks();
+/// Decides whether the next trace must run full-heap (as opposed to
+/// sticky).  Always `true` outside sticky mode; in sticky mode a trace runs
+/// full when any of the escalation conditions hold:
+///
+/// * no full trace has completed yet (the mark bits do not cover the
+///   mature heap, so a sticky trace would be unsound);
+/// * a degenerate or exhaustion pause requested one (`force_full_trace`,
+///   consumed here) — the degraded-mode fallback must reclaim everything
+///   reclaimable;
+/// * the `sticky_full_every_n` backstop: enough consecutive sticky traces
+///   have run since the last full one;
+/// * the yield heuristic: the predicted sticky yield has decayed below
+///   `sticky_min_yield` while the wastage trigger is still firing — the
+///   allocation-rate proxy says garbage exists, and the sticky traces are
+///   demonstrably not finding it in the nursery.
+pub(crate) fn next_trace_full(state: &Arc<LxrState>) -> bool {
+    if !state.config.sticky {
+        return true;
+    }
+    if state.force_full_trace.swap(false, Ordering::AcqRel) {
+        return true;
+    }
+    if !state.full_trace_completed.load(Ordering::Acquire) {
+        return true;
+    }
+    if state.sticky_since_full.load(Ordering::Relaxed) + 1 >= state.config.sticky_full_every_n {
+        return true;
+    }
+    let predicted_yield = state.predictors.lock().sticky_yield.value();
+    predicted_yield < state.config.sticky_min_yield && wastage_exceeds(state)
+}
+
+/// Starts an SATB trace and seeds the gray set with the current roots.
+///
+/// A *full* trace (`full == true`, the only kind outside sticky mode)
+/// clears every mark, selects the evacuation set, and discards the sticky
+/// remembered set (redundant: the trace will visit everything).  A *sticky*
+/// trace keeps the marks from previous traces — every marked granule is
+/// work skipped, counted in `TraceGranulesSkipped` — seeds additionally
+/// from the sticky remembered set (modified slots, re-read now), and
+/// selects **no** evacuation candidates: a sticky trace never re-scans
+/// marked objects, so the remset bootstrap inside the trace would miss
+/// inbound slots and evacuation would be unsound.
+pub(crate) fn start(state: &Arc<LxrState>, c: &Collection<'_>, full: bool) {
+    if full {
+        state.clear_marks();
+        state.discard_sticky_slots();
+        state.sticky_since_full.store(0, Ordering::Relaxed);
+        c.stats.add(WorkCounter::FullTraces, 1);
+        if state.config.mature_evacuation {
+            crate::evac::select_candidates(state);
+        }
+    } else {
+        state.sticky_since_full.fetch_add(1, Ordering::Relaxed);
+        c.stats.add(WorkCounter::StickyTraces, 1);
+        let carried =
+            state.marks.count_nonzero_range(Address::from_word_index(0), state.geometry.num_words());
+        c.stats.add(WorkCounter::TraceGranulesSkipped, carried as u64);
+        state.drain_sticky_slots(|slot| {
+            let referent = state.om.read_slot(slot);
+            if !referent.is_null() && state.in_heap(referent) {
+                state.push_gray(referent);
+            }
+        });
+    }
+    state.current_trace_full.store(full, Ordering::Release);
+    state.objects_marked_at_trace_start.store(c.stats.get(WorkCounter::ObjectsMarked), Ordering::Relaxed);
+    state.satb_deaths_at_trace_start.store(c.stats.get(WorkCounter::SatbDeaths), Ordering::Relaxed);
     state.reset_remset();
     // Note: the reuse-epoch table is deliberately *not* reset here — epochs
     // are monotonic (wrapping) so stamps taken before this trace stay
     // comparable; resetting them would revalidate stale captures.  The
     // remset entries themselves were just dropped, so no per-line reset is
     // needed for them either.
-    if state.config.mature_evacuation {
-        crate::evac::select_candidates(state);
-    }
     for root in c.roots.collect_roots() {
         if !root.is_null() {
             state.push_gray(root);
@@ -134,8 +204,15 @@ pub(crate) fn reclaim(state: &Arc<LxrState>, c: &Collection<'_>) -> Vec<Block> {
             c.stats.add(WorkCounter::LargeObjectsFreed, 1);
         }
     }
-    // Record the live-block observation for the wastage predictor.
-    let live_blocks = state.blocks.used_block_count() + state.blocks.recycled_block_count();
-    state.predictors.lock().live_blocks.observe(live_blocks as f64);
+    // Record the live-block observation for the wastage predictor — but
+    // only after a *full* trace.  A sticky reclamation leaves floating
+    // garbage in place (marked by an earlier trace, dead since), so its
+    // post-reclaim block count overstates liveness; folding it in would
+    // teach the predictor that the floating garbage is live and silence
+    // the wastage trigger exactly when escalation needs it to keep firing.
+    if state.current_trace_full.load(Ordering::Acquire) {
+        let live_blocks = state.blocks.used_block_count() + state.blocks.recycled_block_count();
+        state.predictors.lock().live_blocks.observe(live_blocks as f64);
+    }
     touched
 }

@@ -146,6 +146,39 @@ pub struct LxrState {
     /// pause never queues a block twice.
     pub queued_for_reuse: Mutex<HashSet<usize>>,
 
+    // ---- sticky (generational) trace state ----
+    /// The sticky remembered set: slots whose fields were modified (and so
+    /// may now point at objects allocated after the last trace), stamped
+    /// with their line's reuse epoch.  Recorded at increment time when
+    /// [`LxrConfig::sticky`] is set; drained as extra gray seeds when a
+    /// sticky trace starts, discarded when a full trace starts.
+    pub sticky_slots: SegQueue<RemsetEntry>,
+    /// One bit per heap word: the slot already has a live entry in
+    /// `sticky_slots`, so hot fields rewritten every epoch cannot grow the
+    /// remembered set without bound (the sticky twin of `remset_logged`).
+    pub sticky_logged: SideMetadata,
+    /// The trace currently underway (or the last one started) is a
+    /// full-heap trace; sticky traces leave this `false` so reclamation and
+    /// reporting can tell the two kinds apart.
+    pub current_trace_full: AtomicBool,
+    /// At least one full-heap trace has run to completion, so the mark bits
+    /// cover the whole mature heap and a sticky trace is sound.  Until
+    /// then every trace must run full.
+    pub full_trace_completed: AtomicBool,
+    /// The next trace must run full-heap: set by exhaustion/degenerate
+    /// pauses (the degraded-mode story never depends on sticky marks) and
+    /// consumed when the next trace starts.
+    pub force_full_trace: AtomicBool,
+    /// Consecutive sticky traces since the last full trace (drives the
+    /// `sticky_full_every_n` escalation backstop).
+    pub sticky_since_full: AtomicU64,
+    /// `ObjectsMarked` counter value snapshot at trace start, so trace
+    /// yield can be computed per-cycle.
+    pub objects_marked_at_trace_start: AtomicU64,
+    /// `SatbDeaths` counter value snapshot at trace start (the other half
+    /// of the per-cycle yield observation).
+    pub satb_deaths_at_trace_start: AtomicU64,
+
     // ---- predictors ----
     /// Survival-rate and live-block predictors.
     pub predictors: Mutex<Predictors>,
@@ -202,6 +235,14 @@ impl LxrState {
             deferred_free_blocks: Mutex::new(Vec::new()),
             satb_swept_deferred: Mutex::new(Vec::new()),
             queued_for_reuse: Mutex::new(HashSet::new()),
+            sticky_slots: SegQueue::new(),
+            sticky_logged: SideMetadata::new(geometry.num_words(), 1, 1),
+            current_trace_full: AtomicBool::new(false),
+            full_trace_completed: AtomicBool::new(false),
+            force_full_trace: AtomicBool::new(false),
+            sticky_since_full: AtomicU64::new(0),
+            objects_marked_at_trace_start: AtomicU64::new(0),
+            satb_deaths_at_trace_start: AtomicU64::new(0),
             predictors: Mutex::new(Predictors::new()),
         }
     }
@@ -272,6 +313,46 @@ impl LxrState {
     pub fn reset_remset(&self) {
         while self.remset.pop().is_some() {}
         self.remset_logged.clear_all();
+    }
+
+    // ---- sticky remembered set --------------------------------------------
+
+    /// Records `slot` in the sticky remembered set: its field was modified
+    /// this epoch, so it may now reference an object allocated after the
+    /// last trace and must be re-scanned when the next sticky trace seeds.
+    /// Deduplicated per slot through `sticky_logged` (same protocol as
+    /// [`record_remset`](Self::record_remset)); the slot's *current*
+    /// contents are re-read at drain time, so recording the slot rather
+    /// than the referent is what makes dedup sound.
+    pub fn record_sticky_slot(&self, slot: Address) {
+        if !self.sticky_logged.try_set_from_zero(slot, 1) {
+            return;
+        }
+        self.sticky_slots.push(RemsetEntry { slot, epoch: self.space.reuse_epoch(slot) });
+    }
+
+    /// Drains the sticky remembered set, invoking `f` with every slot whose
+    /// reuse-epoch stamp is still current (a stale stamp proves the slot's
+    /// line was reclaimed and reused since the entry was recorded — its new
+    /// occupant is covered by its own retention, so the entry is dropped).
+    /// Re-arms the dedup bits so the next epoch records afresh.
+    pub fn drain_sticky_slots(&self, mut f: impl FnMut(Address)) {
+        while let Some(entry) = self.sticky_slots.pop() {
+            if self.space.reuse_epoch(entry.slot) == entry.epoch {
+                self.stats.add(WorkCounter::EpochChecksPassed, 1);
+                f(entry.slot);
+            } else {
+                self.stats.add(WorkCounter::EpochStaleDrops, 1);
+            }
+        }
+        self.sticky_logged.clear_all();
+    }
+
+    /// Discards the sticky remembered set without visiting it (a full trace
+    /// covers every object, so the accumulated seeds are redundant).
+    pub fn discard_sticky_slots(&self) {
+        while self.sticky_slots.pop().is_some() {}
+        self.sticky_logged.clear_all();
     }
 
     // ---- dirtied-block tracking -------------------------------------------
@@ -457,12 +538,13 @@ impl LxrState {
         let start = self.geometry.block_start(block);
         let words = self.geometry.words_per_block();
         // Stale metadata must not leak into the block's next life.  All
-        // three tables are cleared with word-wide stores (SWAR bulk ops),
-        // not a byte atomic per granule.  Clearing the remset dedup bits
-        // lets slots in the block's next life be recorded afresh.
+        // four tables are cleared with word-wide stores (SWAR bulk ops),
+        // not a byte atomic per granule.  Clearing the remset/sticky dedup
+        // bits lets slots in the block's next life be recorded afresh.
         self.marks.clear_range(start, words);
         self.log_table.clear_range(start, words);
         self.remset_logged.clear_range(start, words);
+        self.sticky_logged.clear_range(start, words);
         self.space.bump_block_reuse(block);
     }
 
@@ -509,6 +591,7 @@ impl LxrState {
         self.marks.clear_range(start, words);
         self.log_table.clear_range(start, words);
         self.remset_logged.clear_range(start, words);
+        self.sticky_logged.clear_range(start, words);
         self.los.try_free(addr).is_some()
     }
 
@@ -721,5 +804,38 @@ mod tests {
         assert!(s.remset.is_empty());
         s.record_remset(slot);
         assert_eq!(s.remset.len(), 1);
+    }
+
+    #[test]
+    fn sticky_slots_dedup_validate_and_rearm() {
+        let s = state();
+        let hot = Address::from_word_index(4 * 4096 + 10);
+        let stale = Address::from_word_index(4 * 4096 + 200);
+        for _ in 0..100 {
+            s.record_sticky_slot(hot);
+        }
+        s.record_sticky_slot(stale);
+        assert_eq!(s.sticky_slots.len(), 2, "one entry per distinct slot");
+        // The stale slot's line is reclaimed and reused after recording;
+        // its entry must be dropped at drain time.
+        s.space.bump_line_reuse(s.geometry.line_of(stale));
+        let mut seen = Vec::new();
+        s.drain_sticky_slots(|slot| seen.push(slot));
+        assert_eq!(seen, vec![hot]);
+        // The drain re-armed the dedup bits: both slots record afresh.
+        s.record_sticky_slot(hot);
+        s.record_sticky_slot(stale);
+        assert_eq!(s.sticky_slots.len(), 2);
+        // Discard (full-trace path) empties and re-arms too.
+        s.discard_sticky_slots();
+        assert!(s.sticky_slots.is_empty());
+        s.record_sticky_slot(hot);
+        assert_eq!(s.sticky_slots.len(), 1);
+        // Releasing the block also re-arms its slots' dedup bits.
+        s.discard_sticky_slots();
+        s.record_sticky_slot(hot);
+        s.prepare_block_release(s.geometry.block_of(hot));
+        s.record_sticky_slot(hot);
+        assert_eq!(s.sticky_slots.len(), 2);
     }
 }

@@ -24,7 +24,10 @@
 //!   class PR 4's reuse epochs closed, and the verifier pins the clears.
 //! * **Mark-bit lifecycle.**  Outside an active trace every SATB mark bit
 //!   is clear ([`LxrState::clear_marks`] at reclamation); stray marks would
-//!   exempt garbage from the next trace's sweep.
+//!   exempt garbage from the next trace's sweep.  Under sticky tracing
+//!   ([`crate::config::LxrConfig::sticky`]) marks persist between traces by
+//!   design, so the check becomes a context note instead of an error —
+//!   but free-list blocks must still be mark-free in every mode.
 //! * **Remembered-set entries.**  Every entry whose reuse-epoch stamp is
 //!   still current must name a slot in a live (non-free) block; a current
 //!   stamp in a freed block means a release skipped the epoch bump.
@@ -125,6 +128,14 @@ pub fn verify(state: &Arc<LxrState>, roots: &RootSet) -> VerifyReport {
                 block.index()
             ));
         }
+        let mut stale_sticky_bits = 0usize;
+        state.sticky_logged.for_each_nonzero(start, words, |_| stale_sticky_bits += 1);
+        if stale_sticky_bits > 0 {
+            report.error(format!(
+                "free-list block {} carries {stale_sticky_bits} stale sticky-remset dedup bits",
+                block.index()
+            ));
+        }
         let mut armed_fields = 0usize;
         for w in 0..words {
             if state.log_table.state(start.plus(w)) != FieldLogState::Ignored {
@@ -140,13 +151,23 @@ pub fn verify(state: &Arc<LxrState>, roots: &RootSet) -> VerifyReport {
         }
     }
 
-    // 4. Mark-bit lifecycle: no trace active means no marks anywhere.
+    // 4. Mark-bit lifecycle: outside sticky mode, no trace active means no
+    //    marks anywhere.  In sticky mode marks deliberately persist between
+    //    traces ("reached by some trace since the last full one"), and
+    //    marked-but-dead granules are legal floating garbage awaiting the
+    //    next full trace — so the check degrades to a context note.
     if !state.satb_active.load(Ordering::Acquire) {
         let mut stray = 0usize;
         state
             .marks
             .for_each_nonzero(lxr_heap::Address::from_word_index(0), geometry.num_words(), |_| stray += 1);
-        if stray > 0 {
+        if state.config.sticky {
+            report.note(format!(
+                "{stray} sticky mark bits carried between traces ({} sticky traces since the last \
+                 full trace)",
+                state.sticky_since_full.load(Ordering::Relaxed)
+            ));
+        } else if stray > 0 {
             report.error(format!(
                 "{stray} SATB mark bits are set with no trace active (reclamation must clear all marks)"
             ));
@@ -336,6 +357,34 @@ mod tests {
         s.satb_active.store(true, Ordering::Release);
         let report = verify(&s, &roots_of(&[]));
         assert!(report.ok(), "{report}");
+    }
+
+    #[test]
+    fn sticky_mode_tolerates_carried_marks_but_not_in_free_blocks() {
+        let options = RuntimeOptions::default()
+            .with_heap_config(HeapConfig::with_heap_size(4 << 20))
+            .with_concurrent_thread(false);
+        let space = Arc::new(HeapSpace::new(options.heap.clone()));
+        let blocks = Arc::new(BlockAllocator::new(space.clone()));
+        let los = Arc::new(LargeObjectSpace::new(space.clone(), blocks.clone()));
+        let ctx = PlanContext { space, blocks, los, stats: Arc::new(lxr_runtime::GcStats::new()), options };
+        let s = Arc::new(LxrState::new(&ctx, LxrConfig::default().sticky()));
+        // A carried mark in a mature block with no trace active: legal in
+        // sticky mode, reported as a note rather than an error.
+        s.marks.store(Address::from_word_index(2 * 4096 + 32), 1);
+        s.space.block_states().set(lxr_heap::Block::from_index(2), BlockState::Mature);
+        let report = verify(&s, &roots_of(&[]));
+        assert!(report.ok(), "{report}");
+        assert!(report.notes.iter().any(|n| n.contains("sticky mark bits carried")), "{report}");
+        // A mark (or a sticky dedup bit) in a *free* block is still an
+        // error: releases must scrub metadata in every mode.
+        let free_start = s.geometry.block_start(lxr_heap::Block::from_index(5));
+        s.marks.store(free_start.plus(4), 1);
+        s.sticky_logged.store(free_start.plus(8), 1);
+        let report = verify(&s, &roots_of(&[]));
+        let text = format!("{report}");
+        assert!(text.contains("stale SATB mark"), "{report}");
+        assert!(text.contains("sticky-remset dedup"), "{report}");
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! Differential oracle for sticky (generational) tracing.
+//!
+//! The full-heap SATB trace is retained verbatim
+//! ([`lxr_core::trace_satb_sequential`] over a cleared mark bitmap) and used
+//! here as the ground truth a sticky trace must agree with: after a sticky
+//! cycle — marks carried over, gray seeded from the roots plus the sticky
+//! remembered set — the set of counted objects the reclamation sweep would
+//! keep and the set it would kill must match what a from-scratch full-heap
+//! trace computes on the very same heap.  The one *documented* divergence is
+//! floating garbage: objects marked by an earlier trace that died since stay
+//! marked until the next full trace, which is exactly why the escalation
+//! policy exists — and the second test pins that divergence to precisely
+//! that set, nothing more.
+//!
+//! The trace lifecycle is driven through the crate's public surface the same
+//! way `satb::start` drives it: full → clear marks, discard the sticky
+//! remembered set, seed from roots; sticky → keep marks, drain the sticky
+//! remembered set into gray, seed from roots.
+
+use lxr_core::{trace_satb_sequential, LxrConfig, LxrState};
+use lxr_heap::{Address, BlockAllocator, BlockState, HeapConfig, HeapSpace, LargeObjectSpace};
+use lxr_object::{ObjectReference, ObjectShape};
+use lxr_runtime::{GcStats, PlanContext, RuntimeOptions, WorkCounter};
+use std::collections::BTreeSet;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+fn sticky_state() -> Arc<LxrState> {
+    let options = RuntimeOptions::default()
+        .with_heap_config(HeapConfig::with_heap_size(4 << 20))
+        .with_concurrent_thread(false);
+    let space = Arc::new(HeapSpace::new(options.heap.clone()));
+    let blocks = Arc::new(BlockAllocator::new(space.clone()));
+    let los = Arc::new(LargeObjectSpace::new(space.clone(), blocks.clone()));
+    let ctx = PlanContext { space, blocks, los, stats: Arc::new(GcStats::new()), options };
+    Arc::new(LxrState::new(&ctx, LxrConfig::default().sticky()))
+}
+
+fn obj_at(s: &Arc<LxrState>, word: usize, nrefs: u16) -> ObjectReference {
+    let obj = s.om.initialize(Address::from_word_index(word), ObjectShape::new(nrefs, 1, 0));
+    s.space.block_states().set(s.geometry.block_of(obj.to_address()), BlockState::Mature);
+    s.rc.increment(obj);
+    obj
+}
+
+fn slot_of(obj: ObjectReference, i: usize) -> Address {
+    obj.to_address().plus(1 + i)
+}
+
+/// Independent reachability oracle: a plain BFS over the object model from
+/// the roots, restricted to live (counted) objects — no collector metadata
+/// involved.
+fn reachable(s: &Arc<LxrState>, roots: &[ObjectReference]) -> BTreeSet<usize> {
+    let mut seen = BTreeSet::new();
+    let mut stack: Vec<ObjectReference> = roots.to_vec();
+    while let Some(o) = stack.pop() {
+        if o.is_null() || !s.in_heap(o) || !s.rc.is_live(o) {
+            continue;
+        }
+        if !seen.insert(o.to_address().word_index()) {
+            continue;
+        }
+        s.om.scan_refs(o, |_, child| stack.push(child));
+    }
+    seen
+}
+
+/// Drives one trace to completion the way `satb::start` plus the crew do.
+fn run_trace(s: &Arc<LxrState>, roots: &[ObjectReference], full: bool) {
+    if full {
+        s.clear_marks();
+        s.discard_sticky_slots();
+    } else {
+        s.drain_sticky_slots(|slot| {
+            let referent = s.om.read_slot(slot);
+            if !referent.is_null() && s.in_heap(referent) {
+                s.push_gray(referent);
+            }
+        });
+    }
+    for &r in roots {
+        if !r.is_null() {
+            s.push_gray(r);
+        }
+    }
+    s.satb_active.store(true, Ordering::Release);
+    assert!(trace_satb_sequential(s, || false), "the sequential trace must drain");
+    s.satb_active.store(false, Ordering::Release);
+}
+
+/// What the reclamation sweep would kill: counted but unmarked.
+fn would_die(s: &Arc<LxrState>, objects: &[ObjectReference]) -> BTreeSet<usize> {
+    objects
+        .iter()
+        .filter(|o| s.rc.count(**o) > 0 && !s.is_marked(**o))
+        .map(|o| o.to_address().word_index())
+        .collect()
+}
+
+/// What the reclamation sweep would keep: counted and marked.
+fn marked_live(s: &Arc<LxrState>, objects: &[ObjectReference]) -> BTreeSet<usize> {
+    objects
+        .iter()
+        .filter(|o| s.rc.count(**o) > 0 && s.is_marked(**o))
+        .map(|o| o.to_address().word_index())
+        .collect()
+}
+
+#[test]
+fn sticky_trace_live_set_matches_the_full_heap_oracle() {
+    let s = sticky_state();
+    // Mature graph in block 2: R → A → B → C, R.1 → D.
+    let r = obj_at(&s, 2 * 4096, 3);
+    let a = obj_at(&s, 2 * 4096 + 32, 2);
+    let b = obj_at(&s, 2 * 4096 + 64, 1);
+    let c = obj_at(&s, 2 * 4096 + 96, 1);
+    let d = obj_at(&s, 2 * 4096 + 128, 1);
+    s.om.write_ref_field(r, 0, a);
+    s.om.write_ref_field(a, 0, b);
+    s.om.write_ref_field(b, 0, c);
+    s.om.write_ref_field(r, 1, d);
+    // An unreachable counted cycle in block 3 (dead: stuck/cyclic garbage
+    // only a trace can reclaim).
+    let g1 = obj_at(&s, 3 * 4096, 1);
+    let g2 = obj_at(&s, 3 * 4096 + 32, 1);
+    s.om.write_ref_field(g1, 0, g2);
+    s.om.write_ref_field(g2, 0, g1);
+    let roots = [r];
+
+    // Trace #1: the initial full trace (sticky mode always runs the first
+    // trace full).  The cycle is unmarked; emulate its reclamation.
+    run_trace(&s, &roots, true);
+    let mut objects = vec![r, a, b, c, d, g1, g2];
+    assert_eq!(would_die(&s, &objects), reachable_complement(&s, &objects, &roots));
+    s.rc.clear(g1);
+    s.rc.clear(g2);
+
+    // A mutator epoch: two young objects retained (counted), the A.1 slot
+    // rewired to the first of them (field-logged → sticky remembered set),
+    // and one young object that is already garbage by the next trace.
+    let y1 = obj_at(&s, 4 * 4096, 1);
+    let y2 = obj_at(&s, 4 * 4096 + 32, 1);
+    let yg = obj_at(&s, 4 * 4096 + 64, 1);
+    s.om.write_ref_field(a, 1, y1);
+    s.record_sticky_slot(slot_of(a, 1));
+    s.om.write_ref_field(y1, 0, y2);
+    objects.extend([y1, y2, yg]);
+
+    // Trace #2: sticky.  It must mark exactly the new survivors (the
+    // carried marks are the skipped work) and agree with the full-heap
+    // oracle about every counted object's fate.
+    let marked_before = s.stats.get(WorkCounter::ObjectsMarked);
+    run_trace(&s, &roots, false);
+    let sticky_newly_marked = s.stats.get(WorkCounter::ObjectsMarked) - marked_before;
+    let sticky_live = marked_live(&s, &objects);
+    let sticky_die = would_die(&s, &objects);
+
+    let live = reachable(&s, &roots);
+    for obj in &objects {
+        let w = obj.to_address().word_index();
+        if live.contains(&w) {
+            assert!(sticky_live.contains(&w), "live object at word {w} unmarked after the sticky trace");
+        }
+    }
+    assert_eq!(sticky_newly_marked, 2, "the sticky trace should mark exactly y1 and y2");
+
+    // The retained full-heap trace, from scratch on the same heap.
+    let marked_before = s.stats.get(WorkCounter::ObjectsMarked);
+    run_trace(&s, &roots, true);
+    let full_newly_marked = s.stats.get(WorkCounter::ObjectsMarked) - marked_before;
+    let full_live = marked_live(&s, &objects);
+    let full_die = would_die(&s, &objects);
+
+    assert_eq!(sticky_live, full_live, "live sets differ between sticky and full traces");
+    assert_eq!(sticky_die, full_die, "reclamation sets differ between sticky and full traces");
+    assert_eq!(full_live, live, "the trace live set must equal independent reachability");
+    assert_eq!(full_die, BTreeSet::from([yg.to_address().word_index()]), "exactly the young garbage dies");
+    assert!(
+        sticky_newly_marked < full_newly_marked,
+        "the sticky trace must do strictly less marking work ({sticky_newly_marked} vs \
+         {full_newly_marked})"
+    );
+}
+
+/// Helper for the first assertion above: everything counted that the
+/// independent reachability oracle does *not* reach.
+fn reachable_complement(
+    s: &Arc<LxrState>,
+    objects: &[ObjectReference],
+    roots: &[ObjectReference],
+) -> BTreeSet<usize> {
+    let live = reachable(s, roots);
+    objects
+        .iter()
+        .filter(|o| s.rc.count(**o) > 0)
+        .map(|o| o.to_address().word_index())
+        .filter(|w| !live.contains(w))
+        .collect()
+}
+
+#[test]
+fn floating_garbage_is_pinned_to_exactly_the_carried_marks() {
+    let s = sticky_state();
+    let r = obj_at(&s, 2 * 4096, 2);
+    let a = obj_at(&s, 2 * 4096 + 32, 1);
+    let d = obj_at(&s, 2 * 4096 + 64, 1);
+    s.om.write_ref_field(r, 0, a);
+    s.om.write_ref_field(r, 1, d);
+    let roots = [r];
+    let objects = [r, a, d];
+
+    run_trace(&s, &roots, true);
+    assert!(s.is_marked(d));
+
+    // The mutator severs R.1 → D.  The deletion barrier would capture the
+    // decrement lazily; until it drains, D is counted — and it carries the
+    // mark from trace #1.
+    s.om.write_ref_field(r, 1, ObjectReference::NULL);
+    s.record_sticky_slot(slot_of(r, 1));
+
+    // Sticky cycle: D floats — marked, counted, unreachable.  That is the
+    // documented divergence from the full-heap oracle, and it must be
+    // *exactly* {D}: the sticky trace may keep nothing else the full trace
+    // would kill, and must never kill anything the full trace keeps.
+    run_trace(&s, &roots, false);
+    let sticky_die = would_die(&s, &objects);
+    let sticky_live = marked_live(&s, &objects);
+
+    run_trace(&s, &roots, true);
+    let full_die = would_die(&s, &objects);
+    let full_live = marked_live(&s, &objects);
+
+    assert!(sticky_die.is_subset(&full_die), "sticky reclamation must be sound");
+    assert!(full_live.is_subset(&sticky_live), "sticky must keep everything the full trace keeps");
+    let floating: BTreeSet<usize> = full_die.difference(&sticky_die).copied().collect();
+    assert_eq!(
+        floating,
+        BTreeSet::from([d.to_address().word_index()]),
+        "the divergence is exactly the floating garbage"
+    );
+    assert_eq!(full_live, reachable(&s, &roots));
+}

@@ -2,9 +2,9 @@
 //! regression diffing (`bench-diff`).
 //!
 //! The Criterion benches under `crates/bench` are for interactive tuning;
-//! this module re-runs the same three workloads in-process and emits a
-//! small, hand-rolled JSON document (`BENCH_sched.json` by default) that
-//! can be committed next to the code and diffed across PRs:
+//! this module re-runs the same workloads in-process and emits a small,
+//! hand-rolled JSON document (`BENCH_sched.json` by default) that can be
+//! committed next to the code and diffed across PRs:
 //!
 //! * `pause_phases/sweep_blocks_*` — the block sweep, sequential oracle vs
 //!   the bucket-graph census→release pipeline at 1/2/4/8 workers;
@@ -12,7 +12,18 @@
 //!   the lock-free scheduler, the mutexed reference queue, and a
 //!   single-bucket graph (the flat degenerate case of the bucket DAG);
 //! * `concurrent_mark/trace_*` — the SATB trace, sequential oracle vs the
-//!   crew at 1/2/4/8 threads.
+//!   crew at 1/2/4/8 threads;
+//! * `metadata_scan/*` — the side-metadata bulk kernels (scalar reference
+//!   walk, SWAR, and whatever backend the host dispatches to);
+//! * `barrier_overhead/*` — the §5.3 barrier-overhead experiment at a
+//!   reduced scale;
+//! * `sticky_trace/*` — a full-heap trace vs a sticky (generational) cycle
+//!   over the same mature graph plus a nursery epoch; these records also
+//!   carry `granules_traced`/`objects_marked` extras, and the comparison is
+//!   rendered into a second document (`BENCH_trace.json`, see
+//!   [`snapshot`]) whose `reduction` section is the acceptance evidence
+//!   for sticky mode (target: ≥ 3× fewer granules traced per sticky
+//!   cycle).
 //!
 //! Each record carries the bench id, collector, scheduler variant, worker
 //! count, wall-time stats over the measured iterations, and the scheduler
@@ -26,7 +37,10 @@
 
 use lxr_core::pause::{sweep_blocks, sweep_blocks_sequential};
 use lxr_core::{trace_satb_crew, trace_satb_sequential, LxrConfig, LxrState};
-use lxr_heap::{Block, BlockAllocator, BlockState, HeapConfig, HeapSpace, LargeObjectSpace};
+use lxr_heap::{
+    Address, Block, BlockAllocator, BlockState, HeapConfig, HeapSpace, LargeObjectSpace, SideMetadata,
+    SimdBackend,
+};
 use lxr_object::{ObjectReference, ObjectShape};
 use lxr_runtime::{BucketGraph, GcStats, PlanContext, RuntimeOptions, SchedTotals, WorkCounter, WorkerPool};
 use std::hint::black_box;
@@ -53,23 +67,49 @@ pub struct SnapshotConfig {
     pub iters: usize,
     /// Measured iterations for the (slower) concurrent-mark benches.
     pub mark_iters: usize,
+    /// Workload scale for the in-process barrier-overhead experiment.
+    pub barrier_scale: f64,
 }
 
 impl SnapshotConfig {
     /// Full-size run mirroring the Criterion bench workloads; this is what
     /// the committed `BENCH_sched.json` should contain.
     pub fn full() -> Self {
-        Self { sweep_blocks: 512, mark_blocks: 192, tree_limit: 4096, warmup: 2, iters: 9, mark_iters: 5 }
+        Self {
+            sweep_blocks: 512,
+            mark_blocks: 192,
+            tree_limit: 4096,
+            warmup: 2,
+            iters: 9,
+            mark_iters: 5,
+            barrier_scale: 0.02,
+        }
     }
 
     /// Reduced sizes for `--quick` smoke runs.
     pub fn quick() -> Self {
-        Self { sweep_blocks: 128, mark_blocks: 48, tree_limit: 1024, warmup: 1, iters: 5, mark_iters: 3 }
+        Self {
+            sweep_blocks: 128,
+            mark_blocks: 48,
+            tree_limit: 1024,
+            warmup: 1,
+            iters: 5,
+            mark_iters: 3,
+            barrier_scale: 0.01,
+        }
     }
 
     /// Tiny sizes for unit tests.
     pub fn tiny() -> Self {
-        Self { sweep_blocks: 8, mark_blocks: 2, tree_limit: 32, warmup: 0, iters: 2, mark_iters: 1 }
+        Self {
+            sweep_blocks: 8,
+            mark_blocks: 2,
+            tree_limit: 32,
+            warmup: 0,
+            iters: 2,
+            mark_iters: 1,
+            barrier_scale: 0.002,
+        }
     }
 }
 
@@ -83,6 +123,9 @@ struct BenchRecord {
     wall_ns: Vec<u64>,
     /// Scheduler work counters accumulated across the measured iterations.
     counters: SchedTotals,
+    /// Group-specific extra fields appended to the JSON record verbatim
+    /// (e.g. `granules_traced` for the sticky-trace group).
+    extras: Vec<(&'static str, u64)>,
 }
 
 impl BenchRecord {
@@ -101,10 +144,12 @@ impl BenchRecord {
     }
 
     fn to_json_line(&self) -> String {
+        let extras: String =
+            self.extras.iter().map(|(k, v)| format!(", \"{k}\": {v}")).collect::<Vec<_>>().join("");
         format!(
             "    {{ \"id\": \"{}\", \"collector\": \"lxr\", \"scheduler\": \"{}\", \"workers\": {}, \
              \"iters\": {}, \"wall_ns\": {{ \"median\": {}, \"min\": {}, \"mean\": {} }}, \
-             \"counters\": {{ \"pushes\": {}, \"pops\": {}, \"steals\": {}, \"parks\": {} }} }}",
+             \"counters\": {{ \"pushes\": {}, \"pops\": {}, \"steals\": {}, \"parks\": {} }}{} }}",
             json_escape(&self.id),
             self.scheduler,
             self.workers,
@@ -116,6 +161,7 @@ impl BenchRecord {
             self.counters.pops,
             self.counters.steals,
             self.counters.parks,
+            extras,
         )
     }
 }
@@ -154,7 +200,7 @@ fn sched_delta(after: SchedTotals, before: SchedTotals) -> SchedTotals {
     }
 }
 
-fn make_state(heap_bytes: usize) -> Arc<LxrState> {
+fn make_state_with(heap_bytes: usize, config: LxrConfig) -> Arc<LxrState> {
     let options = RuntimeOptions::default()
         .with_heap_config(HeapConfig::with_heap_size(heap_bytes))
         .with_concurrent_thread(false);
@@ -162,7 +208,11 @@ fn make_state(heap_bytes: usize) -> Arc<LxrState> {
     let blocks = Arc::new(BlockAllocator::new(space.clone()));
     let los = Arc::new(LargeObjectSpace::new(space.clone(), blocks.clone()));
     let ctx = PlanContext { space, blocks, los, stats: Arc::new(GcStats::new()), options };
-    Arc::new(LxrState::new(&ctx, LxrConfig::default()))
+    Arc::new(LxrState::new(&ctx, config))
+}
+
+fn make_state(heap_bytes: usize) -> Arc<LxrState> {
+    make_state_with(heap_bytes, LxrConfig::default())
 }
 
 /// Same occupancy mix as the Criterion bench: half dense blocks (re-marked
@@ -190,13 +240,15 @@ fn build_sweep_set(state: &Arc<LxrState>, blocks: usize) -> Vec<(Block, BlockSta
 }
 
 /// Same frozen mature graph as the Criterion bench: 8-word objects with
-/// four reference fields wired to pseudo-random targets; returns the roots.
-fn build_mark_graph(state: &Arc<LxrState>, blocks: usize) -> Vec<ObjectReference> {
+/// four reference fields wired to pseudo-random targets, laid out in
+/// `blocks` blocks starting at block `first_block`; returns every object
+/// (roots are a `step_by(64)` sample of these).
+fn build_mark_graph(state: &Arc<LxrState>, first_block: usize, blocks: usize) -> Vec<ObjectReference> {
     let g = state.geometry;
     let shape = ObjectShape::new(4, 3, 1);
     let per_block = g.words_per_block() / 8;
     let mut objects = Vec::with_capacity(blocks * per_block);
-    for bi in 2..2 + blocks {
+    for bi in first_block..first_block + blocks {
         let block = Block::from_index(bi);
         state.space.block_states().set(block, BlockState::Mature);
         for k in 0..per_block {
@@ -217,7 +269,7 @@ fn build_mark_graph(state: &Arc<LxrState>, blocks: usize) -> Vec<ObjectReference
             state.om.write_ref_field(obj, f, objects[target]);
         }
     }
-    objects.iter().step_by(64).copied().collect()
+    objects
 }
 
 fn bench_sweep(cfg: &SnapshotConfig, out: &mut Vec<BenchRecord>) {
@@ -234,6 +286,7 @@ fn bench_sweep(cfg: &SnapshotConfig, out: &mut Vec<BenchRecord>) {
         workers: 0,
         wall_ns: wall,
         counters: SchedTotals::default(),
+        extras: Vec::new(),
     });
 
     for workers in [1usize, 2, 4, 8] {
@@ -254,6 +307,7 @@ fn bench_sweep(cfg: &SnapshotConfig, out: &mut Vec<BenchRecord>) {
             workers,
             wall_ns: wall,
             counters,
+            extras: Vec::new(),
         });
     }
 }
@@ -312,6 +366,7 @@ fn bench_increment_tree(cfg: &SnapshotConfig, out: &mut Vec<BenchRecord>) {
                 workers,
                 wall_ns: wall,
                 counters,
+                extras: Vec::new(),
             });
         }
     }
@@ -319,7 +374,8 @@ fn bench_increment_tree(cfg: &SnapshotConfig, out: &mut Vec<BenchRecord>) {
 
 fn bench_concurrent_mark(cfg: &SnapshotConfig, out: &mut Vec<BenchRecord>) {
     let state = make_state(32 << 20);
-    let roots = build_mark_graph(&state, cfg.mark_blocks);
+    let roots: Vec<ObjectReference> =
+        build_mark_graph(&state, 2, cfg.mark_blocks).iter().step_by(64).copied().collect();
     let g = state.geometry;
     let objects = cfg.mark_blocks * (g.words_per_block() / 8);
     let group = format!("concurrent_mark/trace_{}k", objects / 1000);
@@ -341,6 +397,7 @@ fn bench_concurrent_mark(cfg: &SnapshotConfig, out: &mut Vec<BenchRecord>) {
         workers: 0,
         wall_ns: wall,
         counters: SchedTotals::default(),
+        extras: Vec::new(),
     });
 
     for crew in [1usize, 2, 4, 8] {
@@ -377,7 +434,272 @@ fn bench_concurrent_mark(cfg: &SnapshotConfig, out: &mut Vec<BenchRecord>) {
             workers: crew,
             wall_ns: wall,
             counters,
+            extras: Vec::new(),
         });
+    }
+}
+
+fn bench_metadata_scan(cfg: &SnapshotConfig, out: &mut Vec<BenchRecord>) {
+    const BLOCK_WORDS: usize = 4096;
+    let heap_words = cfg.sweep_blocks * BLOCK_WORDS;
+    // The same realistic sparse population as the Criterion bench: roughly
+    // 1 in 8 granules live, as after a nursery sweep.
+    let m = SideMetadata::new(heap_words, 2, 2);
+    let mut x = 0x9e3779b97f4a7c15u64;
+    for g in 0..(heap_words / 2) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        if x.is_multiple_of(8) {
+            m.store(Address::from_word_index(g * 2), 1 + (x % 3) as u8);
+        }
+    }
+    let zeroed = SideMetadata::new(heap_words, 2, 2);
+    let blocks: Vec<Address> =
+        (0..heap_words / BLOCK_WORDS).map(|b| Address::from_word_index(b * BLOCK_WORDS)).collect();
+
+    // Three tiers on every host: the historical per-granule scalar walk,
+    // the portable SWAR kernels, and whatever backend the host actually
+    // dispatches to (equal to SWAR on hosts without a vector unit) — a
+    // fixed record count, so snapshots from different hosts stay diffable.
+    type CountFn = Box<dyn Fn(&SideMetadata, Address) -> usize>;
+    type ZeroFn = Box<dyn Fn(&SideMetadata, Address) -> bool>;
+    let tiers: Vec<(&'static str, CountFn, ZeroFn)> = vec![
+        (
+            "scalar",
+            Box::new(|t, s| t.scalar_count_nonzero_range(s, BLOCK_WORDS)),
+            Box::new(|t, s| t.scalar_range_is_zero(s, BLOCK_WORDS)),
+        ),
+        (
+            "swar",
+            Box::new(|t, s| t.count_nonzero_range_with(SimdBackend::Swar, s, BLOCK_WORDS)),
+            Box::new(|t, s| t.range_is_zero_with(SimdBackend::Swar, s, BLOCK_WORDS)),
+        ),
+        (
+            "dispatched",
+            Box::new(|t, s| t.count_nonzero_range(s, BLOCK_WORDS)),
+            Box::new(|t, s| t.range_is_zero(s, BLOCK_WORDS)),
+        ),
+    ];
+    for (name, count, zero) in &tiers {
+        let wall = time_iters(cfg.warmup, cfg.iters, || {
+            black_box(blocks.iter().map(|&s| count(&m, s)).sum::<usize>());
+        });
+        out.push(BenchRecord {
+            id: format!("metadata_scan/count_nonzero/{name}"),
+            scheduler: name,
+            workers: 0,
+            wall_ns: wall,
+            counters: SchedTotals::default(),
+            extras: Vec::new(),
+        });
+        let wall = time_iters(cfg.warmup, cfg.iters, || {
+            black_box(blocks.iter().filter(|&&s| zero(&zeroed, s)).count());
+        });
+        out.push(BenchRecord {
+            id: format!("metadata_scan/range_is_zero/{name}"),
+            scheduler: name,
+            workers: 0,
+            wall_ns: wall,
+            counters: SchedTotals::default(),
+            extras: Vec::new(),
+        });
+    }
+}
+
+fn bench_barrier_overhead(cfg: &SnapshotConfig, out: &mut Vec<BenchRecord>) {
+    let options = crate::experiments::ExperimentOptions {
+        scale: cfg.barrier_scale,
+        gc_workers: 2,
+        concurrent_workers: 2,
+        seed: 42,
+        ..crate::experiments::ExperimentOptions::default()
+    };
+    let wall = time_iters(cfg.warmup.min(1), cfg.mark_iters, || {
+        black_box(crate::experiments::barrier_overhead(&options));
+    });
+    out.push(BenchRecord {
+        id: format!("barrier_overhead/scale_{}m", (cfg.barrier_scale * 1000.0) as u64),
+        scheduler: "harness",
+        workers: 0,
+        wall_ns: wall,
+        counters: SchedTotals::default(),
+        extras: Vec::new(),
+    });
+}
+
+/// The sticky-vs-full comparison extracted by [`bench_sticky_trace`]: how
+/// much tracing work one sticky (generational) cycle does compared to a
+/// full-heap trace over the same heap.
+struct TraceComparison {
+    mature_blocks: usize,
+    nursery_blocks: usize,
+    mature_objects: usize,
+    young_objects: usize,
+    full_wall_ns: u64,
+    full_granules: u64,
+    full_marked: u64,
+    sticky_wall_ns: u64,
+    sticky_granules: u64,
+    sticky_marked: u64,
+    sticky_skipped: u64,
+}
+
+impl TraceComparison {
+    fn granule_reduction(&self) -> f64 {
+        self.full_granules as f64 / self.sticky_granules.max(1) as f64
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"schema\": \"lxr-bench-trace-v1\",\n  \"created_by\": \"lxr-harness {}\",\n  \
+             \"host\": {},\n  \"workload\": {{ \"mature_blocks\": {}, \"nursery_blocks\": {}, \
+             \"mature_objects\": {}, \"young_objects\": {} }},\n  \"full\": {{ \"wall_ns_median\": {}, \
+             \"granules_traced\": {}, \"objects_marked\": {} }},\n  \"sticky\": {{ \"wall_ns_median\": {}, \
+             \"granules_traced\": {}, \"objects_marked\": {}, \"granules_skipped\": {} }},\n  \
+             \"reduction\": {{ \"granules_traced\": {:.2}, \"target\": 3.0 }}\n}}\n",
+            env!("CARGO_PKG_VERSION"),
+            host_fingerprint(),
+            self.mature_blocks,
+            self.nursery_blocks,
+            self.mature_objects,
+            self.young_objects,
+            self.full_wall_ns,
+            self.full_granules,
+            self.full_marked,
+            self.sticky_wall_ns,
+            self.sticky_granules,
+            self.sticky_marked,
+            self.sticky_skipped,
+            self.granule_reduction(),
+        )
+    }
+}
+
+/// A full-heap trace vs a sticky cycle over the same heap: a mature graph
+/// (as in `concurrent_mark`) plus a nursery epoch one eighth its size,
+/// wired in from mature slots exactly the way the field-logging barrier
+/// records them.  Each sticky iteration re-creates the steady state — young
+/// granules unmarked, mature marks carried, the sticky remembered set
+/// re-armed — so the measured work is one generational cycle.
+fn bench_sticky_trace(cfg: &SnapshotConfig, out: &mut Vec<BenchRecord>) -> TraceComparison {
+    let state = make_state_with(32 << 20, LxrConfig::default().sticky());
+    let g = state.geometry;
+    let mature = build_mark_graph(&state, 2, cfg.mark_blocks);
+    let roots: Vec<ObjectReference> = mature.iter().step_by(64).copied().collect();
+
+    // The nursery epoch: young objects in fresh blocks, chained together,
+    // each wired in from a mature slot that the barrier would have
+    // field-logged into the sticky remembered set.
+    let nursery_blocks = (cfg.mark_blocks / 8).max(1);
+    let young = build_mark_graph(&state, 2 + cfg.mark_blocks, nursery_blocks);
+    let mut young_slots = Vec::with_capacity(young.len());
+    for (j, &y) in young.iter().enumerate() {
+        let parent = mature[(j * 17) % mature.len()];
+        state.om.write_ref_field(parent, 3, y);
+        young_slots.push(parent.to_address().plus(1 + 3));
+    }
+    let young_start = g.block_start(Block::from_index(2 + cfg.mark_blocks));
+    let young_words = nursery_blocks * g.words_per_block();
+    let heap_words = g.num_words();
+    let marked_granules =
+        |state: &Arc<LxrState>| state.marks.count_nonzero_range(Address::from_word_index(0), heap_words);
+
+    // Full-heap trace: clear every mark, seed from roots, trace mature and
+    // nursery alike.
+    let mut full_granules = 0u64;
+    let mut full_marked = 0u64;
+    let run_full = |state: &Arc<LxrState>| {
+        state.clear_marks();
+        for &r in &roots {
+            state.push_gray(r);
+        }
+        let before = state.stats.get(WorkCounter::ObjectsMarked);
+        let start = Instant::now();
+        assert!(trace_satb_sequential(state, || false));
+        let ns = start.elapsed().as_nanos() as u64;
+        (ns, state.stats.get(WorkCounter::ObjectsMarked) - before)
+    };
+    let mut wall = Vec::with_capacity(cfg.mark_iters);
+    for i in 0..cfg.warmup + cfg.mark_iters {
+        let (ns, marked) = run_full(&state);
+        if i >= cfg.warmup {
+            wall.push(ns);
+            full_granules = marked_granules(&state) as u64;
+            full_marked = marked;
+        }
+    }
+    let median = |mut v: Vec<u64>| {
+        v.sort_unstable();
+        v[v.len() / 2]
+    };
+    let full_wall_ns = median(wall.clone());
+    out.push(BenchRecord {
+        id: "sticky_trace/full".to_string(),
+        scheduler: "sequential",
+        workers: 0,
+        wall_ns: wall,
+        counters: SchedTotals::default(),
+        extras: vec![("granules_traced", full_granules), ("objects_marked", full_marked)],
+    });
+
+    // Sticky cycle: mature marks carried from the full trace above; only
+    // the nursery is unmarked, and the remembered set re-seeds it.
+    let mut sticky_granules = 0u64;
+    let mut sticky_marked = 0u64;
+    let mut sticky_skipped = 0u64;
+    let mut wall = Vec::with_capacity(cfg.mark_iters);
+    for i in 0..cfg.warmup + cfg.mark_iters {
+        state.marks.clear_range(young_start, young_words);
+        for &slot in &young_slots {
+            state.record_sticky_slot(slot);
+        }
+        let carried = marked_granules(&state) as u64;
+        let before = state.stats.get(WorkCounter::ObjectsMarked);
+        let start = Instant::now();
+        state.drain_sticky_slots(|slot| {
+            let referent = state.om.read_slot(slot);
+            if !referent.is_null() && state.in_heap(referent) {
+                state.push_gray(referent);
+            }
+        });
+        for &r in &roots {
+            state.push_gray(r);
+        }
+        assert!(trace_satb_sequential(&state, || false));
+        let ns = start.elapsed().as_nanos() as u64;
+        if i >= cfg.warmup {
+            wall.push(ns);
+            sticky_granules = marked_granules(&state) as u64 - carried;
+            sticky_marked = state.stats.get(WorkCounter::ObjectsMarked) - before;
+            sticky_skipped = carried;
+        }
+    }
+    out.push(BenchRecord {
+        id: "sticky_trace/sticky_nursery".to_string(),
+        scheduler: "sequential",
+        workers: 0,
+        wall_ns: wall.clone(),
+        counters: SchedTotals::default(),
+        extras: vec![
+            ("granules_traced", sticky_granules),
+            ("objects_marked", sticky_marked),
+            ("granules_skipped", sticky_skipped),
+        ],
+    });
+
+    TraceComparison {
+        mature_blocks: cfg.mark_blocks,
+        nursery_blocks,
+        mature_objects: mature.len(),
+        young_objects: young.len(),
+        full_wall_ns,
+        full_granules,
+        full_marked,
+        sticky_wall_ns: median(wall),
+        sticky_granules,
+        sticky_marked,
+        sticky_skipped,
     }
 }
 
@@ -401,12 +723,17 @@ fn host_fingerprint() -> String {
     )
 }
 
-/// Runs every bench configuration and renders the snapshot document.
-pub fn snapshot(cfg: &SnapshotConfig) -> String {
+/// Runs every bench configuration; returns the wall-time snapshot document
+/// (committed as `BENCH_sched.json`) and the sticky-vs-full trace
+/// comparison document (committed as `BENCH_trace.json`).
+pub fn snapshot(cfg: &SnapshotConfig) -> (String, String) {
     let mut records = Vec::new();
     bench_sweep(cfg, &mut records);
     bench_increment_tree(cfg, &mut records);
     bench_concurrent_mark(cfg, &mut records);
+    bench_metadata_scan(cfg, &mut records);
+    bench_barrier_overhead(cfg, &mut records);
+    let comparison = bench_sticky_trace(cfg, &mut records);
 
     let unix_time =
         std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
@@ -423,7 +750,7 @@ pub fn snapshot(cfg: &SnapshotConfig) -> String {
         doc.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
     doc.push_str("  ]\n}\n");
-    doc
+    (doc, comparison.to_json())
 }
 
 /// Extracts `"key": "value"` from a record line.
@@ -511,15 +838,48 @@ mod tests {
 
     #[test]
     fn snapshot_is_parseable_and_covers_every_group() {
-        let doc = snapshot(&SnapshotConfig::tiny());
+        let (doc, trace_doc) = snapshot(&SnapshotConfig::tiny());
         let parsed = parse_snapshot(&doc);
-        // 5 sweep + 12 tree + 5 mark configurations.
-        assert_eq!(parsed.len(), 22, "unexpected bench count in:\n{doc}");
+        // 5 sweep + 12 tree + 5 mark + 6 metadata + 1 barrier + 2 sticky
+        // configurations.
+        assert_eq!(parsed.len(), 31, "unexpected bench count in:\n{doc}");
         assert!(parsed.iter().any(|(id, _)| id.contains("sweep_blocks") && id.ends_with("sequential")));
         assert!(parsed.iter().any(|(id, _)| id.contains("buckets/4w")));
         assert!(parsed.iter().any(|(id, _)| id.contains("crew/8w")));
+        assert!(parsed.iter().any(|(id, _)| id.contains("metadata_scan/count_nonzero/dispatched")));
+        assert!(parsed.iter().any(|(id, _)| id.starts_with("barrier_overhead/")));
+        assert!(parsed.iter().any(|(id, _)| id == "sticky_trace/full"));
+        assert!(parsed.iter().any(|(id, _)| id == "sticky_trace/sticky_nursery"));
         assert!(doc.contains("\"schema\": \"lxr-bench-snapshot-v1\""));
         assert!(doc.contains("\"host\": {"));
+        assert!(doc.contains("\"granules_traced\": "));
+        assert!(trace_doc.contains("\"schema\": \"lxr-bench-trace-v1\""));
+    }
+
+    #[test]
+    fn sticky_cycle_traces_a_fraction_of_the_full_heap() {
+        // The acceptance shape of the sticky-trace group at unit scale: the
+        // nursery is one eighth of the mature graph (tiny rounds it up to
+        // half), so a sticky cycle must trace at most a third of the
+        // granules a full-heap trace does.  The committed full-scale
+        // numbers live in BENCH_trace.json.
+        let mut records = Vec::new();
+        let comparison = bench_sticky_trace(&SnapshotConfig::tiny(), &mut records);
+        assert_eq!(records.len(), 2);
+        assert!(comparison.full_granules > 0);
+        assert!(comparison.sticky_granules > 0);
+        assert!(comparison.sticky_skipped > 0, "mature marks must carry into the sticky cycle");
+        assert!(
+            comparison.granule_reduction() >= 2.9,
+            "sticky cycle traced {} of {} granules (reduction {:.2}x)",
+            comparison.sticky_granules,
+            comparison.full_granules,
+            comparison.granule_reduction()
+        );
+        assert!(comparison.sticky_marked < comparison.full_marked);
+        let doc = comparison.to_json();
+        assert!(doc.contains("\"reduction\""));
+        assert!(doc.contains("\"granules_skipped\""));
     }
 
     #[test]

@@ -582,6 +582,10 @@ pub fn social_graph(options: &ExperimentOptions) -> Table {
     for crew in [1usize, 2, 4] {
         run(format!("lxr crew={crew}"), "lxr", crew);
     }
+    // The generational variant on the same cyclic-garbage workload: sticky
+    // cycles skip the mature graph, and the escalation policy decides when
+    // a full trace reclaims the retired hub neighbourhoods.
+    run("lxr-sticky crew=2".to_string(), "lxr-sticky", 2);
     table
 }
 
@@ -604,7 +608,8 @@ pub const CHAOS_SCHEDULES: &[(&str, &str)] = &[
 ];
 
 /// **Chaos**: runs the deep-list and social-graph workloads under each
-/// pinned fault schedule for LXR, G1 and Shenandoah, classifying every cell
+/// pinned fault schedule for LXR (plain and sticky), G1 and Shenandoah,
+/// classifying every cell
 /// as `survived` (completed, no degradation), `degraded` (completed via the
 /// degenerated-collection fallback), or `failed` (panic or integrity
 /// failure).  A no-op sweep unless built with `--features failpoints`.
@@ -625,7 +630,7 @@ pub fn chaos(options: &ExperimentOptions) -> Table {
     };
     for (schedule_name, schedule) in CHAOS_SCHEDULES {
         for spec in &specs {
-            for collector in ["lxr", "g1", "shenandoah"] {
+            for collector in ["lxr", "lxr-sticky", "g1", "shenandoah"] {
                 let mut run_options = options.run_options(2.0);
                 run_options.verify_every_n_gcs = options.verify_every_n_gcs;
                 run_options.watchdog_ms = Some(options.watchdog_ms.unwrap_or(60_000));
@@ -701,6 +706,6 @@ mod tests {
     #[test]
     fn social_graph_compares_collectors_and_crew_sizes() {
         let table = social_graph(&quick_options(0.05));
-        assert_eq!(table.len(), 5, "g1, shenandoah, and three LXR crew sizes");
+        assert_eq!(table.len(), 6, "g1, shenandoah, three LXR crew sizes, and sticky LXR");
     }
 }

@@ -8,7 +8,8 @@
 //! experiments: table1 table3 table4 table5 table6 table7 fig7
 //!              barrier-overhead sensitivity socialgraph chaos all
 //!
-//! lxr-harness bench-snapshot [--quick] [OUT.json]      (default BENCH_sched.json)
+//! lxr-harness bench-snapshot [--quick] [OUT.json] [TRACE_OUT.json]
+//!                                 (defaults BENCH_sched.json BENCH_trace.json)
 //! lxr-harness bench-diff OLD.json NEW.json
 //! ```
 //!
@@ -78,16 +79,19 @@ fn main() {
     match requested.first().map(String::as_str) {
         Some("bench-snapshot") => {
             let out = requested.get(1).cloned().unwrap_or_else(|| "BENCH_sched.json".to_string());
+            let trace_out = requested.get(2).cloned().unwrap_or_else(|| "BENCH_trace.json".to_string());
             let cfg = if quick {
                 lxr_harness::benchsnap::SnapshotConfig::quick()
             } else {
                 lxr_harness::benchsnap::SnapshotConfig::full()
             };
             eprintln!("running scheduler bench snapshot ({cfg:?})...");
-            let doc = lxr_harness::benchsnap::snapshot(&cfg);
+            let (doc, trace_doc) = lxr_harness::benchsnap::snapshot(&cfg);
             std::fs::write(&out, &doc).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+            std::fs::write(&trace_out, &trace_doc).unwrap_or_else(|e| panic!("writing {trace_out}: {e}"));
             println!("{doc}");
-            eprintln!("wrote {out}");
+            println!("{trace_doc}");
+            eprintln!("wrote {out} and {trace_out}");
             return;
         }
         Some("bench-diff") => {

@@ -202,7 +202,12 @@ impl std::fmt::Debug for ConcurrentWork<'_> {
 /// contribution) and the baselines in `lxr_baselines` (SemiSpace, Serial,
 /// Parallel, Immix, G1-like, Shenandoah-like, ZGC-like).
 pub trait Plan: Send + Sync + 'static {
-    /// A short, stable name ("lxr", "g1", "shenandoah", …).
+    /// A short, stable name identifying the plan *family* (e.g. "lxr",
+    /// "g1", "shenandoah").  Variants of one family share this name — the
+    /// LXR ablations and the sticky variant all report "lxr" — so it is a
+    /// reporting label, not a registry key; the authoritative set of
+    /// selectable collector names is `lxr_baselines::plan_registry` (see
+    /// its `ALL_COLLECTORS` and `VARIANTS` slices).
     fn name(&self) -> &'static str;
 
     /// Creates the mutator-side state for a new mutator thread.

@@ -124,9 +124,19 @@ pub enum WorkCounter {
     /// Times a worker parked waiting for a bucket to open or work to
     /// appear.
     SchedParks,
+    /// Concurrent traces that ran in sticky (generational) mode: marks
+    /// carried over from the previous trace, gray seeded from roots plus
+    /// the field-logged remembered set.
+    StickyTraces,
+    /// Concurrent traces that ran in full-heap mode (every non-sticky
+    /// trace, plus sticky-mode escalations).
+    FullTraces,
+    /// Granules whose mark bit was carried over into a sticky trace —
+    /// heap the trace did not have to re-scan. Zero for full traces.
+    TraceGranulesSkipped,
 }
 
-const NUM_COUNTERS: usize = WorkCounter::SchedParks as usize + 1;
+const NUM_COUNTERS: usize = WorkCounter::TraceGranulesSkipped as usize + 1;
 
 /// A point-in-time copy of all statistics.
 #[derive(Debug, Clone)]
@@ -292,6 +302,9 @@ pub const ALL_COUNTERS: &[WorkCounter] = &[
     WorkCounter::SchedPops,
     WorkCounter::SchedSteals,
     WorkCounter::SchedParks,
+    WorkCounter::StickyTraces,
+    WorkCounter::FullTraces,
+    WorkCounter::TraceGranulesSkipped,
 ];
 
 #[cfg(test)]

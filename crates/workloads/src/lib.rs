@@ -86,10 +86,65 @@ mod tests {
     #[test]
     fn avrora_linked_list_survives_under_every_collector_family() {
         let spec = benchmark("avrora").unwrap();
-        for collector in ["lxr", "g1", "shenandoah"] {
+        // The variant list is registry-exported, so a collector added to
+        // the registry cannot silently miss this suite.
+        for collector in lxr_baselines::VARIANTS {
             let result = run_workload(&spec, collector, &RunOptions::default().with_scale(0.2));
             assert!(!result.skipped, "{collector} should run avrora");
             assert!(result.allocated_bytes > 0);
         }
+    }
+
+    #[test]
+    fn sticky_lxr_survives_deep_lists_under_the_full_heap_verifier() {
+        // avrora's long live list is the deep-structure stress; running it
+        // under `lxr-sticky` with the sanity verifier after every GC pins
+        // that carried marks never confuse the heap audit.
+        let spec = benchmark("avrora").unwrap();
+        let result = run_workload(
+            &spec,
+            "lxr-sticky",
+            &RunOptions::default().with_scale(0.2).with_verify_every_n_gcs(1),
+        );
+        assert!(!result.skipped);
+        assert!(result.allocated_bytes > 0);
+    }
+
+    #[test]
+    fn sticky_lxr_reclaims_social_graph_churn() {
+        // The sticky analogue of the backup-trace test above: cyclic hub
+        // neighbourhoods retire into mature space, and the escalation
+        // policy (every-N backstop plus the yield heuristic) must keep
+        // scheduling the full traces that reclaim them — all under the
+        // full-heap verifier.  The default (non-eager) triggers start few
+        // traces mid-run, so the forced end-of-run collections are what
+        // deterministically drive whole trace cycles — start, converge via
+        // the pause catch-up slice, reclaim — over the accumulated garbage.
+        // Cyclic garbage marked by the first full trace floats through the
+        // sticky cycles by design, so enough cycles must run to cross the
+        // every-N backstop into the *second* full trace, which reclaims it.
+        let spec = benchmark("socialgraph").unwrap();
+        let result = run_workload(
+            &spec,
+            "lxr-sticky",
+            &RunOptions::default()
+                .with_heap_factor(2.5)
+                .with_scale(0.5)
+                .with_concurrent_workers(2)
+                .with_final_gcs(48)
+                .with_verify_every_n_gcs(1),
+        );
+        assert!(!result.skipped);
+        assert!(result.allocated_bytes > 24 << 20, "the workload churned through its allocation budget");
+        assert!(result.gc.pause_count() > 0);
+        let sticky = result.gc.counter(lxr_runtime::WorkCounter::StickyTraces);
+        let full = result.gc.counter(lxr_runtime::WorkCounter::FullTraces);
+        assert!(full >= 2, "the every-N backstop must escalate (sticky={sticky} full={full})");
+        assert!(sticky > full, "most traces should run sticky (sticky={sticky} full={full})");
+        assert!(
+            result.gc.counter(lxr_runtime::WorkCounter::SatbDeaths) > 1000,
+            "cyclic hub neighbourhoods were reclaimed (sticky={sticky} full={full}, got {})",
+            result.gc.counter(lxr_runtime::WorkCounter::SatbDeaths)
+        );
     }
 }
