@@ -352,9 +352,10 @@ impl TraceState {
         freed
     }
 
-    /// Number of blocks currently available for allocation.
+    /// Number of blocks currently available for allocation, including
+    /// blocks in still-unmapped chunks an elastic heap can grow into.
     pub fn available_blocks(&self) -> usize {
-        self.blocks.free_block_count() + self.blocks.recycled_block_count()
+        self.blocks.free_block_count() + self.blocks.recycled_block_count() + self.blocks.growable_blocks()
     }
 }
 

@@ -509,7 +509,11 @@ pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
     sweep_young_los(state, c.workers);
     *state.satb_swept_deferred.lock() = satb_swept_blocks;
 
-    // 10. Record the survival observation and update the predictor.
+    // 10. Record the survival observation and update the predictors.  The
+    //     allocation-rate predictor is fed unconditionally: zero-allocation
+    //     epochs (idle phases, requested GCs) decay the prediction so the
+    //     predictive trigger — and through it the heap footprint — relaxes
+    //     when a burst ends.
     let allocated =
         state.space.allocated_words().saturating_sub(state.words_at_epoch_start.load(Ordering::Relaxed));
     let births = state.births_words_epoch.swap(0, Ordering::Relaxed);
@@ -517,6 +521,7 @@ pub(crate) fn rc_pause(state: &Arc<LxrState>, c: &Collection<'_>) {
         let rate = (births as f64 / allocated as f64).min(1.0);
         state.predictors.lock().survival_rate.observe(rate);
     }
+    state.predictors.lock().alloc_words_per_epoch.observe(allocated as f64);
 
     // 11. Decide whether to start a new SATB trace.
     lxr_failpoints::failpoint!("pause.trigger");

@@ -68,14 +68,34 @@ impl Plan for LxrPlan {
         let state = &self.state;
         let total = state.blocks.total_blocks();
         // Heap-full backstop: too few blocks available for allocation.
+        // `available` counts growable (unmapped-chunk) capacity, so an
+        // elastic heap grows all the way to `--heap-max` before the
+        // backstop fires.
         let available = state.available_blocks();
-        if (available as f64) <= (state.config.heap_full_fraction * total as f64).max(2.0) {
+        let backstop_blocks = (state.config.heap_full_fraction * total as f64).max(2.0);
+        if (available as f64) <= backstop_blocks {
             return Some(GcReason::Threshold);
+        }
+        let allocated_words =
+            state.space.allocated_words().saturating_sub(state.words_at_epoch_start.load(Ordering::Relaxed));
+        // Predictive trigger: the allocation-rate predictor forecasts that
+        // the epoch in flight will carry the heap into the backstop, so
+        // collection (and its concurrent tail) starts before any allocator
+        // actually fails.  Guarded by a block's worth of real allocation so
+        // a freshly-finished pause cannot immediately re-trigger.
+        if state.predictive_lead > 0.0 && allocated_words >= state.geometry.words_per_block() {
+            let predicted_epoch_words = state.predictors.lock().alloc_words_per_epoch.value();
+            let available_words = (available as f64) * state.geometry.words_per_block() as f64;
+            let backstop_words = backstop_blocks * state.geometry.words_per_block() as f64;
+            if predicted_epoch_words > 0.0
+                && available_words <= backstop_words + state.predictive_lead * predicted_epoch_words
+            {
+                lxr_failpoints::failpoint!("trigger.predictive");
+                return Some(GcReason::Predictive);
+            }
         }
         // Survival trigger: predicted surviving volume of the allocation
         // since the last epoch exceeds the survival threshold (§3.2.1).
-        let allocated_words =
-            state.space.allocated_words().saturating_sub(state.words_at_epoch_start.load(Ordering::Relaxed));
         let predicted_survival_bytes =
             allocated_words as f64 * 8.0 * state.predictors.lock().survival_rate.value();
         if predicted_survival_bytes > state.config.survival_threshold_bytes as f64 {

@@ -64,6 +64,12 @@ pub struct Predictors {
     /// falls-slow asymmetry means one lucky sticky trace restores
     /// confidence quickly, while escalation needs sustained low yield.
     pub sticky_yield: DecayPredictor,
+    /// Predicted words allocated per RC epoch (drives the predictive GC
+    /// trigger for elastic heaps): rises fast when an allocation burst
+    /// begins, so the trigger leads exhaustion almost immediately, and
+    /// decays slowly through idle phases, so the heap is not re-grown for
+    /// a burst that never comes.
+    pub alloc_words_per_epoch: DecayPredictor,
 }
 
 impl Predictors {
@@ -75,6 +81,7 @@ impl Predictors {
             survival_rate: DecayPredictor::new(1.0),
             live_blocks: DecayPredictor::new(0.0),
             sticky_yield: DecayPredictor::new(1.0),
+            alloc_words_per_epoch: DecayPredictor::new(0.0),
         }
     }
 }
@@ -114,5 +121,6 @@ mod tests {
         assert_eq!(p.survival_rate.value(), 1.0);
         assert_eq!(p.live_blocks.value(), 0.0);
         assert_eq!(p.sticky_yield.value(), 1.0, "sticky traces assumed productive until observed");
+        assert_eq!(p.alloc_words_per_epoch.value(), 0.0, "no allocation predicted before any epoch");
     }
 }

@@ -182,6 +182,11 @@ pub struct LxrState {
     // ---- predictors ----
     /// Survival-rate and live-block predictors.
     pub predictors: Mutex<Predictors>,
+    /// Predictive-trigger lead, copied from the runtime options: a
+    /// collection is requested once available memory drops below the
+    /// exhaustion backstop plus this fraction of the predicted per-epoch
+    /// allocation.  `0.0` disables the predictive trigger.
+    pub predictive_lead: f64,
 }
 
 impl std::fmt::Debug for LxrState {
@@ -244,6 +249,7 @@ impl LxrState {
             objects_marked_at_trace_start: AtomicU64::new(0),
             satb_deaths_at_trace_start: AtomicU64::new(0),
             predictors: Mutex::new(Predictors::new()),
+            predictive_lead: ctx.options.predictive_lead,
         }
     }
 
@@ -613,9 +619,12 @@ impl LxrState {
         self.rc.block_census(block).occupancy(granules_per_block)
     }
 
-    /// Number of blocks in the heap available for allocation right now.
+    /// Number of blocks in the heap available for allocation right now,
+    /// including blocks in still-unmapped chunks an elastic heap can grow
+    /// into — collection triggers should not fire while the heap can simply
+    /// expand toward `--heap-max`.
     pub fn available_blocks(&self) -> usize {
-        self.blocks.free_block_count() + self.blocks.recycled_block_count()
+        self.blocks.free_block_count() + self.blocks.recycled_block_count() + self.blocks.growable_blocks()
     }
 }
 

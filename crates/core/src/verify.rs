@@ -99,8 +99,11 @@ pub fn verify(state: &Arc<LxrState>, roots: &RootSet) -> VerifyReport {
     }
 
     // 3. Free-block hygiene: no live counts, no stale side metadata.
+    //    Blocks in unmapped chunks are audited by the released-chunk check
+    //    below (same invariants, chunk-granular reporting).
+    let chunk_map = state.space.chunk_map();
     for (block, block_state) in state.space.block_states().iter() {
-        if block_state != BlockState::Free {
+        if block_state != BlockState::Free || !chunk_map.block_is_mapped(block) {
             continue;
         }
         let start = geometry.block_start(block);
@@ -151,16 +154,73 @@ pub fn verify(state: &Arc<LxrState>, roots: &RootSet) -> VerifyReport {
         }
     }
 
+    // 3b. Released-chunk hygiene: a chunk notionally returned to the OS
+    //     must leave *nothing* behind — no live counts, no SATB marks, no
+    //     remset or sticky dedup bits, no armed field-log states.  Its
+    //     memory was zeroed and its reuse epochs bumped at release; any
+    //     surviving metadata bit would haunt the chunk's next mapping.
+    for chunk in 0..geometry.num_chunks() {
+        if chunk_map.is_mapped(chunk) {
+            continue;
+        }
+        let start = geometry.chunk_start(chunk);
+        let words = geometry.chunk_words(chunk);
+        let mut stale_marks = 0usize;
+        state.marks.for_each_nonzero(start, words, |_| stale_marks += 1);
+        if stale_marks > 0 {
+            report.error(format!("released chunk {chunk} carries {stale_marks} stale SATB mark bits"));
+        }
+        let mut stale_remset_bits = 0usize;
+        state.remset_logged.for_each_nonzero(start, words, |_| stale_remset_bits += 1);
+        if stale_remset_bits > 0 {
+            report
+                .error(format!("released chunk {chunk} carries {stale_remset_bits} stale remset dedup bits"));
+        }
+        let mut stale_sticky_bits = 0usize;
+        state.sticky_logged.for_each_nonzero(start, words, |_| stale_sticky_bits += 1);
+        if stale_sticky_bits > 0 {
+            report.error(format!(
+                "released chunk {chunk} carries {stale_sticky_bits} stale sticky-remset dedup bits"
+            ));
+        }
+        let mut armed_fields = 0usize;
+        for w in 0..words {
+            if state.log_table.state(start.plus(w)) != FieldLogState::Ignored {
+                armed_fields += 1;
+            }
+        }
+        if armed_fields > 0 {
+            report.error(format!("released chunk {chunk} carries {armed_fields} armed field-log states"));
+        }
+        for idx in geometry.chunk_blocks(chunk) {
+            let block = lxr_heap::Block::from_index(idx);
+            if !state.rc.block_is_free(block) {
+                report.error(format!(
+                    "released chunk {chunk} block {} still has live reference counts ({} granules)",
+                    block.index(),
+                    state.rc.block_live_granules(block)
+                ));
+            }
+        }
+    }
+
     // 4. Mark-bit lifecycle: outside sticky mode, no trace active means no
     //    marks anywhere.  In sticky mode marks deliberately persist between
     //    traces ("reached by some trace since the last full one"), and
     //    marked-but-dead granules are legal floating garbage awaiting the
-    //    next full trace — so the check degrades to a context note.
+    //    next full trace — so the check degrades to a context note.  The
+    //    scan covers mapped chunks only; unmapped ranges were audited
+    //    (strictly) above.
     if !state.satb_active.load(Ordering::Acquire) {
         let mut stray = 0usize;
-        state
-            .marks
-            .for_each_nonzero(lxr_heap::Address::from_word_index(0), geometry.num_words(), |_| stray += 1);
+        for chunk in 0..geometry.num_chunks() {
+            if !chunk_map.is_mapped(chunk) {
+                continue;
+            }
+            state
+                .marks
+                .for_each_nonzero(geometry.chunk_start(chunk), geometry.chunk_words(chunk), |_| stray += 1);
+        }
         if state.config.sticky {
             report.note(format!(
                 "{stray} sticky mark bits carried between traces ({} sticky traces since the last \
@@ -385,6 +445,41 @@ mod tests {
         let text = format!("{report}");
         assert!(text.contains("stale SATB mark"), "{report}");
         assert!(text.contains("sticky-remset dedup"), "{report}");
+    }
+
+    #[test]
+    fn released_chunks_are_audited_for_leftover_metadata() {
+        let options =
+            RuntimeOptions::default().with_heap_range(1 << 20, 4 << 20).with_concurrent_thread(false);
+        let space = Arc::new(HeapSpace::new(options.heap.clone()));
+        let blocks = Arc::new(BlockAllocator::new(space.clone()));
+        let los = Arc::new(LargeObjectSpace::new(space.clone(), blocks.clone()));
+        let ctx = PlanContext { space, blocks, los, stats: Arc::new(lxr_runtime::GcStats::new()), options };
+        let s = Arc::new(LxrState::new(&ctx, LxrConfig::default()));
+        // Grow one chunk, then release it again: a clean unmap passes.
+        let chunk = s.space.chunk_map().map_next_unmapped().unwrap();
+        assert!(s.space.release_chunk(chunk));
+        let report = verify(&s, &roots_of(&[]));
+        assert!(report.ok(), "{report}");
+        // Plant metadata in the released range: each table is flagged with
+        // a chunk-granular error, and mapped-chunk checks stay quiet.
+        let start = s.geometry.chunk_start(chunk);
+        s.marks.store(start.plus(4), 1);
+        s.remset_logged.store(start.plus(8), 1);
+        s.sticky_logged.store(start.plus(12), 1);
+        s.log_table.mark_unlogged(start.plus(16));
+        s.rc.increment(ObjectReference::from_address(start.plus(32)));
+        let report = verify(&s, &roots_of(&[]));
+        let text = format!("{report}");
+        assert!(text.contains(&format!("released chunk {chunk} carries 1 stale SATB mark")), "{report}");
+        assert!(text.contains("stale remset dedup"), "{report}");
+        assert!(text.contains("stale sticky-remset dedup"), "{report}");
+        assert!(text.contains("armed field-log"), "{report}");
+        assert!(text.contains("live reference counts"), "{report}");
+        assert!(
+            !text.contains("free-list block"),
+            "unmapped blocks must not be double-reported by the free-block check: {report}"
+        );
     }
 
     #[test]

@@ -23,7 +23,13 @@
 //!   rendered into a second document (`BENCH_trace.json`, see
 //!   [`snapshot`]) whose `reduction` section is the acceptance evidence
 //!   for sticky mode (target: ≥ 3× fewer granules traced per sticky
-//!   cycle).
+//!   cycle);
+//! * `heap_elasticity` — the traffic-spike workload on an elastic 1×..3×
+//!   heap vs a fixed-extent control, rendered into a third document
+//!   (`BENCH_heap.json`) carrying the mapped-chunks-per-GC footprint
+//!   series, the chunk map/release counters and the predictive-vs-
+//!   exhaustion trigger split: the acceptance evidence for the elastic
+//!   heap (chunks released between bursts, predictive triggers leading).
 //!
 //! Each record carries the bench id, collector, scheduler variant, worker
 //! count, wall-time stats over the measured iterations, and the scheduler
@@ -69,6 +75,8 @@ pub struct SnapshotConfig {
     pub mark_iters: usize,
     /// Workload scale for the in-process barrier-overhead experiment.
     pub barrier_scale: f64,
+    /// Workload scale for the in-process heap-elasticity experiment.
+    pub heap_scale: f64,
 }
 
 impl SnapshotConfig {
@@ -83,6 +91,7 @@ impl SnapshotConfig {
             iters: 9,
             mark_iters: 5,
             barrier_scale: 0.02,
+            heap_scale: 0.5,
         }
     }
 
@@ -96,6 +105,7 @@ impl SnapshotConfig {
             iters: 5,
             mark_iters: 3,
             barrier_scale: 0.01,
+            heap_scale: 0.2,
         }
     }
 
@@ -109,6 +119,7 @@ impl SnapshotConfig {
             iters: 2,
             mark_iters: 1,
             barrier_scale: 0.002,
+            heap_scale: 0.05,
         }
     }
 }
@@ -703,6 +714,118 @@ fn bench_sticky_trace(cfg: &SnapshotConfig, out: &mut Vec<BenchRecord>) -> Trace
     }
 }
 
+/// One traffic-spike run's elasticity evidence, extracted from the
+/// workload result for [`HeapComparison`].
+struct HeapRunStats {
+    wall_ns: u64,
+    chunks_lo: usize,
+    chunks_hi: usize,
+    chunks_end: usize,
+    chunks_mapped: u64,
+    chunks_released: u64,
+    trigger_predictive: u64,
+    trigger_exhaustion: u64,
+    /// Mapped-chunk count at the end of every pause, in pause order — the
+    /// footprint-over-time series.
+    footprint: Vec<usize>,
+}
+
+impl HeapRunStats {
+    fn to_json(&self) -> String {
+        let footprint: Vec<String> = self.footprint.iter().map(usize::to_string).collect();
+        format!(
+            "{{ \"wall_ns\": {}, \"chunks\": {{ \"lo\": {}, \"hi\": {}, \"end\": {} }}, \
+             \"chunks_mapped\": {}, \"chunks_released\": {}, \"trigger_predictive\": {}, \
+             \"trigger_exhaustion\": {}, \"mapped_chunks_per_gc\": [{}] }}",
+            self.wall_ns,
+            self.chunks_lo,
+            self.chunks_hi,
+            self.chunks_end,
+            self.chunks_mapped,
+            self.chunks_released,
+            self.trigger_predictive,
+            self.trigger_exhaustion,
+            footprint.join(", "),
+        )
+    }
+}
+
+/// The elastic-vs-fixed comparison extracted by [`bench_heap_elasticity`]:
+/// the same traffic-spike workload on an elastic 1×..3× heap and on a
+/// fixed-extent heap at the elastic maximum.
+struct HeapComparison {
+    heap_min_bytes: usize,
+    heap_max_bytes: usize,
+    scale: f64,
+    elastic: HeapRunStats,
+    fixed: HeapRunStats,
+}
+
+impl HeapComparison {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"schema\": \"lxr-bench-heap-v1\",\n  \"created_by\": \"lxr-harness {}\",\n  \
+             \"host\": {},\n  \"workload\": {{ \"benchmark\": \"trafficspike\", \"collector\": \"lxr\", \
+             \"scale\": {}, \"heap_min_bytes\": {}, \"heap_max_bytes\": {} }},\n  \
+             \"elastic\": {},\n  \"fixed\": {},\n  \
+             \"elasticity\": {{ \"chunk_swing\": {}, \"chunks_released\": {}, \
+             \"predictive_minus_exhaustion\": {} }}\n}}\n",
+            env!("CARGO_PKG_VERSION"),
+            host_fingerprint(),
+            self.scale,
+            self.heap_min_bytes,
+            self.heap_max_bytes,
+            self.elastic.to_json(),
+            self.fixed.to_json(),
+            self.elastic.chunks_hi - self.elastic.chunks_lo,
+            self.elastic.chunks_released,
+            self.elastic.trigger_predictive as i64 - self.elastic.trigger_exhaustion as i64,
+        )
+    }
+}
+
+/// Runs the traffic-spike workload under LXR, elastic (1×..3× the minimum
+/// heap) and fixed (at the 3× maximum), and extracts the elasticity
+/// evidence.  Unlike the other groups this one measures a whole workload
+/// run, so it runs once per configuration rather than over timed
+/// iterations; the interesting numbers are the chunk counters and the
+/// footprint series, not the wall time.
+fn bench_heap_elasticity(cfg: &SnapshotConfig) -> HeapComparison {
+    let spec = lxr_workloads::traffic_spike();
+    let run = |elastic: bool| {
+        let options = lxr_workloads::RunOptions {
+            heap_factor: 3.0,
+            scale: cfg.heap_scale,
+            seed: 42,
+            gc_workers: 2,
+            concurrent_workers: 2,
+            min_heap_factor: elastic.then_some(1.0),
+            ..lxr_workloads::RunOptions::default()
+        };
+        let r = lxr_workloads::run_workload(&spec, "lxr", &options);
+        assert!(r.failure.is_none(), "heap-elasticity bench integrity failure: {:?}", r.failure);
+        let footprint: Vec<usize> = r.gc.pauses.iter().map(|p| p.mapped_chunks).collect();
+        HeapRunStats {
+            wall_ns: r.wall_time.as_nanos() as u64,
+            chunks_lo: footprint.iter().copied().min().unwrap_or(0),
+            chunks_hi: footprint.iter().copied().max().unwrap_or(0),
+            chunks_end: footprint.last().copied().unwrap_or(0),
+            chunks_mapped: r.gc.counter(WorkCounter::ChunksMapped),
+            chunks_released: r.gc.counter(WorkCounter::ChunksReleased),
+            trigger_predictive: r.gc.counter(WorkCounter::TriggerPredictive),
+            trigger_exhaustion: r.gc.counter(WorkCounter::TriggerExhaustion),
+            footprint,
+        }
+    };
+    HeapComparison {
+        heap_min_bytes: spec.heap_bytes(1.0),
+        heap_max_bytes: spec.heap_bytes(3.0),
+        scale: cfg.heap_scale,
+        elastic: run(true),
+        fixed: run(false),
+    }
+}
+
 fn host_fingerprint() -> String {
     let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0);
     let cpu_model = std::fs::read_to_string("/proc/cpuinfo")
@@ -724,9 +847,10 @@ fn host_fingerprint() -> String {
 }
 
 /// Runs every bench configuration; returns the wall-time snapshot document
-/// (committed as `BENCH_sched.json`) and the sticky-vs-full trace
-/// comparison document (committed as `BENCH_trace.json`).
-pub fn snapshot(cfg: &SnapshotConfig) -> (String, String) {
+/// (committed as `BENCH_sched.json`), the sticky-vs-full trace comparison
+/// document (committed as `BENCH_trace.json`) and the elastic-heap
+/// comparison document (committed as `BENCH_heap.json`).
+pub fn snapshot(cfg: &SnapshotConfig) -> (String, String, String) {
     let mut records = Vec::new();
     bench_sweep(cfg, &mut records);
     bench_increment_tree(cfg, &mut records);
@@ -734,6 +858,7 @@ pub fn snapshot(cfg: &SnapshotConfig) -> (String, String) {
     bench_metadata_scan(cfg, &mut records);
     bench_barrier_overhead(cfg, &mut records);
     let comparison = bench_sticky_trace(cfg, &mut records);
+    let heap_comparison = bench_heap_elasticity(cfg);
 
     let unix_time =
         std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
@@ -750,7 +875,7 @@ pub fn snapshot(cfg: &SnapshotConfig) -> (String, String) {
         doc.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
     doc.push_str("  ]\n}\n");
-    (doc, comparison.to_json())
+    (doc, comparison.to_json(), heap_comparison.to_json())
 }
 
 /// Extracts `"key": "value"` from a record line.
@@ -838,7 +963,7 @@ mod tests {
 
     #[test]
     fn snapshot_is_parseable_and_covers_every_group() {
-        let (doc, trace_doc) = snapshot(&SnapshotConfig::tiny());
+        let (doc, trace_doc, heap_doc) = snapshot(&SnapshotConfig::tiny());
         let parsed = parse_snapshot(&doc);
         // 5 sweep + 12 tree + 5 mark + 6 metadata + 1 barrier + 2 sticky
         // configurations.
@@ -854,6 +979,34 @@ mod tests {
         assert!(doc.contains("\"host\": {"));
         assert!(doc.contains("\"granules_traced\": "));
         assert!(trace_doc.contains("\"schema\": \"lxr-bench-trace-v1\""));
+        assert!(heap_doc.contains("\"schema\": \"lxr-bench-heap-v1\""));
+        assert!(heap_doc.contains("\"mapped_chunks_per_gc\": ["));
+        assert!(heap_doc.contains("\"elastic\": {"));
+        assert!(heap_doc.contains("\"fixed\": {"));
+    }
+
+    #[test]
+    fn heap_elasticity_grows_and_shrinks_at_quick_scale() {
+        // The acceptance shape of the elastic heap at test scale: the
+        // traffic-spike bursts map chunks beyond the 1× floor, the idle
+        // phases release some of them again, and the predictor keeps the
+        // exhaustion trigger from ever leading.  The committed full-scale
+        // numbers live in BENCH_heap.json.
+        let comparison = bench_heap_elasticity(&SnapshotConfig::quick());
+        let e = &comparison.elastic;
+        assert!(e.chunks_hi > e.chunks_lo, "footprint never moved: {:?}", e.footprint);
+        assert!(e.chunks_released > 0, "idle phases must release cold chunks");
+        assert!(
+            e.trigger_predictive >= e.trigger_exhaustion,
+            "predictive trigger must lead exhaustion ({} vs {})",
+            e.trigger_predictive,
+            e.trigger_exhaustion
+        );
+        // The fixed-extent control maps everything up front and never
+        // releases: its footprint series is flat.
+        let f = &comparison.fixed;
+        assert_eq!(f.chunks_released, 0);
+        assert_eq!(f.chunks_lo, f.chunks_hi, "fixed heap footprint must be flat");
     }
 
     #[test]

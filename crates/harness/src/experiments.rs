@@ -3,8 +3,8 @@
 use crate::report::{ms, ratio, Table};
 use lxr_heap::HeapConfig;
 use lxr_workloads::{
-    benchmark, latency_suite, run_workload, social_graph_churn, suite, BenchmarkSpec, RunOptions,
-    WorkloadResult,
+    benchmark, latency_suite, run_workload, social_graph_churn, suite, traffic_spike, BenchmarkSpec,
+    RunOptions, WorkloadResult,
 };
 
 /// Options shared by every experiment.
@@ -65,6 +65,7 @@ impl ExperimentOptions {
             gc_workers: self.gc_workers,
             concurrent_workers: self.concurrent_workers,
             final_gcs: 0,
+            min_heap_factor: None,
             failpoints: self.failpoints.clone(),
             verify_every_n_gcs: self.verify_every_n_gcs,
             watchdog_ms: self.watchdog_ms,
@@ -589,6 +590,90 @@ pub fn social_graph(options: &ExperimentOptions) -> Table {
     table
 }
 
+/// Renders a mapped-chunks-per-pause series as a compact sparkline so one
+/// table cell shows the footprint rising into each burst and falling back
+/// through the idle phases (the "footprint over time" view).
+fn chunk_sparkline(series: &[usize]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if series.is_empty() {
+        return "-".to_string();
+    }
+    let lo = *series.iter().min().expect("non-empty");
+    let hi = *series.iter().max().expect("non-empty");
+    let span = (hi - lo).max(1);
+    let width = series.len().min(32);
+    (0..width).map(|i| LEVELS[(series[i * series.len() / width] - lo) * (LEVELS.len() - 1) / span]).collect()
+}
+
+/// **Elastic heap**: the traffic-spike workload on an elastic heap ranging
+/// from 1× (minimum) to 3× (maximum) of the benchmark's minimum heap, for
+/// every collector.  Each burst should map chunks on demand and each idle
+/// phase should release them again, so the footprint column oscillates; the
+/// trigger columns show predictive GCs outnumbering exhaustion GCs once the
+/// allocation-rate predictor has warmed up.  A fixed-extent control run at
+/// the same maximum heap — with the full-heap sanity verifier inside every
+/// pause — pins down that chunk bookkeeping stays clean when elasticity is
+/// off.
+pub fn heap_elasticity(options: &ExperimentOptions) -> Table {
+    use lxr_runtime::WorkCounter;
+    let spec = traffic_spike();
+    let mut table = Table::new(
+        "Elastic heap: traffic spike, heap 1x..3x min (mapped chunks over the run)",
+        &[
+            "configuration",
+            "time ms",
+            "chunks lo/hi/end",
+            "mapped",
+            "released",
+            "predictive",
+            "exhausted",
+            "footprint over time",
+        ],
+    );
+    let mut run = |label: String, collector: &str, elastic: bool, verify_every_gc: bool| {
+        let mut run_options = options.run_options(3.0);
+        if elastic {
+            run_options.min_heap_factor = Some(1.0);
+        }
+        if verify_every_gc {
+            run_options.verify_every_n_gcs = Some(1);
+        }
+        let r = run_checked(&spec, collector, &run_options);
+        if r.skipped {
+            table.row(vec![
+                label,
+                "skipped".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+            return;
+        }
+        let series: Vec<usize> = r.gc.pauses.iter().map(|p| p.mapped_chunks).collect();
+        let lo = series.iter().copied().min().unwrap_or(0);
+        let hi = series.iter().copied().max().unwrap_or(0);
+        let end = series.last().copied().unwrap_or(0);
+        table.row(vec![
+            label,
+            format!("{:.0}", r.wall_time.as_secs_f64() * 1e3),
+            format!("{lo}/{hi}/{end}"),
+            format!("{}", r.gc.counter(WorkCounter::ChunksMapped)),
+            format!("{}", r.gc.counter(WorkCounter::ChunksReleased)),
+            format!("{}", r.gc.counter(WorkCounter::TriggerPredictive)),
+            format!("{}", r.gc.counter(WorkCounter::TriggerExhaustion)),
+            chunk_sparkline(&series),
+        ]);
+    };
+    for collector in ["lxr", "lxr-sticky", "g1", "shenandoah"] {
+        run(format!("{collector} elastic"), collector, true, false);
+    }
+    run("lxr fixed+verify".to_string(), "lxr", false, true);
+    table
+}
+
 /// The pinned fault schedules the chaos experiment sweeps.  Each is a
 /// deterministic [`lxr_failpoints`] schedule exercising a different failure
 /// class; the seeds are fixed so a failing cell reproduces exactly.
@@ -605,11 +690,22 @@ pub const CHAOS_SCHEDULES: &[(&str, &str)] = &[
     // Forced degradation: every other pause runs its SATB catch-up as the
     // unbounded stop-the-world fallback (LXR only; inert elsewhere).
     ("degenerate", "seed=7;pause.satb-feed=degenerate@every=2"),
+    // Chunk churn: chunk mapping stalls, chunk release yields mid-release
+    // and the predictive trigger yields before requesting its GC, racing
+    // the elastic heap's grow/shrink path against allocation.  Only fires
+    // on the traffic-spike cells — fixed-extent heaps never reach these
+    // sites.
+    (
+        "chunk-churn",
+        "seed=7;heap.chunk-map=delay:50us@every=2;heap.chunk-release=yield@p=0.5;\
+         trigger.predictive=yield@p=0.25",
+    ),
 ];
 
-/// **Chaos**: runs the deep-list and social-graph workloads under each
-/// pinned fault schedule for LXR (plain and sticky), G1 and Shenandoah,
-/// classifying every cell
+/// **Chaos**: runs the deep-list, traffic-spike (on an elastic heap, so the
+/// chunk-map/release and predictive-trigger sites are reachable) and
+/// social-graph workloads under each pinned fault schedule for LXR (plain
+/// and sticky), G1 and Shenandoah, classifying every cell
 /// as `survived` (completed, no degradation), `degraded` (completed via the
 /// degenerated-collection fallback), or `failed` (panic or integrity
 /// failure).  A no-op sweep unless built with `--features failpoints`.
@@ -624,14 +720,20 @@ pub fn chaos(options: &ExperimentOptions) -> Table {
         &["schedule", "benchmark", "collector", "outcome", "detail"],
     );
     let specs: Vec<BenchmarkSpec> = if options.scale < 0.05 {
-        vec![benchmark("avrora").expect("avrora spec")]
+        vec![benchmark("avrora").expect("avrora spec"), traffic_spike()]
     } else {
-        vec![benchmark("avrora").expect("avrora spec"), social_graph_churn()]
+        vec![benchmark("avrora").expect("avrora spec"), social_graph_churn(), traffic_spike()]
     };
     for (schedule_name, schedule) in CHAOS_SCHEDULES {
         for spec in &specs {
             for collector in ["lxr", "lxr-sticky", "g1", "shenandoah"] {
                 let mut run_options = options.run_options(2.0);
+                // The chunk-map/release and predictive-trigger failpoint
+                // sites only exist on an elastic heap; give the spike
+                // workload one so every schedule races growth and release.
+                if spec.traffic_spike {
+                    run_options.min_heap_factor = Some(1.0);
+                }
                 run_options.verify_every_n_gcs = options.verify_every_n_gcs;
                 run_options.watchdog_ms = Some(options.watchdog_ms.unwrap_or(60_000));
                 // Install through a guard rather than the runtime options:
@@ -707,5 +809,20 @@ mod tests {
     fn social_graph_compares_collectors_and_crew_sizes() {
         let table = social_graph(&quick_options(0.05));
         assert_eq!(table.len(), 6, "g1, shenandoah, three LXR crew sizes, and sticky LXR");
+    }
+
+    #[test]
+    fn heap_elasticity_covers_every_collector_plus_a_fixed_control() {
+        let table = heap_elasticity(&quick_options(0.05));
+        assert_eq!(table.len(), 5, "four elastic collectors plus the fixed+verify control");
+    }
+
+    #[test]
+    fn chunk_sparkline_scales_and_downsamples() {
+        assert_eq!(chunk_sparkline(&[]), "-");
+        assert_eq!(chunk_sparkline(&[5]), "▁");
+        assert_eq!(chunk_sparkline(&[1, 8]), "▁█");
+        let long: Vec<usize> = (0..64).collect();
+        assert_eq!(chunk_sparkline(&long).chars().count(), 32);
     }
 }

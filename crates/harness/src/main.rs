@@ -6,10 +6,10 @@
 //!             <experiment>...
 //!
 //! experiments: table1 table3 table4 table5 table6 table7 fig7
-//!              barrier-overhead sensitivity socialgraph chaos all
+//!              barrier-overhead sensitivity socialgraph heap chaos all
 //!
-//! lxr-harness bench-snapshot [--quick] [OUT.json] [TRACE_OUT.json]
-//!                                 (defaults BENCH_sched.json BENCH_trace.json)
+//! lxr-harness bench-snapshot [--quick] [OUT.json] [TRACE_OUT.json] [HEAP_OUT.json]
+//!                     (defaults BENCH_sched.json BENCH_trace.json BENCH_heap.json)
 //! lxr-harness bench-diff OLD.json NEW.json
 //! ```
 //!
@@ -80,18 +80,21 @@ fn main() {
         Some("bench-snapshot") => {
             let out = requested.get(1).cloned().unwrap_or_else(|| "BENCH_sched.json".to_string());
             let trace_out = requested.get(2).cloned().unwrap_or_else(|| "BENCH_trace.json".to_string());
+            let heap_out = requested.get(3).cloned().unwrap_or_else(|| "BENCH_heap.json".to_string());
             let cfg = if quick {
                 lxr_harness::benchsnap::SnapshotConfig::quick()
             } else {
                 lxr_harness::benchsnap::SnapshotConfig::full()
             };
             eprintln!("running scheduler bench snapshot ({cfg:?})...");
-            let (doc, trace_doc) = lxr_harness::benchsnap::snapshot(&cfg);
+            let (doc, trace_doc, heap_doc) = lxr_harness::benchsnap::snapshot(&cfg);
             std::fs::write(&out, &doc).unwrap_or_else(|e| panic!("writing {out}: {e}"));
             std::fs::write(&trace_out, &trace_doc).unwrap_or_else(|e| panic!("writing {trace_out}: {e}"));
+            std::fs::write(&heap_out, &heap_doc).unwrap_or_else(|e| panic!("writing {heap_out}: {e}"));
             println!("{doc}");
             println!("{trace_doc}");
-            eprintln!("wrote {out} and {trace_out}");
+            println!("{heap_doc}");
+            eprintln!("wrote {out}, {trace_out} and {heap_out}");
             return;
         }
         Some("bench-diff") => {
@@ -150,6 +153,9 @@ fn main() {
     }
     if want("socialgraph") {
         println!("{}", experiments::social_graph(&options));
+    }
+    if want("heap") {
+        println!("{}", experiments::heap_elasticity(&options));
     }
     // `chaos` is opt-in: it is not part of `all` because its fault schedules
     // are inert (and its table all-`survived`) without `--features failpoints`.

@@ -9,6 +9,14 @@
 //!
 //! The central manager also serves contiguous multi-block requests for the
 //! [`crate::LargeObjectSpace`].
+//!
+//! Under an elastic configuration ([`crate::HeapConfig::with_heap_range`])
+//! the central manager holds only the blocks of *mapped* chunks.  When it
+//! runs dry the allocator grows the heap one chunk at a time (under the
+//! central lock, which is what makes a chunk release racing an allocation
+//! degrade cleanly: the loser simply maps the next chunk), and the pause
+//! epilogue calls [`BlockAllocator::release_cold_chunks`] to unmap chunks
+//! whose blocks all sat free across consecutive pauses.
 
 use crate::{Block, BlockState, HeapSpace};
 use crossbeam::queue::{ArrayQueue, SegQueue};
@@ -62,19 +70,25 @@ pub struct BlockAllocator {
 }
 
 impl BlockAllocator {
-    /// Creates the allocator with every usable block (1..num_blocks) free.
+    /// Creates the allocator with every usable block of every *mapped*
+    /// chunk free (for a fixed-extent heap that is all blocks 1..num_blocks;
+    /// an elastic heap starts at its configured minimum and grows on
+    /// demand).
     pub fn new(space: Arc<HeapSpace>) -> Self {
         let geometry = space.geometry();
         let config = space.config().clone();
         let total_usable = geometry.num_blocks() - 1;
-        let central: BTreeSet<usize> = (1..geometry.num_blocks()).collect();
+        let central: BTreeSet<usize> = (1..geometry.num_blocks())
+            .filter(|&idx| space.chunk_map().block_is_mapped(Block::from_index(idx)))
+            .collect();
+        let initially_free = central.len();
         BlockAllocator {
             space,
             clean_buffer: ArrayQueue::new(config.block_buffer_entries),
             recycled: SegQueue::new(),
             central: Mutex::new(central),
             central_locks: AtomicUsize::new(0),
-            free_blocks: AtomicUsize::new(total_usable),
+            free_blocks: AtomicUsize::new(initially_free),
             recycled_blocks: AtomicUsize::new(0),
             release_generation: AtomicUsize::new(0),
             total_usable,
@@ -111,10 +125,24 @@ impl BlockAllocator {
         self.recycled_blocks.load(Ordering::Relaxed)
     }
 
-    /// Number of blocks that are neither clean nor queued for recycling
-    /// (i.e. fully owned by live data or by allocators).
+    /// Number of usable blocks sitting in unmapped chunks — capacity the
+    /// allocator can still grow into before the reservation is exhausted.
+    pub fn growable_blocks(&self) -> usize {
+        self.space.chunk_map().growable_blocks()
+    }
+
+    /// Number of chunks currently mapped (the heap's footprint metric).
+    pub fn mapped_chunks(&self) -> usize {
+        self.space.chunk_map().mapped_chunks()
+    }
+
+    /// Number of blocks that are neither clean, queued for recycling, nor
+    /// unmapped (i.e. fully owned by live data or by allocators).
     pub fn used_block_count(&self) -> usize {
-        self.total_usable.saturating_sub(self.free_block_count()).saturating_sub(self.recycled_block_count())
+        self.total_usable
+            .saturating_sub(self.free_block_count())
+            .saturating_sub(self.recycled_block_count())
+            .saturating_sub(self.growable_blocks())
     }
 
     /// Monotonic count of block-release events.  An advance between two
@@ -135,18 +163,30 @@ impl BlockAllocator {
             Some(b) => b,
             None => {
                 let mut central = self.lock_central();
-                // Refill a buffer's worth while holding the lock once, then
-                // take one block for ourselves.
-                let take = self.clean_buffer.capacity();
-                for _ in 0..take {
-                    match central.pop_first() {
-                        Some(idx) => {
-                            if self.clean_buffer.push(Block::from_index(idx)).is_err() {
-                                central.insert(idx);
-                                break;
+                loop {
+                    // Refill a buffer's worth while holding the lock once,
+                    // then take one block for ourselves.
+                    let take = self.clean_buffer.capacity();
+                    let mut filled = 0usize;
+                    for _ in 0..take {
+                        match central.pop_first() {
+                            Some(idx) => {
+                                filled += 1;
+                                if self.clean_buffer.push(Block::from_index(idx)).is_err() {
+                                    central.insert(idx);
+                                    break;
+                                }
                             }
+                            None => break,
                         }
-                        None => break,
+                    }
+                    // Central dry: grow the heap by one chunk if the
+                    // reservation allows.  Doing this under the central lock
+                    // is the race arbiter with a concurrent chunk release —
+                    // an allocator that finds the list drained by a release
+                    // simply maps the next chunk back in.
+                    if filled > 0 || !self.grow_one_chunk_locked(&mut central) {
+                        break;
                     }
                 }
                 drop(central);
@@ -156,6 +196,21 @@ impl BlockAllocator {
         self.free_blocks.fetch_sub(1, Ordering::Relaxed);
         self.space.block_states().set(block, BlockState::Young);
         Some(block)
+    }
+
+    /// Maps the next unmapped chunk (if any) and hands its blocks to the
+    /// central manager.  Must be called with the central lock held.
+    fn grow_one_chunk_locked(&self, central: &mut BTreeSet<usize>) -> bool {
+        let Some(chunk) = self.space.chunk_map().map_next_unmapped() else {
+            return false;
+        };
+        let blocks = self.space.geometry().chunk_blocks(chunk);
+        let added = blocks.len();
+        for idx in blocks {
+            central.insert(idx);
+        }
+        self.free_blocks.fetch_add(added, Ordering::Relaxed);
+        true
     }
 
     /// Acquires one recycled (partially free) block, if any is queued.
@@ -233,6 +288,29 @@ impl BlockAllocator {
         while let Some(b) = self.clean_buffer.pop() {
             central.insert(b.index());
         }
+        loop {
+            if let Some(start) = Self::find_free_run(&central, count) {
+                for i in start..start + count {
+                    central.remove(&i);
+                }
+                drop(central);
+                self.free_blocks.fetch_sub(count, Ordering::Relaxed);
+                for i in start..start + count {
+                    self.space.block_states().set(Block::from_index(i), BlockState::Los);
+                }
+                return Some(Block::from_index(start));
+            }
+            // No run yet: newly mapped chunks extend the top of the free
+            // set, so growing can both lengthen an existing tail run and
+            // eventually satisfy any request the reservation can hold.
+            if !self.grow_one_chunk_locked(&mut central) {
+                return None;
+            }
+        }
+    }
+
+    /// Finds the first run of `count` consecutive indices in `central`.
+    fn find_free_run(central: &BTreeSet<usize>, count: usize) -> Option<usize> {
         let mut run_start = None;
         let mut run_len = 0usize;
         let mut prev: Option<usize> = None;
@@ -246,16 +324,7 @@ impl BlockAllocator {
             }
             prev = Some(idx);
             if run_len == count {
-                let start = run_start.unwrap();
-                for i in start..start + count {
-                    central.remove(&i);
-                }
-                drop(central);
-                self.free_blocks.fetch_sub(count, Ordering::Relaxed);
-                for i in start..start + count {
-                    self.space.block_states().set(Block::from_index(i), BlockState::Los);
-                }
-                return Some(Block::from_index(start));
+                return run_start;
             }
         }
         None
@@ -277,6 +346,59 @@ impl BlockAllocator {
         self.space.bump_reuse_range(geometry.block_start(start), count * geometry.words_per_block());
         self.free_blocks.fetch_add(count, Ordering::Relaxed);
         self.release_generation.fetch_add(count, Ordering::AcqRel);
+    }
+
+    /// The shrink half of the elastic heap, run at pause epilogues: unmaps
+    /// every chunk whose blocks have *all* sat on the central free list for
+    /// at least `idle_pauses` consecutive calls (the hysteresis that keeps
+    /// a chunk from bouncing across the mapping boundary between bursts).
+    /// Returns the number of chunks released.
+    ///
+    /// Correctness leans on the central lock: a chunk is only released when
+    /// every one of its blocks is in the central set at once — a block held
+    /// by an allocator, sitting in the recycled queue, or carrying live
+    /// data is absent from the set, so partially live chunks are never
+    /// touched.  The clean buffer is spilled into the set first so buffered
+    /// free blocks do not disqualify their chunk.  Chunks are examined from
+    /// the top of the address space down, and never below the configured
+    /// minimum (nor chunk 0, which holds the reserved block 0).
+    pub fn release_cold_chunks(&self, idle_pauses: u32) -> usize {
+        let chunk_map = self.space.chunk_map();
+        if chunk_map.min_chunks() == chunk_map.num_chunks() {
+            return 0; // fixed-extent heap: nothing to release
+        }
+        let geometry = self.space.geometry();
+        let mut central = self.lock_central();
+        while let Some(b) = self.clean_buffer.pop() {
+            central.insert(b.index());
+        }
+        let mut released = 0usize;
+        for chunk in (1..geometry.num_chunks()).rev() {
+            if chunk_map.mapped_chunks() <= chunk_map.min_chunks() {
+                break;
+            }
+            if !chunk_map.is_mapped(chunk) {
+                continue;
+            }
+            let blocks = geometry.chunk_blocks(chunk);
+            if !blocks.clone().all(|idx| central.contains(&idx)) {
+                chunk_map.reset_idle(chunk);
+                continue;
+            }
+            if chunk_map.note_idle(chunk) < idle_pauses.max(1) {
+                continue;
+            }
+            let mut removed = 0usize;
+            for idx in blocks {
+                central.remove(&idx);
+                removed += 1;
+            }
+            self.free_blocks.fetch_sub(removed, Ordering::Relaxed);
+            let unmapped = self.space.release_chunk(chunk);
+            debug_assert!(unmapped, "the central lock serialises releases");
+            released += 1;
+        }
+        released
     }
 }
 
@@ -439,5 +561,260 @@ mod tests {
         assert_eq!(a.used_block_count(), 2);
         a.release_recycled_block(b1);
         assert_eq!(a.used_block_count(), 1);
+    }
+
+    fn elastic(min_bytes: usize, max_bytes: usize) -> BlockAllocator {
+        let config = HeapConfig::default().with_heap_range(min_bytes, max_bytes);
+        BlockAllocator::new(Arc::new(HeapSpace::new(config)))
+    }
+
+    #[test]
+    fn elastic_allocator_starts_at_the_minimum_and_grows_on_demand() {
+        // 1 MB minimum (5 chunks: 39 usable blocks after the reserved one)
+        // inside a 4 MB reservation (17 chunks, 128 usable blocks).
+        let a = elastic(1 << 20, 4 << 20);
+        assert_eq!(a.mapped_chunks(), 5);
+        assert_eq!(a.free_block_count(), 39);
+        assert_eq!(a.growable_blocks(), 128 - 39);
+        assert_eq!(a.used_block_count(), 0);
+
+        // Draining the mapped minimum maps further chunks instead of
+        // failing; the whole reservation is eventually allocatable.
+        let got: Vec<Block> = std::iter::from_fn(|| a.acquire_clean_block()).collect();
+        assert_eq!(got.len(), 128, "the full reservation is reachable through growth");
+        assert_eq!(a.mapped_chunks(), 17);
+        assert_eq!(a.growable_blocks(), 0);
+        assert_eq!(a.space.chunk_map().mapped_events(), 12);
+        assert!(a.acquire_clean_block().is_none(), "heap-max is still a hard ceiling");
+    }
+
+    #[test]
+    fn contiguous_requests_grow_the_heap_when_fragmented_short() {
+        let a = elastic(1 << 20, 4 << 20);
+        // 39 free blocks are mapped; a 64-block run must grow the heap.
+        let start = a.acquire_contiguous(64).unwrap();
+        assert!(a.mapped_chunks() > 5);
+        for i in 0..64 {
+            assert_eq!(a.space.block_states().get(Block::from_index(start.index() + i)), BlockState::Los);
+        }
+        // A run larger than the reservation still fails cleanly.
+        assert!(a.acquire_contiguous(129).is_none());
+    }
+
+    #[test]
+    fn cold_chunks_release_after_the_idle_hysteresis() {
+        let a = elastic(1 << 20, 4 << 20);
+        let got: Vec<Block> = std::iter::from_fn(|| a.acquire_clean_block()).collect();
+        assert_eq!(a.mapped_chunks(), 17);
+        a.release_free_blocks(&got);
+
+        // First epilogue: everything is free but the hysteresis (2 idle
+        // pauses) holds the chunks mapped.
+        assert_eq!(a.release_cold_chunks(2), 0);
+        assert_eq!(a.mapped_chunks(), 17);
+        // Second epilogue: the idle counters reach the threshold and the
+        // heap shrinks back to its floor.
+        let released = a.release_cold_chunks(2);
+        assert_eq!(released, 12);
+        assert_eq!(a.mapped_chunks(), 5, "shrinks to the configured minimum, never below");
+        assert_eq!(a.space.chunk_map().released_events(), 12);
+        assert_eq!(a.free_block_count(), 39);
+
+        // The released capacity is re-growable: the heap breathes.
+        let again: Vec<Block> = std::iter::from_fn(|| a.acquire_clean_block()).collect();
+        assert_eq!(again.len(), 128);
+    }
+
+    #[test]
+    fn outstanding_blocks_pin_their_chunk() {
+        let a = elastic(1 << 20, 4 << 20);
+        let got: Vec<Block> = std::iter::from_fn(|| a.acquire_clean_block()).collect();
+        // Hold one block of the topmost chunk (block 128 lives in chunk 16);
+        // recycle one in a middle chunk (block 60 lives in chunk 7) so it
+        // sits outside the central set too.
+        let (held, rest): (Vec<Block>, Vec<Block>) = got.into_iter().partition(|b| b.index() == 128);
+        assert_eq!(held.len(), 1);
+        let recycled = *rest.iter().find(|b| b.index() == 60).unwrap();
+        let free: Vec<Block> = rest.into_iter().filter(|b| b.index() != 60).collect();
+        a.release_recycled_block(recycled);
+        a.release_free_blocks(&free);
+        let released = a.release_cold_chunks(1);
+        assert!(released > 0);
+        assert_eq!(a.mapped_chunks(), 5, "the floor counts pinned chunks too");
+        assert!(a.space.chunk_map().is_mapped(16), "a chunk with an outstanding block stays mapped");
+        assert!(a.space.chunk_map().is_mapped(7), "a chunk with a recycled block stays mapped");
+    }
+
+    #[test]
+    fn growth_reaches_chunks_released_below_the_mapped_frontier() {
+        // Long-lived data pinning the top of the address space must not
+        // strand released low chunks: the shrink policy guards the floor by
+        // mapped count, so with enough high chunks pinned it releases
+        // *low-indexed* free chunks — which growth must still find, or the
+        // heap reports growable capacity it can never map (a spurious OOM).
+        let a = elastic(1 << 20, 4 << 20);
+        let g = a.space.geometry();
+        let got: Vec<Block> = std::iter::from_fn(|| a.acquire_clean_block()).collect();
+        assert_eq!(a.mapped_chunks(), 17);
+        // Pin one block in every chunk at or above the floor index; free
+        // the rest, leaving chunks 1..5 fully free.
+        let mut seen = std::collections::BTreeSet::new();
+        let (pinned, free): (Vec<Block>, Vec<Block>) =
+            got.into_iter().partition(|b| g.chunk_of_block(*b) >= 5 && seen.insert(g.chunk_of_block(*b)));
+        assert_eq!(pinned.len(), 12);
+        a.release_free_blocks(&free);
+        assert!(a.release_cold_chunks(1) > 0);
+        for chunk in 1..5 {
+            assert!(!a.space.chunk_map().is_mapped(chunk), "low chunk {chunk} was released");
+        }
+        assert!(a.mapped_chunks() > a.space.chunk_map().min_chunks(), "pinned chunks hold the count up");
+        // Every released block — including those below the floor index —
+        // is reachable again through growth.
+        let regrown = std::iter::from_fn(|| a.acquire_clean_block()).count();
+        assert_eq!(regrown + pinned.len(), a.total_blocks());
+        assert_eq!(a.growable_blocks(), 0);
+    }
+
+    #[test]
+    fn fixed_extent_heaps_never_shrink() {
+        let a = allocator(1 << 20);
+        assert_eq!(a.release_cold_chunks(1), 0);
+        assert_eq!(a.release_cold_chunks(1), 0);
+        assert_eq!(a.mapped_chunks(), a.space.geometry().num_chunks());
+        assert_eq!(a.free_block_count(), 32);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            /// Grow/shrink/re-map churn against a scalar occupancy model:
+            /// the model tracks only *how many* blocks are outstanding and
+            /// recycled, and the allocator's counters must agree after every
+            /// operation while the mapped extent stays inside
+            /// `[min_chunks, num_chunks]` and never unmaps under an
+            /// outstanding block.
+            #[test]
+            fn churn_matches_the_scalar_occupancy_model(
+                ops in proptest::collection::vec((0u8..5, 0usize..4096), 1..160),
+            ) {
+                let a = elastic(1 << 20, 4 << 20);
+                let min_chunks = a.space.chunk_map().min_chunks();
+                let num_chunks = a.space.chunk_map().num_chunks();
+                let mut outstanding: Vec<Block> = Vec::new();
+                let mut recycled = 0usize;
+                for (op, pick) in ops {
+                    match op {
+                        0 => {
+                            if let Some(b) = a.acquire_clean_block() {
+                                outstanding.push(b);
+                            }
+                        }
+                        1 => {
+                            if let Some(b) = a.acquire_recycled_block() {
+                                recycled -= 1;
+                                outstanding.push(b);
+                            }
+                        }
+                        2 => {
+                            if !outstanding.is_empty() {
+                                let b = outstanding.swap_remove(pick % outstanding.len());
+                                a.release_free_block(b);
+                            }
+                        }
+                        3 => {
+                            if !outstanding.is_empty() {
+                                let b = outstanding.swap_remove(pick % outstanding.len());
+                                a.release_recycled_block(b);
+                                recycled += 1;
+                            }
+                        }
+                        _ => {
+                            a.release_cold_chunks(1);
+                        }
+                    }
+                    prop_assert_eq!(a.used_block_count(), outstanding.len());
+                    prop_assert_eq!(a.recycled_block_count(), recycled);
+                    let mapped = a.mapped_chunks();
+                    prop_assert!(
+                        (min_chunks..=num_chunks).contains(&mapped),
+                        "mapped count {} escaped {}..={}", mapped, min_chunks, num_chunks
+                    );
+                    for b in &outstanding {
+                        prop_assert!(
+                            a.space.chunk_map().block_is_mapped(*b),
+                            "outstanding block {} sits in an unmapped chunk", b.index()
+                        );
+                    }
+                    prop_assert_eq!(
+                        a.free_block_count() + a.recycled_block_count()
+                            + a.used_block_count() + a.growable_blocks(),
+                        a.total_blocks()
+                    );
+                }
+                // Drain everything and run two idle epilogues: the heap must
+                // shrink back to its floor no matter what the churn did.
+                while let Some(b) = a.acquire_recycled_block() {
+                    outstanding.push(b);
+                }
+                a.release_free_blocks(&outstanding);
+                a.release_cold_chunks(1);
+                a.release_cold_chunks(1);
+                prop_assert_eq!(a.mapped_chunks(), min_chunks);
+                prop_assert_eq!(a.used_block_count(), 0);
+                // Re-map churn: the full reservation is reachable again.
+                let regrown: Vec<Block> = std::iter::from_fn(|| a.acquire_clean_block()).collect();
+                prop_assert_eq!(regrown.len(), a.total_blocks());
+                prop_assert_eq!(a.mapped_chunks(), num_chunks);
+            }
+        }
+    }
+
+    #[test]
+    fn release_racing_allocation_degrades_to_a_regrow() {
+        // Allocators hammering an elastic heap while epilogues release cold
+        // chunks: every acquired block must be distinct-at-a-time and the
+        // mapped count must respect the floor and ceiling throughout.
+        let a = Arc::new(elastic(1 << 20, 4 << 20));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let shrinker = {
+            let a = Arc::clone(&a);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    a.release_cold_chunks(1);
+                    std::thread::yield_now();
+                }
+            })
+        };
+        let allocs: Vec<_> = (0..4)
+            .map(|_| {
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        let mut held = Vec::new();
+                        for _ in 0..8 {
+                            if let Some(b) = a.acquire_clean_block() {
+                                assert!(
+                                    a.space.chunk_map().block_is_mapped(b),
+                                    "an acquired block's chunk is mapped"
+                                );
+                                held.push(b);
+                            }
+                        }
+                        a.release_free_blocks(&held);
+                    }
+                })
+            })
+            .collect();
+        for h in allocs {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        shrinker.join().unwrap();
+        let mapped = a.mapped_chunks();
+        assert!((5..=17).contains(&mapped), "mapped count {mapped} within floor..=ceiling");
     }
 }

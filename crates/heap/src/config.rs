@@ -41,6 +41,16 @@ pub struct HeapConfig {
     /// Objects at least this many bytes are delegated to the large object
     /// space (default: half a block).
     pub large_object_bytes: usize,
+    /// Minimum heap size in bytes for an *elastic* heap: when set, only
+    /// enough chunks to cover this many bytes are mapped at construction
+    /// and the rest of the reservation (up to `heap_bytes`) is mapped on
+    /// demand and released back when cold.  `None` (the default) keeps the
+    /// whole heap mapped for its lifetime — the historical fixed-extent
+    /// behaviour.
+    pub min_heap_bytes: Option<usize>,
+    /// Number of blocks per chunk, the granule of mapping and release
+    /// (power of two; default 8, i.e. 256 KB chunks at 32 KB blocks).
+    pub blocks_per_chunk: usize,
 }
 
 impl HeapConfig {
@@ -73,6 +83,23 @@ impl HeapConfig {
         self
     }
 
+    /// Makes the heap elastic between `min_bytes` and `max_bytes`: chunks
+    /// covering `min_bytes` are mapped up front, the remainder is mapped on
+    /// demand and released again when cold.
+    pub fn with_heap_range(mut self, min_bytes: usize, max_bytes: usize) -> Self {
+        assert!(min_bytes <= max_bytes, "heap minimum must not exceed the maximum");
+        self.heap_bytes = max_bytes;
+        self.min_heap_bytes = Some(min_bytes);
+        self
+    }
+
+    /// Sets the chunk size in blocks (the mapping/release granule).
+    pub fn with_blocks_per_chunk(mut self, blocks: usize) -> Self {
+        assert!(blocks.is_power_of_two(), "chunk size must be a power of two blocks");
+        self.blocks_per_chunk = blocks;
+        self
+    }
+
     /// Heap size in words.
     pub fn heap_words(&self) -> usize {
         self.num_blocks() * self.words_per_block()
@@ -100,6 +127,24 @@ impl HeapConfig {
         self.heap_bytes.div_ceil(self.block_bytes) + 1
     }
 
+    /// Number of chunks covering the heap (the last one may be partial).
+    pub fn num_chunks(&self) -> usize {
+        self.num_blocks().div_ceil(self.blocks_per_chunk)
+    }
+
+    /// Number of chunks mapped at construction: all of them for a
+    /// fixed-extent heap, or just enough to cover `min_heap_bytes` (plus
+    /// the reserved block 0) for an elastic one.
+    pub fn min_chunks(&self) -> usize {
+        match self.min_heap_bytes {
+            None => self.num_chunks(),
+            Some(min_bytes) => {
+                let min_blocks = min_bytes.div_ceil(self.block_bytes) + 1;
+                min_blocks.div_ceil(self.blocks_per_chunk).clamp(1, self.num_chunks())
+            }
+        }
+    }
+
     /// Number of side-metadata granules in the heap (one per 16 bytes).
     pub fn num_granules(&self) -> usize {
         self.heap_words() / GRANULE_WORDS
@@ -120,6 +165,8 @@ impl Default for HeapConfig {
             rc_bits: 2,
             block_buffer_entries: 32,
             large_object_bytes: 16 * 1024,
+            min_heap_bytes: None,
+            blocks_per_chunk: 8,
         }
     }
 }
@@ -175,6 +222,38 @@ mod tests {
     #[should_panic]
     fn rejects_invalid_rc_bits() {
         let _ = HeapConfig::default().with_rc_bits(3);
+    }
+
+    #[test]
+    fn fixed_extent_heaps_map_every_chunk() {
+        let c = HeapConfig::with_heap_size(4 << 20); // 129 blocks
+        assert_eq!(c.num_chunks(), 17); // 16 full chunks + 1 holding the odd block
+        assert_eq!(c.min_chunks(), c.num_chunks());
+    }
+
+    #[test]
+    fn elastic_heaps_map_only_the_minimum() {
+        let c = HeapConfig::default().with_heap_range(1 << 20, 4 << 20);
+        assert_eq!(c.heap_bytes, 4 << 20);
+        assert_eq!(c.min_heap_bytes, Some(1 << 20));
+        // 1 MB = 32 blocks + reserved block 0 = 33 blocks → 5 chunks of 8.
+        assert_eq!(c.min_chunks(), 5);
+        assert!(c.min_chunks() < c.num_chunks());
+        // Degenerate range: min == max still maps everything.
+        let tight = HeapConfig::default().with_heap_range(4 << 20, 4 << 20);
+        assert_eq!(tight.min_chunks(), tight.num_chunks());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_inverted_heap_range() {
+        let _ = HeapConfig::default().with_heap_range(8 << 20, 4 << 20);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_power_of_two_chunks() {
+        let _ = HeapConfig::default().with_blocks_per_chunk(3);
     }
 
     #[test]

@@ -24,6 +24,7 @@ use crate::{Address, Block, HeapConfig, Line};
 pub struct HeapGeometry {
     log_words_per_block: u32,
     log_words_per_line: u32,
+    log_blocks_per_chunk: u32,
     num_blocks: usize,
 }
 
@@ -34,9 +35,11 @@ impl HeapGeometry {
         let words_per_line = config.words_per_line();
         assert!(words_per_block.is_power_of_two());
         assert!(words_per_line.is_power_of_two());
+        assert!(config.blocks_per_chunk.is_power_of_two());
         HeapGeometry {
             log_words_per_block: words_per_block.trailing_zeros(),
             log_words_per_line: words_per_line.trailing_zeros(),
+            log_blocks_per_chunk: config.blocks_per_chunk.trailing_zeros(),
             num_blocks: config.num_blocks(),
         }
     }
@@ -138,6 +141,52 @@ impl HeapGeometry {
         let idx = addr.word_index();
         idx >= self.words_per_block() && idx < self.num_words()
     }
+
+    // ---- chunk arithmetic (the mapping/release granule) --------------------
+
+    /// Number of blocks per chunk.
+    #[inline]
+    pub fn blocks_per_chunk(&self) -> usize {
+        1 << self.log_blocks_per_chunk
+    }
+
+    /// Number of chunks covering the heap (the last one may be partial).
+    #[inline]
+    pub fn num_chunks(&self) -> usize {
+        self.num_blocks.div_ceil(self.blocks_per_chunk())
+    }
+
+    /// The chunk that owns `block`.
+    #[inline]
+    pub fn chunk_of_block(&self, block: Block) -> usize {
+        block.index() >> self.log_blocks_per_chunk
+    }
+
+    /// The chunk containing `addr`.
+    #[inline]
+    pub fn chunk_of(&self, addr: Address) -> usize {
+        addr.word_index() >> (self.log_words_per_block + self.log_blocks_per_chunk)
+    }
+
+    /// The block indices of `chunk`, clamped to the heap extent for the
+    /// (possibly partial) final chunk.
+    #[inline]
+    pub fn chunk_blocks(&self, chunk: usize) -> std::ops::Range<usize> {
+        let first = chunk << self.log_blocks_per_chunk;
+        first..(first + self.blocks_per_chunk()).min(self.num_blocks)
+    }
+
+    /// The first word of `chunk`.
+    #[inline]
+    pub fn chunk_start(&self, chunk: usize) -> Address {
+        Address::from_word_index(chunk << (self.log_words_per_block + self.log_blocks_per_chunk))
+    }
+
+    /// Number of words in `chunk` (smaller for a partial final chunk).
+    #[inline]
+    pub fn chunk_words(&self, chunk: usize) -> usize {
+        self.chunk_blocks(chunk).len() << self.log_words_per_block
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +245,23 @@ mod tests {
         assert!(!g.contains(Address::from_word_index(10))); // block 0 reserved
         assert!(g.contains(Address::from_word_index(4096)));
         assert!(!g.contains(Address::from_word_index(g.num_words())));
+    }
+
+    #[test]
+    fn chunk_arithmetic_covers_the_heap_exactly() {
+        let g = geom(); // 129 blocks, 8 blocks per chunk
+        assert_eq!(g.blocks_per_chunk(), 8);
+        assert_eq!(g.num_chunks(), 17);
+        assert_eq!(g.chunk_blocks(0), 0..8);
+        assert_eq!(g.chunk_blocks(16), 128..129, "final chunk is partial");
+        assert_eq!(g.chunk_words(0), 8 * 4096);
+        assert_eq!(g.chunk_words(16), 4096);
+        let covered: usize = (0..g.num_chunks()).map(|c| g.chunk_blocks(c).len()).sum();
+        assert_eq!(covered, g.num_blocks());
+        assert_eq!(g.chunk_of_block(Block::from_index(7)), 0);
+        assert_eq!(g.chunk_of_block(Block::from_index(8)), 1);
+        assert_eq!(g.chunk_of(g.chunk_start(3)), 3);
+        assert_eq!(g.chunk_of(g.chunk_start(3).minus(1)), 2);
     }
 
     #[test]

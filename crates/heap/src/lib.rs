@@ -21,6 +21,9 @@
 //!   structure bookkeeping,
 //! * [`BlockAllocator`] — the global lock-free clean/recycled block lists
 //!   with the bounded clean-block buffer of §3.5,
+//! * [`ChunkMap`] — the chunked page resource behind elastic heaps: chunks
+//!   of blocks are mapped lazily as allocation demands and released
+//!   (madvise-style, simulated) when they stay cold across pauses,
 //! * [`ImmixAllocator`] — the thread-local bump-pointer allocator with line
 //!   recycling, dynamic overflow for medium objects, and delegation of large
 //!   objects to the [`LargeObjectSpace`].
@@ -59,6 +62,7 @@ pub mod epoch;
 pub mod geometry;
 pub mod line;
 pub mod los;
+pub mod pageresource;
 pub mod side_metadata;
 pub mod space;
 
@@ -71,6 +75,7 @@ pub use epoch::ReuseEpochTable;
 pub use geometry::HeapGeometry;
 pub use line::{Line, LineTable};
 pub use los::LargeObjectSpace;
+pub use pageresource::ChunkMap;
 pub use side_metadata::{
     active_backend, available_simd_backends, detect_simd_backend, select_backend, RangeCensus, SideMetadata,
     SimdBackend,

@@ -7,7 +7,7 @@
 //! higher-level metadata (reference counts, mark bits, unlogged bits) is
 //! owned by the collectors.
 
-use crate::{Address, Block, BlockStateTable, HeapConfig, HeapGeometry, Line, ReuseEpochTable};
+use crate::{Address, Block, BlockStateTable, ChunkMap, HeapConfig, HeapGeometry, Line, ReuseEpochTable};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// The shared, word-addressed heap arena.
@@ -37,6 +37,9 @@ pub struct HeapSpace {
     /// Per-line reuse epochs, stamped into captured references and
     /// validated at their application sites (see [`crate::epoch`]).
     reuse_epochs: ReuseEpochTable,
+    /// The chunked page resource: which chunks of the reservation are
+    /// currently mapped (see [`crate::pageresource`]).
+    chunk_map: ChunkMap,
     /// Words allocated since the space was created (monotonic).
     allocated_words: AtomicUsize,
 }
@@ -48,12 +51,14 @@ impl HeapSpace {
         let words = (0..geometry.num_words()).map(|_| AtomicU64::new(0)).collect();
         let block_states = BlockStateTable::new(geometry.num_blocks());
         let reuse_epochs = ReuseEpochTable::new(&geometry);
+        let chunk_map = ChunkMap::new(&config, geometry);
         HeapSpace {
             words,
             config,
             geometry,
             block_states,
             reuse_epochs,
+            chunk_map,
             allocated_words: AtomicUsize::new(0),
         }
     }
@@ -84,6 +89,30 @@ impl HeapSpace {
     #[inline]
     pub fn reuse_epoch(&self, addr: Address) -> u8 {
         self.reuse_epochs.get(addr)
+    }
+
+    /// The chunked page resource tracking which parts of the reservation
+    /// are mapped (the whole heap for a fixed-extent configuration).
+    pub fn chunk_map(&self) -> &ChunkMap {
+        &self.chunk_map
+    }
+
+    /// Unmaps `chunk` with the simulated `madvise(DONTNEED)` side effects:
+    /// the chunk's words are zeroed (so a later remap observes fresh
+    /// faulted-in memory) and its lines' reuse epochs advanced (so every
+    /// reference captured into the chunk's previous life is provably stale
+    /// at its validation site — the epochs are deliberately *not* reset on
+    /// remap, since zeroing them could resurrect stale stamps as current).
+    /// Returns `true` if this call released the chunk.
+    pub fn release_chunk(&self, chunk: usize) -> bool {
+        if !self.chunk_map.release_chunk(chunk) {
+            return false;
+        }
+        let start = self.geometry.chunk_start(chunk);
+        let words = self.geometry.chunk_words(chunk);
+        self.zero_range(start, words);
+        self.reuse_epochs.bump_range(start, words);
+        true
     }
 
     /// Number of usable blocks (excludes the reserved block 0).
@@ -260,6 +289,60 @@ mod tests {
         assert_eq!(s.reuse_epoch(run), 1);
         assert_eq!(s.reuse_epoch(run.plus(g.words_per_line())), 1);
         assert_eq!(s.reuse_epoch(run.plus(2 * g.words_per_line())), 0);
+    }
+
+    #[test]
+    fn release_chunk_zeroes_words_and_bumps_epochs() {
+        let config = HeapConfig::default().with_heap_range(1 << 20, 4 << 20);
+        let s = HeapSpace::new(config);
+        let g = s.geometry();
+        let chunk = s.chunk_map().map_next_unmapped().unwrap();
+        let start = g.chunk_start(chunk);
+        s.store(start.plus(7), 99);
+        let epoch_before = s.reuse_epoch(start);
+        assert!(s.release_chunk(chunk));
+        assert_eq!(s.load(start.plus(7)), 0, "released memory reads as freshly faulted");
+        assert_eq!(s.reuse_epoch(start), epoch_before.wrapping_add(1), "stale stamps are invalidated");
+        assert!(!s.release_chunk(chunk), "second release is a no-op without side effects");
+        // Fixed-extent heaps never release below the floor via the allocator
+        // policy, but the space-level primitive still refuses chunk 0.
+        assert!(!s.release_chunk(0));
+    }
+
+    #[test]
+    fn stamps_captured_before_an_unmap_are_stale_after_the_remap() {
+        // The reuse-epoch invariant across the chunk lifecycle: a reference
+        // captured while a chunk is mapped must not validate against memory
+        // the chunk holds in a *later* life.  Unmap bumps the epochs and
+        // remap deliberately leaves them alone — resetting them to zero
+        // would resurrect pre-release stamps as current.
+        let config = HeapConfig::default().with_heap_range(1 << 20, 4 << 20);
+        let s = HeapSpace::new(config);
+        let g = s.geometry();
+        let chunk = s.chunk_map().map_next_unmapped().unwrap();
+        let line = g.chunk_start(chunk);
+
+        // First life: capture a stamp, as a barrier buffering a decrement
+        // or logged slot against this line would.
+        let stamp = s.reuse_epoch(line);
+
+        // The chunk goes cold and is released, then demand maps it back in.
+        assert!(s.release_chunk(chunk));
+        assert!(s.chunk_map().map_chunk(chunk));
+
+        // Second life: the old stamp is provably stale at every validation
+        // site (epoch_now != stamp), while a freshly captured one validates.
+        assert_ne!(s.reuse_epoch(line), stamp, "remap must not resurrect pre-release stamps");
+        let fresh = s.reuse_epoch(line);
+        assert_eq!(s.reuse_epoch(line), fresh, "post-remap captures validate normally");
+
+        // A full unmap/remap cycle per life keeps the stamps of successive
+        // lives distinct too (wrapping after 256 lives is bounded by the
+        // capture lifetime, as for any other epoch consumer).
+        assert!(s.release_chunk(chunk));
+        assert!(s.chunk_map().map_chunk(chunk));
+        assert_ne!(s.reuse_epoch(line), fresh);
+        assert_eq!(s.reuse_epoch(line), stamp.wrapping_add(2));
     }
 
     #[test]

@@ -66,6 +66,18 @@ pub struct RuntimeOptions {
     /// watchdogs; tests and CI set it so a wedged protocol becomes a
     /// structured state dump instead of a suite timeout.
     pub watchdog_ms: Option<u64>,
+    /// Shrink hysteresis for elastic heaps: a chunk must be observed fully
+    /// free at this many *consecutive* pause epilogues before it is released
+    /// back to the OS.  Prevents chunks from bouncing across the mapping
+    /// boundary between allocation bursts.  Only meaningful when the heap
+    /// config is elastic (see [`with_heap_range`](Self::with_heap_range)).
+    pub shrink_idle_pauses: u32,
+    /// Predictive-trigger lead, as a fraction of the predicted per-epoch
+    /// allocation volume: a collection is requested once the available
+    /// memory (free + recycled + growable) drops below the exhaustion
+    /// backstop plus `predictive_lead` times the predicted allocation of
+    /// one epoch.  `0.0` disables the predictive trigger entirely.
+    pub predictive_lead: f64,
 }
 
 impl Default for RuntimeOptions {
@@ -81,6 +93,8 @@ impl Default for RuntimeOptions {
             failpoints: None,
             verify_every_n_gcs: None,
             watchdog_ms: None,
+            shrink_idle_pauses: 2,
+            predictive_lead: 0.5,
         }
     }
 }
@@ -106,6 +120,29 @@ impl RuntimeOptions {
     /// Replaces the whole heap configuration.
     pub fn with_heap_config(mut self, heap: HeapConfig) -> Self {
         self.heap = heap;
+        self
+    }
+
+    /// Makes the heap elastic: it starts at `min` bytes mapped and grows on
+    /// demand up to `max` bytes, releasing cold chunks back down toward
+    /// `min` between allocation bursts (the `--heap-min`/`--heap-max` pair).
+    pub fn with_heap_range(mut self, min: usize, max: usize) -> Self {
+        self.heap = self.heap.with_heap_range(min, max);
+        self
+    }
+
+    /// Sets the shrink hysteresis (consecutive idle pause epilogues before a
+    /// cold chunk is released; at least one).
+    pub fn with_shrink_idle_pauses(mut self, pauses: u32) -> Self {
+        self.shrink_idle_pauses = pauses.max(1);
+        self
+    }
+
+    /// Sets the predictive-trigger lead (fraction of one predicted epoch's
+    /// allocation; `0.0` disables predictive triggering).
+    pub fn with_predictive_lead(mut self, lead: f64) -> Self {
+        assert!(lead >= 0.0, "predictive lead must be non-negative");
+        self.predictive_lead = lead;
         self
     }
 
@@ -188,9 +225,22 @@ mod tests {
 
     #[test]
     fn builders_clamp_to_valid_values() {
-        let o = RuntimeOptions::default().with_gc_workers(0).with_concurrent_workers(0).with_poll_interval(0);
+        let o = RuntimeOptions::default()
+            .with_gc_workers(0)
+            .with_concurrent_workers(0)
+            .with_poll_interval(0)
+            .with_shrink_idle_pauses(0);
         assert_eq!(o.gc_workers, 1);
         assert_eq!(o.concurrent_workers, 1);
         assert_eq!(o.poll_interval_allocs, 1);
+        assert_eq!(o.shrink_idle_pauses, 1);
+    }
+
+    #[test]
+    fn heap_range_builder_makes_the_heap_elastic() {
+        let o = RuntimeOptions::default().with_heap_range(1 << 20, 4 << 20);
+        assert_eq!(o.heap.heap_bytes, 4 << 20);
+        assert_eq!(o.heap.min_heap_bytes, Some(1 << 20));
+        assert!(o.heap.min_chunks() < o.heap.num_chunks());
     }
 }

@@ -389,8 +389,13 @@ fn controller_loop(shared: Arc<RuntimeShared>) {
     let watchdog = crate::watchdog::Watchdog::new(shared.options.watchdog_ms);
     let mut gcs_since_verify = 0u64;
     // Pool scheduler counters are monotonic; fold the per-collection delta
-    // into the work-counter stats after each pause.
+    // into the work-counter stats after each pause.  Chunk-map events use
+    // the same scheme (growth happens on the allocation path, so the delta
+    // covers everything since the previous pause, not just the pause).
     let mut sched_last = shared.workers.sched_totals();
+    let chunk_map = shared.space.chunk_map();
+    let mut chunks_mapped_last = chunk_map.mapped_events();
+    let mut chunks_released_last = chunk_map.released_events();
     while let Some(reason) = shared.rendezvous.wait_for_request() {
         let time_to_stop = shared.rendezvous.stop_the_world_watched(&watchdog);
         if shared.rendezvous.is_shutdown() {
@@ -422,12 +427,32 @@ fn controller_loop(shared: Arc<RuntimeShared>) {
         };
         shared.plan.collect(&collection);
 
+        // Elastic shrink epilogue (collector-agnostic): chunks whose blocks
+        // all sat on the central free list for `shrink_idle_pauses`
+        // consecutive pauses are released back to the OS.  A no-op for
+        // fixed-extent heaps.
+        shared.blocks.release_cold_chunks(shared.options.shrink_idle_pauses);
+
         let sched_now = shared.workers.sched_totals();
         shared.stats.add(crate::stats::WorkCounter::SchedPushes, sched_now.pushes - sched_last.pushes);
         shared.stats.add(crate::stats::WorkCounter::SchedPops, sched_now.pops - sched_last.pops);
         shared.stats.add(crate::stats::WorkCounter::SchedSteals, sched_now.steals - sched_last.steals);
         shared.stats.add(crate::stats::WorkCounter::SchedParks, sched_now.parks - sched_last.parks);
         sched_last = sched_now;
+
+        let mapped_now = chunk_map.mapped_events();
+        let released_now = chunk_map.released_events();
+        shared.stats.add(crate::stats::WorkCounter::ChunksMapped, (mapped_now - chunks_mapped_last) as u64);
+        shared
+            .stats
+            .add(crate::stats::WorkCounter::ChunksReleased, (released_now - chunks_released_last) as u64);
+        chunks_mapped_last = mapped_now;
+        chunks_released_last = released_now;
+        match reason {
+            GcReason::Predictive => shared.stats.add(crate::stats::WorkCounter::TriggerPredictive, 1),
+            GcReason::Exhausted => shared.stats.add(crate::stats::WorkCounter::TriggerExhaustion, 1),
+            GcReason::Threshold | GcReason::Requested => {}
+        }
 
         // On-demand sanity verification: audit the plan's metadata against
         // an independent re-trace while the world is still stopped.
@@ -456,6 +481,7 @@ fn controller_loop(shared: Arc<RuntimeShared>) {
             kind: *shared.pause_attrs.kind.lock(),
             started_satb: shared.pause_attrs.started_satb.load(Ordering::Relaxed),
             lazy_incomplete: shared.pause_attrs.lazy_incomplete.load(Ordering::Relaxed),
+            mapped_chunks: chunk_map.mapped_chunks(),
         });
         shared.rendezvous.resume_the_world();
         if shared.plan.has_concurrent_work() && shared.options.concurrent_thread {

@@ -24,6 +24,10 @@ pub enum GcReason {
     Threshold,
     /// The application (or harness) requested a collection explicitly.
     Requested,
+    /// The predictive trigger fired: the allocation-rate predictor forecast
+    /// exhaustion within the configured lead, so the collection started
+    /// before any allocator actually failed.
+    Predictive,
 }
 
 impl std::fmt::Display for GcReason {
@@ -32,6 +36,7 @@ impl std::fmt::Display for GcReason {
             GcReason::Exhausted => write!(f, "exhausted"),
             GcReason::Threshold => write!(f, "threshold"),
             GcReason::Requested => write!(f, "requested"),
+            GcReason::Predictive => write!(f, "predictive"),
         }
     }
 }
@@ -54,6 +59,9 @@ pub struct PauseRecord {
     /// Whether lazy concurrent work from the previous epoch was still
     /// unfinished when this pause began (Table 7's "!Lazy%").
     pub lazy_incomplete: bool,
+    /// Mapped-chunk count at the end of the pause (after any shrink
+    /// epilogue) — the footprint-over-time series for elastic heaps.
+    pub mapped_chunks: usize,
 }
 
 /// Work counters, one per [`WorkCounter`] variant.
@@ -134,9 +142,19 @@ pub enum WorkCounter {
     /// Granules whose mark bit was carried over into a sticky trace —
     /// heap the trace did not have to re-scan. Zero for full traces.
     TraceGranulesSkipped,
+    /// Chunks mapped into the heap (elastic growth events).
+    ChunksMapped,
+    /// Chunks released back to the OS (elastic shrink events).
+    ChunksReleased,
+    /// Collections triggered by the predictive (allocation-rate) policy
+    /// before exhaustion.
+    TriggerPredictive,
+    /// Collections triggered only when an allocator actually ran out of
+    /// memory (the trigger the predictive policy exists to pre-empt).
+    TriggerExhaustion,
 }
 
-const NUM_COUNTERS: usize = WorkCounter::TraceGranulesSkipped as usize + 1;
+const NUM_COUNTERS: usize = WorkCounter::TriggerExhaustion as usize + 1;
 
 /// A point-in-time copy of all statistics.
 #[derive(Debug, Clone)]
@@ -305,6 +323,10 @@ pub const ALL_COUNTERS: &[WorkCounter] = &[
     WorkCounter::StickyTraces,
     WorkCounter::FullTraces,
     WorkCounter::TraceGranulesSkipped,
+    WorkCounter::ChunksMapped,
+    WorkCounter::ChunksReleased,
+    WorkCounter::TriggerPredictive,
+    WorkCounter::TriggerExhaustion,
 ];
 
 #[cfg(test)]
@@ -320,6 +342,7 @@ mod tests {
             kind: "rc",
             started_satb: satb,
             lazy_incomplete: lazy,
+            mapped_chunks: 0,
         }
     }
 

@@ -91,6 +91,11 @@ pub struct RunOptions {
     /// Overrides the runtime's bounded wait for concurrent reclamation
     /// between out-of-memory retries (ms).
     pub oom_wait_concurrent_ms: Option<u64>,
+    /// Makes the heap elastic: the minimum heap as a multiple of the
+    /// benchmark's minimum heap (the maximum stays at
+    /// [`heap_factor`](Self::heap_factor)).  `None` (the default) keeps
+    /// the classic fixed-extent heap.
+    pub min_heap_factor: Option<f64>,
 }
 
 impl Default for RunOptions {
@@ -107,6 +112,7 @@ impl Default for RunOptions {
             watchdog_ms: None,
             oom_retry_stall_ms: None,
             oom_wait_concurrent_ms: None,
+            min_heap_factor: None,
         }
     }
 }
@@ -166,6 +172,13 @@ impl RunOptions {
         self.oom_wait_concurrent_ms = Some(ms);
         self
     }
+
+    /// Makes the heap elastic, with the minimum at `f` times the
+    /// benchmark's minimum heap (must not exceed the heap factor).
+    pub fn with_min_heap_factor(mut self, f: f64) -> Self {
+        self.min_heap_factor = Some(f);
+        self
+    }
 }
 
 /// Runs `spec` against the collector named `collector`.
@@ -196,6 +209,9 @@ pub fn run_workload(spec: &BenchmarkSpec, collector: &str, options: &RunOptions)
         .with_gc_workers(options.gc_workers)
         .with_concurrent_workers(options.concurrent_workers)
         .with_poll_interval(64);
+    if let Some(min_factor) = options.min_heap_factor {
+        runtime_options = runtime_options.with_heap_range(spec.heap_bytes(min_factor), heap_bytes);
+    }
     if let Some(fp) = &options.failpoints {
         runtime_options = runtime_options.with_failpoints(fp.clone());
     }
@@ -462,6 +478,105 @@ fn social_graph_thread(
     allocated
 }
 
+/// Allocation bursts per traffic-spike run.
+const TS_BURSTS: usize = 4;
+/// Idle-phase allocation as a fraction of the burst volume.
+const TS_IDLE_TRICKLE: f64 = 1.0 / 64.0;
+/// Housekeeping collections per idle phase (the periodic idle GCs
+/// production VMs schedule): these give the shrink policy the consecutive
+/// cold observations it needs to release the burst's chunks.
+const TS_IDLE_GCS: usize = 3;
+
+/// One mutator thread's slice of the traffic-spike workload: `TS_BURSTS`
+/// cycles of *burst* (rapid allocation with half the volume retained in a
+/// survivor store — the live set surges with the traffic) followed by
+/// *idle* (the store is dropped, a trickle of housekeeping allocation
+/// remains, and a few idle-time collections run).  Under a fixed-extent
+/// heap the footprint never recovers from the first burst; under an
+/// elastic heap the mapped-chunk count should saw-tooth with the phases.
+fn traffic_spike_thread(
+    runtime: Runtime,
+    spec: BenchmarkSpec,
+    options: RunOptions,
+    thread_index: usize,
+    target_bytes: usize,
+) -> usize {
+    let mut mutator = runtime.bind_mutator();
+    let mut rng = StdRng::seed_from_u64(options.seed ^ (thread_index as u64) << 32 ^ 0x5B1CE);
+    let mut allocated = 0usize;
+
+    // The burst's retained state: sized to this thread's share of the
+    // *minimum* heap's live budget (the same convention as the other
+    // workloads).  The store must stay evacuable by a half-reserve copying
+    // collector even near the elastic floor — the footprint spike comes
+    // from the burst's allocation volume, not from the retained live set.
+    let live_budget_words = (spec.min_heap_mb << 20) / 8 / 2 / spec.mutator_threads;
+    let store_slots = (live_budget_words / spec.mean_object_words.max(2)).clamp(64, 60_000) as u16;
+    let store_root = {
+        let store = mutator.alloc(store_slots, 0, 0);
+        mutator.push_root(store)
+    };
+
+    // A traffic spike that fits inside the baseline heap is no spike at
+    // all, so however small the run's scale, each burst allocates at least
+    // 1.5× this thread's share of the minimum heap (pushing an elastic
+    // heap past its floor before the idle phase lets it shrink back) and
+    // 0.75× its share of the *maximum* heap (pressuring the provisioned
+    // ceiling, which is what lets the allocation-rate predictor fire
+    // collections ahead of outright exhaustion).
+    let min_share = (spec.min_heap_mb << 20) * 3 / 2 / spec.mutator_threads;
+    let max_share = spec.heap_bytes(options.heap_factor) * 3 / 4 / spec.mutator_threads;
+    let burst_floor = min_share.max(max_share);
+    let per_burst = (target_bytes / TS_BURSTS).max(burst_floor);
+    let burst_bytes = (per_burst as f64 * (1.0 - TS_IDLE_TRICKLE)) as usize;
+    let trickle_bytes = per_burst - burst_bytes;
+    for _ in 0..TS_BURSTS {
+        // Burst: the spike hits.  High survival fills the store.
+        let burst_end = allocated + burst_bytes;
+        while allocated < burst_end {
+            let size = spec.mean_object_words.max(3);
+            let data = rng.gen_range(1..=(2 * size - 2).max(2)) as u16;
+            let obj = mutator.alloc(1, data, 1);
+            mutator.write_data(obj, 0, allocated as u64);
+            allocated += ObjectShape::new(1, data, 1).size_words() * 8;
+            if rng.gen_bool(spec.survival_rate.clamp(0.0, 1.0)) {
+                let store = mutator.root(store_root);
+                let slot = rng.gen_range(0..store_slots as usize);
+                if rng.gen_bool(spec.pointer_churn) {
+                    let other = mutator.read_ref(store, rng.gen_range(0..store_slots as usize));
+                    mutator.write_ref(obj, 0, other);
+                }
+                mutator.write_ref(store, slot, obj);
+            }
+        }
+        // The spike passes: drop the retained state.
+        let store = mutator.root(store_root);
+        for slot in 0..store_slots as usize {
+            mutator.write_ref(store, slot, lxr_object::ObjectReference::NULL);
+        }
+        // Idle: a trickle of housekeeping allocation and a few idle-time
+        // collections, during which a well-behaved elastic heap releases
+        // the burst's chunks.
+        let idle_end = allocated + trickle_bytes;
+        let gc_stride = trickle_bytes / TS_IDLE_GCS.max(1) + 1;
+        let mut next_gc = allocated + gc_stride;
+        while allocated < idle_end {
+            let obj = mutator.alloc(1, 6, 1);
+            mutator.write_data(obj, 0, allocated as u64);
+            allocated += ObjectShape::new(1, 6, 1).size_words() * 8;
+            if allocated >= next_gc {
+                next_gc += gc_stride;
+                if thread_index == 0 {
+                    mutator.request_gc();
+                } else {
+                    mutator.blocked(|| std::thread::sleep(Duration::from_micros(200)));
+                }
+            }
+        }
+    }
+    allocated
+}
+
 fn run_throughput(
     runtime: &Runtime,
     spec: &BenchmarkSpec,
@@ -470,6 +585,7 @@ fn run_throughput(
     let total_bytes = ((spec.total_alloc_mb as f64) * options.scale * 1024.0 * 1024.0) as usize;
     let per_thread = total_bytes / spec.mutator_threads;
     let social = spec.social_graph;
+    let spike = spec.traffic_spike;
     let threads: Vec<_> = (0..spec.mutator_threads)
         .map(|t| {
             let runtime = runtime.clone();
@@ -478,6 +594,8 @@ fn run_throughput(
             std::thread::spawn(move || {
                 if social {
                     Ok(social_graph_thread(runtime, spec, options, t, per_thread))
+                } else if spike {
+                    Ok(traffic_spike_thread(runtime, spec, options, t, per_thread))
                 } else {
                     throughput_thread(runtime, spec, options, t, per_thread)
                 }

@@ -21,7 +21,8 @@ pub mod spec;
 
 pub use engine::{run_workload, RunOptions, WorkloadResult};
 pub use spec::{
-    benchmark, extended_suite, latency_suite, social_graph_churn, suite, BenchmarkSpec, LatencySpec,
+    benchmark, extended_suite, latency_suite, social_graph_churn, suite, traffic_spike, BenchmarkSpec,
+    LatencySpec,
 };
 
 #[cfg(test)]
@@ -108,6 +109,63 @@ mod tests {
         );
         assert!(!result.skipped);
         assert!(result.allocated_bytes > 0);
+    }
+
+    #[test]
+    fn elastic_heap_shrinks_under_load_for_every_baseline_family() {
+        // Shrink-under-load regression for the non-LXR collectors: the
+        // elastic grow/shrink policy lives in the pause epilogue shared by
+        // every plan, so each baseline family — stop-the-world mark-region
+        // (parallel), generational (g1), concurrent copying (shenandoah) —
+        // must breathe on the traffic spike, under the every-GC verifier.
+        let spec = traffic_spike();
+        for collector in ["parallel", "g1", "shenandoah"] {
+            let result = run_workload(
+                &spec,
+                collector,
+                &RunOptions::default()
+                    .with_heap_factor(3.0)
+                    .with_scale(0.2)
+                    .with_min_heap_factor(1.0)
+                    .with_verify_every_n_gcs(1),
+            );
+            assert!(!result.skipped, "{collector} should run the traffic spike");
+            assert!(result.failure.is_none(), "{collector}: {:?}", result.failure);
+            assert!(result.gc.pause_count() > 0, "{collector} must collect during the bursts");
+            let released = result.gc.counter(lxr_runtime::WorkCounter::ChunksReleased);
+            assert!(released > 0, "{collector} never released a chunk after the bursts");
+        }
+    }
+
+    #[test]
+    fn chunk_release_racing_allocation_degrades_cleanly_under_failpoints() {
+        // The pinned chunk-churn schedule from the harness chaos suite:
+        // delays inside the chunk-map transition and yields inside chunk
+        // release and the predictive trigger widen the window in which a
+        // pause-epilogue release races a growing allocation.  The loser of
+        // that race must degrade to a regrow — never an integrity failure —
+        // and the every-GC verifier audits each heap along the way.  The
+        // schedule is inert without `--features failpoints`; the test then
+        // still pins the guard plumbing and the clean elastic run.
+        let _guard = lxr_failpoints::ScheduleGuard::install(
+            "seed=7;heap.chunk-map=delay:50us@every=2;heap.chunk-release=yield@p=0.5;\
+             trigger.predictive=yield@p=0.25",
+        )
+        .expect("the pinned chunk-churn schedule parses");
+        let spec = traffic_spike();
+        let result = run_workload(
+            &spec,
+            "lxr",
+            &RunOptions::default()
+                .with_heap_factor(3.0)
+                .with_scale(0.2)
+                .with_min_heap_factor(1.0)
+                .with_verify_every_n_gcs(1),
+        );
+        assert!(!result.skipped);
+        assert!(result.failure.is_none(), "chunk churn must degrade cleanly: {:?}", result.failure);
+        assert!(result.gc.counter(lxr_runtime::WorkCounter::ChunksMapped) > 0, "the heap grew");
+        assert!(result.gc.counter(lxr_runtime::WorkCounter::ChunksReleased) > 0, "the heap shrank");
     }
 
     #[test]

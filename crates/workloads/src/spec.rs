@@ -54,6 +54,12 @@ pub struct BenchmarkSpec {
     /// connectivity and cyclic garbage make the concurrent backup trace,
     /// not the RC pauses, the reclamation bottleneck.
     pub social_graph: bool,
+    /// Whether the workload alternates allocation bursts with near-idle
+    /// phases (the "traffic spike" scenario): the live set and allocation
+    /// rate both collapse between bursts, so a heap sized for the peak
+    /// wastes most of its footprint — the scenario elastic heaps exist
+    /// for.
+    pub traffic_spike: bool,
     /// Number of mutator threads.
     pub mutator_threads: usize,
     /// Request/latency behaviour for the latency-critical workloads.
@@ -92,6 +98,7 @@ pub fn suite() -> Vec<BenchmarkSpec> {
             pointer_churn: 0.2,
             linked_list_stress: false,
             social_graph: false,
+            traffic_spike: false,
             mutator_threads: 4,
             latency: None,
         }
@@ -175,16 +182,46 @@ pub fn social_graph_churn() -> BenchmarkSpec {
         pointer_churn: 0.5,
         linked_list_stress: false,
         social_graph: true,
+        traffic_spike: false,
         mutator_threads: 4,
         latency: None,
     }
 }
 
-/// The paper suite plus the scenario-diversity extras (currently
-/// [`social_graph_churn`]).
+/// The burst-then-idle "traffic spike" workload: allocation arrives in
+/// bursts (a traffic spike hits, the live set and allocation rate surge),
+/// separated by near-idle phases in which the retained state is dropped
+/// and only a trickle of housekeeping allocation remains.  A fixed-extent
+/// heap sized for the spike wastes most of its footprint between spikes;
+/// an elastic heap should grow chunk-by-chunk into each burst and release
+/// the cold chunks during the following idle phase.  The harness plots
+/// mapped chunks per GC over the run to show exactly that.
+///
+/// Not part of the paper's 17-benchmark suite ([`suite`]); exposed through
+/// [`extended_suite`] and [`benchmark`] for scenario diversity.
+pub fn traffic_spike() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "trafficspike",
+        min_heap_mb: 8,
+        total_alloc_mb: 64,
+        mean_object_words: 8,
+        large_fraction: 0.0,
+        survival_rate: 0.5,
+        pointer_churn: 0.1,
+        linked_list_stress: false,
+        social_graph: false,
+        traffic_spike: true,
+        mutator_threads: 2,
+        latency: None,
+    }
+}
+
+/// The paper suite plus the scenario-diversity extras
+/// ([`social_graph_churn`] and [`traffic_spike`]).
 pub fn extended_suite() -> Vec<BenchmarkSpec> {
     let mut all = suite();
     all.push(social_graph_churn());
+    all.push(traffic_spike());
     all
 }
 
@@ -222,12 +259,21 @@ mod tests {
 
     #[test]
     fn extended_suite_adds_social_graph_churn() {
-        assert_eq!(extended_suite().len(), suite().len() + 1);
+        assert_eq!(extended_suite().len(), suite().len() + 2);
         let sg = benchmark("socialgraph").unwrap();
         assert!(sg.social_graph);
         assert!(!sg.is_latency_critical());
         assert!(sg.pointer_churn >= 0.5, "dense mature rewiring is the point of the scenario");
         assert!(!suite().iter().any(|b| b.name == "socialgraph"), "the paper suite stays at 17");
+    }
+
+    #[test]
+    fn extended_suite_adds_traffic_spike() {
+        let ts = benchmark("trafficspike").unwrap();
+        assert!(ts.traffic_spike);
+        assert!(!ts.is_latency_critical());
+        assert!(ts.survival_rate >= 0.4, "bursts must retain state for the heap to actually grow");
+        assert!(!suite().iter().any(|b| b.name == "trafficspike"), "the paper suite stays at 17");
     }
 
     #[test]
