@@ -110,6 +110,21 @@ impl Plan for LxrPlan {
         None
     }
 
+    fn defer_poll_trigger(&self, reason: GcReason) -> bool {
+        if !matches!(reason, GcReason::Threshold | GcReason::Predictive) {
+            return false;
+        }
+        // The pause gate may park a pacing trigger only while the heap can
+        // absorb the wait: deferral is bounded by twice the heap-full
+        // backstop, so even if every in-flight request allocates through
+        // the whole deferral window the backstop trigger (which is never
+        // deferrable once `poll` reports it) still fires before exhaustion.
+        let state = &self.state;
+        let total = state.blocks.total_blocks();
+        let backstop_blocks = (state.config.heap_full_fraction * total as f64).max(2.0);
+        state.available_blocks() as f64 > 2.0 * backstop_blocks
+    }
+
     fn collect(&self, collection: &Collection<'_>) {
         crate::pause::rc_pause(&self.state, collection);
     }

@@ -29,7 +29,13 @@
 //!   (`BENCH_heap.json`) carrying the mapped-chunks-per-GC footprint
 //!   series, the chunk map/release counters and the predictive-vs-
 //!   exhaustion trigger split: the acceptance evidence for the elastic
-//!   heap (chunks released between bursts, predictive triggers leading).
+//!   heap (chunks released between bursts, predictive triggers leading);
+//! * `serve` — the open-loop serving benchmark ([`serve_snapshot`]),
+//!   rendered into a fourth document (`BENCH_serve.json`) carrying
+//!   per-collector request-latency percentiles, allocation-stall time and
+//!   pause-gate counters on one seeded arrival schedule: the acceptance
+//!   evidence for the latency-SLO claim (LXR's p99.9 below the
+//!   stop-the-world baselines').
 //!
 //! Each record carries the bench id, collector, scheduler variant, worker
 //! count, wall-time stats over the measured iterations, and the scheduler
@@ -77,6 +83,9 @@ pub struct SnapshotConfig {
     pub barrier_scale: f64,
     /// Workload scale for the in-process heap-elasticity experiment.
     pub heap_scale: f64,
+    /// Workload scale for the open-loop serving benchmark
+    /// ([`serve_snapshot`], committed as `BENCH_serve.json`).
+    pub serve_scale: f64,
 }
 
 impl SnapshotConfig {
@@ -92,6 +101,7 @@ impl SnapshotConfig {
             mark_iters: 5,
             barrier_scale: 0.02,
             heap_scale: 0.5,
+            serve_scale: 1.0,
         }
     }
 
@@ -106,6 +116,7 @@ impl SnapshotConfig {
             mark_iters: 3,
             barrier_scale: 0.01,
             heap_scale: 0.2,
+            serve_scale: 0.25,
         }
     }
 
@@ -120,6 +131,7 @@ impl SnapshotConfig {
             mark_iters: 1,
             barrier_scale: 0.002,
             heap_scale: 0.05,
+            serve_scale: 0.04,
         }
     }
 }
@@ -826,6 +838,81 @@ fn bench_heap_elasticity(cfg: &SnapshotConfig) -> HeapComparison {
     }
 }
 
+/// Runs the open-loop serving benchmark across [`SERVE_COLLECTORS`] on the
+/// same seeded arrival schedule and renders a fourth snapshot document
+/// (committed as `BENCH_serve.json`): per-collector request-latency
+/// percentiles and allocation-stall time as `"id"`/`"median"` records —
+/// the same line shape as the scheduler snapshot, so [`parse_snapshot`]
+/// and [`diff`] work on it unchanged — plus the offered-load fingerprint
+/// and the pause-gate counters.
+///
+/// [`SERVE_COLLECTORS`]: crate::experiments::SERVE_COLLECTORS
+pub fn serve_snapshot(cfg: &SnapshotConfig) -> String {
+    let spec = lxr_workloads::serve_spec();
+    let options = lxr_workloads::ServeOptions::default().with_scale(cfg.serve_scale).with_seed(42);
+
+    let unix_time =
+        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+    let mut doc = String::new();
+    doc.push_str("{\n");
+    doc.push_str("  \"schema\": \"lxr-bench-serve-v1\",\n");
+    doc.push_str(&format!("  \"created_by\": \"lxr-harness {}\",\n", env!("CARGO_PKG_VERSION")));
+    doc.push_str(&format!("  \"unix_time\": {unix_time},\n"));
+    doc.push_str(&format!("  \"host\": {},\n", host_fingerprint()));
+
+    let mut digest = None;
+    let mut records: Vec<String> = Vec::new();
+    let mut headers: Vec<String> = Vec::new();
+    for collector in crate::experiments::SERVE_COLLECTORS {
+        let r = lxr_workloads::run_serve(&spec, collector, &options);
+        assert!(!r.skipped, "{collector} skipped the serving benchmark");
+        assert!(r.failure.is_none(), "{collector} serve integrity failure: {:?}", r.failure);
+        // Every collector must have been offered the identical load.
+        match digest {
+            None => digest = Some(r.schedule_digest),
+            Some(d) => assert_eq!(d, r.schedule_digest, "offered schedules diverged"),
+        }
+        headers.push(format!(
+            "    {{ \"collector\": \"{collector}\", \"qps\": {:.0}, \"requests\": {}, \
+             \"gate\": {{ \"parked\": {}, \"boundary\": {}, \"kicks\": {} }} }}",
+            r.qps,
+            r.requests,
+            r.gc.counter(WorkCounter::GateDeferredTriggers),
+            r.gc.counter(WorkCounter::GateBoundaryPauses),
+            r.gc.counter(WorkCounter::GateKicks),
+        ));
+        for (metric, value) in [
+            ("p50", r.percentile(50.0)),
+            ("p99", r.percentile(99.0)),
+            ("p99_9", r.percentile(99.9)),
+            ("max", r.histogram.max()),
+            ("alloc_stall", r.alloc_stall_time),
+        ] {
+            records.push(format!(
+                "    {{ \"id\": \"serve/{collector}/{metric}\", \"collector\": \"{collector}\", \
+                 \"wall_ns\": {{ \"median\": {} }} }}",
+                value.as_nanos()
+            ));
+        }
+    }
+
+    doc.push_str(&format!(
+        "  \"workload\": {{ \"name\": \"{}\", \"scale\": {}, \"seed\": 42, \"workers\": {}, \
+         \"schedule_digest\": {} }},\n",
+        spec.name,
+        cfg.serve_scale,
+        spec.workers,
+        digest.expect("at least one collector ran"),
+    ));
+    doc.push_str("  \"collectors\": [\n");
+    doc.push_str(&headers.join(",\n"));
+    doc.push_str("\n  ],\n");
+    doc.push_str("  \"benches\": [\n");
+    doc.push_str(&records.join(",\n"));
+    doc.push_str("\n  ]\n}\n");
+    doc
+}
+
 fn host_fingerprint() -> String {
     let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0);
     let cpu_model = std::fs::read_to_string("/proc/cpuinfo")
@@ -1033,6 +1120,23 @@ mod tests {
         let doc = comparison.to_json();
         assert!(doc.contains("\"reduction\""));
         assert!(doc.contains("\"granules_skipped\""));
+    }
+
+    #[test]
+    fn serve_snapshot_is_parseable_and_diffable() {
+        let doc = serve_snapshot(&SnapshotConfig::tiny());
+        let parsed = parse_snapshot(&doc);
+        // 4 collectors × (p50, p99, p99.9, max, alloc_stall).
+        assert_eq!(parsed.len(), 20, "unexpected serve record count in:\n{doc}");
+        assert!(parsed.iter().any(|(id, _)| id == "serve/lxr/p99_9"));
+        assert!(parsed.iter().any(|(id, _)| id == "serve/shenandoah/alloc_stall"));
+        assert!(doc.contains("\"schema\": \"lxr-bench-serve-v1\""));
+        assert!(doc.contains("\"schedule_digest\": "));
+        assert!(doc.contains("\"gate\": {"));
+        // The serve document diffs with the same machinery as the
+        // scheduler snapshot.
+        let (report, regressions) = diff(&doc, &doc);
+        assert_eq!(regressions, 0, "{report}");
     }
 
     #[test]

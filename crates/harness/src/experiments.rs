@@ -1,10 +1,10 @@
 //! The experiments: one function per table/figure of the paper.
 
-use crate::report::{ms, ratio, Table};
+use crate::report::{ms, ratio, us, Table};
 use lxr_heap::HeapConfig;
 use lxr_workloads::{
-    benchmark, latency_suite, run_workload, social_graph_churn, suite, traffic_spike, BenchmarkSpec,
-    RunOptions, WorkloadResult,
+    benchmark, latency_suite, run_serve, run_workload, serve_spec, social_graph_churn, suite, traffic_spike,
+    BenchmarkSpec, RunOptions, ServeOptions, ServeResult, ServeSpec, WorkloadResult,
 };
 
 /// Options shared by every experiment.
@@ -674,6 +674,77 @@ pub fn heap_elasticity(options: &ExperimentOptions) -> Table {
     table
 }
 
+/// The collectors the serving benchmark compares: the paper's collector
+/// against its stickied variant and the two baselines whose pause profiles
+/// bracket it (generational stop-the-world and concurrent copying).
+pub const SERVE_COLLECTORS: &[&str] = &["lxr", "lxr-sticky", "g1", "shenandoah"];
+
+/// Maps the harness-wide options onto the serving engine's.
+fn serve_options(options: &ExperimentOptions) -> ServeOptions {
+    let mut o = ServeOptions::default()
+        .with_scale(options.scale)
+        .with_seed(options.seed)
+        .with_gc_threads(options.gc_workers, options.concurrent_workers);
+    if let Some(fp) = &options.failpoints {
+        o = o.with_failpoints(fp.clone());
+    }
+    if let Some(n) = options.verify_every_n_gcs {
+        o = o.with_verify_every_n_gcs(n);
+    }
+    if let Some(ms) = options.watchdog_ms {
+        o = o.with_watchdog_ms(ms);
+    }
+    o
+}
+
+/// [`run_serve`] with the same integrity reporting as [`run_checked`].
+fn run_serve_checked(spec: &ServeSpec, collector: &str, options: &ServeOptions) -> ServeResult {
+    let r = run_serve(spec, collector, options);
+    if let Some(report) = &r.failure {
+        eprintln!("INTEGRITY FAILURE: {} on {}\n{report}", collector, spec.name);
+        INTEGRITY_FAILURES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+    r
+}
+
+/// **Serving**: the open-loop session-frontend benchmark — a seeded
+/// arrival schedule (so every collector serves the *same* offered load),
+/// coordinated-omission-correct latency percentiles, allocation-stall time,
+/// and the request-aware pause gate's counters (triggers parked at request
+/// boundaries, collections released there, concurrent kicks from idle
+/// mutators).
+pub fn serve(options: &ExperimentOptions) -> (Table, Vec<ServeResult>) {
+    let spec = serve_spec();
+    let mut table = Table::new(
+        "Serving: open-loop session frontend (latency µs; 2x heap, gate on)",
+        &["collector", "QPS", "p50", "p90", "p99", "p99.9", "max", "stall ms", "parked", "boundary", "kicks"],
+    );
+    let serve_opts = serve_options(options);
+    let mut results = Vec::new();
+    for collector in SERVE_COLLECTORS {
+        let r = run_serve_checked(&spec, collector, &serve_opts);
+        if r.skipped {
+            table.row(vec![(*collector).into(), "skipped".into()]);
+        } else {
+            table.row(vec![
+                (*collector).into(),
+                format!("{:.0}", r.qps),
+                us(r.percentile(50.0)),
+                us(r.percentile(90.0)),
+                us(r.percentile(99.0)),
+                us(r.percentile(99.9)),
+                us(r.histogram.max()),
+                ms(r.alloc_stall_time),
+                format!("{}", r.gc.counter(lxr_runtime::WorkCounter::GateDeferredTriggers)),
+                format!("{}", r.gc.counter(lxr_runtime::WorkCounter::GateBoundaryPauses)),
+                format!("{}", r.gc.counter(lxr_runtime::WorkCounter::GateKicks)),
+            ]);
+        }
+        results.push(r);
+    }
+    (table, results)
+}
+
 /// The pinned fault schedules the chaos experiment sweeps.  Each is a
 /// deterministic [`lxr_failpoints`] schedule exercising a different failure
 /// class; the seeds are fixed so a failing cell reproduces exactly.
@@ -815,6 +886,19 @@ mod tests {
     fn heap_elasticity_covers_every_collector_plus_a_fixed_control() {
         let table = heap_elasticity(&quick_options(0.05));
         assert_eq!(table.len(), 5, "four elastic collectors plus the fixed+verify control");
+    }
+
+    #[test]
+    fn serve_compares_the_four_collectors() {
+        let (table, results) = serve(&quick_options(0.05));
+        assert_eq!(table.len(), SERVE_COLLECTORS.len());
+        for r in results.iter().filter(|r| !r.skipped) {
+            assert!(r.failure.is_none(), "{}: {:?}", r.collector, r.failure);
+            assert_eq!(r.histogram.count(), r.requests as u64);
+        }
+        // Every collector served the identical offered schedule.
+        let digests: Vec<u64> = results.iter().map(|r| r.schedule_digest).collect();
+        assert!(digests.windows(2).all(|w| w[0] == w[1]), "schedules diverged: {digests:?}");
     }
 
     #[test]

@@ -6,12 +6,17 @@
 //!             <experiment>...
 //!
 //! experiments: table1 table3 table4 table5 table6 table7 fig7
-//!              barrier-overhead sensitivity socialgraph heap chaos all
+//!              barrier-overhead sensitivity socialgraph heap serve chaos all
 //!
-//! lxr-harness bench-snapshot [--quick] [OUT.json] [TRACE_OUT.json] [HEAP_OUT.json]
-//!                     (defaults BENCH_sched.json BENCH_trace.json BENCH_heap.json)
+//! lxr-harness bench-snapshot [--quick] [OUT.json] [TRACE_OUT.json] [HEAP_OUT.json] [SERVE_OUT.json]
+//!        (defaults BENCH_sched.json BENCH_trace.json BENCH_heap.json BENCH_serve.json)
 //! lxr-harness bench-diff OLD.json NEW.json
 //! ```
+//!
+//! `serve` runs the open-loop serving benchmark: a seeded arrival schedule
+//! drives session churn against each collector, and the report shows
+//! coordinated-omission-correct latency percentiles, allocation-stall time
+//! and the request-aware pause gate's counters.
 //!
 //! `chaos` sweeps pinned fault-injection schedules across collectors (build
 //! with `--features failpoints` for the schedules to fire).  The harness
@@ -81,6 +86,7 @@ fn main() {
             let out = requested.get(1).cloned().unwrap_or_else(|| "BENCH_sched.json".to_string());
             let trace_out = requested.get(2).cloned().unwrap_or_else(|| "BENCH_trace.json".to_string());
             let heap_out = requested.get(3).cloned().unwrap_or_else(|| "BENCH_heap.json".to_string());
+            let serve_out = requested.get(4).cloned().unwrap_or_else(|| "BENCH_serve.json".to_string());
             let cfg = if quick {
                 lxr_harness::benchsnap::SnapshotConfig::quick()
             } else {
@@ -88,13 +94,17 @@ fn main() {
             };
             eprintln!("running scheduler bench snapshot ({cfg:?})...");
             let (doc, trace_doc, heap_doc) = lxr_harness::benchsnap::snapshot(&cfg);
+            eprintln!("running serving bench snapshot...");
+            let serve_doc = lxr_harness::benchsnap::serve_snapshot(&cfg);
             std::fs::write(&out, &doc).unwrap_or_else(|e| panic!("writing {out}: {e}"));
             std::fs::write(&trace_out, &trace_doc).unwrap_or_else(|e| panic!("writing {trace_out}: {e}"));
             std::fs::write(&heap_out, &heap_doc).unwrap_or_else(|e| panic!("writing {heap_out}: {e}"));
+            std::fs::write(&serve_out, &serve_doc).unwrap_or_else(|e| panic!("writing {serve_out}: {e}"));
             println!("{doc}");
             println!("{trace_doc}");
             println!("{heap_doc}");
-            eprintln!("wrote {out}, {trace_out} and {heap_out}");
+            println!("{serve_doc}");
+            eprintln!("wrote {out}, {trace_out}, {heap_out} and {serve_out}");
             return;
         }
         Some("bench-diff") => {
@@ -156,6 +166,10 @@ fn main() {
     }
     if want("heap") {
         println!("{}", experiments::heap_elasticity(&options));
+    }
+    if want("serve") {
+        let (table, _) = experiments::serve(&options);
+        println!("{table}");
     }
     // `chaos` is opt-in: it is not part of `all` because its fault schedules
     // are inert (and its table all-`survived`) without `--features failpoints`.

@@ -78,6 +78,13 @@ pub fn ms(d: std::time::Duration) -> String {
     format!("{:.1}", d.as_secs_f64() * 1e3)
 }
 
+/// Formats a `Duration` in microseconds, whole numbers: the right unit for
+/// serving latencies, which span tens of microseconds to tens of
+/// milliseconds.
+pub fn us(d: std::time::Duration) -> String {
+    format!("{:.0}", d.as_secs_f64() * 1e6)
+}
+
 /// Formats a ratio with three decimals.
 pub fn ratio(x: f64) -> String {
     format!("{x:.3}")
@@ -102,6 +109,7 @@ mod tests {
     #[test]
     fn helpers_format_numbers() {
         assert_eq!(ms(std::time::Duration::from_micros(1500)), "1.5");
+        assert_eq!(us(std::time::Duration::from_micros(1500)), "1500");
         assert_eq!(ratio(0.5), "0.500");
     }
 }

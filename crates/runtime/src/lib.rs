@@ -38,6 +38,7 @@
 pub mod mutator;
 pub mod nogc;
 pub mod options;
+pub mod pausegate;
 pub mod plan;
 pub mod rendezvous;
 pub mod runtime;
@@ -49,6 +50,7 @@ pub mod workers;
 pub use mutator::{Mutator, MutatorShared, RootSlot};
 pub use nogc::NoGcPlan;
 pub use options::RuntimeOptions;
+pub use pausegate::{Deferral, PauseGate};
 pub use plan::{
     AllocFailure, Collection, ConcurrentWork, Plan, PlanContext, PlanFactory, PlanMutator, RootSet,
     YieldCheck,

@@ -248,13 +248,74 @@ impl Mutator {
     }
 
     /// Polls the plan's pacing triggers and parks if a collection results.
+    ///
+    /// With the [pause gate](crate::PauseGate) enabled, a deferrable pacing
+    /// trigger (threshold/predictive, and only if the plan's
+    /// [`defer_poll_trigger`](crate::plan::Plan::defer_poll_trigger) agrees
+    /// the heap has the headroom) raised mid-request is parked for the next
+    /// request boundary instead of pausing on the spot.
     fn poll_and_park(&mut self) {
         if self.runtime.rendezvous.gc_pending() {
             self.park_for_gc();
             return;
         }
         if let Some(reason) = self.runtime.plan.poll() {
+            if self.runtime.gate.enabled() && self.runtime.plan.defer_poll_trigger(reason) {
+                match self.runtime.gate.try_defer(reason) {
+                    crate::pausegate::Deferral::Parked => {
+                        self.runtime.stats.add(WorkCounter::GateDeferredTriggers, 1);
+                        return;
+                    }
+                    crate::pausegate::Deferral::Pending => return,
+                    crate::pausegate::Deferral::Fire => {}
+                }
+            }
             self.trigger_gc_and_wait(reason);
+        }
+    }
+
+    // ----- Request boundaries (serving workloads) --------------------------
+
+    /// Marks the start of a request on this thread (a safepoint, plus
+    /// bookkeeping for the [pause gate](crate::PauseGate)).  Serving engines
+    /// bracket each request with [`begin_request`](Self::begin_request)/
+    /// [`end_request`](Self::end_request) so deferrable collections land on
+    /// the boundaries between them.
+    pub fn begin_request(&mut self) {
+        self.safepoint();
+        if self.runtime.gate.enabled() {
+            self.runtime.gate.begin_request();
+        }
+    }
+
+    /// Marks the end of a request: releases any collection the gate parked
+    /// while requests were in flight, pausing *here*, on the boundary,
+    /// where no request's latency clock is running.
+    pub fn end_request(&mut self) {
+        if self.runtime.gate.enabled() {
+            if let Some(reason) = self.runtime.gate.end_request() {
+                self.runtime.stats.add(WorkCounter::GateBoundaryPauses, 1);
+                self.trigger_gc_and_wait(reason);
+            }
+        }
+    }
+
+    /// Sleeps (blocked, so collections need not wait for this thread) until
+    /// `deadline`, first spending the idle gap on GC: any gate-parked
+    /// collection fires now, and the concurrent crew is kicked to soak up
+    /// the idle CPU (Monk-style opportunism).  The open-loop serving engine
+    /// calls this for every arrival-schedule gap.
+    pub fn idle_until(&mut self, deadline: std::time::Instant) {
+        if self.runtime.gate.enabled() {
+            if let Some(reason) = self.runtime.gate.take_deferred() {
+                self.runtime.stats.add(WorkCounter::GateBoundaryPauses, 1);
+                self.trigger_gc_and_wait(reason);
+            }
+            self.runtime.kick_concurrent();
+        }
+        let now = std::time::Instant::now();
+        if now < deadline {
+            self.blocked(|| std::thread::sleep(deadline - now));
         }
     }
 
@@ -269,8 +330,10 @@ impl Mutator {
     }
 
     fn park_for_gc(&mut self) {
+        let start = std::time::Instant::now();
         self.plan_mutator.prepare_for_gc();
         self.runtime.rendezvous.safepoint_park();
+        self.runtime.stats.add_alloc_stall(start.elapsed());
     }
 
     /// Waits (bounded) for the concurrent crew to drain its outstanding

@@ -78,6 +78,16 @@ pub struct RuntimeOptions {
     /// backstop plus `predictive_lead` times the predicted allocation of
     /// one epoch.  `0.0` disables the predictive trigger entirely.
     pub predictive_lead: f64,
+    /// Enables the request-aware [`PauseGate`](crate::PauseGate): deferrable
+    /// pacing triggers (threshold/predictive) raised while a request is in
+    /// flight are parked and released at the next request boundary or idle
+    /// wait.  Off by default — trigger behaviour is unchanged unless a
+    /// serving engine opts in.
+    pub pause_gate: bool,
+    /// Wall-clock bound on how long the gate may park a trigger while
+    /// waiting for a request boundary; past the deadline the trigger fires
+    /// at the next poll regardless.
+    pub pause_gate_defer_ms: u64,
 }
 
 impl Default for RuntimeOptions {
@@ -95,6 +105,8 @@ impl Default for RuntimeOptions {
             watchdog_ms: None,
             shrink_idle_pauses: 2,
             predictive_lead: 0.5,
+            pause_gate: false,
+            pause_gate_defer_ms: 5,
         }
     }
 }
@@ -202,6 +214,19 @@ impl RuntimeOptions {
         self
     }
 
+    /// Enables or disables the request-aware pause gate.
+    pub fn with_pause_gate(mut self, enabled: bool) -> Self {
+        self.pause_gate = enabled;
+        self
+    }
+
+    /// Sets the gate's deferral window (milliseconds a pacing trigger may
+    /// wait for a request boundary before firing anyway).
+    pub fn with_pause_gate_defer_ms(mut self, ms: u64) -> Self {
+        self.pause_gate_defer_ms = ms;
+        self
+    }
+
     /// The effective deadline for the post-pause concurrent-reclamation
     /// wait: the dedicated knob, falling back to the stall deadline.
     pub fn effective_oom_wait_concurrent_ms(&self) -> u64 {
@@ -221,6 +246,8 @@ mod tests {
         assert!((1..=4).contains(&o.concurrent_workers));
         assert_eq!(o.heap.block_bytes, 32 * 1024);
         assert!(o.poll_interval_allocs >= 1);
+        assert!(!o.pause_gate, "the gate must be opt-in");
+        assert!(o.pause_gate_defer_ms > 0);
     }
 
     #[test]

@@ -217,6 +217,17 @@ pub trait Plan: Send + Sync + 'static {
     /// mutator allocation slow paths and periodic polls).
     fn poll(&self) -> Option<GcReason>;
 
+    /// Whether a collection raised by [`poll`](Self::poll) for `reason` may
+    /// be briefly parked by the request-aware [`PauseGate`](crate::PauseGate)
+    /// to wait for a request boundary.  Exhaustion and explicit requests
+    /// are never deferrable; the default allows the pacing triggers
+    /// (threshold/predictive) unconditionally.  Plans should veto deferral
+    /// when the heap is too close to its exhaustion backstop to wait out a
+    /// request — LXR requires twice the heap-full backstop in headroom.
+    fn defer_poll_trigger(&self, reason: GcReason) -> bool {
+        matches!(reason, GcReason::Threshold | GcReason::Predictive)
+    }
+
     /// Performs one stop-the-world collection.  Every mutator is parked and
     /// has had `prepare_for_gc` called on its [`PlanMutator`].
     fn collect(&self, collection: &Collection<'_>);

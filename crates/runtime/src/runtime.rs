@@ -2,9 +2,10 @@
 //! concurrent collector thread together.
 
 use crate::mutator::{Mutator, MutatorShared};
+use crate::pausegate::PauseGate;
 use crate::plan::{Collection, ConcurrentWork, Plan, PlanContext, PlanFactory, RootSet};
 use crate::rendezvous::Rendezvous;
-use crate::stats::{GcReason, GcStats, PauseRecord};
+use crate::stats::{GcReason, GcStats, PauseRecord, WorkCounter};
 use crate::workers::WorkerPool;
 use crate::RuntimeOptions;
 use lxr_heap::{BlockAllocator, HeapSpace, LargeObjectSpace};
@@ -69,6 +70,9 @@ pub struct RuntimeShared {
     pub options: RuntimeOptions,
     /// The parallel GC worker pool.
     pub workers: Arc<WorkerPool>,
+    /// The request-aware pause gate (disabled unless
+    /// [`RuntimeOptions::pause_gate`](crate::RuntimeOptions) is set).
+    pub gate: PauseGate,
     /// Attributes of the pause currently being executed.
     pub pause_attrs: Arc<PauseAttrs>,
 
@@ -128,6 +132,17 @@ impl RuntimeShared {
         let mut epoch = self.concurrent_wake.lock();
         *epoch += 1;
         self.concurrent_cv.notify_all();
+    }
+
+    /// Opportunistically wakes the concurrent crew because a mutator is
+    /// about to go idle (an open-loop arrival gap): idle mutator CPU is the
+    /// cheapest time to run lazy decrements and SATB marking.  No-op when
+    /// the plan has no pending concurrent work or no crew exists.
+    pub(crate) fn kick_concurrent(&self) {
+        if self.options.concurrent_thread && self.plan.has_concurrent_work() {
+            self.stats.add(WorkCounter::GateKicks, 1);
+            self.wake_concurrent();
+        }
     }
 
     /// Parks the calling crew worker until a wake epoch newer than
@@ -248,6 +263,10 @@ impl Runtime {
             los,
             stats,
             rendezvous: Arc::new(Rendezvous::new()),
+            gate: PauseGate::new(
+                options.pause_gate,
+                std::time::Duration::from_millis(options.pause_gate_defer_ms),
+            ),
             options,
             workers,
             pause_attrs: Arc::new(PauseAttrs::default()),

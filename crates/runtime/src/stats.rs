@@ -152,9 +152,19 @@ pub enum WorkCounter {
     /// Collections triggered only when an allocator actually ran out of
     /// memory (the trigger the predictive policy exists to pre-empt).
     TriggerExhaustion,
+    /// Deferrable pacing triggers (threshold/predictive) parked by the
+    /// request-aware pause gate to wait for a request boundary.
+    GateDeferredTriggers,
+    /// Deferred collections released by the gate at a request boundary or
+    /// an open-loop idle point (rather than mid-request).
+    GateBoundaryPauses,
+    /// Concurrent-work kicks issued through the gate by mutators entering
+    /// an idle wait (Monk-style opportunism: spend mutator idle CPU on the
+    /// concurrent crew).
+    GateKicks,
 }
 
-const NUM_COUNTERS: usize = WorkCounter::TriggerExhaustion as usize + 1;
+const NUM_COUNTERS: usize = WorkCounter::GateKicks as usize + 1;
 
 /// A point-in-time copy of all statistics.
 #[derive(Debug, Clone)]
@@ -165,6 +175,10 @@ pub struct StatsSnapshot {
     pub stw_gc_time: Duration,
     /// Total concurrent collector busy time.
     pub concurrent_gc_time: Duration,
+    /// Total mutator time lost to GC stalls: every safepoint park (pause
+    /// waits, boundary pauses, exhaustion retries) summed across mutators.
+    /// The serving harness reports this as allocation-stall time.
+    pub alloc_stall_time: Duration,
     /// The work counters.
     pub counters: Vec<(WorkCounter, u64)>,
 }
@@ -217,6 +231,7 @@ pub struct GcStats {
     counters: [AtomicU64; NUM_COUNTERS],
     stw_gc_nanos: AtomicU64,
     concurrent_gc_nanos: AtomicU64,
+    alloc_stall_nanos: AtomicU64,
 }
 
 impl Default for GcStats {
@@ -233,6 +248,7 @@ impl GcStats {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             stw_gc_nanos: AtomicU64::new(0),
             concurrent_gc_nanos: AtomicU64::new(0),
+            alloc_stall_nanos: AtomicU64::new(0),
         }
     }
 
@@ -262,6 +278,11 @@ impl GcStats {
         self.concurrent_gc_nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
 
+    /// Accumulates mutator GC-stall time (one safepoint park).
+    pub fn add_alloc_stall(&self, d: Duration) {
+        self.alloc_stall_nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
     /// Number of pauses recorded so far.
     pub fn pause_count(&self) -> usize {
         self.pauses.lock().len()
@@ -288,6 +309,7 @@ impl GcStats {
             pauses: self.pauses.lock().clone(),
             stw_gc_time: Duration::from_nanos(self.stw_gc_nanos.load(Ordering::Relaxed)),
             concurrent_gc_time: Duration::from_nanos(self.concurrent_gc_nanos.load(Ordering::Relaxed)),
+            alloc_stall_time: Duration::from_nanos(self.alloc_stall_nanos.load(Ordering::Relaxed)),
             counters,
         }
     }
@@ -327,6 +349,9 @@ pub const ALL_COUNTERS: &[WorkCounter] = &[
     WorkCounter::ChunksReleased,
     WorkCounter::TriggerPredictive,
     WorkCounter::TriggerExhaustion,
+    WorkCounter::GateDeferredTriggers,
+    WorkCounter::GateBoundaryPauses,
+    WorkCounter::GateKicks,
 ];
 
 #[cfg(test)]
@@ -390,6 +415,16 @@ mod tests {
         assert_eq!(snap.pause_percentile(99.0), Duration::ZERO);
         assert_eq!(snap.satb_pause_fraction(), 0.0);
         assert_eq!(snap.pause_count(), 0);
+    }
+
+    #[test]
+    fn alloc_stall_accumulates_and_counter_list_is_complete() {
+        let s = GcStats::new();
+        s.add_alloc_stall(Duration::from_millis(2));
+        s.add_alloc_stall(Duration::from_millis(3));
+        assert_eq!(s.snapshot().alloc_stall_time, Duration::from_millis(5));
+        assert_eq!(ALL_COUNTERS.len(), NUM_COUNTERS);
+        assert_eq!(*ALL_COUNTERS.last().unwrap(), WorkCounter::GateKicks);
     }
 
     #[test]

@@ -1,0 +1,301 @@
+//! An HDR-style log-bucketed latency histogram.
+//!
+//! Recording a request latency must be O(1) and allocation-free — the
+//! serving engine records one sample per request on the hot path — and the
+//! histogram must resolve five orders of magnitude (microsecond service
+//! times through multi-millisecond pause-inflated tails) with bounded
+//! relative error.  The classic answer (HdrHistogram) is a two-level
+//! logarithmic bucketing: the value's magnitude picks a power-of-two
+//! *decade* and the next `SUB_BUCKET_BITS` bits pick a linear sub-bucket
+//! within it, giving a worst-case relative error of `2^-SUB_BUCKET_BITS`
+//! (~3%) from a few kilobytes of counters.
+//!
+//! Percentile queries report the *upper edge* of the bucket holding the
+//! requested rank (clamped to the exact observed maximum, which is tracked
+//! separately), so a reported percentile never understates the true one —
+//! the conservative direction for an SLO report.
+
+use std::time::Duration;
+
+/// Linear sub-bucket resolution: each power-of-two range is split into
+/// `2^SUB_BUCKET_BITS` equal sub-buckets.
+const SUB_BUCKET_BITS: u32 = 5;
+const SUB_BUCKETS: u64 = 1 << SUB_BUCKET_BITS;
+/// Buckets: one exact bucket per value below `SUB_BUCKETS`, then
+/// `SUB_BUCKETS` per power-of-two range up to `u64::MAX` nanoseconds.
+const NUM_BUCKETS: usize = (SUB_BUCKETS + (64 - SUB_BUCKET_BITS as u64) * SUB_BUCKETS) as usize;
+
+/// Maps a nanosecond value to its bucket index.
+#[inline]
+fn bucket_index(ns: u64) -> usize {
+    if ns < SUB_BUCKETS {
+        return ns as usize;
+    }
+    let magnitude = 63 - ns.leading_zeros(); // 2^m <= ns < 2^(m+1), m >= 5
+    let shift = magnitude - SUB_BUCKET_BITS;
+    let sub = (ns >> shift) - SUB_BUCKETS; // 0..SUB_BUCKETS
+    (SUB_BUCKETS as usize) + (magnitude - SUB_BUCKET_BITS) as usize * SUB_BUCKETS as usize + sub as usize
+}
+
+/// The largest nanosecond value mapping to bucket `index` (its upper edge).
+#[inline]
+fn bucket_upper_edge(index: usize) -> u64 {
+    if index < SUB_BUCKETS as usize {
+        return index as u64;
+    }
+    let magnitude = SUB_BUCKET_BITS + ((index - SUB_BUCKETS as usize) / SUB_BUCKETS as usize) as u32;
+    let sub = ((index - SUB_BUCKETS as usize) % SUB_BUCKETS as usize) as u64;
+    let shift = magnitude - SUB_BUCKET_BITS;
+    let lower = (SUB_BUCKETS + sub) << shift;
+    // `lower` has `shift` trailing zero bits, so OR-ing the mask adds it
+    // without the `lower + 2^shift` intermediate (which overflows for the
+    // top bucket, whose edge is `u64::MAX` itself).
+    lower | ((1u64 << shift) - 1)
+}
+
+/// A log-bucketed histogram of request latencies (see the module docs).
+///
+/// `merge` makes per-thread recording trivially scalable: every serving
+/// worker owns a private histogram and the engine folds them together after
+/// the run.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    buckets: Box<[u64; NUM_BUCKETS]>,
+    count: u64,
+    total_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: Box::new([0; NUM_BUCKETS]),
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one latency sample.
+    #[inline]
+    pub fn record(&mut self, latency: Duration) {
+        self.record_ns(latency.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records one latency sample, in nanoseconds.
+    #[inline]
+    pub fn record_ns(&mut self, ns: u64) {
+        self.buckets[bucket_index(ns)] += 1;
+        self.count += 1;
+        self.total_ns += ns as u128;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The exact largest sample (zero if empty).
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(if self.count == 0 { 0 } else { self.max_ns })
+    }
+
+    /// The exact smallest sample (zero if empty).
+    pub fn min(&self) -> Duration {
+        Duration::from_nanos(if self.count == 0 { 0 } else { self.min_ns })
+    }
+
+    /// The arithmetic mean of all samples (zero if empty).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos((self.total_ns / self.count as u128) as u64)
+    }
+
+    /// The `pct`-th percentile (0.0–100.0): an upper bound on the latency of
+    /// the sample at rank `ceil(pct/100 · count)`, never understating the
+    /// true percentile and never exceeding it by more than
+    /// `2^-SUB_BUCKET_BITS` relative (clamped to the exact maximum).
+    pub fn percentile(&self, pct: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((pct / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let rank = rank.min(self.count);
+        let mut cumulative = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return Duration::from_nanos(bucket_upper_edge(index).min(self.max_ns));
+            }
+        }
+        Duration::from_nanos(self.max_ns) // unreachable: cumulative == count
+    }
+
+    /// Folds `other` into `self`.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The oracle: the exact percentile over a sorted copy of the samples,
+    /// using the same rank convention as the histogram.
+    fn oracle_percentile(samples: &[u64], pct: f64) -> u64 {
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let rank = ((pct / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+        sorted[rank.min(sorted.len()) - 1]
+    }
+
+    /// The histogram's bound: `oracle <= hist <= oracle · (1 + 2^-5) + 1`.
+    fn assert_within_bound(hist: &LatencyHistogram, samples: &[u64], pct: f64) {
+        let h = hist.percentile(pct).as_nanos() as u64;
+        let o = oracle_percentile(samples, pct);
+        assert!(h >= o, "p{pct}: histogram {h} understates oracle {o}");
+        assert!(h <= o + o / 16 + 1, "p{pct}: histogram {h} overstates oracle {o} beyond the bucket bound");
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_edges_are_consistent() {
+        let mut last = 0usize;
+        for ns in [0u64, 1, 31, 32, 33, 63, 64, 100, 1000, 4095, 4096, 1 << 20, (1 << 40) + 12345, u64::MAX] {
+            let index = bucket_index(ns);
+            assert!(index >= last, "index must not decrease ({ns})");
+            assert!(index < NUM_BUCKETS);
+            assert!(bucket_upper_edge(index) >= ns, "upper edge below member {ns}");
+            last = index;
+        }
+        // Every bucket's upper edge maps back into that bucket.
+        for index in 0..NUM_BUCKETS {
+            assert_eq!(bucket_index(bucket_upper_edge(index)), index);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_well_behaved() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(99.9), Duration::ZERO);
+        assert_eq!(h.max(), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_percentile() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(137));
+        for pct in [0.0, 50.0, 99.0, 99.9, 100.0] {
+            assert_within_bound(&h, &[137_000], pct);
+        }
+        assert_eq!(h.max(), Duration::from_micros(137));
+        assert_eq!(h.min(), Duration::from_micros(137));
+        assert_eq!(h.mean(), Duration::from_micros(137));
+    }
+
+    #[test]
+    fn p100_is_the_exact_maximum() {
+        let mut h = LatencyHistogram::new();
+        for ns in [5u64, 1_000_003, 77, 40_000_000_001] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.percentile(100.0), Duration::from_nanos(40_000_000_001));
+        assert_eq!(h.max(), Duration::from_nanos(40_000_000_001));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn percentiles_track_the_sorted_oracle(
+            samples in proptest::collection::vec(0u64..5_000_000, 1..400),
+        ) {
+            let mut h = LatencyHistogram::new();
+            for &s in &samples {
+                h.record_ns(s);
+            }
+            prop_assert_eq!(h.count(), samples.len() as u64);
+            for pct in [0.0, 25.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+                assert_within_bound(&h, &samples, pct);
+            }
+            prop_assert_eq!(h.max().as_nanos() as u64, *samples.iter().max().unwrap());
+            prop_assert_eq!(h.min().as_nanos() as u64, *samples.iter().min().unwrap());
+        }
+
+        #[test]
+        fn heavy_tails_stay_within_the_bucket_bound(
+            shaped in proptest::collection::vec((1u64..1024, 0u32..50), 1..250),
+        ) {
+            // Mantissa-shift pairs span ~15 decades — the pause-inflated
+            // tail shape a linear histogram would destroy.
+            let samples: Vec<u64> = shaped.iter().map(|&(m, s)| m << (s % 50)).collect();
+            let mut h = LatencyHistogram::new();
+            for &s in &samples {
+                h.record_ns(s);
+            }
+            for pct in [50.0, 99.0, 99.9, 100.0] {
+                assert_within_bound(&h, &samples, pct);
+            }
+        }
+
+        #[test]
+        fn merge_equals_recording_everything_into_one(
+            left in proptest::collection::vec(0u64..10_000_000, 0..200),
+            right in proptest::collection::vec(0u64..10_000_000, 1..200),
+        ) {
+            let mut a = LatencyHistogram::new();
+            for &s in &left {
+                a.record_ns(s);
+            }
+            let mut b = LatencyHistogram::new();
+            for &s in &right {
+                b.record_ns(s);
+            }
+            a.merge(&b);
+
+            let mut whole = LatencyHistogram::new();
+            for &s in left.iter().chain(right.iter()) {
+                whole.record_ns(s);
+            }
+            prop_assert_eq!(a.count(), whole.count());
+            prop_assert_eq!(a.max(), whole.max());
+            prop_assert_eq!(a.min(), whole.min());
+            prop_assert_eq!(a.mean(), whole.mean());
+            for pct in [50.0, 90.0, 99.0, 99.9, 100.0] {
+                prop_assert_eq!(a.percentile(pct), whole.percentile(pct));
+            }
+        }
+    }
+}

@@ -17,9 +17,13 @@
 //! ```
 
 pub mod engine;
+pub mod histogram;
+pub mod serve;
 pub mod spec;
 
 pub use engine::{run_workload, RunOptions, WorkloadResult};
+pub use histogram::LatencyHistogram;
+pub use serve::{run_serve, serve_spec, ArrivalSchedule, ServeOptions, ServeResult, ServeSpec, SessionTable};
 pub use spec::{
     benchmark, extended_suite, latency_suite, social_graph_churn, suite, traffic_spike, BenchmarkSpec,
     LatencySpec,

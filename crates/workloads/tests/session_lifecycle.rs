@@ -1,0 +1,99 @@
+//! Property test: the serving engine's session table, driven by arbitrary
+//! create/touch/expire churn, must agree with a scalar model of itself —
+//! under the collectors the serving benchmark actually compares, with the
+//! full-heap sanity verifier auditing the pauses along the way.
+//!
+//! The table's scalar model (its internal live count) predicts what a walk
+//! of the real heap must find; a collector that reclaims a live session or
+//! resurrects an expired one shows up as a divergence, and the periodic
+//! forced collections make sure plenty of pauses (RC epochs, sticky traces,
+//! generational evacuations) happen mid-churn.
+
+use lxr_baselines::plan_registry;
+use lxr_runtime::{Runtime, RuntimeOptions};
+use lxr_workloads::SessionTable;
+use proptest::prelude::*;
+
+/// Session population: spans multiple 512-slot leaves so churn exercises
+/// the two-level indexing, not just one leaf.
+const SESSIONS: u16 = 1_300;
+
+/// One churn op: `(session index, op discriminant)`.
+type Op = (u16, u8);
+
+fn run_churn(collector: &str, ops: &[Op]) {
+    let runtime = Runtime::with_factory(
+        RuntimeOptions::default()
+            .with_heap_size(24 << 20)
+            .with_gc_workers(2)
+            .with_concurrent_workers(1)
+            .with_verify_every_n_gcs(2),
+        plan_registry(collector),
+    );
+    let mut mutator = runtime.bind_mutator();
+    let mut table = SessionTable::new(&mut mutator, SESSIONS as usize);
+    // The scalar oracle, maintained independently of the table's own model.
+    let mut model = vec![false; SESSIONS as usize];
+    let mut live = 0usize;
+
+    for (step, &(raw_index, op)) in ops.iter().enumerate() {
+        let index = (raw_index % SESSIONS) as usize;
+        match op % 3 {
+            0 => {
+                // Create (or replace — replacement kills the old session
+                // without changing the live count).
+                table.create(&mut mutator, index, step as u64);
+                if !model[index] {
+                    model[index] = true;
+                    live += 1;
+                }
+            }
+            1 => {
+                // Touch: cache a fresh response object in a live session.
+                if model[index] {
+                    let response = mutator.alloc(0, 4, 3);
+                    mutator.write_data(response, 0, step as u64);
+                    table.touch(&mut mutator, index, step, response);
+                }
+            }
+            _ => {
+                let expired = table.expire(&mut mutator, index);
+                assert_eq!(expired, model[index], "{collector}: expire({index}) disagrees at step {step}");
+                if model[index] {
+                    model[index] = false;
+                    live -= 1;
+                }
+            }
+        }
+        // Keep the collector busy mid-churn so the verifier audits heaps
+        // that actually contain the table in every lifecycle state.  The
+        // wait must run with this thread's mutator marked blocked, or the
+        // pause would wait forever for it to reach a safepoint.
+        if step % 48 == 47 {
+            mutator.blocked(|| runtime.request_gc_and_wait());
+        }
+    }
+
+    assert_eq!(table.live_sessions(), live, "{collector}: table model diverged from the oracle");
+    let walked = table.live_count(&mut mutator);
+    assert_eq!(walked, live, "{collector}: heap walk found {walked} live sessions, oracle says {live}");
+    mutator.blocked(|| runtime.request_gc_and_wait());
+    let report = runtime.verify_now();
+    assert!(report.ok(), "{collector}: verifier failed after churn:\n{report}");
+    drop(mutator);
+    runtime.shutdown();
+}
+
+proptest! {
+    // Each case spins up three full runtimes; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn session_churn_matches_the_scalar_model_under_every_serving_collector(
+        ops in proptest::collection::vec((0u16..SESSIONS, 0u8..3), 1..400),
+    ) {
+        for collector in ["lxr", "lxr-sticky", "g1"] {
+            run_churn(collector, &ops);
+        }
+    }
+}

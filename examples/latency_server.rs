@@ -1,34 +1,53 @@
-//! A latency-critical request server (a lusearch-like workload) run under
-//! two collectors, reporting metered request-latency percentiles — the
-//! experiment at the heart of the paper's Table 1.
+//! A latency-critical request server run under several collectors,
+//! reporting coordinated-omission-correct request-latency percentiles —
+//! the experiment at the heart of the paper's Table 1.
+//!
+//! The server is the open-loop serving benchmark: a seeded Poisson arrival
+//! schedule (identical for every collector) drives session churn, each
+//! request's latency is measured from its *intended arrival* — so queuing
+//! delay behind a GC pause is charged to every request it delays — and the
+//! runtime's request-aware pause gate moves deferrable collections onto
+//! request boundaries.
 //!
 //! ```text
 //! cargo run --release --example latency_server
 //! ```
 
-use lxr::workloads::{benchmark, run_workload, RunOptions};
+use lxr::workloads::{run_serve, serve_spec, ServeOptions};
 
 fn main() {
-    let spec = benchmark("lusearch").expect("lusearch is part of the suite");
-    println!("lusearch-like request workload, 1.3x heap ({} MB)", spec.heap_bytes(1.3) >> 20);
-    println!("{:<12} {:>10} {:>8} {:>8} {:>8} {:>8}", "collector", "QPS", "p50", "p99", "p99.9", "p99.99");
-    for collector in ["lxr", "g1", "shenandoah"] {
-        let result =
-            run_workload(&spec, collector, &RunOptions::default().with_heap_factor(1.3).with_scale(0.5));
-        let pct = |p: f64| {
-            result
-                .latency_percentile(p)
-                .map(|d| format!("{:.1}ms", d.as_secs_f64() * 1e3))
-                .unwrap_or_else(|| "-".into())
-        };
+    let spec = serve_spec();
+    println!(
+        "open-loop session frontend: {} requests at ~{:?}, {} sessions, 2x heap ({} MB)",
+        spec.num_requests,
+        spec.schedule,
+        spec.sessions,
+        spec.heap_bytes(2.0) >> 20
+    );
+    println!(
+        "{:<12} {:>10} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "collector", "QPS", "p50", "p99", "p99.9", "max", "GC stall"
+    );
+    for collector in ["lxr", "lxr-sticky", "g1", "shenandoah"] {
+        let result = run_serve(&spec, collector, &ServeOptions::default());
+        if result.skipped {
+            println!("{collector:<12} {:>10}", "skipped");
+            continue;
+        }
+        if let Some(failure) = &result.failure {
+            eprintln!("INTEGRITY FAILURE under {collector}:\n{failure}");
+            std::process::exit(1);
+        }
+        let pct = |p: f64| format!("{:.2}ms", result.percentile(p).as_secs_f64() * 1e3);
         println!(
-            "{:<12} {:>10.0} {:>8} {:>8} {:>8} {:>8}",
+            "{:<12} {:>10.0} {:>9} {:>9} {:>9} {:>9} {:>9.1}ms",
             collector,
-            result.qps.unwrap_or(0.0),
+            result.qps,
             pct(50.0),
             pct(99.0),
             pct(99.9),
-            pct(99.99),
+            format!("{:.2}ms", result.histogram.max().as_secs_f64() * 1e3),
+            result.alloc_stall_time.as_secs_f64() * 1e3,
         );
     }
 }

@@ -1,0 +1,87 @@
+//! Coordinated-omission acceptance under fault injection: a pause pinned
+//! via the existing failpoint sites must inflate the open-loop p99.9 and
+//! stay invisible to a deliberately closed-loop control run.
+//!
+//! The serving engine's own stall-injection test (in `lxr-workloads`)
+//! proves the accounting property with an engine-level sleep; this test
+//! proves it end-to-end through the injection machinery: the
+//! `mutator.safepoint` site fires inside `Mutator::begin_request`, so a
+//! `delay:…@every=N` schedule stalls the serving worker exactly once, at a
+//! deterministic request, just as a pathological GC pause would.
+//!
+//! Compiled only with `--features failpoints`; schedules are process-global,
+//! so the test holds the same style of lock as the chaos suite.
+
+#![cfg(feature = "failpoints")]
+
+use lxr::failpoints::ScheduleGuard;
+use lxr::workloads::{run_serve, ArrivalSchedule, ServeOptions, ServeResult, ServeSpec};
+use std::sync::Mutex;
+use std::time::Duration;
+
+static SERVE_CO_LOCK: Mutex<()> = Mutex::new(());
+
+/// One worker so the pinned stall blocks the whole service, and enough
+/// requests that the stalled cohort sits far above the p99.9 rank under
+/// open-loop accounting and far below it under closed-loop.
+fn co_spec() -> ServeSpec {
+    ServeSpec {
+        name: "co-failpoint",
+        sessions: 2_000,
+        session_slots: 4,
+        num_requests: 4_000,
+        schedule: ArrivalSchedule::Poisson { rps: 25_000.0 },
+        allocations_per_request: 8,
+        compute_per_request: 50,
+        session_expiry: 0.01,
+        workers: 1,
+        min_heap_mb: 16,
+    }
+}
+
+/// The pinned pause: a 40 ms delay on the 3000th `mutator.safepoint` hit —
+/// with one worker, the 3000th request's `begin_request`.
+const PINNED_PAUSE: &str = "seed=3;mutator.safepoint=delay:40ms@every=3000";
+
+fn run_with_pinned_pause(closed_loop: bool) -> ServeResult {
+    // A fresh guard per run: `@every` counters are per-schedule, so each
+    // run sees the delay at the same deterministic request.
+    let _guard = ScheduleGuard::install(PINNED_PAUSE).expect("valid schedule");
+    let result =
+        run_serve(&co_spec(), "lxr", &ServeOptions::default().with_seed(17).with_closed_loop(closed_loop));
+    assert!(!result.skipped);
+    assert!(result.failure.is_none(), "{}", result.failure.unwrap());
+    result
+}
+
+#[test]
+fn pinned_failpoint_pause_is_visible_open_loop_and_hidden_closed_loop() {
+    let _lock = SERVE_CO_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let open = run_with_pinned_pause(false);
+    let closed = run_with_pinned_pause(true);
+    assert_eq!(open.schedule_digest, closed.schedule_digest, "both runs offer the identical load");
+
+    // At 25 krps a 40 ms stall queues ~1000 requests; open-loop accounting
+    // charges each its queuing delay, so the stall dominates p99.9 (and
+    // even p99).
+    let open_p999 = open.percentile(99.9);
+    assert!(
+        open_p999 >= Duration::from_millis(15),
+        "open-loop p99.9 must surface the pinned 40 ms pause, got {open_p999:?}"
+    );
+    // The closed-loop control anchors latency at dispatch: only the single
+    // stalled request ever sees the delay, and one sample out of 4000 sits
+    // below the p99.9 rank — coordinated omission hides the pause.
+    let closed_p999 = closed.percentile(99.9);
+    assert!(
+        closed_p999 < Duration::from_millis(15),
+        "closed-loop accounting should hide the pinned pause below p99.9, got {closed_p999:?}"
+    );
+    // The pause is not hidden from the closed-loop *maximum*: the one
+    // stalled request still records it, pinning that the failpoint fired.
+    assert!(
+        closed.histogram.max() >= Duration::from_millis(35),
+        "the pinned pause must have fired in the control run too, max {:?}",
+        closed.histogram.max()
+    );
+}
